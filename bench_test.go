@@ -1,0 +1,462 @@
+package gscope
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index):
+//
+//	FIG1-FIG3   — widget screenshots           → out/fig*.png
+//	FIG4, FIG5  — the TCP vs ECN experiment    → out/fig4_tcp.png, out/fig5_ecn.png
+//	TAB-A1/A2   — §4.6 CPU overhead at 10/50ms → overhead% metric
+//	TAB-A3      — §4.6 per-signal overhead     → overhead% per signal count
+//	TAB-A4      — §4.5 lost-timeout handling   → compensated sweep metrics
+//
+// plus ablation benches for the design choices DESIGN.md calls out
+// (trigger alignment, RED vs DropTail, timer granularity, filtering) and
+// microbenches of the hot paths. Figures are written once per `go test
+// -bench` run into out/.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/draw"
+	"repro/internal/figures"
+	"repro/internal/glib"
+	"repro/internal/loadgen"
+	"repro/internal/mxtraf"
+	"repro/internal/netsim"
+	"repro/internal/tuple"
+)
+
+const outDir = "out"
+
+var outOnce sync.Once
+
+func writeArtifact(b *testing.B, name string, s *draw.Surface) {
+	b.Helper()
+	outOnce.Do(func() { os.MkdirAll(outDir, 0o755) }) //nolint:errcheck
+	path := outDir + "/" + name
+	if err := s.WritePNG(path); err != nil {
+		b.Fatalf("writing %s: %v", path, err)
+	}
+}
+
+// --- FIG1–FIG3: widget screenshots -----------------------------------------
+
+func BenchmarkFigure1ScopeWidget(b *testing.B) {
+	var frame *draw.Surface
+	for i := 0; i < b.N; i++ {
+		f, err := figures.Figure1()
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame = f
+	}
+	writeArtifact(b, "fig1_scope_widget.png", frame)
+}
+
+func BenchmarkFigure2SignalParams(b *testing.B) {
+	var frame *draw.Surface
+	for i := 0; i < b.N; i++ {
+		f, err := figures.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame = f
+	}
+	writeArtifact(b, "fig2_signal_params.png", frame)
+}
+
+func BenchmarkFigure3ControlParams(b *testing.B) {
+	var frame *draw.Surface
+	for i := 0; i < b.N; i++ {
+		f, err := figures.Figure3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		frame = f
+	}
+	writeArtifact(b, "fig3_control_params.png", frame)
+}
+
+// --- FIG4/FIG5: the TCP vs ECN experiment ----------------------------------
+
+func benchTCPExperiment(b *testing.B, ecn bool, png string) {
+	var res *figures.TCPResult
+	for i := 0; i < b.N; i++ {
+		cfg := figures.DefaultTCPExperiment(ecn)
+		r, err := figures.RunTCPExperiment(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(float64(res.CwndMin1Hits), "cwnd-floor-hits")
+	b.ReportMetric(float64(res.TimeoutsDuring8), "obsflow-timeouts-8")
+	b.ReportMetric(float64(res.TimeoutsDuring16), "obsflow-timeouts-16")
+	b.ReportMetric(float64(res.TotalTimeouts), "all-timeouts")
+	b.ReportMetric(res.MeanCwnd8, "mean-cwnd-8")
+	b.ReportMetric(res.MeanCwnd16, "mean-cwnd-16")
+	writeArtifact(b, png, res.Frame)
+}
+
+func BenchmarkFigure4TCP(b *testing.B) { benchTCPExperiment(b, false, "fig4_tcp.png") }
+func BenchmarkFigure5ECN(b *testing.B) { benchTCPExperiment(b, true, "fig5_ecn.png") }
+
+// --- TAB-A1/A2: §4.6 CPU overhead vs polling period ------------------------
+
+// runOverhead measures the §4.6 ratio with the real clock: a spin loop
+// with and without a scope polling n integer signals at the given period.
+func runOverhead(b *testing.B, period time.Duration, n int) float64 {
+	var stop func()
+	start := func() {
+		loop := glib.NewLoop(glib.RealClock{}, glib.WithGranularity(period))
+		scope := core.New(loop, "bench", 600, 200)
+		vars := make([]core.IntVar, n)
+		for i := 0; i < n; i++ {
+			if _, err := scope.AddSignal(core.Sig{Name: fmt.Sprintf("s%d", i), Source: &vars[i]}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := scope.SetPollingMode(period); err != nil {
+			b.Fatal(err)
+		}
+		if err := scope.StartPolling(); err != nil {
+			b.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			loop.Run() //nolint:errcheck
+			close(done)
+		}()
+		stop = func() {
+			loop.Quit()
+			<-done
+		}
+	}
+	res := loadgen.MeasureRepeated(3, 150*time.Millisecond, start, func() { stop() })
+	oh := res.OverheadPercent()
+	if oh < 0 {
+		oh = 0 // scheduler noise can make the loaded run "faster"
+	}
+	return oh
+}
+
+func BenchmarkOverheadPolling10ms(b *testing.B) {
+	var oh float64
+	for i := 0; i < b.N; i++ {
+		oh = runOverhead(b, 10*time.Millisecond, 8)
+	}
+	b.ReportMetric(oh, "overhead-%")
+	b.ReportMetric(2.0, "paper-bound-%")
+}
+
+func BenchmarkOverheadPolling50ms(b *testing.B) {
+	var oh float64
+	for i := 0; i < b.N; i++ {
+		oh = runOverhead(b, 50*time.Millisecond, 8)
+	}
+	b.ReportMetric(oh, "overhead-%")
+	b.ReportMetric(1.0, "paper-bound-%")
+}
+
+// --- TAB-A3: §4.6 per-signal overhead --------------------------------------
+
+func BenchmarkOverheadPerSignal(b *testing.B) {
+	for _, n := range []int{1, 8, 16, 32} {
+		n := n
+		b.Run(fmt.Sprintf("signals=%d", n), func(b *testing.B) {
+			var oh float64
+			for i := 0; i < b.N; i++ {
+				oh = runOverhead(b, 10*time.Millisecond, n)
+			}
+			b.ReportMetric(oh, "overhead-%")
+		})
+	}
+}
+
+// --- TAB-A4: §4.5 lost-timeout compensation --------------------------------
+
+func BenchmarkLostTimeoutCompensation(b *testing.B) {
+	// Inject timer starvation on a virtual clock and verify/measure that
+	// the sweep advances by wall time, not by dispatch count.
+	vc := glib.NewVirtualClock(time.Unix(0, 0))
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	scope := core.New(loop, "bench", 600, 200)
+	var v core.IntVar
+	if _, err := scope.AddSignal(core.Sig{Name: "v", Source: &v}); err != nil {
+		b.Fatal(err)
+	}
+	if err := scope.SetPollingMode(10 * time.Millisecond); err != nil {
+		b.Fatal(err)
+	}
+	if err := scope.StartPolling(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate clean ticks with 50ms stalls.
+		loop.Advance(10 * time.Millisecond)
+		vc.Set(vc.Now().Add(50 * time.Millisecond))
+		loop.Iterate()
+	}
+	st := scope.Stats()
+	if st.Slots != st.Polls+st.LostTicks {
+		b.Fatalf("sweep not compensated: slots=%d polls=%d lost=%d",
+			st.Slots, st.Polls, st.LostTicks)
+	}
+	b.ReportMetric(float64(st.LostTicks)/float64(st.Polls), "lost-ticks/poll")
+}
+
+// --- Ablations --------------------------------------------------------------
+
+// BenchmarkAblationGranularity quantifies §4.5/§6: finer kernel ticks let
+// the same 10ms polling fire closer to schedule. The metric is the mean
+// quantization-induced deadline slip.
+func BenchmarkAblationGranularity(b *testing.B) {
+	for _, g := range []time.Duration{10 * time.Millisecond, time.Millisecond, 0} {
+		g := g
+		name := "ideal"
+		if g > 0 {
+			name = g.String()
+		}
+		b.Run("tick="+name, func(b *testing.B) {
+			var slip time.Duration
+			var fires int
+			for i := 0; i < b.N; i++ {
+				vc := glib.NewVirtualClock(time.Unix(0, 0))
+				loop := glib.NewLoop(vc, glib.WithGranularity(g))
+				var last time.Time
+				scheduledGap := 15 * time.Millisecond
+				loop.TimeoutAdd(scheduledGap, func(int) bool {
+					now := vc.Now()
+					if !last.IsZero() {
+						gap := now.Sub(last)
+						if gap > scheduledGap {
+							slip += gap - scheduledGap
+						}
+					}
+					last = now
+					fires++
+					return true
+				})
+				loop.Advance(3 * time.Second)
+			}
+			if fires > 0 {
+				b.ReportMetric(float64(slip.Microseconds())/float64(fires), "slip-us/fire")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationREDvsDropTail isolates the router discipline: identical
+// ECN-capable senders through both queues. RED+ECN should eliminate
+// timeouts; DropTail cannot (ECN negotiation never helps if the router
+// only drops).
+func BenchmarkAblationREDvsDropTail(b *testing.B) {
+	for _, red := range []bool{false, true} {
+		red := red
+		name := "droptail"
+		if red {
+			name = "red"
+		}
+		b.Run(name, func(b *testing.B) {
+			var timeouts int64
+			for i := 0; i < b.N; i++ {
+				cfg := netsim.DefaultDumbbell()
+				cfg.RED = red
+				cfg.TCP.ECN = true
+				d := netsim.NewDumbbell(cfg)
+				for f := 0; f < 16; f++ {
+					at := time.Duration(f) * 100 * time.Millisecond
+					d.Sim.At(at, func() { d.AddElephant() })
+				}
+				d.Sim.RunUntil(30 * time.Second)
+				timeouts = d.TotalTimeouts()
+			}
+			b.ReportMetric(float64(timeouts), "timeouts")
+		})
+	}
+}
+
+// BenchmarkAblationTrigger measures the §6 trigger extension's render cost
+// against the plain scrolling sweep.
+func BenchmarkAblationTrigger(b *testing.B) {
+	for _, trig := range []bool{false, true} {
+		trig := trig
+		name := "off"
+		if trig {
+			name = "on"
+		}
+		b.Run("trigger="+name, func(b *testing.B) {
+			rig := figures.NewRig("bench", 600, 200)
+			var v core.IntVar
+			sig, err := rig.Scope.AddSignal(core.Sig{Name: "s", Source: &v})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 2000; i++ {
+				sig.Trace().Push(float64(50 + 40*((i/20)%2)))
+			}
+			if trig {
+				rig.Scope.SetTrigger(&core.Trigger{Signal: "s", Level: 50, Rising: true})
+			}
+			s := draw.NewSurface(600, 200)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rig.Scope.Render(s, s.Bounds())
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFilter measures the low-pass filter's per-poll cost.
+func BenchmarkAblationFilter(b *testing.B) {
+	for _, alpha := range []float64{0, 0.5} {
+		alpha := alpha
+		b.Run(fmt.Sprintf("alpha=%v", alpha), func(b *testing.B) {
+			rig := figures.NewRig("bench", 600, 200)
+			var v core.IntVar
+			if _, err := rig.Scope.AddSignal(core.Sig{Name: "s", Source: &v, FilterAlpha: alpha}); err != nil {
+				b.Fatal(err)
+			}
+			if err := rig.Scope.SetPollingMode(10 * time.Millisecond); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rig.Scope.Step(0)
+			}
+		})
+	}
+}
+
+// --- Microbenches of the hot paths ------------------------------------------
+
+func BenchmarkScopePoll(b *testing.B) {
+	for _, n := range []int{1, 8, 32} {
+		n := n
+		b.Run(fmt.Sprintf("signals=%d", n), func(b *testing.B) {
+			rig := figures.NewRig("bench", 600, 200)
+			vars := make([]core.IntVar, n)
+			for i := 0; i < n; i++ {
+				if _, err := rig.Scope.AddSignal(core.Sig{Name: fmt.Sprintf("s%d", i), Source: &vars[i]}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := rig.Scope.SetPollingMode(10 * time.Millisecond); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rig.Scope.Step(0)
+			}
+		})
+	}
+}
+
+func BenchmarkRenderCanvas(b *testing.B) {
+	rig := figures.NewRig("bench", 600, 200)
+	var v core.IntVar
+	sig, err := rig.Scope.AddSignal(core.Sig{Name: "s", Source: &v})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		sig.Trace().Push(float64(i % 100))
+	}
+	s := draw.NewSurface(600, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.Scope.Render(s, s.Bounds())
+	}
+}
+
+func BenchmarkFreqDomainRender(b *testing.B) {
+	rig := figures.NewRig("bench", 600, 200)
+	var v core.IntVar
+	sig, err := rig.Scope.AddSignal(core.Sig{Name: "s", Source: &v})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		sig.Trace().Push(float64(i % 100))
+	}
+	rig.Scope.SetDomain(core.FreqDomain)
+	s := draw.NewSurface(600, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.Scope.Render(s, s.Bounds())
+	}
+}
+
+func BenchmarkTupleParse(b *testing.B) {
+	line := "123456 42.125 CWND"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tuple.Parse(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeedPushTake(b *testing.B) {
+	f := core.NewFeed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at := time.Duration(i) * time.Millisecond
+		f.Push(at, "x", 1)
+		if i%64 == 63 {
+			f.Take(at)
+		}
+	}
+}
+
+func BenchmarkEventAggregation(b *testing.B) {
+	rig := figures.NewRig("bench", 600, 200)
+	if _, err := rig.Scope.AddSignal(core.Sig{Name: "lat", Agg: core.AggMax}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.Scope.Event("lat", float64(i&0xff))
+		if i%100 == 99 {
+			rig.Scope.Step(0)
+		}
+	}
+}
+
+// BenchmarkNetsimThroughput reports how many simulated seconds of the
+// 16-elephant dumbbell fit in one wall-clock second.
+func BenchmarkNetsimThroughput(b *testing.B) {
+	cfg := netsim.DefaultDumbbell()
+	d := netsim.NewDumbbell(cfg)
+	for f := 0; f < 16; f++ {
+		d.AddElephant()
+	}
+	horizon := time.Duration(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		horizon += 100 * time.Millisecond
+		d.Sim.RunUntil(horizon)
+	}
+	b.ReportMetric(float64(d.Sim.Processed())/float64(b.N), "events/op")
+}
+
+// BenchmarkMxtrafSnapshot measures the metrics path mxtraf exports to the
+// scope each poll.
+func BenchmarkMxtrafSnapshot(b *testing.B) {
+	g := mxtraf.New(mxtraf.DefaultConfig())
+	g.SetElephants(8)
+	g.Sim().RunUntil(2 * time.Second)
+	at := g.Sim().Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		at += time.Millisecond
+		g.Sim().RunUntil(at)
+		g.Snapshot()
+	}
+}

@@ -1,0 +1,115 @@
+// Command gscope-bench reproduces the paper's overhead experiment (§4.6,
+// experiment TAB-A in DESIGN.md): a CPU load program spins in a tight loop
+// and counts iterations; the ratio of the count with a polling scope
+// running versus idle estimates the scope's CPU overhead. It prints the
+// same rows the paper reports: overhead at 10 ms and 50 ms polling, and
+// the marginal cost of each additional signal.
+//
+// Usage:
+//
+//	gscope-bench [-window 400ms] [-reps 5] [-signals 1,8,16,32]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/glib"
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		window  = flag.Duration("window", 400*time.Millisecond, "measurement window per phase")
+		reps    = flag.Int("reps", 5, "repetitions (median taken)")
+		signals = flag.String("signals", "1,8,16,32", "signal counts for the per-signal sweep")
+	)
+	flag.Parse()
+
+	fmt.Println("gscope overhead experiment (§4.6 methodology)")
+	fmt.Printf("window=%s reps=%d\n\n", *window, *reps)
+
+	fmt.Println("polling period sweep (8 integer signals):")
+	fmt.Println("  period   overhead    paper")
+	for _, row := range []struct {
+		period time.Duration
+		paper  string
+	}{
+		{10 * time.Millisecond, "< 2%"},
+		{50 * time.Millisecond, "< 1%"},
+	} {
+		oh := measureOverhead(*reps, *window, row.period, 8)
+		fmt.Printf("  %-7s  %6.2f%%     %s\n", row.period, oh, row.paper)
+	}
+
+	fmt.Println("\nsignal count sweep (10 ms period):")
+	fmt.Println("  signals  overhead   delta/signal (paper: 0.02-0.05%/signal)")
+	var prev float64
+	var prevN int
+	for i, tok := range strings.Split(*signals, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || n < 1 {
+			continue
+		}
+		oh := measureOverhead(*reps, *window, 10*time.Millisecond, n)
+		if i == 0 {
+			fmt.Printf("  %-7d  %6.2f%%\n", n, oh)
+		} else {
+			delta := (oh - prev) / float64(n-prevN)
+			fmt.Printf("  %-7d  %6.2f%%    %+.3f%%\n", n, oh, delta)
+		}
+		prev, prevN = oh, n
+	}
+}
+
+// measureOverhead runs a real-clock scope polling n integer signals at the
+// given period while the load program spins.
+func measureOverhead(reps int, window, period time.Duration, n int) float64 {
+	res := loadgen.MeasureRepeated(reps, window, startScope(period, n, &stopper), stopScope(&stopper))
+	return res.OverheadPercent()
+}
+
+// stopper carries the teardown between the start and stop callbacks.
+var stopper func()
+
+func startScope(period time.Duration, n int, cleanup *func()) func() {
+	return func() {
+		loop := glib.NewLoop(glib.RealClock{}, glib.WithGranularity(period))
+		scope := core.New(loop, "bench", 600, 200)
+		vars := make([]core.IntVar, n)
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("sig%d", i)
+			if _, err := scope.AddSignal(core.Sig{Name: name, Source: &vars[i]}); err != nil {
+				panic(err)
+			}
+		}
+		if err := scope.SetPollingMode(period); err != nil {
+			panic(err)
+		}
+		if err := scope.StartPolling(); err != nil {
+			panic(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			loop.Run() //nolint:errcheck
+			close(done)
+		}()
+		*cleanup = func() {
+			loop.Quit()
+			<-done
+		}
+	}
+}
+
+func stopScope(cleanup *func()) func() {
+	return func() {
+		if *cleanup != nil {
+			(*cleanup)()
+			*cleanup = nil
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Command gscope is the standalone scope viewer: it replays a recorded
+// tuple file (§3.3) onto a scope and renders the result as a PNG
+// screenshot, a sequence of PNG frames, or an animated ANSI view in the
+// terminal — the playback acquisition mode of the paper's library.
+//
+// Usage:
+//
+//	gscope -in session.tup -png out.png            # final frame screenshot
+//	gscope -in session.tup -ansi                   # animate in the terminal
+//	gscope -in session.tup -frames dir -every 20   # PNG frame sequence
+//	gscope -figures out/                           # regenerate Figures 1-5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/draw"
+	"repro/internal/figures"
+	"repro/internal/glib"
+	"repro/internal/gtk"
+	"repro/internal/tuple"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "tuple file to replay")
+		png     = flag.String("png", "", "write the final frame to this PNG")
+		gifOut  = flag.String("gif", "", "write the replay as an animated GIF")
+		ansi    = flag.Bool("ansi", false, "animate the replay as ANSI art on stdout")
+		frames  = flag.String("frames", "", "write PNG frames into this directory")
+		every   = flag.Int("every", 20, "with -frames/-gif, use every Nth poll")
+		period  = flag.Duration("period", 50*time.Millisecond, "polling/display period")
+		width   = flag.Int("width", 600, "canvas width in pixels")
+		height  = flag.Int("height", 200, "canvas height in pixels")
+		figsDir = flag.String("figures", "", "regenerate the paper's Figures 1-5 into this directory and exit")
+		speed   = flag.Float64("speed", 8, "with -ansi, replay speed multiplier")
+	)
+	flag.Parse()
+
+	if *figsDir != "" {
+		if err := writeFigures(*figsDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "gscope: -in file required (or -figures dir); see -h")
+		os.Exit(2)
+	}
+	if err := replay(*in, *png, *gifOut, *frames, *every, *ansi, *period, *width, *height, *speed); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gscope:", err)
+	os.Exit(1)
+}
+
+func replay(path, pngOut, gifOut, framesDir string, every int, ansi bool, period time.Duration, w, h int, speed float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tuples, err := tuple.NewReader(f, false).ReadAll()
+	if err != nil {
+		return err
+	}
+	if len(tuples) == 0 {
+		return fmt.Errorf("%s holds no tuples", path)
+	}
+
+	vc := glib.NewVirtualClock(time.Unix(0, 0))
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	scope := core.New(loop, filepath.Base(path), w, h)
+	for _, name := range tuple.Names(tuples) {
+		sigName := name
+		if sigName == "" {
+			sigName = "signal"
+		}
+		if _, err := scope.AddSignal(core.Sig{Name: sigName, Kind: core.KindBuffer}); err != nil {
+			return err
+		}
+	}
+	if err := scope.SetPlaybackMode(tuples, period); err != nil {
+		return err
+	}
+	done := false
+	scope.OnPlaybackDone(func() { done = true })
+	if err := scope.StartPlayback(); err != nil {
+		return err
+	}
+
+	widget := gtk.NewScopeWidget(scope)
+	if framesDir != "" {
+		if err := os.MkdirAll(framesDir, 0o755); err != nil {
+			return err
+		}
+	}
+	if ansi {
+		fmt.Print(draw.ANSIClear())
+	}
+	var gifFrames []*draw.Surface
+	frame := 0
+	for !done {
+		loop.Advance(period)
+		frame++
+		if gifOut != "" && frame%every == 0 {
+			gifFrames = append(gifFrames, widget.RenderFrame())
+		}
+		switch {
+		case ansi:
+			fmt.Print(draw.ANSIHome())
+			surf := widget.RenderFrame()
+			if err := surf.WriteANSI(os.Stdout, draw.ANSIOptions{Scale: 3}); err != nil {
+				return err
+			}
+			fmt.Println(widget.StatusLine())
+			if speed > 0 {
+				time.Sleep(time.Duration(float64(period) / speed))
+			}
+		case framesDir != "" && frame%every == 0:
+			surf := widget.RenderFrame()
+			name := filepath.Join(framesDir, fmt.Sprintf("frame%05d.png", frame))
+			if err := surf.WritePNG(name); err != nil {
+				return err
+			}
+		}
+	}
+	if pngOut != "" {
+		surf := widget.RenderFrame()
+		if err := surf.WritePNG(pngOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d tuples, %d polls)\n", pngOut, len(tuples), scope.Stats().Polls)
+	}
+	if gifOut != "" && len(gifFrames) > 0 {
+		// Per-frame delay in 100ths of a second: every polls at `period`
+		// per frame.
+		delay := int(period.Seconds() * float64(every) * 100)
+		if err := draw.WriteGIF(gifOut, gifFrames, delay); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d frames)\n", gifOut, len(gifFrames))
+	}
+	return nil
+}
+
+func writeFigures(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, s *draw.Surface) error {
+		p := filepath.Join(dir, name)
+		if err := s.WritePNG(p); err != nil {
+			return err
+		}
+		fmt.Println("wrote", p)
+		return nil
+	}
+	f1, err := figures.Figure1()
+	if err != nil {
+		return err
+	}
+	if err := write("fig1_scope_widget.png", f1); err != nil {
+		return err
+	}
+	f2, err := figures.Figure2()
+	if err != nil {
+		return err
+	}
+	if err := write("fig2_signal_params.png", f2); err != nil {
+		return err
+	}
+	f3, err := figures.Figure3()
+	if err != nil {
+		return err
+	}
+	if err := write("fig3_control_params.png", f3); err != nil {
+		return err
+	}
+	f4, err := figures.Figure4()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f4.Summary("fig4 TCP"))
+	if err := write("fig4_tcp.png", f4.Frame); err != nil {
+		return err
+	}
+	f5, err := figures.Figure5()
+	if err != nil {
+		return err
+	}
+	fmt.Println(f5.Summary("fig5 ECN"))
+	return write("fig5_ecn.png", f5.Frame)
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeSession(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "session.tup")
+	content := "# test session\n"
+	for i := 0; i < 40; i++ {
+		ms := i * 50
+		content += itoa(ms) + " " + itoa(i%25) + " a\n"
+		content += itoa(ms) + " " + itoa((i*3)%25) + " b\n"
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}
+
+func TestReplayToPNG(t *testing.T) {
+	in := writeSession(t)
+	out := filepath.Join(t.TempDir(), "frame.png")
+	err := replay(in, out, "", "", 20, false, 50*time.Millisecond, 200, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("png missing: %v", err)
+	}
+}
+
+func TestReplayToGIF(t *testing.T) {
+	in := writeSession(t)
+	out := filepath.Join(t.TempDir(), "anim.gif")
+	err := replay(in, "", out, "", 10, false, 50*time.Millisecond, 200, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Fatalf("gif missing: %v", err)
+	}
+}
+
+func TestReplayToFrames(t *testing.T) {
+	in := writeSession(t)
+	dir := filepath.Join(t.TempDir(), "frames")
+	err := replay(in, "", "", dir, 10, false, 50*time.Millisecond, 200, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 3 {
+		t.Fatalf("only %d frames written", len(entries))
+	}
+}
+
+func TestReplayErrors(t *testing.T) {
+	if err := replay("/nonexistent.tup", "", "", "", 1, false, 50*time.Millisecond, 100, 50, 0); err == nil {
+		t.Fatal("missing input should error")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.tup")
+	os.WriteFile(empty, []byte("# nothing\n"), 0o644) //nolint:errcheck
+	if err := replay(empty, "", "", "", 1, false, 50*time.Millisecond, 100, 50, 0); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestWriteFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full figure experiments")
+	}
+	dir := t.TempDir()
+	if err := writeFigures(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"fig1_scope_widget.png", "fig2_signal_params.png",
+		"fig3_control_params.png", "fig4_tcp.png", "fig5_ecn.png",
+	} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("figure %s missing: %v", name, err)
+		}
+	}
+}

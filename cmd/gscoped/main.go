@@ -1,0 +1,126 @@
+// Command gscoped is the scope server for distributed visualization
+// (§4.4): it listens for tuple streams from gscope clients, buffers them,
+// displays them on a scope with the configured delay, and optionally
+// records everything it receives. The rendered scope is written
+// periodically as a PNG and/or painted live as ANSI art.
+//
+// Usage:
+//
+//	gscoped -listen :7420 -signals cps,errps,tput -delay 200ms -png live.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/draw"
+	"repro/internal/glib"
+	"repro/internal/gtk"
+	"repro/internal/netscope"
+	"repro/internal/tuple"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7420", "address to listen on")
+		signals = flag.String("signals", "", "comma-separated BUFFER signal names to display")
+		delay   = flag.Duration("delay", 200*time.Millisecond, "buffered display delay")
+		period  = flag.Duration("period", 50*time.Millisecond, "polling period")
+		pngOut  = flag.String("png", "", "write the current frame to this PNG periodically")
+		rec     = flag.String("record", "", "record received tuples to this file")
+		ansi    = flag.Bool("ansi", false, "paint the scope as ANSI art on stdout")
+		width   = flag.Int("width", 600, "canvas width")
+		height  = flag.Int("height", 200, "canvas height")
+		runFor  = flag.Duration("for", 0, "exit after this long (0 = run forever)")
+		unixTS  = flag.Bool("unixtime", true, "treat incoming timestamps as Unix-epoch ms (clients stamp with a shared clock)")
+	)
+	flag.Parse()
+	if *signals == "" {
+		fmt.Fprintln(os.Stderr, "gscoped: -signals required, e.g. -signals cps,errps")
+		os.Exit(2)
+	}
+
+	loop := glib.NewLoop(glib.RealClock{})
+	scope := core.New(loop, "gscoped", *width, *height)
+	for _, name := range strings.Split(*signals, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := scope.AddSignal(core.Sig{Name: name, Kind: core.KindBuffer}); err != nil {
+			fatal(err)
+		}
+	}
+	scope.SetDelay(*delay)
+	if err := scope.SetPollingMode(*period); err != nil {
+		fatal(err)
+	}
+
+	srv := netscope.NewServer(loop)
+	srv.Attach(scope)
+	if *unixTS {
+		// Rebase shared-clock (Unix ms) stamps onto this scope's
+		// timeline, which began at process start.
+		origin := time.Now()
+		srv.MapTime = func(at time.Duration) time.Duration {
+			return at - time.Duration(origin.UnixNano())
+		}
+	}
+	if *rec != "" {
+		f, err := os.Create(*rec)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w := tuple.NewWriter(f)
+		w.Comment(fmt.Sprintf("gscoped recording, signals=%s", *signals)) //nolint:errcheck
+		srv.SetRecorder(w)
+	}
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "gscoped: listening on %s\n", addr)
+
+	widget := gtk.NewScopeWidget(scope)
+	if *ansi {
+		fmt.Print(draw.ANSIClear())
+	}
+	// Refresh output once a second on the same loop.
+	loop.TimeoutAdd(time.Second, func(int) bool {
+		if *pngOut != "" {
+			if err := widget.RenderFrame().WritePNG(*pngOut); err != nil {
+				fmt.Fprintln(os.Stderr, "gscoped:", err)
+			}
+		}
+		if *ansi {
+			fmt.Print(draw.ANSIHome())
+			widget.RenderFrame().WriteANSI(os.Stdout, draw.ANSIOptions{Scale: 3}) //nolint:errcheck
+			conns, _, recv, _ := srv.Stats()
+			fmt.Printf("%s  clients=%d recv=%d\n", widget.StatusLine(), conns, recv)
+		}
+		return true
+	})
+	if *runFor > 0 {
+		loop.TimeoutAdd(*runFor, func(int) bool {
+			loop.Quit()
+			return false
+		})
+	}
+	if err := scope.StartPolling(); err != nil {
+		fatal(err)
+	}
+	if err := loop.Run(); err != nil {
+		fatal(err)
+	}
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gscoped:", err)
+	os.Exit(1)
+}

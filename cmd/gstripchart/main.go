@@ -1,0 +1,95 @@
+// Command gstripchart runs the baseline the paper compares gscope against
+// (§5): a configuration-file driven stripchart that periodically reads
+// values out of files (e.g. /proc) and plots them. Unlike gscope it has
+// no programmatic interface — that contrast is the paper's point, and
+// this tool exists so the comparison can be experienced directly.
+//
+// Usage:
+//
+//	gstripchart -config chart.conf -period 500ms -for 10s -png chart.png
+//
+// Example configuration:
+//
+//	begin loadavg
+//	  filename /proc/loadavg
+//	  pattern  ^(\S+)
+//	  scale    100
+//	  range    0 400
+//	end
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/draw"
+	"repro/internal/glib"
+	"repro/internal/gtk"
+	"repro/internal/stripchart"
+)
+
+func main() {
+	var (
+		config = flag.String("config", "", "configuration file (required)")
+		period = flag.Duration("period", 500*time.Millisecond, "polling period")
+		runFor = flag.Duration("for", 10*time.Second, "how long to run (0 = forever)")
+		pngOut = flag.String("png", "", "write the final frame to this PNG")
+		ansi   = flag.Bool("ansi", false, "paint the chart as ANSI art each second")
+		width  = flag.Int("width", 600, "canvas width")
+		height = flag.Int("height", 200, "canvas height")
+	)
+	flag.Parse()
+	if *config == "" {
+		fmt.Fprintln(os.Stderr, "gstripchart: -config required; see -h")
+		os.Exit(2)
+	}
+	cfg, err := stripchart.LoadConfig(*config)
+	if err != nil {
+		fatal(err)
+	}
+
+	loop := glib.NewLoop(glib.RealClock{})
+	chart, err := stripchart.New(loop, cfg, *width, *height, *period)
+	if err != nil {
+		fatal(err)
+	}
+	widget := gtk.NewScopeWidget(chart.Scope())
+
+	if *ansi {
+		fmt.Print(draw.ANSIClear())
+		loop.TimeoutAdd(time.Second, func(int) bool {
+			fmt.Print(draw.ANSIHome())
+			widget.RenderFrame().WriteANSI(os.Stdout, draw.ANSIOptions{Scale: 3}) //nolint:errcheck
+			return true
+		})
+	}
+	if *runFor > 0 {
+		loop.TimeoutAdd(*runFor, func(int) bool {
+			loop.Quit()
+			return false
+		})
+	}
+	if err := chart.Start(); err != nil {
+		fatal(err)
+	}
+	if err := loop.Run(); err != nil {
+		fatal(err)
+	}
+	chart.Stop()
+	if *pngOut != "" {
+		if err := widget.RenderFrame().WritePNG(*pngOut); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *pngOut)
+	}
+	if n := chart.ReadErrors(); n > 0 {
+		fmt.Fprintf(os.Stderr, "gstripchart: %d read errors\n", n)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gstripchart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,159 @@
+// Command mxtraf runs the paper's network experiment (§2): elephants
+// through an emulated congested router, with the scope signals the paper
+// shows. It can regenerate Figures 4 and 5 as PNGs, record the signal
+// tuples to a file for later replay with cmd/gscope, and stream live
+// metrics to a gscoped server.
+//
+// Usage:
+//
+//	mxtraf -mode tcp -png fig4.png -record fig4.tup
+//	mxtraf -mode ecn -png fig5.png
+//	mxtraf -mode tcp -server 127.0.0.1:7420     # stream metrics to gscoped
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/figures"
+	"repro/internal/mxtraf"
+	"repro/internal/netscope"
+	"repro/internal/tuple"
+)
+
+func main() {
+	var (
+		mode   = flag.String("mode", "tcp", "tcp (DropTail, Figure 4) or ecn (RED/ECN, Figure 5)")
+		pngOut = flag.String("png", "", "write the final scope frame to this PNG")
+		rec    = flag.String("record", "", "record the displayed signals to this tuple file")
+		server = flag.String("server", "", "stream windowed metrics to a gscoped server at this address")
+		half   = flag.Duration("half", 15*time.Second, "duration of each half (8 then 16 elephants)")
+		period = flag.Duration("period", 50*time.Millisecond, "scope polling period")
+		seed   = flag.Int64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	ecn := false
+	switch *mode {
+	case "tcp":
+	case "ecn":
+		ecn = true
+	default:
+		fmt.Fprintln(os.Stderr, "mxtraf: -mode must be tcp or ecn")
+		os.Exit(2)
+	}
+
+	if *server != "" {
+		if err := streamMetrics(*server, ecn, *half, *period, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	cfg := figures.DefaultTCPExperiment(ecn)
+	cfg.HalfDuration = *half
+	cfg.Period = *period
+	cfg.Seed = *seed
+	res, err := figures.RunTCPExperiment(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res.Summary("mxtraf " + *mode))
+	if *pngOut != "" {
+		if err := res.Frame.WritePNG(*pngOut); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *pngOut)
+	}
+	if *rec != "" {
+		if err := recordRun(*rec, ecn, *half, *period, *seed); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *rec)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mxtraf:", err)
+	os.Exit(1)
+}
+
+// recordRun re-runs the experiment writing elephants/CWND tuples (§3.3).
+func recordRun(path string, ecn bool, half, period time.Duration, seed int64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := tuple.NewWriter(f)
+	w.Comment(fmt.Sprintf("mxtraf run ecn=%v half=%s period=%s seed=%d", ecn, half, period, seed)) //nolint:errcheck
+
+	var cfg mxtraf.Config
+	if ecn {
+		cfg = mxtraf.ECNConfig()
+	} else {
+		cfg = mxtraf.DefaultConfig()
+	}
+	cfg.Seed = seed
+	cfg.Net.Seed = seed
+	gen := mxtraf.New(cfg)
+	gen.SetElephants(8)
+	for now := time.Duration(0); now < 2*half; now += period {
+		if now >= half && gen.Elephants() < 16 {
+			gen.SetElephants(16)
+		}
+		gen.Sim().RunUntil(now + period)
+		at := (now + period).Milliseconds()
+		w.Write(tuple.Tuple{Time: at, Value: float64(gen.Elephants()), Name: "elephants"}) //nolint:errcheck
+		w.Write(tuple.Tuple{Time: at, Value: gen.ElephantCwnd(0), Name: "CWND"})           //nolint:errcheck
+	}
+	return w.Flush()
+}
+
+// streamMetrics runs the experiment in real time (scaled) and streams the
+// windowed metrics to a gscoped server — the distributed-visualization
+// deployment of §4.4.
+func streamMetrics(addr string, ecn bool, half, period time.Duration, seed int64) error {
+	client, err := netscope.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	var cfg mxtraf.Config
+	if ecn {
+		cfg = mxtraf.ECNConfig()
+	} else {
+		cfg = mxtraf.DefaultConfig()
+	}
+	cfg.Seed = seed
+	gen := mxtraf.New(cfg)
+	gen.SetElephants(8)
+	gen.StartMice(20)
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "mxtraf: streaming to %s for %s\n", addr, 2*half)
+	for now := time.Duration(0); now < 2*half; now += period {
+		if now >= half && gen.Elephants() < 16 {
+			gen.SetElephants(16)
+		}
+		gen.Sim().RunUntil(now + period)
+		m := gen.Snapshot()
+		if sleep := now + period - time.Since(start); sleep > 0 {
+			time.Sleep(sleep)
+		}
+		// Stamp with the shared wall clock (Unix epoch) so the server
+		// can correlate data from multiple machines (§4.4; gscoped
+		// rebases these onto its own timeline).
+		at := time.Duration(time.Now().UnixNano())
+		client.Send(at, "cwnd", gen.ElephantCwnd(0))       //nolint:errcheck
+		client.Send(at, "cps", m.ConnsPerSec)              //nolint:errcheck
+		client.Send(at, "errps", m.ErrorsPerSec)           //nolint:errcheck
+		client.Send(at, "tput", m.ThroughputBps/1e6)       //nolint:errcheck
+		client.Send(at, "latency", m.LatencyMs)            //nolint:errcheck
+		client.Send(at, "elephants", float64(m.Elephants)) //nolint:errcheck
+	}
+	return client.Flush()
+}

@@ -1,0 +1,94 @@
+// Distributed demonstrates the client/server visualization library (§4.4):
+// a gscope server displays BUFFER signals streamed over TCP by two clients
+// — the same structure the paper uses to correlate client, server and
+// network behaviour of mxtraf on a single scope. Everything runs in one
+// process over localhost, but the three parties share nothing except the
+// socket and a time origin, exactly as separate machines would.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	gscope "repro"
+	"repro/internal/gtk"
+	"repro/internal/netscope"
+)
+
+func main() {
+	loop := gscope.NewLoop(nil) // real clock
+
+	// The server side: a scope with two BUFFER signals displayed with a
+	// 200 ms delay (late data is dropped).
+	scope := gscope.New(loop, "distributed", 600, 200)
+	for _, name := range []string{"client-a", "client-b"} {
+		if _, err := scope.AddSignal(gscope.Sig{Name: name, Kind: gscope.KindBuffer}); err != nil {
+			fatal(err)
+		}
+	}
+	scope.SetDelay(200 * time.Millisecond)
+	if err := scope.SetPollingMode(50 * time.Millisecond); err != nil {
+		fatal(err)
+	}
+
+	srv := netscope.NewServer(loop)
+	srv.Attach(scope)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println("server listening on", addr)
+
+	// Two clients streaming from their own goroutines ("machines"),
+	// stamping samples against the shared origin.
+	origin := time.Now()
+	for i, name := range []string{"client-a", "client-b"} {
+		i, name := i, name
+		go func() {
+			c, err := netscope.Dial(addr.String())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, name, err)
+				return
+			}
+			defer c.Close()
+			tick := time.NewTicker(25 * time.Millisecond)
+			defer tick.Stop()
+			for range tick.C {
+				at := time.Since(origin)
+				if at > 3*time.Second {
+					return
+				}
+				v := 50 + 40*math.Sin(2*math.Pi*at.Seconds()/(1.5+float64(i)))
+				c.Send(at, name, v) //nolint:errcheck
+			}
+		}()
+	}
+
+	if err := scope.StartPolling(); err != nil {
+		fatal(err)
+	}
+	loop.TimeoutAdd(3500*time.Millisecond, func(int) bool {
+		loop.Quit()
+		return false
+	})
+	if err := loop.Run(); err != nil {
+		fatal(err)
+	}
+	srv.Close()
+
+	frame := gtk.NewScopeWidget(scope).RenderFrame()
+	if err := frame.WritePNG("distributed.png"); err != nil {
+		fatal(err)
+	}
+	_, _, received, _ := srv.Stats()
+	pushed, dropped := scope.Feed().Stats()
+	fmt.Printf("received %d tuples (%d buffered, %d dropped late)\n", received, pushed, dropped)
+	fmt.Println("wrote distributed.png")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distributed:", err)
+	os.Exit(1)
+}

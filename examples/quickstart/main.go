@@ -1,0 +1,97 @@
+// Quickstart mirrors the paper's Figure 6 sample program line for line: a
+// scope is created, the elephants signal (an integer word of memory) is
+// added, polling mode is set to 50 ms, polling starts, an I/O-driven
+// callback mutates the signal, and the main loop runs. Instead of an X11
+// window the frame is written to quickstart.png at the end and painted in
+// the terminal.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	gscope "repro"
+	"repro/internal/draw"
+	"repro/internal/gtk"
+)
+
+func main() {
+	// main() of Figure 6:
+	loop := gscope.NewLoop(nil) // real clock, like gtk_main's loop
+
+	// scope = gtk_scope_new(name, width, height);
+	scope := gscope.New(loop, "quickstart", 600, 200)
+
+	// GtkScopeSig elephants_sig = { name: "elephants",
+	//                               signal: {type: INTEGER, {i: &elephants}},
+	//                               min: 0, max: 40 };
+	var elephants gscope.IntVar
+	if _, err := scope.AddSignal(gscope.Sig{
+		Name:   "elephants",
+		Source: &elephants,
+		Min:    0, Max: 40,
+	}); err != nil {
+		fatal(err)
+	}
+	// A second, FUNC-typed signal showing arbitrary data acquisition.
+	start := time.Now()
+	if _, err := scope.AddSignal(gscope.Sig{
+		Name: "load",
+		Source: gscope.FuncSource(func() float64 {
+			t := time.Since(start).Seconds()
+			return 50 + 45*math.Sin(2*math.Pi*t/3)
+		}),
+	}); err != nil {
+		fatal(err)
+	}
+
+	// gtk_scope_set_polling_mode(scope, 50); /* 50 ms */
+	if err := scope.SetPollingMode(50 * time.Millisecond); err != nil {
+		fatal(err)
+	}
+	// gtk_scope_start_polling(scope);
+	if err := scope.StartPolling(); err != nil {
+		fatal(err)
+	}
+
+	// g_io_add_watch(..., read_program, fd): here the "control channel"
+	// is a timer that changes the elephants count the way mxtraf's
+	// control connection would.
+	phase := 0
+	loop.TimeoutAdd(500*time.Millisecond, func(int) bool {
+		counts := []int64{8, 8, 12, 16, 16, 10, 4}
+		elephants.Store(counts[phase%len(counts)])
+		phase++
+		return true
+	})
+
+	// Stop after three seconds of real time, then "screenshot".
+	loop.TimeoutAdd(3*time.Second, func(int) bool {
+		loop.Quit()
+		return false
+	})
+
+	// gtk_main();
+	if err := loop.Run(); err != nil {
+		fatal(err)
+	}
+
+	widget := gtk.NewScopeWidget(scope)
+	frame := widget.RenderFrame()
+	if err := frame.WritePNG("quickstart.png"); err != nil {
+		fatal(err)
+	}
+	if err := frame.WriteANSI(os.Stdout, draw.ANSIOptions{Scale: 4}); err != nil {
+		fatal(err)
+	}
+	st := scope.Stats()
+	fmt.Printf("\nwrote quickstart.png — polls=%d lostTicks=%d elephants=%d\n",
+		st.Polls, st.LostTicks, elephants.Load())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "quickstart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+// Scheduler visualizes the real-rate proportion-period CPU scheduler
+// (reference [19] of the paper) the way the authors did: "we use gscope to
+// view dynamically changing process proportions as assigned by a CPU
+// proportion-period scheduler... These proportions are assigned at the
+// granularity of the process period and we set the scope polling period to
+// be the same as the process period" (§4.2, Periodic Signals).
+//
+// Two media pipelines run under the scheduler: frames arrive from I/O at a
+// fixed real rate and CPU-bound decoders must keep up, so each decoder's
+// proportion is pinned by its stream's real-rate requirement. Mid-run the
+// video decoder's work doubles (a complex scene) and its proportion
+// visibly doubles while audio is undisturbed. The scope polls at the
+// process period; the final frame is written to scheduler.png.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	gscope "repro"
+	"repro/internal/gtk"
+	"repro/internal/sched"
+)
+
+func main() {
+	const period = 10 * time.Millisecond // process period == polling period
+
+	s := sched.NewScheduler()
+	videoQ := s.AddQueue(sched.NewQueue("video.q", 120))
+	audioQ := s.AddQueue(sched.NewQueue("audio.q", 120))
+	s.AddProcess(&sched.Process{Name: "video.src", Role: sched.Arrival, Rate: 30, Out: videoQ})
+	s.AddProcess(&sched.Process{Name: "audio.src", Role: sched.Arrival, Rate: 50, Out: audioQ})
+	video := s.AddProcess(&sched.Process{
+		Name: "video.dec", Role: sched.Consumer, Rate: 100, Period: period, In: videoQ,
+	})
+	audio := s.AddProcess(&sched.Process{
+		Name: "audio.dec", Role: sched.Consumer, Rate: 400, Period: period, In: audioQ,
+	})
+
+	// Deterministic scope on a virtual clock, stepped in lockstep with
+	// the scheduler.
+	clock := gscope.NewVirtualClock(time.Unix(0, 0))
+	loop := gscope.NewLoopGranularity(clock, 0)
+	scope := gscope.New(loop, "proportion-period scheduler", 600, 200)
+
+	add := func(name string, fn func() float64) {
+		if _, err := scope.AddSignal(gscope.Sig{
+			Name:   name,
+			Source: gscope.FuncSource(fn),
+			Min:    0, Max: 100,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	add("video.proportion", func() float64 { return video.Proportion() * 100 })
+	add("audio.proportion", func() float64 { return audio.Proportion() * 100 })
+	add("video.q fill%", videoQ.FillPct)
+	add("audio.q fill%", audioQ.FillPct)
+
+	if err := scope.SetPollingMode(period); err != nil {
+		fatal(err)
+	}
+	if err := scope.StartPolling(); err != nil {
+		fatal(err)
+	}
+
+	total := 16 * time.Second
+	for t := time.Duration(0); t < total; t += period {
+		if t == total/2 {
+			// Decoding a frame becomes twice as expensive: the video
+			// decoder's real-rate share must double, 30% -> 60%.
+			video.Rate = 50
+			fmt.Printf("t=%v: video decode cost doubled (rate 100 -> 50/s)\n", t)
+		}
+		s.Step(period)
+		loop.Advance(period)
+	}
+
+	frame := gtk.NewScopeWidget(scope).RenderFrame()
+	if err := frame.WritePNG("scheduler.png"); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("final proportions: video=%.2f (real-rate need 0.60) audio=%.2f (need 0.125), total=%.2f\n",
+		video.Proportion(), audio.Proportion(), s.TotalProportion())
+	fmt.Printf("queues: video %.0f%%, audio %.0f%%\n", videoQ.FillPct(), audioQ.FillPct())
+	fmt.Println("wrote scheduler.png")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scheduler:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,56 @@
+// Tcpecn reproduces the paper's headline experiment (§2, Figures 4 and 5):
+// mxtraf elephants through an emulated congested wide-area router, the flow
+// count switched from 8 to 16 half way, with the elephants and CWND
+// signals on a gscope. It runs both the DropTail/TCP and the RED/ECN
+// variants, writes fig4_tcp.png and fig5_ecn.png, and prints the timeout
+// comparison the paper draws its conclusion from.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	fmt.Println("running the Figure 4 experiment (DropTail, TCP)...")
+	tcp, err := figures.Figure4()
+	if err != nil {
+		fatal(err)
+	}
+	if err := tcp.Frame.WritePNG("fig4_tcp.png"); err != nil {
+		fatal(err)
+	}
+	fmt.Println(" ", tcp.Summary("TCP"))
+
+	fmt.Println("running the Figure 5 experiment (RED, ECN)...")
+	ecn, err := figures.Figure5()
+	if err != nil {
+		fatal(err)
+	}
+	if err := ecn.Frame.WritePNG("fig5_ecn.png"); err != nil {
+		fatal(err)
+	}
+	fmt.Println(" ", ecn.Summary("ECN"))
+
+	fmt.Println()
+	fmt.Println("paper's observation: both TCP and ECN reduce CWND to one on a")
+	fmt.Println("timeout; the graphs show that while ECN does not hit this value,")
+	fmt.Println("TCP hits it several times.")
+	fmt.Printf("reproduced: TCP cwnd-floor hits=%d, ECN cwnd-floor hits=%d\n",
+		tcp.CwndMin1Hits, ecn.CwndMin1Hits)
+	fmt.Printf("            TCP timeouts=%d,      ECN timeouts=%d\n",
+		tcp.TotalTimeouts, ecn.TotalTimeouts)
+	fmt.Println("wrote fig4_tcp.png and fig5_ecn.png")
+
+	if tcp.CwndMin1Hits == 0 || ecn.CwndMin1Hits != 0 {
+		fmt.Println("WARNING: shape does not match the paper")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tcpecn:", err)
+	os.Exit(1)
+}

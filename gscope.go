@@ -1,0 +1,187 @@
+// Package gscope is a Go reproduction of the gscope library described in
+// "Gscope: A Visualization Tool for Time-Sensitive Software" (Goel &
+// Walpole, FREENIX Track, USENIX ATC 2002). It provides an
+// oscilloscope-like display that applications integrate directly: signals
+// are polled words of memory, functions, aggregated events or timestamped
+// buffered samples; the scope displays them in real time (or replays
+// recordings), supports control parameters, records and streams signal data
+// in a textual tuple format, and visualizes distributed applications
+// through a client/server library.
+//
+// The package is a thin facade over internal/core (the scope engine),
+// internal/glib (the event loop), internal/gtk (the widget toolkit) and
+// internal/netscope (streaming); it re-exports the types an application
+// needs so typical programs import only this package:
+//
+//	loop := gscope.NewLoop(nil)
+//	scope := gscope.New(loop, "demo", 640, 280)
+//
+//	var elephants gscope.IntVar
+//	scope.AddSignal(gscope.Sig{Name: "elephants", Source: &elephants, Max: 40})
+//
+//	scope.SetPollingMode(50 * time.Millisecond)
+//	scope.StartPolling()
+//	loop.Run()
+//
+// which mirrors the paper's Figure 6 program line for line.
+package gscope
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/draw"
+	"repro/internal/glib"
+)
+
+// Re-exported engine types. See the internal/core documentation for
+// details; these aliases exist so applications program against a single
+// package, the way C applications programmed against gscope.h.
+type (
+	// Scope is a software oscilloscope (the paper's GtkScope).
+	Scope = core.Scope
+	// Signal is the runtime state of one displayed signal.
+	Signal = core.Signal
+	// Sig is a signal specification (the paper's GtkScopeSig).
+	Sig = core.Sig
+	// Kind enumerates signal types (INTEGER, BOOLEAN, ...).
+	Kind = core.Kind
+	// Source yields sampling points for unbuffered signals.
+	Source = core.Source
+	// FuncSource adapts a function to a Source (the FUNC type).
+	FuncSource = core.FuncSource
+	// IntVar is a pollable integer word.
+	IntVar = core.IntVar
+	// BoolVar is a pollable boolean word.
+	BoolVar = core.BoolVar
+	// ShortVar is a pollable 16-bit word.
+	ShortVar = core.ShortVar
+	// FloatVar is a pollable float word.
+	FloatVar = core.FloatVar
+	// Aggregator selects an event-aggregation function (§4.2).
+	Aggregator = core.Aggregator
+	// LineMode selects the trace drawing style.
+	LineMode = core.LineMode
+	// Mode is the acquisition mode (polling or playback).
+	Mode = core.Mode
+	// Domain selects time- or frequency-domain display.
+	Domain = core.Domain
+	// Trigger stabilizes repeating waveforms (§6 extension).
+	Trigger = core.Trigger
+	// Param is a read/write control parameter (the paper's
+	// GtkScopeParameter).
+	Param = core.Param
+	// ParamSet is the application-wide control-parameter registry.
+	ParamSet = core.ParamSet
+	// Feed is the scope-wide buffered-signal queue.
+	Feed = core.Feed
+	// Trace is a signal's displayed sample history.
+	Trace = core.Trace
+	// Stats holds scope activity counters.
+	Stats = core.Stats
+
+	// Loop is the event loop scopes attach to (the glib main loop).
+	Loop = glib.Loop
+	// Clock abstracts time for deterministic testing.
+	Clock = glib.Clock
+	// VirtualClock is a manually advanced clock.
+	VirtualClock = glib.VirtualClock
+	// RealClock reads the wall clock.
+	RealClock = glib.RealClock
+	// SourceID identifies an attached loop source.
+	SourceID = glib.SourceID
+
+	// RGB is a trace/display color.
+	RGB = draw.RGB
+	// Surface is a raster canvas for snapshots.
+	Surface = draw.Surface
+)
+
+// Signal kinds (§3.1).
+const (
+	KindInteger = core.KindInteger
+	KindBoolean = core.KindBoolean
+	KindShort   = core.KindShort
+	KindFloat   = core.KindFloat
+	KindFunc    = core.KindFunc
+	KindBuffer  = core.KindBuffer
+)
+
+// Aggregation functions (§4.2).
+const (
+	AggNone     = core.AggNone
+	AggMax      = core.AggMax
+	AggMin      = core.AggMin
+	AggSum      = core.AggSum
+	AggRate     = core.AggRate
+	AggAverage  = core.AggAverage
+	AggEvents   = core.AggEvents
+	AggAnyEvent = core.AggAnyEvent
+)
+
+// Line modes.
+const (
+	LineSolid  = core.LineSolid
+	LinePoints = core.LinePoints
+	LineFilled = core.LineFilled
+)
+
+// Acquisition modes.
+const (
+	ModeStopped  = core.ModeStopped
+	ModePolling  = core.ModePolling
+	ModePlayback = core.ModePlayback
+)
+
+// Display domains.
+const (
+	TimeDomain = core.TimeDomain
+	FreqDomain = core.FreqDomain
+)
+
+// DefaultPeriod is the paper's example 50 ms polling period.
+const DefaultPeriod = core.DefaultPeriod
+
+// DefaultTickGranularity is the modeled kernel timer tick (10 ms, §4.5).
+const DefaultTickGranularity = glib.DefaultTickGranularity
+
+// NewLoop creates an event loop on the given clock (nil for the real
+// clock).
+func NewLoop(clock Clock) *Loop { return glib.NewLoop(clock) }
+
+// NewVirtualClock returns a manually advanced clock positioned at start,
+// for deterministic scopes.
+func NewVirtualClock(start time.Time) *VirtualClock { return glib.NewVirtualClock(start) }
+
+// NewLoopGranularity creates a loop with an explicit timer tick quantum;
+// a granularity of 0 gives ideal (unquantized) timers.
+func NewLoopGranularity(clock Clock, g time.Duration) *Loop {
+	return glib.NewLoop(clock, glib.WithGranularity(g))
+}
+
+// New creates a scope named name with a width×height canvas attached to
+// loop, like the paper's gtk_scope_new.
+func New(loop *Loop, name string, width, height int) *Scope {
+	return core.New(loop, name, width, height)
+}
+
+// NewParams returns an empty control-parameter registry.
+func NewParams() *ParamSet { return core.NewParamSet() }
+
+// IntParam builds a Param backed by an IntVar.
+func IntParam(name string, v *IntVar, minVal, maxVal int64) *Param {
+	return core.IntParam(name, v, minVal, maxVal)
+}
+
+// FloatParam builds a Param backed by a FloatVar.
+func FloatParam(name string, v *FloatVar, minVal, maxVal float64) *Param {
+	return core.FloatParam(name, v, minVal, maxVal)
+}
+
+// BoolParam builds a Param backed by a BoolVar.
+func BoolParam(name string, v *BoolVar) *Param { return core.BoolParam(name, v) }
+
+// FuncWithArgs reproduces the paper's two-argument FUNC signal signature.
+func FuncWithArgs(fn func(arg1, arg2 any) float64, arg1, arg2 any) FuncSource {
+	return core.FuncWithArgs(fn, arg1, arg2)
+}

@@ -1,0 +1,227 @@
+package gscope
+
+// Cross-module integration tests: the full pipelines a gscope deployment
+// exercises — live experiment → record → replay → identical picture, and
+// remote client → TCP → server scope → display.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/figures"
+	"repro/internal/glib"
+	"repro/internal/gtk"
+	"repro/internal/mxtraf"
+	"repro/internal/netscope"
+	"repro/internal/tuple"
+)
+
+// TestRecordReplayPipeline runs the mxtraf experiment with a recorder
+// attached, replays the recording into a second scope, and checks the
+// replayed CWND trace matches what was displayed live — the §3.3 promise
+// that a recorded file reproduces the session.
+func TestRecordReplayPipeline(t *testing.T) {
+	gen := mxtraf.New(mxtraf.DefaultConfig())
+	rig := figures.NewRig("live", 300, 120)
+	sc := rig.Scope
+
+	cwnd := core.FuncSource(func() float64 { return gen.ElephantCwnd(0) })
+	liveSig, err := sc.AddSignal(core.Sig{Name: "CWND", Source: cwnd, Max: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec bytes.Buffer
+	sc.SetRecorder(&rec)
+	period := 50 * time.Millisecond
+	if err := sc.SetPollingMode(period); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.StartPolling(); err != nil {
+		t.Fatal(err)
+	}
+	gen.SetElephants(4)
+	for now := time.Duration(0); now < 5*time.Second; now += period {
+		gen.Sim().RunUntil(now + period)
+		rig.Loop.Advance(period)
+	}
+	sc.Stop()
+	sc.FlushRecorder() //nolint:errcheck
+
+	tuples, err := tuple.NewReader(&rec, true).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 100 {
+		t.Fatalf("recorded %d tuples, want 100 (5s at 50ms)", len(tuples))
+	}
+
+	// Replay into a second scope.
+	rig2 := figures.NewRig("replay", 300, 120)
+	replaySig, err := rig2.Scope.AddSignal(core.Sig{Name: "CWND", Kind: core.KindBuffer, Max: 44})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rig2.Scope.SetPlaybackMode(tuples, period); err != nil {
+		t.Fatal(err)
+	}
+	if err := rig2.Scope.StartPlayback(); err != nil {
+		t.Fatal(err)
+	}
+	rig2.Loop.Advance(10 * time.Second)
+
+	live := liveSig.Trace().RecentValues(100)
+	replayed := replaySig.Trace().RecentValues(100)
+	if len(live) != len(replayed) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(live), len(replayed))
+	}
+	for i := range live {
+		if live[i] != replayed[i] {
+			t.Fatalf("sample %d: live %v, replayed %v", i, live[i], replayed[i])
+		}
+	}
+}
+
+// TestStreamingPipeline runs the §4.4 deployment end to end over real
+// TCP: an instrumented "application machine" streams metrics tuples to a
+// scope server, which displays them after the configured delay and
+// renders a frame containing the traces.
+func TestStreamingPipeline(t *testing.T) {
+	vc := glib.NewVirtualClock(time.Unix(0, 0))
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	scope := core.New(loop, "server", 300, 120)
+	for _, name := range []string{"cwnd", "tput"} {
+		if _, err := scope.AddSignal(core.Sig{Name: name, Kind: core.KindBuffer, Max: 50}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	scope.SetDelay(100 * time.Millisecond)
+	if err := scope.SetPollingMode(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	srv := netscope.NewServer(loop)
+	srv.Attach(scope)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The remote side: an mxtraf run streaming snapshots.
+	client, err := netscope.Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	gen := mxtraf.New(mxtraf.DefaultConfig())
+	gen.SetElephants(2)
+	for now := time.Duration(0); now < 3*time.Second; now += 50 * time.Millisecond {
+		gen.Sim().RunUntil(now + 50*time.Millisecond)
+		m := gen.Snapshot()
+		at := now + 50*time.Millisecond
+		client.Send(at, "cwnd", gen.ElephantCwnd(0))   //nolint:errcheck
+		client.Send(at, "tput", m.ThroughputBps/1e6*4) //nolint:errcheck
+	}
+	if err := client.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Pump the loop until the server has ingested everything.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, _, recv, _ := srv.Stats()
+		if recv >= 120 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server ingested only %d tuples", recv)
+		}
+		loop.Iterate()
+		time.Sleep(time.Millisecond)
+	}
+	if err := scope.StartPolling(); err != nil {
+		t.Fatal(err)
+	}
+	loop.Advance(4 * time.Second)
+
+	for _, name := range []string{"cwnd", "tput"} {
+		sig := scope.Signal(name)
+		if _, ok := sig.Trace().Last(); !ok {
+			t.Fatalf("signal %s never displayed", name)
+		}
+	}
+	frame := gtk.NewScopeWidget(scope).RenderFrame()
+	if frame.W == 0 {
+		t.Fatal("no frame")
+	}
+	pushed, dropped := scope.Feed().Stats()
+	if pushed < 120 {
+		t.Fatalf("feed pushed=%d", pushed)
+	}
+	if dropped != 0 {
+		t.Fatalf("unexpectedly dropped %d on-time samples", dropped)
+	}
+}
+
+// TestViewerFileRoundTrip exercises the cmd/gscope workflow through the
+// library: record a session to a real file, read it back strictly, replay.
+func TestViewerFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "session.tup")
+
+	rig := figures.NewRig("rec", 200, 80)
+	var v core.IntVar
+	if _, err := rig.Scope.AddSignal(core.Sig{Name: "x", Source: &v}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.Scope.SetRecorder(f)
+	rig.Scope.SetPollingMode(20 * time.Millisecond) //nolint:errcheck
+	rig.Scope.StartPolling()                        //nolint:errcheck
+	for i := 0; i < 50; i++ {
+		v.Store(int64(i))
+		rig.Loop.Advance(20 * time.Millisecond)
+	}
+	rig.Scope.Stop()
+	rig.Scope.FlushRecorder() //nolint:errcheck
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	tuples, err := tuple.NewReader(rf, true).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 50 {
+		t.Fatalf("file holds %d tuples", len(tuples))
+	}
+	names := tuple.Names(tuples)
+	if len(names) != 1 || names[0] != "x" {
+		t.Fatalf("names = %v", names)
+	}
+
+	rig2 := figures.NewRig("play", 200, 80)
+	sig, err := rig2.Scope.AddSignal(core.Sig{Name: "x", Kind: core.KindBuffer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rig2.Scope.SetPlaybackMode(tuples, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	rig2.Scope.StartPlayback() //nolint:errcheck
+	rig2.Loop.Advance(5 * time.Second)
+	vals := sig.Trace().RecentValues(100)
+	if len(vals) != 50 || vals[0] != 0 || vals[49] != 49 {
+		t.Fatalf("replayed %d values, first=%v last=%v", len(vals), vals[0], vals[len(vals)-1])
+	}
+}

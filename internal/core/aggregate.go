@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// Aggregator selects one of the paper's event-aggregation functions (§4.2):
+// instead of sampling a memory word, the signal's value for each polling
+// interval is computed from the events the application pushed during that
+// interval. The paper's examples are network-flavoured: Max/Min latency,
+// Sum of bytes, Rate in bytes/second, Average bytes per packet, Events as a
+// packet count, AnyEvent as an arrival flag.
+type Aggregator int
+
+// Aggregation functions.
+const (
+	// AggNone disables aggregation; the signal polls its Source.
+	AggNone Aggregator = iota
+	// AggMax displays the maximum event sample in the interval.
+	AggMax
+	// AggMin displays the minimum event sample in the interval.
+	AggMin
+	// AggSum displays the sum of event samples.
+	AggSum
+	// AggRate displays the sum divided by the polling period in seconds.
+	AggRate
+	// AggAverage displays the sum divided by the number of events.
+	AggAverage
+	// AggEvents displays the number of events.
+	AggEvents
+	// AggAnyEvent displays 1 if any event arrived, else 0.
+	AggAnyEvent
+)
+
+// String names the aggregator.
+func (a Aggregator) String() string {
+	switch a {
+	case AggNone:
+		return "none"
+	case AggMax:
+		return "max"
+	case AggMin:
+		return "min"
+	case AggSum:
+		return "sum"
+	case AggRate:
+		return "rate"
+	case AggAverage:
+		return "average"
+	case AggEvents:
+		return "events"
+	case AggAnyEvent:
+		return "anyevent"
+	default:
+		return fmt.Sprintf("Aggregator(%d)", int(a))
+	}
+}
+
+// accumulator collects events between polls. Applications may push events
+// from any goroutine, so access is locked.
+type accumulator struct {
+	mu    sync.Mutex
+	count int64
+	sum   float64
+	max   float64
+	min   float64
+}
+
+// add records one event sample.
+func (ac *accumulator) add(v float64) {
+	ac.mu.Lock()
+	if ac.count == 0 {
+		ac.max, ac.min = v, v
+	} else {
+		if v > ac.max {
+			ac.max = v
+		}
+		if v < ac.min {
+			ac.min = v
+		}
+	}
+	ac.count++
+	ac.sum += v
+	ac.mu.Unlock()
+}
+
+// take computes the aggregate for the interval and resets the accumulator.
+// For Max/Min/Average an empty interval yields ok=false so the scope leaves
+// the trace holding its previous value (sample-and-hold semantics); for the
+// counting aggregates an empty interval is a legitimate zero.
+func (ac *accumulator) take(a Aggregator, period time.Duration) (float64, bool) {
+	ac.mu.Lock()
+	count, sum, maxv, minv := ac.count, ac.sum, ac.max, ac.min
+	ac.count, ac.sum, ac.max, ac.min = 0, 0, 0, 0
+	ac.mu.Unlock()
+
+	switch a {
+	case AggMax:
+		if count == 0 {
+			return 0, false
+		}
+		return maxv, true
+	case AggMin:
+		if count == 0 {
+			return 0, false
+		}
+		return minv, true
+	case AggSum:
+		return sum, true
+	case AggRate:
+		sec := period.Seconds()
+		if sec <= 0 {
+			return 0, false
+		}
+		return sum / sec, true
+	case AggAverage:
+		if count == 0 {
+			return 0, false
+		}
+		return sum / float64(count), true
+	case AggEvents:
+		return float64(count), true
+	case AggAnyEvent:
+		if count > 0 {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return math.NaN(), false
+	}
+}
+
+// pending reports the number of events currently accumulated (for tests and
+// the stats display).
+func (ac *accumulator) pending() int64 {
+	ac.mu.Lock()
+	defer ac.mu.Unlock()
+	return ac.count
+}

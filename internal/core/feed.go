@@ -1,0 +1,106 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// Feed is the scope-wide buffer behind BUFFER signals (§3.1, §4.4):
+// applications (or the network server) enqueue timestamped samples from any
+// goroutine; the scope drains samples whose timestamps have aged past the
+// user-specified display delay at each poll. A sample that arrives after
+// the scope has already displayed its timestamp window is dropped
+// immediately and counted, matching the paper's late-data rule.
+type Feed struct {
+	mu        sync.Mutex
+	pending   []tuple.Tuple
+	displayed time.Duration // high-water mark of drained sample time
+	started   bool
+	pushed    int64
+	dropped   int64
+}
+
+// NewFeed returns an empty feed.
+func NewFeed() *Feed { return &Feed{} }
+
+// Push enqueues a timestamped sample for the named BUFFER signal. It
+// returns false when the sample arrived too late (its timestamp has already
+// been displayed) and was dropped.
+func (f *Feed) Push(at time.Duration, name string, v float64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pushed++
+	if f.started && at <= f.displayed {
+		f.dropped++
+		return false
+	}
+	f.pending = append(f.pending, tuple.Tuple{
+		Time:  at.Milliseconds(),
+		Value: v,
+		Name:  name,
+	})
+	return true
+}
+
+// PushTuple enqueues an already-encoded tuple (used by the streaming
+// server).
+func (f *Feed) PushTuple(t tuple.Tuple) bool {
+	return f.Push(t.Timestamp(), t.Name, t.Value)
+}
+
+// Take removes and returns, in timestamp order, every pending sample whose
+// time is at or before upTo. It advances the displayed high-water mark to
+// upTo, so samples for that window arriving later will be dropped.
+func (f *Feed) Take(upTo time.Duration) []tuple.Tuple {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.started = true
+	if upTo > f.displayed {
+		f.displayed = upTo
+	}
+	if len(f.pending) == 0 {
+		return nil
+	}
+	// Partition in place: keep tuples newer than upTo.
+	var out []tuple.Tuple
+	keep := f.pending[:0]
+	for _, t := range f.pending {
+		if t.Timestamp() <= upTo {
+			out = append(out, t)
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	f.pending = keep
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Pending returns the number of buffered samples not yet displayed.
+func (f *Feed) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pending)
+}
+
+// Stats returns the lifetime counters: samples pushed and samples dropped
+// for arriving late.
+func (f *Feed) Stats() (pushed, dropped int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.pushed, f.dropped
+}
+
+// Reset clears the feed and its high-water mark.
+func (f *Feed) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pending = nil
+	f.displayed = 0
+	f.started = false
+	f.pushed = 0
+	f.dropped = 0
+}

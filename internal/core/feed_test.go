@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func TestFeedPushTake(t *testing.T) {
+	f := NewFeed()
+	f.Push(ms(10), "a", 1)
+	f.Push(ms(30), "b", 2)
+	f.Push(ms(20), "a", 3)
+	got := f.Take(ms(25))
+	if len(got) != 2 {
+		t.Fatalf("Take returned %d tuples", len(got))
+	}
+	// Timestamp order regardless of arrival order.
+	if got[0].Time != 10 || got[1].Time != 20 {
+		t.Fatalf("Take order: %+v", got)
+	}
+	if f.Pending() != 1 {
+		t.Fatalf("Pending = %d", f.Pending())
+	}
+}
+
+func TestFeedDropsLate(t *testing.T) {
+	f := NewFeed()
+	f.Take(ms(100))
+	if f.Push(ms(100), "a", 1) {
+		t.Fatal("sample at the high-water mark should be dropped")
+	}
+	if f.Push(ms(50), "a", 1) {
+		t.Fatal("older sample should be dropped")
+	}
+	if !f.Push(ms(101), "a", 1) {
+		t.Fatal("newer sample should be accepted")
+	}
+	pushed, dropped := f.Stats()
+	if pushed != 3 || dropped != 2 {
+		t.Fatalf("stats = %d/%d", pushed, dropped)
+	}
+}
+
+func TestFeedNoDropBeforeFirstTake(t *testing.T) {
+	// Until the scope displays anything, even time-zero samples are
+	// accepted.
+	f := NewFeed()
+	if !f.Push(0, "a", 1) {
+		t.Fatal("pre-display sample dropped")
+	}
+}
+
+func TestFeedReset(t *testing.T) {
+	f := NewFeed()
+	f.Push(ms(10), "a", 1)
+	f.Take(ms(50))
+	f.Reset()
+	if !f.Push(ms(10), "a", 1) {
+		t.Fatal("Reset should clear the high-water mark")
+	}
+	if f.Pending() != 1 {
+		t.Fatal("Reset should clear pending")
+	}
+}
+
+func TestFeedTakeEmptyWindow(t *testing.T) {
+	f := NewFeed()
+	f.Push(ms(100), "a", 1)
+	if got := f.Take(ms(50)); got != nil {
+		t.Fatalf("early Take returned %v", got)
+	}
+	if f.Pending() != 1 {
+		t.Fatal("early Take consumed a pending sample")
+	}
+}
+
+// Property: every accepted sample is returned by exactly one Take, in
+// timestamp order, and never after its window has passed.
+func TestFeedExactlyOnceDelivery(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	f := func() bool {
+		feed := NewFeed()
+		accepted := 0
+		delivered := 0
+		cursor := 0
+		for round := 0; round < 20; round++ {
+			// Push a burst with random timestamps around the cursor.
+			for i := 0; i < r.Intn(5); i++ {
+				at := cursor + r.Intn(60) - 20
+				if at < 0 {
+					at = 0
+				}
+				if feed.Push(ms(at), "x", float64(at)) {
+					accepted++
+				}
+			}
+			cursor += 10 + r.Intn(20)
+			batch := feed.Take(ms(cursor))
+			last := int64(-1)
+			for _, tu := range batch {
+				if tu.Time < last {
+					return false // out of order
+				}
+				if tu.Time > int64(cursor) {
+					return false // delivered beyond the window
+				}
+				last = tu.Time
+				delivered++
+			}
+		}
+		// Drain the rest.
+		delivered += len(feed.Take(ms(1 << 20)))
+		return delivered == accepted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeedConcurrentPush(t *testing.T) {
+	f := NewFeed()
+	done := make(chan int, 4)
+	for g := 0; g < 4; g++ {
+		g := g
+		go func() {
+			n := 0
+			for i := 0; i < 1000; i++ {
+				if f.Push(ms(g*1000+i), "x", 1) {
+					n++
+				}
+			}
+			done <- n
+		}()
+	}
+	total := 0
+	for i := 0; i < 4; i++ {
+		total += <-done
+	}
+	got := len(f.Take(ms(1 << 20)))
+	if got != total {
+		t.Fatalf("delivered %d of %d accepted", got, total)
+	}
+}

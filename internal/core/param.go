@@ -1,0 +1,176 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Param is an application or control parameter (§3.2): unlike signals,
+// which are read-only from the scope's perspective, parameters can be both
+// read and written by the GUI (Figure 3) or programmatically, and are
+// application-wide rather than per-scope. The paper's GtkScopeParameter
+// structure maps to this type.
+type Param struct {
+	// Name identifies the parameter in the control window.
+	Name string
+	// Get reads the current value.
+	Get func() float64
+	// Set writes a new value; nil makes the parameter read-only.
+	Set func(float64)
+	// Min and Max bound the values the GUI will write. Both zero means
+	// unbounded.
+	Min, Max float64
+	// Step is the GUI increment; 0 defaults to 1.
+	Step float64
+}
+
+// Bounded reports whether the parameter declares a range.
+func (p *Param) Bounded() bool { return p.Min != 0 || p.Max != 0 }
+
+// clamp applies the declared range.
+func (p *Param) clamp(v float64) float64 {
+	if p.Bounded() {
+		if v < p.Min {
+			v = p.Min
+		}
+		if v > p.Max {
+			v = p.Max
+		}
+	}
+	return v
+}
+
+// IntParam builds a Param backed by an IntVar.
+func IntParam(name string, v *IntVar, minVal, maxVal int64) *Param {
+	return &Param{
+		Name: name,
+		Get:  func() float64 { return float64(v.Load()) },
+		Set:  func(x float64) { v.Store(int64(x)) },
+		Min:  float64(minVal),
+		Max:  float64(maxVal),
+	}
+}
+
+// FloatParam builds a Param backed by a FloatVar.
+func FloatParam(name string, v *FloatVar, minVal, maxVal float64) *Param {
+	return &Param{
+		Name: name,
+		Get:  v.Load,
+		Set:  v.Store,
+		Min:  minVal,
+		Max:  maxVal,
+	}
+}
+
+// BoolParam builds a Param backed by a BoolVar; it reads and writes 0/1.
+func BoolParam(name string, v *BoolVar) *Param {
+	return &Param{
+		Name: name,
+		Get: func() float64 {
+			if v.Load() {
+				return 1
+			}
+			return 0
+		},
+		Set: func(x float64) { v.Store(x != 0) },
+		Min: 0,
+		Max: 1,
+	}
+}
+
+// ParamSet is the application-wide registry shown in the control-parameters
+// window (Figure 3). It is safe for concurrent use.
+type ParamSet struct {
+	mu     sync.Mutex
+	params []*Param
+	byName map[string]*Param
+}
+
+// NewParamSet returns an empty registry.
+func NewParamSet() *ParamSet {
+	return &ParamSet{byName: make(map[string]*Param)}
+}
+
+// Add registers a parameter. Duplicate names are rejected.
+func (ps *ParamSet) Add(p *Param) error {
+	if p == nil || p.Name == "" {
+		return fmt.Errorf("core: parameter must have a name")
+	}
+	if p.Get == nil {
+		return fmt.Errorf("core: parameter %q must have a getter", p.Name)
+	}
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if _, dup := ps.byName[p.Name]; dup {
+		return fmt.Errorf("core: duplicate parameter %q", p.Name)
+	}
+	ps.params = append(ps.params, p)
+	ps.byName[p.Name] = p
+	return nil
+}
+
+// Remove unregisters a parameter by name; it reports whether one existed.
+func (ps *ParamSet) Remove(name string) bool {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	if _, ok := ps.byName[name]; !ok {
+		return false
+	}
+	delete(ps.byName, name)
+	kept := ps.params[:0]
+	for _, p := range ps.params {
+		if p.Name != name {
+			kept = append(kept, p)
+		}
+	}
+	ps.params = kept
+	return true
+}
+
+// Get reads a parameter's value by name.
+func (ps *ParamSet) Get(name string) (float64, error) {
+	ps.mu.Lock()
+	p, ok := ps.byName[name]
+	ps.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("core: unknown parameter %q", name)
+	}
+	return p.Get(), nil
+}
+
+// Set writes a parameter's value by name, clamping to its declared range.
+func (ps *ParamSet) Set(name string, v float64) error {
+	ps.mu.Lock()
+	p, ok := ps.byName[name]
+	ps.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("core: unknown parameter %q", name)
+	}
+	if p.Set == nil {
+		return fmt.Errorf("core: parameter %q is read-only", name)
+	}
+	p.Set(p.clamp(v))
+	return nil
+}
+
+// List returns the registered parameters in insertion order.
+func (ps *ParamSet) List() []*Param {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]*Param, len(ps.params))
+	copy(out, ps.params)
+	return out
+}
+
+// Names returns the parameter names, sorted.
+func (ps *ParamSet) Names() []string {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	names := make([]string, 0, len(ps.byName))
+	for n := range ps.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

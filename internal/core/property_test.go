@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/glib"
+)
+
+// Property: regardless of how events are split across goroutine pushes and
+// polling intervals, AggSum over all intervals equals the total of all
+// events, and AggEvents sums to the event count (conservation).
+func TestAggregationConservation(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	f := func() bool {
+		sc, _, _ := rig2(r)
+		sum, _ := sc.AddSignal(Sig{Name: "sum", Agg: AggSum})
+		cnt, _ := sc.AddSignal(Sig{Name: "cnt", Agg: AggEvents})
+		sc.SetPollingMode(10 * time.Millisecond) //nolint:errcheck
+
+		total := 0.0
+		n := 0
+		rounds := 1 + r.Intn(8)
+		for i := 0; i < rounds; i++ {
+			events := r.Intn(6)
+			for e := 0; e < events; e++ {
+				v := float64(r.Intn(100))
+				sc.Event("sum", v)
+				sc.Event("cnt", v)
+				total += v
+				n++
+			}
+			sc.Step(r.Intn(3)) // arbitrary lost ticks must not lose events
+		}
+		sc.Step(0) // flush any tail
+
+		gotSum, gotCnt := 0.0, 0.0
+		for back := 0; back < sum.Trace().Len(); back++ {
+			if v, ok := sum.Trace().At(back); ok {
+				gotSum += v
+			}
+		}
+		for back := 0; back < cnt.Trace().Len(); back++ {
+			if v, ok := cnt.Trace().At(back); ok {
+				gotCnt += v
+			}
+		}
+		return gotSum == total && int(gotCnt) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// rig2 builds a scope on a fresh virtual loop for property tests.
+func rig2(r *rand.Rand) (*Scope, *glib.Loop, *glib.VirtualClock) {
+	vc := glib.NewVirtualClock(time.Unix(int64(r.Intn(10000)), 0))
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	return New(loop, "prop", 64, 32), loop, vc
+}
+
+// Property: AggMax ≥ AggAverage ≥ AggMin within any single interval.
+func TestAggregationOrderingProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	f := func() bool {
+		sc, _, _ := rig2(r)
+		mx, _ := sc.AddSignal(Sig{Name: "max", Agg: AggMax})
+		mn, _ := sc.AddSignal(Sig{Name: "min", Agg: AggMin})
+		av, _ := sc.AddSignal(Sig{Name: "avg", Agg: AggAverage})
+		sc.SetPollingMode(10 * time.Millisecond) //nolint:errcheck
+		events := 1 + r.Intn(10)
+		for e := 0; e < events; e++ {
+			v := r.Float64()*200 - 100
+			sc.Event("max", v)
+			sc.Event("min", v)
+			sc.Event("avg", v)
+		}
+		sc.Step(0)
+		vMax, ok1 := mx.Trace().At(0)
+		vMin, ok2 := mn.Trace().At(0)
+		vAvg, ok3 := av.Trace().At(0)
+		if !ok1 || !ok2 || !ok3 {
+			return false
+		}
+		return vMax >= vAvg-1e-9 && vAvg >= vMin-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the low-pass filter output always lies between the running
+// min and max of its inputs (stability / no overshoot), for any α in
+// [0,1].
+func TestFilterBoundedProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	f := func() bool {
+		alpha := r.Float64()
+		s := &Signal{alpha: alpha}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 50; i++ {
+			x := r.Float64()*2000 - 1000
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+			y := s.filter(x)
+			if y < lo-1e-9 || y > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: filter with α converges toward a constant input
+// geometrically: after k steps the error shrinks by α^k.
+func TestFilterConvergesToConstant(t *testing.T) {
+	s := &Signal{alpha: 0.9}
+	s.filter(0) // seed
+	var y float64
+	for i := 0; i < 200; i++ {
+		y = s.filter(100)
+	}
+	if math.Abs(y-100) > 1e-4 {
+		t.Fatalf("filter did not converge: %v", y)
+	}
+}
+
+// Property: slots == polls + lostTicks regardless of the missed-tick
+// pattern, and each unbuffered signal's trace grows by exactly the slot
+// count (§4.5 compensation invariant).
+func TestSweepCompensationInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(24))
+	f := func() bool {
+		sc, _, _ := rig2(r)
+		var v IntVar
+		sig, _ := sc.AddSignal(Sig{Name: "v", Source: &v})
+		sc.SetPollingMode(10 * time.Millisecond) //nolint:errcheck
+		for i := 0; i < 20; i++ {
+			sc.Step(r.Intn(5))
+		}
+		st := sc.Stats()
+		if st.Slots != st.Polls+st.LostTicks {
+			return false
+		}
+		return sig.Trace().Total() == st.Slots
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mapY is monotonically non-increasing in the value (larger
+// values plot higher, i.e. smaller y), for any range and bias.
+func TestMapYMonotonicProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(25))
+	f := func() bool {
+		sc, _, _ := rig2(r)
+		var v IntVar
+		sig, _ := sc.AddSignal(Sig{Name: "v", Source: &v})
+		lo := r.Float64()*100 - 50
+		hi := lo + 1 + r.Float64()*100
+		sig.SetRange(lo, hi)
+		sc.SetBias(r.Float64()*200 - 100)
+		h := 50 + r.Intn(200)
+		prevY := math.MaxInt32
+		for step := 0; step <= 20; step++ {
+			val := lo + (hi-lo)*float64(step)/20
+			y := sc.mapY(sig, val, h)
+			if y > prevY {
+				return false
+			}
+			prevY = y
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: buffered delivery respects the delay for any combination of
+// delay and polling period: nothing with timestamp above now-delay is
+// ever displayed.
+func TestBufferedDelayInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(26))
+	f := func() bool {
+		sc, loop, _ := rig2(r)
+		sig, _ := sc.AddSignal(Sig{Name: "b", Kind: KindBuffer, Max: 1 << 20})
+		period := time.Duration(10+r.Intn(50)) * time.Millisecond
+		delay := time.Duration(r.Intn(200)) * time.Millisecond
+		sc.SetDelay(delay)
+		sc.SetPollingMode(period) //nolint:errcheck
+		sc.StartPolling()         //nolint:errcheck
+
+		// Push samples whose value encodes their timestamp in ms.
+		for i := 0; i < 30; i++ {
+			at := time.Duration(r.Intn(2000)) * time.Millisecond
+			sc.Push(at, "b", float64(at.Milliseconds()))
+		}
+		horizon := time.Duration(500+r.Intn(1500)) * time.Millisecond
+		loop.Advance(horizon)
+
+		limit := float64((sc.Elapsed() - delay).Milliseconds())
+		for back := 0; back < sig.Trace().Len(); back++ {
+			if v, ok := sig.Trace().At(back); ok && v > limit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

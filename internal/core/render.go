@@ -1,0 +1,244 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/draw"
+	"repro/internal/fft"
+	"repro/internal/geom"
+)
+
+// Rendering of the scope canvas. The GUI widget (internal/gtk) wraps this
+// with rulers and controls; headless users (cmd tools, benches) call Render
+// directly.
+
+// gridPercents are the horizontal grid lines, matching the paper's 0–100
+// y-ruler.
+var gridPercents = []float64{0, 25, 50, 75, 100}
+
+// Render draws the scope canvas (background, grid, traces) into r on s.
+func (sc *Scope) Render(s *draw.Surface, r geom.Rect) {
+	if r.Empty() {
+		return
+	}
+	prev := s.SetClip(r)
+	defer s.SetClip(prev)
+
+	s.FillRect(r, draw.ScopeBG)
+	sc.renderGrid(s, r)
+
+	switch sc.domain {
+	case FreqDomain:
+		sc.renderFreq(s, r)
+	default:
+		sc.renderTime(s, r)
+	}
+}
+
+func (sc *Scope) renderGrid(s *draw.Surface, r geom.Rect) {
+	for _, pct := range gridPercents {
+		y := r.Y + int(math.Round(float64(r.H-1)*(1-pct/100)))
+		s.DottedHLine(r.X, r.MaxX()-1, y, 3, draw.GridGreen)
+	}
+	// A vertical gridline every second of sweep (period × zoom pixels per
+	// sample → pixels per second), at least every 50 px.
+	step := 50
+	if sc.period > 0 {
+		pxPerSec := sc.zoom * float64(timePerSecond(sc))
+		if pxPerSec >= 20 {
+			step = int(pxPerSec)
+		}
+	}
+	for x := r.MaxX() - 1; x >= r.X; x -= step {
+		s.DottedVLine(x, r.Y, r.MaxY()-1, 3, draw.GridGreen)
+	}
+	if tr := sc.trigger; tr != nil {
+		if sig := sc.byName[tr.Signal]; sig != nil {
+			y := r.Y + sc.mapY(sig, tr.Level, r.H)
+			s.DottedHLine(r.X, r.MaxX()-1, y, 2, draw.Orange)
+		}
+	}
+}
+
+// timePerSecond returns samples per second for the current period.
+func timePerSecond(sc *Scope) float64 {
+	sec := sc.period.Seconds()
+	if sec <= 0 {
+		return 0
+	}
+	return 1 / sec
+}
+
+// renderTime draws each visible signal as a right-aligned sweep: the newest
+// sample sits at the right edge and each polling period occupies zoom
+// pixels. With a trigger installed and a crossing found, the window is
+// instead aligned so the crossing sits at the left edge, stabilizing
+// repeating waveforms.
+func (sc *Scope) renderTime(s *draw.Surface, r geom.Rect) {
+	trigBack := sc.triggerOffset()
+	for _, sig := range sc.signals {
+		if !sig.visible || sig.trace.Len() == 0 {
+			continue
+		}
+		if sig.envWindow > 0 {
+			sc.renderEnvelope(s, r, sig, trigBack)
+		}
+		sc.renderTrace(s, r, sig, trigBack)
+	}
+}
+
+// backIndex maps a pixel column (p pixels left of the right edge) to a
+// trace back-index given the trigger alignment. Returns -1 for columns
+// with no data.
+func (sc *Scope) backIndex(p int, trigBack int, r geom.Rect) int {
+	if trigBack < 0 {
+		return int(float64(p) / sc.zoom)
+	}
+	// Trigger alignment: crossing at the left edge; columns to its right
+	// show successively newer samples, and columns newer than the
+	// newest sample are empty.
+	fromLeft := r.W - 1 - p
+	back := trigBack - int(float64(fromLeft)/sc.zoom)
+	return back // may be negative => empty column
+}
+
+func (sc *Scope) renderTrace(s *draw.Surface, r geom.Rect, sig *Signal, trigBack int) {
+	zeroY := r.Y + sc.mapY(sig, math.Max(sig.min, math.Min(0, sig.max)), r.H)
+	prevX, prevY := -1, -1
+	for p := 0; p < r.W; p++ {
+		back := sc.backIndex(p, trigBack, r)
+		x := r.MaxX() - 1 - p
+		if back < 0 {
+			prevX = -1
+			continue
+		}
+		v, ok := sig.trace.At(back)
+		if !ok {
+			prevX = -1
+			continue
+		}
+		y := r.Y + sc.mapY(sig, v, r.H)
+		switch sig.line {
+		case LinePoints:
+			s.Set(x, y, sig.color)
+		case LineFilled:
+			s.VLine(x, y, zeroY, sig.color)
+		default:
+			if prevX >= 0 {
+				s.Line(x, y, prevX, prevY, sig.color)
+			} else {
+				s.Set(x, y, sig.color)
+			}
+		}
+		prevX, prevY = x, y
+	}
+}
+
+// renderEnvelope shades the rolling min/max band behind a trace (the §6
+// waveform-envelope extension).
+func (sc *Scope) renderEnvelope(s *draw.Surface, r geom.Rect, sig *Signal, trigBack int) {
+	band := sig.color.Blend(draw.ScopeBG, 0.75)
+	w := sig.envWindow
+	for p := 0; p < r.W; p++ {
+		back := sc.backIndex(p, trigBack, r)
+		if back < 0 {
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		found := false
+		for k := 0; k < w; k++ {
+			if v, ok := sig.trace.At(back + k); ok {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+				found = true
+			}
+		}
+		if !found {
+			continue
+		}
+		x := r.MaxX() - 1 - p
+		y0 := r.Y + sc.mapY(sig, hi, r.H)
+		y1 := r.Y + sc.mapY(sig, lo, r.H)
+		s.VLine(x, y0, y1, band)
+	}
+}
+
+// FFTSize returns the frequency-domain window: the largest power of two
+// that fits the canvas width, capped at 1024 samples.
+func (sc *Scope) FFTSize() int {
+	n := 1
+	for n*2 <= sc.width && n*2 <= 1024 {
+		n *= 2
+	}
+	return n
+}
+
+// Spectrum computes the magnitude spectrum of a signal's most recent
+// samples (Hann-windowed), as displayed in frequency-domain mode. It
+// returns nil when the signal has no samples.
+func (sc *Scope) Spectrum(name string) []float64 {
+	sig := sc.byName[name]
+	if sig == nil {
+		return nil
+	}
+	vals := sig.trace.RecentValues(sc.FFTSize())
+	if len(vals) == 0 {
+		return nil
+	}
+	return fft.Spectrum(vals, fft.Hann)
+}
+
+// renderFreq draws the magnitude spectrum of each visible signal,
+// normalized so the strongest bin reaches the top of the canvas.
+func (sc *Scope) renderFreq(s *draw.Surface, r geom.Rect) {
+	for _, sig := range sc.signals {
+		if !sig.visible {
+			continue
+		}
+		spec := sc.Spectrum(sig.spec.Name)
+		if len(spec) < 2 {
+			continue
+		}
+		peak := 0.0
+		for _, m := range spec[1:] {
+			if m > peak {
+				peak = m
+			}
+		}
+		if peak <= 0 {
+			continue
+		}
+		prevX, prevY := -1, -1
+		for x := 0; x < r.W; x++ {
+			bin := 1 + x*(len(spec)-2)/maxInt(r.W-1, 1)
+			m := spec[bin] / peak * 100
+			y := r.Y + int(math.Round(float64(r.H-1)*(1-m/100)))
+			px := r.X + x
+			if prevX >= 0 {
+				s.Line(px, y, prevX, prevY, sig.color)
+			} else {
+				s.Set(px, y, sig.color)
+			}
+			prevX, prevY = px, y
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Snapshot renders the bare canvas at its configured size and returns the
+// surface — the headless equivalent of a screenshot.
+func (sc *Scope) Snapshot() *draw.Surface {
+	s := draw.NewSurface(sc.width, sc.height)
+	sc.Render(s, s.Bounds())
+	return s
+}

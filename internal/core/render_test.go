@@ -1,0 +1,334 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/draw"
+	"repro/internal/geom"
+	"repro/internal/glib"
+)
+
+// fillSine pushes a sine wave into a signal's trace directly.
+func fillSine(sig *Signal, n int, period float64, amp, mid float64) {
+	for i := 0; i < n; i++ {
+		sig.Trace().Push(mid + amp*math.Sin(2*math.Pi*float64(i)/period))
+	}
+}
+
+func renderRig(t *testing.T) (*Scope, *Signal) {
+	t.Helper()
+	vc := glib.NewVirtualClock(epoch())
+	loop := glib.NewLoop(vc)
+	sc := New(loop, "render", 160, 80)
+	var v IntVar
+	sig, err := sc.AddSignal(Sig{Name: "s", Source: &v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, sig
+}
+
+func countColor(s *draw.Surface, c draw.RGB) int {
+	n := 0
+	for _, p := range s.Pix {
+		if p == c {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSnapshotPaintsBackgroundAndGrid(t *testing.T) {
+	sc, _ := renderRig(t)
+	s := sc.Snapshot()
+	if s.W != 160 || s.H != 80 {
+		t.Fatalf("snapshot size %dx%d", s.W, s.H)
+	}
+	if countColor(s, draw.ScopeBG) == 0 {
+		t.Fatal("no background")
+	}
+	if countColor(s, draw.GridGreen) == 0 {
+		t.Fatal("no grid")
+	}
+}
+
+func TestRenderTraceInkAppears(t *testing.T) {
+	sc, sig := renderRig(t)
+	fillSine(sig, 200, 40, 40, 50)
+	s := sc.Snapshot()
+	if countColor(s, sig.Color()) < 100 {
+		t.Fatalf("trace ink too sparse: %d", countColor(s, sig.Color()))
+	}
+}
+
+func TestHiddenSignalNotRendered(t *testing.T) {
+	sc, sig := renderRig(t)
+	fillSine(sig, 200, 40, 40, 50)
+	sig.SetVisible(false)
+	s := sc.Snapshot()
+	if countColor(s, sig.Color()) != 0 {
+		t.Fatal("hidden signal rendered")
+	}
+}
+
+func TestRenderConstantSignalRow(t *testing.T) {
+	// A constant signal at 50% must paint a horizontal line at mid-canvas.
+	sc, sig := renderRig(t)
+	for i := 0; i < 200; i++ {
+		sig.Trace().Push(50)
+	}
+	s := sc.Snapshot()
+	midY := int(math.Round(float64(80-1) * 0.5))
+	row := 0
+	for x := 0; x < 160; x++ {
+		if s.At(x, midY) == sig.Color() {
+			row++
+		}
+	}
+	if row < 150 {
+		t.Fatalf("mid row ink %d, want ~160", row)
+	}
+}
+
+func TestBiasShiftsTrace(t *testing.T) {
+	sc, sig := renderRig(t)
+	for i := 0; i < 200; i++ {
+		sig.Trace().Push(50)
+	}
+	sc.SetBias(25) // shift up by 25% of scale
+	s := sc.Snapshot()
+	upY := int(math.Round(float64(80-1) * 0.25))
+	found := 0
+	for x := 0; x < 160; x++ {
+		if s.At(x, upY) == sig.Color() {
+			found++
+		}
+	}
+	if found < 150 {
+		t.Fatalf("biased row ink %d", found)
+	}
+}
+
+func TestZoomStretchesTrace(t *testing.T) {
+	// At zoom 2, a value change k samples back appears 2k pixels back.
+	sc, sig := renderRig(t)
+	for i := 0; i < 30; i++ {
+		sig.Trace().Push(10)
+	}
+	for i := 0; i < 10; i++ {
+		sig.Trace().Push(90)
+	}
+	sc.SetZoom(2)
+	s := sc.Snapshot()
+	// The newest 10 samples occupy the rightmost 20 columns at the "90"
+	// level; column W-1-25 should be at the "10" level.
+	hiY := sc.mapY(sig, 90, 80)
+	loY := sc.mapY(sig, 10, 80)
+	if s.At(159, hiY) != sig.Color() {
+		t.Fatal("right edge should show the new level")
+	}
+	if s.At(159-25, loY) != sig.Color() {
+		t.Fatal("zoomed history should show the old level at 2px/sample")
+	}
+}
+
+func TestLineModes(t *testing.T) {
+	for _, mode := range []LineMode{LineSolid, LinePoints, LineFilled} {
+		sc, sig := renderRig(t)
+		sig.SetLine(mode)
+		fillSine(sig, 200, 40, 40, 50)
+		s := sc.Snapshot()
+		ink := countColor(s, sig.Color())
+		if ink == 0 {
+			t.Fatalf("mode %v rendered nothing", mode)
+		}
+		if mode == LineFilled && ink < 1000 {
+			t.Fatalf("filled mode too sparse: %d", ink)
+		}
+	}
+}
+
+func TestHolesLeaveGaps(t *testing.T) {
+	sc, sig := renderRig(t)
+	for i := 0; i < 80; i++ {
+		sig.Trace().Push(50)
+	}
+	for i := 0; i < 40; i++ {
+		sig.Trace().PushHole()
+	}
+	for i := 0; i < 40; i++ {
+		sig.Trace().Push(50)
+	}
+	s := sc.Snapshot()
+	midY := int(math.Round(float64(80-1) * 0.5))
+	// Columns 40..79 from the right are holes.
+	for p := 45; p < 75; p += 5 {
+		if s.At(159-p, midY) == sig.Color() {
+			t.Fatalf("hole column %d painted", p)
+		}
+	}
+}
+
+func TestFreqDomainShowsPeak(t *testing.T) {
+	sc, sig := renderRig(t)
+	fillSine(sig, 512, 16, 40, 50) // strong tone at bin N/16
+	sc.SetDomain(FreqDomain)
+	s := sc.Snapshot()
+	if countColor(s, sig.Color()) == 0 {
+		t.Fatal("frequency domain rendered nothing")
+	}
+	spec := sc.Spectrum("s")
+	if spec == nil {
+		t.Fatal("no spectrum")
+	}
+	// Expected dominant bin: FFTSize/16.
+	want := sc.FFTSize() / 16
+	best, bi := 0.0, -1
+	for k := 1; k < len(spec); k++ {
+		if spec[k] > best {
+			best, bi = spec[k], k
+		}
+	}
+	if bi < want-1 || bi > want+1 {
+		t.Fatalf("dominant bin %d, want ≈%d", bi, want)
+	}
+}
+
+func TestSpectrumUnknownSignal(t *testing.T) {
+	sc, _ := renderRig(t)
+	if sc.Spectrum("ghost") != nil {
+		t.Fatal("unknown signal should have nil spectrum")
+	}
+}
+
+func TestFFTSizeFitsWidth(t *testing.T) {
+	sc, _ := renderRig(t)
+	n := sc.FFTSize()
+	if n > 160 || n*2 <= 160 && n < 1024 {
+		t.Fatalf("FFTSize = %d for width 160", n)
+	}
+}
+
+func TestTriggerAlignsWaveform(t *testing.T) {
+	// Two renders of a drifting periodic waveform must align identically
+	// when triggered (the §6 stabilization extension).
+	sc, sig := renderRig(t)
+	sc.SetTrigger(&Trigger{Signal: "s", Level: 50, Rising: true})
+	fillSine(sig, 400, 40, 40, 50)
+	s1 := sc.Snapshot()
+	// Push 13 more samples (an awkward fraction of the 40-sample period):
+	// untriggered, the waveform would shift 13px; triggered, it re-aligns.
+	for i := 0; i < 13; i++ {
+		sig.Trace().Push(50 + 40*math.Sin(2*math.Pi*float64(400+i)/40))
+	}
+	s2 := sc.Snapshot()
+	diff := 0
+	for i := range s1.Pix {
+		if s1.Pix[i] != s2.Pix[i] {
+			diff++
+		}
+	}
+	// Allow a sliver of difference at the right edge (new columns beyond
+	// the trigger point).
+	if diff > s1.W*s1.H/20 {
+		t.Fatalf("triggered frames differ in %d px", diff)
+	}
+}
+
+func TestTriggerOffsetFalling(t *testing.T) {
+	sc, sig := renderRig(t)
+	sc.SetTrigger(&Trigger{Signal: "s", Level: 50, Rising: false})
+	// Rising then falling through 50.
+	sig.Trace().Push(20)
+	sig.Trace().Push(80) // rising crossing
+	sig.Trace().Push(30) // falling crossing (back=0)
+	if got := sc.triggerOffset(); got != 0 {
+		t.Fatalf("falling trigger offset = %d, want 0", got)
+	}
+	sc.SetTrigger(&Trigger{Signal: "s", Level: 50, Rising: true})
+	if got := sc.triggerOffset(); got != 1 {
+		t.Fatalf("rising trigger offset = %d, want 1", got)
+	}
+	sc.SetTrigger(&Trigger{Signal: "ghost", Level: 50, Rising: true})
+	if got := sc.triggerOffset(); got != -1 {
+		t.Fatalf("unknown trigger signal offset = %d, want -1", got)
+	}
+	sc.SetTrigger(nil)
+	if got := sc.triggerOffset(); got != -1 {
+		t.Fatalf("disabled trigger offset = %d", got)
+	}
+}
+
+func TestEnvelopeRendersBand(t *testing.T) {
+	sc, sig := renderRig(t)
+	sig.SetEnvelope(40)
+	fillSine(sig, 400, 40, 40, 50)
+	s := sc.Snapshot()
+	band := sig.Color().Blend(draw.ScopeBG, 0.75)
+	if countColor(s, band) < 500 {
+		t.Fatalf("envelope band too sparse: %d", countColor(s, band))
+	}
+	sig.SetEnvelope(-3)
+	if sig.Envelope() != 0 {
+		t.Fatal("negative envelope should clamp to 0")
+	}
+}
+
+func TestRenderEmptyRectSafe(t *testing.T) {
+	sc, _ := renderRig(t)
+	s := draw.NewSurface(10, 10)
+	sc.Render(s, geom.Rect{}) // must not panic
+}
+
+func TestRenderRestoresClip(t *testing.T) {
+	sc, _ := renderRig(t)
+	s := draw.NewSurface(300, 200)
+	s.SetClip(geom.XYWH(0, 0, 300, 200))
+	sc.Render(s, geom.XYWH(10, 10, 160, 80))
+	if s.Clip() != geom.XYWH(0, 0, 300, 200) {
+		t.Fatalf("clip not restored: %v", s.Clip())
+	}
+}
+
+func TestMapYRange(t *testing.T) {
+	sc, sig := renderRig(t)
+	if y := sc.mapY(sig, 0, 100); y != 99 {
+		t.Fatalf("mapY(min) = %d, want 99", y)
+	}
+	if y := sc.mapY(sig, 100, 100); y != 0 {
+		t.Fatalf("mapY(max) = %d, want 0", y)
+	}
+	if y := sc.mapY(sig, 50, 100); y != 50 && y != 49 {
+		t.Fatalf("mapY(mid) = %d", y)
+	}
+}
+
+func TestScopeMinimumSize(t *testing.T) {
+	vc := glib.NewVirtualClock(epoch())
+	loop := glib.NewLoop(vc)
+	sc := New(loop, "tiny", 1, 1)
+	w, h := sc.Size()
+	if w < 16 || h < 16 {
+		t.Fatalf("size not clamped: %dx%d", w, h)
+	}
+}
+
+func TestRenderDuringLivePolling(t *testing.T) {
+	vc := glib.NewVirtualClock(epoch())
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	sc := New(loop, "live", 120, 60)
+	var v IntVar
+	sig, _ := sc.AddSignal(Sig{Name: "v", Source: &v, Max: 10})
+	sc.SetPollingMode(10 * time.Millisecond) //nolint:errcheck
+	sc.StartPolling()                        //nolint:errcheck
+	for i := 0; i < 150; i++ {
+		v.Store(int64(i % 10))
+		loop.Advance(10 * time.Millisecond)
+	}
+	s := sc.Snapshot()
+	if countColor(s, sig.Color()) == 0 {
+		t.Fatal("live trace rendered nothing")
+	}
+}

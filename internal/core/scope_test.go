@@ -1,0 +1,685 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/glib"
+	"repro/internal/tuple"
+)
+
+func epoch() time.Time { return time.Unix(5000, 0) }
+
+// rig builds a virtual-clock loop + scope for deterministic engine tests.
+func rig(t *testing.T) (*Scope, *glib.Loop, *glib.VirtualClock) {
+	t.Helper()
+	vc := glib.NewVirtualClock(epoch())
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	sc := New(loop, "test", 200, 100)
+	return sc, loop, vc
+}
+
+func TestAddSignalValidation(t *testing.T) {
+	sc, _, _ := rig(t)
+	if _, err := sc.AddSignal(Sig{}); err == nil {
+		t.Fatal("unnamed signal should be rejected")
+	}
+	if _, err := sc.AddSignal(Sig{Name: "x"}); err == nil {
+		t.Fatal("sourceless unbuffered signal should be rejected")
+	}
+	var v IntVar
+	if _, err := sc.AddSignal(Sig{Name: "x", Source: &v}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.AddSignal(Sig{Name: "x", Source: &v}); err == nil {
+		t.Fatal("duplicate name should be rejected")
+	}
+	if _, err := sc.AddSignal(Sig{Name: "bad", Source: &v, FilterAlpha: 1.5}); err == nil {
+		t.Fatal("alpha > 1 should be rejected")
+	}
+	if _, err := sc.AddSignal(Sig{Name: "bad2", Source: &v, Min: 5, Max: 5}); err == nil {
+		t.Fatal("min == max should be rejected")
+	}
+	if _, err := sc.AddSignal(Sig{Name: "buf", Kind: KindBuffer, Source: &v}); err == nil {
+		t.Fatal("BUFFER signal with a Source should be rejected")
+	}
+}
+
+func TestKindInference(t *testing.T) {
+	sc, _, _ := rig(t)
+	var b BoolVar
+	var sh ShortVar
+	var f FloatVar
+	sig1, _ := sc.AddSignal(Sig{Name: "b", Source: &b})
+	sig2, _ := sc.AddSignal(Sig{Name: "s", Source: &sh})
+	sig3, _ := sc.AddSignal(Sig{Name: "f", Source: &f})
+	sig4, _ := sc.AddSignal(Sig{Name: "fn", Source: FuncSource(func() float64 { return 1 })})
+	if sig1.Kind() != KindBoolean || sig2.Kind() != KindShort || sig3.Kind() != KindFloat || sig4.Kind() != KindFunc {
+		t.Fatalf("kinds: %v %v %v %v", sig1.Kind(), sig2.Kind(), sig3.Kind(), sig4.Kind())
+	}
+}
+
+func TestVarSampling(t *testing.T) {
+	var i IntVar
+	i.Store(7)
+	if v, ok := i.Sample(); !ok || v != 7 {
+		t.Fatal("IntVar sample")
+	}
+	i.Add(3)
+	if i.Load() != 10 {
+		t.Fatal("IntVar add")
+	}
+	var b BoolVar
+	b.Store(true)
+	if v, _ := b.Sample(); v != 1 {
+		t.Fatal("BoolVar sample")
+	}
+	var s ShortVar
+	s.Store(-12)
+	if v, _ := s.Sample(); v != -12 {
+		t.Fatal("ShortVar sample")
+	}
+	if s.Load() != -12 {
+		t.Fatal("ShortVar load")
+	}
+	var f FloatVar
+	f.Store(2.5)
+	if v, _ := f.Sample(); v != 2.5 {
+		t.Fatal("FloatVar sample")
+	}
+}
+
+func TestFuncWithArgs(t *testing.T) {
+	fn := FuncWithArgs(func(a1, a2 any) float64 {
+		return float64(a1.(int)) + float64(a2.(int))
+	}, 30, 12)
+	if v, ok := fn.Sample(); !ok || v != 42 {
+		t.Fatalf("FuncWithArgs sample = %v", v)
+	}
+}
+
+func TestPollingSamplesIntoTrace(t *testing.T) {
+	sc, loop, _ := rig(t)
+	var v IntVar
+	sig, _ := sc.AddSignal(Sig{Name: "v", Source: &v})
+	if err := sc.SetPollingMode(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.StartPolling(); err != nil {
+		t.Fatal(err)
+	}
+	v.Store(5)
+	loop.Advance(50 * time.Millisecond)
+	v.Store(9)
+	loop.Advance(50 * time.Millisecond)
+	if sig.Trace().Len() != 2 {
+		t.Fatalf("trace len = %d", sig.Trace().Len())
+	}
+	if got, _ := sig.Trace().At(0); got != 9 {
+		t.Fatalf("newest = %v", got)
+	}
+	if got, _ := sig.Trace().At(1); got != 5 {
+		t.Fatalf("older = %v", got)
+	}
+	if sig.Value() != 9 {
+		t.Fatalf("Value = %v", sig.Value())
+	}
+	sc.Stop()
+	loop.Advance(200 * time.Millisecond)
+	if sig.Trace().Len() != 2 {
+		t.Fatal("samples accrued after Stop")
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	sc, _, _ := rig(t)
+	if err := sc.StartPolling(); err == nil {
+		t.Fatal("StartPolling before SetPollingMode should fail")
+	}
+	if err := sc.SetPollingMode(0); err == nil {
+		t.Fatal("zero period should fail")
+	}
+	sc.SetPollingMode(10 * time.Millisecond) //nolint:errcheck
+	if err := sc.StartPolling(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.StartPolling(); err == nil {
+		t.Fatal("double start should fail")
+	}
+	if err := sc.SetPollingMode(20 * time.Millisecond); err == nil {
+		t.Fatal("mode change while running should fail")
+	}
+}
+
+func TestLostTimeoutCompensation(t *testing.T) {
+	// §4.5: under scheduling loss the sweep advances by the elapsed
+	// periods, leaving holes rather than stretching time.
+	sc, loop, vc := rig(t)
+	var v IntVar
+	sig, _ := sc.AddSignal(Sig{Name: "v", Source: &v})
+	sc.SetPollingMode(10 * time.Millisecond) //nolint:errcheck
+	sc.StartPolling()                        //nolint:errcheck
+	loop.Advance(30 * time.Millisecond)      // 3 clean polls
+	// Stall for 50ms: one coalesced dispatch with 4 missed intervals.
+	vc.Set(vc.Now().Add(50 * time.Millisecond))
+	loop.Iterate()
+	st := sc.Stats()
+	if st.Polls != 4 {
+		t.Fatalf("polls = %d, want 4", st.Polls)
+	}
+	if st.Slots != 8 {
+		t.Fatalf("slots = %d, want 8 (3 clean + 1 + 4 missed)", st.Slots)
+	}
+	if st.LostTicks != 4 {
+		t.Fatalf("lost = %d, want 4", st.LostTicks)
+	}
+	if sig.Trace().Len() != 8 {
+		t.Fatalf("trace len = %d, want 8", sig.Trace().Len())
+	}
+	// Newest slot is a real sample; the 4 before it are holes.
+	if _, ok := sig.Trace().At(0); !ok {
+		t.Fatal("newest slot should be a sample")
+	}
+	for back := 1; back <= 4; back++ {
+		if _, ok := sig.Trace().At(back); ok {
+			t.Fatalf("slot %d back should be a hole", back)
+		}
+	}
+	if _, ok := sig.Trace().At(5); !ok {
+		t.Fatal("pre-stall samples should survive")
+	}
+}
+
+func TestLowPassFilter(t *testing.T) {
+	sc, loop, _ := rig(t)
+	var v IntVar
+	sig, _ := sc.AddSignal(Sig{Name: "v", Source: &v, FilterAlpha: 0.5})
+	sc.SetPollingMode(10 * time.Millisecond) //nolint:errcheck
+	sc.StartPolling()                        //nolint:errcheck
+
+	v.Store(100)
+	loop.Advance(10 * time.Millisecond) // first sample seeds the filter: 100
+	if got, _ := sig.Trace().At(0); got != 100 {
+		t.Fatalf("seed = %v", got)
+	}
+	v.Store(0)
+	loop.Advance(10 * time.Millisecond) // y = 0.5*100 + 0.5*0 = 50
+	if got, _ := sig.Trace().At(0); got != 50 {
+		t.Fatalf("filtered = %v, want 50", got)
+	}
+	loop.Advance(10 * time.Millisecond) // y = 25
+	if got, _ := sig.Trace().At(0); got != 25 {
+		t.Fatalf("filtered = %v, want 25", got)
+	}
+}
+
+func TestFilterAlphaZeroPassesThrough(t *testing.T) {
+	sc, loop, _ := rig(t)
+	var v IntVar
+	sig, _ := sc.AddSignal(Sig{Name: "v", Source: &v})
+	sc.SetPollingMode(10 * time.Millisecond) //nolint:errcheck
+	sc.StartPolling()                        //nolint:errcheck
+	for i := 0; i < 5; i++ {
+		v.Store(int64(i * 10))
+		loop.Advance(10 * time.Millisecond)
+		if got, _ := sig.Trace().At(0); got != float64(i*10) {
+			t.Fatalf("unfiltered sample %d = %v", i, got)
+		}
+	}
+}
+
+func TestSetFilterAlphaClamps(t *testing.T) {
+	sc, _, _ := rig(t)
+	var v IntVar
+	sig, _ := sc.AddSignal(Sig{Name: "v", Source: &v})
+	sig.SetFilterAlpha(2)
+	if sig.FilterAlpha() != 1 {
+		t.Fatal("alpha should clamp to 1")
+	}
+	sig.SetFilterAlpha(-1)
+	if sig.FilterAlpha() != 0 {
+		t.Fatal("alpha should clamp to 0")
+	}
+}
+
+func TestAggregationFunctions(t *testing.T) {
+	cases := []struct {
+		agg    Aggregator
+		events []float64
+		want   float64
+	}{
+		{AggMax, []float64{3, 9, 5}, 9},
+		{AggMin, []float64{3, 9, 5}, 3},
+		{AggSum, []float64{1, 2, 3}, 6},
+		{AggAverage, []float64{2, 4, 6}, 4},
+		{AggEvents, []float64{7, 7, 7, 7}, 4},
+		{AggAnyEvent, []float64{1}, 1},
+		{AggAnyEvent, nil, 0},
+		{AggSum, nil, 0},
+		{AggEvents, nil, 0},
+	}
+	for _, c := range cases {
+		sc, loop, _ := rig(t)
+		sig, err := sc.AddSignal(Sig{Name: "e", Agg: c.agg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.SetPollingMode(100 * time.Millisecond) //nolint:errcheck
+		sc.StartPolling()                         //nolint:errcheck
+		for _, v := range c.events {
+			if !sc.Event("e", v) {
+				t.Fatal("Event rejected")
+			}
+		}
+		loop.Advance(100 * time.Millisecond)
+		got, ok := sig.Trace().At(0)
+		if !ok {
+			t.Fatalf("%v: no sample", c.agg)
+		}
+		if got != c.want {
+			t.Fatalf("%v(%v) = %v, want %v", c.agg, c.events, got, c.want)
+		}
+	}
+}
+
+func TestAggRate(t *testing.T) {
+	sc, loop, _ := rig(t)
+	sig, _ := sc.AddSignal(Sig{Name: "bw", Agg: AggRate})
+	sc.SetPollingMode(100 * time.Millisecond) //nolint:errcheck
+	sc.StartPolling()                         //nolint:errcheck
+	sc.Event("bw", 1500)
+	sc.Event("bw", 1500)
+	loop.Advance(100 * time.Millisecond)
+	got, _ := sig.Trace().At(0)
+	if got != 30000 { // 3000 bytes / 0.1 s
+		t.Fatalf("rate = %v, want 30000", got)
+	}
+}
+
+func TestAggSampleAndHold(t *testing.T) {
+	// Max/Min/Average hold the previous value across empty intervals
+	// (§4.2 sample-and-hold).
+	sc, loop, _ := rig(t)
+	sig, _ := sc.AddSignal(Sig{Name: "lat", Agg: AggMax})
+	sc.SetPollingMode(50 * time.Millisecond) //nolint:errcheck
+	sc.StartPolling()                        //nolint:errcheck
+	sc.Event("lat", 12)
+	loop.Advance(50 * time.Millisecond)
+	loop.Advance(50 * time.Millisecond) // no events this interval
+	got, ok := sig.Trace().At(0)
+	if !ok || got != 12 {
+		t.Fatalf("held value = %v ok=%v, want 12", got, ok)
+	}
+}
+
+func TestEventUnknownOrUnaggregated(t *testing.T) {
+	sc, _, _ := rig(t)
+	var v IntVar
+	sc.AddSignal(Sig{Name: "plain", Source: &v}) //nolint:errcheck
+	if sc.Event("nope", 1) {
+		t.Fatal("unknown signal should reject events")
+	}
+	if sc.Event("plain", 1) {
+		t.Fatal("non-aggregated signal should reject events")
+	}
+}
+
+func TestBufferedSignalDelayAndDrop(t *testing.T) {
+	sc, loop, _ := rig(t)
+	sig, err := sc.AddSignal(Sig{Name: "net", Kind: KindBuffer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.SetDelay(100 * time.Millisecond)
+	sc.SetPollingMode(50 * time.Millisecond) //nolint:errcheck
+	sc.StartPolling()                        //nolint:errcheck
+
+	sc.Push(40*time.Millisecond, "net", 1)
+	sc.Push(90*time.Millisecond, "net", 2)
+	loop.Advance(100 * time.Millisecond)
+	// At t=100ms the display target is t-delay = 0: nothing shown yet.
+	if _, ok := sig.Trace().Last(); ok {
+		t.Fatal("delayed sample displayed too early")
+	}
+	loop.Advance(100 * time.Millisecond)
+	// At t=200ms target is 100ms: both samples display.
+	if got, ok := sig.Trace().Last(); !ok || got != 2 {
+		t.Fatalf("latest buffered = %v ok=%v, want 2", got, ok)
+	}
+	// A sample older than the displayed high-water mark is dropped.
+	if sc.Push(50*time.Millisecond, "net", 3) {
+		t.Fatal("late sample should be dropped")
+	}
+	st := sc.Stats()
+	if st.FeedDropped != 1 {
+		t.Fatalf("FeedDropped = %d", st.FeedDropped)
+	}
+}
+
+func TestBufferedTwoFieldRouting(t *testing.T) {
+	// A stream with empty names routes to the sole BUFFER signal (§3.3
+	// two-field form).
+	sc, loop, _ := rig(t)
+	sig, _ := sc.AddSignal(Sig{Name: "only", Kind: KindBuffer})
+	sc.SetPollingMode(50 * time.Millisecond) //nolint:errcheck
+	sc.StartPolling()                        //nolint:errcheck
+	sc.Feed().PushTuple(tuple.Tuple{Time: 10, Value: 42})
+	loop.Advance(100 * time.Millisecond)
+	if got, ok := sig.Trace().Last(); !ok || got != 42 {
+		t.Fatalf("two-field routing failed: %v %v", got, ok)
+	}
+}
+
+func TestPlaybackPixelSpacing(t *testing.T) {
+	// §3.3: with a 50ms period, file points 100ms apart display 2 pixels
+	// apart (a hole between them).
+	sc, loop, _ := rig(t)
+	sig, _ := sc.AddSignal(Sig{Name: "x", Kind: KindBuffer})
+	tuples := []tuple.Tuple{
+		{Time: 50, Value: 1, Name: "x"},
+		{Time: 150, Value: 2, Name: "x"},
+		{Time: 250, Value: 3, Name: "x"},
+	}
+	if err := sc.SetPlaybackMode(tuples, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	sc.OnPlaybackDone(func() { done = true })
+	if err := sc.StartPlayback(); err != nil {
+		t.Fatal(err)
+	}
+	loop.Advance(time.Second)
+	if !done {
+		t.Fatal("playback did not finish")
+	}
+	// Slots: [0,50]=1, (50,100]=hole, (100,150]=2, (150,200]=hole,
+	// (200,250]=3.
+	vals := sig.Trace().Recent(5)
+	if len(vals) != 5 {
+		t.Fatalf("trace = %v", vals)
+	}
+	expect := []float64{1, math.NaN(), 2, math.NaN(), 3}
+	for i, want := range expect {
+		if math.IsNaN(want) != math.IsNaN(vals[i]) {
+			t.Fatalf("slot %d = %v, want %v (vals %v)", i, vals[i], want, vals)
+		}
+		if !math.IsNaN(want) && vals[i] != want {
+			t.Fatalf("slot %d = %v, want %v", i, vals[i], want)
+		}
+	}
+}
+
+func TestPlaybackRejectsUnordered(t *testing.T) {
+	sc, _, _ := rig(t)
+	bad := []tuple.Tuple{{Time: 100, Value: 1}, {Time: 50, Value: 2}}
+	if err := sc.SetPlaybackMode(bad, 50*time.Millisecond); err == nil {
+		t.Fatal("unordered tuples should be rejected")
+	}
+}
+
+func TestRecorderCapturesDisplayedSamples(t *testing.T) {
+	sc, loop, _ := rig(t)
+	var v IntVar
+	sc.AddSignal(Sig{Name: "v", Source: &v}) //nolint:errcheck
+	var buf bytes.Buffer
+	sc.SetRecorder(&buf)
+	sc.SetPollingMode(50 * time.Millisecond) //nolint:errcheck
+	sc.StartPolling()                        //nolint:errcheck
+	v.Store(7)
+	loop.Advance(150 * time.Millisecond)
+	sc.FlushRecorder() //nolint:errcheck
+	r := tuple.NewReader(&buf, true)
+	tuples, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 3 {
+		t.Fatalf("recorded %d tuples, want 3", len(tuples))
+	}
+	for _, tu := range tuples {
+		if tu.Name != "v" || tu.Value != 7 {
+			t.Fatalf("bad tuple %+v", tu)
+		}
+	}
+	if sc.Stats().Recorded != 3 {
+		t.Fatalf("Recorded = %d", sc.Stats().Recorded)
+	}
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	// A recorded polling session replays to the same trace values.
+	sc, loop, _ := rig(t)
+	var v IntVar
+	sc.AddSignal(Sig{Name: "v", Source: &v}) //nolint:errcheck
+	var buf bytes.Buffer
+	sc.SetRecorder(&buf)
+	sc.SetPollingMode(50 * time.Millisecond) //nolint:errcheck
+	sc.StartPolling()                        //nolint:errcheck
+	for i := 1; i <= 5; i++ {
+		v.Store(int64(i * 10))
+		loop.Advance(50 * time.Millisecond)
+	}
+	sc.Stop()
+	sc.FlushRecorder() //nolint:errcheck
+
+	tuples, err := tuple.NewReader(&buf, true).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, loop2, _ := rig(t)
+	sig2, _ := sc2.AddSignal(Sig{Name: "v", Kind: KindBuffer})
+	if err := sc2.SetPlaybackMode(tuples, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	sc2.StartPlayback() //nolint:errcheck
+	loop2.Advance(time.Second)
+	vals := sig2.Trace().RecentValues(10)
+	want := []float64{10, 20, 30, 40, 50}
+	if len(vals) != len(want) {
+		t.Fatalf("replayed %v", vals)
+	}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("replayed %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestRemoveSignal(t *testing.T) {
+	sc, _, _ := rig(t)
+	var v IntVar
+	sc.AddSignal(Sig{Name: "a", Source: &v}) //nolint:errcheck
+	sc.AddSignal(Sig{Name: "b", Source: &v}) //nolint:errcheck
+	if !sc.RemoveSignal("a") {
+		t.Fatal("RemoveSignal failed")
+	}
+	if sc.RemoveSignal("a") {
+		t.Fatal("double remove should fail")
+	}
+	if sc.Signal("a") != nil || sc.Signal("b") == nil {
+		t.Fatal("registry inconsistent")
+	}
+	if len(sc.Signals()) != 1 {
+		t.Fatal("Signals() inconsistent")
+	}
+}
+
+func TestZoomBiasClamping(t *testing.T) {
+	sc, _, _ := rig(t)
+	sc.SetZoom(1000)
+	if sc.Zoom() != 64 {
+		t.Fatalf("zoom clamp high: %v", sc.Zoom())
+	}
+	sc.SetZoom(0)
+	if sc.Zoom() != 0.125 {
+		t.Fatalf("zoom clamp low: %v", sc.Zoom())
+	}
+	sc.SetBias(500)
+	if sc.Bias() != 100 {
+		t.Fatalf("bias clamp: %v", sc.Bias())
+	}
+	sc.SetDelay(-time.Second)
+	if sc.Delay() != 0 {
+		t.Fatal("negative delay should clamp to 0")
+	}
+}
+
+func TestDefaultRangeAndPalette(t *testing.T) {
+	sc, _, _ := rig(t)
+	var v IntVar
+	s1, _ := sc.AddSignal(Sig{Name: "a", Source: &v})
+	s2, _ := sc.AddSignal(Sig{Name: "b", Source: &v})
+	lo, hi := s1.Range()
+	if lo != 0 || hi != 100 {
+		t.Fatalf("default range %v..%v", lo, hi)
+	}
+	if s1.Color() == s2.Color() {
+		t.Fatal("palette should assign distinct colors")
+	}
+	s1.SetRange(5, 2) // ignored
+	if lo, hi := s1.Range(); lo != 0 || hi != 100 {
+		t.Fatalf("invalid SetRange applied: %v..%v", lo, hi)
+	}
+}
+
+func TestVisibilityToggle(t *testing.T) {
+	sc, _, _ := rig(t)
+	var v IntVar
+	sig, _ := sc.AddSignal(Sig{Name: "a", Source: &v, Hidden: true})
+	if sig.Visible() {
+		t.Fatal("Hidden spec should start invisible")
+	}
+	if !sig.ToggleVisible() {
+		t.Fatal("toggle should show")
+	}
+	sig.SetVisible(false)
+	if sig.Visible() {
+		t.Fatal("SetVisible(false) failed")
+	}
+}
+
+func TestParamSet(t *testing.T) {
+	ps := NewParamSet()
+	var n IntVar
+	n.Store(8)
+	if err := ps.Add(IntParam("elephants", &n, 0, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Add(IntParam("elephants", &n, 0, 40)); err == nil {
+		t.Fatal("duplicate parameter should be rejected")
+	}
+	got, err := ps.Get("elephants")
+	if err != nil || got != 8 {
+		t.Fatalf("Get = %v, %v", got, err)
+	}
+	if err := ps.Set("elephants", 16); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 16 {
+		t.Fatal("Set did not write through")
+	}
+	if err := ps.Set("elephants", 99); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 40 {
+		t.Fatalf("Set should clamp to max, got %d", n.Load())
+	}
+	if _, err := ps.Get("nope"); err == nil {
+		t.Fatal("unknown get should fail")
+	}
+	if err := ps.Set("nope", 1); err == nil {
+		t.Fatal("unknown set should fail")
+	}
+	if !ps.Remove("elephants") || ps.Remove("elephants") {
+		t.Fatal("Remove semantics wrong")
+	}
+}
+
+func TestParamReadOnly(t *testing.T) {
+	ps := NewParamSet()
+	ps.Add(&Param{Name: "ro", Get: func() float64 { return 1 }}) //nolint:errcheck
+	if err := ps.Set("ro", 5); err == nil {
+		t.Fatal("read-only set should fail")
+	}
+}
+
+func TestBoolAndFloatParams(t *testing.T) {
+	ps := NewParamSet()
+	var b BoolVar
+	var f FloatVar
+	ps.Add(BoolParam("flag", &b))            //nolint:errcheck
+	ps.Add(FloatParam("gain", &f, 0.0, 2.0)) //nolint:errcheck
+	ps.Set("flag", 1)                        //nolint:errcheck
+	if !b.Load() {
+		t.Fatal("bool param set failed")
+	}
+	ps.Set("gain", 1.5) //nolint:errcheck
+	if f.Load() != 1.5 {
+		t.Fatal("float param set failed")
+	}
+	names := ps.Names()
+	if len(names) != 2 || names[0] != "flag" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	if ModePolling.String() != "polling" || ModeStopped.String() != "stopped" || ModePlayback.String() != "playback" {
+		t.Fatal("mode names")
+	}
+	if TimeDomain.String() != "time" || FreqDomain.String() != "frequency" {
+		t.Fatal("domain names")
+	}
+	if KindBuffer.String() != "BUFFER" || KindInteger.String() != "INTEGER" {
+		t.Fatal("kind names")
+	}
+	if AggRate.String() != "rate" || AggNone.String() != "none" {
+		t.Fatal("agg names")
+	}
+	if LineSolid.String() != "solid" || LineFilled.String() != "filled" {
+		t.Fatal("line names")
+	}
+}
+
+func TestElapsedTracksClock(t *testing.T) {
+	sc, loop, _ := rig(t)
+	loop.Advance(123 * time.Millisecond)
+	if sc.Elapsed() != 123*time.Millisecond {
+		t.Fatalf("Elapsed = %v", sc.Elapsed())
+	}
+}
+
+func TestStepDirectCall(t *testing.T) {
+	// Step is the programmatic polling interface; no timer required.
+	sc, _, _ := rig(t)
+	var v IntVar
+	sig, _ := sc.AddSignal(Sig{Name: "v", Source: &v})
+	sc.SetPollingMode(10 * time.Millisecond) //nolint:errcheck
+	v.Store(3)
+	sc.Step(0)
+	sc.Step(2) // 2 lost + 1 sample
+	if sig.Trace().Len() != 4 {
+		t.Fatalf("trace len = %d, want 4", sig.Trace().Len())
+	}
+	if sc.Stats().LostTicks != 2 {
+		t.Fatalf("lost = %d", sc.Stats().LostTicks)
+	}
+}
+
+func TestRecordedTupleTimesIncrease(t *testing.T) {
+	sc, loop, _ := rig(t)
+	var v IntVar
+	sc.AddSignal(Sig{Name: "v", Source: &v}) //nolint:errcheck
+	var buf bytes.Buffer
+	sc.SetRecorder(&buf)
+	sc.SetPollingMode(30 * time.Millisecond) //nolint:errcheck
+	sc.StartPolling()                        //nolint:errcheck
+	loop.Advance(300 * time.Millisecond)
+	sc.SetRecorder(nil) // disabling flushes
+	if _, err := tuple.NewReader(strings.NewReader(buf.String()), true).ReadAll(); err != nil {
+		t.Fatalf("recorded stream violates §3.3 ordering: %v", err)
+	}
+}

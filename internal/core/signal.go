@@ -1,0 +1,241 @@
+// Package core implements the gscope engine: signal acquisition (polled,
+// buffered and playback), per-signal parameters and filtering, event
+// aggregation, the sweep/trace model with lost-timeout compensation, control
+// parameters, recording, and canvas rendering. It is the Go counterpart of
+// the paper's GtkScope/GtkScopeSignal machinery (§2–§4); the package-level
+// gscope facade re-exports the public surface.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/draw"
+)
+
+// Kind enumerates the signal types of the paper's GtkScopeSig (§3.1). The
+// kind determines how a signal is sampled: all kinds except KindBuffer are
+// unbuffered (polled directly); KindBuffer signals are fed through the
+// scope-wide timestamped buffer and displayed with a delay.
+type Kind int
+
+// Signal kinds, mirroring INTEGER, BOOLEAN, SHORT, FLOAT, FUNC and BUFFER.
+const (
+	KindInteger Kind = iota
+	KindBoolean
+	KindShort
+	KindFloat
+	KindFunc
+	KindBuffer
+)
+
+// String names the kind like the paper's C enumerators.
+func (k Kind) String() string {
+	switch k {
+	case KindInteger:
+		return "INTEGER"
+	case KindBoolean:
+		return "BOOLEAN"
+	case KindShort:
+		return "SHORT"
+	case KindFloat:
+		return "FLOAT"
+	case KindFunc:
+		return "FUNC"
+	case KindBuffer:
+		return "BUFFER"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Source yields one sampling point when polled. The ok result is false when
+// no value is currently available (the scope leaves a hole in the trace).
+type Source interface {
+	Sample() (v float64, ok bool)
+}
+
+// The paper's simplest signal is "a signal name and a word of memory whose
+// value is polled". Go forbids racy plain loads from other goroutines, so
+// the "word of memory" is expressed as small atomic variable types that the
+// application mutates from any thread and the scope polls safely.
+
+// IntVar is a pollable integer word (the INTEGER signal type).
+type IntVar struct{ v atomic.Int64 }
+
+// Store sets the value.
+func (x *IntVar) Store(v int64) { x.v.Store(v) }
+
+// Load returns the value.
+func (x *IntVar) Load() int64 { return x.v.Load() }
+
+// Add atomically adds d and returns the new value.
+func (x *IntVar) Add(d int64) int64 { return x.v.Add(d) }
+
+// Sample implements Source.
+func (x *IntVar) Sample() (float64, bool) { return float64(x.v.Load()), true }
+
+// BoolVar is a pollable boolean word (the BOOLEAN signal type); it samples
+// as 0 or 1.
+type BoolVar struct{ v atomic.Bool }
+
+// Store sets the value.
+func (x *BoolVar) Store(v bool) { x.v.Store(v) }
+
+// Load returns the value.
+func (x *BoolVar) Load() bool { return x.v.Load() }
+
+// Sample implements Source.
+func (x *BoolVar) Sample() (float64, bool) {
+	if x.v.Load() {
+		return 1, true
+	}
+	return 0, true
+}
+
+// ShortVar is a pollable 16-bit word (the SHORT signal type). Stores are
+// truncated to int16 like the C original's short.
+type ShortVar struct{ v atomic.Int32 }
+
+// Store sets the value, truncating to 16 bits.
+func (x *ShortVar) Store(v int16) { x.v.Store(int32(v)) }
+
+// Load returns the value.
+func (x *ShortVar) Load() int16 { return int16(x.v.Load()) }
+
+// Sample implements Source.
+func (x *ShortVar) Sample() (float64, bool) { return float64(int16(x.v.Load())), true }
+
+// FloatVar is a pollable float word (the FLOAT signal type).
+type FloatVar struct{ bits atomic.Uint64 }
+
+// Store sets the value.
+func (x *FloatVar) Store(v float64) { x.bits.Store(math.Float64bits(v)) }
+
+// Load returns the value.
+func (x *FloatVar) Load() float64 { return math.Float64frombits(x.bits.Load()) }
+
+// Sample implements Source.
+func (x *FloatVar) Sample() (float64, bool) { return math.Float64frombits(x.bits.Load()), true }
+
+// FuncSource adapts a function to a Source (the FUNC signal type). The
+// paper invokes the function with two user-supplied arguments; Go closures
+// capture arguments directly, so the adapter takes a plain func.
+type FuncSource func() float64
+
+// Sample implements Source.
+func (f FuncSource) Sample() (float64, bool) { return f(), true }
+
+// FuncWithArgs reproduces the paper's two-argument FUNC signature
+// (fn, arg1, arg2) for callers porting C gscope code literally.
+func FuncWithArgs(fn func(arg1, arg2 any) float64, arg1, arg2 any) FuncSource {
+	return func() float64 { return fn(arg1, arg2) }
+}
+
+// LineMode selects how a trace is drawn, the paper's "line mode in which
+// the signal is displayed".
+type LineMode int
+
+// Line modes.
+const (
+	// LineSolid connects successive samples.
+	LineSolid LineMode = iota
+	// LinePoints plots isolated sample points.
+	LinePoints
+	// LineFilled fills from the sample down to the signal's zero level.
+	LineFilled
+)
+
+// String names the line mode.
+func (m LineMode) String() string {
+	switch m {
+	case LineSolid:
+		return "solid"
+	case LinePoints:
+		return "points"
+	case LineFilled:
+		return "filled"
+	default:
+		return fmt.Sprintf("LineMode(%d)", int(m))
+	}
+}
+
+// Sig is the signal specification an application passes to the scope — the
+// Go analogue of the paper's GtkScopeSig structure (§3.1). Name and either
+// Source (for unbuffered kinds) or Kind == KindBuffer are required; the
+// remaining fields are the optional parameters with the paper's defaults.
+type Sig struct {
+	// Name identifies the signal on the scope and in tuple streams.
+	Name string
+	// Kind determines the sampling discipline. When Source is one of the
+	// variable types (IntVar etc.) the kind may be left zero and is
+	// inferred.
+	Kind Kind
+	// Source supplies samples for unbuffered kinds; nil for KindBuffer.
+	Source Source
+	// Color of the trace; the zero value selects the next palette color.
+	Color draw.RGB
+	// HasColor marks Color as explicitly set (so black traces are
+	// expressible).
+	HasColor bool
+	// Min and Max give the displayed value range for the default zoom and
+	// bias; both zero means the default 0..100.
+	Min, Max float64
+	// Line selects the drawing style.
+	Line LineMode
+	// Hidden starts the signal hidden; left-clicking its name (or calling
+	// Signal.SetVisible) toggles display.
+	Hidden bool
+	// FilterAlpha is the α of the low-pass filter y[i] = α·y[i-1] +
+	// (1-α)·x[i]; 0 (the default) leaves the signal unfiltered, values up
+	// to 1 smooth it increasingly.
+	FilterAlpha float64
+	// Agg selects an aggregation function applied to events pushed via
+	// Scope.Event between polls (§4.2). AggNone samples Source directly.
+	Agg Aggregator
+}
+
+// inferKind guesses the Kind from the source's concrete type when the
+// caller left it zero with a non-integer source.
+func (s Sig) inferKind() Kind {
+	if s.Kind != KindInteger {
+		return s.Kind
+	}
+	switch s.Source.(type) {
+	case *BoolVar:
+		return KindBoolean
+	case *ShortVar:
+		return KindShort
+	case *FloatVar:
+		return KindFloat
+	case FuncSource:
+		return KindFunc
+	default:
+		return s.Kind
+	}
+}
+
+// Validate checks the spec for structural errors.
+func (s Sig) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("core: signal must have a name")
+	}
+	kind := s.inferKind()
+	if kind == KindBuffer {
+		if s.Source != nil {
+			return fmt.Errorf("core: BUFFER signal %q must not have a Source", s.Name)
+		}
+	} else if s.Source == nil && s.Agg == AggNone {
+		return fmt.Errorf("core: signal %q needs a Source (or an Aggregator)", s.Name)
+	}
+	if s.FilterAlpha < 0 || s.FilterAlpha > 1 {
+		return fmt.Errorf("core: signal %q filter α %g outside [0,1]", s.Name, s.FilterAlpha)
+	}
+	if s.Min != 0 || s.Max != 0 {
+		if !(s.Max > s.Min) {
+			return fmt.Errorf("core: signal %q min %g must be below max %g", s.Name, s.Min, s.Max)
+		}
+	}
+	return nil
+}

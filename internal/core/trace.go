@@ -1,0 +1,145 @@
+package core
+
+import "math"
+
+// Trace is the ring buffer of displayed samples for one signal: the sweep
+// history behind the scope canvas. Slots may be holes (no sample was
+// acquired for that polling interval, e.g. during lost timeouts or sparse
+// playback); the renderer leaves gaps there rather than inventing data.
+type Trace struct {
+	vals  []float64
+	holes []bool
+	head  int // index of the slot that will be written next
+	n     int // number of valid slots, up to len(vals)
+	total int64
+}
+
+// NewTrace allocates a trace with the given capacity (minimum 1).
+func NewTrace(capacity int) *Trace {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Trace{
+		vals:  make([]float64, capacity),
+		holes: make([]bool, capacity),
+	}
+}
+
+// Cap returns the ring capacity.
+func (t *Trace) Cap() int { return len(t.vals) }
+
+// Len returns the number of recorded slots (samples plus holes), at most
+// Cap.
+func (t *Trace) Len() int { return t.n }
+
+// Total returns the number of slots ever pushed, including those that have
+// rotated out of the ring.
+func (t *Trace) Total() int64 { return t.total }
+
+// Push appends a sample.
+func (t *Trace) Push(v float64) { t.push(v, false) }
+
+// PushHole appends a hole (a polling interval with no sample).
+func (t *Trace) PushHole() { t.push(math.NaN(), true) }
+
+func (t *Trace) push(v float64, hole bool) {
+	t.vals[t.head] = v
+	t.holes[t.head] = hole
+	t.head = (t.head + 1) % len(t.vals)
+	if t.n < len(t.vals) {
+		t.n++
+	}
+	t.total++
+}
+
+// At returns the sample that is 'back' slots behind the most recent one:
+// At(0) is the newest slot. ok is false for holes and for indexes beyond
+// the recorded history.
+func (t *Trace) At(back int) (v float64, ok bool) {
+	if back < 0 || back >= t.n {
+		return 0, false
+	}
+	i := t.head - 1 - back
+	i = ((i % len(t.vals)) + len(t.vals)) % len(t.vals)
+	if t.holes[i] {
+		return 0, false
+	}
+	return t.vals[i], true
+}
+
+// Last returns the most recent non-hole sample within the ring, scanning
+// back at most the whole ring. ok is false when the ring holds no samples.
+func (t *Trace) Last() (v float64, ok bool) {
+	for back := 0; back < t.n; back++ {
+		if v, ok := t.At(back); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Recent copies the newest n slots into vals (oldest first), marking holes
+// with NaN. It returns the number of slots copied (less than n when the
+// history is shorter).
+func (t *Trace) Recent(n int) []float64 {
+	if n > t.n {
+		n = t.n
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		back := n - 1 - i
+		if v, ok := t.At(back); ok {
+			out[i] = v
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return out
+}
+
+// RecentValues returns the newest non-hole samples (oldest first), up to n;
+// holes are skipped. Used by the frequency-domain view, which needs a
+// contiguous sample vector.
+func (t *Trace) RecentValues(n int) []float64 {
+	if n > t.n {
+		n = t.n
+	}
+	out := make([]float64, 0, n)
+	for back := t.n - 1; back >= 0 && len(out) < n; back-- {
+		if v, ok := t.At(back); ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Clear resets the trace to empty without reallocating.
+func (t *Trace) Clear() {
+	t.head = 0
+	t.n = 0
+	t.total = 0
+}
+
+// MinMax scans the recorded samples and returns their range; ok is false
+// when the trace holds only holes.
+func (t *Trace) MinMax() (lo, hi float64, ok bool) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for back := 0; back < t.n; back++ {
+		if v, vok := t.At(back); vok {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			ok = true
+		}
+	}
+	if !ok {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTraceBasicPushAt(t *testing.T) {
+	tr := NewTrace(4)
+	tr.Push(1)
+	tr.Push(2)
+	tr.Push(3)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, ok := tr.At(0); !ok || v != 3 {
+		t.Fatalf("At(0) = %v %v", v, ok)
+	}
+	if v, ok := tr.At(2); !ok || v != 1 {
+		t.Fatalf("At(2) = %v %v", v, ok)
+	}
+	if _, ok := tr.At(3); ok {
+		t.Fatal("At beyond history should fail")
+	}
+	if _, ok := tr.At(-1); ok {
+		t.Fatal("negative back should fail")
+	}
+}
+
+func TestTraceWraps(t *testing.T) {
+	tr := NewTrace(3)
+	for i := 1; i <= 5; i++ {
+		tr.Push(float64(i))
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("Total = %d", tr.Total())
+	}
+	want := []float64{5, 4, 3}
+	for back, w := range want {
+		if v, ok := tr.At(back); !ok || v != w {
+			t.Fatalf("At(%d) = %v, want %v", back, v, w)
+		}
+	}
+}
+
+func TestTraceHoles(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Push(1)
+	tr.PushHole()
+	tr.Push(3)
+	if _, ok := tr.At(1); ok {
+		t.Fatal("hole should read as not-ok")
+	}
+	if v, ok := tr.Last(); !ok || v != 3 {
+		t.Fatalf("Last = %v %v", v, ok)
+	}
+	tr2 := NewTrace(4)
+	tr2.PushHole()
+	if _, ok := tr2.Last(); ok {
+		t.Fatal("all-hole trace has no last value")
+	}
+}
+
+func TestTraceRecentMarksHolesNaN(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Push(1)
+	tr.PushHole()
+	tr.Push(3)
+	got := tr.Recent(3)
+	if len(got) != 3 {
+		t.Fatalf("Recent = %v", got)
+	}
+	if got[0] != 1 || !math.IsNaN(got[1]) || got[2] != 3 {
+		t.Fatalf("Recent = %v", got)
+	}
+	if got := tr.Recent(0); got != nil {
+		t.Fatal("Recent(0) should be nil")
+	}
+}
+
+func TestTraceRecentValuesSkipsHoles(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Push(1)
+	tr.PushHole()
+	tr.Push(3)
+	tr.PushHole()
+	got := tr.RecentValues(10)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("RecentValues = %v", got)
+	}
+}
+
+func TestTraceClear(t *testing.T) {
+	tr := NewTrace(4)
+	tr.Push(1)
+	tr.Clear()
+	if tr.Len() != 0 || tr.Total() != 0 {
+		t.Fatal("Clear failed")
+	}
+	if _, ok := tr.Last(); ok {
+		t.Fatal("cleared trace has no last")
+	}
+}
+
+func TestTraceMinMax(t *testing.T) {
+	tr := NewTrace(8)
+	if _, _, ok := tr.MinMax(); ok {
+		t.Fatal("empty trace has no range")
+	}
+	tr.Push(5)
+	tr.Push(-2)
+	tr.PushHole()
+	tr.Push(9)
+	lo, hi, ok := tr.MinMax()
+	if !ok || lo != -2 || hi != 9 {
+		t.Fatalf("MinMax = %v %v %v", lo, hi, ok)
+	}
+}
+
+func TestTraceCapacityMinimum(t *testing.T) {
+	tr := NewTrace(0)
+	if tr.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", tr.Cap())
+	}
+	tr.Push(1)
+	tr.Push(2)
+	if v, _ := tr.At(0); v != 2 {
+		t.Fatal("single-slot ring broken")
+	}
+}
+
+// Property: a trace behaves like the suffix of the pushed sequence.
+func TestTraceMatchesReferenceModel(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	f := func() bool {
+		capacity := 1 + r.Intn(16)
+		n := r.Intn(100)
+		tr := NewTrace(capacity)
+		var ref []float64 // NaN encodes holes
+		for i := 0; i < n; i++ {
+			if r.Intn(5) == 0 {
+				tr.PushHole()
+				ref = append(ref, math.NaN())
+			} else {
+				v := float64(r.Intn(1000))
+				tr.Push(v)
+				ref = append(ref, v)
+			}
+		}
+		if tr.Total() != int64(n) {
+			return false
+		}
+		wantLen := n
+		if wantLen > capacity {
+			wantLen = capacity
+		}
+		if tr.Len() != wantLen {
+			return false
+		}
+		for back := 0; back < wantLen; back++ {
+			want := ref[n-1-back]
+			got, ok := tr.At(back)
+			if math.IsNaN(want) {
+				if ok {
+					return false
+				}
+			} else if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Recent returns oldest-first and agrees with At.
+func TestTraceRecentAgreesWithAt(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	f := func() bool {
+		tr := NewTrace(1 + r.Intn(10))
+		n := r.Intn(40)
+		for i := 0; i < n; i++ {
+			tr.Push(float64(i))
+		}
+		k := r.Intn(15)
+		rec := tr.Recent(k)
+		for i, v := range rec {
+			back := len(rec) - 1 - i
+			got, ok := tr.At(back)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

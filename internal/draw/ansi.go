@@ -1,0 +1,62 @@
+package draw
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ANSI terminal export. Each character cell encodes two vertically stacked
+// pixels using the Unicode upper-half-block with 24-bit foreground and
+// background colors, so a 640×280 scope renders at 320×70 cells when scaled
+// by 2. This gives the cmd/gscope viewer a live in-terminal display, the
+// closest stdlib-only analogue to the paper's X11 window.
+
+// ANSIOptions controls terminal rendering.
+type ANSIOptions struct {
+	// Scale divides the surface resolution; 1 renders every pixel, 2 every
+	// second pixel, etc. Values < 1 are treated as 1.
+	Scale int
+	// MaxCols truncates output lines to at most this many character cells;
+	// 0 means unlimited.
+	MaxCols int
+}
+
+// WriteANSI renders the surface to w as ANSI half-block art.
+func (s *Surface) WriteANSI(w io.Writer, opt ANSIOptions) error {
+	scale := opt.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	cols := s.W / scale
+	if opt.MaxCols > 0 && cols > opt.MaxCols {
+		cols = opt.MaxCols
+	}
+	rows := s.H / scale
+	var b strings.Builder
+	for cy := 0; cy+1 < rows; cy += 2 {
+		var prevTop, prevBot RGB
+		first := true
+		for cx := 0; cx < cols; cx++ {
+			top := s.At(cx*scale, cy*scale)
+			bot := s.At(cx*scale, (cy+1)*scale)
+			if first || top != prevTop || bot != prevBot {
+				fmt.Fprintf(&b, "\x1b[38;2;%d;%d;%dm\x1b[48;2;%d;%d;%dm",
+					top.R, top.G, top.B, bot.R, bot.G, bot.B)
+				prevTop, prevBot = top, bot
+				first = false
+			}
+			b.WriteString("▀")
+		}
+		b.WriteString("\x1b[0m\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ANSIHome returns the escape sequence that moves the cursor to the top-left
+// corner, for animating successive frames in place.
+func ANSIHome() string { return "\x1b[H" }
+
+// ANSIClear returns the escape sequence that clears the terminal.
+func ANSIClear() string { return "\x1b[2J\x1b[H" }

@@ -1,0 +1,365 @@
+package draw
+
+import (
+	"bytes"
+	"image/gif"
+	"image/png"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestNewSurfaceBlack(t *testing.T) {
+	s := NewSurface(8, 4)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 8; x++ {
+			if s.At(x, y) != Black {
+				t.Fatalf("pixel (%d,%d) not black", x, y)
+			}
+		}
+	}
+}
+
+func TestSetAndAtBounds(t *testing.T) {
+	s := NewSurface(4, 4)
+	s.Set(1, 2, Red)
+	if s.At(1, 2) != Red {
+		t.Fatal("Set/At mismatch")
+	}
+	// Out-of-bounds writes must be safe; reads return black.
+	s.Set(-1, 0, Red)
+	s.Set(0, -1, Red)
+	s.Set(4, 0, Red)
+	s.Set(0, 4, Red)
+	if s.At(-1, 0) != (RGB{}) || s.At(99, 99) != (RGB{}) {
+		t.Fatal("out-of-bounds At should return zero color")
+	}
+}
+
+func TestClipRestrictsDrawing(t *testing.T) {
+	s := NewSurface(10, 10)
+	s.SetClip(geom.XYWH(2, 2, 4, 4))
+	s.FillRect(geom.XYWH(0, 0, 10, 10), White)
+	if s.At(1, 1) != Black {
+		t.Fatal("clip leaked at (1,1)")
+	}
+	if s.At(3, 3) != White {
+		t.Fatal("clip blocked interior")
+	}
+	if s.At(6, 6) != Black {
+		t.Fatal("clip leaked at (6,6)")
+	}
+	s.ResetClip()
+	s.Set(0, 0, Red)
+	if s.At(0, 0) != Red {
+		t.Fatal("ResetClip did not restore full clip")
+	}
+}
+
+func TestSetClipReturnsPrevious(t *testing.T) {
+	s := NewSurface(10, 10)
+	first := s.SetClip(geom.XYWH(1, 1, 3, 3))
+	if first != s.Bounds() {
+		t.Fatalf("initial clip should be full bounds, got %v", first)
+	}
+	second := s.SetClip(geom.XYWH(0, 0, 2, 2))
+	if second != geom.XYWH(1, 1, 3, 3) {
+		t.Fatalf("previous clip = %v", second)
+	}
+}
+
+func TestHLineVLine(t *testing.T) {
+	s := NewSurface(10, 10)
+	s.HLine(2, 7, 5, Green)
+	for x := 2; x <= 7; x++ {
+		if s.At(x, 5) != Green {
+			t.Fatalf("HLine missing pixel %d", x)
+		}
+	}
+	if s.At(1, 5) != Black || s.At(8, 5) != Black {
+		t.Fatal("HLine overran")
+	}
+	s.VLine(3, 8, 2, Blue) // reversed endpoints
+	for y := 2; y <= 8; y++ {
+		if s.At(3, y) != Blue {
+			t.Fatalf("VLine missing pixel %d", y)
+		}
+	}
+}
+
+func TestLineEndpointsAlwaysDrawn(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		s := NewSurface(24, 24)
+		x0, y0 := r.Intn(24), r.Intn(24)
+		x1, y1 := r.Intn(24), r.Intn(24)
+		s.Line(x0, y0, x1, y1, White)
+		return s.At(x0, y0) == White && s.At(x1, y1) == White
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLineHorizontalMatchesHLine(t *testing.T) {
+	a := NewSurface(16, 4)
+	b := NewSurface(16, 4)
+	a.Line(2, 1, 13, 1, Red)
+	b.HLine(2, 13, 1, Red)
+	if !bytes.Equal(flatten(a), flatten(b)) {
+		t.Fatal("horizontal Line differs from HLine")
+	}
+}
+
+func flatten(s *Surface) []byte {
+	out := make([]byte, 0, len(s.Pix)*3)
+	for _, p := range s.Pix {
+		out = append(out, p.R, p.G, p.B)
+	}
+	return out
+}
+
+func TestFillAndStrokeRect(t *testing.T) {
+	s := NewSurface(8, 8)
+	s.StrokeRect(geom.XYWH(1, 1, 6, 6), White)
+	if s.At(1, 1) != White || s.At(6, 6) != White || s.At(1, 6) != White {
+		t.Fatal("StrokeRect corners missing")
+	}
+	if s.At(3, 3) != Black {
+		t.Fatal("StrokeRect filled interior")
+	}
+}
+
+func TestColorParseRoundTrip(t *testing.T) {
+	f := func(r, g, b uint8) bool {
+		c := RGB{r, g, b}
+		got, err := ParseColor(c.String())
+		return err == nil && got == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorParseShortForm(t *testing.T) {
+	c, err := ParseColor("#f0a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c != (RGB{255, 0, 170}) {
+		t.Fatalf("short form parsed to %v", c)
+	}
+	if _, err := ParseColor("nonsense"); err == nil {
+		t.Fatal("bad color should error")
+	}
+	if _, err := ParseColor("#zzzzzz"); err == nil {
+		t.Fatal("bad hex should error")
+	}
+}
+
+func TestBlendEndpoints(t *testing.T) {
+	a, b := Black, White
+	if a.Blend(b, 0) != a {
+		t.Fatal("Blend(0) should return the receiver")
+	}
+	if a.Blend(b, 1) != b {
+		t.Fatal("Blend(1) should return the target")
+	}
+	mid := a.Blend(b, 0.5)
+	if mid.R < 120 || mid.R > 135 {
+		t.Fatalf("Blend(0.5) = %v", mid)
+	}
+	if a.Blend(b, -3) != a || a.Blend(b, 7) != b {
+		t.Fatal("Blend should clamp t")
+	}
+}
+
+func TestPaletteColorWraps(t *testing.T) {
+	if PaletteColor(0) != PaletteColor(len(Palette)) {
+		t.Fatal("palette should wrap")
+	}
+	if PaletteColor(-1) != PaletteColor(1) {
+		t.Fatal("negative index should be safe")
+	}
+}
+
+func TestTextRendersInk(t *testing.T) {
+	s := NewSurface(100, 12)
+	s.Text(0, 0, "Hello", White)
+	ink := 0
+	for _, p := range s.Pix {
+		if p == White {
+			ink++
+		}
+	}
+	if ink < 20 {
+		t.Fatalf("text rendered only %d pixels", ink)
+	}
+}
+
+func TestTextWidth(t *testing.T) {
+	if TextWidth("") != 0 {
+		t.Fatal("empty text has zero width")
+	}
+	if TextWidth("ab") != 2*CharW-1 {
+		t.Fatalf("TextWidth(ab) = %d", TextWidth("ab"))
+	}
+}
+
+func TestGlyphFallback(t *testing.T) {
+	if Glyph('日') != Glyph('?') {
+		t.Fatal("non-ASCII should fall back to '?'")
+	}
+	if Glyph('A') == Glyph('B') {
+		t.Fatal("distinct glyphs expected")
+	}
+}
+
+func TestAllGlyphsNonEmptyExceptSpace(t *testing.T) {
+	for ch := rune(0x21); ch <= 0x7e; ch++ {
+		g := Glyph(ch)
+		any := false
+		for _, col := range g {
+			if col != 0 {
+				any = true
+			}
+		}
+		if !any {
+			t.Errorf("glyph %q is blank", ch)
+		}
+	}
+	sp := Glyph(' ')
+	for _, col := range sp {
+		if col != 0 {
+			t.Fatal("space glyph should be blank")
+		}
+	}
+}
+
+func TestEncodePNGDecodes(t *testing.T) {
+	s := NewSurface(20, 10)
+	s.FillRect(geom.XYWH(5, 2, 6, 4), Orange)
+	var buf bytes.Buffer
+	if err := s.EncodePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 20 || img.Bounds().Dy() != 10 {
+		t.Fatalf("decoded size %v", img.Bounds())
+	}
+	r, g, b, _ := img.At(6, 3).RGBA()
+	if uint8(r>>8) != Orange.R || uint8(g>>8) != Orange.G || uint8(b>>8) != Orange.B {
+		t.Fatal("decoded pixel mismatch")
+	}
+}
+
+func TestWriteANSIProducesOutput(t *testing.T) {
+	s := NewSurface(8, 8)
+	s.FillRect(geom.XYWH(0, 0, 8, 4), Red)
+	var buf bytes.Buffer
+	if err := s.WriteANSI(&buf, ANSIOptions{Scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("▀")) {
+		t.Fatal("no half blocks emitted")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("38;2;220;40;40")) {
+		t.Fatalf("missing red foreground escape in %q", out)
+	}
+}
+
+func TestWriteANSIScaleHalvesOutput(t *testing.T) {
+	s := NewSurface(16, 16)
+	var full, half bytes.Buffer
+	if err := s.WriteANSI(&full, ANSIOptions{Scale: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteANSI(&half, ANSIOptions{Scale: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if half.Len() >= full.Len() {
+		t.Fatal("scaled output should be smaller")
+	}
+}
+
+func TestDottedLinesPeriod(t *testing.T) {
+	s := NewSurface(12, 3)
+	s.DottedHLine(0, 11, 1, 3, White)
+	for x := 0; x <= 11; x++ {
+		want := x%3 == 0
+		got := s.At(x, 1) == White
+		if got != want {
+			t.Fatalf("dotted pixel %d: got %v want %v", x, got, want)
+		}
+	}
+}
+
+func TestBevel3D(t *testing.T) {
+	s := NewSurface(10, 10)
+	r := geom.XYWH(0, 0, 10, 10)
+	s.Bevel3D(r, true)
+	if s.At(0, 0) != White {
+		t.Fatal("raised bevel should have light top-left")
+	}
+	if s.At(9, 9) != Gray {
+		t.Fatal("raised bevel should have dark bottom-right")
+	}
+	s2 := NewSurface(10, 10)
+	s2.Bevel3D(r, false)
+	if s2.At(0, 0) != Gray {
+		t.Fatal("sunken bevel should have dark top-left")
+	}
+}
+
+func TestPolyline(t *testing.T) {
+	s := NewSurface(10, 10)
+	s.Polyline([]geom.Pt{{X: 0, Y: 0}, {X: 5, Y: 0}, {X: 5, Y: 5}}, Cyan)
+	if s.At(0, 0) != Cyan || s.At(5, 0) != Cyan || s.At(5, 5) != Cyan {
+		t.Fatal("polyline endpoints missing")
+	}
+}
+
+func TestEncodeGIFRoundTrip(t *testing.T) {
+	frames := make([]*Surface, 3)
+	for i := range frames {
+		s := NewSurface(20, 10)
+		s.FillRect(geom.XYWH(i*5, 2, 5, 5), Yellow)
+		frames[i] = s
+	}
+	var buf bytes.Buffer
+	if err := EncodeGIF(&buf, frames, 5); err != nil {
+		t.Fatal(err)
+	}
+	anim, err := gif.DecodeAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(anim.Image) != 3 {
+		t.Fatalf("decoded %d frames", len(anim.Image))
+	}
+	if anim.Delay[0] != 5 {
+		t.Fatalf("delay = %d", anim.Delay[0])
+	}
+	r, g, b, _ := anim.Image[1].At(7, 4).RGBA()
+	got := RGB{uint8(r >> 8), uint8(g >> 8), uint8(b >> 8)}
+	if got != Yellow {
+		t.Fatalf("frame 1 pixel = %v, want yellow", got)
+	}
+}
+
+func TestEncodeGIFErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeGIF(&buf, nil, 5); err == nil {
+		t.Fatal("no frames should error")
+	}
+	frames := []*Surface{NewSurface(4, 4), NewSurface(8, 8)}
+	if err := EncodeGIF(&buf, frames, 5); err == nil {
+		t.Fatal("mismatched frame sizes should error")
+	}
+}

@@ -1,0 +1,86 @@
+package draw
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/gif"
+	"io"
+	"os"
+)
+
+// Animated GIF export. One of gscope's design goals is "building
+// compelling software demos" (§1); without an X display, an animation of
+// successive scope frames is the shareable equivalent of watching the
+// live widget.
+
+// gifPalette builds a palette from the colors actually used by the
+// frames, capped at 256 (scope frames use a few dozen).
+func gifPalette(frames []*Surface) color.Palette {
+	seen := make(map[RGB]bool)
+	pal := color.Palette{}
+	for _, f := range frames {
+		for _, p := range f.Pix {
+			if !seen[p] {
+				seen[p] = true
+				if len(pal) < 256 {
+					pal = append(pal, p.RGBA())
+				}
+			}
+		}
+		if len(pal) >= 256 {
+			break
+		}
+	}
+	if len(pal) == 0 {
+		pal = color.Palette{color.Black}
+	}
+	return pal
+}
+
+// EncodeGIF writes frames as an animated GIF with the given per-frame
+// delay. All frames must share the first frame's dimensions.
+func EncodeGIF(w io.Writer, frames []*Surface, delay int) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("draw: no frames")
+	}
+	if delay < 1 {
+		delay = 1
+	}
+	w0, h0 := frames[0].W, frames[0].H
+	pal := gifPalette(frames)
+	anim := &gif.GIF{LoopCount: 0}
+	// Index cache: palette lookups dominate encoding time otherwise.
+	idx := make(map[RGB]uint8, len(pal))
+	for _, f := range frames {
+		if f.W != w0 || f.H != h0 {
+			return fmt.Errorf("draw: frame size %dx%d differs from %dx%d", f.W, f.H, w0, h0)
+		}
+		img := image.NewPaletted(image.Rect(0, 0, w0, h0), pal)
+		for i, p := range f.Pix {
+			ix, ok := idx[p]
+			if !ok {
+				ix = uint8(pal.Index(p.RGBA()))
+				idx[p] = ix
+			}
+			img.Pix[i] = ix
+		}
+		anim.Image = append(anim.Image, img)
+		anim.Delay = append(anim.Delay, delay)
+	}
+	return gif.EncodeAll(w, anim)
+}
+
+// WriteGIF writes an animated GIF file (delay in 100ths of a second per
+// frame).
+func WriteGIF(path string, frames []*Surface, delay int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("draw: %w", err)
+	}
+	defer f.Close()
+	if err := EncodeGIF(f, frames, delay); err != nil {
+		return fmt.Errorf("draw: encode %s: %w", path, err)
+	}
+	return f.Close()
+}

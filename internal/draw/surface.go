@@ -1,0 +1,336 @@
+// Package draw is a small software rasterizer. It stands in for the X11/GDK
+// rendering layer the original gscope used: the widget toolkit and the scope
+// canvas draw onto a Surface, which can be exported as a PNG (for
+// regenerating the paper's figures) or as ANSI half-block art (for terminal
+// demos).
+package draw
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"os"
+
+	"repro/internal/geom"
+)
+
+// RGB is a fully opaque 24-bit color.
+type RGB struct {
+	R, G, B uint8
+}
+
+// Common colors, chosen to match the paper's screenshots: a dark scope
+// canvas with bright traces on a light widget background.
+var (
+	Black     = RGB{0, 0, 0}
+	White     = RGB{255, 255, 255}
+	Red       = RGB{220, 40, 40}
+	Green     = RGB{40, 200, 80}
+	Blue      = RGB{60, 90, 230}
+	Yellow    = RGB{230, 210, 50}
+	Cyan      = RGB{60, 200, 210}
+	Magenta   = RGB{200, 70, 200}
+	Orange    = RGB{240, 150, 40}
+	Gray      = RGB{128, 128, 128}
+	LightGray = RGB{211, 211, 211}
+	DarkGray  = RGB{64, 64, 64}
+	ScopeBG   = RGB{10, 24, 16} // dark green-black canvas
+	GridGreen = RGB{30, 80, 50}
+	WidgetBG  = RGB{214, 210, 202} // GTK-1.2 era widget gray
+)
+
+// Palette is the default trace color rotation used when a signal does not
+// specify a color, mirroring gscope assigning distinct colors per signal.
+var Palette = []RGB{Yellow, Cyan, Green, Red, Magenta, Orange, Blue, White}
+
+// PaletteColor returns the i'th default trace color, wrapping around.
+func PaletteColor(i int) RGB {
+	if i < 0 {
+		i = -i
+	}
+	return Palette[i%len(Palette)]
+}
+
+// RGBA converts to the stdlib color type.
+func (c RGB) RGBA() color.RGBA { return color.RGBA{c.R, c.G, c.B, 255} }
+
+// String formats the color as #rrggbb.
+func (c RGB) String() string { return fmt.Sprintf("#%02x%02x%02x", c.R, c.G, c.B) }
+
+// ParseColor parses "#rrggbb" or "#rgb".
+func ParseColor(s string) (RGB, error) {
+	var c RGB
+	switch len(s) {
+	case 7:
+		if _, err := fmt.Sscanf(s, "#%02x%02x%02x", &c.R, &c.G, &c.B); err != nil {
+			return RGB{}, fmt.Errorf("draw: bad color %q: %w", s, err)
+		}
+	case 4:
+		var r, g, b uint8
+		if _, err := fmt.Sscanf(s, "#%1x%1x%1x", &r, &g, &b); err != nil {
+			return RGB{}, fmt.Errorf("draw: bad color %q: %w", s, err)
+		}
+		c = RGB{r * 17, g * 17, b * 17}
+	default:
+		return RGB{}, fmt.Errorf("draw: bad color %q", s)
+	}
+	return c, nil
+}
+
+// Blend mixes c toward other by t in [0,1].
+func (c RGB) Blend(other RGB, t float64) RGB {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	mix := func(a, b uint8) uint8 { return uint8(float64(a) + (float64(b)-float64(a))*t) }
+	return RGB{mix(c.R, other.R), mix(c.G, other.G), mix(c.B, other.B)}
+}
+
+// Surface is a W×H raster of RGB pixels with an active clip rectangle.
+// All drawing is clipped; coordinates outside the surface are safe.
+type Surface struct {
+	W, H int
+	Pix  []RGB // row-major, len == W*H
+	clip geom.Rect
+}
+
+// NewSurface allocates a surface filled with Black.
+func NewSurface(w, h int) *Surface {
+	if w < 0 {
+		w = 0
+	}
+	if h < 0 {
+		h = 0
+	}
+	return &Surface{W: w, H: h, Pix: make([]RGB, w*h), clip: geom.XYWH(0, 0, w, h)}
+}
+
+// Bounds returns the full surface rectangle.
+func (s *Surface) Bounds() geom.Rect { return geom.XYWH(0, 0, s.W, s.H) }
+
+// SetClip restricts subsequent drawing to r intersected with the surface.
+// It returns the previous clip so callers can restore it.
+func (s *Surface) SetClip(r geom.Rect) geom.Rect {
+	prev := s.clip
+	s.clip = r.Intersect(s.Bounds())
+	return prev
+}
+
+// ResetClip restores the clip to the whole surface.
+func (s *Surface) ResetClip() { s.clip = s.Bounds() }
+
+// Clip returns the active clip rectangle.
+func (s *Surface) Clip() geom.Rect { return s.clip }
+
+// Set writes one pixel, honoring the clip.
+func (s *Surface) Set(x, y int, c RGB) {
+	if x < s.clip.X || x >= s.clip.MaxX() || y < s.clip.Y || y >= s.clip.MaxY() {
+		return
+	}
+	s.Pix[y*s.W+x] = c
+}
+
+// At reads one pixel; out-of-bounds reads return Black.
+func (s *Surface) At(x, y int) RGB {
+	if x < 0 || x >= s.W || y < 0 || y >= s.H {
+		return RGB{}
+	}
+	return s.Pix[y*s.W+x]
+}
+
+// Fill paints the whole surface (ignoring the clip).
+func (s *Surface) Fill(c RGB) {
+	for i := range s.Pix {
+		s.Pix[i] = c
+	}
+}
+
+// FillRect paints a rectangle.
+func (s *Surface) FillRect(r geom.Rect, c RGB) {
+	r = r.Intersect(s.clip)
+	if r.Empty() {
+		return
+	}
+	for y := r.Y; y < r.MaxY(); y++ {
+		row := s.Pix[y*s.W+r.X : y*s.W+r.MaxX()]
+		for i := range row {
+			row[i] = c
+		}
+	}
+}
+
+// StrokeRect outlines a rectangle with a 1-pixel border.
+func (s *Surface) StrokeRect(r geom.Rect, c RGB) {
+	if r.Empty() {
+		return
+	}
+	s.HLine(r.X, r.MaxX()-1, r.Y, c)
+	s.HLine(r.X, r.MaxX()-1, r.MaxY()-1, c)
+	s.VLine(r.X, r.Y, r.MaxY()-1, c)
+	s.VLine(r.MaxX()-1, r.Y, r.MaxY()-1, c)
+}
+
+// Bevel3D draws the classic GTK raised/sunken border used by buttons and
+// canvas wells. raised=true gives a light top-left edge.
+func (s *Surface) Bevel3D(r geom.Rect, raised bool) {
+	light := White
+	dark := Gray
+	if !raised {
+		light, dark = dark, light
+	}
+	s.HLine(r.X, r.MaxX()-1, r.Y, light)
+	s.VLine(r.X, r.Y, r.MaxY()-1, light)
+	s.HLine(r.X, r.MaxX()-1, r.MaxY()-1, dark)
+	s.VLine(r.MaxX()-1, r.Y, r.MaxY()-1, dark)
+}
+
+// HLine draws a horizontal line from x0..x1 inclusive at row y.
+func (s *Surface) HLine(x0, x1, y int, c RGB) {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y < s.clip.Y || y >= s.clip.MaxY() {
+		return
+	}
+	if x0 < s.clip.X {
+		x0 = s.clip.X
+	}
+	if x1 >= s.clip.MaxX() {
+		x1 = s.clip.MaxX() - 1
+	}
+	for x := x0; x <= x1; x++ {
+		s.Pix[y*s.W+x] = c
+	}
+}
+
+// VLine draws a vertical line from y0..y1 inclusive at column x.
+func (s *Surface) VLine(x, y0, y1 int, c RGB) {
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	if x < s.clip.X || x >= s.clip.MaxX() {
+		return
+	}
+	if y0 < s.clip.Y {
+		y0 = s.clip.Y
+	}
+	if y1 >= s.clip.MaxY() {
+		y1 = s.clip.MaxY() - 1
+	}
+	for y := y0; y <= y1; y++ {
+		s.Pix[y*s.W+x] = c
+	}
+}
+
+// Line draws a 1-pixel Bresenham line between two points (inclusive).
+func (s *Surface) Line(x0, y0, x1, y1 int, c RGB) {
+	dx := x1 - x0
+	if dx < 0 {
+		dx = -dx
+	}
+	dy := y1 - y0
+	if dy < 0 {
+		dy = -dy
+	}
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx - dy
+	for {
+		s.Set(x0, y0, c)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 > -dy {
+			err -= dy
+			x0 += sx
+		}
+		if e2 < dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// DottedHLine draws a horizontal line lighting every 'period'-th pixel,
+// used for scope grid lines.
+func (s *Surface) DottedHLine(x0, x1, y int, period int, c RGB) {
+	if period < 1 {
+		period = 1
+	}
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	for x := x0; x <= x1; x++ {
+		if (x-x0)%period == 0 {
+			s.Set(x, y, c)
+		}
+	}
+}
+
+// DottedVLine draws a vertical dotted line.
+func (s *Surface) DottedVLine(x, y0, y1 int, period int, c RGB) {
+	if period < 1 {
+		period = 1
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	for y := y0; y <= y1; y++ {
+		if (y-y0)%period == 0 {
+			s.Set(x, y, c)
+		}
+	}
+}
+
+// Polyline connects successive points with line segments.
+func (s *Surface) Polyline(pts []geom.Pt, c RGB) {
+	for i := 1; i < len(pts); i++ {
+		s.Line(pts[i-1].X, pts[i-1].Y, pts[i].X, pts[i].Y, c)
+	}
+}
+
+// Image converts the surface to a stdlib image.
+func (s *Surface) Image() *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, s.W, s.H))
+	for y := 0; y < s.H; y++ {
+		for x := 0; x < s.W; x++ {
+			p := s.Pix[y*s.W+x]
+			o := img.PixOffset(x, y)
+			img.Pix[o+0] = p.R
+			img.Pix[o+1] = p.G
+			img.Pix[o+2] = p.B
+			img.Pix[o+3] = 255
+		}
+	}
+	return img
+}
+
+// EncodePNG writes the surface as a PNG stream.
+func (s *Surface) EncodePNG(w io.Writer) error {
+	return png.Encode(w, s.Image())
+}
+
+// WritePNG writes the surface to a PNG file.
+func (s *Surface) WritePNG(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("draw: %w", err)
+	}
+	defer f.Close()
+	if err := s.EncodePNG(f); err != nil {
+		return fmt.Errorf("draw: encode %s: %w", path, err)
+	}
+	return f.Close()
+}

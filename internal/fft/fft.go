@@ -1,0 +1,179 @@
+// Package fft provides the spectral machinery behind gscope's
+// frequency-domain signal view (§1 lists "time and frequency representation
+// of signals" among the library's features): an iterative radix-2 FFT,
+// window functions, and a magnitude-spectrum helper sized for scope traces.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// NextPow2 returns the smallest power of two >= n (minimum 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Transform computes the in-place forward FFT of x using the iterative
+// Cooley–Tukey radix-2 algorithm. len(x) must be a power of two.
+func Transform(x []complex128) error {
+	n := len(x)
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			for j := 0; j < length/2; j++ {
+				u := x[i+j]
+				v := x[i+j+length/2] * w
+				x[i+j] = u + v
+				x[i+j+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// Inverse computes the in-place inverse FFT of x (scaled by 1/n).
+func Inverse(x []complex128) error {
+	n := len(x)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i])
+	}
+	if err := Transform(x); err != nil {
+		return err
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] = cmplx.Conj(x[i]) * inv
+	}
+	return nil
+}
+
+// Window identifies a tapering function applied before transforming, to
+// suppress spectral leakage from the finite scope trace.
+type Window int
+
+// Supported windows.
+const (
+	Rectangular Window = iota
+	Hann
+	Hamming
+	Blackman
+)
+
+// String names the window.
+func (w Window) String() string {
+	switch w {
+	case Rectangular:
+		return "rectangular"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	default:
+		return fmt.Sprintf("Window(%d)", int(w))
+	}
+}
+
+// Coefficient returns the window weight for index i of an n-point window.
+func (w Window) Coefficient(i, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	t := float64(i) / float64(n-1)
+	switch w {
+	case Hann:
+		return 0.5 - 0.5*math.Cos(2*math.Pi*t)
+	case Hamming:
+		return 0.54 - 0.46*math.Cos(2*math.Pi*t)
+	case Blackman:
+		return 0.42 - 0.5*math.Cos(2*math.Pi*t) + 0.08*math.Cos(4*math.Pi*t)
+	default:
+		return 1
+	}
+}
+
+// Spectrum computes the single-sided magnitude spectrum of samples after
+// mean removal and windowing. The input is zero-padded to a power of two.
+// The result has NextPow2(len(samples))/2 + 1 bins; bin k corresponds to
+// frequency k / (n·dt) when samples are dt apart.
+func Spectrum(samples []float64, w Window) []float64 {
+	if len(samples) == 0 {
+		return nil
+	}
+	n := NextPow2(len(samples))
+	// Remove the DC offset so the display is dominated by signal dynamics,
+	// matching what a scope's AC coupling would show.
+	mean := 0.0
+	for _, v := range samples {
+		mean += v
+	}
+	mean /= float64(len(samples))
+
+	x := make([]complex128, n)
+	for i, v := range samples {
+		x[i] = complex((v-mean)*w.Coefficient(i, len(samples)), 0)
+	}
+	if err := Transform(x); err != nil {
+		// Unreachable: n is a power of two by construction.
+		panic(err)
+	}
+	half := n/2 + 1
+	out := make([]float64, half)
+	scale := 2 / float64(len(samples))
+	for k := 0; k < half; k++ {
+		m := cmplx.Abs(x[k]) * scale
+		if k == 0 || k == n/2 {
+			m /= 2
+		}
+		out[k] = m
+	}
+	return out
+}
+
+// DominantBin returns the index of the largest non-DC bin in a spectrum, or
+// -1 for empty input.
+func DominantBin(spec []float64) int {
+	best, bi := -1.0, -1
+	for k := 1; k < len(spec); k++ {
+		if spec[k] > best {
+			best, bi = spec[k], k
+		}
+	}
+	return bi
+}
+
+// BinFrequency converts a bin index to Hz given the sample period.
+func BinFrequency(bin, fftSize int, samplePeriodSec float64) float64 {
+	if fftSize == 0 || samplePeriodSec == 0 {
+		return 0
+	}
+	return float64(bin) / (float64(fftSize) * samplePeriodSec)
+}

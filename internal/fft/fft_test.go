@@ -1,0 +1,220 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 6, 1000} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 5: 8, 1024: 1024, 1025: 2048}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestTransformRejectsNonPow2(t *testing.T) {
+	if err := Transform(make([]complex128, 3)); err == nil {
+		t.Fatal("length 3 should be rejected")
+	}
+}
+
+func TestTransformImpulse(t *testing.T) {
+	// FFT of a unit impulse is flat ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := Transform(x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestTransformSingleTone(t *testing.T) {
+	const n = 64
+	const bin = 5
+	x := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		x[i] = complex(math.Cos(2*math.Pi*bin*float64(i)/n), 0)
+	}
+	if err := Transform(x); err != nil {
+		t.Fatal(err)
+	}
+	// Energy concentrates in bins +5 and n-5, each with magnitude n/2.
+	if math.Abs(cmplx.Abs(x[bin])-n/2) > 1e-9 {
+		t.Fatalf("|X[%d]| = %g, want %d", bin, cmplx.Abs(x[bin]), n/2)
+	}
+	if math.Abs(cmplx.Abs(x[n-bin])-n/2) > 1e-9 {
+		t.Fatalf("|X[%d]| = %g, want %d", n-bin, cmplx.Abs(x[n-bin]), n/2)
+	}
+	for k := 0; k < n; k++ {
+		if k == bin || k == n-bin {
+			continue
+		}
+		if cmplx.Abs(x[k]) > 1e-9 {
+			t.Fatalf("leakage at bin %d: %g", k, cmplx.Abs(x[k]))
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	f := func() bool {
+		n := 1 << (1 + r.Intn(7)) // 2..128
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+			orig[i] = x[i]
+		}
+		if err := Transform(x); err != nil {
+			return false
+		}
+		if err := Inverse(x); err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	f := func() bool {
+		n := 1 << (2 + r.Intn(6))
+		x := make([]complex128, n)
+		timeEnergy := 0.0
+		for i := range x {
+			v := r.NormFloat64()
+			x[i] = complex(v, 0)
+			timeEnergy += v * v
+		}
+		if err := Transform(x); err != nil {
+			return false
+		}
+		freqEnergy := 0.0
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= float64(n)
+		return math.Abs(timeEnergy-freqEnergy) < 1e-6*math.Max(1, timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowCoefficients(t *testing.T) {
+	// Hann endpoints are 0, midpoint is 1.
+	if Hann.Coefficient(0, 65) > 1e-12 {
+		t.Fatal("Hann start should be 0")
+	}
+	if math.Abs(Hann.Coefficient(32, 65)-1) > 1e-12 {
+		t.Fatal("Hann midpoint should be 1")
+	}
+	if Rectangular.Coefficient(17, 64) != 1 {
+		t.Fatal("rectangular window should be flat")
+	}
+	// Hamming endpoints are 0.08.
+	if math.Abs(Hamming.Coefficient(0, 65)-0.08) > 1e-12 {
+		t.Fatal("Hamming endpoint wrong")
+	}
+	if Hann.Coefficient(0, 1) != 1 {
+		t.Fatal("degenerate window should be 1")
+	}
+}
+
+func TestWindowNames(t *testing.T) {
+	names := map[Window]string{Rectangular: "rectangular", Hann: "hann", Hamming: "hamming", Blackman: "blackman"}
+	for w, want := range names {
+		if w.String() != want {
+			t.Errorf("%v != %s", w, want)
+		}
+	}
+}
+
+func TestSpectrumFindsTone(t *testing.T) {
+	const n = 256
+	samples := make([]float64, n)
+	for i := range samples {
+		// 10 cycles across the window plus a DC offset that must be
+		// removed.
+		samples[i] = 50 + 20*math.Sin(2*math.Pi*10*float64(i)/n)
+	}
+	spec := Spectrum(samples, Hann)
+	if len(spec) != n/2+1 {
+		t.Fatalf("spectrum length %d", len(spec))
+	}
+	if got := DominantBin(spec); got != 10 {
+		t.Fatalf("dominant bin %d, want 10", got)
+	}
+	// DC was removed.
+	if spec[0] > spec[10]/10 {
+		t.Fatalf("DC bin not suppressed: %g vs %g", spec[0], spec[10])
+	}
+}
+
+func TestSpectrumEmptyAndConstant(t *testing.T) {
+	if Spectrum(nil, Hann) != nil {
+		t.Fatal("nil input should give nil spectrum")
+	}
+	spec := Spectrum([]float64{5, 5, 5, 5}, Rectangular)
+	for k, v := range spec {
+		if v > 1e-9 {
+			t.Fatalf("constant signal should have empty spectrum, bin %d = %g", k, v)
+		}
+	}
+}
+
+func TestSpectrumPadsNonPow2(t *testing.T) {
+	samples := make([]float64, 100) // padded to 128
+	spec := Spectrum(samples, Hann)
+	if len(spec) != 65 {
+		t.Fatalf("padded spectrum length %d, want 65", len(spec))
+	}
+}
+
+func TestDominantBinEmpty(t *testing.T) {
+	if DominantBin(nil) != -1 {
+		t.Fatal("empty spectrum should return -1")
+	}
+}
+
+func TestBinFrequency(t *testing.T) {
+	// 256-point FFT of 50ms samples: bin 1 = 1/(256*0.05) Hz.
+	got := BinFrequency(1, 256, 0.05)
+	want := 1.0 / 12.8
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BinFrequency = %g, want %g", got, want)
+	}
+	if BinFrequency(1, 0, 0.05) != 0 {
+		t.Fatal("zero size should yield 0")
+	}
+}

@@ -1,0 +1,231 @@
+// Package figures regenerates every figure of the paper from the
+// reproduction's own components. Each Figure* function assembles the
+// relevant workload, drives it deterministically on a virtual clock, and
+// returns the rendered frame plus the quantities EXPERIMENTS.md records.
+// The bench harness, the cmd tools and the examples all call through this
+// package so the artifacts stay consistent.
+package figures
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/draw"
+	"repro/internal/glib"
+	"repro/internal/gtk"
+	"repro/internal/mxtraf"
+)
+
+// CanvasW and CanvasH match the roughly 600×200 scope canvas of the
+// paper's screenshots.
+const (
+	CanvasW = 600
+	CanvasH = 200
+)
+
+// Rig bundles a deterministic scope stack.
+type Rig struct {
+	Clock *glib.VirtualClock
+	Loop  *glib.Loop
+	Scope *core.Scope
+}
+
+// NewRig builds a virtual-clock loop and scope with ideal timers.
+func NewRig(name string, w, h int) *Rig {
+	vc := glib.NewVirtualClock(time.Unix(0, 0))
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	return &Rig{Clock: vc, Loop: loop, Scope: core.New(loop, name, w, h)}
+}
+
+// Figure1 recreates the GtkScope widget screenshot: a scope window with
+// two signals (a sine and a sawtooth), zoom/bias/period/delay controls and
+// per-signal rows with the Value button enabled on the second signal.
+func Figure1() (*draw.Surface, error) {
+	rig := NewRig("gscope", CanvasW, CanvasH)
+	step := 0
+	sine := core.FuncSource(func() float64 {
+		return 50 + 35*math.Sin(2*math.Pi*float64(step)/80)
+	})
+	saw := core.FuncSource(func() float64 {
+		return float64((step * 2) % 100)
+	})
+	if _, err := rig.Scope.AddSignal(core.Sig{Name: "sine", Source: sine}); err != nil {
+		return nil, err
+	}
+	sig2, err := rig.Scope.AddSignal(core.Sig{Name: "sawtooth", Source: saw})
+	if err != nil {
+		return nil, err
+	}
+	sig2.SetShowValue(true)
+	if err := rig.Scope.SetPollingMode(50 * time.Millisecond); err != nil {
+		return nil, err
+	}
+	if err := rig.Scope.StartPolling(); err != nil {
+		return nil, err
+	}
+	for i := 0; i < CanvasW; i++ {
+		step++
+		rig.Loop.Advance(50 * time.Millisecond)
+	}
+	w := gtk.NewScopeWidget(rig.Scope)
+	return w.RenderFrame(), nil
+}
+
+// Figure2 recreates the signal-parameters window for a CWND-like signal.
+func Figure2() (*draw.Surface, error) {
+	rig := NewRig("gscope", CanvasW, CanvasH)
+	var v core.IntVar
+	sig, err := rig.Scope.AddSignal(core.Sig{
+		Name: "CWND", Source: &v, Min: 0, Max: 40, FilterAlpha: 0.2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return gtk.SignalParamsWindow(sig).Render(), nil
+}
+
+// Figure3 recreates the application/control parameters window with the two
+// mxtraf-style parameters the paper shows.
+func Figure3() (*draw.Surface, error) {
+	params := core.NewParamSet()
+	var elephants, mice core.IntVar
+	elephants.Store(8)
+	mice.Store(64)
+	if err := params.Add(core.IntParam("elephants", &elephants, 0, 40)); err != nil {
+		return nil, err
+	}
+	if err := params.Add(core.IntParam("mice", &mice, 0, 512)); err != nil {
+		return nil, err
+	}
+	return gtk.ControlParamsWindow("mxtraf parameters", params).Render(), nil
+}
+
+// TCPResult captures the quantities Figures 4/5 demonstrate.
+type TCPResult struct {
+	Frame *draw.Surface
+	// TimeoutsDuring8 and TimeoutsDuring16 count observed-flow timeouts
+	// in each half of the run.
+	TimeoutsDuring8, TimeoutsDuring16 int64
+	// TotalTimeouts counts timeouts across all flows for the whole run.
+	TotalTimeouts int64
+	// CwndMin1Hits counts polling samples where the observed flow's CWND
+	// was pinned at its floor (the "CWND reaches one" events of §2).
+	CwndMin1Hits int
+	// MeanCwnd8 and MeanCwnd16 are the observed flow's average window in
+	// each half.
+	MeanCwnd8, MeanCwnd16 float64
+}
+
+// TCPExperimentConfig parameterizes the Figure 4/5 run.
+type TCPExperimentConfig struct {
+	// ECN selects the Figure 5 variant (RED router, ECN senders).
+	ECN bool
+	// HalfDuration is the length of each half (8 flows, then 16).
+	HalfDuration time.Duration
+	// Period is the scope polling period.
+	Period time.Duration
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// DefaultTCPExperiment returns the published run shape: 8 elephants for
+// the first half of the sweep, 16 for the second, 50 ms polling.
+func DefaultTCPExperiment(ecn bool) TCPExperimentConfig {
+	return TCPExperimentConfig{
+		ECN:          ecn,
+		HalfDuration: 15 * time.Second,
+		Period:       50 * time.Millisecond,
+		Seed:         1,
+	}
+}
+
+// RunTCPExperiment reproduces Figures 4 and 5: mxtraf elephants through
+// the emulated router, the elephants count switched 8→16 half way, with
+// the "elephants" and "CWND" signals polled onto a scope. The observed
+// CWND belongs to elephant 0 (an arbitrarily chosen long-lived flow, as in
+// the paper).
+func RunTCPExperiment(cfg TCPExperimentConfig) (*TCPResult, error) {
+	var gcfg mxtraf.Config
+	if cfg.ECN {
+		gcfg = mxtraf.ECNConfig()
+	} else {
+		gcfg = mxtraf.DefaultConfig()
+	}
+	gcfg.Seed = cfg.Seed
+	gcfg.Net.Seed = cfg.Seed
+	gen := mxtraf.New(gcfg)
+
+	rig := NewRig(map[bool]string{false: "gscope - TCP", true: "gscope - ECN"}[cfg.ECN], CanvasW, CanvasH)
+	sc := rig.Scope
+
+	elephantsSig := core.FuncSource(func() float64 { return float64(gen.Elephants()) })
+	cwndSig := core.FuncSource(func() float64 { return gen.ElephantCwnd(0) })
+	if _, err := sc.AddSignal(core.Sig{Name: "elephants", Source: elephantsSig, Min: 0, Max: 20, Color: draw.Cyan, HasColor: true}); err != nil {
+		return nil, err
+	}
+	cwnd, err := sc.AddSignal(core.Sig{Name: "CWND", Source: cwndSig, Min: 0, Max: 44, Color: draw.Yellow, HasColor: true})
+	if err != nil {
+		return nil, err
+	}
+	cwnd.SetShowValue(true)
+	if err := sc.SetPollingMode(cfg.Period); err != nil {
+		return nil, err
+	}
+	if err := sc.StartPolling(); err != nil {
+		return nil, err
+	}
+
+	res := &TCPResult{}
+	gen.SetElephants(8)
+
+	// Drive the simulator and the scope in lockstep on the shared virtual
+	// timeline.
+	half := cfg.HalfDuration
+	var sumCwnd8, sumCwnd16 float64
+	var n8, n16 int
+	advance := func(until time.Duration, sum *float64, n *int) {
+		for gen.Sim().Now() < until {
+			next := gen.Sim().Now() + cfg.Period
+			gen.Sim().RunUntil(next)
+			rig.Loop.Advance(cfg.Period)
+			c := gen.ElephantCwnd(0)
+			*sum += c
+			*n++
+			if c <= 1.001 && gen.Elephants() > 0 {
+				res.CwndMin1Hits++
+			}
+		}
+	}
+	advance(half, &sumCwnd8, &n8)
+	res.TimeoutsDuring8 = gen.ElephantTimeouts(0)
+	gen.SetElephants(16)
+	advance(2*half, &sumCwnd16, &n16)
+	res.TimeoutsDuring16 = gen.ElephantTimeouts(0) - res.TimeoutsDuring8
+	res.TotalTimeouts = gen.Net().TotalTimeouts()
+	if n8 > 0 {
+		res.MeanCwnd8 = sumCwnd8 / float64(n8)
+	}
+	if n16 > 0 {
+		res.MeanCwnd16 = sumCwnd16 / float64(n16)
+	}
+
+	w := gtk.NewScopeWidget(sc)
+	res.Frame = w.RenderFrame()
+	return res, nil
+}
+
+// Figure4 runs the DropTail/TCP variant.
+func Figure4() (*TCPResult, error) { return RunTCPExperiment(DefaultTCPExperiment(false)) }
+
+// Figure5 runs the RED/ECN variant.
+func Figure5() (*TCPResult, error) { return RunTCPExperiment(DefaultTCPExperiment(true)) }
+
+// Summary formats a result the way EXPERIMENTS.md records it.
+func (r *TCPResult) Summary(name string) string {
+	return fmt.Sprintf(
+		"%s: cwnd-floor hits=%d, observed-flow timeouts 8-flows=%d 16-flows=%d, all-flow timeouts=%d, mean cwnd 8=%.1f 16=%.1f",
+		name, r.CwndMin1Hits, r.TimeoutsDuring8, r.TimeoutsDuring16,
+		r.TotalTimeouts, r.MeanCwnd8, r.MeanCwnd16)
+}

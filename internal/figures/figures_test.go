@@ -1,0 +1,116 @@
+package figures
+
+import (
+	"testing"
+
+	"repro/internal/draw"
+)
+
+func hasColor(s *draw.Surface, c draw.RGB) bool {
+	for _, p := range s.Pix {
+		if p == c {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFigure1Renders(t *testing.T) {
+	s, err := Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.W < CanvasW || s.H < CanvasH {
+		t.Fatalf("figure 1 size %dx%d", s.W, s.H)
+	}
+	if !hasColor(s, draw.ScopeBG) {
+		t.Fatal("figure 1 missing scope canvas")
+	}
+}
+
+func TestFigure2And3Render(t *testing.T) {
+	for i, fn := range []func() (*draw.Surface, error){Figure2, Figure3} {
+		s, err := fn()
+		if err != nil {
+			t.Fatalf("figure %d: %v", i+2, err)
+		}
+		if s.W < 100 || s.H < 60 {
+			t.Fatalf("figure %d too small: %dx%d", i+2, s.W, s.H)
+		}
+	}
+}
+
+// shortTCP is a fast variant for tests; the benches run the full length.
+func shortTCP(ecn bool) TCPExperimentConfig {
+	cfg := DefaultTCPExperiment(ecn)
+	cfg.HalfDuration = 8e9 // 8 s halves
+	return cfg
+}
+
+func TestFigure4TCPShape(t *testing.T) {
+	res, err := RunTCPExperiment(shortTCP(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frame == nil || !hasColor(res.Frame, draw.Yellow) {
+		t.Fatal("figure 4 frame missing CWND trace")
+	}
+	// The paper's headline: TCP hits CWND=1 several times once 16 flows
+	// share the DropTail router.
+	if res.TotalTimeouts == 0 {
+		t.Fatal("no timeouts anywhere in the TCP run")
+	}
+	if res.MeanCwnd16 >= res.MeanCwnd8 {
+		t.Fatalf("mean cwnd should drop when flows double: %.2f → %.2f",
+			res.MeanCwnd8, res.MeanCwnd16)
+	}
+}
+
+func TestFigure5ECNShape(t *testing.T) {
+	res, err := RunTCPExperiment(shortTCP(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's headline: ECN never hits CWND=1 (no timeouts on the
+	// observed flow, and the reproduction achieves none anywhere).
+	if res.TimeoutsDuring8 != 0 || res.TimeoutsDuring16 != 0 {
+		t.Fatalf("ECN observed flow timed out: %d/%d",
+			res.TimeoutsDuring8, res.TimeoutsDuring16)
+	}
+	if res.CwndMin1Hits != 0 {
+		t.Fatalf("ECN CWND hit the floor %d times", res.CwndMin1Hits)
+	}
+	if res.MeanCwnd16 >= res.MeanCwnd8 {
+		t.Fatalf("ECN mean cwnd should still drop with more flows: %.2f → %.2f",
+			res.MeanCwnd8, res.MeanCwnd16)
+	}
+}
+
+func TestFiguresDeterministic(t *testing.T) {
+	a, err := RunTCPExperiment(shortTCP(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTCPExperiment(shortTCP(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTimeouts != b.TotalTimeouts || a.CwndMin1Hits != b.CwndMin1Hits {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+	if len(a.Frame.Pix) != len(b.Frame.Pix) {
+		t.Fatal("frame sizes differ")
+	}
+	for i := range a.Frame.Pix {
+		if a.Frame.Pix[i] != b.Frame.Pix[i] {
+			t.Fatal("frames differ pixel-wise under the same seed")
+		}
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	r := &TCPResult{}
+	if r.Summary("x") == "" {
+		t.Fatal("empty summary")
+	}
+}

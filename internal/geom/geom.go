@@ -1,0 +1,107 @@
+// Package geom provides small integer geometry helpers shared by the
+// rasterizer and the widget toolkit: points, rectangles and clipping.
+package geom
+
+// Pt is an integer point in pixel space. The origin is the top-left corner;
+// y grows downward, matching raster conventions.
+type Pt struct {
+	X, Y int
+}
+
+// Add returns the vector sum p+q.
+func (p Pt) Add(q Pt) Pt { return Pt{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns the vector difference p-q.
+func (p Pt) Sub(q Pt) Pt { return Pt{p.X - q.X, p.Y - q.Y} }
+
+// In reports whether p lies inside r.
+func (p Pt) In(r Rect) bool {
+	return p.X >= r.X && p.X < r.X+r.W && p.Y >= r.Y && p.Y < r.Y+r.H
+}
+
+// Rect is an axis-aligned rectangle anchored at (X, Y) with size W×H.
+// A Rect with W <= 0 or H <= 0 is empty.
+type Rect struct {
+	X, Y, W, H int
+}
+
+// XYWH is shorthand for constructing a Rect.
+func XYWH(x, y, w, h int) Rect { return Rect{x, y, w, h} }
+
+// Empty reports whether r contains no pixels.
+func (r Rect) Empty() bool { return r.W <= 0 || r.H <= 0 }
+
+// MaxX returns the exclusive right edge.
+func (r Rect) MaxX() int { return r.X + r.W }
+
+// MaxY returns the exclusive bottom edge.
+func (r Rect) MaxY() int { return r.Y + r.H }
+
+// Inset shrinks r by n pixels on every side. Insetting past the center
+// yields an empty rectangle.
+func (r Rect) Inset(n int) Rect {
+	return Rect{r.X + n, r.Y + n, r.W - 2*n, r.H - 2*n}
+}
+
+// Translate moves r by (dx, dy).
+func (r Rect) Translate(dx, dy int) Rect {
+	return Rect{r.X + dx, r.Y + dy, r.W, r.H}
+}
+
+// Intersect returns the overlap of r and s, or an empty Rect when they are
+// disjoint.
+func (r Rect) Intersect(s Rect) Rect {
+	x0 := max(r.X, s.X)
+	y0 := max(r.Y, s.Y)
+	x1 := min(r.MaxX(), s.MaxX())
+	y1 := min(r.MaxY(), s.MaxY())
+	if x1 <= x0 || y1 <= y0 {
+		return Rect{}
+	}
+	return Rect{x0, y0, x1 - x0, y1 - y0}
+}
+
+// Union returns the smallest rectangle containing both r and s. An empty
+// input contributes nothing.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	x0 := min(r.X, s.X)
+	y0 := min(r.Y, s.Y)
+	x1 := max(r.MaxX(), s.MaxX())
+	y1 := max(r.MaxY(), s.MaxY())
+	return Rect{x0, y0, x1 - x0, y1 - y0}
+}
+
+// Contains reports whether s lies entirely within r.
+func (r Rect) Contains(s Rect) bool {
+	if s.Empty() {
+		return true
+	}
+	return s.X >= r.X && s.Y >= r.Y && s.MaxX() <= r.MaxX() && s.MaxY() <= r.MaxY()
+}
+
+// Clamp returns p moved to the nearest point inside r. Calling Clamp on an
+// empty rectangle returns p unchanged.
+func (r Rect) Clamp(p Pt) Pt {
+	if r.Empty() {
+		return p
+	}
+	if p.X < r.X {
+		p.X = r.X
+	}
+	if p.X >= r.MaxX() {
+		p.X = r.MaxX() - 1
+	}
+	if p.Y < r.Y {
+		p.Y = r.Y
+	}
+	if p.Y >= r.MaxY() {
+		p.Y = r.MaxY() - 1
+	}
+	return p
+}

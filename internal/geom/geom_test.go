@@ -1,0 +1,167 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPtArithmetic(t *testing.T) {
+	p := Pt{3, 4}
+	q := Pt{1, -2}
+	if got := p.Add(q); got != (Pt{4, 2}) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != (Pt{2, 6}) {
+		t.Fatalf("Sub = %v", got)
+	}
+}
+
+func TestPtIn(t *testing.T) {
+	r := XYWH(10, 10, 5, 5)
+	cases := []struct {
+		p  Pt
+		in bool
+	}{
+		{Pt{10, 10}, true},
+		{Pt{14, 14}, true},
+		{Pt{15, 10}, false}, // exclusive right edge
+		{Pt{10, 15}, false}, // exclusive bottom edge
+		{Pt{9, 12}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.In(r); got != c.in {
+			t.Errorf("%v in %v = %v, want %v", c.p, r, got, c.in)
+		}
+	}
+}
+
+func TestRectEmpty(t *testing.T) {
+	if !XYWH(0, 0, 0, 5).Empty() || !XYWH(0, 0, 5, -1).Empty() {
+		t.Fatal("zero/negative extent should be empty")
+	}
+	if XYWH(0, 0, 1, 1).Empty() {
+		t.Fatal("1x1 rect is not empty")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := XYWH(0, 0, 10, 10)
+	b := XYWH(5, 5, 10, 10)
+	want := XYWH(5, 5, 5, 5)
+	if got := a.Intersect(b); got != want {
+		t.Fatalf("Intersect = %v, want %v", got, want)
+	}
+	c := XYWH(20, 20, 5, 5)
+	if got := a.Intersect(c); !got.Empty() {
+		t.Fatalf("disjoint Intersect = %v, want empty", got)
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := XYWH(0, 0, 2, 2)
+	b := XYWH(5, 5, 2, 2)
+	want := XYWH(0, 0, 7, 7)
+	if got := a.Union(b); got != want {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	if got := (Rect{}).Union(b); got != b {
+		t.Fatalf("empty Union b = %v, want %v", got, b)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Fatalf("a Union empty = %v, want %v", got, a)
+	}
+}
+
+func TestRectInsetAndTranslate(t *testing.T) {
+	r := XYWH(10, 10, 10, 10)
+	if got := r.Inset(2); got != XYWH(12, 12, 6, 6) {
+		t.Fatalf("Inset = %v", got)
+	}
+	if !r.Inset(6).Empty() {
+		t.Fatal("over-inset should be empty")
+	}
+	if got := r.Translate(-5, 3); got != XYWH(5, 13, 10, 10) {
+		t.Fatalf("Translate = %v", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := XYWH(0, 0, 10, 10)
+	if !r.Contains(XYWH(2, 2, 3, 3)) {
+		t.Fatal("inner rect should be contained")
+	}
+	if r.Contains(XYWH(8, 8, 5, 5)) {
+		t.Fatal("overhanging rect should not be contained")
+	}
+	if !r.Contains(Rect{}) {
+		t.Fatal("empty rect is contained everywhere")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	r := XYWH(0, 0, 10, 10)
+	if got := r.Clamp(Pt{-5, 20}); got != (Pt{0, 9}) {
+		t.Fatalf("Clamp = %v", got)
+	}
+	if got := r.Clamp(Pt{5, 5}); got != (Pt{5, 5}) {
+		t.Fatalf("interior Clamp moved the point: %v", got)
+	}
+}
+
+// genRect produces rects with coordinates in a small range so overlaps are
+// common.
+func genRect(r *rand.Rand) Rect {
+	return Rect{r.Intn(40) - 20, r.Intn(40) - 20, r.Intn(30), r.Intn(30)}
+}
+
+func TestIntersectionPropertyBased(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := genRect(r), genRect(r)
+		got := a.Intersect(b)
+		// The intersection is symmetric (up to emptiness) and contained
+		// in both.
+		rev := b.Intersect(a)
+		if got.Empty() != rev.Empty() {
+			return false
+		}
+		if !got.Empty() && got != rev {
+			return false
+		}
+		if !got.Empty() && (!a.Contains(got) || !b.Contains(got)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnionContainsBothPropertyBased(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b := genRect(r), genRect(r)
+		u := a.Union(b)
+		return u.Contains(a) && u.Contains(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClampInsidePropertyBased(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		rect := genRect(r)
+		if rect.Empty() {
+			return true
+		}
+		p := Pt{r.Intn(100) - 50, r.Intn(100) - 50}
+		return rect.Clamp(p).In(rect)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

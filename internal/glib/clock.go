@@ -1,0 +1,64 @@
+// Package glib provides a small event-loop library modeled on the glib main
+// loop that the original gscope was built on: timeout sources with
+// lost-timeout accounting, idle sources, I/O watches, and cross-thread
+// invocation. All callbacks for a Loop are dispatched on a single goroutine,
+// mirroring the single-threaded GTK dispatch model the paper relies on
+// (§4.3).
+//
+// Every time-dependent component takes a Clock so that the polling engine
+// and everything above it can be driven deterministically in tests with a
+// VirtualClock, while production use runs on the RealClock.
+package glib
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts the source of time. Implementations must be safe for
+// concurrent use.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+}
+
+// RealClock reads the wall clock.
+type RealClock struct{}
+
+// Now implements Clock using time.Now.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// VirtualClock is a manually advanced clock for deterministic tests and
+// simulations. The zero value starts at the Unix epoch.
+type VirtualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewVirtualClock returns a VirtualClock positioned at start.
+func NewVirtualClock(start time.Time) *VirtualClock {
+	return &VirtualClock{now: start}
+}
+
+// Now returns the virtual time.
+func (c *VirtualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Set moves the clock to t. Moving backwards is allowed but unusual; the
+// loop treats a backwards move as "no timers due".
+func (c *VirtualClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.now = t
+	c.mu.Unlock()
+}
+
+// Advance moves the clock forward by d and returns the new time.
+func (c *VirtualClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	return c.now
+}

@@ -1,0 +1,162 @@
+package glib
+
+import (
+	"bufio"
+	"io"
+	"net"
+	"sync/atomic"
+)
+
+// The original gscope drives I/O through GTK's GIOChannel watches so that a
+// single-threaded application handles both GUI and network events on one
+// loop (§3.4, §4.3). Go's stdlib exposes blocking I/O rather than readiness
+// callbacks, so each watch runs a reader goroutine that performs the
+// blocking call and posts completions to the loop; the callback still always
+// executes on the loop goroutine, preserving the single-threaded dispatch
+// model the paper's programming style depends on.
+
+// ReadFunc receives data read from a watched reader. data is valid only for
+// the duration of the call. err is non-nil exactly once, when the stream
+// ends (io.EOF) or fails; after an error the watch is removed regardless of
+// the return value. Return false to cancel the watch early.
+type ReadFunc func(data []byte, err error) bool
+
+// LineFunc receives one line (without the trailing newline) from a watched
+// reader. Semantics of err and the return value match ReadFunc.
+type LineFunc func(line string, err error) bool
+
+// AcceptFunc receives connections from a watched listener. A non-nil err
+// means the listener failed or closed and the watch is removed. Return
+// false to stop accepting.
+type AcceptFunc func(conn net.Conn, err error) bool
+
+// IOWatch is a handle to a reader or accept watch.
+type IOWatch struct {
+	cancel atomic.Bool
+}
+
+// Cancel stops delivering callbacks. The underlying blocking read is not
+// interrupted (close the reader to unblock it), but no further callbacks
+// will run.
+func (w *IOWatch) Cancel() { w.cancel.Store(true) }
+
+// WatchReader watches r and invokes fn on the loop goroutine with each chunk
+// of data as it arrives, emulating a G_IO_IN watch.
+func (l *Loop) WatchReader(r io.Reader, fn ReadFunc) *IOWatch {
+	w := &IOWatch{}
+	go func() {
+		buf := make([]byte, 4096)
+		for {
+			n, err := r.Read(buf)
+			if w.cancel.Load() {
+				return
+			}
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			done := make(chan bool, 1)
+			l.Invoke(func() {
+				if w.cancel.Load() {
+					done <- false
+					return
+				}
+				keep := fn(data, err)
+				if err != nil {
+					keep = false
+				}
+				if !keep {
+					w.cancel.Store(true)
+				}
+				done <- keep
+			})
+			if !<-done || err != nil {
+				return
+			}
+		}
+	}()
+	return w
+}
+
+// WatchLines watches r and delivers it line-by-line; this is the framing
+// used by the tuple streaming protocol (§3.3).
+func (l *Loop) WatchLines(r io.Reader, fn LineFunc) *IOWatch {
+	w := &IOWatch{}
+	go func() {
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		for sc.Scan() {
+			if w.cancel.Load() {
+				return
+			}
+			line := sc.Text()
+			done := make(chan bool, 1)
+			l.Invoke(func() {
+				if w.cancel.Load() {
+					done <- false
+					return
+				}
+				keep := fn(line, nil)
+				if !keep {
+					w.cancel.Store(true)
+				}
+				done <- keep
+			})
+			if !<-done {
+				return
+			}
+		}
+		err := sc.Err()
+		if err == nil {
+			err = io.EOF
+		}
+		if w.cancel.Load() {
+			return
+		}
+		l.Invoke(func() {
+			if !w.cancel.Load() {
+				fn("", err)
+				w.cancel.Store(true)
+			}
+		})
+	}()
+	return w
+}
+
+// WatchAccept watches a listener and delivers accepted connections on the
+// loop goroutine, so a single-threaded server (§4.4) can manage all clients
+// without locks.
+func (l *Loop) WatchAccept(ln net.Listener, fn AcceptFunc) *IOWatch {
+	w := &IOWatch{}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if w.cancel.Load() {
+				if conn != nil {
+					conn.Close()
+				}
+				return
+			}
+			done := make(chan bool, 1)
+			l.Invoke(func() {
+				if w.cancel.Load() {
+					if conn != nil {
+						conn.Close()
+					}
+					done <- false
+					return
+				}
+				keep := fn(conn, err)
+				if err != nil {
+					keep = false
+				}
+				if !keep {
+					w.cancel.Store(true)
+				}
+				done <- keep
+			})
+			if !<-done || err != nil {
+				return
+			}
+		}
+	}()
+	return w
+}

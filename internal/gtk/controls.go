@@ -1,0 +1,289 @@
+package gtk
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/draw"
+	"repro/internal/geom"
+)
+
+// Slider is a labeled horizontal scale (GTK's GtkHScale), used for the
+// scope's zoom and bias adjustments. Clicking inside the groove moves the
+// thumb to the clicked position.
+type Slider struct {
+	Base
+	Label    string
+	Min, Max float64
+	Value    float64
+	OnChange func(v float64)
+	// Width is the requested groove width in pixels (default 120).
+	Width int
+}
+
+// NewSlider returns a slider over [minVal, maxVal] starting at value.
+func NewSlider(label string, minVal, maxVal, value float64, onChange func(float64)) *Slider {
+	return &Slider{Label: label, Min: minVal, Max: maxVal, Value: value, OnChange: onChange}
+}
+
+// SizeRequest implements Widget.
+func (sl *Slider) SizeRequest() (int, int) {
+	w := sl.Width
+	if w == 0 {
+		w = 120
+	}
+	return draw.TextWidth(sl.Label) + 6 + w + 44, draw.LineH + 8
+}
+
+// SetValue moves the thumb programmatically (clamped) and fires OnChange.
+func (sl *Slider) SetValue(v float64) {
+	if v < sl.Min {
+		v = sl.Min
+	}
+	if v > sl.Max {
+		v = sl.Max
+	}
+	sl.Value = v
+	if sl.OnChange != nil {
+		sl.OnChange(v)
+	}
+}
+
+// groove returns the groove rectangle within the allocation.
+func (sl *Slider) groove() geom.Rect {
+	r := sl.Bounds()
+	lx := draw.TextWidth(sl.Label) + 6
+	gw := r.W - lx - 44
+	if gw < 20 {
+		gw = 20
+	}
+	return geom.XYWH(r.X+lx, r.Y+r.H/2-3, gw, 6)
+}
+
+// Draw implements Widget.
+func (sl *Slider) Draw(s *draw.Surface) {
+	r := sl.Bounds()
+	s.FillRect(r, draw.WidgetBG)
+	s.Text(r.X, r.Y+(r.H-draw.GlyphH)/2, sl.Label, draw.Black)
+	g := sl.groove()
+	s.FillRect(g, draw.LightGray)
+	s.Bevel3D(g, false)
+	span := sl.Max - sl.Min
+	if span <= 0 {
+		span = 1
+	}
+	frac := (sl.Value - sl.Min) / span
+	tx := g.X + int(frac*float64(g.W-8))
+	thumb := geom.XYWH(tx, g.Y-3, 8, g.H+6)
+	s.FillRect(thumb, draw.WidgetBG)
+	s.Bevel3D(thumb, true)
+	s.TextRight(r.MaxX()-2, r.Y+(r.H-draw.GlyphH)/2, trimNum(sl.Value), draw.DarkGray)
+}
+
+// HandleEvent implements Widget.
+func (sl *Slider) HandleEvent(ev Event) bool {
+	g := sl.groove()
+	hit := g.Inset(-4)
+	if ev.Kind != MouseDown || !ev.Pos.In(hit) {
+		return false
+	}
+	frac := float64(ev.Pos.X-g.X) / float64(g.W-1)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	sl.SetValue(sl.Min + frac*(sl.Max-sl.Min))
+	return true
+}
+
+// trimNum formats a float compactly for control labels.
+func trimNum(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// SpinBox is a numeric entry with increment/decrement arrows (GTK's
+// GtkSpinButton), used for the sampling-period and delay widgets and for
+// control parameters.
+type SpinBox struct {
+	Base
+	Label    string
+	Min, Max float64
+	Step     float64
+	Value    float64
+	Unit     string
+	OnChange func(v float64)
+}
+
+// NewSpinBox returns a spin box.
+func NewSpinBox(label string, minVal, maxVal, step, value float64, onChange func(float64)) *SpinBox {
+	if step == 0 {
+		step = 1
+	}
+	return &SpinBox{Label: label, Min: minVal, Max: maxVal, Step: step, Value: value, OnChange: onChange}
+}
+
+// SizeRequest implements Widget.
+func (sp *SpinBox) SizeRequest() (int, int) {
+	return draw.TextWidth(sp.Label) + 6 + 64 + 14 + draw.TextWidth(sp.Unit) + 4, draw.LineH + 8
+}
+
+// SetValue sets the value (clamped) and fires OnChange.
+func (sp *SpinBox) SetValue(v float64) {
+	if v < sp.Min {
+		v = sp.Min
+	}
+	if v > sp.Max && sp.Max > sp.Min {
+		v = sp.Max
+	}
+	sp.Value = v
+	if sp.OnChange != nil {
+		sp.OnChange(v)
+	}
+}
+
+// Increment steps the value up or down.
+func (sp *SpinBox) Increment(up bool) {
+	if up {
+		sp.SetValue(sp.Value + sp.Step)
+	} else {
+		sp.SetValue(sp.Value - sp.Step)
+	}
+}
+
+func (sp *SpinBox) entryRect() geom.Rect {
+	r := sp.Bounds()
+	lx := draw.TextWidth(sp.Label) + 6
+	return geom.XYWH(r.X+lx, r.Y+1, 64, r.H-2)
+}
+
+func (sp *SpinBox) arrowsRect() geom.Rect {
+	e := sp.entryRect()
+	return geom.XYWH(e.MaxX(), e.Y, 12, e.H)
+}
+
+// Draw implements Widget.
+func (sp *SpinBox) Draw(s *draw.Surface) {
+	r := sp.Bounds()
+	s.FillRect(r, draw.WidgetBG)
+	s.Text(r.X, r.Y+(r.H-draw.GlyphH)/2, sp.Label, draw.Black)
+	e := sp.entryRect()
+	s.FillRect(e, draw.White)
+	s.Bevel3D(e, false)
+	s.TextRight(e.MaxX()-3, e.Y+(e.H-draw.GlyphH)/2, trimNum(sp.Value), draw.Black)
+	a := sp.arrowsRect()
+	s.FillRect(a, draw.WidgetBG)
+	s.Bevel3D(a, true)
+	midY := a.Y + a.H/2
+	s.HLine(a.X+1, a.MaxX()-2, midY, draw.Gray)
+	// Up arrow.
+	cx := a.X + a.W/2
+	s.Text(cx-2, a.Y+1, "^", draw.Black)
+	// Down arrow (lowercase v).
+	s.Text(cx-2, midY+1, "v", draw.Black)
+	if sp.Unit != "" {
+		s.Text(a.MaxX()+3, r.Y+(r.H-draw.GlyphH)/2, sp.Unit, draw.DarkGray)
+	}
+}
+
+// HandleEvent implements Widget.
+func (sp *SpinBox) HandleEvent(ev Event) bool {
+	if ev.Kind != MouseDown {
+		return false
+	}
+	a := sp.arrowsRect()
+	if !ev.Pos.In(a) {
+		return false
+	}
+	sp.Increment(ev.Pos.Y < a.Y+a.H/2)
+	return true
+}
+
+// Ruler draws tick marks and numeric labels along one edge of the scope
+// canvas: the paper's x ruler is sized in seconds and its y ruler spans
+// 0–100.
+type Ruler struct {
+	Base
+	Vertical bool
+	// Lo and Hi are the values at the ruler's ends. For the vertical
+	// ruler Lo is at the bottom.
+	Lo, Hi float64
+	// Ticks is the number of major ticks (default 5).
+	Ticks int
+	// Thickness is the requested cross-axis size (default 18 horizontal,
+	// 26 vertical).
+	Thickness int
+}
+
+// NewXRuler returns a horizontal ruler from lo to hi (seconds).
+func NewXRuler(lo, hi float64) *Ruler { return &Ruler{Lo: lo, Hi: hi} }
+
+// NewYRuler returns a vertical ruler from lo (bottom) to hi (top).
+func NewYRuler(lo, hi float64) *Ruler { return &Ruler{Vertical: true, Lo: lo, Hi: hi} }
+
+// SizeRequest implements Widget.
+func (ru *Ruler) SizeRequest() (int, int) {
+	t := ru.Thickness
+	if t == 0 {
+		if ru.Vertical {
+			t = 26
+		} else {
+			t = 18
+		}
+	}
+	if ru.Vertical {
+		return t, 60
+	}
+	return 60, t
+}
+
+// SetRange updates the ruler ends.
+func (ru *Ruler) SetRange(lo, hi float64) { ru.Lo, ru.Hi = lo, hi }
+
+// Draw implements Widget.
+func (ru *Ruler) Draw(s *draw.Surface) {
+	r := ru.Bounds()
+	s.FillRect(r, draw.WidgetBG)
+	n := ru.Ticks
+	if n < 2 {
+		n = 5
+	}
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n-1)
+		val := ru.Lo + frac*(ru.Hi-ru.Lo)
+		label := trimNum(val)
+		if ru.Vertical {
+			y := r.MaxY() - 1 - int(frac*float64(r.H-1))
+			if y < r.Y+draw.GlyphH {
+				y = r.Y + draw.GlyphH
+			}
+			s.HLine(r.MaxX()-4, r.MaxX()-1, clampInt(y, r.Y, r.MaxY()-1), draw.Black)
+			s.TextRight(r.MaxX()-6, clampInt(y-draw.GlyphH/2, r.Y, r.MaxY()-draw.GlyphH), label, draw.Black)
+		} else {
+			x := r.X + int(frac*float64(r.W-1))
+			s.VLine(clampInt(x, r.X, r.MaxX()-1), r.Y, r.Y+4, draw.Black)
+			lx := x - draw.TextWidth(label)/2
+			if lx < r.X {
+				lx = r.X
+			}
+			if lx+draw.TextWidth(label) > r.MaxX() {
+				lx = r.MaxX() - draw.TextWidth(label)
+			}
+			s.Text(lx, r.Y+6, label, draw.Black)
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,384 @@
+package gtk
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/draw"
+	"repro/internal/geom"
+	"repro/internal/glib"
+)
+
+func scopeRig(t *testing.T) (*core.Scope, *glib.Loop) {
+	t.Helper()
+	vc := glib.NewVirtualClock(time.Unix(100, 0))
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	sc := core.New(loop, "gtk-test", 200, 100)
+	return sc, loop
+}
+
+func TestLabelSizeAndDraw(t *testing.T) {
+	l := NewLabel("Hello")
+	w, h := l.SizeRequest()
+	if w <= 0 || h <= 0 {
+		t.Fatal("bad size request")
+	}
+	s := draw.NewSurface(w, h)
+	l.Allocate(geom.XYWH(0, 0, w, h))
+	l.Draw(s)
+	found := false
+	for _, p := range s.Pix {
+		if p == draw.Black {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("label rendered no ink")
+	}
+}
+
+func TestButtonClick(t *testing.T) {
+	var clickedWith int
+	b := NewButton("Go", func(btn int) { clickedWith = btn })
+	b.Allocate(geom.XYWH(10, 10, 60, 20))
+	if b.HandleEvent(Event{Kind: MouseDown, Button: ButtonLeft, Pos: geom.Pt{X: 0, Y: 0}}) {
+		t.Fatal("outside click consumed")
+	}
+	if !b.HandleEvent(Event{Kind: MouseDown, Button: ButtonRight, Pos: geom.Pt{X: 20, Y: 15}}) {
+		t.Fatal("inside click not consumed")
+	}
+	if clickedWith != ButtonRight {
+		t.Fatalf("handler got button %d", clickedWith)
+	}
+	if b.Clicks() != 1 {
+		t.Fatalf("Clicks = %d", b.Clicks())
+	}
+}
+
+func TestToggleLatches(t *testing.T) {
+	var state bool
+	tg := NewToggle("T", func(on bool) { state = on })
+	tg.Allocate(geom.XYWH(0, 0, 40, 20))
+	tg.HandleEvent(Event{Kind: MouseDown, Button: ButtonLeft, Pos: geom.Pt{X: 5, Y: 5}})
+	if !state || !tg.On || !tg.Pressed {
+		t.Fatal("toggle did not latch on")
+	}
+	tg.HandleEvent(Event{Kind: MouseDown, Button: ButtonLeft, Pos: geom.Pt{X: 5, Y: 5}})
+	if state || tg.On {
+		t.Fatal("toggle did not latch off")
+	}
+}
+
+func TestBoxLayoutVertical(t *testing.T) {
+	a, b := NewLabel("a"), NewLabel("b")
+	box := NewVBox(4)
+	box.Add(a)
+	box.Add(b)
+	w, h := box.SizeRequest()
+	box.Allocate(geom.XYWH(0, 0, w, h))
+	if a.Bounds().Y >= b.Bounds().Y {
+		t.Fatal("vertical order wrong")
+	}
+	if b.Bounds().Y < a.Bounds().MaxY()+4 {
+		t.Fatal("spacing not applied")
+	}
+}
+
+func TestBoxLayoutHorizontalExpand(t *testing.T) {
+	a, b := NewLabel("a"), NewLabel("bb")
+	box := NewHBox(2)
+	box.Add(a)
+	box.AddExpand(b)
+	box.Allocate(geom.XYWH(0, 0, 300, 20))
+	if b.Bounds().W <= 50 {
+		t.Fatalf("expanding child width %d", b.Bounds().W)
+	}
+	if a.Bounds().W > 50 {
+		t.Fatal("fixed child expanded")
+	}
+}
+
+func TestSliderClickSetsValue(t *testing.T) {
+	var got float64
+	sl := NewSlider("Zoom", 0, 10, 5, func(v float64) { got = v })
+	w, h := sl.SizeRequest()
+	sl.Allocate(geom.XYWH(0, 0, w, h))
+	g := sl.groove()
+	// Click the far right of the groove.
+	sl.HandleEvent(Event{Kind: MouseDown, Button: ButtonLeft, Pos: geom.Pt{X: g.MaxX() - 1, Y: g.Y + 2}})
+	if got < 9.5 {
+		t.Fatalf("right-edge click set %v", got)
+	}
+	sl.HandleEvent(Event{Kind: MouseDown, Button: ButtonLeft, Pos: geom.Pt{X: g.X, Y: g.Y + 2}})
+	if sl.Value != 0 {
+		t.Fatalf("left-edge click set %v", sl.Value)
+	}
+}
+
+func TestSliderSetValueClamps(t *testing.T) {
+	sl := NewSlider("x", 0, 10, 5, nil)
+	sl.SetValue(99)
+	if sl.Value != 10 {
+		t.Fatal("slider should clamp high")
+	}
+	sl.SetValue(-1)
+	if sl.Value != 0 {
+		t.Fatal("slider should clamp low")
+	}
+}
+
+func TestSpinBoxArrows(t *testing.T) {
+	var got float64
+	sp := NewSpinBox("Period", 10, 100, 10, 50, func(v float64) { got = v })
+	w, h := sp.SizeRequest()
+	sp.Allocate(geom.XYWH(0, 0, w, h))
+	a := sp.arrowsRect()
+	sp.HandleEvent(Event{Kind: MouseDown, Button: ButtonLeft, Pos: geom.Pt{X: a.X + 2, Y: a.Y + 1}})
+	if got != 60 {
+		t.Fatalf("up arrow → %v", got)
+	}
+	sp.HandleEvent(Event{Kind: MouseDown, Button: ButtonLeft, Pos: geom.Pt{X: a.X + 2, Y: a.MaxY() - 2}})
+	if got != 50 {
+		t.Fatalf("down arrow → %v", got)
+	}
+	sp.SetValue(5)
+	if sp.Value != 10 {
+		t.Fatal("spin should clamp to min")
+	}
+}
+
+func TestRulerDraws(t *testing.T) {
+	for _, vertical := range []bool{false, true} {
+		ru := &Ruler{Vertical: vertical, Lo: 0, Hi: 100}
+		w, h := ru.SizeRequest()
+		s := draw.NewSurface(w+60, h+60)
+		ru.Allocate(geom.XYWH(0, 0, w+60, h+60))
+		ru.Draw(s)
+		ink := 0
+		for _, p := range s.Pix {
+			if p == draw.Black {
+				ink++
+			}
+		}
+		if ink < 10 {
+			t.Fatalf("ruler (vertical=%v) rendered %d ink px", vertical, ink)
+		}
+	}
+}
+
+func TestScopeWidgetRenderFrame(t *testing.T) {
+	sc, _ := scopeRig(t)
+	var v core.IntVar
+	sc.AddSignal(core.Sig{Name: "elephants", Source: &v, Max: 40}) //nolint:errcheck
+	sc.AddSignal(core.Sig{Name: "CWND", Source: &v, Max: 40})      //nolint:errcheck
+	sw := NewScopeWidget(sc)
+	frame := sw.RenderFrame()
+	if frame.W < 200 || frame.H < 150 {
+		t.Fatalf("frame size %dx%d", frame.W, frame.H)
+	}
+	// The canvas background must appear.
+	found := false
+	for _, p := range frame.Pix {
+		if p == draw.ScopeBG {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("scope canvas missing from frame")
+	}
+}
+
+func TestScopeWidgetLeftClickTogglesSignal(t *testing.T) {
+	sc, _ := scopeRig(t)
+	var v core.IntVar
+	sig, _ := sc.AddSignal(core.Sig{Name: "CWND", Source: &v})
+	sw := NewScopeWidget(sc)
+	win := sw.Window()
+	pt, ok := sw.NameButtonCenter(win, 0)
+	if !ok {
+		t.Fatal("no name button")
+	}
+	if !win.Click(pt.X, pt.Y, ButtonLeft) {
+		t.Fatal("click not consumed")
+	}
+	if sig.Visible() {
+		t.Fatal("left click should hide the signal")
+	}
+	win.Click(pt.X, pt.Y, ButtonLeft)
+	if !sig.Visible() {
+		t.Fatal("second click should show it again")
+	}
+}
+
+func TestScopeWidgetRightClickOpensParams(t *testing.T) {
+	sc, _ := scopeRig(t)
+	var v core.IntVar
+	sc.AddSignal(core.Sig{Name: "CWND", Source: &v}) //nolint:errcheck
+	sw := NewScopeWidget(sc)
+	var opened *core.Signal
+	sw.OnSignalParams = func(s *core.Signal) { opened = s }
+	win := sw.Window()
+	pt, _ := sw.NameButtonCenter(win, 0)
+	win.Click(pt.X, pt.Y, ButtonRight)
+	if opened == nil || opened.Name() != "CWND" {
+		t.Fatal("right click did not open params")
+	}
+}
+
+func TestScopeWidgetValueButton(t *testing.T) {
+	sc, _ := scopeRig(t)
+	var v core.IntVar
+	sig, _ := sc.AddSignal(core.Sig{Name: "CWND", Source: &v})
+	sw := NewScopeWidget(sc)
+	win := sw.Window()
+	pt, ok := sw.ValueButtonCenter(win, 0)
+	if !ok {
+		t.Fatal("no value button")
+	}
+	win.Click(pt.X, pt.Y, ButtonLeft)
+	if !sig.ShowValue() {
+		t.Fatal("Value button should latch value display")
+	}
+}
+
+func TestScopeWidgetZoomControlDrivesScope(t *testing.T) {
+	sc, _ := scopeRig(t)
+	var v core.IntVar
+	sc.AddSignal(core.Sig{Name: "x", Source: &v}) //nolint:errcheck
+	sw := NewScopeWidget(sc)
+	sw.Zoom.SetValue(4)
+	if sc.Zoom() != 4 {
+		t.Fatalf("scope zoom = %v", sc.Zoom())
+	}
+	sw.Bias.SetValue(-20)
+	if sc.Bias() != -20 {
+		t.Fatalf("scope bias = %v", sc.Bias())
+	}
+	sw.Delay.SetValue(150)
+	if sc.Delay() != 150*time.Millisecond {
+		t.Fatalf("scope delay = %v", sc.Delay())
+	}
+}
+
+func TestScopeWidgetPeriodChangeWhileRunning(t *testing.T) {
+	sc, loop := scopeRig(t)
+	var v core.IntVar
+	sc.AddSignal(core.Sig{Name: "x", Source: &v}) //nolint:errcheck
+	sc.SetPollingMode(50 * time.Millisecond)      //nolint:errcheck
+	if err := sc.StartPolling(); err != nil {
+		t.Fatal(err)
+	}
+	sw := NewScopeWidget(sc)
+	sw.Period.SetValue(100)
+	if sc.Period() != 100*time.Millisecond {
+		t.Fatalf("period = %v", sc.Period())
+	}
+	if !sc.Running() {
+		t.Fatal("scope should still be running after period change")
+	}
+	before := sc.Stats().Polls
+	loop.Advance(500 * time.Millisecond)
+	after := sc.Stats().Polls
+	if after-before != 5 {
+		t.Fatalf("polled %d times in 500ms at 100ms period", after-before)
+	}
+}
+
+func TestScopeWidgetRefreshOnDynamicSignals(t *testing.T) {
+	sc, _ := scopeRig(t)
+	var v core.IntVar
+	sc.AddSignal(core.Sig{Name: "a", Source: &v}) //nolint:errcheck
+	sw := NewScopeWidget(sc)
+	sw.RenderFrame()
+	sc.AddSignal(core.Sig{Name: "b", Source: &v}) //nolint:errcheck
+	sw.RenderFrame()                              // must pick up the new row
+	win := sw.Window()
+	if _, ok := sw.NameButtonCenter(win, 1); !ok {
+		t.Fatal("second signal row missing after dynamic add")
+	}
+}
+
+func TestSignalParamsWindow(t *testing.T) {
+	sc, _ := scopeRig(t)
+	var v core.IntVar
+	sig, _ := sc.AddSignal(core.Sig{Name: "CWND", Source: &v})
+	win := SignalParamsWindow(sig)
+	s := win.Render()
+	if s.W < 100 || s.H < 60 {
+		t.Fatalf("window too small: %dx%d", s.W, s.H)
+	}
+}
+
+func TestControlParamsWindowSetsValues(t *testing.T) {
+	ps := core.NewParamSet()
+	var n core.IntVar
+	n.Store(8)
+	ps.Add(core.IntParam("elephants", &n, 0, 40)) //nolint:errcheck
+	win := ControlParamsWindow("mxtraf", ps)
+	win.Render()
+	// Find the spin box and click its up arrow.
+	root := win.Child().(*Box)
+	var spin *SpinBox
+	for _, c := range root.Children() {
+		if sp, ok := c.(*SpinBox); ok {
+			spin = sp
+		}
+	}
+	if spin == nil {
+		t.Fatal("no spin box for parameter")
+	}
+	a := spin.arrowsRect()
+	win.Click(a.X+2, a.Y+1, ButtonLeft)
+	if n.Load() != 9 {
+		t.Fatalf("param after up-click = %d, want 9", n.Load())
+	}
+}
+
+func TestControlParamsWindowEmpty(t *testing.T) {
+	ps := core.NewParamSet()
+	win := ControlParamsWindow("empty", ps)
+	if s := win.Render(); s.W <= 0 {
+		t.Fatal("empty params window failed to render")
+	}
+}
+
+func TestParamsSummary(t *testing.T) {
+	ps := core.NewParamSet()
+	var n core.IntVar
+	n.Store(8)
+	ps.Add(core.IntParam("elephants", &n, 0, 40)) //nolint:errcheck
+	if got := ParamsSummary(ps); got != "elephants=8" {
+		t.Fatalf("summary = %q", got)
+	}
+}
+
+func TestWindowCloseBoxAndTitle(t *testing.T) {
+	win := NewWindow("Test Window", NewLabel("body"))
+	s := win.Render()
+	// Title bar pixels present.
+	blue := draw.RGB{R: 70, G: 90, B: 140}
+	found := 0
+	for _, p := range s.Pix {
+		if p == blue {
+			found++
+		}
+	}
+	if found < 50 {
+		t.Fatal("title bar missing")
+	}
+}
+
+func TestColorRowCyclesPalette(t *testing.T) {
+	sc, _ := scopeRig(t)
+	var v core.IntVar
+	sig, _ := sc.AddSignal(core.Sig{Name: "x", Source: &v})
+	before := sig.Color()
+	cr := &colorRow{sig: sig}
+	cr.Allocate(geom.XYWH(0, 0, 160, 16))
+	cr.HandleEvent(Event{Kind: MouseDown, Button: ButtonLeft, Pos: geom.Pt{X: 5, Y: 5}})
+	if sig.Color() == before {
+		t.Fatal("color did not cycle")
+	}
+}

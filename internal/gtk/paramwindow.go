@@ -1,0 +1,138 @@
+package gtk
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/draw"
+	"repro/internal/geom"
+)
+
+// SignalParamsWindow builds the per-signal parameter dialog of Figure 2,
+// reached by right-clicking a signal name: color, displayed min/max, line
+// mode, hidden flag and the low-pass filter α, all wired live to the
+// signal.
+func SignalParamsWindow(sig *core.Signal) *Window {
+	root := NewVBox(3)
+	root.Padding = 6
+
+	title := NewLabel("Signal: " + sig.Name())
+	title.Bold = true
+	root.Add(title)
+
+	root.Add(&colorRow{sig: sig})
+
+	lo, hi := sig.Range()
+	minSpin := NewSpinBox("Min", -1e9, 1e9, 1, lo, nil)
+	maxSpin := NewSpinBox("Max", -1e9, 1e9, 1, hi, nil)
+	minSpin.OnChange = func(v float64) { _, h := sig.Range(); sig.SetRange(v, h) }
+	maxSpin.OnChange = func(v float64) { l, _ := sig.Range(); sig.SetRange(l, v) }
+	row := NewHBox(8)
+	row.Add(minSpin)
+	row.Add(maxSpin)
+	root.Add(row)
+
+	lineBtn := NewButton("Line: "+sig.Line().String(), nil)
+	lineBtn.OnClick = func(int) {
+		next := (sig.Line() + 1) % 3
+		sig.SetLine(next)
+		lineBtn.Text = "Line: " + next.String()
+	}
+	hidden := NewToggle("Hidden", func(on bool) { sig.SetVisible(!on) })
+	hidden.On = !sig.Visible()
+	hidden.Pressed = hidden.On
+	row2 := NewHBox(8)
+	row2.Add(lineBtn)
+	row2.Add(hidden)
+	root.Add(row2)
+
+	filter := NewSlider("Filter α", 0, 1, sig.FilterAlpha(), sig.SetFilterAlpha)
+	root.Add(filter)
+
+	return NewWindow("Signal Parameters", root)
+}
+
+// colorRow shows the signal's trace color swatch and hex value.
+type colorRow struct {
+	Base
+	sig *core.Signal
+}
+
+// SizeRequest implements Widget.
+func (cr *colorRow) SizeRequest() (int, int) { return 160, draw.LineH + 6 }
+
+// Draw implements Widget.
+func (cr *colorRow) Draw(s *draw.Surface) {
+	r := cr.Bounds()
+	s.FillRect(r, draw.WidgetBG)
+	s.Text(r.X, r.Y+(r.H-draw.GlyphH)/2, "Color", draw.Black)
+	sw := geom.XYWH(r.X+50, r.Y+2, 28, r.H-4)
+	s.FillRect(sw, cr.sig.Color())
+	s.StrokeRect(sw, draw.Black)
+	s.Text(sw.MaxX()+6, r.Y+(r.H-draw.GlyphH)/2, cr.sig.Color().String(), draw.DarkGray)
+}
+
+// HandleEvent cycles the color through the palette on click.
+func (cr *colorRow) HandleEvent(ev Event) bool {
+	if ev.Kind != MouseDown || !ev.Pos.In(cr.Bounds()) {
+		return false
+	}
+	cur := cr.sig.Color()
+	for i, c := range draw.Palette {
+		if c == cur {
+			cr.sig.SetColor(draw.PaletteColor(i + 1))
+			return true
+		}
+	}
+	cr.sig.SetColor(draw.PaletteColor(0))
+	return true
+}
+
+// ControlParamsWindow builds the application/control parameters window of
+// Figure 3: each registered parameter gets a row with its name and a spin
+// box that reads and writes it. Signals can only be read; parameters can
+// also be written (§3.2), which is how the GUI modifies application
+// behaviour at run time.
+func ControlParamsWindow(title string, params *core.ParamSet) *Window {
+	root := NewVBox(3)
+	root.Padding = 6
+	head := NewLabel(title)
+	head.Bold = true
+	root.Add(head)
+
+	for _, p := range params.List() {
+		p := p
+		step := p.Step
+		if step == 0 {
+			step = 1
+		}
+		lo, hi := p.Min, p.Max
+		if !p.Bounded() {
+			lo, hi = -1e12, 1e12
+		}
+		spin := NewSpinBox(p.Name, lo, hi, step, p.Get(), nil)
+		if p.Set != nil {
+			name := p.Name
+			spin.OnChange = func(v float64) {
+				params.Set(name, v) //nolint:errcheck // registry owns the param
+			}
+		}
+		root.Add(spin)
+	}
+	if len(params.List()) == 0 {
+		root.Add(NewLabel("(no parameters)"))
+	}
+	return NewWindow("Application Parameters", root)
+}
+
+// ParamsSummary formats parameters as "name=value" pairs for logs.
+func ParamsSummary(params *core.ParamSet) string {
+	out := ""
+	for i, p := range params.List() {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%s", p.Name, trimNum(p.Get()))
+	}
+	return out
+}

@@ -1,0 +1,298 @@
+package gtk
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/draw"
+	"repro/internal/geom"
+)
+
+// Canvas embeds a scope's rendering area in the widget tree.
+type Canvas struct {
+	Base
+	Scope *core.Scope
+}
+
+// SizeRequest implements Widget.
+func (c *Canvas) SizeRequest() (int, int) {
+	w, h := c.Scope.Size()
+	return w + 2, h + 2
+}
+
+// Draw implements Widget.
+func (c *Canvas) Draw(s *draw.Surface) {
+	r := c.Bounds()
+	s.Bevel3D(r, false)
+	c.Scope.Render(s, r.Inset(1))
+}
+
+// sigRow is one per-signal control row: the signal-name button (left-click
+// toggles display, right-click opens the parameters window) and the Value
+// button that, when latched, continuously displays the signal value — the
+// behaviour Figure 1's CWND row demonstrates.
+type sigRow struct {
+	Base
+	sig      *core.Signal
+	onParams func(*core.Signal)
+}
+
+const sigNameW = 90
+
+// SizeRequest implements Widget.
+func (sr *sigRow) SizeRequest() (int, int) {
+	return sigNameW + 52 + 80, draw.LineH + 8
+}
+
+func (sr *sigRow) nameRect() geom.Rect {
+	r := sr.Bounds()
+	return geom.XYWH(r.X+2, r.Y+1, sigNameW, r.H-2)
+}
+
+func (sr *sigRow) valueRect() geom.Rect {
+	n := sr.nameRect()
+	return geom.XYWH(n.MaxX()+4, n.Y, 48, n.H)
+}
+
+// Draw implements Widget.
+func (sr *sigRow) Draw(s *draw.Surface) {
+	r := sr.Bounds()
+	s.FillRect(r, draw.WidgetBG)
+
+	n := sr.nameRect()
+	s.FillRect(n, draw.WidgetBG)
+	s.Bevel3D(n, sr.sig.Visible())
+	nameCol := sr.sig.Color()
+	if !sr.sig.Visible() {
+		nameCol = draw.Gray
+	}
+	// Color chip + name, like the colored signal labels in Figure 4.
+	chip := geom.XYWH(n.X+3, n.Y+3, 8, n.H-6)
+	s.FillRect(chip, sr.sig.Color())
+	s.StrokeRect(chip, draw.Black)
+	s.Text(chip.MaxX()+4, n.Y+(n.H-draw.GlyphH)/2, sr.sig.Name(), nameCol.Blend(draw.Black, 0.4))
+
+	v := sr.valueRect()
+	s.FillRect(v, draw.WidgetBG)
+	s.Bevel3D(v, !sr.sig.ShowValue())
+	s.TextCentered(v.X, v.MaxX(), v.Y+(v.H-draw.GlyphH)/2, "Value", draw.Black)
+
+	if sr.sig.ShowValue() {
+		s.Text(v.MaxX()+6, v.Y+(v.H-draw.GlyphH)/2, trimNum(sr.sig.Value()), draw.Blue)
+	}
+}
+
+// HandleEvent implements Widget.
+func (sr *sigRow) HandleEvent(ev Event) bool {
+	if ev.Kind != MouseDown {
+		return false
+	}
+	switch {
+	case ev.Pos.In(sr.nameRect()):
+		if ev.Button == ButtonRight {
+			if sr.onParams != nil {
+				sr.onParams(sr.sig)
+			}
+		} else {
+			sr.sig.ToggleVisible()
+		}
+		return true
+	case ev.Pos.In(sr.valueRect()):
+		sr.sig.SetShowValue(!sr.sig.ShowValue())
+		return true
+	}
+	return false
+}
+
+// ScopeWidget is the full GtkScope widget of Figure 1: the canvas with x/y
+// rulers, the zoom/bias sliders, the sampling-period and delay spin
+// buttons, and one control row per signal. Changing a control updates the
+// underlying scope immediately (and every GUI action has a programmatic
+// counterpart on core.Scope).
+type ScopeWidget struct {
+	*Box
+
+	scope  *core.Scope
+	canvas *Canvas
+	xruler *Ruler
+	yruler *Ruler
+	Zoom   *Slider
+	Bias   *Slider
+	Period *SpinBox
+	Delay  *SpinBox
+
+	rows    *Box
+	rowsFor int
+
+	// OnSignalParams is invoked when a signal name is right-clicked; the
+	// application typically opens SignalParamsWindow for the signal.
+	OnSignalParams func(*core.Signal)
+}
+
+// NewScopeWidget builds the widget tree for scope.
+func NewScopeWidget(scope *core.Scope) *ScopeWidget {
+	sw := &ScopeWidget{scope: scope}
+	sw.canvas = &Canvas{Scope: scope}
+
+	sw.yruler = NewYRuler(0, 100)
+	sw.xruler = NewXRuler(0, sw.sweepSeconds())
+	sw.xruler.Thickness = 18
+
+	top := NewHBox(0)
+	top.Add(sw.yruler)
+	top.Add(sw.canvas)
+
+	xr := NewHBox(0)
+	xr.Add(&Spacer{W: 26, H: 1}) // align under the canvas, past the y ruler
+	sw.xruler.Ticks = 6
+	xr.AddExpand(sw.xruler)
+
+	sw.Zoom = NewSlider("Zoom", 0.125, 8, scope.Zoom(), func(v float64) { scope.SetZoom(v); sw.updateRuler() })
+	sw.Bias = NewSlider("Bias", -100, 100, scope.Bias(), func(v float64) { scope.SetBias(v) })
+	sliders := NewHBox(10)
+	sliders.Add(sw.Zoom)
+	sliders.Add(sw.Bias)
+
+	sw.Period = NewSpinBox("Period", 10, 5000, 10, float64(scope.Period().Milliseconds()), func(v float64) {
+		setPeriod(scope, time.Duration(v)*time.Millisecond)
+		sw.updateRuler()
+	})
+	sw.Period.Unit = "ms"
+	sw.Delay = NewSpinBox("Delay", 0, 60000, 50, float64(scope.Delay().Milliseconds()), func(v float64) {
+		scope.SetDelay(time.Duration(v) * time.Millisecond)
+	})
+	sw.Delay.Unit = "ms"
+	spins := NewHBox(10)
+	spins.Add(sw.Period)
+	spins.Add(sw.Delay)
+
+	sw.rows = NewVBox(1)
+
+	root := NewVBox(2)
+	root.Padding = 3
+	root.Add(top)
+	root.Add(xr)
+	root.Add(sliders)
+	root.Add(spins)
+	root.Add(sw.rows)
+	sw.Box = root
+
+	sw.RefreshSignals()
+	return sw
+}
+
+// Scope returns the underlying scope.
+func (sw *ScopeWidget) Scope() *core.Scope { return sw.scope }
+
+// setPeriod applies a polling-period change, restarting acquisition when
+// the scope is running (the GUI's period widget works live).
+func setPeriod(scope *core.Scope, p time.Duration) {
+	if scope.Mode() == core.ModePolling {
+		running := scope.Running()
+		if running {
+			scope.Stop()
+		}
+		scope.SetPollingMode(p) //nolint:errcheck // p>0 and scope stopped
+		if running {
+			scope.StartPolling() //nolint:errcheck // mode is polling
+		}
+	}
+}
+
+// sweepSeconds returns the canvas width expressed in seconds of sweep.
+func (sw *ScopeWidget) sweepSeconds() float64 {
+	w, _ := sw.scope.Size()
+	return float64(w) / sw.scope.Zoom() * sw.scope.Period().Seconds()
+}
+
+func (sw *ScopeWidget) updateRuler() {
+	sw.xruler.SetRange(0, sw.sweepSeconds())
+}
+
+// RefreshSignals rebuilds the per-signal rows after dynamic signal
+// addition or removal.
+func (sw *ScopeWidget) RefreshSignals() {
+	sigs := sw.scope.Signals()
+	sw.rows.children = sw.rows.children[:0]
+	for _, s := range sigs {
+		row := &sigRow{sig: s, onParams: func(s *core.Signal) {
+			if sw.OnSignalParams != nil {
+				sw.OnSignalParams(s)
+			}
+		}}
+		sw.rows.Add(row)
+	}
+	sw.rowsFor = len(sigs)
+}
+
+// Draw implements Widget, refreshing the signal rows and x ruler before
+// painting.
+func (sw *ScopeWidget) Draw(s *draw.Surface) {
+	if sw.rowsFor != len(sw.scope.Signals()) {
+		sw.RefreshSignals()
+		sw.Box.Allocate(sw.Bounds())
+	}
+	sw.updateRuler()
+	sw.Box.Draw(s)
+}
+
+// Window wraps the widget in a titled top-level window named after the
+// scope, the way gtk_scope_new realizes one on screen.
+func (sw *ScopeWidget) Window() *Window {
+	title := sw.scope.Name()
+	if title == "" {
+		title = "gscope"
+	}
+	return NewWindow(title, sw)
+}
+
+// RenderFrame lays out and renders a complete window screenshot.
+func (sw *ScopeWidget) RenderFrame() *draw.Surface {
+	return sw.Window().Render()
+}
+
+// signalRowAt exposes row geometry for tests: it returns the center of the
+// name button of row i after layout.
+func (sw *ScopeWidget) signalRowAt(i int) (geom.Pt, bool) {
+	kids := sw.rows.Children()
+	if i < 0 || i >= len(kids) {
+		return geom.Pt{}, false
+	}
+	row, ok := kids[i].(*sigRow)
+	if !ok {
+		return geom.Pt{}, false
+	}
+	n := row.nameRect()
+	return geom.Pt{X: n.X + n.W/2, Y: n.Y + n.H/2}, true
+}
+
+// NameButtonCenter returns the window coordinates of signal i's name
+// button; it is used by tests and by demo scripts that simulate clicks.
+func (sw *ScopeWidget) NameButtonCenter(win *Window, i int) (geom.Pt, bool) {
+	win.Layout()
+	return sw.signalRowAt(i)
+}
+
+// ValueButtonCenter returns the window coordinates of signal i's Value
+// button after layout.
+func (sw *ScopeWidget) ValueButtonCenter(win *Window, i int) (geom.Pt, bool) {
+	win.Layout()
+	kids := sw.rows.Children()
+	if i < 0 || i >= len(kids) {
+		return geom.Pt{}, false
+	}
+	row, ok := kids[i].(*sigRow)
+	if !ok {
+		return geom.Pt{}, false
+	}
+	v := row.valueRect()
+	return geom.Pt{X: v.X + v.W/2, Y: v.Y + v.H/2}, true
+}
+
+// StatusLine formats a one-line summary used by terminal demos.
+func (sw *ScopeWidget) StatusLine() string {
+	st := sw.scope.Stats()
+	return fmt.Sprintf("%s: mode=%s period=%s polls=%d lost=%d",
+		sw.scope.Name(), sw.scope.Mode(), sw.scope.Period(), st.Polls, st.LostTicks)
+}

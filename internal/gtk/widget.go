@@ -1,0 +1,316 @@
+// Package gtk is a small retained-mode widget toolkit standing in for the
+// GTK+/Gnome layer the original gscope was written against. It provides
+// just enough machinery to reproduce the paper's GUI faithfully: the
+// GtkScope widget with canvas, rulers, zoom/bias/period/delay controls and
+// per-signal button rows (Figures 1, 4, 5), the signal-parameters window
+// (Figure 2) and the control-parameters window (Figure 3), with mouse
+// event routing (left-click toggles a signal, right-click opens its
+// parameter window) and rendering onto a draw.Surface.
+package gtk
+
+import (
+	"repro/internal/draw"
+	"repro/internal/geom"
+)
+
+// EventKind distinguishes input events.
+type EventKind int
+
+// Event kinds.
+const (
+	MouseDown EventKind = iota
+	MouseUp
+)
+
+// Mouse buttons, numbered as in X11: 1 is left, 3 is right.
+const (
+	ButtonLeft  = 1
+	ButtonRight = 3
+)
+
+// Event is one input event in window coordinates.
+type Event struct {
+	Kind   EventKind
+	Button int
+	Pos    geom.Pt
+}
+
+// Widget is anything that can be laid out, drawn and clicked.
+type Widget interface {
+	// SizeRequest returns the preferred size in pixels.
+	SizeRequest() (w, h int)
+	// Allocate assigns the widget its on-screen rectangle.
+	Allocate(r geom.Rect)
+	// Bounds returns the allocated rectangle.
+	Bounds() geom.Rect
+	// Draw renders the widget into s.
+	Draw(s *draw.Surface)
+	// HandleEvent offers an event; the widget returns true if consumed.
+	HandleEvent(ev Event) bool
+}
+
+// Base provides allocation bookkeeping for widget implementations.
+type Base struct {
+	rect geom.Rect
+}
+
+// Allocate implements Widget.
+func (b *Base) Allocate(r geom.Rect) { b.rect = r }
+
+// Bounds implements Widget.
+func (b *Base) Bounds() geom.Rect { return b.rect }
+
+// HandleEvent implements Widget with a no-op.
+func (b *Base) HandleEvent(Event) bool { return false }
+
+// Label is a static line of text.
+type Label struct {
+	Base
+	Text  string
+	Color draw.RGB
+	// Bold draws the text twice with a 1px offset, approximating a bold
+	// face.
+	Bold bool
+}
+
+// NewLabel returns a black label.
+func NewLabel(text string) *Label { return &Label{Text: text, Color: draw.Black} }
+
+// SizeRequest implements Widget.
+func (l *Label) SizeRequest() (int, int) { return draw.TextWidth(l.Text) + 4, draw.LineH + 2 }
+
+// Draw implements Widget.
+func (l *Label) Draw(s *draw.Surface) {
+	r := l.Bounds()
+	y := r.Y + (r.H-draw.GlyphH)/2
+	s.Text(r.X+2, y, l.Text, l.Color)
+	if l.Bold {
+		s.Text(r.X+3, y, l.Text, l.Color)
+	}
+}
+
+// Button is a push button with an optional per-mouse-button click handler.
+type Button struct {
+	Base
+	Text  string
+	Color draw.RGB // text color; zero value renders black
+	// Pressed gives the button a sunken look (used for latched toggles).
+	Pressed bool
+	// OnClick receives the mouse button number (1 left, 3 right).
+	OnClick func(button int)
+
+	clicks int
+}
+
+// NewButton returns a button with a click handler.
+func NewButton(text string, onClick func(button int)) *Button {
+	return &Button{Text: text, OnClick: onClick}
+}
+
+// Clicks returns how many times the button has been activated.
+func (b *Button) Clicks() int { return b.clicks }
+
+// SizeRequest implements Widget.
+func (b *Button) SizeRequest() (int, int) { return draw.TextWidth(b.Text) + 12, draw.LineH + 6 }
+
+// Draw implements Widget.
+func (b *Button) Draw(s *draw.Surface) {
+	r := b.Bounds()
+	s.FillRect(r, draw.WidgetBG)
+	s.Bevel3D(r, !b.Pressed)
+	c := b.Color
+	if (c == draw.RGB{}) {
+		c = draw.Black
+	}
+	s.TextCentered(r.X, r.MaxX(), r.Y+(r.H-draw.GlyphH)/2, b.Text, c)
+}
+
+// HandleEvent implements Widget.
+func (b *Button) HandleEvent(ev Event) bool {
+	if ev.Kind != MouseDown || !ev.Pos.In(b.Bounds()) {
+		return false
+	}
+	b.clicks++
+	if b.OnClick != nil {
+		b.OnClick(ev.Button)
+	}
+	return true
+}
+
+// Toggle is a latching button.
+type Toggle struct {
+	Button
+	On       bool
+	OnToggle func(on bool)
+}
+
+// NewToggle returns a toggle with a state-change handler.
+func NewToggle(text string, onToggle func(on bool)) *Toggle {
+	t := &Toggle{OnToggle: onToggle}
+	t.Text = text
+	t.OnClick = func(int) {
+		t.On = !t.On
+		t.Pressed = t.On
+		if t.OnToggle != nil {
+			t.OnToggle(t.On)
+		}
+	}
+	return t
+}
+
+// Spacer is fixed empty space.
+type Spacer struct {
+	Base
+	W, H int
+}
+
+// SizeRequest implements Widget.
+func (sp *Spacer) SizeRequest() (int, int) { return sp.W, sp.H }
+
+// Draw implements Widget.
+func (sp *Spacer) Draw(*draw.Surface) {}
+
+// Box lays children out in a row or column, GTK-style: each child gets its
+// requested size along the box axis, the full extent across it, and any
+// leftover space goes to children marked as expanding.
+type Box struct {
+	Base
+	Vertical bool
+	Spacing  int
+	Padding  int
+
+	children []boxChild
+}
+
+type boxChild struct {
+	w      Widget
+	expand bool
+}
+
+// NewHBox returns a horizontal box.
+func NewHBox(spacing int) *Box { return &Box{Spacing: spacing} }
+
+// NewVBox returns a vertical box.
+func NewVBox(spacing int) *Box { return &Box{Vertical: true, Spacing: spacing} }
+
+// Add appends a fixed-size child.
+func (b *Box) Add(w Widget) *Box {
+	b.children = append(b.children, boxChild{w: w})
+	return b
+}
+
+// AddExpand appends a child that absorbs leftover space.
+func (b *Box) AddExpand(w Widget) *Box {
+	b.children = append(b.children, boxChild{w: w, expand: true})
+	return b
+}
+
+// Children returns the child widgets in order.
+func (b *Box) Children() []Widget {
+	out := make([]Widget, len(b.children))
+	for i, c := range b.children {
+		out[i] = c.w
+	}
+	return out
+}
+
+// SizeRequest implements Widget.
+func (b *Box) SizeRequest() (int, int) {
+	var main, cross int
+	for i, c := range b.children {
+		w, h := c.w.SizeRequest()
+		if b.Vertical {
+			main += h
+			if w > cross {
+				cross = w
+			}
+		} else {
+			main += w
+			if h > cross {
+				cross = h
+			}
+		}
+		if i > 0 {
+			main += b.Spacing
+		}
+	}
+	main += 2 * b.Padding
+	cross += 2 * b.Padding
+	if b.Vertical {
+		return cross, main
+	}
+	return main, cross
+}
+
+// Allocate implements Widget, distributing space among children.
+func (b *Box) Allocate(r geom.Rect) {
+	b.Base.Allocate(r)
+	inner := r.Inset(b.Padding)
+	reqMain := 0
+	expanders := 0
+	for i, c := range b.children {
+		w, h := c.w.SizeRequest()
+		if b.Vertical {
+			reqMain += h
+		} else {
+			reqMain += w
+		}
+		if i > 0 {
+			reqMain += b.Spacing
+		}
+		if c.expand {
+			expanders++
+		}
+	}
+	avail := inner.H
+	if !b.Vertical {
+		avail = inner.W
+	}
+	extra := avail - reqMain
+	if extra < 0 {
+		extra = 0
+	}
+	perExpand := 0
+	if expanders > 0 {
+		perExpand = extra / expanders
+	}
+	pos := inner.Y
+	if !b.Vertical {
+		pos = inner.X
+	}
+	for _, c := range b.children {
+		cw, ch := c.w.SizeRequest()
+		if b.Vertical {
+			h := ch
+			if c.expand {
+				h += perExpand
+			}
+			c.w.Allocate(geom.XYWH(inner.X, pos, inner.W, h))
+			pos += h + b.Spacing
+		} else {
+			w := cw
+			if c.expand {
+				w += perExpand
+			}
+			c.w.Allocate(geom.XYWH(pos, inner.Y, w, inner.H))
+			pos += w + b.Spacing
+		}
+	}
+}
+
+// Draw implements Widget.
+func (b *Box) Draw(s *draw.Surface) {
+	for _, c := range b.children {
+		c.w.Draw(s)
+	}
+}
+
+// HandleEvent implements Widget, offering the event to children in order.
+func (b *Box) HandleEvent(ev Event) bool {
+	for _, c := range b.children {
+		if c.w.HandleEvent(ev) {
+			return true
+		}
+	}
+	return false
+}

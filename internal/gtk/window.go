@@ -1,0 +1,77 @@
+package gtk
+
+import (
+	"repro/internal/draw"
+	"repro/internal/geom"
+)
+
+// Window is a top-level widget with a title bar. It owns a child widget,
+// lays it out, renders the whole tree to a Surface, and routes mouse events
+// into the tree — the stand-in for an X11 window.
+type Window struct {
+	Title string
+	child Widget
+
+	// explicit size; 0 means size to the child's request.
+	w, h int
+}
+
+const titleBarH = 16
+
+// NewWindow wraps child in a window.
+func NewWindow(title string, child Widget) *Window {
+	return &Window{Title: title, child: child}
+}
+
+// SetSize forces the window content area to w×h pixels.
+func (win *Window) SetSize(w, h int) { win.w, win.h = w, h }
+
+// Child returns the content widget.
+func (win *Window) Child() Widget { return win.child }
+
+// Size returns the full window size including decoration.
+func (win *Window) Size() (int, int) {
+	cw, ch := win.child.SizeRequest()
+	if win.w > 0 {
+		cw = win.w
+	}
+	if win.h > 0 {
+		ch = win.h
+	}
+	return cw + 4, ch + titleBarH + 4
+}
+
+// Layout allocates the widget tree for the current size.
+func (win *Window) Layout() {
+	w, h := win.Size()
+	win.child.Allocate(geom.XYWH(2, titleBarH+2, w-4, h-titleBarH-4))
+}
+
+// Render lays out and draws the window into a fresh surface.
+func (win *Window) Render() *draw.Surface {
+	w, h := win.Size()
+	s := draw.NewSurface(w, h)
+	win.Layout()
+	// Frame and title bar in the classic sawfish/GTK style of the paper's
+	// screenshots.
+	s.Fill(draw.WidgetBG)
+	s.StrokeRect(geom.XYWH(0, 0, w, h), draw.Black)
+	bar := geom.XYWH(1, 1, w-2, titleBarH)
+	s.FillRect(bar, draw.RGB{R: 70, G: 90, B: 140})
+	s.Text(6, 1+(titleBarH-draw.GlyphH)/2, win.Title, draw.White)
+	// Close box.
+	cb := geom.XYWH(w-14, 3, 11, 11)
+	s.FillRect(cb, draw.WidgetBG)
+	s.Bevel3D(cb, true)
+	s.Text(cb.X+3, cb.Y+2, "x", draw.Black)
+
+	win.child.Draw(s)
+	return s
+}
+
+// Click dispatches a mouse press at window coordinates into the tree. It
+// returns true if any widget consumed it.
+func (win *Window) Click(x, y, button int) bool {
+	win.Layout()
+	return win.child.HandleEvent(Event{Kind: MouseDown, Button: button, Pos: geom.Pt{X: x, Y: y}})
+}

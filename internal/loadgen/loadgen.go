@@ -1,0 +1,108 @@
+// Package loadgen implements the CPU-load measurement methodology of the
+// paper's overhead experiment (§4.6): "we use a CPU load program that runs
+// in a tight loop at a low priority and measures the number of loop
+// iterations it can perform at any given period. The ratio of the
+// iteration count when running gscope versus on an idle system gives an
+// estimate of the gscope overhead."
+//
+// Go exposes no thread priorities, so the reproduction pins the scheduler
+// to one logical CPU (GOMAXPROCS(1)) for the measurement — see
+// cmd/gscope-bench and the TAB-A benches — which recreates the paper's
+// single-processor contention: every cycle the scope spends polling is a
+// cycle the spin loop does not get.
+package loadgen
+
+import (
+	"runtime"
+	"time"
+)
+
+// sink prevents the spin loop from being optimized away.
+var sink uint64
+
+// spinChunk is the number of iterations between deadline checks; checking
+// time.Now on every iteration would measure the clock, not the CPU.
+const spinChunk = 4096
+
+// Spin runs the calibrated tight loop until the deadline and returns the
+// iteration count. The loop body is a cheap integer recurrence (xorshift),
+// mirroring the paper's counting loop.
+func Spin(d time.Duration) int64 {
+	deadline := time.Now().Add(d)
+	var count int64
+	x := uint64(88172645463325252)
+	for {
+		for i := 0; i < spinChunk; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+		}
+		count += spinChunk
+		if !time.Now().Before(deadline) {
+			break
+		}
+	}
+	sink = x
+	return count
+}
+
+// Result is one overhead measurement.
+type Result struct {
+	// Baseline is the iteration count with nothing else running.
+	Baseline int64
+	// Loaded is the iteration count while the system under test ran.
+	Loaded int64
+	// Duration is the measurement window.
+	Duration time.Duration
+}
+
+// OverheadPercent returns the §4.6 metric: the fraction of CPU the system
+// under test consumed, as a percentage.
+func (r Result) OverheadPercent() float64 {
+	if r.Baseline <= 0 {
+		return 0
+	}
+	oh := 1 - float64(r.Loaded)/float64(r.Baseline)
+	return oh * 100
+}
+
+// Measure runs the experiment: baseline spin, then spin again while
+// busywork (started before, stopped after) competes for the CPU. The
+// under-test workload is managed by the caller through start and stop
+// callbacks. GOMAXPROCS is pinned to 1 for the duration so the workloads
+// contend as they would on the paper's single-CPU machine.
+func Measure(window time.Duration, start func(), stop func()) Result {
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	// Warm up scheduling before both phases for symmetry.
+	runtime.Gosched()
+	baseline := Spin(window)
+
+	start()
+	// Give the workload a tick to install its timers.
+	time.Sleep(2 * time.Millisecond)
+	loaded := Spin(window)
+	stop()
+
+	return Result{Baseline: baseline, Loaded: loaded, Duration: window}
+}
+
+// MeasureRepeated runs Measure n times and returns the result with the
+// median loaded count, damping scheduler noise. n must be >= 1.
+func MeasureRepeated(n int, window time.Duration, start func(), stop func()) Result {
+	if n < 1 {
+		n = 1
+	}
+	results := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		results = append(results, Measure(window, start, stop))
+	}
+	// Median by overhead percentage (simple insertion sort; n is tiny).
+	for i := 1; i < len(results); i++ {
+		for j := i; j > 0 && results[j].OverheadPercent() < results[j-1].OverheadPercent(); j-- {
+			results[j], results[j-1] = results[j-1], results[j]
+		}
+	}
+	return results[len(results)/2]
+}

@@ -1,0 +1,71 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpinCountsIterations(t *testing.T) {
+	n := Spin(20 * time.Millisecond)
+	if n < spinChunk {
+		t.Fatalf("Spin counted only %d iterations", n)
+	}
+}
+
+func TestSpinScalesWithDuration(t *testing.T) {
+	short := Spin(10 * time.Millisecond)
+	long := Spin(80 * time.Millisecond)
+	if long < short*3 {
+		t.Fatalf("iteration count did not scale: %d vs %d", short, long)
+	}
+}
+
+func TestOverheadPercentMath(t *testing.T) {
+	r := Result{Baseline: 1000, Loaded: 980}
+	if got := r.OverheadPercent(); got < 1.99 || got > 2.01 {
+		t.Fatalf("overhead = %v, want 2", got)
+	}
+	zero := Result{}
+	if zero.OverheadPercent() != 0 {
+		t.Fatal("zero baseline should give 0")
+	}
+}
+
+func TestMeasureIdleWorkloadNearZero(t *testing.T) {
+	// A workload that does nothing should cost (nearly) nothing.
+	r := MeasureRepeated(3, 50*time.Millisecond, func() {}, func() {})
+	if oh := r.OverheadPercent(); oh > 20 {
+		t.Fatalf("idle workload measured at %v%% overhead", oh)
+	}
+}
+
+func TestMeasureBusyWorkloadVisible(t *testing.T) {
+	// A competing spin goroutine on GOMAXPROCS(1) must consume a visible
+	// share of the CPU.
+	stop := make(chan struct{})
+	started := make(chan struct{})
+	r := MeasureRepeated(3, 50*time.Millisecond,
+		func() {
+			go func() {
+				close(started)
+				x := uint64(1)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for i := 0; i < 1024; i++ {
+						x ^= x << 13
+					}
+					sink = x
+				}
+			}()
+			<-started
+		},
+		func() { close(stop); stop = make(chan struct{}); started = make(chan struct{}) },
+	)
+	if oh := r.OverheadPercent(); oh < 5 {
+		t.Fatalf("competing spinner measured at only %v%%", oh)
+	}
+}

@@ -1,0 +1,294 @@
+// Package mxtraf reimplements the mxtraf network traffic generator the
+// paper uses for its TCP/ECN experiment (§2): a small number of hosts
+// saturate a network with a tunable mix of long-lived TCP flows
+// ("elephants"), short transfers ("mice") and their metrics. Flow counts
+// change dynamically — the Figure 4/5 runs switch from 8 to 16 elephants
+// mid-experiment — and the generator exposes the signals the paper
+// visualizes: the elephant count, the congestion window of one flow,
+// connections and errors per second, aggregate throughput, and transfer
+// latency.
+//
+// The generator drives the netsim dumbbell rather than real kernels; see
+// DESIGN.md for why this substitution preserves the congestion-control
+// behaviour the figures show.
+package mxtraf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Config parameterizes a traffic generator run.
+type Config struct {
+	// Net is the emulated path (bandwidth, delay, queue discipline).
+	Net netsim.DumbbellConfig
+	// MouseSegments is the transfer size of short flows, in segments.
+	MouseSegments int64
+	// MouseDeadline is how long a mouse may take before it is counted as
+	// a connection error and torn down.
+	MouseDeadline time.Duration
+	// StaggerFlows spaces out elephant starts to avoid synchronized slow
+	// start; zero applies a 100 ms default.
+	StaggerFlows time.Duration
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration used by the Figure 4
+// reproduction: the default dumbbell with DropTail queueing.
+func DefaultConfig() Config {
+	return Config{
+		Net:           netsim.DefaultDumbbell(),
+		MouseSegments: 12,
+		MouseDeadline: 5 * time.Second,
+		StaggerFlows:  100 * time.Millisecond,
+		Seed:          1,
+	}
+}
+
+// ECNConfig returns the Figure 5 variant: RED queueing with ECN-capable
+// senders.
+func ECNConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Net.RED = true
+	cfg.Net.TCP.ECN = true
+	return cfg
+}
+
+// Metrics is a snapshot of the generator's windowed measurements, the
+// quantities the paper's client-server library correlates on one scope
+// (§4.4): connections per second, connection errors per second, network
+// throughput and latency.
+type Metrics struct {
+	Elephants     int
+	ConnsPerSec   float64
+	ErrorsPerSec  float64
+	ThroughputBps float64
+	LatencyMs     float64
+	Timeouts      int64
+	QueueLen      int
+}
+
+// Generator manages flows on a dumbbell and computes metrics.
+type Generator struct {
+	cfg Config
+	d   *netsim.Dumbbell
+	rng *rand.Rand
+
+	elephants []*netsim.Flow
+	udpFlow   *netsim.UDPFlow
+
+	miceStarted   int64
+	miceCompleted int64
+	miceErrors    int64
+	latencySumMs  float64
+	latencyCount  int64
+	miceStop      *netsim.Timer
+
+	// Window bookkeeping for rate metrics.
+	lastSnapAt        time.Duration
+	lastGoodput       int64
+	lastCompleted     int64
+	lastErrors        int64
+	lastLatencySum    float64
+	lastLatencyCount  int64
+	lastWindowMetrics Metrics
+}
+
+// New builds a generator over a fresh dumbbell.
+func New(cfg Config) *Generator {
+	if cfg.StaggerFlows == 0 {
+		cfg.StaggerFlows = 100 * time.Millisecond
+	}
+	return &Generator{
+		cfg: cfg,
+		d:   netsim.NewDumbbell(cfg.Net),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Sim exposes the simulator so callers advance virtual time.
+func (g *Generator) Sim() *netsim.Sim { return g.d.Sim }
+
+// Net exposes the dumbbell.
+func (g *Generator) Net() *netsim.Dumbbell { return g.d }
+
+// Elephants returns the current number of long-lived flows — the paper's
+// "elephants" signal.
+func (g *Generator) Elephants() int { return len(g.elephants) }
+
+// SetElephants adjusts the number of long-lived flows to n, starting new
+// flows staggered by the configured interval or tearing down the
+// most-recently added ones. This is the control the Figure 4/5 runs
+// exercise when switching 8 → 16 flows.
+func (g *Generator) SetElephants(n int) {
+	if n < 0 {
+		n = 0
+	}
+	for len(g.elephants) > n {
+		last := g.elephants[len(g.elephants)-1]
+		g.elephants = g.elephants[:len(g.elephants)-1]
+		g.d.RemoveFlow(last.ID)
+	}
+	add := n - len(g.elephants)
+	for i := 0; i < add; i++ {
+		delay := time.Duration(i) * g.cfg.StaggerFlows
+		g.d.Sim.After(delay, func() {
+			g.elephants = append(g.elephants, g.d.AddElephant())
+		})
+	}
+}
+
+// ElephantCwnd returns the congestion window of elephant i (the paper
+// plots an arbitrarily chosen long-lived flow); it returns 0 when no such
+// flow exists.
+func (g *Generator) ElephantCwnd(i int) float64 {
+	if i < 0 || i >= len(g.elephants) {
+		return 0
+	}
+	return g.elephants[i].Sender.Cwnd()
+}
+
+// ElephantTimeouts returns cumulative timeouts of elephant i.
+func (g *Generator) ElephantTimeouts(i int) int64 {
+	if i < 0 || i >= len(g.elephants) {
+		return 0
+	}
+	return g.elephants[i].Sender.Timeouts
+}
+
+// StartMice begins Poisson arrivals of short transfers at ratePerSec.
+// Each mouse transfers MouseSegments segments; completing counts toward
+// connections per second, exceeding MouseDeadline counts as an error.
+func (g *Generator) StartMice(ratePerSec float64) {
+	g.StopMice()
+	if ratePerSec <= 0 {
+		return
+	}
+	var schedule func()
+	schedule = func() {
+		gap := time.Duration(g.expInterval(ratePerSec) * float64(time.Second))
+		g.miceStop = g.d.Sim.After(gap, func() {
+			g.launchMouse()
+			schedule()
+		})
+	}
+	schedule()
+}
+
+// StopMice halts new mouse arrivals.
+func (g *Generator) StopMice() {
+	if g.miceStop != nil {
+		g.miceStop.Cancel()
+		g.miceStop = nil
+	}
+}
+
+func (g *Generator) expInterval(rate float64) float64 {
+	u := g.rng.Float64()
+	if u <= 0 {
+		u = 1e-12
+	}
+	return -math.Log(u) / rate
+}
+
+func (g *Generator) launchMouse() {
+	g.miceStarted++
+	start := g.d.Sim.Now()
+	f := g.d.AddFlow(g.cfg.MouseSegments)
+	finished := false
+	deadline := g.d.Sim.After(g.cfg.MouseDeadline, func() {
+		if finished {
+			return
+		}
+		finished = true
+		g.miceErrors++
+		g.d.RemoveFlow(f.ID)
+	})
+	f.Sender.OnDone = func() {
+		if finished {
+			return
+		}
+		finished = true
+		deadline.Cancel()
+		g.miceCompleted++
+		ms := float64(g.d.Sim.Now()-start) / float64(time.Millisecond)
+		g.latencySumMs += ms
+		g.latencyCount++
+		g.d.RemoveFlow(f.ID)
+	}
+}
+
+// MiceStats returns lifetime mouse counters: started, completed, errors.
+func (g *Generator) MiceStats() (started, completed, errors int64) {
+	return g.miceStarted, g.miceCompleted, g.miceErrors
+}
+
+// SetUDPLoad adjusts the unresponsive constant-bit-rate component of the
+// traffic mix to rateBps (0 removes it). Mxtraf's purpose is saturating a
+// network with "a tunable mix of TCP and UDP traffic" (§2); the UDP share
+// is the tunable half.
+func (g *Generator) SetUDPLoad(rateBps float64) {
+	if g.udpFlow != nil {
+		g.d.RemoveUDP(g.udpFlow.ID)
+		g.udpFlow = nil
+	}
+	if rateBps > 0 {
+		g.udpFlow = g.d.AddUDP(rateBps, 1000)
+	}
+}
+
+// UDPStats returns the CBR flow's delivery counters (zero when no UDP
+// load is configured): datagrams received, datagrams lost, loss fraction.
+func (g *Generator) UDPStats() (received, lost int64, lossRate float64) {
+	if g.udpFlow == nil {
+		return 0, 0, 0
+	}
+	k := g.udpFlow.Sink
+	return k.Received, k.Lost, k.LossRate()
+}
+
+// Snapshot computes windowed metrics since the previous Snapshot call.
+// Call it at a fixed cadence (e.g. once per scope polling period) and read
+// the rates from the result.
+func (g *Generator) Snapshot() Metrics {
+	now := g.d.Sim.Now()
+	dt := (now - g.lastSnapAt).Seconds()
+	m := Metrics{
+		Elephants: len(g.elephants),
+		Timeouts:  g.d.TotalTimeouts(),
+		QueueLen:  g.d.Queue().Len(),
+	}
+	if dt > 0 {
+		goodput := g.d.GoodputSegments()
+		m.ThroughputBps = float64(goodput-g.lastGoodput) * float64(g.cfg.Net.TCP.MSS) * 8 / dt
+		m.ConnsPerSec = float64(g.miceCompleted-g.lastCompleted) / dt
+		m.ErrorsPerSec = float64(g.miceErrors-g.lastErrors) / dt
+		if n := g.latencyCount - g.lastLatencyCount; n > 0 {
+			m.LatencyMs = (g.latencySumMs - g.lastLatencySum) / float64(n)
+		}
+		g.lastSnapAt = now
+		g.lastGoodput = goodput
+		g.lastCompleted = g.miceCompleted
+		g.lastErrors = g.miceErrors
+		g.lastLatencySum = g.latencySumMs
+		g.lastLatencyCount = g.latencyCount
+		g.lastWindowMetrics = m
+	} else {
+		m = g.lastWindowMetrics
+		m.Elephants = len(g.elephants)
+		m.Timeouts = g.d.TotalTimeouts()
+		m.QueueLen = g.d.Queue().Len()
+	}
+	return m
+}
+
+// String describes the generator.
+func (g *Generator) String() string {
+	return fmt.Sprintf("mxtraf: %s, %d elephants, mice %d/%d/%d (started/done/err)",
+		g.d, len(g.elephants), g.miceStarted, g.miceCompleted, g.miceErrors)
+}

@@ -1,0 +1,180 @@
+package mxtraf
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSetElephantsRampUpAndDown(t *testing.T) {
+	g := New(DefaultConfig())
+	g.SetElephants(8)
+	g.Sim().RunUntil(2 * time.Second) // staggered starts complete
+	if g.Elephants() != 8 {
+		t.Fatalf("elephants = %d, want 8", g.Elephants())
+	}
+	g.SetElephants(3)
+	g.Sim().RunUntil(3 * time.Second)
+	if g.Elephants() != 3 {
+		t.Fatalf("after rampdown = %d, want 3", g.Elephants())
+	}
+	if g.Net().NumFlows() != 3 {
+		t.Fatalf("dumbbell has %d flows", g.Net().NumFlows())
+	}
+	g.SetElephants(-5)
+	g.Sim().RunUntil(4 * time.Second)
+	if g.Elephants() != 0 {
+		t.Fatal("negative target should clamp to 0")
+	}
+}
+
+func TestElephantCwndSignal(t *testing.T) {
+	g := New(DefaultConfig())
+	g.SetElephants(2)
+	g.Sim().RunUntil(5 * time.Second)
+	if g.ElephantCwnd(0) <= 0 {
+		t.Fatalf("cwnd(0) = %v", g.ElephantCwnd(0))
+	}
+	if g.ElephantCwnd(99) != 0 {
+		t.Fatal("out-of-range cwnd should be 0")
+	}
+	if g.ElephantTimeouts(99) != 0 {
+		t.Fatal("out-of-range timeouts should be 0")
+	}
+}
+
+func TestMiceCompleteAndCount(t *testing.T) {
+	g := New(DefaultConfig())
+	g.StartMice(20) // 20 conns/sec on an idle network
+	g.Sim().RunUntil(10 * time.Second)
+	g.StopMice()
+	started, completed, errors := g.MiceStats()
+	if started < 100 {
+		t.Fatalf("only %d mice started", started)
+	}
+	if completed == 0 {
+		t.Fatal("no mice completed")
+	}
+	if float64(errors) > float64(started)/10 {
+		t.Fatalf("too many errors on an idle network: %d/%d", errors, started)
+	}
+	at := g.Sim().Now()
+	g.Sim().RunUntil(at + 5*time.Second)
+	started2, _, _ := g.MiceStats()
+	if started2-started > 2 {
+		t.Fatalf("mice kept arriving after StopMice: %d new", started2-started)
+	}
+}
+
+func TestSnapshotRates(t *testing.T) {
+	g := New(DefaultConfig())
+	g.SetElephants(4)
+	g.StartMice(10)
+	g.Sim().RunUntil(5 * time.Second)
+	g.Snapshot() // establish the window start
+	g.Sim().RunUntil(10 * time.Second)
+	m := g.Snapshot()
+	if m.Elephants != 4 {
+		t.Fatalf("metrics elephants = %d", m.Elephants)
+	}
+	if m.ThroughputBps <= 0 {
+		t.Fatal("no throughput measured")
+	}
+	// 10 Mbit/s bottleneck: goodput cannot exceed the link rate by more
+	// than protocol slack.
+	if m.ThroughputBps > 12e6 {
+		t.Fatalf("throughput %v exceeds the link rate", m.ThroughputBps)
+	}
+	if m.ConnsPerSec <= 0 {
+		t.Fatal("no connection rate measured")
+	}
+	if m.LatencyMs <= 0 {
+		t.Fatal("no latency measured")
+	}
+}
+
+func TestSnapshotZeroWindowReturnsPrevious(t *testing.T) {
+	g := New(DefaultConfig())
+	g.SetElephants(1)
+	g.Sim().RunUntil(2 * time.Second)
+	g.Snapshot()
+	g.Sim().RunUntil(4 * time.Second)
+	m1 := g.Snapshot()
+	m2 := g.Snapshot() // same instant: must not divide by zero
+	if m2.ThroughputBps != m1.ThroughputBps {
+		t.Fatalf("zero-window snapshot changed: %v vs %v", m2.ThroughputBps, m1.ThroughputBps)
+	}
+}
+
+func TestFigure4ShapeTCPTimeouts(t *testing.T) {
+	// The Figure 4 scenario: DropTail, 8 elephants then 16. With 16 the
+	// observed flow's CWND must hit 1 (timeouts) at least a few times.
+	g := New(DefaultConfig())
+	g.SetElephants(8)
+	g.Sim().RunUntil(30 * time.Second)
+	t8 := g.ElephantTimeouts(0)
+	_ = t8
+	g.SetElephants(16)
+	g.Sim().RunUntil(90 * time.Second)
+	var total int64
+	for i := 0; i < 16; i++ {
+		total += g.ElephantTimeouts(i)
+	}
+	if total == 0 {
+		t.Fatal("16 DropTail elephants produced no timeouts; Figure 4 needs them")
+	}
+}
+
+func TestFigure5ShapeECNNoTimeouts(t *testing.T) {
+	g := New(ECNConfig())
+	g.SetElephants(8)
+	g.Sim().RunUntil(30 * time.Second)
+	g.SetElephants(16)
+	g.Sim().RunUntil(90 * time.Second)
+	m := g.Snapshot()
+	if m.Timeouts != 0 {
+		t.Fatalf("ECN run suffered %d timeouts; Figure 5 shows none", m.Timeouts)
+	}
+}
+
+func TestUDPMixTunable(t *testing.T) {
+	g := New(DefaultConfig())
+	g.SetElephants(4)
+	g.Sim().RunUntil(5 * time.Second)
+	g.Snapshot()
+	g.Sim().RunUntil(10 * time.Second)
+	clean := g.Snapshot().ThroughputBps
+
+	// Add 6 Mbit/s of unresponsive UDP: TCP goodput must shrink.
+	g.SetUDPLoad(6e6)
+	g.Sim().RunUntil(15 * time.Second)
+	g.Snapshot()
+	g.Sim().RunUntil(25 * time.Second)
+	squeezed := g.Snapshot().ThroughputBps
+	if squeezed >= clean*0.8 {
+		t.Fatalf("UDP mix did not squeeze TCP: %.0f → %.0f bps", clean, squeezed)
+	}
+	recv, _, _ := g.UDPStats()
+	if recv == 0 {
+		t.Fatal("UDP sink received nothing")
+	}
+
+	// Removing the UDP load restores TCP throughput.
+	g.SetUDPLoad(0)
+	g.Sim().RunUntil(30 * time.Second)
+	g.Snapshot()
+	g.Sim().RunUntil(40 * time.Second)
+	restored := g.Snapshot().ThroughputBps
+	if restored <= squeezed {
+		t.Fatalf("removing UDP did not restore TCP: %.0f vs %.0f", restored, squeezed)
+	}
+	if r, l, lr := g.UDPStats(); r != 0 || l != 0 || lr != 0 {
+		t.Fatal("UDPStats should be zero after removal")
+	}
+}
+
+func TestGeneratorString(t *testing.T) {
+	g := New(DefaultConfig())
+	if g.String() == "" {
+		t.Fatal("String should describe the generator")
+	}
+}

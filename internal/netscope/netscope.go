@@ -1,0 +1,305 @@
+// Package netscope implements gscope's distributed-visualization support
+// (§4.4): a single-threaded, I/O-driven client/server library. Clients
+// asynchronously send BUFFER signal data in tuple format (§3.3) to a
+// server; the server buffers the data and delivers it into one or more
+// scopes, which display it with the user-specified delay. Data arriving
+// after its display window has passed is dropped immediately.
+//
+// All server callbacks run on the owning glib loop's goroutine, so a server
+// embedded in a GUI application shares one event loop with the scope
+// display and needs no locking — the same structure as the paper's
+// client-server library used by mxtraf.
+package netscope
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/glib"
+	"repro/internal/tuple"
+)
+
+// Server receives tuple streams from any number of clients and fans them
+// into the feeds of attached scopes.
+type Server struct {
+	loop *glib.Loop
+	ln   net.Listener
+	acc  *glib.IOWatch
+
+	scopes  []*core.Scope
+	clients map[net.Conn]*glib.IOWatch
+
+	// OnTuple, when set, observes every received tuple (on the loop
+	// goroutine) before scope delivery.
+	OnTuple func(tuple.Tuple)
+
+	// MapTime, when set, rebases incoming timestamps onto the server
+	// scope's timeline before delivery. The paper assumes distributed
+	// data can be correlated (§1 fn. 1); in practice clients stamp
+	// tuples with a shared clock (e.g. Unix time) and the server maps
+	// that clock onto its own, with residual skew absorbed by the
+	// display delay. The recorder always stores the original stamps.
+	MapTime func(time.Duration) time.Duration
+
+	rec *tuple.Writer
+
+	connects    int64
+	disconnects int64
+	received    int64
+	parseErrors int64
+	closed      bool
+}
+
+// NewServer creates a server on loop. Attach scopes, then call Listen.
+func NewServer(loop *glib.Loop) *Server {
+	return &Server{loop: loop, clients: make(map[net.Conn]*glib.IOWatch)}
+}
+
+// Attach adds a scope whose feed will receive every tuple. BUFFER signals
+// on the scope pick out the names they display.
+func (s *Server) Attach(sc *core.Scope) { s.scopes = append(s.scopes, sc) }
+
+// SetRecorder mirrors every received tuple to w (the server-side recording
+// path); nil disables.
+func (s *Server) SetRecorder(w *tuple.Writer) { s.rec = w }
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting clients.
+// It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netscope: %w", err)
+	}
+	s.ln = ln
+	s.acc = s.loop.WatchAccept(ln, func(conn net.Conn, err error) bool {
+		if err != nil {
+			return false
+		}
+		s.connects++
+		s.addClient(conn)
+		return true
+	})
+	return ln.Addr(), nil
+}
+
+func (s *Server) addClient(conn net.Conn) {
+	w := s.loop.WatchLines(conn, func(line string, err error) bool {
+		if err != nil {
+			s.disconnects++
+			delete(s.clients, conn)
+			conn.Close()
+			return false
+		}
+		if tuple.IsComment(line) {
+			return true
+		}
+		t, perr := tuple.Parse(line)
+		if perr != nil {
+			s.parseErrors++
+			return true
+		}
+		s.received++
+		s.deliver(t)
+		return true
+	})
+	s.clients[conn] = w
+}
+
+func (s *Server) deliver(t tuple.Tuple) {
+	if s.OnTuple != nil {
+		s.OnTuple(t)
+	}
+	if s.rec != nil {
+		s.rec.Write(t) //nolint:errcheck // recorder errors surface on Flush
+	}
+	at := t.Timestamp()
+	if s.MapTime != nil {
+		at = s.MapTime(at)
+	}
+	for _, sc := range s.scopes {
+		sc.Feed().Push(at, t.Name, t.Value)
+	}
+}
+
+// Stats returns lifetime counters: client connects, disconnects, tuples
+// received and lines that failed to parse.
+func (s *Server) Stats() (connects, disconnects, received, parseErrors int64) {
+	return s.connects, s.disconnects, s.received, s.parseErrors
+}
+
+// Clients returns the number of currently connected clients.
+func (s *Server) Clients() int { return len(s.clients) }
+
+// Close stops accepting, disconnects all clients and flushes the recorder.
+func (s *Server) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.acc != nil {
+		s.acc.Cancel()
+	}
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for conn, w := range s.clients {
+		w.Cancel()
+		conn.Close()
+		delete(s.clients, conn)
+	}
+	if s.rec != nil {
+		if ferr := s.rec.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	return err
+}
+
+// Client streams tuples to a server. Sends are asynchronous: Send enqueues
+// and returns immediately while a writer goroutine drains the queue, so an
+// instrumented time-sensitive application never blocks on the network —
+// the property the paper's client library is built around.
+type Client struct {
+	conn net.Conn
+
+	mu     sync.Mutex
+	queue  []tuple.Tuple
+	kick   chan struct{}
+	closed bool
+	sent   int64
+	err    error
+
+	done chan struct{}
+}
+
+// Dial connects to a netscope server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("netscope: %w", err)
+	}
+	c := &Client{
+		conn: conn,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	go c.writer()
+	return c, nil
+}
+
+func (c *Client) writer() {
+	defer close(c.done)
+	for {
+		c.mu.Lock()
+		batch := c.queue
+		c.queue = nil
+		closed := c.closed
+		c.mu.Unlock()
+
+		if len(batch) > 0 {
+			buf := make([]byte, 0, 32*len(batch))
+			for _, t := range batch {
+				buf = append(buf, t.String()...)
+				buf = append(buf, '\n')
+			}
+			if _, err := c.conn.Write(buf); err != nil {
+				c.mu.Lock()
+				if c.err == nil {
+					c.err = err
+				}
+				c.closed = true
+				c.mu.Unlock()
+				return
+			}
+			c.mu.Lock()
+			c.sent += int64(len(batch))
+			c.mu.Unlock()
+			continue
+		}
+		if closed {
+			return
+		}
+		<-c.kick
+	}
+}
+
+// Send enqueues one sample stamped at the given offset on the shared
+// timeline. It never blocks on the network. It returns the first write
+// error encountered by the background writer, if any.
+func (c *Client) Send(at time.Duration, name string, v float64) error {
+	return c.SendTuple(tuple.Tuple{Time: at.Milliseconds(), Value: v, Name: name})
+}
+
+// SendTuple enqueues an encoded tuple.
+func (c *Client) SendTuple(t tuple.Tuple) error {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("netscope: client closed")
+		}
+		return err
+	}
+	c.queue = append(c.queue, t)
+	err := c.err
+	c.mu.Unlock()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	return err
+}
+
+// Sent returns the number of tuples written to the socket so far.
+func (c *Client) Sent() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sent
+}
+
+// Flush blocks until the queue has drained (or the writer died).
+func (c *Client) Flush() error {
+	for {
+		c.mu.Lock()
+		empty := len(c.queue) == 0
+		err := c.err
+		closed := c.closed
+		c.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		if empty {
+			return nil
+		}
+		if closed {
+			return fmt.Errorf("netscope: client closed with queued data")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// Close flushes pending tuples and closes the connection.
+func (c *Client) Close() error {
+	ferr := c.Flush()
+	c.mu.Lock()
+	already := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	if !already {
+		<-c.done
+	}
+	cerr := c.conn.Close()
+	if ferr != nil {
+		return ferr
+	}
+	return cerr
+}

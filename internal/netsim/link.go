@@ -1,0 +1,227 @@
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Packet is one simulated segment. Sequence numbers count MSS-sized
+// segments rather than bytes, which loses no behaviour relevant to the
+// congestion-control dynamics the experiment visualizes.
+type Packet struct {
+	Flow int   // flow identifier, used for routing at the dumbbell ends
+	Seq  int64 // segment number (data packets)
+	Ack  bool  // true for pure ACKs
+	AckN int64 // cumulative ACK: next expected segment
+	Size int   // bytes on the wire
+
+	// ECN state (RFC 3168): ECT marks an ECN-capable transport; routers
+	// set CE instead of dropping; receivers echo ECE on ACKs until the
+	// sender acknowledges with CWR on a data packet.
+	ECT, CE, ECE, CWR bool
+
+	// Sacked lists out-of-order segments held by the receiver (bounded,
+	// lowest first) — the SACK option payload on ACKs.
+	Sacked []int64
+
+	SentAt  time.Duration // transmit timestamp for RTT sampling
+	Retrans bool          // retransmitted segments are not RTT-timed (Karn)
+}
+
+// Queue is a router queue discipline: it admits or rejects (or ECN-marks)
+// packets waiting for the outgoing link.
+type Queue interface {
+	// Enqueue offers p; the queue returns false when p was dropped.
+	Enqueue(p *Packet) bool
+	// Dequeue removes the next packet, or nil when empty.
+	Dequeue() *Packet
+	// Len returns the number of queued packets.
+	Len() int
+	// Drops returns the lifetime drop count.
+	Drops() int64
+}
+
+// DropTail is a FIFO queue with a hard packet-count limit — the default
+// router behaviour in the paper's TCP experiment (Figure 4).
+type DropTail struct {
+	Cap   int
+	pkts  []*Packet
+	drops int64
+}
+
+// NewDropTail returns a FIFO bounded to capacity packets.
+func NewDropTail(capacity int) *DropTail { return &DropTail{Cap: capacity} }
+
+// Enqueue implements Queue.
+func (q *DropTail) Enqueue(p *Packet) bool {
+	if len(q.pkts) >= q.Cap {
+		q.drops++
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *DropTail) Dequeue() *Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	q.pkts = q.pkts[1:]
+	return p
+}
+
+// Len implements Queue.
+func (q *DropTail) Len() int { return len(q.pkts) }
+
+// Drops implements Queue.
+func (q *DropTail) Drops() int64 { return q.drops }
+
+// RED is Random Early Detection with ECN marking (the router discipline in
+// the paper's ECN experiment, Figure 5): an EWMA of the queue length
+// selects a marking probability between MinTh and MaxTh; ECN-capable
+// packets are marked CE instead of dropped. Above MaxTh every packet is
+// marked (gentle mode drops only non-ECT traffic); the hard capacity still
+// bounds the queue.
+type RED struct {
+	Cap          int
+	MinTh, MaxTh float64
+	MaxP         float64
+	Wq           float64
+	rng          *rand.Rand
+
+	pkts  []*Packet
+	avg   float64
+	drops int64
+	marks int64
+}
+
+// NewRED returns a RED queue. Wq is set to 0.02 — faster than the classic
+// 0.002 so the gateway responds within a slow-start burst, which 2002-era
+// Linux RED achieved through its idle-time correction.
+func NewRED(capacity int, minTh, maxTh, maxP float64, seed int64) *RED {
+	return &RED{
+		Cap:   capacity,
+		MinTh: minTh,
+		MaxTh: maxTh,
+		MaxP:  maxP,
+		Wq:    0.02,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Marks returns how many packets were CE-marked.
+func (q *RED) Marks() int64 { return q.marks }
+
+// AvgLen returns the EWMA queue length estimate.
+func (q *RED) AvgLen() float64 { return q.avg }
+
+// Enqueue implements Queue.
+func (q *RED) Enqueue(p *Packet) bool {
+	q.avg = (1-q.Wq)*q.avg + q.Wq*float64(len(q.pkts))
+
+	congest := false
+	switch {
+	// Mark on the average, and also on the instantaneous length so a
+	// slow-start burst that outruns the EWMA is still signaled before the
+	// hard capacity drops packets.
+	case q.avg >= q.MaxTh || float64(len(q.pkts)) >= q.MaxTh:
+		congest = true
+	case q.avg > q.MinTh:
+		prob := q.MaxP * (q.avg - q.MinTh) / (q.MaxTh - q.MinTh)
+		congest = q.rng.Float64() < prob
+	}
+	if congest {
+		if p.ECT {
+			p.CE = true
+			q.marks++
+		} else {
+			q.drops++
+			return false
+		}
+	}
+	if len(q.pkts) >= q.Cap {
+		q.drops++
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	return true
+}
+
+// Dequeue implements Queue.
+func (q *RED) Dequeue() *Packet {
+	if len(q.pkts) == 0 {
+		return nil
+	}
+	p := q.pkts[0]
+	q.pkts = q.pkts[1:]
+	return p
+}
+
+// Len implements Queue.
+func (q *RED) Len() int { return len(q.pkts) }
+
+// Drops implements Queue.
+func (q *RED) Drops() int64 { return q.drops }
+
+// Link models one direction of a network path: a queue feeding a
+// transmitter with finite bandwidth, followed by propagation delay — the
+// behaviour nistnet imposed at the paper's router.
+type Link struct {
+	sim *Sim
+	// RateBps is the transmit rate in bits/second; 0 means infinite.
+	RateBps float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Q is the queue discipline holding packets awaiting transmission.
+	Q Queue
+	// Deliver receives packets at the far end.
+	Deliver func(*Packet)
+
+	busy     bool
+	sent     int64
+	delivers int64
+}
+
+// NewLink builds a link on sim.
+func NewLink(sim *Sim, rateBps float64, delay time.Duration, q Queue, deliver func(*Packet)) *Link {
+	return &Link{sim: sim, RateBps: rateBps, Delay: delay, Q: q, Deliver: deliver}
+}
+
+// Sent returns how many packets entered transmission.
+func (l *Link) Sent() int64 { return l.sent }
+
+// Send offers a packet to the link; it is queued (possibly dropped or
+// ECN-marked by the queue) and transmitted in order.
+func (l *Link) Send(p *Packet) {
+	if !l.Q.Enqueue(p) {
+		return
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+func (l *Link) transmitNext() {
+	p := l.Q.Dequeue()
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	l.sent++
+	tx := time.Duration(0)
+	if l.RateBps > 0 {
+		tx = time.Duration(float64(p.Size*8) / l.RateBps * float64(time.Second))
+	}
+	// Transmission finishes after tx; the packet arrives Delay later; the
+	// next packet starts transmitting immediately after tx.
+	l.sim.After(tx, func() {
+		l.sim.After(l.Delay, func() {
+			l.delivers++
+			l.Deliver(p)
+		})
+		l.transmitNext()
+	})
+}

@@ -1,0 +1,499 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimEventOrdering(t *testing.T) {
+	s := NewSim()
+	var got []int
+	s.After(30*time.Millisecond, func() { got = append(got, 3) })
+	s.After(10*time.Millisecond, func() { got = append(got, 1) })
+	s.After(20*time.Millisecond, func() { got = append(got, 2) })
+	s.RunUntil(time.Second)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("clock should finish at the horizon, got %v", s.Now())
+	}
+}
+
+func TestSimSameTimeFIFO(t *testing.T) {
+	s := NewSim()
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.After(10*time.Millisecond, func() { got = append(got, i) })
+	}
+	s.RunUntil(time.Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestTimerCancel(t *testing.T) {
+	s := NewSim()
+	fired := false
+	tm := s.After(10*time.Millisecond, func() { fired = true })
+	tm.Cancel()
+	s.RunUntil(time.Second)
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+}
+
+func TestSimRunUntilPartial(t *testing.T) {
+	s := NewSim()
+	fired := 0
+	s.After(10*time.Millisecond, func() { fired++ })
+	s.After(100*time.Millisecond, func() { fired++ })
+	s.RunUntil(50 * time.Millisecond)
+	if fired != 1 {
+		t.Fatalf("expected 1 event by 50ms, got %d", fired)
+	}
+	s.RunUntil(200 * time.Millisecond)
+	if fired != 2 {
+		t.Fatalf("expected 2 events by 200ms, got %d", fired)
+	}
+}
+
+func TestDropTailDropsAtCapacity(t *testing.T) {
+	q := NewDropTail(2)
+	a, b, c := &Packet{Seq: 1}, &Packet{Seq: 2}, &Packet{Seq: 3}
+	if !q.Enqueue(a) || !q.Enqueue(b) {
+		t.Fatal("first two packets should be admitted")
+	}
+	if q.Enqueue(c) {
+		t.Fatal("third packet should be dropped")
+	}
+	if q.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", q.Drops())
+	}
+	if got := q.Dequeue(); got != a {
+		t.Fatal("FIFO order violated")
+	}
+}
+
+func TestREDMarksECTInsteadOfDropping(t *testing.T) {
+	q := NewRED(100, 2, 6, 1.0, 42)
+	// Grow the average above MaxTh by enqueueing without dequeuing.
+	marked := 0
+	for i := 0; i < 400; i++ {
+		p := &Packet{Seq: int64(i), ECT: true}
+		if q.Enqueue(p) && p.CE {
+			marked++
+		}
+		if q.Len() > 50 {
+			q.Dequeue()
+		}
+	}
+	if marked == 0 {
+		t.Fatal("RED never marked an ECT packet")
+	}
+	if q.Drops() != 0 {
+		t.Fatalf("RED dropped %d ECT packets; should mark instead", q.Drops())
+	}
+}
+
+func TestREDDropsNonECT(t *testing.T) {
+	q := NewRED(100, 2, 6, 1.0, 42)
+	drops := 0
+	for i := 0; i < 400; i++ {
+		p := &Packet{Seq: int64(i)}
+		if !q.Enqueue(p) {
+			drops++
+		}
+		if q.Len() > 50 {
+			q.Dequeue()
+		}
+	}
+	if drops == 0 {
+		t.Fatal("RED never dropped a non-ECT packet under congestion")
+	}
+}
+
+func TestLinkSerializationDelay(t *testing.T) {
+	s := NewSim()
+	var arrivals []time.Duration
+	// 1 Mbit/s, 10 ms propagation: a 1250-byte packet serializes in 10 ms.
+	l := NewLink(s, 1e6, 10*time.Millisecond, NewDropTail(10), func(p *Packet) {
+		arrivals = append(arrivals, s.Now())
+	})
+	l.Send(&Packet{Size: 1250})
+	l.Send(&Packet{Size: 1250})
+	s.RunUntil(time.Second)
+	if len(arrivals) != 2 {
+		t.Fatalf("expected 2 deliveries, got %d", len(arrivals))
+	}
+	if arrivals[0] != 20*time.Millisecond {
+		t.Fatalf("first arrival %v, want 20ms (10 tx + 10 prop)", arrivals[0])
+	}
+	if arrivals[1] != 30*time.Millisecond {
+		t.Fatalf("second arrival %v, want 30ms (serialized behind first)", arrivals[1])
+	}
+}
+
+// loopback wires a sender and receiver back to back through links.
+func loopback(t *testing.T, cfg TCPConfig, rate float64, delay time.Duration, qcap int, limit int64) (*Sim, *TCPSender, *TCPReceiver) {
+	t.Helper()
+	sim := NewSim()
+	var snd *TCPSender
+	var rcv *TCPReceiver
+	fwd := NewLink(sim, rate, delay, NewDropTail(qcap), func(p *Packet) { rcv.OnPacket(p) })
+	rev := NewLink(sim, rate*100, delay, NewDropTail(10000), func(p *Packet) { snd.OnAck(p) })
+	snd = NewTCPSender(sim, 0, cfg, limit, fwd.Send)
+	rcv = NewTCPReceiver(sim, 0, rev.Send)
+	return sim, snd, rcv
+}
+
+func TestTCPBoundedTransferCompletes(t *testing.T) {
+	cfg := DefaultTCPConfig()
+	sim, snd, rcv := loopback(t, cfg, 10e6, 5*time.Millisecond, 100, 200)
+	done := false
+	snd.OnDone = func() { done = true }
+	snd.Start()
+	sim.RunUntil(30 * time.Second)
+	if !done {
+		t.Fatalf("transfer did not complete: acked=%d inflight=%d cwnd=%.1f",
+			snd.AckedSegments, snd.InFlight(), snd.Cwnd())
+	}
+	if rcv.SegmentsReceived < 200 {
+		t.Fatalf("receiver got %d segments, want >= 200", rcv.SegmentsReceived)
+	}
+	if snd.Timeouts != 0 {
+		t.Fatalf("uncongested transfer suffered %d timeouts", snd.Timeouts)
+	}
+}
+
+func TestTCPSlowStartGrowth(t *testing.T) {
+	cfg := DefaultTCPConfig()
+	sim, snd, _ := loopback(t, cfg, 100e6, 5*time.Millisecond, 1000, 0)
+	snd.Start()
+	// After a few RTTs with no loss the window should have grown well past
+	// the initial value.
+	sim.RunUntil(100 * time.Millisecond)
+	if snd.Cwnd() <= cfg.InitCwnd {
+		t.Fatalf("cwnd did not grow: %.1f", snd.Cwnd())
+	}
+	sim.RunUntil(2 * time.Second)
+	if snd.Cwnd() < cfg.MaxCwnd {
+		t.Fatalf("cwnd should reach MaxCwnd on an uncongested path: %.1f", snd.Cwnd())
+	}
+}
+
+func TestTCPRTTEstimate(t *testing.T) {
+	cfg := DefaultTCPConfig()
+	sim, snd, _ := loopback(t, cfg, 100e6, 25*time.Millisecond, 1000, 0)
+	snd.Start()
+	sim.RunUntil(2 * time.Second)
+	if snd.SRTT() < 45*time.Millisecond || snd.SRTT() > 80*time.Millisecond {
+		t.Fatalf("srtt %v far from the 50ms path RTT", snd.SRTT())
+	}
+}
+
+func TestTCPCongestionCausesLossAndRecovery(t *testing.T) {
+	cfg := DefaultTCPConfig()
+	// Tiny queue on a slow link: the window overruns it and loses packets.
+	sim, snd, rcv := loopback(t, cfg, 2e6, 20*time.Millisecond, 5, 0)
+	snd.Start()
+	sim.RunUntil(20 * time.Second)
+	if snd.FastRetransmits == 0 && snd.Timeouts == 0 {
+		t.Fatal("no loss recovery on a congested path")
+	}
+	if rcv.SegmentsReceived == 0 {
+		t.Fatal("no goodput")
+	}
+	// Goodput should approximate the link rate: 2 Mbit/s over 20 s ≈
+	// 3424 segments. Accept over half of that.
+	if rcv.SegmentsReceived < 1700 {
+		t.Fatalf("goodput too low: %d segments", rcv.SegmentsReceived)
+	}
+}
+
+func TestTCPECNAvoidsTimeouts(t *testing.T) {
+	cfgT := DefaultTCPConfig()
+	sim := NewSim()
+	cfgE := cfgT
+	cfgE.ECN = true
+	var snd *TCPSender
+	var rcv *TCPReceiver
+	red := NewRED(100, 8, 25, 0.1, 7)
+	fwd := NewLink(sim, 2e6, 20*time.Millisecond, red, func(p *Packet) { rcv.OnPacket(p) })
+	rev := NewLink(sim, 200e6, 20*time.Millisecond, NewDropTail(10000), func(p *Packet) { snd.OnAck(p) })
+	snd = NewTCPSender(sim, 0, cfgE, 0, fwd.Send)
+	rcv = NewTCPReceiver(sim, 0, rev.Send)
+	snd.Start()
+	sim.RunUntil(30 * time.Second)
+	if snd.Timeouts != 0 {
+		t.Fatalf("ECN flow suffered %d timeouts", snd.Timeouts)
+	}
+	if snd.ECNReductions == 0 {
+		t.Fatal("ECN flow never responded to marking")
+	}
+	if red.Marks() == 0 {
+		t.Fatal("RED never marked")
+	}
+}
+
+func TestDumbbellManyFlowsTCPTimeouts(t *testing.T) {
+	// The Figure 4 condition: 16 DropTail elephants force burst loss and
+	// retransmission timeouts.
+	cfg := DefaultDumbbell()
+	d := NewDumbbell(cfg)
+	for i := 0; i < 16; i++ {
+		d.AddElephant()
+	}
+	d.Sim.RunUntil(60 * time.Second)
+	if d.TotalTimeouts() == 0 {
+		t.Fatal("16 DropTail elephants should cause timeouts (Figure 4 condition)")
+	}
+}
+
+func TestDumbbellManyFlowsECNNoTimeouts(t *testing.T) {
+	// The Figure 5 condition: RED+ECN elephants avoid timeouts entirely.
+	cfg := DefaultDumbbell()
+	cfg.RED = true
+	cfg.TCP.ECN = true
+	d := NewDumbbell(cfg)
+	// Stagger flow starts the way mxtraf brings elephants up, avoiding a
+	// fully synchronized slow-start burst.
+	for i := 0; i < 16; i++ {
+		at := time.Duration(i) * 250 * time.Millisecond
+		d.Sim.At(at, func() { d.AddElephant() })
+	}
+	d.Sim.RunUntil(60 * time.Second)
+	if got := d.TotalTimeouts(); got != 0 {
+		t.Fatalf("ECN elephants suffered %d timeouts; Figure 5 shows none", got)
+	}
+	var reductions int64
+	for _, f := range d.Flows() {
+		reductions += f.Sender.ECNReductions
+	}
+	if reductions == 0 {
+		t.Fatal("ECN flows never reduced; marking is not reaching senders")
+	}
+}
+
+func TestDumbbellRemoveFlow(t *testing.T) {
+	d := NewDumbbell(DefaultDumbbell())
+	f1 := d.AddElephant()
+	f2 := d.AddElephant()
+	d.Sim.RunUntil(2 * time.Second)
+	if !d.RemoveFlow(f1.ID) {
+		t.Fatal("RemoveFlow failed")
+	}
+	if d.RemoveFlow(f1.ID) {
+		t.Fatal("double remove should report false")
+	}
+	if d.NumFlows() != 1 {
+		t.Fatalf("NumFlows = %d, want 1", d.NumFlows())
+	}
+	before := f2.Receiver.SegmentsReceived
+	d.Sim.RunUntil(10 * time.Second)
+	if f2.Receiver.SegmentsReceived <= before {
+		t.Fatal("surviving flow stopped making progress")
+	}
+}
+
+func TestFairnessMoreFlowsSmallerWindows(t *testing.T) {
+	mean := func(n int) float64 {
+		cfg := DefaultDumbbell()
+		d := NewDumbbell(cfg)
+		for i := 0; i < n; i++ {
+			d.AddElephant()
+		}
+		d.Sim.RunUntil(40 * time.Second)
+		sum := 0.0
+		for _, f := range d.Flows() {
+			sum += f.Sender.Cwnd()
+		}
+		return sum / float64(n)
+	}
+	m8, m16 := mean(8), mean(16)
+	if m16 >= m8 {
+		t.Fatalf("mean cwnd should shrink with more flows: 8→%.1f, 16→%.1f", m8, m16)
+	}
+}
+
+func TestUDPSourceRateAndSink(t *testing.T) {
+	sim := NewSim()
+	sink := NewUDPSink(sim, 0)
+	// Direct wiring through a fast link: 1 Mbit/s CBR of 1000-byte
+	// datagrams = 125 packets/s.
+	l := NewLink(sim, 100e6, 10*time.Millisecond, NewDropTail(1000), sink.OnPacket)
+	src := NewUDPSource(sim, 0, 1e6, 1000, l.Send)
+	src.Start()
+	sim.RunUntil(4 * time.Second)
+	src.Stop()
+	perSec := float64(sink.Received) / 4
+	if perSec < 110 || perSec > 140 {
+		t.Fatalf("UDP rate %.1f pkts/s, want ≈125", perSec)
+	}
+	if sink.LossRate() != 0 {
+		t.Fatalf("unexpected loss %v", sink.LossRate())
+	}
+	if sink.LastLatency < 10*time.Millisecond {
+		t.Fatalf("latency %v below propagation delay", sink.LastLatency)
+	}
+	// A few packets can already be in flight at Stop time; none should
+	// be *sent* afterwards.
+	sent := src.Sent
+	sim.RunUntil(5 * time.Second)
+	if src.Sent != sent {
+		t.Fatal("source kept sending after Stop")
+	}
+}
+
+func TestUDPSinkCountsLoss(t *testing.T) {
+	sim := NewSim()
+	sink := NewUDPSink(sim, 0)
+	sink.OnPacket(&Packet{Seq: 0, Size: 100})
+	sink.OnPacket(&Packet{Seq: 3, Size: 100}) // 1,2 lost
+	if sink.Lost != 2 {
+		t.Fatalf("lost = %d, want 2", sink.Lost)
+	}
+	if lr := sink.LossRate(); lr < 0.49 || lr > 0.51 {
+		t.Fatalf("loss rate %v, want 0.5", lr)
+	}
+}
+
+func TestUDPOnDumbbellStealsFromTCP(t *testing.T) {
+	// Unresponsive UDP at 60% of the bottleneck squeezes the elephants.
+	run := func(udpBps float64) int64 {
+		cfg := DefaultDumbbell()
+		d := NewDumbbell(cfg)
+		for i := 0; i < 4; i++ {
+			d.AddElephant()
+		}
+		if udpBps > 0 {
+			d.AddUDP(udpBps, 1000)
+		}
+		d.Sim.RunUntil(20 * time.Second)
+		return d.GoodputSegments()
+	}
+	clean := run(0)
+	squeezed := run(6e6)
+	if squeezed >= clean*3/4 {
+		t.Fatalf("UDP load did not squeeze TCP: %d vs %d segments", clean, squeezed)
+	}
+}
+
+func TestUDPRemoveFlow(t *testing.T) {
+	d := NewDumbbell(DefaultDumbbell())
+	f := d.AddUDP(1e6, 1000)
+	d.Sim.RunUntil(time.Second)
+	if len(d.UDPFlows()) != 1 {
+		t.Fatal("UDP flow not registered")
+	}
+	if !d.RemoveUDP(f.ID) || d.RemoveUDP(f.ID) {
+		t.Fatal("RemoveUDP semantics")
+	}
+	if f.Sink.Received == 0 {
+		t.Fatal("no datagrams delivered")
+	}
+}
+
+func TestUDPSinkEventHook(t *testing.T) {
+	sim := NewSim()
+	sink := NewUDPSink(sim, 0)
+	var events int
+	sink.OnPacketEvent = func(lat time.Duration, bytes int) { events++ }
+	sink.OnPacket(&Packet{Seq: 0, Size: 100})
+	sink.OnPacket(&Packet{Seq: 1, Size: 100})
+	if events != 2 {
+		t.Fatalf("hook fired %d times", events)
+	}
+}
+
+func TestSACKReceiverReportsHoles(t *testing.T) {
+	sim := NewSim()
+	var acks []*Packet
+	r := NewTCPReceiver(sim, 0, func(p *Packet) { acks = append(acks, p) })
+	r.SACK = true
+	r.OnPacket(&Packet{Seq: 0, Size: 1460})
+	r.OnPacket(&Packet{Seq: 2, Size: 1460}) // hole at 1
+	r.OnPacket(&Packet{Seq: 4, Size: 1460}) // hole at 3
+	last := acks[len(acks)-1]
+	if len(last.Sacked) != 2 || last.Sacked[0] != 2 || last.Sacked[1] != 4 {
+		t.Fatalf("sack report = %v, want [2 4]", last.Sacked)
+	}
+	// Filling the hole collapses the report.
+	r.OnPacket(&Packet{Seq: 1, Size: 1460})
+	last = acks[len(acks)-1]
+	if last.AckN != 3 {
+		t.Fatalf("ackN = %d, want 3", last.AckN)
+	}
+	if len(last.Sacked) != 1 || last.Sacked[0] != 4 {
+		t.Fatalf("sack report after fill = %v, want [4]", last.Sacked)
+	}
+}
+
+func TestSACKNoReportWhenDisabled(t *testing.T) {
+	sim := NewSim()
+	var acks []*Packet
+	r := NewTCPReceiver(sim, 0, func(p *Packet) { acks = append(acks, p) })
+	r.OnPacket(&Packet{Seq: 0, Size: 1460})
+	r.OnPacket(&Packet{Seq: 2, Size: 1460})
+	if len(acks[len(acks)-1].Sacked) != 0 {
+		t.Fatal("SACK report present with SACK disabled")
+	}
+}
+
+// sackLoopback wires a SACK sender/receiver pair.
+func sackLoopback(rate float64, delay time.Duration, qcap int, sack bool) (*Sim, *TCPSender, *TCPReceiver) {
+	sim := NewSim()
+	cfg := DefaultTCPConfig()
+	cfg.SACK = sack
+	var snd *TCPSender
+	var rcv *TCPReceiver
+	fwd := NewLink(sim, rate, delay, NewDropTail(qcap), func(p *Packet) { rcv.OnPacket(p) })
+	rev := NewLink(sim, rate*100, delay, NewDropTail(10000), func(p *Packet) { snd.OnAck(p) })
+	snd = NewTCPSender(sim, 0, cfg, 0, fwd.Send)
+	rcv = NewTCPReceiver(sim, 0, rev.Send)
+	rcv.SACK = sack
+	return sim, snd, rcv
+}
+
+func TestSACKRecoversBurstLossWithFewerTimeouts(t *testing.T) {
+	// A tiny queue causes burst loss; SACK repairs multiple holes per
+	// RTT where NewReno needs a full RTT per hole (often timing out).
+	runVariant := func(sack bool) (timeouts int64, goodput int64) {
+		sim, snd, rcv := sackLoopback(2e6, 20*time.Millisecond, 4, sack)
+		snd.Start()
+		sim.RunUntil(30 * time.Second)
+		return snd.Timeouts, rcv.SegmentsReceived
+	}
+	toReno, gpReno := runVariant(false)
+	toSack, gpSack := runVariant(true)
+	if toSack > toReno {
+		t.Fatalf("SACK timed out more than NewReno: %d vs %d", toSack, toReno)
+	}
+	if gpSack < gpReno*9/10 {
+		t.Fatalf("SACK goodput regressed: %d vs %d", gpSack, gpReno)
+	}
+}
+
+func TestSACKBoundedTransferCompletes(t *testing.T) {
+	sim := NewSim()
+	cfg := DefaultTCPConfig()
+	cfg.SACK = true
+	var snd *TCPSender
+	var rcv *TCPReceiver
+	fwd := NewLink(sim, 5e6, 10*time.Millisecond, NewDropTail(6), func(p *Packet) { rcv.OnPacket(p) })
+	rev := NewLink(sim, 500e6, 10*time.Millisecond, NewDropTail(10000), func(p *Packet) { snd.OnAck(p) })
+	snd = NewTCPSender(sim, 0, cfg, 500, fwd.Send)
+	rcv = NewTCPReceiver(sim, 0, rev.Send)
+	rcv.SACK = true
+	done := false
+	snd.OnDone = func() { done = true }
+	snd.Start()
+	sim.RunUntil(60 * time.Second)
+	if !done {
+		t.Fatalf("SACK transfer stalled: acked=%d cwnd=%.1f inflight=%d",
+			snd.AckedSegments, snd.Cwnd(), snd.InFlight())
+	}
+}

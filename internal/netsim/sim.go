@@ -1,0 +1,119 @@
+// Package netsim is a packet-level discrete-event network simulator. It
+// stands in for the paper's physical testbed — a Linux router running
+// nistnet between a client and a server machine (§2) — so the TCP/ECN
+// experiment of Figures 4 and 5 can be reproduced without hardware: links
+// model bandwidth serialization and propagation delay, router queues model
+// DropTail and RED (with ECN marking), and endpoints run a NewReno-style
+// TCP with slow start, AIMD congestion avoidance, fast
+// retransmit/recovery, retransmission timeouts with exponential backoff,
+// and optional ECN response.
+package netsim
+
+import (
+	"container/heap"
+	"time"
+)
+
+type event struct {
+	at  time.Duration
+	seq int64
+	fn  func()
+	idx int
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Timer is a cancelable scheduled event.
+type Timer struct {
+	ev *event
+}
+
+// Cancel prevents the timer's callback from running. Canceling a fired or
+// nil timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil && t.ev != nil {
+		t.ev.fn = nil
+	}
+}
+
+// Sim is the discrete-event simulator core: a virtual clock and an event
+// queue.
+type Sim struct {
+	now    time.Duration
+	events eventHeap
+	seq    int64
+	count  int64
+}
+
+// NewSim returns a simulator at time zero.
+func NewSim() *Sim { return &Sim{} }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Processed returns the number of events dispatched.
+func (s *Sim) Processed() int64 { return s.count }
+
+// At schedules fn at absolute simulated time t (clamped to now).
+func (s *Sim) At(t time.Duration, fn func()) *Timer {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	e := &event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.events, e)
+	return &Timer{ev: e}
+}
+
+// After schedules fn to run d from now.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	return s.At(s.now+d, fn)
+}
+
+// RunUntil dispatches events in time order until the queue is empty or the
+// next event lies beyond t; the clock finishes at exactly t. Canceled
+// events are skipped.
+func (s *Sim) RunUntil(t time.Duration) {
+	for len(s.events) > 0 && s.events[0].at <= t {
+		e := heap.Pop(&s.events).(*event)
+		if e.fn == nil {
+			continue
+		}
+		s.now = e.at
+		s.count++
+		e.fn()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Pending returns the number of queued events (including canceled ones not
+// yet reaped).
+func (s *Sim) Pending() int { return len(s.events) }

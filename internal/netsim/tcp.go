@@ -1,0 +1,573 @@
+package netsim
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// TCPConfig parameterizes a sender. The defaults model a 2002-era Linux
+// stack: NewReno congestion control, 1460-byte MSS, 200 ms minimum RTO.
+type TCPConfig struct {
+	// MSS is the segment size in bytes.
+	MSS int
+	// InitCwnd is the initial congestion window in segments.
+	InitCwnd float64
+	// MaxCwnd caps the window (the receiver's advertised window), in
+	// segments.
+	MaxCwnd float64
+	// MinRTO, InitRTO and MaxRTO bound the retransmission timer.
+	MinRTO, InitRTO, MaxRTO time.Duration
+	// ECN enables ECT marking and ECE/CWR response (RFC 3168).
+	ECN bool
+	// SACK enables selective acknowledgments: the receiver reports
+	// out-of-order segments and the sender retransmits scoreboard holes
+	// during recovery instead of one segment per RTT. The paper's
+	// authors debugged their low-latency TCP variant's interaction with
+	// SACK using gscope (§2), so the simulator carries the option.
+	SACK bool
+}
+
+// DefaultTCPConfig returns the baseline configuration.
+func DefaultTCPConfig() TCPConfig {
+	return TCPConfig{
+		MSS:      1460,
+		InitCwnd: 2,
+		MaxCwnd:  44, // ~64 KB window
+		MinRTO:   200 * time.Millisecond,
+		InitRTO:  time.Second,
+		MaxRTO:   60 * time.Second,
+	}
+}
+
+const ackSize = 40
+
+// TCPSender is a NewReno-style sender transmitting an (optionally bounded)
+// backlog of MSS-sized segments.
+type TCPSender struct {
+	sim *Sim
+	cfg TCPConfig
+	id  int
+	out func(*Packet) // path toward the receiver
+
+	running bool
+	nextSeq int64 // next new segment
+	sndUna  int64 // oldest unacknowledged segment
+
+	cwnd     float64
+	ssthresh float64
+
+	dupacks    int
+	inRecovery bool
+	recover    int64
+
+	srtt, rttvar time.Duration
+	haveSRTT     bool
+	backoff      int
+	timing       bool
+	timedSeq     int64
+	timedAt      time.Duration
+	rtoTimer     *Timer
+
+	cwrPending bool
+	ecnRecover int64
+
+	// SACK scoreboard: segments the receiver holds out of order, and the
+	// holes already retransmitted in the current recovery episode.
+	sacked map[int64]bool
+	resent map[int64]bool
+
+	limit int64 // total segments; 0 = unbounded (elephant)
+	done  bool
+
+	// OnDone fires when a bounded transfer completes.
+	OnDone func()
+
+	// Counters exposed as scope signals by mxtraf.
+	Timeouts        int64
+	FastRetransmits int64
+	ECNReductions   int64
+	PktsSent        int64
+	Retransmissions int64
+	AckedSegments   int64
+}
+
+// NewTCPSender builds a sender for flow id writing packets to out.
+// limitSegments of 0 gives an unbounded (elephant) transfer.
+func NewTCPSender(sim *Sim, id int, cfg TCPConfig, limitSegments int64, out func(*Packet)) *TCPSender {
+	if cfg.MSS <= 0 {
+		cfg = DefaultTCPConfig()
+	}
+	return &TCPSender{
+		sim:      sim,
+		cfg:      cfg,
+		id:       id,
+		out:      out,
+		cwnd:     cfg.InitCwnd,
+		ssthresh: cfg.MaxCwnd,
+		limit:    limitSegments,
+		sacked:   make(map[int64]bool),
+		resent:   make(map[int64]bool),
+	}
+}
+
+// ID returns the flow identifier.
+func (s *TCPSender) ID() int { return s.id }
+
+// Cwnd returns the congestion window in segments — the CWND signal the
+// paper plots in Figures 4 and 5.
+func (s *TCPSender) Cwnd() float64 { return s.cwnd }
+
+// Ssthresh returns the slow-start threshold in segments.
+func (s *TCPSender) Ssthresh() float64 { return s.ssthresh }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *TCPSender) SRTT() time.Duration { return s.srtt }
+
+// InFlight returns the number of unacknowledged segments.
+func (s *TCPSender) InFlight() int64 { return s.nextSeq - s.sndUna }
+
+// Done reports whether a bounded transfer has completed.
+func (s *TCPSender) Done() bool { return s.done }
+
+// Running reports whether the sender is active.
+func (s *TCPSender) Running() bool { return s.running }
+
+// Start begins transmitting.
+func (s *TCPSender) Start() {
+	if s.running || s.done {
+		return
+	}
+	s.running = true
+	s.trySend()
+}
+
+// Stop halts the sender (an elephant being torn down by mxtraf): the RTO
+// timer is canceled and no further segments are sent.
+func (s *TCPSender) Stop() {
+	s.running = false
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+		s.rtoTimer = nil
+	}
+}
+
+// rto returns the current retransmission timeout with backoff applied.
+func (s *TCPSender) rto() time.Duration {
+	var base time.Duration
+	if s.haveSRTT {
+		base = s.srtt + 4*s.rttvar
+	} else {
+		base = s.cfg.InitRTO
+	}
+	if base < s.cfg.MinRTO {
+		base = s.cfg.MinRTO
+	}
+	for i := 0; i < s.backoff; i++ {
+		base *= 2
+		if base >= s.cfg.MaxRTO {
+			return s.cfg.MaxRTO
+		}
+	}
+	if base > s.cfg.MaxRTO {
+		base = s.cfg.MaxRTO
+	}
+	return base
+}
+
+func (s *TCPSender) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+	}
+	s.rtoTimer = s.sim.After(s.rto(), s.onRTO)
+}
+
+func (s *TCPSender) sampleRTT(r time.Duration) {
+	if !s.haveSRTT {
+		s.srtt = r
+		s.rttvar = r / 2
+		s.haveSRTT = true
+		return
+	}
+	diff := s.srtt - r
+	if diff < 0 {
+		diff = -diff
+	}
+	s.rttvar = (3*s.rttvar + diff) / 4
+	s.srtt = (7*s.srtt + r) / 8
+}
+
+// OnAck processes an acknowledgment from the receiver.
+func (s *TCPSender) OnAck(p *Packet) {
+	if !s.running {
+		return
+	}
+	if s.cfg.SACK {
+		for _, seq := range p.Sacked {
+			if seq >= s.sndUna {
+				s.sacked[seq] = true
+			}
+		}
+	}
+	switch {
+	case p.AckN > s.sndUna:
+		s.onNewAck(p)
+	case p.AckN == s.sndUna && s.nextSeq > s.sndUna:
+		s.onDupAck()
+	}
+}
+
+// sackDupThresh is the reordering tolerance: an unsacked segment more
+// than this far below the highest SACKed segment is deemed lost
+// (RFC 3517's IsLost).
+const sackDupThresh = 3
+
+// highestSacked returns the largest SACKed sequence, or -1.
+func (s *TCPSender) highestSacked() int64 {
+	high := int64(-1)
+	for seq := range s.sacked {
+		if seq > high {
+			high = seq
+		}
+	}
+	return high
+}
+
+// sackPipe estimates the number of segments in the network (RFC 3517
+// "pipe"): in-flight segments that are neither SACKed nor deemed lost,
+// plus retransmissions presumed still in flight.
+func (s *TCPSender) sackPipe() int64 {
+	high := s.highestSacked()
+	var pipe int64
+	for seq := s.sndUna; seq < s.nextSeq; seq++ {
+		switch {
+		case s.sacked[seq]:
+			// Left the network.
+		case s.resent[seq]:
+			pipe++ // retransmission in flight
+		case high >= 0 && seq <= high-sackDupThresh:
+			// Deemed lost: not in the pipe.
+		default:
+			pipe++
+		}
+	}
+	return pipe
+}
+
+// nextLostHole returns the lowest segment deemed lost and not yet resent,
+// or -1 (RFC 3517's NextSeg rule 1).
+func (s *TCPSender) nextLostHole() int64 {
+	high := s.highestSacked()
+	if high < 0 {
+		return -1
+	}
+	for seq := s.sndUna; seq < s.nextSeq && seq <= high; seq++ {
+		if !s.sacked[seq] && !s.resent[seq] && seq <= high-sackDupThresh {
+			return seq
+		}
+	}
+	return -1
+}
+
+// sackSend transmits while the pipe has room under cwnd: first repairing
+// lost holes, then sending new data (RFC 3517 recovery send clock).
+func (s *TCPSender) sackSend() {
+	for float64(s.sackPipe()) < s.cwnd {
+		if seq := s.nextLostHole(); seq >= 0 {
+			s.resent[seq] = true
+			s.sendSegment(seq, true)
+			continue
+		}
+		if s.limit > 0 && s.nextSeq >= s.limit {
+			return
+		}
+		if s.nextSeq >= s.sndUna+int64(s.cfg.MaxCwnd) {
+			return
+		}
+		s.sendSegment(s.nextSeq, false)
+		s.nextSeq++
+	}
+}
+
+// dropScoreboardBelow forgets scoreboard state below the cumulative ACK.
+func (s *TCPSender) dropScoreboardBelow(ack int64) {
+	for seq := range s.sacked {
+		if seq < ack {
+			delete(s.sacked, seq)
+		}
+	}
+	for seq := range s.resent {
+		if seq < ack {
+			delete(s.resent, seq)
+		}
+	}
+}
+
+func (s *TCPSender) onNewAck(p *Packet) {
+	newly := p.AckN - s.sndUna
+	s.sndUna = p.AckN
+	s.AckedSegments += newly
+	s.dupacks = 0
+	s.backoff = 0
+
+	if s.timing && p.AckN > s.timedSeq {
+		s.sampleRTT(s.sim.Now() - s.timedAt)
+		s.timing = false
+	}
+
+	s.dropScoreboardBelow(p.AckN)
+
+	if s.inRecovery {
+		if p.AckN >= s.recover {
+			// Full acknowledgment: leave fast recovery, deflate.
+			s.inRecovery = false
+			s.cwnd = s.ssthresh
+			s.resent = make(map[int64]bool)
+		} else {
+			// Partial ACK: stay in recovery. With SACK the pipe-driven
+			// send clock repairs the exact holes; NewReno deflates and
+			// resends the segment at the ACK, one hole per RTT.
+			if s.cfg.SACK {
+				s.sackSend()
+			} else {
+				s.cwnd = math.Max(s.ssthresh, s.cwnd-float64(newly)+1)
+				s.retransmit()
+			}
+			s.armRTO()
+		}
+	} else if p.ECE && s.cfg.ECN && p.AckN > s.ecnRecover {
+		// ECN congestion response: halve at most once per window
+		// (RFC 3168); the receiver keeps echoing ECE until our CWR.
+		s.ssthresh = math.Max(s.cwnd/2, 2)
+		s.cwnd = s.ssthresh
+		s.ecnRecover = s.nextSeq
+		s.cwrPending = true
+		s.ECNReductions++
+	} else {
+		if s.cwnd < s.ssthresh {
+			s.cwnd += float64(newly) // slow start
+		} else {
+			s.cwnd += float64(newly) / s.cwnd // congestion avoidance
+		}
+		if s.cwnd > s.cfg.MaxCwnd {
+			s.cwnd = s.cfg.MaxCwnd
+		}
+	}
+
+	if s.nextSeq > s.sndUna {
+		s.armRTO()
+	} else if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+		s.rtoTimer = nil
+	}
+	s.checkDone()
+	s.trySend()
+}
+
+func (s *TCPSender) onDupAck() {
+	s.dupacks++
+	if s.inRecovery {
+		if s.cfg.SACK {
+			// The scoreboard (updated from this ACK) drives the send
+			// clock; no artificial window inflation is needed.
+			s.sackSend()
+		} else {
+			// Window inflation: each dupack signals a departed segment.
+			s.cwnd++
+			s.trySend()
+		}
+		return
+	}
+	if s.dupacks == 3 {
+		s.ssthresh = math.Max(s.cwnd/2, 2)
+		s.inRecovery = true
+		s.recover = s.nextSeq
+		s.FastRetransmits++
+		s.timing = false // Karn: the retransmitted segment is not timed
+		if s.cfg.SACK {
+			s.cwnd = s.ssthresh
+			s.resent = make(map[int64]bool)
+			// The first retransmission goes out regardless of the pipe.
+			if seq := s.nextLostHole(); seq >= 0 {
+				s.resent[seq] = true
+				s.sendSegment(seq, true)
+			} else {
+				s.resent[s.sndUna] = true
+				s.sendSegment(s.sndUna, true)
+			}
+			s.sackSend()
+		} else {
+			s.cwnd = s.ssthresh + 3
+			s.retransmit()
+		}
+		s.armRTO()
+	}
+}
+
+func (s *TCPSender) onRTO() {
+	s.rtoTimer = nil
+	if !s.running || s.done || s.nextSeq == s.sndUna {
+		return
+	}
+	s.Timeouts++
+	s.ssthresh = math.Max(s.cwnd/2, 2)
+	// Both TCP and ECN reduce the congestion window to one upon a timeout
+	// (§2) — the CWND=1 floor visible in Figure 4.
+	s.cwnd = 1
+	s.dupacks = 0
+	s.inRecovery = false
+	s.backoff++
+	s.timing = false
+	s.resent = make(map[int64]bool)
+	s.retransmit()
+	s.armRTO()
+}
+
+// retransmit resends the oldest unacknowledged segment.
+func (s *TCPSender) retransmit() {
+	s.sendSegment(s.sndUna, true)
+}
+
+// trySend transmits new segments while the window allows.
+func (s *TCPSender) trySend() {
+	if !s.running || s.done {
+		return
+	}
+	wnd := int64(math.Min(s.cwnd, s.cfg.MaxCwnd))
+	if wnd < 1 {
+		wnd = 1
+	}
+	for s.nextSeq < s.sndUna+wnd {
+		if s.limit > 0 && s.nextSeq >= s.limit {
+			break
+		}
+		if !s.timing {
+			s.timing = true
+			s.timedSeq = s.nextSeq
+			s.timedAt = s.sim.Now()
+		}
+		s.sendSegment(s.nextSeq, false)
+		s.nextSeq++
+	}
+	if s.nextSeq > s.sndUna && s.rtoTimer == nil {
+		s.armRTO()
+	}
+}
+
+func (s *TCPSender) sendSegment(seq int64, retrans bool) {
+	p := &Packet{
+		Flow:    s.id,
+		Seq:     seq,
+		Size:    s.cfg.MSS,
+		ECT:     s.cfg.ECN,
+		CWR:     s.cwrPending,
+		SentAt:  s.sim.Now(),
+		Retrans: retrans,
+	}
+	s.cwrPending = false
+	s.PktsSent++
+	if retrans {
+		s.Retransmissions++
+	}
+	s.out(p)
+}
+
+func (s *TCPSender) checkDone() {
+	if s.limit > 0 && !s.done && s.sndUna >= s.limit {
+		s.done = true
+		s.running = false
+		if s.rtoTimer != nil {
+			s.rtoTimer.Cancel()
+			s.rtoTimer = nil
+		}
+		if s.OnDone != nil {
+			s.OnDone()
+		}
+	}
+}
+
+// TCPReceiver acknowledges segments cumulatively, buffers out-of-order
+// arrivals, and implements the ECN receiver side: CE arrivals latch ECE
+// onto every ACK until a CWR data packet arrives.
+type TCPReceiver struct {
+	sim *Sim
+	id  int
+	out func(*Packet) // path toward the sender
+
+	// SACK enables selective-acknowledgment reporting on ACKs.
+	SACK bool
+	// maxSackReport bounds the option size, like the 3-4 blocks that fit
+	// a real TCP header.
+	maxSackReport int
+
+	rcvNext    int64
+	ooo        map[int64]bool
+	eceLatched bool
+
+	// SegmentsReceived counts in-order segment deliveries (goodput).
+	SegmentsReceived int64
+	// DupSegments counts duplicate (already-delivered) arrivals.
+	DupSegments int64
+	// LastDelivery is the time of the most recent in-order advance, used
+	// by mxtraf's latency signal.
+	LastDelivery time.Duration
+}
+
+// NewTCPReceiver builds a receiver for flow id sending ACKs to out.
+func NewTCPReceiver(sim *Sim, id int, out func(*Packet)) *TCPReceiver {
+	return &TCPReceiver{sim: sim, id: id, out: out, ooo: make(map[int64]bool), maxSackReport: 16}
+}
+
+// sackReport collects the lowest out-of-order segments for the ACK's SACK
+// option.
+func (r *TCPReceiver) sackReport() []int64 {
+	if !r.SACK || len(r.ooo) == 0 {
+		return nil
+	}
+	out := make([]int64, 0, len(r.ooo))
+	for seq := range r.ooo {
+		out = append(out, seq)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	if len(out) > r.maxSackReport {
+		out = out[:r.maxSackReport]
+	}
+	return out
+}
+
+// RcvNext returns the next expected segment number.
+func (r *TCPReceiver) RcvNext() int64 { return r.rcvNext }
+
+// OnPacket processes a data segment and emits an ACK.
+func (r *TCPReceiver) OnPacket(p *Packet) {
+	if p.CE {
+		r.eceLatched = true
+	}
+	if p.CWR {
+		r.eceLatched = false
+	}
+	switch {
+	case p.Seq == r.rcvNext:
+		r.rcvNext++
+		r.SegmentsReceived++
+		for r.ooo[r.rcvNext] {
+			delete(r.ooo, r.rcvNext)
+			r.rcvNext++
+			r.SegmentsReceived++
+		}
+		r.LastDelivery = r.sim.Now()
+	case p.Seq > r.rcvNext:
+		r.ooo[p.Seq] = true
+	default:
+		r.DupSegments++
+	}
+	r.out(&Packet{
+		Flow:   r.id,
+		Ack:    true,
+		AckN:   r.rcvNext,
+		Size:   ackSize,
+		ECE:    r.eceLatched,
+		Sacked: r.sackReport(),
+		SentAt: r.sim.Now(),
+	})
+}

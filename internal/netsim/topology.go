@@ -1,0 +1,230 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// DumbbellConfig describes the emulated wide-area path of the paper's
+// experiment (§2): a server and a client separated by a router that adds
+// delay and a bandwidth constraint (the nistnet role), with either a
+// DropTail or a RED/ECN queue at the bottleneck.
+type DumbbellConfig struct {
+	// RateBps is the bottleneck bandwidth in bits/second.
+	RateBps float64
+	// Delay is the one-way propagation delay of the bottleneck.
+	Delay time.Duration
+	// QueueCap is the router queue capacity in packets.
+	QueueCap int
+	// RED selects RED queueing (with ECN marking) instead of DropTail.
+	RED bool
+	// REDMinTh, REDMaxTh and REDMaxP are the RED parameters (packets,
+	// packets, probability). Zero values choose QueueCap/6, QueueCap/2
+	// and 0.1.
+	REDMinTh, REDMaxTh, REDMaxP float64
+	// TCP configures all senders.
+	TCP TCPConfig
+	// JitterMax is the maximum per-flow extra one-way delay, modeling
+	// differing access paths and desynchronizing the flows.
+	JitterMax time.Duration
+	// Seed makes the run reproducible.
+	Seed int64
+}
+
+// DefaultDumbbell returns the baseline topology used by the Figure 4/5
+// reproduction: a 10 Mbit/s bottleneck with 25 ms one-way delay (≈50 ms
+// RTT) and a 50-packet router queue.
+func DefaultDumbbell() DumbbellConfig {
+	return DumbbellConfig{
+		RateBps:   10e6,
+		Delay:     25 * time.Millisecond,
+		QueueCap:  50,
+		TCP:       DefaultTCPConfig(),
+		JitterMax: 8 * time.Millisecond,
+		Seed:      1,
+	}
+}
+
+// Flow pairs a sender (at the server) with a receiver (at the client).
+type Flow struct {
+	ID       int
+	Sender   *TCPSender
+	Receiver *TCPReceiver
+
+	jitterFwd time.Duration
+	jitterRev time.Duration
+}
+
+// Dumbbell is the assembled topology: all senders share the bottleneck
+// link toward the client; ACKs return over an uncongested reverse link.
+type Dumbbell struct {
+	Sim *Sim
+	Cfg DumbbellConfig
+
+	Fwd *Link // server → client (data)
+	Rev *Link // client → server (ACKs)
+
+	flows  map[int]*Flow
+	udp    map[int]*UDPFlow
+	order  []int
+	nextID int
+	rng    *rand.Rand
+
+	retiredGoodput int64
+	retiredTOs     int64
+}
+
+// NewDumbbell builds the topology on a fresh simulator.
+func NewDumbbell(cfg DumbbellConfig) *Dumbbell {
+	sim := NewSim()
+	d := &Dumbbell{
+		Sim:   sim,
+		Cfg:   cfg,
+		flows: make(map[int]*Flow),
+		udp:   make(map[int]*UDPFlow),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}
+
+	var q Queue
+	if cfg.RED {
+		minTh, maxTh, maxP := cfg.REDMinTh, cfg.REDMaxTh, cfg.REDMaxP
+		if minTh == 0 {
+			minTh = float64(cfg.QueueCap) / 6
+		}
+		if maxTh == 0 {
+			maxTh = float64(cfg.QueueCap) / 2
+		}
+		if maxP == 0 {
+			maxP = 0.1
+		}
+		q = NewRED(cfg.QueueCap, minTh, maxTh, maxP, cfg.Seed+1)
+	} else {
+		q = NewDropTail(cfg.QueueCap)
+	}
+
+	d.Fwd = NewLink(sim, cfg.RateBps, cfg.Delay, q, d.deliverToClient)
+	// The reverse path is uncongested: generous FIFO, same propagation
+	// delay, 100× the forward rate so ACKs never queue meaningfully.
+	d.Rev = NewLink(sim, cfg.RateBps*100, cfg.Delay, NewDropTail(10000), d.deliverToServer)
+	return d
+}
+
+// Queue returns the bottleneck queue discipline.
+func (d *Dumbbell) Queue() Queue { return d.Fwd.Q }
+
+func (d *Dumbbell) deliverToClient(p *Packet) {
+	if uf, ok := d.udp[p.Flow]; ok {
+		uf.Sink.OnPacket(p)
+		return
+	}
+	f := d.flows[p.Flow]
+	if f == nil {
+		return
+	}
+	if f.jitterFwd > 0 {
+		d.Sim.After(f.jitterFwd, func() { f.Receiver.OnPacket(p) })
+	} else {
+		f.Receiver.OnPacket(p)
+	}
+}
+
+func (d *Dumbbell) deliverToServer(p *Packet) {
+	f := d.flows[p.Flow]
+	if f == nil {
+		return
+	}
+	if f.jitterRev > 0 {
+		d.Sim.After(f.jitterRev, func() { f.Sender.OnAck(p) })
+	} else {
+		f.Sender.OnAck(p)
+	}
+}
+
+// AddFlow creates a flow transferring limitSegments segments (0 for an
+// unbounded elephant) and starts it.
+func (d *Dumbbell) AddFlow(limitSegments int64) *Flow {
+	id := d.nextID
+	d.nextID++
+	f := &Flow{ID: id}
+	if d.Cfg.JitterMax > 0 {
+		f.jitterFwd = time.Duration(d.rng.Int63n(int64(d.Cfg.JitterMax)))
+		f.jitterRev = time.Duration(d.rng.Int63n(int64(d.Cfg.JitterMax)))
+	}
+	f.Sender = NewTCPSender(d.Sim, id, d.Cfg.TCP, limitSegments, d.Fwd.Send)
+	f.Receiver = NewTCPReceiver(d.Sim, id, d.Rev.Send)
+	d.flows[id] = f
+	d.order = append(d.order, id)
+	f.Sender.Start()
+	return f
+}
+
+// AddElephant starts an unbounded flow (the paper's long-lived flows).
+func (d *Dumbbell) AddElephant() *Flow { return d.AddFlow(0) }
+
+// RemoveFlow stops and detaches a flow; it reports whether it existed.
+// In-flight packets for removed flows are discarded on delivery.
+func (d *Dumbbell) RemoveFlow(id int) bool {
+	f, ok := d.flows[id]
+	if !ok {
+		return false
+	}
+	f.Sender.Stop()
+	d.retiredGoodput += f.Receiver.SegmentsReceived
+	d.retiredTOs += f.Sender.Timeouts
+	delete(d.flows, id)
+	kept := d.order[:0]
+	for _, fid := range d.order {
+		if fid != id {
+			kept = append(kept, fid)
+		}
+	}
+	d.order = kept
+	return true
+}
+
+// Flows returns the active flows in creation order.
+func (d *Dumbbell) Flows() []*Flow {
+	out := make([]*Flow, 0, len(d.order))
+	for _, id := range d.order {
+		out = append(out, d.flows[id])
+	}
+	return out
+}
+
+// Flow returns a flow by id, or nil.
+func (d *Dumbbell) Flow(id int) *Flow { return d.flows[id] }
+
+// NumFlows returns the number of active flows.
+func (d *Dumbbell) NumFlows() int { return len(d.flows) }
+
+// TotalTimeouts sums sender timeouts across all flows, including flows
+// that have since been removed.
+func (d *Dumbbell) TotalTimeouts() int64 {
+	n := d.retiredTOs
+	for _, f := range d.flows {
+		n += f.Sender.Timeouts
+	}
+	return n
+}
+
+// GoodputSegments returns cumulative in-order segments delivered across
+// all flows, including flows that have since been removed; callers compute
+// rates from deltas.
+func (d *Dumbbell) GoodputSegments() int64 {
+	n := d.retiredGoodput
+	for _, f := range d.flows {
+		n += f.Receiver.SegmentsReceived
+	}
+	return n
+}
+
+// String summarizes the topology.
+func (d *Dumbbell) String() string {
+	kind := "DropTail"
+	if d.Cfg.RED {
+		kind = "RED/ECN"
+	}
+	return fmt.Sprintf("dumbbell %.0f Mbps, %s one-way, %s queue cap %d, %d flows",
+		d.Cfg.RateBps/1e6, d.Cfg.Delay, kind, d.Cfg.QueueCap, len(d.flows))
+}

@@ -1,0 +1,181 @@
+package netsim
+
+import "time"
+
+// UDP traffic. Mxtraf's stated purpose is saturating a network with "a
+// tunable mix of TCP and UDP traffic" (§2): UDP sources provide
+// unresponsive constant-bit-rate load that TCP flows must live alongside,
+// and their receivers measure exactly the per-packet quantities gscope's
+// aggregation functions visualize (§4.2): latency, loss, bytes.
+
+// UDPSource emits fixed-size datagrams at a constant bit rate. It does not
+// react to congestion.
+type UDPSource struct {
+	sim *Sim
+	id  int
+	out func(*Packet)
+
+	// RateBps is the target sending rate in bits/second.
+	RateBps float64
+	// Size is the datagram size in bytes.
+	Size int
+
+	running bool
+	seq     int64
+	timer   *Timer
+
+	// Sent counts datagrams emitted.
+	Sent int64
+}
+
+// NewUDPSource builds a CBR source for flow id writing to out.
+func NewUDPSource(sim *Sim, id int, rateBps float64, size int, out func(*Packet)) *UDPSource {
+	if size <= 0 {
+		size = 1000
+	}
+	return &UDPSource{sim: sim, id: id, out: out, RateBps: rateBps, Size: size}
+}
+
+// ID returns the flow identifier.
+func (u *UDPSource) ID() int { return u.id }
+
+// Running reports whether the source is emitting.
+func (u *UDPSource) Running() bool { return u.running }
+
+// interval returns the inter-packet gap for the configured rate.
+func (u *UDPSource) interval() time.Duration {
+	if u.RateBps <= 0 {
+		return time.Second
+	}
+	return time.Duration(float64(u.Size*8) / u.RateBps * float64(time.Second))
+}
+
+// Start begins emission.
+func (u *UDPSource) Start() {
+	if u.running {
+		return
+	}
+	u.running = true
+	u.emit()
+}
+
+// Stop halts emission.
+func (u *UDPSource) Stop() {
+	u.running = false
+	if u.timer != nil {
+		u.timer.Cancel()
+		u.timer = nil
+	}
+}
+
+func (u *UDPSource) emit() {
+	if !u.running {
+		return
+	}
+	u.out(&Packet{
+		Flow:   u.id,
+		Seq:    u.seq,
+		Size:   u.Size,
+		SentAt: u.sim.Now(),
+	})
+	u.seq++
+	u.Sent++
+	u.timer = u.sim.After(u.interval(), u.emit)
+}
+
+// UDPSink receives datagrams and tracks the loss/latency statistics a
+// monitoring scope displays.
+type UDPSink struct {
+	sim *Sim
+	id  int
+
+	// Received counts datagrams delivered.
+	Received int64
+	// BytesReceived accumulates payload bytes.
+	BytesReceived int64
+	// lastSeq tracks the highest sequence seen for loss estimation.
+	lastSeq int64
+	// Lost estimates datagrams missing from the sequence space.
+	Lost int64
+	// LastLatency is the one-way delay of the most recent datagram.
+	LastLatency time.Duration
+	// MaxLatency is the largest delay observed.
+	MaxLatency time.Duration
+
+	// OnPacketEvent, when set, observes each delivery — the hook an
+	// application uses to push per-packet events into gscope aggregation
+	// (§4.2: max latency, rate, events per interval...).
+	OnPacketEvent func(latency time.Duration, bytes int)
+}
+
+// NewUDPSink builds a sink for flow id.
+func NewUDPSink(sim *Sim, id int) *UDPSink {
+	return &UDPSink{sim: sim, id: id, lastSeq: -1}
+}
+
+// OnPacket implements the receive path.
+func (k *UDPSink) OnPacket(p *Packet) {
+	k.Received++
+	k.BytesReceived += int64(p.Size)
+	if p.Seq > k.lastSeq {
+		if k.lastSeq >= 0 {
+			k.Lost += p.Seq - k.lastSeq - 1
+		}
+		k.lastSeq = p.Seq
+	}
+	k.LastLatency = k.sim.Now() - p.SentAt
+	if k.LastLatency > k.MaxLatency {
+		k.MaxLatency = k.LastLatency
+	}
+	if k.OnPacketEvent != nil {
+		k.OnPacketEvent(k.LastLatency, p.Size)
+	}
+}
+
+// LossRate returns the fraction of datagrams lost so far.
+func (k *UDPSink) LossRate() float64 {
+	total := k.Received + k.Lost
+	if total == 0 {
+		return 0
+	}
+	return float64(k.Lost) / float64(total)
+}
+
+// UDPFlow pairs a source and sink attached to a dumbbell.
+type UDPFlow struct {
+	ID     int
+	Source *UDPSource
+	Sink   *UDPSink
+}
+
+// AddUDP attaches a CBR flow to the dumbbell's forward path and starts it.
+func (d *Dumbbell) AddUDP(rateBps float64, size int) *UDPFlow {
+	id := d.nextID
+	d.nextID++
+	f := &UDPFlow{ID: id}
+	f.Source = NewUDPSource(d.Sim, id, rateBps, size, d.Fwd.Send)
+	f.Sink = NewUDPSink(d.Sim, id)
+	d.udp[id] = f
+	f.Source.Start()
+	return f
+}
+
+// RemoveUDP stops and detaches a UDP flow.
+func (d *Dumbbell) RemoveUDP(id int) bool {
+	f, ok := d.udp[id]
+	if !ok {
+		return false
+	}
+	f.Source.Stop()
+	delete(d.udp, id)
+	return true
+}
+
+// UDPFlows returns the active UDP flows.
+func (d *Dumbbell) UDPFlows() []*UDPFlow {
+	out := make([]*UDPFlow, 0, len(d.udp))
+	for _, f := range d.udp {
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+// Package pll implements a software phase-lock loop, one of the control
+// algorithms the paper lists among its gscope applications ("a software
+// implementation of a phase-lock loop", citing Franklin, Powell & Workman's
+// Digital Control of Dynamic Systems). The loop tracks a reference
+// oscillator whose frequency may drift or jump: a phase detector measures
+// the wrapped phase error, a PI loop filter converts it to a frequency
+// correction, and a numerically controlled oscillator (NCO) integrates the
+// corrected frequency.
+//
+// The PLL demo visualizes exactly the signals a control engineer would put
+// on a scope: phase error, NCO frequency versus reference frequency, and a
+// lock indicator.
+package pll
+
+import (
+	"math"
+	"time"
+)
+
+// Config sets the loop gains and the NCO's free-running (center) frequency
+// in hertz.
+type Config struct {
+	// CenterHz is the NCO frequency with zero correction.
+	CenterHz float64
+	// Kp and Ki are the proportional and integral loop-filter gains.
+	Kp, Ki float64
+	// LockThreshold is the absolute phase error (radians) under which the
+	// loop counts as locked.
+	LockThreshold float64
+	// LockHold is how long the error must stay under the threshold.
+	LockHold time.Duration
+}
+
+// DefaultConfig returns gains that lock within a few hundred milliseconds
+// at a 10 Hz center frequency.
+func DefaultConfig() Config {
+	return Config{
+		CenterHz:      10,
+		Kp:            4.0,
+		Ki:            8.0,
+		LockThreshold: 0.1,
+		LockHold:      200 * time.Millisecond,
+	}
+}
+
+// PLL is the loop state.
+type PLL struct {
+	cfg Config
+
+	refPhase float64 // radians
+	refHz    float64
+
+	ncoPhase float64
+	ncoHz    float64
+
+	integ   float64
+	err     float64
+	lockFor time.Duration
+	elapsed time.Duration
+	steps   int64
+}
+
+// New returns a PLL tracking a reference that starts at refHz.
+func New(cfg Config, refHz float64) *PLL {
+	return &PLL{cfg: cfg, refHz: refHz, ncoHz: cfg.CenterHz}
+}
+
+// SetReferenceHz changes the reference frequency (a step disturbance the
+// loop must re-acquire).
+func (p *PLL) SetReferenceHz(hz float64) { p.refHz = hz }
+
+// ReferenceHz returns the current reference frequency.
+func (p *PLL) ReferenceHz() float64 { return p.refHz }
+
+// NCOHz returns the oscillator's current frequency.
+func (p *PLL) NCOHz() float64 { return p.ncoHz }
+
+// PhaseError returns the wrapped phase error in radians.
+func (p *PLL) PhaseError() float64 { return p.err }
+
+// Locked reports whether the error has stayed under the lock threshold for
+// the configured hold time.
+func (p *PLL) Locked() bool { return p.lockFor >= p.cfg.LockHold }
+
+// Elapsed returns simulated time.
+func (p *PLL) Elapsed() time.Duration { return p.elapsed }
+
+// Steps returns the number of Step calls.
+func (p *PLL) Steps() int64 { return p.steps }
+
+// wrap maps an angle to (-π, π].
+func wrap(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+// Step advances both oscillators by dt and runs one control update.
+func (p *PLL) Step(dt time.Duration) {
+	sec := dt.Seconds()
+	p.refPhase += 2 * math.Pi * p.refHz * sec
+	p.ncoPhase += 2 * math.Pi * p.ncoHz * sec
+
+	p.err = wrap(p.refPhase - p.ncoPhase)
+	p.integ += p.err * sec
+	ctrl := p.cfg.Kp*p.err + p.cfg.Ki*p.integ
+	p.ncoHz = p.cfg.CenterHz + ctrl/(2*math.Pi)
+
+	if math.Abs(p.err) < p.cfg.LockThreshold {
+		p.lockFor += dt
+	} else {
+		p.lockFor = 0
+	}
+	p.elapsed += dt
+	p.steps++
+}
+
+// Run advances to horizon in fixed steps and returns whether the loop is
+// locked at the end.
+func (p *PLL) Run(horizon, step time.Duration) bool {
+	for p.elapsed < horizon {
+		p.Step(step)
+	}
+	return p.Locked()
+}

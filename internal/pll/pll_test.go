@@ -1,0 +1,93 @@
+package pll
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+const step = time.Millisecond
+
+func TestLockAcquisition(t *testing.T) {
+	p := New(DefaultConfig(), 10.5)
+	if p.Locked() {
+		t.Fatal("should not start locked")
+	}
+	if !p.Run(5*time.Second, step) {
+		t.Fatalf("failed to lock: err=%v nco=%v", p.PhaseError(), p.NCOHz())
+	}
+	if math.Abs(p.NCOHz()-10.5) > 0.05 {
+		t.Fatalf("NCO %v Hz, want ≈10.5", p.NCOHz())
+	}
+}
+
+func TestReacquireAfterFrequencyStep(t *testing.T) {
+	p := New(DefaultConfig(), 10)
+	p.Run(5*time.Second, step)
+	if !p.Locked() {
+		t.Fatal("initial lock failed")
+	}
+	p.SetReferenceHz(12)
+	// The step disturbance must break lock momentarily...
+	for i := 0; i < 50; i++ {
+		p.Step(step)
+	}
+	// ...and then reacquire.
+	p.Run(p.Elapsed()+8*time.Second, step)
+	if !p.Locked() {
+		t.Fatalf("failed to reacquire after step: err=%v", p.PhaseError())
+	}
+	if math.Abs(p.NCOHz()-12) > 0.1 {
+		t.Fatalf("NCO %v Hz after step, want ≈12", p.NCOHz())
+	}
+}
+
+func TestPhaseErrorWrapped(t *testing.T) {
+	p := New(DefaultConfig(), 40) // far from center: early errors are large
+	for i := 0; i < 5000; i++ {
+		p.Step(step)
+		if e := p.PhaseError(); e > math.Pi || e <= -math.Pi {
+			t.Fatalf("unwrapped phase error %v", e)
+		}
+	}
+}
+
+func TestWrap(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{0, 0},
+		{math.Pi, math.Pi},
+		{-math.Pi, math.Pi}, // (-π, π] convention
+		{3 * math.Pi, math.Pi},
+		{2 * math.Pi, 0},
+	}
+	for _, c := range cases {
+		if got := wrap(c.in); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("wrap(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestStepsAndElapsedCounters(t *testing.T) {
+	p := New(DefaultConfig(), 10)
+	p.Run(time.Second, 10*time.Millisecond)
+	if p.Steps() != 100 {
+		t.Fatalf("steps = %d", p.Steps())
+	}
+	if p.Elapsed() != time.Second {
+		t.Fatalf("elapsed = %v", p.Elapsed())
+	}
+	if p.ReferenceHz() != 10 {
+		t.Fatalf("reference = %v", p.ReferenceHz())
+	}
+}
+
+func TestLockIndicatorRequiresHold(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LockHold = time.Second
+	p := New(cfg, 10)
+	// A single small-error step is not enough to count as locked.
+	p.Step(step)
+	if p.Locked() {
+		t.Fatal("lock should require sustained small error")
+	}
+}

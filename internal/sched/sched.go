@@ -1,0 +1,303 @@
+// Package sched simulates the feedback-driven proportion-period CPU
+// scheduler of Steere et al. (OSDI 1999), reference [19] of the gscope
+// paper and one of its flagship visualization targets: "we use gscope to
+// view dynamically changing process proportions as assigned by a CPU
+// proportion-period scheduler". The simulation reproduces the signals the
+// paper watches — per-process CPU proportions assigned at process-period
+// granularity, and the pipeline buffer fill levels that drive the real-rate
+// controller.
+//
+// Model: processes form producer/consumer pipelines connected by bounded
+// queues. A process given CPU proportion p during a period of length T
+// performs p·T·rate units of work (items produced or consumed). The
+// real-rate controller observes each queue's fill level and adjusts the
+// producer and consumer proportions to hold the queue near half full — a
+// queue filling up means the consumer is starved (give it more CPU); a
+// queue draining means the producer is starved. Proportions are clamped
+// and normalized so the total allocation never exceeds one.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Queue is a bounded buffer between two pipeline stages. Fill level is the
+// classic gscope demo signal (§1 lists "fill levels of buffers in a
+// pipeline").
+type Queue struct {
+	Name string
+	Cap  float64
+	fill float64
+}
+
+// NewQueue returns an empty queue.
+func NewQueue(name string, capacity float64) *Queue {
+	return &Queue{Name: name, Cap: capacity}
+}
+
+// Fill returns the current fill in items.
+func (q *Queue) Fill() float64 { return q.fill }
+
+// FillPct returns the fill as a percentage of capacity.
+func (q *Queue) FillPct() float64 {
+	if q.Cap <= 0 {
+		return 0
+	}
+	return q.fill / q.Cap * 100
+}
+
+// put adds items, clamping at capacity; it returns the amount actually
+// stored (the rest is lost, modeling producer stall).
+func (q *Queue) put(n float64) float64 {
+	space := q.Cap - q.fill
+	if n > space {
+		n = space
+	}
+	if n < 0 {
+		n = 0
+	}
+	q.fill += n
+	return n
+}
+
+// take removes up to n items and returns the amount removed.
+func (q *Queue) take(n float64) float64 {
+	if n > q.fill {
+		n = q.fill
+	}
+	if n < 0 {
+		n = 0
+	}
+	q.fill -= n
+	return n
+}
+
+// Role distinguishes pipeline stages.
+type Role int
+
+// Roles.
+const (
+	// Producer stages generate items into their output queue using CPU.
+	Producer Role = iota
+	// Consumer stages drain items from their input queue using CPU.
+	Consumer
+	// Filter stages move items from input to output using CPU.
+	Filter
+	// Arrival stages inject items at a fixed real rate regardless of CPU
+	// share — modeling I/O-driven producers (network packets, decoded
+	// audio frames) whose consumers the real-rate scheduler must keep up
+	// with. Arrival stages receive no CPU proportion.
+	Arrival
+)
+
+// Process is one scheduled entity.
+type Process struct {
+	Name string
+	Role Role
+	// Rate is work units per second of CPU at full proportion.
+	Rate float64
+	// Period is the scheduling period at which the proportion is
+	// re-assigned; the paper sets the scope polling period equal to it
+	// (§4.2 "Periodic Signals").
+	Period time.Duration
+
+	// In and Out are the stage's queues (nil per role).
+	In, Out *Queue
+
+	proportion float64
+	integ      float64
+
+	// Done counts completed work units.
+	Done float64
+}
+
+// Proportion returns the currently assigned CPU share — the signal the
+// paper plots per process.
+func (p *Process) Proportion() float64 { return p.proportion }
+
+// Scheduler assigns proportions with a PI controller per process and
+// simulates execution.
+type Scheduler struct {
+	Processes []*Process
+	Queues    []*Queue
+
+	// Kp and Ki are the controller gains on normalized queue error.
+	Kp, Ki float64
+	// MinShare and MaxShare clamp individual proportions.
+	MinShare, MaxShare float64
+
+	elapsed     time.Duration
+	allocations int64
+}
+
+// NewScheduler returns a scheduler with the reference controller gains.
+// The controller is a position-form PI: the proportional term damps the
+// queue dynamics while the integral term carries each process's
+// steady-state share, so fill levels settle near half full instead of
+// oscillating.
+func NewScheduler() *Scheduler {
+	return &Scheduler{
+		Kp:       0.30,
+		Ki:       0.50,
+		MinShare: 0.02,
+		MaxShare: 0.90,
+	}
+}
+
+// AddProcess registers a process (initial proportion MinShare), seeding the
+// controller's integral term so the assigned share starts there.
+func (s *Scheduler) AddProcess(p *Process) *Process {
+	if p.Role != Arrival {
+		if p.proportion == 0 {
+			p.proportion = s.MinShare
+		}
+		if s.Ki > 0 {
+			p.integ = p.proportion / s.Ki
+		}
+	}
+	s.Processes = append(s.Processes, p)
+	return p
+}
+
+// AddQueue registers a queue for monitoring.
+func (s *Scheduler) AddQueue(q *Queue) *Queue {
+	s.Queues = append(s.Queues, q)
+	return q
+}
+
+// Elapsed returns simulated time.
+func (s *Scheduler) Elapsed() time.Duration { return s.elapsed }
+
+// Allocations counts proportion re-assignments.
+func (s *Scheduler) Allocations() int64 { return s.allocations }
+
+// Step advances the simulation by dt: every process runs with its current
+// proportion, then the controller re-assigns proportions from queue
+// feedback. dt should be at most the shortest process period.
+func (s *Scheduler) Step(dt time.Duration) {
+	sec := dt.Seconds()
+	// Execute.
+	for _, p := range s.Processes {
+		work := p.proportion * p.Rate * sec
+		switch p.Role {
+		case Producer:
+			if p.Out != nil {
+				p.Done += p.Out.put(work)
+			}
+		case Consumer:
+			if p.In != nil {
+				p.Done += p.In.take(work)
+			}
+		case Filter:
+			if p.In != nil && p.Out != nil {
+				moved := p.In.take(work)
+				p.Done += p.Out.put(moved)
+			}
+		case Arrival:
+			if p.Out != nil {
+				p.Done += p.Out.put(p.Rate * sec)
+			}
+		}
+	}
+	// Control: per-process PI on the queue error.
+	for _, p := range s.Processes {
+		var err float64
+		switch p.Role {
+		case Arrival:
+			continue
+		case Producer:
+			if p.Out == nil || p.Out.Cap <= 0 {
+				continue
+			}
+			// A draining output queue means the producer needs more CPU.
+			err = 0.5 - p.Out.fill/p.Out.Cap
+		case Consumer:
+			if p.In == nil || p.In.Cap <= 0 {
+				continue
+			}
+			// A filling input queue means the consumer needs more CPU.
+			err = p.In.fill/p.In.Cap - 0.5
+		case Filter:
+			if p.In == nil || p.Out == nil {
+				continue
+			}
+			err = (p.In.fill/p.In.Cap - p.Out.fill/p.Out.Cap) / 2
+		}
+		p.integ += err * sec
+		// Anti-windup: the integral term carries the steady-state share,
+		// which can never usefully exceed the share clamp.
+		if s.Ki > 0 {
+			p.integ = clamp(p.integ, 0, s.MaxShare/s.Ki)
+		}
+		target := s.Kp*err + s.Ki*p.integ
+		p.proportion = clamp(target, s.MinShare, s.MaxShare)
+		s.allocations++
+	}
+	s.normalize()
+	s.elapsed += dt
+}
+
+// normalize scales proportions down when they sum past 1 (the scheduler
+// never over-commits the CPU).
+func (s *Scheduler) normalize() {
+	sum := 0.0
+	for _, p := range s.Processes {
+		sum += p.proportion
+	}
+	if sum <= 1 {
+		return
+	}
+	for _, p := range s.Processes {
+		if p.Role == Arrival {
+			continue
+		}
+		p.proportion = math.Max(s.MinShare/2, p.proportion/sum)
+	}
+}
+
+// Run advances the simulation to horizon in fixed steps.
+func (s *Scheduler) Run(horizon, step time.Duration) {
+	for s.elapsed < horizon {
+		s.Step(step)
+	}
+}
+
+// TotalProportion returns the summed allocation.
+func (s *Scheduler) TotalProportion() float64 {
+	sum := 0.0
+	for _, p := range s.Processes {
+		sum += p.proportion
+	}
+	return sum
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// NewPipeline wires a producer→queue→consumer chain with the given rates
+// and returns (scheduler-ready) components. It is the standard demo
+// topology: a media decoder feeding a renderer.
+func NewPipeline(name string, prodRate, consRate, queueCap float64, period time.Duration) (*Process, *Queue, *Process) {
+	q := NewQueue(name+".q", queueCap)
+	prod := &Process{Name: name + ".prod", Role: Producer, Rate: prodRate, Period: period, Out: q}
+	cons := &Process{Name: name + ".cons", Role: Consumer, Rate: consRate, Period: period, In: q}
+	return prod, q, cons
+}
+
+// String summarizes scheduler state.
+func (s *Scheduler) String() string {
+	out := fmt.Sprintf("sched t=%v total=%.2f", s.elapsed, s.TotalProportion())
+	for _, p := range s.Processes {
+		out += fmt.Sprintf(" %s=%.2f", p.Name, p.proportion)
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQueuePutTakeClamping(t *testing.T) {
+	q := NewQueue("q", 10)
+	if got := q.put(6); got != 6 {
+		t.Fatalf("put = %v", got)
+	}
+	if got := q.put(8); got != 4 {
+		t.Fatalf("overfull put stored %v, want 4", got)
+	}
+	if q.Fill() != 10 {
+		t.Fatalf("fill = %v", q.Fill())
+	}
+	if q.FillPct() != 100 {
+		t.Fatalf("pct = %v", q.FillPct())
+	}
+	if got := q.take(25); got != 10 {
+		t.Fatalf("take = %v", got)
+	}
+	if got := q.take(1); got != 0 {
+		t.Fatal("empty take should return 0")
+	}
+	if q.put(-5) != 0 || q.take(-5) != 0 {
+		t.Fatal("negative amounts should be ignored")
+	}
+}
+
+func TestPipelineConvergesToHalfFull(t *testing.T) {
+	s := NewScheduler()
+	prod, q, cons := NewPipeline("av", 2000, 2000, 100, 10*time.Millisecond)
+	s.AddProcess(prod)
+	s.AddProcess(cons)
+	s.AddQueue(q)
+	s.Run(30*time.Second, 10*time.Millisecond)
+	if q.FillPct() < 25 || q.FillPct() > 75 {
+		t.Fatalf("queue settled at %.1f%%, want near 50%%", q.FillPct())
+	}
+	if prod.Done == 0 || cons.Done == 0 {
+		t.Fatal("pipeline did no work")
+	}
+}
+
+func TestProportionsRespondToRateChange(t *testing.T) {
+	// Doubling the consumer's per-CPU cost (halving its rate) must raise
+	// its proportion — the dynamic the paper watches on gscope.
+	s := NewScheduler()
+	prod, q, cons := NewPipeline("av", 3000, 3000, 100, 10*time.Millisecond)
+	s.AddProcess(prod)
+	s.AddProcess(cons)
+	s.AddQueue(q)
+	s.Run(20*time.Second, 10*time.Millisecond)
+	before := cons.Proportion()
+	cons.Rate = 1500 // work got harder
+	s.Run(40*time.Second, 10*time.Millisecond)
+	after := cons.Proportion()
+	if after <= before {
+		t.Fatalf("consumer proportion did not rise: %.3f → %.3f", before, after)
+	}
+}
+
+func TestTotalProportionNeverExceedsOne(t *testing.T) {
+	s := NewScheduler()
+	for i := 0; i < 4; i++ {
+		prod, q, cons := NewPipeline("p", 5000, 2500, 50, 10*time.Millisecond)
+		s.AddProcess(prod)
+		s.AddProcess(cons)
+		s.AddQueue(q)
+	}
+	step := 10 * time.Millisecond
+	for i := 0; i < 3000; i++ {
+		s.Step(step)
+		if tot := s.TotalProportion(); tot > 1.0001 {
+			t.Fatalf("total proportion %v exceeds 1 at step %d", tot, i)
+		}
+	}
+}
+
+func TestProportionsStayClamped(t *testing.T) {
+	s := NewScheduler()
+	prod, q, cons := NewPipeline("p", 100000, 10, 20, 10*time.Millisecond)
+	s.AddProcess(prod)
+	s.AddProcess(cons)
+	s.AddQueue(q)
+	s.Run(30*time.Second, 10*time.Millisecond)
+	for _, p := range s.Processes {
+		if p.Proportion() < s.MinShare/2-1e-9 || p.Proportion() > s.MaxShare+1e-9 {
+			t.Fatalf("%s proportion %v outside clamp", p.Name, p.Proportion())
+		}
+	}
+}
+
+func TestFilterStage(t *testing.T) {
+	s := NewScheduler()
+	in := s.AddQueue(NewQueue("in", 50))
+	out := s.AddQueue(NewQueue("out", 50))
+	prod := s.AddProcess(&Process{Name: "src", Role: Producer, Rate: 2000, Out: in})
+	filt := s.AddProcess(&Process{Name: "filt", Role: Filter, Rate: 2000, In: in, Out: out})
+	cons := s.AddProcess(&Process{Name: "snk", Role: Consumer, Rate: 2000, In: out})
+	_ = prod
+	_ = cons
+	s.Run(30*time.Second, 10*time.Millisecond)
+	if filt.Done == 0 {
+		t.Fatal("filter moved nothing")
+	}
+	if cons.Done == 0 {
+		t.Fatal("consumer got nothing through the filter")
+	}
+}
+
+func TestArrivalDrivenRealRateShare(t *testing.T) {
+	// Frames arrive at 30/s; the consumer decodes 100/s at full CPU, so
+	// its real-rate share is 30%. The controller must find it.
+	s := NewScheduler()
+	q := s.AddQueue(NewQueue("q", 120))
+	s.AddProcess(&Process{Name: "src", Role: Arrival, Rate: 30, Out: q})
+	dec := s.AddProcess(&Process{Name: "dec", Role: Consumer, Rate: 100, In: q})
+	s.Run(30*time.Second, 10*time.Millisecond)
+	if p := dec.Proportion(); p < 0.25 || p > 0.40 {
+		t.Fatalf("decoder share %.3f, want ≈0.30", p)
+	}
+	if q.FillPct() < 20 || q.FillPct() > 80 {
+		t.Fatalf("queue at %.0f%%, should be regulated", q.FillPct())
+	}
+	// The arrival stage consumes no CPU share.
+	for _, p := range s.Processes {
+		if p.Role == Arrival && p.Proportion() != 0 {
+			t.Fatalf("arrival stage was allocated %.3f CPU", p.Proportion())
+		}
+	}
+}
+
+func TestArrivalShareTracksCostChange(t *testing.T) {
+	s := NewScheduler()
+	q := s.AddQueue(NewQueue("q", 120))
+	s.AddProcess(&Process{Name: "src", Role: Arrival, Rate: 30, Out: q})
+	dec := s.AddProcess(&Process{Name: "dec", Role: Consumer, Rate: 100, In: q})
+	s.Run(25*time.Second, 10*time.Millisecond)
+	before := dec.Proportion()
+	dec.Rate = 50 // work doubles → share must double
+	s.Run(60*time.Second, 10*time.Millisecond)
+	after := dec.Proportion()
+	if after < before*1.5 {
+		t.Fatalf("share did not track cost: %.3f → %.3f", before, after)
+	}
+	if after < 0.5 || after > 0.75 {
+		t.Fatalf("share %.3f, want ≈0.60", after)
+	}
+}
+
+func TestAllocationsCount(t *testing.T) {
+	s := NewScheduler()
+	prod, q, cons := NewPipeline("p", 100, 100, 10, 10*time.Millisecond)
+	s.AddProcess(prod)
+	s.AddProcess(cons)
+	s.AddQueue(q)
+	s.Step(10 * time.Millisecond)
+	if s.Allocations() != 2 {
+		t.Fatalf("allocations = %d, want 2", s.Allocations())
+	}
+	if s.Elapsed() != 10*time.Millisecond {
+		t.Fatalf("elapsed = %v", s.Elapsed())
+	}
+}
+
+func TestSchedulerString(t *testing.T) {
+	s := NewScheduler()
+	prod, q, cons := NewPipeline("p", 100, 100, 10, 10*time.Millisecond)
+	s.AddProcess(prod)
+	s.AddProcess(cons)
+	s.AddQueue(q)
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+}

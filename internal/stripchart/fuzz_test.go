@@ -1,0 +1,29 @@
+package stripchart
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseConfig checks the configuration parser never panics and that
+// accepted configurations are structurally sound.
+func FuzzParseConfig(f *testing.F) {
+	f.Add("begin a\nfilename /proc/loadavg\npattern ^(\\S+)\nend\n")
+	f.Add("begin a\nfilename f\npattern x\nscale 2\ncolor #fff\nrange 0 10\nend")
+	f.Add("# only a comment\n")
+	f.Add("begin\nend")
+	f.Fuzz(func(t *testing.T, src string) {
+		cfg, err := ParseConfig(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if len(cfg.Entries) == 0 {
+			t.Fatal("accepted config with no entries")
+		}
+		for _, e := range cfg.Entries {
+			if e.Name == "" || e.Filename == "" || e.Pattern == nil {
+				t.Fatalf("accepted incomplete entry %+v", e)
+			}
+		}
+	})
+}

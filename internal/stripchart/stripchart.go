@@ -1,0 +1,243 @@
+// Package stripchart reimplements gstripchart, the baseline the paper
+// compares gscope against (§5): "the Gnome stripchart program charts
+// various user-specified parameters as a function of time such as CPU load
+// and network traffic levels. The gstripchart program periodically reads
+// data from a file, extracts a value and displays these values. However,
+// unlike Gscope, gstripchart has a configuration-file based interface
+// rather than a programmatic interface, which limits its use for debugging
+// or modifying system behavior."
+//
+// The reproduction keeps exactly that contract: signals are declared in a
+// text configuration file as (name, file, regex, scale, color, range)
+// tuples; the chart polls the files, extracts the first capture group and
+// plots it. It reuses the scope engine for display, making the comparison
+// an interface ablation: the same display stack, driven by a config file
+// instead of the gscope API. Its limits relative to gscope fall out of
+// the structure — no FUNC/event/BUFFER acquisition, no writable control
+// parameters, no streaming, no record/replay.
+package stripchart
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/draw"
+	"repro/internal/glib"
+)
+
+// Entry is one configured chart parameter.
+type Entry struct {
+	// Name labels the trace.
+	Name string
+	// Filename is read on every poll.
+	Filename string
+	// Pattern extracts the value: its first capture group (or the whole
+	// match) must parse as a float.
+	Pattern *regexp.Regexp
+	// Scale multiplies the extracted value (default 1).
+	Scale float64
+	// Color is the trace color (default: palette rotation).
+	Color draw.RGB
+	// HasColor marks Color as explicitly configured.
+	HasColor bool
+	// Min and Max give the displayed range (default 0..100).
+	Min, Max float64
+}
+
+// Config is a parsed gstripchart-style configuration.
+type Config struct {
+	Entries []Entry
+}
+
+// ParseConfig reads a configuration of the form:
+//
+//	# comment
+//	begin loadavg
+//	  filename /proc/loadavg
+//	  pattern  ^(\S+)
+//	  scale    100
+//	  color    #ffcc00
+//	  range    0 4
+//	end
+func ParseConfig(r io.Reader) (*Config, error) {
+	cfg := &Config{}
+	sc := bufio.NewScanner(r)
+	var cur *Entry
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		key := fields[0]
+		rest := strings.TrimSpace(strings.TrimPrefix(text, key))
+		switch key {
+		case "begin":
+			if cur != nil {
+				return nil, fmt.Errorf("stripchart: line %d: nested begin", line)
+			}
+			if rest == "" {
+				return nil, fmt.Errorf("stripchart: line %d: begin needs a name", line)
+			}
+			cur = &Entry{Name: rest, Scale: 1, Max: 100}
+		case "end":
+			if cur == nil {
+				return nil, fmt.Errorf("stripchart: line %d: end without begin", line)
+			}
+			if cur.Filename == "" || cur.Pattern == nil {
+				return nil, fmt.Errorf("stripchart: entry %q needs filename and pattern", cur.Name)
+			}
+			cfg.Entries = append(cfg.Entries, *cur)
+			cur = nil
+		case "filename":
+			if cur == nil {
+				return nil, fmt.Errorf("stripchart: line %d: %s outside begin/end", line, key)
+			}
+			cur.Filename = rest
+		case "pattern":
+			if cur == nil {
+				return nil, fmt.Errorf("stripchart: line %d: %s outside begin/end", line, key)
+			}
+			re, err := regexp.Compile(rest)
+			if err != nil {
+				return nil, fmt.Errorf("stripchart: line %d: %v", line, err)
+			}
+			cur.Pattern = re
+		case "scale":
+			if cur == nil {
+				return nil, fmt.Errorf("stripchart: line %d: %s outside begin/end", line, key)
+			}
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				return nil, fmt.Errorf("stripchart: line %d: bad scale: %v", line, err)
+			}
+			cur.Scale = v
+		case "color":
+			if cur == nil {
+				return nil, fmt.Errorf("stripchart: line %d: %s outside begin/end", line, key)
+			}
+			c, err := draw.ParseColor(rest)
+			if err != nil {
+				return nil, fmt.Errorf("stripchart: line %d: %v", line, err)
+			}
+			cur.Color = c
+			cur.HasColor = true
+		case "range":
+			if cur == nil {
+				return nil, fmt.Errorf("stripchart: line %d: %s outside begin/end", line, key)
+			}
+			var lo, hi float64
+			if _, err := fmt.Sscanf(rest, "%g %g", &lo, &hi); err != nil {
+				return nil, fmt.Errorf("stripchart: line %d: bad range: %v", line, err)
+			}
+			cur.Min, cur.Max = lo, hi
+		default:
+			return nil, fmt.Errorf("stripchart: line %d: unknown key %q", line, key)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("stripchart: entry %q missing end", cur.Name)
+	}
+	if len(cfg.Entries) == 0 {
+		return nil, fmt.Errorf("stripchart: no entries")
+	}
+	return cfg, nil
+}
+
+// LoadConfig parses a configuration file.
+func LoadConfig(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("stripchart: %w", err)
+	}
+	defer f.Close()
+	return ParseConfig(f)
+}
+
+// Chart is a running stripchart: the configured entries polled onto a
+// scope.
+type Chart struct {
+	cfg   *Config
+	scope *core.Scope
+
+	readErrors int64
+}
+
+// New builds a chart over loop displaying the configured entries at the
+// given polling period.
+func New(loop *glib.Loop, cfg *Config, width, height int, period time.Duration) (*Chart, error) {
+	ch := &Chart{cfg: cfg, scope: core.New(loop, "gstripchart", width, height)}
+	for i := range cfg.Entries {
+		e := cfg.Entries[i]
+		src := core.FuncSource(func() float64 { return ch.read(&e) })
+		_, err := ch.scope.AddSignal(core.Sig{
+			Name:     e.Name,
+			Source:   src,
+			Color:    e.Color,
+			HasColor: e.HasColor,
+			Min:      e.Min,
+			Max:      e.Max,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ch.scope.SetPollingMode(period); err != nil {
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Scope exposes the underlying scope (for rendering and control).
+func (ch *Chart) Scope() *core.Scope { return ch.scope }
+
+// ReadErrors counts polls that failed to read or parse their file.
+func (ch *Chart) ReadErrors() int64 { return ch.readErrors }
+
+// Start begins polling.
+func (ch *Chart) Start() error { return ch.scope.StartPolling() }
+
+// Stop halts polling.
+func (ch *Chart) Stop() { ch.scope.Stop() }
+
+// read performs one file poll for an entry: read, match, parse, scale.
+// Failures repeat the previous sample (0 before the first success) so a
+// transiently missing file does not tear the chart.
+func (ch *Chart) read(e *Entry) float64 {
+	prev := 0.0
+	if sig := ch.scope.Signal(e.Name); sig != nil {
+		prev = sig.Value()
+	}
+	data, err := os.ReadFile(e.Filename)
+	if err != nil {
+		ch.readErrors++
+		return prev
+	}
+	m := e.Pattern.FindSubmatch(data)
+	if m == nil {
+		ch.readErrors++
+		return prev
+	}
+	raw := m[0]
+	if len(m) > 1 {
+		raw = m[1]
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(string(raw)), 64)
+	if err != nil {
+		ch.readErrors++
+		return prev
+	}
+	return v * e.Scale
+}

@@ -1,0 +1,195 @@
+package stripchart
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/glib"
+)
+
+const sampleConfig = `
+# gstripchart-style configuration
+begin loadavg
+  filename %s
+  pattern  ^(\S+)
+  scale    100
+  color    #ffcc00
+  range    0 400
+end
+
+begin memfree
+  filename %s
+  pattern  MemFree:\s+(\d+)
+end
+`
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	p := filepath.Join(dir, name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseConfig(t *testing.T) {
+	cfg, err := ParseConfig(strings.NewReader(strings.ReplaceAll(
+		strings.ReplaceAll(sampleConfig, "%s", "/proc/loadavg"), "%s", "/proc/meminfo")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Entries) != 2 {
+		t.Fatalf("entries = %d", len(cfg.Entries))
+	}
+	e := cfg.Entries[0]
+	if e.Name != "loadavg" || e.Scale != 100 || !e.HasColor || e.Max != 400 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if cfg.Entries[1].Scale != 1 || cfg.Entries[1].Max != 100 {
+		t.Fatal("defaults not applied")
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []string{
+		"",                                    // no entries
+		"begin a\nfilename f\n",               // missing end
+		"end\n",                               // end without begin
+		"begin a\nbegin b\n",                  // nested
+		"begin a\nend\n",                      // missing filename/pattern
+		"begin a\nfilename f\npattern ([\n",   // bad regex
+		"begin a\nwhatkey v\nend\n",           // unknown key
+		"filename f\n",                        // key outside begin
+		"begin a\nfilename f\nscale xx\nend",  // bad scale
+		"begin a\nfilename f\ncolor bad\nend", // bad color
+		"begin\n",                             // unnamed
+		"begin a\nfilename f\npattern x\nrange 1\nend", // bad range
+	}
+	for _, src := range cases {
+		if _, err := ParseConfig(strings.NewReader(src)); err == nil {
+			t.Errorf("config %q should fail", src)
+		}
+	}
+}
+
+func TestChartPollsFiles(t *testing.T) {
+	dir := t.TempDir()
+	load := writeFile(t, dir, "loadavg", "0.42 0.50 0.61 1/123 4567\n")
+	mem := writeFile(t, dir, "meminfo", "MemTotal: 1000 kB\nMemFree: 250 kB\n")
+
+	src := strings.Replace(sampleConfig, "%s", load, 1)
+	src = strings.Replace(src, "%s", mem, 1)
+	cfg, err := ParseConfig(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	vc := glib.NewVirtualClock(time.Unix(0, 0))
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	ch, err := New(loop, cfg, 200, 100, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.Start(); err != nil {
+		t.Fatal(err)
+	}
+	loop.Advance(200 * time.Millisecond)
+
+	if v := ch.Scope().Signal("loadavg").Value(); v != 42 { // 0.42 * 100
+		t.Fatalf("loadavg = %v, want 42", v)
+	}
+	if v := ch.Scope().Signal("memfree").Value(); v != 250 {
+		t.Fatalf("memfree = %v, want 250", v)
+	}
+	if ch.ReadErrors() != 0 {
+		t.Fatalf("read errors = %d", ch.ReadErrors())
+	}
+
+	// The chart tracks file updates, like gstripchart re-reading /proc.
+	writeFile(t, dir, "loadavg", "1.25 0.50 0.61 1/123 4567\n")
+	loop.Advance(100 * time.Millisecond)
+	if v := ch.Scope().Signal("loadavg").Value(); v != 125 {
+		t.Fatalf("updated loadavg = %v, want 125", v)
+	}
+	ch.Stop()
+}
+
+func TestChartHoldsOnReadFailure(t *testing.T) {
+	dir := t.TempDir()
+	load := writeFile(t, dir, "loadavg", "0.50\n")
+	src := "begin x\n  filename " + load + "\n  pattern ^(\\S+)\nend\n"
+	cfg, err := ParseConfig(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := glib.NewVirtualClock(time.Unix(0, 0))
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	ch, err := New(loop, cfg, 100, 50, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Start() //nolint:errcheck
+	loop.Advance(100 * time.Millisecond)
+	if v := ch.Scope().Signal("x").Value(); v != 0.5 {
+		t.Fatalf("value = %v", v)
+	}
+	os.Remove(load) //nolint:errcheck
+	loop.Advance(100 * time.Millisecond)
+	if v := ch.Scope().Signal("x").Value(); v != 0.5 {
+		t.Fatalf("value after removal = %v, want held 0.5", v)
+	}
+	if ch.ReadErrors() == 0 {
+		t.Fatal("read errors not counted")
+	}
+}
+
+func TestChartUnparseableValue(t *testing.T) {
+	dir := t.TempDir()
+	f := writeFile(t, dir, "weird", "not-a-number\n")
+	src := "begin x\n  filename " + f + "\n  pattern ^(\\S+)\nend\n"
+	cfg, err := ParseConfig(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := glib.NewVirtualClock(time.Unix(0, 0))
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	ch, err := New(loop, cfg, 100, 50, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Start() //nolint:errcheck
+	loop.Advance(100 * time.Millisecond)
+	if ch.ReadErrors() == 0 {
+		t.Fatal("unparseable value should count as a read error")
+	}
+}
+
+func TestLoadConfigMissingFile(t *testing.T) {
+	if _, err := LoadConfig("/nonexistent/stripchart.conf"); err == nil {
+		t.Fatal("missing config should error")
+	}
+}
+
+func TestWholeMatchWithoutGroup(t *testing.T) {
+	dir := t.TempDir()
+	f := writeFile(t, dir, "v", "37\n")
+	src := "begin x\n  filename " + f + "\n  pattern \\d+\nend\n"
+	cfg, err := ParseConfig(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := glib.NewVirtualClock(time.Unix(0, 0))
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	ch, err := New(loop, cfg, 100, 50, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch.Start() //nolint:errcheck
+	loop.Advance(60 * time.Millisecond)
+	if v := ch.Scope().Signal("x").Value(); v != 37 {
+		t.Fatalf("whole-match value = %v", v)
+	}
+}

@@ -1,0 +1,62 @@
+package tuple
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics and that anything it accepts
+// round-trips through String.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"1500 42.5 CWND",
+		"0 0",
+		"-5 1e300 x",
+		"99 -0.5 name with spaces",
+		"  7   3  ",
+		"bogus",
+		"1",
+		"1 nan x",
+		"1 +Inf x",
+		"9223372036854775807 1 x",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		tu, err := Parse(line)
+		if err != nil {
+			return
+		}
+		// Accepted tuples must re-parse to themselves (NaN breaks the
+		// equality trivially; skip it).
+		if tu.Value != tu.Value {
+			return
+		}
+		again, err := Parse(tu.String())
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", tu.String(), line, err)
+		}
+		if again.Time != tu.Time || again.Name != tu.Name {
+			t.Fatalf("round-trip mismatch: %+v vs %+v", tu, again)
+		}
+	})
+}
+
+// FuzzReader checks that a whole stream of arbitrary lines never panics
+// the reader in either mode.
+func FuzzReader(f *testing.F) {
+	f.Add("10 1 a\n20 2 b\n")
+	f.Add("# c\n\n5 1\n")
+	f.Add("10 1 a\n5 2 b\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		for _, strict := range []bool{false, true} {
+			r := NewReader(strings.NewReader(src), strict)
+			for i := 0; i < 1000; i++ {
+				if _, err := r.Read(); err != nil {
+					break
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,217 @@
+// Package tuple implements gscope's textual tuple format (§3.3 of the
+// paper): the on-wire and on-disk representation used for streaming signals
+// to a scope, recording them, and replaying them.
+//
+// Each tuple is one line of text holding a millisecond timestamp, a value,
+// and a signal name:
+//
+//	1500 42.5 CWND
+//
+// As a special case, a stream carrying only one signal may omit the name,
+// making tuples plain time-value pairs:
+//
+//	1500 42.5
+//
+// Timestamps in a well-formed stream are in non-decreasing order; Reader can
+// enforce that.
+package tuple
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Tuple is one timestamped sample of a named signal. Name may be empty in
+// the single-signal form.
+type Tuple struct {
+	// Time is the sample timestamp in milliseconds since the start of the
+	// stream (the paper's streams use relative millisecond clocks).
+	Time int64
+	// Value is the sample value.
+	Value float64
+	// Name identifies the signal; empty in the two-field form.
+	Name string
+}
+
+// Timestamp converts the millisecond time to a Duration offset.
+func (t Tuple) Timestamp() time.Duration { return time.Duration(t.Time) * time.Millisecond }
+
+// String formats the tuple in wire form (without a trailing newline).
+func (t Tuple) String() string {
+	v := FormatValue(t.Value)
+	if t.Name == "" {
+		return fmt.Sprintf("%d %s", t.Time, v)
+	}
+	return fmt.Sprintf("%d %s %s", t.Time, v, t.Name)
+}
+
+// FormatValue renders a sample value compactly: integers without a decimal
+// point, other values with enough digits to round-trip.
+func FormatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Parse decodes one tuple line. Both the two-field (time value) and
+// three-field (time value name) forms are accepted. Signal names may
+// contain spaces: everything after the second field is the name.
+func Parse(line string) (Tuple, error) {
+	s := strings.TrimSpace(line)
+	if s == "" {
+		return Tuple{}, fmt.Errorf("tuple: empty line")
+	}
+	timeField, rest, _ := strings.Cut(s, " ")
+	rest = strings.TrimSpace(rest)
+	if rest == "" {
+		return Tuple{}, fmt.Errorf("tuple: %q: missing value field", line)
+	}
+	valueField, name, _ := strings.Cut(rest, " ")
+	name = strings.TrimSpace(name)
+
+	ms, err := strconv.ParseInt(timeField, 10, 64)
+	if err != nil {
+		return Tuple{}, fmt.Errorf("tuple: %q: bad time: %w", line, err)
+	}
+	v, err := strconv.ParseFloat(valueField, 64)
+	if err != nil {
+		return Tuple{}, fmt.Errorf("tuple: %q: bad value: %w", line, err)
+	}
+	return Tuple{Time: ms, Value: v, Name: name}, nil
+}
+
+// IsComment reports whether a line is blank or a '#' comment, both of which
+// readers skip.
+func IsComment(line string) bool {
+	s := strings.TrimSpace(line)
+	return s == "" || strings.HasPrefix(s, "#")
+}
+
+// Writer serializes tuples to an underlying stream, one per line.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write emits one tuple.
+func (tw *Writer) Write(t Tuple) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	_, tw.err = tw.w.WriteString(t.String())
+	if tw.err == nil {
+		tw.err = tw.w.WriteByte('\n')
+	}
+	if tw.err == nil {
+		tw.n++
+	}
+	return tw.err
+}
+
+// Comment emits a '#' comment line (recorders stamp files with metadata).
+func (tw *Writer) Comment(text string) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if _, tw.err = fmt.Fprintf(tw.w, "# %s\n", line); tw.err != nil {
+			return tw.err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of tuples written.
+func (tw *Writer) Count() int { return tw.n }
+
+// Flush flushes buffered output.
+func (tw *Writer) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.err = tw.w.Flush()
+	return tw.err
+}
+
+// Reader decodes a tuple stream line by line, skipping comments and blank
+// lines.
+type Reader struct {
+	sc       *bufio.Scanner
+	strict   bool
+	lastTime int64
+	started  bool
+	line     int
+}
+
+// NewReader wraps r. When strict is true, Read rejects tuples whose
+// timestamps go backwards, enforcing the §3.3 ordering requirement.
+func NewReader(r io.Reader, strict bool) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &Reader{sc: sc, strict: strict}
+}
+
+// Read returns the next tuple, or io.EOF at end of stream.
+func (tr *Reader) Read() (Tuple, error) {
+	for tr.sc.Scan() {
+		tr.line++
+		line := tr.sc.Text()
+		if IsComment(line) {
+			continue
+		}
+		t, err := Parse(line)
+		if err != nil {
+			return Tuple{}, fmt.Errorf("line %d: %w", tr.line, err)
+		}
+		if tr.strict && tr.started && t.Time < tr.lastTime {
+			return Tuple{}, fmt.Errorf("line %d: tuple: time %d before previous %d", tr.line, t.Time, tr.lastTime)
+		}
+		tr.lastTime = t.Time
+		tr.started = true
+		return t, nil
+	}
+	if err := tr.sc.Err(); err != nil {
+		return Tuple{}, err
+	}
+	return Tuple{}, io.EOF
+}
+
+// ReadAll consumes the stream and returns every tuple.
+func (tr *Reader) ReadAll() ([]Tuple, error) {
+	var out []Tuple
+	for {
+		t, err := tr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, t)
+	}
+}
+
+// Names returns the distinct signal names in tuples, in first-seen order.
+// A stream in two-field form yields a single empty name.
+func Names(tuples []Tuple) []string {
+	seen := make(map[string]bool)
+	var names []string
+	for _, t := range tuples {
+		if !seen[t.Name] {
+			seen[t.Name] = true
+			names = append(names, t.Name)
+		}
+	}
+	return names
+}
