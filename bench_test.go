@@ -16,6 +16,8 @@ package gscope
 
 import (
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"sync"
 	"testing"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/glib"
 	"repro/internal/loadgen"
 	"repro/internal/mxtraf"
+	"repro/internal/netscope"
 	"repro/internal/netsim"
 	"repro/internal/tuple"
 )
@@ -426,6 +429,70 @@ func BenchmarkEventAggregation(b *testing.B) {
 		if i%100 == 99 {
 			rig.Scope.Step(0)
 		}
+	}
+}
+
+// BenchmarkHubFanOut measures the netscope hub's fan-out path: one merged
+// tuple stream broadcast to M loopback-TCP subscribers, each drained by its
+// own reader. The timed section covers Inject through every subscriber's
+// queue fully flushing, so ns/op is the true per-tuple fan-out cost.
+func BenchmarkHubFanOut(b *testing.B) {
+	for _, subs := range []int{1, 4, 16} {
+		subs := subs
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			vc := glib.NewVirtualClock(time.Unix(0, 0))
+			loop := glib.NewLoop(vc, glib.WithGranularity(0))
+			srv := netscope.NewServer(loop)
+			srv.SetSnapshotWindow(0)             // measure deltas, not history replay
+			srv.SetSubscriberQueueLimit(1 << 20) // count drops, don't hide them
+			subAddr, err := srv.ListenSubscribers("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			conns := make([]net.Conn, subs)
+			for i := range conns {
+				conn, err := net.Dial("tcp", subAddr.String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				conns[i] = conn
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					io.Copy(io.Discard, conn) //nolint:errcheck
+				}()
+			}
+			for srv.Subscribers() < subs {
+				loop.Iterate()
+				time.Sleep(time.Millisecond)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				srv.Inject(tuple.Tuple{Time: int64(i), Value: float64(i & 0xff), Name: "s"})
+			}
+			// Wait on completed writes (handshake chunk + one per tuple,
+			// per subscriber); the queue alone reads empty while a taken
+			// batch is still going out on the socket.
+			target := int64(subs) * int64(b.N+1)
+			for {
+				_, _, _, dropped := srv.SubscriberStats()
+				if srv.SubscriberWritten()+dropped >= target {
+					break
+				}
+				time.Sleep(50 * time.Microsecond)
+			}
+			b.StopTimer()
+			_, _, published, dropped := srv.SubscriberStats()
+			b.ReportMetric(float64(subs), "fanout")
+			b.ReportMetric(float64(published*int64(subs))/b.Elapsed().Seconds(), "deliveries/s")
+			b.ReportMetric(float64(dropped), "dropped")
+			srv.Close()
+			for _, c := range conns {
+				c.Close()
+			}
+			wg.Wait()
+		})
 	}
 }
 

@@ -1,19 +1,30 @@
-// Command gscoped is the scope server for distributed visualization
-// (§4.4): it listens for tuple streams from gscope clients, buffers them,
-// displays them on a scope with the configured delay, and optionally
-// records everything it receives. The rendered scope is written
-// periodically as a PNG and/or painted live as ANSI art.
+// Command gscoped is the scope daemon for distributed visualization: the
+// §4.4 server grown into a fan-out relay. It ingests tuple streams from
+// gscope publishers, optionally displays them on a local scope (rendered
+// periodically as a PNG and/or painted live as ANSI art, with optional
+// recording), and re-publishes the merged stream to any number of
+// downstream subscribers — each new subscriber first receives a snapshot
+// of the recent display window, then live deltas. Relays chain: -upstream
+// subscribes this daemon to another gscoped's -subscribers port, so one
+// instrumented application can feed a tree of viewers.
 //
 // Usage:
 //
 //	gscoped -listen :7420 -signals cps,errps,tput -delay 200ms -png live.png
+//	gscoped -listen :7420 -subscribers :7421              # headless fan-out hub
+//	gscoped -upstream hub:7421 -subscribers :7422         # chained relay
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net"
 	"os"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -24,100 +35,277 @@ import (
 	"repro/internal/tuple"
 )
 
-func main() {
-	var (
-		listen  = flag.String("listen", "127.0.0.1:7420", "address to listen on")
-		signals = flag.String("signals", "", "comma-separated BUFFER signal names to display")
-		delay   = flag.Duration("delay", 200*time.Millisecond, "buffered display delay")
-		period  = flag.Duration("period", 50*time.Millisecond, "polling period")
-		pngOut  = flag.String("png", "", "write the current frame to this PNG periodically")
-		rec     = flag.String("record", "", "record received tuples to this file")
-		ansi    = flag.Bool("ansi", false, "paint the scope as ANSI art on stdout")
-		width   = flag.Int("width", 600, "canvas width")
-		height  = flag.Int("height", 200, "canvas height")
-		runFor  = flag.Duration("for", 0, "exit after this long (0 = run forever)")
-		unixTS  = flag.Bool("unixtime", true, "treat incoming timestamps as Unix-epoch ms (clients stamp with a shared clock)")
-	)
-	flag.Parse()
-	if *signals == "" {
-		fmt.Fprintln(os.Stderr, "gscoped: -signals required, e.g. -signals cps,errps")
-		os.Exit(2)
-	}
+// config is the parsed command line.
+type config struct {
+	listen      string
+	subscribers string
+	upstream    string
+	signals     []string
+	delay       time.Duration
+	period      time.Duration
+	snapshot    time.Duration
+	subQueue    int
+	pngOut      string
+	rec         string
+	ansi        bool
+	width       int
+	height      int
+	runFor      time.Duration
+	unixTS      bool
+}
 
-	loop := glib.NewLoop(glib.RealClock{})
-	scope := core.New(loop, "gscoped", *width, *height)
-	for _, name := range strings.Split(*signals, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
-		}
-		if _, err := scope.AddSignal(core.Sig{Name: name, Kind: core.KindBuffer}); err != nil {
-			fatal(err)
+// parseFlags parses args (without the program name) into a config.
+func parseFlags(args []string) (*config, error) {
+	cfg := &config{}
+	fs := flag.NewFlagSet("gscoped", flag.ContinueOnError)
+	var signals string
+	fs.StringVar(&cfg.listen, "listen", "127.0.0.1:7420", "address to ingest publisher tuple streams on")
+	fs.StringVar(&cfg.subscribers, "subscribers", "", "address to serve downstream subscribers on (fan-out hub)")
+	fs.StringVar(&cfg.upstream, "upstream", "", "subscribe to an upstream gscoped hub and relay its stream")
+	fs.StringVar(&signals, "signals", "", "comma-separated BUFFER signal names to display locally")
+	fs.DurationVar(&cfg.delay, "delay", 200*time.Millisecond, "buffered display delay")
+	fs.DurationVar(&cfg.period, "period", 50*time.Millisecond, "polling period")
+	fs.DurationVar(&cfg.snapshot, "snapshot", netscope.DefaultSnapshotWindow, "history window replayed to new subscribers")
+	fs.IntVar(&cfg.subQueue, "subqueue", netscope.DefaultSubscriberQueueLimit, "per-subscriber outbound queue bound, in tuples")
+	fs.StringVar(&cfg.pngOut, "png", "", "write the current frame to this PNG periodically")
+	fs.StringVar(&cfg.rec, "record", "", "record received tuples to this file")
+	fs.BoolVar(&cfg.ansi, "ansi", false, "paint the scope as ANSI art on stdout")
+	fs.IntVar(&cfg.width, "width", 600, "canvas width")
+	fs.IntVar(&cfg.height, "height", 200, "canvas height")
+	fs.DurationVar(&cfg.runFor, "for", 0, "exit after this long (0 = run forever)")
+	fs.BoolVar(&cfg.unixTS, "unixtime", true, "treat incoming timestamps as Unix-epoch ms (clients stamp with a shared clock)")
+	if err := fs.Parse(args); err != nil {
+		// fs.Parse already printed the error (or the -h usage).
+		return nil, err
+	}
+	for _, name := range strings.Split(signals, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			cfg.signals = append(cfg.signals, name)
 		}
 	}
-	scope.SetDelay(*delay)
-	if err := scope.SetPollingMode(*period); err != nil {
-		fatal(err)
+	fail := func(msg string) (*config, error) {
+		err := errors.New(msg)
+		fmt.Fprintln(fs.Output(), "gscoped:", err)
+		return nil, err
 	}
+	if len(cfg.signals) == 0 && cfg.subscribers == "" {
+		return fail("nothing to do: need -signals (local display) and/or -subscribers (fan-out), e.g. -signals cps,errps")
+	}
+	if len(cfg.signals) == 0 && (cfg.pngOut != "" || cfg.ansi) {
+		return fail("-png/-ansi need -signals to display")
+	}
+	return cfg, nil
+}
 
-	srv := netscope.NewServer(loop)
-	srv.Attach(scope)
-	if *unixTS {
-		// Rebase shared-clock (Unix ms) stamps onto this scope's
-		// timeline, which began at process start.
-		origin := time.Now()
-		srv.MapTime = func(at time.Duration) time.Duration {
-			return at - time.Duration(origin.UnixNano())
-		}
-	}
-	if *rec != "" {
-		f, err := os.Create(*rec)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w := tuple.NewWriter(f)
-		w.Comment(fmt.Sprintf("gscoped recording, signals=%s", *signals)) //nolint:errcheck
-		srv.SetRecorder(w)
-	}
-	addr, err := srv.Listen(*listen)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Fprintf(os.Stderr, "gscoped: listening on %s\n", addr)
+// relay is a running gscoped: ingest server, optional local scope, optional
+// fan-out side, optional upstream subscription.
+type relay struct {
+	cfg    *config
+	loop   *glib.Loop
+	scope  *core.Scope
+	widget *gtk.ScopeWidget
+	srv    *netscope.Server
+	recF   *os.File
 
-	widget := gtk.NewScopeWidget(scope)
-	if *ansi {
-		fmt.Print(draw.ANSIClear())
-	}
-	// Refresh output once a second on the same loop.
-	loop.TimeoutAdd(time.Second, func(int) bool {
-		if *pngOut != "" {
-			if err := widget.RenderFrame().WritePNG(*pngOut); err != nil {
-				fmt.Fprintln(os.Stderr, "gscoped:", err)
+	status io.Writer
+	closed atomic.Bool
+
+	upMu sync.Mutex
+	up   *netscope.Subscriber
+
+	// PubAddr is the bound publisher-ingest address, SubAddr the bound
+	// subscriber address (nil when fan-out is off).
+	PubAddr net.Addr
+	SubAddr net.Addr
+}
+
+// newRelay binds the listeners and assembles the pipeline; run starts it.
+func newRelay(cfg *config) (*relay, error) {
+	r := &relay{cfg: cfg, loop: glib.NewLoop(glib.RealClock{}), status: os.Stderr}
+	if len(cfg.signals) > 0 {
+		r.scope = core.New(r.loop, "gscoped", cfg.width, cfg.height)
+		for _, name := range cfg.signals {
+			if _, err := r.scope.AddSignal(core.Sig{Name: name, Kind: core.KindBuffer}); err != nil {
+				return nil, err
 			}
 		}
-		if *ansi {
-			fmt.Print(draw.ANSIHome())
-			widget.RenderFrame().WriteANSI(os.Stdout, draw.ANSIOptions{Scale: 3}) //nolint:errcheck
-			conns, _, recv, _ := srv.Stats()
-			fmt.Printf("%s  clients=%d recv=%d\n", widget.StatusLine(), conns, recv)
+		r.scope.SetDelay(cfg.delay)
+		if err := r.scope.SetPollingMode(cfg.period); err != nil {
+			return nil, err
 		}
-		return true
+		r.widget = gtk.NewScopeWidget(r.scope)
+	}
+
+	r.srv = netscope.NewServer(r.loop)
+	r.srv.SetSnapshotWindow(cfg.snapshot)
+	r.srv.SetSubscriberQueueLimit(cfg.subQueue)
+	if r.scope != nil {
+		r.srv.Attach(r.scope)
+		if cfg.unixTS {
+			// Rebase shared-clock (Unix ms) stamps onto this scope's
+			// timeline, which began at process start. Re-published
+			// tuples keep their original stamps.
+			origin := time.Now()
+			r.srv.MapTime = func(at time.Duration) time.Duration {
+				return at - time.Duration(origin.UnixNano())
+			}
+		}
+	}
+	if cfg.rec != "" {
+		f, err := os.Create(cfg.rec)
+		if err != nil {
+			return nil, err
+		}
+		r.recF = f
+		w := tuple.NewWriter(f)
+		w.Comment(fmt.Sprintf("gscoped recording, signals=%s", strings.Join(cfg.signals, ","))) //nolint:errcheck
+		r.srv.SetRecorder(w)
+	}
+
+	pubAddr, err := r.srv.Listen(cfg.listen)
+	if err != nil {
+		r.cleanup()
+		return nil, err
+	}
+	r.PubAddr = pubAddr
+	if cfg.subscribers != "" {
+		subAddr, err := r.srv.ListenSubscribers(cfg.subscribers)
+		if err != nil {
+			r.cleanup()
+			return nil, err
+		}
+		r.SubAddr = subAddr
+	}
+	if cfg.upstream != "" {
+		if err := r.connectUpstream(); err != nil {
+			r.cleanup()
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// connectUpstream subscribes to the upstream hub and arranges automatic
+// redial with backoff when the hub goes away, so a chained relay survives
+// hub restarts instead of silently serving a frozen stream.
+func (r *relay) connectUpstream() error {
+	up, err := netscope.SubscribeTo(r.loop, r.cfg.upstream, r.srv.Inject)
+	if err != nil {
+		return err
+	}
+	up.OnClose(func(err error) {
+		if r.closed.Load() {
+			return
+		}
+		fmt.Fprintf(r.status, "gscoped: upstream %s lost (%v); redialing\n", r.cfg.upstream, err)
+		go r.redialUpstream()
 	})
-	if *runFor > 0 {
-		loop.TimeoutAdd(*runFor, func(int) bool {
-			loop.Quit()
+	r.upMu.Lock()
+	r.up = up
+	r.upMu.Unlock()
+	return nil
+}
+
+func (r *relay) redialUpstream() {
+	backoff := netscope.DefaultReconnectMin
+	for !r.closed.Load() {
+		time.Sleep(backoff)
+		if r.closed.Load() {
+			return
+		}
+		if err := r.connectUpstream(); err == nil {
+			fmt.Fprintf(r.status, "gscoped: upstream %s reconnected\n", r.cfg.upstream)
+			return
+		}
+		backoff *= 2
+		if backoff > netscope.DefaultReconnectMax {
+			backoff = netscope.DefaultReconnectMax
+		}
+	}
+}
+
+// run drives the loop until Quit (or -for elapses) and tears down.
+func (r *relay) run(status io.Writer) error {
+	r.status = status
+	defer r.cleanup()
+	cfg := r.cfg
+	if r.widget != nil && cfg.ansi {
+		fmt.Print(draw.ANSIClear())
+	}
+	if r.widget != nil && (cfg.pngOut != "" || cfg.ansi) {
+		// Refresh rendered output once a second on the same loop.
+		r.loop.TimeoutAdd(time.Second, func(int) bool {
+			if cfg.pngOut != "" {
+				if err := r.widget.RenderFrame().WritePNG(cfg.pngOut); err != nil {
+					fmt.Fprintln(status, "gscoped:", err)
+				}
+			}
+			if cfg.ansi {
+				fmt.Print(draw.ANSIHome())
+				r.widget.RenderFrame().WriteANSI(os.Stdout, draw.ANSIOptions{Scale: 3}) //nolint:errcheck
+				conns, _, recv, _ := r.srv.Stats()
+				fmt.Printf("%s  clients=%d recv=%d subs=%d\n",
+					r.widget.StatusLine(), conns, recv, r.srv.Subscribers())
+			}
+			return true
+		})
+	}
+	if cfg.runFor > 0 {
+		r.loop.TimeoutAdd(cfg.runFor, func(int) bool {
+			r.loop.Quit()
 			return false
 		})
 	}
-	if err := scope.StartPolling(); err != nil {
+	if r.scope != nil {
+		if err := r.scope.StartPolling(); err != nil {
+			return err
+		}
+	}
+	return r.loop.Run()
+}
+
+// stop makes run return.
+func (r *relay) stop() { r.loop.Quit() }
+
+func (r *relay) cleanup() {
+	r.closed.Store(true)
+	r.upMu.Lock()
+	up := r.up
+	r.upMu.Unlock()
+	if up != nil {
+		up.Close()
+	}
+	if r.srv != nil {
+		r.srv.Close()
+	}
+	if r.recF != nil {
+		r.recF.Close()
+	}
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
+	}
+	if err != nil {
+		// parseFlags (or flag itself) already reported the problem.
+		os.Exit(2)
+	}
+	r, err := newRelay(cfg)
+	if err != nil {
 		fatal(err)
 	}
-	if err := loop.Run(); err != nil {
+	fmt.Fprintf(os.Stderr, "gscoped: ingesting publishers on %s\n", r.PubAddr)
+	if r.SubAddr != nil {
+		fmt.Fprintf(os.Stderr, "gscoped: serving subscribers on %s\n", r.SubAddr)
+	}
+	if cfg.upstream != "" {
+		fmt.Fprintf(os.Stderr, "gscoped: relaying upstream hub %s\n", cfg.upstream)
+	}
+	if err := r.run(os.Stderr); err != nil {
 		fatal(err)
 	}
-	srv.Close()
 }
 
 func fatal(err error) {

@@ -1,9 +1,16 @@
-// Distributed demonstrates the client/server visualization library (§4.4):
-// a gscope server displays BUFFER signals streamed over TCP by two clients
-// — the same structure the paper uses to correlate client, server and
-// network behaviour of mxtraf on a single scope. Everything runs in one
-// process over localhost, but the three parties share nothing except the
-// socket and a time origin, exactly as separate machines would.
+// Distributed demonstrates the client/server visualization library (§4.4)
+// grown into a fan-out pipeline: two publishers stream BUFFER signals over
+// TCP into a relay hub, which displays them locally AND re-publishes the
+// merged stream to two independently subscribed viewer scopes — the
+// many-viewer topology the paper's one-server/one-display library could
+// not express. Everything runs in one process over localhost, but the
+// parties share nothing except the sockets and a time origin, exactly as
+// separate machines would.
+//
+//	publisher-a ─┐                      ┌─ subscriber scope 1 → distributed_sub1.png
+//	             ├─→ relay hub (scope) ─┤
+//	publisher-b ─┘        │             └─ subscriber scope 2 → distributed_sub2.png
+//	                      └→ distributed.png
 package main
 
 import (
@@ -17,14 +24,10 @@ import (
 	"repro/internal/netscope"
 )
 
-func main() {
-	loop := gscope.NewLoop(nil) // real clock
-
-	// The server side: a scope with two BUFFER signals displayed with a
-	// 200 ms delay (late data is dropped).
-	scope := gscope.New(loop, "distributed", 600, 200)
-	for _, name := range []string{"client-a", "client-b"} {
-		if _, err := scope.AddSignal(gscope.Sig{Name: name, Kind: gscope.KindBuffer}); err != nil {
+func newBufferScope(loop *gscope.Loop, name string) *gscope.Scope {
+	scope := gscope.New(loop, name, 600, 200)
+	for _, sig := range []string{"client-a", "client-b"} {
+		if _, err := scope.AddSignal(gscope.Sig{Name: sig, Kind: gscope.KindBuffer}); err != nil {
 			fatal(err)
 		}
 	}
@@ -32,26 +35,49 @@ func main() {
 	if err := scope.SetPollingMode(50 * time.Millisecond); err != nil {
 		fatal(err)
 	}
+	return scope
+}
 
+func main() {
+	loop := gscope.NewLoop(nil) // real clock
+
+	// The relay hub: ingests publishers, displays locally, fans out.
+	hubScope := newBufferScope(loop, "relay-hub")
 	srv := netscope.NewServer(loop)
-	srv.Attach(scope)
-	addr, err := srv.Listen("127.0.0.1:0")
+	srv.Attach(hubScope)
+	pubAddr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Println("server listening on", addr)
+	subAddr, err := srv.ListenSubscribers("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("hub ingesting on %s, serving subscribers on %s\n", pubAddr, subAddr)
 
-	// Two clients streaming from their own goroutines ("machines"),
-	// stamping samples against the shared origin.
+	// Two downstream viewer scopes, each fed by its own subscription to
+	// the hub's merged stream (snapshot + deltas, on the loop goroutine).
+	viewers := make([]*gscope.Scope, 2)
+	for i := range viewers {
+		sc := newBufferScope(loop, fmt.Sprintf("viewer-%d", i+1))
+		viewers[i] = sc
+		sub, err := netscope.SubscribeTo(loop, subAddr.String(), func(t gscope.Tuple) {
+			sc.Feed().Push(t.Timestamp(), t.Name, t.Value)
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer sub.Close()
+	}
+
+	// Two publishers streaming from their own goroutines ("machines"),
+	// stamping samples against the shared origin. DialReconnect lets a
+	// publisher start before the hub and ride out hub restarts.
 	origin := time.Now()
 	for i, name := range []string{"client-a", "client-b"} {
 		i, name := i, name
 		go func() {
-			c, err := netscope.Dial(addr.String())
-			if err != nil {
-				fmt.Fprintln(os.Stderr, name, err)
-				return
-			}
+			c := netscope.DialReconnect(pubAddr.String())
 			defer c.Close()
 			tick := time.NewTicker(25 * time.Millisecond)
 			defer tick.Stop()
@@ -66,8 +92,10 @@ func main() {
 		}()
 	}
 
-	if err := scope.StartPolling(); err != nil {
-		fatal(err)
+	for _, sc := range append([]*gscope.Scope{hubScope}, viewers...) {
+		if err := sc.StartPolling(); err != nil {
+			fatal(err)
+		}
 	}
 	loop.TimeoutAdd(3500*time.Millisecond, func(int) bool {
 		loop.Quit()
@@ -76,16 +104,28 @@ func main() {
 	if err := loop.Run(); err != nil {
 		fatal(err)
 	}
+	subscribes, _, published, subDropped := srv.SubscriberStats()
 	srv.Close()
 
-	frame := gtk.NewScopeWidget(scope).RenderFrame()
-	if err := frame.WritePNG("distributed.png"); err != nil {
-		fatal(err)
+	for i, sc := range append([]*gscope.Scope{hubScope}, viewers...) {
+		name := "distributed.png"
+		if i > 0 {
+			name = fmt.Sprintf("distributed_sub%d.png", i)
+		}
+		if err := gtk.NewScopeWidget(sc).RenderFrame().WritePNG(name); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", name)
 	}
 	_, _, received, _ := srv.Stats()
-	pushed, dropped := scope.Feed().Stats()
-	fmt.Printf("received %d tuples (%d buffered, %d dropped late)\n", received, pushed, dropped)
-	fmt.Println("wrote distributed.png")
+	pushed, dropped := hubScope.Feed().Stats()
+	fmt.Printf("hub: received %d tuples (%d buffered, %d dropped late)\n", received, pushed, dropped)
+	fmt.Printf("fan-out: %d subscribers, %d tuples published, %d dropped to slow viewers\n",
+		subscribes, published, subDropped)
+	for i, sc := range viewers {
+		p, d := sc.Feed().Stats()
+		fmt.Printf("viewer %d: %d buffered, %d dropped late\n", i+1, p, d)
+	}
 }
 
 func fatal(err error) {

@@ -32,6 +32,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/draw"
 	"repro/internal/glib"
+	"repro/internal/netscope"
+	"repro/internal/tuple"
 )
 
 // Re-exported engine types. See the internal/core documentation for
@@ -95,6 +97,17 @@ type (
 	RGB = draw.RGB
 	// Surface is a raster canvas for snapshots.
 	Surface = draw.Surface
+
+	// Tuple is one timestamped sample in the §3.3 wire format.
+	Tuple = tuple.Tuple
+
+	// NetServer receives published tuple streams, feeds attached scopes,
+	// and fans the merged stream out to subscribers (§4.4 + hub).
+	NetServer = netscope.Server
+	// NetClient asynchronously publishes tuples to a NetServer.
+	NetClient = netscope.Client
+	// NetSubscriber consumes a hub's merged stream (snapshot + deltas).
+	NetSubscriber = netscope.Subscriber
 )
 
 // Signal kinds (§3.1).
@@ -184,4 +197,22 @@ func BoolParam(name string, v *BoolVar) *Param { return core.BoolParam(name, v) 
 // FuncWithArgs reproduces the paper's two-argument FUNC signal signature.
 func FuncWithArgs(fn func(arg1, arg2 any) float64, arg1, arg2 any) FuncSource {
 	return core.FuncWithArgs(fn, arg1, arg2)
+}
+
+// NewNetServer creates a streaming server/hub on loop; attach scopes, then
+// call Listen (publisher side) and/or ListenSubscribers (fan-out side).
+func NewNetServer(loop *Loop) *NetServer { return netscope.NewServer(loop) }
+
+// DialNet connects a publisher to a server's Listen address.
+func DialNet(addr string) (*NetClient, error) { return netscope.Dial(addr) }
+
+// DialNetReconnect returns a publisher that connects in the background and
+// survives server restarts with exponential-backoff reconnection.
+func DialNetReconnect(addr string) *NetClient { return netscope.DialReconnect(addr) }
+
+// SubscribeNet connects a viewer to a hub's ListenSubscribers address; fn
+// receives the merged stream (snapshot first, then deltas) on the loop
+// goroutine.
+func SubscribeNet(loop *Loop, addr string, fn func(Tuple)) (*NetSubscriber, error) {
+	return netscope.SubscribeTo(loop, addr, fn)
 }

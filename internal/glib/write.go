@@ -1,0 +1,188 @@
+package glib
+
+import (
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// The read-side watches in io.go emulate G_IO_IN. WriteWatch is the G_IO_OUT
+// counterpart for connections the loop writes to (the netscope hub's
+// subscribers): callers on the loop goroutine enqueue chunks without ever
+// blocking, a per-watch goroutine performs the blocking writes, and the
+// queue is bounded with a drop-oldest policy so one stalled peer can only
+// lose its own data — it can never stall the loop or other peers.
+
+// DefaultWriteQueueLimit bounds a WriteWatch's queue when the caller passes
+// a non-positive limit.
+const DefaultWriteQueueLimit = 1024
+
+// WriteErrFunc is invoked once, on the loop goroutine, when a watched
+// writer fails. The watch is already canceled when it runs; it is not
+// called after Cancel.
+type WriteErrFunc func(err error)
+
+// WriteWatch is a handle to a write watch: a bounded outbound queue drained
+// by a background goroutine.
+type WriteWatch struct {
+	loop  *Loop
+	w     io.Writer
+	onErr WriteErrFunc
+	limit int
+
+	mu        sync.Mutex
+	queue     [][]byte
+	protected int // leading queue chunks exempt from drop-oldest
+	closed    bool
+
+	kick chan struct{}
+	done chan struct{}
+
+	canceled atomic.Bool
+	sent     atomic.Int64
+	dropped  atomic.Int64
+	errv     atomic.Value // error
+}
+
+// WatchWriter starts a write watch on w. limit bounds the queue in chunks
+// (non-positive means DefaultWriteQueueLimit). onErr, if non-nil, is
+// delivered on the loop goroutine when a write fails; the underlying writer
+// is not closed by the watch — the error callback (or Cancel caller) owns
+// that, mirroring the read-side watches.
+func (l *Loop) WatchWriter(w io.Writer, limit int, onErr WriteErrFunc) *WriteWatch {
+	if limit <= 0 {
+		limit = DefaultWriteQueueLimit
+	}
+	ww := &WriteWatch{
+		loop:  l,
+		w:     w,
+		onErr: onErr,
+		limit: limit,
+		kick:  make(chan struct{}, 1),
+		done:  make(chan struct{}),
+	}
+	go ww.writer()
+	return ww
+}
+
+// Send enqueues one chunk for writing and returns immediately. The chunk is
+// not copied and must not be mutated afterwards (the hub shares one encoded
+// tuple line across every subscriber's watch). When the queue is full the
+// oldest queued chunks are dropped — never the loop blocked — and the drop
+// counter advances. Send reports false once the watch has failed or been
+// canceled.
+func (ww *WriteWatch) Send(chunk []byte) bool { return ww.send(chunk, false) }
+
+// SendProtected enqueues a chunk that is exempt from the drop-oldest
+// policy: it counts toward the bound but is never evicted (protocol
+// handshakes must reach the peer or the whole stream is unframed).
+// Protection applies only while the queue holds nothing but protected
+// chunks — i.e. to handshake chunks sent before any regular traffic,
+// which is the only place FIFO order and protection can coexist; later
+// calls behave like Send.
+func (ww *WriteWatch) SendProtected(chunk []byte) bool { return ww.send(chunk, true) }
+
+func (ww *WriteWatch) send(chunk []byte, protect bool) bool {
+	if ww.canceled.Load() {
+		return false
+	}
+	ww.mu.Lock()
+	if ww.closed {
+		ww.mu.Unlock()
+		return false
+	}
+	for len(ww.queue) >= ww.limit && len(ww.queue) > ww.protected {
+		if ww.protected > 0 {
+			ww.queue = append(ww.queue[:ww.protected], ww.queue[ww.protected+1:]...)
+		} else {
+			ww.queue = ww.queue[1:]
+		}
+		ww.dropped.Add(1)
+	}
+	if protect && len(ww.queue) == ww.protected {
+		ww.protected++
+	}
+	ww.queue = append(ww.queue, chunk)
+	ww.mu.Unlock()
+	select {
+	case ww.kick <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// Queued returns the number of chunks waiting to be written.
+func (ww *WriteWatch) Queued() int {
+	ww.mu.Lock()
+	defer ww.mu.Unlock()
+	return len(ww.queue)
+}
+
+// Sent returns the number of chunks written to the underlying writer.
+func (ww *WriteWatch) Sent() int64 { return ww.sent.Load() }
+
+// Dropped returns the number of chunks discarded by the drop-oldest policy.
+func (ww *WriteWatch) Dropped() int64 { return ww.dropped.Load() }
+
+// Err returns the write error that stopped the watch, if any.
+func (ww *WriteWatch) Err() error {
+	if err, ok := ww.errv.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Cancel stops the watch: queued chunks are discarded and no error callback
+// will run. A write already in progress is not interrupted — close the
+// underlying connection to unblock it, as with read watches.
+func (ww *WriteWatch) Cancel() {
+	ww.canceled.Store(true)
+	ww.mu.Lock()
+	ww.closed = true
+	ww.queue = nil
+	ww.protected = 0
+	ww.mu.Unlock()
+	select {
+	case ww.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Done returns a channel closed when the writer goroutine has exited.
+func (ww *WriteWatch) Done() <-chan struct{} { return ww.done }
+
+func (ww *WriteWatch) writer() {
+	defer close(ww.done)
+	for {
+		ww.mu.Lock()
+		batch := ww.queue
+		ww.queue = nil
+		ww.protected = 0
+		closed := ww.closed
+		ww.mu.Unlock()
+
+		if len(batch) > 0 {
+			buf := make([]byte, 0, 64*len(batch))
+			for _, c := range batch {
+				buf = append(buf, c...)
+			}
+			if _, err := ww.w.Write(buf); err != nil {
+				ww.errv.Store(err)
+				ww.mu.Lock()
+				ww.closed = true
+				ww.queue = nil
+				ww.mu.Unlock()
+				if !ww.canceled.Swap(true) && ww.onErr != nil {
+					ww.loop.Invoke(func() { ww.onErr(err) })
+				}
+				return
+			}
+			ww.sent.Add(int64(len(batch)))
+			continue
+		}
+		if closed {
+			return
+		}
+		<-ww.kick
+	}
+}

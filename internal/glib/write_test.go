@@ -1,0 +1,171 @@
+package glib
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lockedBuffer is an io.Writer safe for the watch's writer goroutine.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// gatedWriter blocks every Write until release is closed.
+type gatedWriter struct {
+	release chan struct{}
+	lockedBuffer
+}
+
+func (g *gatedWriter) Write(p []byte) (int, error) {
+	<-g.release
+	return g.lockedBuffer.Write(p)
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestWriteWatchWritesInOrder(t *testing.T) {
+	loop := NewLoop(NewVirtualClock(time.Unix(0, 0)))
+	var buf lockedBuffer
+	ww := loop.WatchWriter(&buf, 0, nil)
+	for _, s := range []string{"a\n", "b\n", "c\n"} {
+		if !ww.Send([]byte(s)) {
+			t.Fatal("send refused")
+		}
+	}
+	waitFor(t, func() bool { return ww.Sent() == 3 })
+	if got := buf.String(); got != "a\nb\nc\n" {
+		t.Fatalf("wrote %q", got)
+	}
+	if ww.Dropped() != 0 || ww.Queued() != 0 {
+		t.Fatalf("dropped=%d queued=%d", ww.Dropped(), ww.Queued())
+	}
+	ww.Cancel()
+	<-ww.Done()
+}
+
+func TestWriteWatchDropOldest(t *testing.T) {
+	loop := NewLoop(NewVirtualClock(time.Unix(0, 0)))
+	gw := &gatedWriter{release: make(chan struct{})}
+	ww := loop.WatchWriter(gw, 4, nil)
+
+	// First send is picked up by the writer goroutine and blocks in Write;
+	// wait for that so the queue fills deterministically.
+	ww.Send([]byte("head\n"))
+	waitFor(t, func() bool { return ww.Queued() == 0 })
+
+	for i := 0; i < 10; i++ {
+		ww.Send([]byte{byte('0' + i), '\n'})
+	}
+	if ww.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", ww.Dropped())
+	}
+	if ww.Queued() != 4 {
+		t.Fatalf("queued = %d, want 4", ww.Queued())
+	}
+	close(gw.release)
+	waitFor(t, func() bool { return ww.Queued() == 0 && ww.Sent() == 5 })
+	// The newest four survive; the oldest six were dropped.
+	if got := gw.String(); got != "head\n6\n7\n8\n9\n" {
+		t.Fatalf("wrote %q", got)
+	}
+	ww.Cancel()
+	<-ww.Done()
+}
+
+func TestWriteWatchProtectedChunkSurvivesDropOldest(t *testing.T) {
+	loop := NewLoop(NewVirtualClock(time.Unix(0, 0)))
+	gw := &gatedWriter{release: make(chan struct{})}
+	ww := loop.WatchWriter(gw, 4, nil)
+
+	// Wedge the writer on a first chunk so the queue fills behind it.
+	ww.Send([]byte("x\n"))
+	waitFor(t, func() bool { return ww.Queued() == 0 })
+
+	ww.SendProtected([]byte("# banner\n"))
+	for i := 0; i < 10; i++ {
+		ww.Send([]byte{byte('0' + i), '\n'})
+	}
+	// Bound 4 with one protected: the banner plus the newest three
+	// unprotected survive; eviction never touches the protected prefix.
+	if ww.Queued() != 4 {
+		t.Fatalf("queued = %d, want 4", ww.Queued())
+	}
+	if ww.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", ww.Dropped())
+	}
+	close(gw.release)
+	waitFor(t, func() bool { return ww.Queued() == 0 && ww.Sent() == 5 })
+	if got := gw.String(); got != "x\n# banner\n7\n8\n9\n" {
+		t.Fatalf("wrote %q", got)
+	}
+	ww.Cancel()
+	<-ww.Done()
+}
+
+type failWriter struct{ err error }
+
+func (f *failWriter) Write(p []byte) (int, error) { return 0, f.err }
+
+func TestWriteWatchErrorCallbackOnLoop(t *testing.T) {
+	loop := NewLoop(NewVirtualClock(time.Unix(0, 0)))
+	boom := errors.New("boom")
+	var got error
+	ww := loop.WatchWriter(&failWriter{err: boom}, 0, func(err error) { got = err })
+	ww.Send([]byte("x\n"))
+	<-ww.Done()
+	waitFor(t, func() bool { loop.Iterate(); return got != nil })
+	if !errors.Is(got, boom) {
+		t.Fatalf("callback got %v", got)
+	}
+	if !errors.Is(ww.Err(), boom) {
+		t.Fatalf("Err() = %v", ww.Err())
+	}
+	if ww.Send([]byte("y\n")) {
+		t.Fatal("send after failure should be refused")
+	}
+}
+
+func TestWriteWatchCancelSuppressesCallback(t *testing.T) {
+	loop := NewLoop(NewVirtualClock(time.Unix(0, 0)))
+	gw := &gatedWriter{release: make(chan struct{})}
+	called := false
+	ww := loop.WatchWriter(gw, 0, func(error) { called = true })
+	ww.Send([]byte("x\n"))
+	ww.Cancel()
+	close(gw.release)
+	<-ww.Done()
+	for i := 0; i < 10; i++ {
+		loop.Iterate()
+	}
+	if called {
+		t.Fatal("onErr ran after Cancel")
+	}
+	if ww.Send([]byte("y\n")) {
+		t.Fatal("send after cancel should be refused")
+	}
+}

@@ -14,11 +14,14 @@ package loadgen
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 )
 
-// sink prevents the spin loop from being optimized away.
-var sink uint64
+// sink prevents the spin loop from being optimized away. It is atomic
+// because measurement code deliberately runs competing spinners that also
+// publish into it.
+var sink atomic.Uint64
 
 // spinChunk is the number of iterations between deadline checks; checking
 // time.Now on every iteration would measure the clock, not the CPU.
@@ -42,7 +45,7 @@ func Spin(d time.Duration) int64 {
 			break
 		}
 	}
-	sink = x
+	sink.Store(x)
 	return count
 }
 

@@ -43,27 +43,28 @@ func TestMeasureBusyWorkloadVisible(t *testing.T) {
 	// A competing spin goroutine on GOMAXPROCS(1) must consume a visible
 	// share of the CPU.
 	stop := make(chan struct{})
-	started := make(chan struct{})
 	r := MeasureRepeated(3, 50*time.Millisecond,
 		func() {
+			done := stop // capture this round's channel before the goroutine
+			started := make(chan struct{})
 			go func() {
 				close(started)
 				x := uint64(1)
 				for {
 					select {
-					case <-stop:
+					case <-done:
 						return
 					default:
 					}
 					for i := 0; i < 1024; i++ {
 						x ^= x << 13
 					}
-					sink = x
+					sink.Store(x)
 				}
 			}()
 			<-started
 		},
-		func() { close(stop); stop = make(chan struct{}); started = make(chan struct{}) },
+		func() { close(stop); stop = make(chan struct{}) },
 	)
 	if oh := r.OverheadPercent(); oh < 5 {
 		t.Fatalf("competing spinner measured at only %v%%", oh)

@@ -1,0 +1,370 @@
+package netscope
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/glib"
+	"repro/internal/tuple"
+)
+
+// This file is the fan-out side of the server: the paper's §4.4 library
+// stops at "clients → server → locally attached scopes", which caps the
+// system at one viewer. The hub generalizes the server into a
+// publish/subscribe relay — any number of downstream viewers connect on a
+// second listener and receive the merged tuple stream, so one instrumented
+// application can drive many concurrent synchronized scopes (and hubs can
+// be chained through Inject).
+
+// Subscriber handshake framing. Every framing line is a '#' comment in the
+// §3.3 tuple format, so a subscriber that just wants the merged stream can
+// read it with a plain tuple.Reader and never see the markers.
+const (
+	// hubMagic opens every subscriber stream: "# gscope-hub 1".
+	hubMagic = "gscope-hub"
+	// hubVersion is the protocol revision announced in the magic line.
+	hubVersion = 1
+)
+
+// DefaultSnapshotWindow is how much recent stream history the hub retains
+// for the connect-time snapshot when SetSnapshotWindow is not called.
+const DefaultSnapshotWindow = 5 * time.Second
+
+// DefaultSnapshotLimit caps retained snapshot tuples regardless of window.
+const DefaultSnapshotLimit = 4096
+
+// DefaultSubscriberQueueLimit bounds each subscriber's outbound queue, in
+// tuples, when SetSubscriberQueueLimit is not called.
+const DefaultSubscriberQueueLimit = 1024
+
+// subscriber is one downstream viewer connection.
+type subscriber struct {
+	conn net.Conn
+	ww   *glib.WriteWatch
+	rw   *glib.IOWatch // read side, watched only to notice disconnect
+}
+
+// hubState holds the Server's subscriber side. All fields are owned by the
+// loop goroutine, like the rest of the server.
+type hubState struct {
+	ln  net.Listener
+	acc *glib.IOWatch
+
+	subs map[net.Conn]*subscriber
+
+	history    []tuple.Tuple
+	window     time.Duration
+	windowSet  bool
+	histLimit  int
+	queueLimit int
+
+	subscribes   int64
+	unsubscribes int64
+	published    int64 // tuples broadcast (per tuple, not per subscriber)
+	dropped      int64 // drop-oldest losses accumulated from departed subscribers
+}
+
+// SetSnapshotWindow sets how much trailing stream history new subscribers
+// receive as their connect-time snapshot. Zero (or negative) disables
+// snapshot history entirely (subscribers still get the handshake frame);
+// the default is DefaultSnapshotWindow. Call before Listen/ListenSubscribers.
+func (s *Server) SetSnapshotWindow(d time.Duration) {
+	s.hub.window = d
+	s.hub.windowSet = true
+}
+
+// SetSubscriberQueueLimit bounds each subscriber's outbound queue in
+// tuples (drop-oldest beyond it). Non-positive selects
+// DefaultSubscriberQueueLimit.
+func (s *Server) SetSubscriberQueueLimit(n int) { s.hub.queueLimit = n }
+
+func (s *Server) hubInit() {
+	if s.hub.subs == nil {
+		s.hub.subs = make(map[net.Conn]*subscriber)
+	}
+	if !s.hub.windowSet {
+		s.hub.window = DefaultSnapshotWindow
+		s.hub.windowSet = true
+	}
+	if s.hub.histLimit == 0 {
+		s.hub.histLimit = DefaultSnapshotLimit
+	}
+	if s.hub.queueLimit <= 0 {
+		s.hub.queueLimit = DefaultSubscriberQueueLimit
+	}
+}
+
+// ListenSubscribers binds addr and starts accepting downstream viewers.
+// Each accepted connection receives the snapshot-then-deltas stream
+// described in the package comment. It returns the bound address.
+func (s *Server) ListenSubscribers(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netscope: %w", err)
+	}
+	s.hubInit()
+	s.hub.ln = ln
+	s.hub.acc = s.loop.WatchAccept(ln, func(conn net.Conn, err error) bool {
+		if err != nil {
+			return false
+		}
+		s.Subscribe(conn)
+		return true
+	})
+	return ln.Addr(), nil
+}
+
+// Subscribe registers conn as a downstream viewer: it is sent the protocol
+// handshake, a snapshot of the retained history window, and then every
+// subsequently delivered tuple. Subscribe must run on the loop goroutine
+// (ListenSubscribers calls it there; in-process wiring can pass one end of
+// a net.Pipe from a loop callback). The subscriber's outbound queue is
+// bounded; when the peer stalls, its oldest queued tuples are dropped and
+// counted rather than ever blocking the loop or other subscribers.
+func (s *Server) Subscribe(conn net.Conn) {
+	s.hubInit()
+	sub := &subscriber{conn: conn}
+	sub.ww = s.loop.WatchWriter(conn, s.hub.queueLimit, func(error) {
+		s.unsubscribe(conn)
+	})
+	// Watch the read side purely to notice the peer going away; inbound
+	// lines from subscribers are not part of the protocol and are ignored.
+	sub.rw = s.loop.WatchLines(conn, func(_ string, err error) bool {
+		if err != nil {
+			s.unsubscribe(conn)
+			return false
+		}
+		return true
+	})
+	s.hub.subs[conn] = sub
+	s.hub.subscribes++
+	sub.ww.SendProtected(s.snapshotChunk())
+}
+
+// snapshotChunk encodes the handshake plus the retained history window as
+// one queue chunk, so drop-oldest can never tear the snapshot apart.
+func (s *Server) snapshotChunk() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s %d\n", hubMagic, hubVersion)
+	fmt.Fprintf(&b, "# snapshot tuples=%d window-ms=%d\n",
+		len(s.hub.history), s.hub.window.Milliseconds())
+	for _, t := range s.hub.history {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	b.WriteString("# snapshot-end\n")
+	return []byte(b.String())
+}
+
+// broadcast retains t in the snapshot history and fans it out to every
+// subscriber. Runs on the loop goroutine as part of delivery.
+func (s *Server) broadcast(t tuple.Tuple) {
+	if s.hub.subs == nil {
+		return
+	}
+	s.retain(t)
+	s.hub.published++
+	if len(s.hub.subs) == 0 {
+		return
+	}
+	line := append([]byte(t.String()), '\n')
+	for _, sub := range s.hub.subs {
+		sub.ww.Send(line)
+	}
+}
+
+// retain appends t to the snapshot history and prunes it to the configured
+// window (relative to the newest timestamp seen) and hard size cap.
+func (s *Server) retain(t tuple.Tuple) {
+	if s.hub.window <= 0 {
+		return
+	}
+	s.hub.history = append(s.hub.history, t)
+	newest := t.Time
+	cut := 0
+	if over := len(s.hub.history) - s.hub.histLimit; over > 0 {
+		cut = over
+	}
+	winMS := s.hub.window.Milliseconds()
+	for cut < len(s.hub.history) && newest-s.hub.history[cut].Time > winMS {
+		cut++
+	}
+	if cut > 0 {
+		// Reslice instead of copying: this runs per broadcast tuple on
+		// the loop goroutine, and append reallocates (copying only the
+		// live tail) once the backing array's capacity is spent, so the
+		// prune is amortized O(1) and memory stays bounded by ~2× the
+		// live window.
+		s.hub.history = s.hub.history[cut:]
+	}
+}
+
+// Inject delivers t exactly as if it had arrived from a publisher
+// connection: observers, recorder, attached scopes, and subscribers all see
+// it. It must run on the loop goroutine — it is the relay hook used when
+// chaining hubs (a Subscriber's callback feeding a downstream Server).
+func (s *Server) Inject(t tuple.Tuple) {
+	s.received++
+	s.deliver(t)
+}
+
+func (s *Server) unsubscribe(conn net.Conn) {
+	sub, ok := s.hub.subs[conn]
+	if !ok {
+		return
+	}
+	delete(s.hub.subs, conn)
+	s.hub.unsubscribes++
+	s.hub.dropped += sub.ww.Dropped()
+	sub.ww.Cancel()
+	sub.rw.Cancel()
+	conn.Close()
+}
+
+// Subscribers returns the number of currently connected viewers.
+func (s *Server) Subscribers() int { return len(s.hub.subs) }
+
+// SubscriberStats returns lifetime fan-out counters: viewer connects and
+// disconnects, tuples published to the subscriber side (counted once per
+// tuple, not per viewer), and tuples lost to the per-subscriber drop-oldest
+// policy summed across all viewers past and present.
+func (s *Server) SubscriberStats() (subscribes, unsubscribes, published, dropped int64) {
+	d := s.hub.dropped
+	for _, sub := range s.hub.subs {
+		d += sub.ww.Dropped()
+	}
+	return s.hub.subscribes, s.hub.unsubscribes, s.hub.published, d
+}
+
+// SubscriberBacklog returns the total number of chunks queued but not yet
+// taken by the subscribers' writers. Note a taken batch may still be in
+// flight on the socket; SubscriberWritten counts completed writes.
+func (s *Server) SubscriberBacklog() int {
+	n := 0
+	for _, sub := range s.hub.subs {
+		n += sub.ww.Queued()
+	}
+	return n
+}
+
+// SubscriberWritten returns the total number of chunks (the handshake plus
+// one per tuple) fully written to current subscribers' connections.
+func (s *Server) SubscriberWritten() int64 {
+	var n int64
+	for _, sub := range s.hub.subs {
+		n += sub.ww.Sent()
+	}
+	return n
+}
+
+// closeHub tears down the subscriber side; part of Server.Close.
+func (s *Server) closeHub() error {
+	var err error
+	if s.hub.acc != nil {
+		s.hub.acc.Cancel()
+	}
+	if s.hub.ln != nil {
+		err = s.hub.ln.Close()
+	}
+	for conn := range s.hub.subs {
+		s.unsubscribe(conn)
+	}
+	return err
+}
+
+// Subscriber is the client side of the fan-out protocol: it connects to a
+// hub's subscriber listener and delivers every tuple — snapshot first, then
+// live deltas — to a callback on the loop goroutine, the same threading
+// model as Server callbacks.
+type Subscriber struct {
+	conn  net.Conn
+	watch *glib.IOWatch
+
+	// all owned by the loop goroutine
+	received    int64
+	parseErrors int64
+	snapTuples  int64
+	inSnapshot  bool
+	handshaken  bool
+	closed      bool
+	onClose     func(error)
+}
+
+// SubscribeTo connects to a hub's subscriber address and invokes fn on the
+// loop goroutine for each tuple in the merged stream. Snapshot history and
+// live deltas are delivered uniformly; use Snapshot to learn where the
+// boundary was.
+func SubscribeTo(loop *glib.Loop, addr string, fn func(tuple.Tuple)) (*Subscriber, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("netscope: %w", err)
+	}
+	sub := &Subscriber{conn: conn}
+	sub.watch = loop.WatchLines(conn, func(line string, err error) bool {
+		if err != nil {
+			sub.closed = true
+			if sub.onClose != nil {
+				sub.onClose(err)
+			}
+			conn.Close()
+			return false
+		}
+		if tuple.IsComment(line) {
+			sub.control(line)
+			return true
+		}
+		t, perr := tuple.Parse(line)
+		if perr != nil {
+			sub.parseErrors++
+			return true
+		}
+		sub.received++
+		if sub.inSnapshot {
+			sub.snapTuples++
+		}
+		fn(t)
+		return true
+	})
+	return sub, nil
+}
+
+// control interprets the hub's '#'-comment framing lines.
+func (s *Subscriber) control(line string) {
+	f := strings.Fields(strings.TrimPrefix(strings.TrimSpace(line), "#"))
+	if len(f) == 0 {
+		return
+	}
+	switch f[0] {
+	case hubMagic:
+		s.handshaken = true
+	case "snapshot":
+		s.inSnapshot = true
+	case "snapshot-end":
+		s.inSnapshot = false
+	}
+}
+
+// OnClose registers fn to run on the loop goroutine when the stream ends
+// (io.EOF on hub shutdown, or a transport error).
+func (s *Subscriber) OnClose(fn func(error)) { s.onClose = fn }
+
+// Handshaken reports whether the hub's protocol banner has been seen.
+func (s *Subscriber) Handshaken() bool { return s.handshaken }
+
+// Snapshot returns the number of tuples that arrived as connect-time
+// history rather than live deltas.
+func (s *Subscriber) Snapshot() int64 { return s.snapTuples }
+
+// Stats returns tuples received (snapshot + live) and lines that failed to
+// parse.
+func (s *Subscriber) Stats() (received, parseErrors int64) {
+	return s.received, s.parseErrors
+}
+
+// Close disconnects from the hub.
+func (s *Subscriber) Close() error {
+	s.watch.Cancel()
+	return s.conn.Close()
+}

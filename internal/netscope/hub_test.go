@@ -1,0 +1,480 @@
+package netscope
+
+import (
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/glib"
+	"repro/internal/tuple"
+)
+
+// hubRig is rig plus a subscriber listener.
+func hubRig(t *testing.T) (*glib.Loop, *Server, string, string) {
+	t.Helper()
+	loop, _, srv, pubAddr := rig(t)
+	subAddr, err := srv.ListenSubscribers("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loop, srv, pubAddr, subAddr.String()
+}
+
+// collector drains a subscriber connection with a plain tuple.Reader from
+// its own goroutine, the way an external viewer process would.
+type collector struct {
+	mu  sync.Mutex
+	got []tuple.Tuple
+	err error
+}
+
+func collect(t *testing.T, addr string) (*collector, net.Conn) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &collector{}
+	go func() {
+		r := tuple.NewReader(conn, false)
+		for {
+			tu, err := r.Read()
+			if err != nil {
+				c.mu.Lock()
+				c.err = err
+				c.mu.Unlock()
+				return
+			}
+			c.mu.Lock()
+			c.got = append(c.got, tu)
+			c.mu.Unlock()
+		}
+	}()
+	return c, conn
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.got)
+}
+
+func (c *collector) tuples() []tuple.Tuple {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]tuple.Tuple, len(c.got))
+	copy(out, c.got)
+	return out
+}
+
+// TestHubFanOut is the acceptance scenario: three publishers feed the hub,
+// three subscribers consume it — two healthy external viewers and one
+// deliberately stalled in-process viewer on a net.Pipe (which has no
+// buffering, so the hub's write blocks immediately). Both healthy viewers
+// must converge on the identical merged stream while the stalled one loses
+// data to drop-oldest, and nothing leaks.
+func TestHubFanOut(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	loop, srv, pubAddr, subAddr := hubRig(t)
+	srv.SetSubscriberQueueLimit(16)
+
+	subA, connA := collect(t, subAddr)
+	subB, connB := collect(t, subAddr)
+	defer connA.Close()
+	defer connB.Close()
+	pump(t, loop, func() bool { return srv.Subscribers() == 2 })
+
+	// The stalled viewer: one end of an unbuffered pipe that is never read.
+	stalledHub, stalledViewer := net.Pipe()
+	defer stalledViewer.Close()
+	srv.Subscribe(stalledHub)
+	if srv.Subscribers() != 3 {
+		t.Fatalf("subscribers = %d, want 3", srv.Subscribers())
+	}
+
+	const perPub, pubs = 200, 3
+	var clients []*Client
+	for i := 0; i < pubs; i++ {
+		c, err := Dial(pubAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients = append(clients, c)
+	}
+	for i, c := range clients {
+		for j := 0; j < perPub; j++ {
+			if err := c.Send(time.Duration(j)*time.Millisecond, fmt.Sprintf("p%d", i), float64(j)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const total = perPub * pubs
+	// Both healthy subscribers converge on the full merged stream even
+	// though the third subscriber has been wedged the whole time.
+	pump(t, loop, func() bool { return subA.count() >= total && subB.count() >= total })
+
+	gotA, gotB := subA.tuples(), subB.tuples()
+	if len(gotA) != total || len(gotB) != total {
+		t.Fatalf("counts: A=%d B=%d, want %d each", len(gotA), len(gotB), total)
+	}
+	for i := range gotA {
+		if gotA[i] != gotB[i] {
+			t.Fatalf("streams diverge at %d: A=%v B=%v", i, gotA[i], gotB[i])
+		}
+	}
+	// Each publisher's tuples arrive as an in-order subsequence.
+	next := make(map[string]int64)
+	for _, tu := range gotA {
+		if tu.Value != float64(next[tu.Name]) {
+			t.Fatalf("%s out of order: got value %v, want %d", tu.Name, tu.Value, next[tu.Name])
+		}
+		next[tu.Name]++
+	}
+	for i := 0; i < pubs; i++ {
+		if next[fmt.Sprintf("p%d", i)] != perPub {
+			t.Fatalf("p%d delivered %d tuples, want %d", i, next[fmt.Sprintf("p%d", i)], perPub)
+		}
+	}
+
+	// The stalled subscriber hit the drop-oldest policy.
+	_, _, published, dropped := srv.SubscriberStats()
+	if published != total {
+		t.Fatalf("published = %d, want %d", published, total)
+	}
+	if dropped == 0 {
+		t.Fatal("stalled subscriber should have dropped tuples")
+	}
+	if backlog := srv.SubscriberBacklog(); backlog > 16 {
+		t.Fatalf("backlog %d exceeds queue limit", backlog)
+	}
+
+	// Teardown releases every goroutine: publishers, hub watches, the
+	// wedged pipe writer, and the collectors (EOF on hub close).
+	for _, c := range clients {
+		c.Close()
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > %d\n%s",
+				runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+		}
+		loop.Iterate()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestHubSnapshotOnConnect(t *testing.T) {
+	loop, srv, _, subAddr := hubRig(t)
+
+	for i := 0; i < 5; i++ {
+		srv.Inject(tuple.Tuple{Time: int64(i * 100), Value: float64(i), Name: "s"})
+	}
+	sub, conn := collect(t, subAddr)
+	defer conn.Close()
+	pump(t, loop, func() bool { return sub.count() >= 5 })
+
+	// Live delta after the snapshot.
+	srv.Inject(tuple.Tuple{Time: 600, Value: 99, Name: "s"})
+	pump(t, loop, func() bool { return sub.count() >= 6 })
+	got := sub.tuples()
+	for i := 0; i < 5; i++ {
+		if got[i].Value != float64(i) {
+			t.Fatalf("snapshot tuple %d = %v", i, got[i])
+		}
+	}
+	if got[5].Value != 99 {
+		t.Fatalf("delta = %v", got[5])
+	}
+}
+
+func TestHubSnapshotFraming(t *testing.T) {
+	loop, srv, _, subAddr := hubRig(t)
+	srv.Inject(tuple.Tuple{Time: 10, Value: 1, Name: "s"})
+
+	conn, err := net.Dial("tcp", subAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	lines := make(chan string, 64)
+	go func() {
+		defer close(lines)
+		r := make([]byte, 1)
+		var line []byte
+		for {
+			if _, err := conn.Read(r); err != nil {
+				return
+			}
+			if r[0] == '\n' {
+				lines <- string(line)
+				line = nil
+				continue
+			}
+			line = append(line, r[0])
+		}
+	}()
+	read := func() string {
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case l := <-lines:
+				return l
+			case <-deadline:
+				t.Fatal("no line")
+			default:
+				loop.Iterate()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+	want := []string{
+		"# gscope-hub 1",
+		"# snapshot tuples=1 window-ms=5000",
+		"10 1 s",
+		"# snapshot-end",
+	}
+	for i, w := range want {
+		if got := read(); got != w {
+			t.Fatalf("line %d = %q, want %q", i, got, w)
+		}
+	}
+	srv.Inject(tuple.Tuple{Time: 20, Value: 2, Name: "s"})
+	if got := read(); got != "20 2 s" {
+		t.Fatalf("delta line = %q", got)
+	}
+}
+
+func TestHubSnapshotWindowPrune(t *testing.T) {
+	loop, srv, _, subAddr := hubRig(t)
+	srv.SetSnapshotWindow(time.Second)
+	// 0..6000ms in 500ms steps; only tuples within 1s of the newest
+	// (t=5000..6000) survive in the snapshot.
+	for ms := int64(0); ms <= 6000; ms += 500 {
+		srv.Inject(tuple.Tuple{Time: ms, Value: 1, Name: "s"})
+	}
+	var got []tuple.Tuple
+	sub, err := SubscribeTo(loop, subAddr, func(tu tuple.Tuple) { got = append(got, tu) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pump(t, loop, func() bool { return sub.Snapshot() >= 3 })
+	if !sub.Handshaken() {
+		t.Fatal("no handshake seen")
+	}
+	if sub.Snapshot() != 3 || len(got) != 3 {
+		t.Fatalf("snapshot = %d tuples (%d delivered), want 3", sub.Snapshot(), len(got))
+	}
+	if got[0].Time != 5000 || got[2].Time != 6000 {
+		t.Fatalf("window wrong: %v", got)
+	}
+}
+
+func TestHubSnapshotWindowZeroDisablesHistory(t *testing.T) {
+	loop, srv, _, subAddr := hubRig(t)
+	srv.SetSnapshotWindow(0)
+	for i := 0; i < 5; i++ {
+		srv.Inject(tuple.Tuple{Time: int64(i * 100), Value: float64(i), Name: "s"})
+	}
+	var got []tuple.Tuple
+	sub, err := SubscribeTo(loop, subAddr, func(tu tuple.Tuple) { got = append(got, tu) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pump(t, loop, func() bool { return sub.Handshaken() })
+	// Handshake arrives but carries no history; live deltas still flow.
+	srv.Inject(tuple.Tuple{Time: 600, Value: 42, Name: "s"})
+	pump(t, loop, func() bool { return len(got) >= 1 })
+	if sub.Snapshot() != 0 {
+		t.Fatalf("snapshot = %d, want 0", sub.Snapshot())
+	}
+	if len(got) != 1 || got[0].Value != 42 {
+		t.Fatalf("deltas = %v", got)
+	}
+}
+
+func TestSubscribeToDeliversOnLoop(t *testing.T) {
+	loop, srv, pubAddr, subAddr := hubRig(t)
+	var got []tuple.Tuple
+	sub, err := SubscribeTo(loop, subAddr, func(tu tuple.Tuple) { got = append(got, tu) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pump(t, loop, func() bool { return srv.Subscribers() == 1 })
+
+	c, err := Dial(pubAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		c.Send(time.Duration(i)*time.Millisecond, "remote", float64(i)) //nolint:errcheck
+	}
+	c.Flush() //nolint:errcheck
+	pump(t, loop, func() bool { return len(got) >= 3 })
+	recvd, perrs := sub.Stats()
+	if recvd != 3 || perrs != 0 {
+		t.Fatalf("stats = %d received %d parse errors", recvd, perrs)
+	}
+	if sub.Snapshot() != 0 {
+		t.Fatalf("snapshot = %d, want 0 (connected before data)", sub.Snapshot())
+	}
+}
+
+// TestHubChaining relays one hub into another: publishers → hub A →
+// (Subscriber→Inject bridge) → hub B → viewer, the chained-relay topology
+// cmd/gscoped exposes with -upstream.
+func TestHubChaining(t *testing.T) {
+	loop, srvA, pubAddr, subAddrA := hubRig(t)
+	_ = srvA
+	srvB := NewServer(loop)
+	subAddrB, err := srvB.ListenSubscribers("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srvB.Close() })
+
+	bridge, err := SubscribeTo(loop, subAddrA, srvB.Inject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bridge.Close()
+
+	viewer, conn := collect(t, subAddrB.String())
+	defer conn.Close()
+	pump(t, loop, func() bool { return srvB.Subscribers() == 1 })
+
+	c, err := Dial(pubAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		c.Send(time.Duration(i)*time.Millisecond, "remote", float64(i)) //nolint:errcheck
+	}
+	c.Flush() //nolint:errcheck
+	pump(t, loop, func() bool { return viewer.count() >= 5 })
+	for i, tu := range viewer.tuples() {
+		if tu.Value != float64(i) {
+			t.Fatalf("chained tuple %d = %v", i, tu)
+		}
+	}
+}
+
+func TestSubscriberDisconnectCleansUp(t *testing.T) {
+	loop, srv, _, subAddr := hubRig(t)
+	_, conn := collect(t, subAddr)
+	pump(t, loop, func() bool { return srv.Subscribers() == 1 })
+	conn.Close()
+	pump(t, loop, func() bool { return srv.Subscribers() == 0 })
+	subs, unsubs, _, _ := srv.SubscriberStats()
+	if subs != 1 || unsubs != 1 {
+		t.Fatalf("stats: subscribes=%d unsubscribes=%d", subs, unsubs)
+	}
+}
+
+func TestClientReconnectSurvivesHubRestart(t *testing.T) {
+	loop, _, srv, addr := rig(t)
+	c := DialReconnect(addr)
+	defer c.Close()
+	c.Send(10*time.Millisecond, "remote", 1) //nolint:errcheck
+	pump(t, loop, func() bool {
+		_, _, recv, _ := srv.Stats()
+		return recv >= 1
+	})
+
+	// Restart the hub on the same port.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(loop)
+	if _, err := srv2.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv2.Close() })
+
+	// Sends issued during/after the outage arrive once the client has
+	// reconnected with backoff.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c.Send(20*time.Millisecond, "remote", 2) //nolint:errcheck
+		_, _, recv, _ := srv2.Stats()
+		if recv >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client never reconnected")
+		}
+		loop.Iterate()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.Reconnects() < 2 {
+		t.Fatalf("reconnects = %d, want >= 2", c.Reconnects())
+	}
+}
+
+func TestReconnectClientStartsBeforeServer(t *testing.T) {
+	// Reserve an address, then free it so nothing is listening.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c := DialReconnect(addr)
+	defer c.Close()
+	c.Send(5*time.Millisecond, "remote", 7) //nolint:errcheck
+
+	vc := glib.NewVirtualClock(time.Unix(7000, 0))
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	srv := NewServer(loop)
+	if _, err := srv.Listen(addr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	pump(t, loop, func() bool {
+		_, _, recv, _ := srv.Stats()
+		return recv >= 1
+	})
+	if c.Reconnects() != 1 {
+		t.Fatalf("reconnects = %d, want 1", c.Reconnects())
+	}
+}
+
+func TestReconnectQueueBoundDropOldest(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	c := DialReconnect(addr)
+	c.SetQueueLimit(10)
+	for i := 0; i < 25; i++ {
+		c.Send(time.Duration(i)*time.Millisecond, "x", float64(i)) //nolint:errcheck
+	}
+	if c.Dropped() != 15 {
+		t.Fatalf("dropped = %d, want 15", c.Dropped())
+	}
+	if err := c.Close(); err == nil {
+		t.Fatal("close with undeliverable queue should report the flush timeout")
+	}
+}

@@ -9,6 +9,54 @@
 // embedded in a GUI application shares one event loop with the scope
 // display and needs no locking — the same structure as the paper's
 // client-server library used by mxtraf.
+//
+// # Publisher protocol
+//
+// A publisher ([Client]) connection carries a plain §3.3 tuple stream, one
+// tuple per line, with blank and '#' comment lines ignored:
+//
+//	1500 42.5 CWND
+//	1550 41 CWND
+//
+// Lines that fail to parse are counted and skipped; the connection is
+// never torn down for bad input. See package repro/internal/tuple for the
+// full grammar.
+//
+// # Subscriber (fan-out) protocol
+//
+// The paper's library stops at one viewer: the server's scopes are local.
+// The hub side of [Server] — [Server.ListenSubscribers] and
+// [Server.Subscribe] — generalizes it into a publish/subscribe relay so a
+// single merged stream can drive any number of concurrent synchronized
+// viewers, and relays can be chained ([Server.Inject]).
+//
+// A subscriber connection is write-only from the hub's point of view
+// (inbound lines are ignored; EOF means the viewer left). The stream is
+// framed entirely with '#' comment lines, so it is itself a valid tuple
+// stream and a viewer that only wants the data can read it with a plain
+// tuple.Reader and never notice the framing:
+//
+//	# gscope-hub 1
+//	# snapshot tuples=2 window-ms=5000
+//	1500 42.5 CWND
+//	1550 41 CWND
+//	# snapshot-end
+//	1600 40 CWND          ← live deltas from here on
+//
+// Line one is the protocol banner (name and version). The snapshot header
+// declares how many retained-history tuples follow — the hub keeps the most
+// recent window of the merged stream (SetSnapshotWindow) so a viewer that
+// connects mid-run starts with the recent display window instead of an
+// empty screen — and "# snapshot-end" marks the snapshot/delta boundary.
+// After that the connection carries every tuple the hub delivers, in
+// delivery order.
+//
+// Each subscriber has a bounded outbound queue drained by its own writer
+// goroutine (glib.WriteWatch). A slow or stalled viewer loses its own
+// oldest queued tuples (drop-oldest, counted in [Server.SubscriberStats])
+// but can never block the loop, the publishers, or other subscribers. The
+// snapshot is enqueued as a single drop-exempt unit, so the bound can
+// neither tear it nor evict the protocol banner.
 package netscope
 
 import (
@@ -45,6 +93,8 @@ type Server struct {
 	MapTime func(time.Duration) time.Duration
 
 	rec *tuple.Writer
+
+	hub hubState
 
 	connects    int64
 	disconnects int64
@@ -122,6 +172,7 @@ func (s *Server) deliver(t tuple.Tuple) {
 	for _, sc := range s.scopes {
 		sc.Feed().Push(at, t.Name, t.Value)
 	}
+	s.broadcast(t)
 }
 
 // Stats returns lifetime counters: client connects, disconnects, tuples
@@ -151,6 +202,9 @@ func (s *Server) Close() error {
 		conn.Close()
 		delete(s.clients, conn)
 	}
+	if herr := s.closeHub(); err == nil {
+		err = herr
+	}
 	if s.rec != nil {
 		if ferr := s.rec.Flush(); err == nil {
 			err = ferr
@@ -162,27 +216,50 @@ func (s *Server) Close() error {
 // Client streams tuples to a server. Sends are asynchronous: Send enqueues
 // and returns immediately while a writer goroutine drains the queue, so an
 // instrumented time-sensitive application never blocks on the network —
-// the property the paper's client library is built around.
+// the property the paper's client library is built around. Clients made
+// with DialReconnect additionally survive server restarts: the writer
+// re-dials with exponential backoff and the queue (bounded, drop-oldest)
+// buffers samples across the outage.
 type Client struct {
-	conn net.Conn
+	addr      string
+	reconnect bool
 
-	mu     sync.Mutex
-	queue  []tuple.Tuple
-	kick   chan struct{}
-	closed bool
-	sent   int64
-	err    error
+	mu       sync.Mutex
+	conn     net.Conn // nil while disconnected in reconnect mode
+	queue    []tuple.Tuple
+	inflight int // tuples taken by the writer, not yet confirmed written
+	kick     chan struct{}
+	closed   bool
+	sent     int64
+	err      error
+
+	// reconnect-mode state
+	backoffMin time.Duration
+	backoffMax time.Duration
+	queueLimit int // >0 bounds queue with drop-oldest
+	dropped    int64
+	reconnects int64
 
 	done chan struct{}
 }
 
-// Dial connects to a netscope server.
+// Reconnect policy defaults used by DialReconnect.
+const (
+	DefaultReconnectMin     = 50 * time.Millisecond
+	DefaultReconnectMax     = 5 * time.Second
+	DefaultClientQueueLimit = 65536
+)
+
+// Dial connects to a netscope server. The returned client stops on the
+// first write error; use DialReconnect for a client that rides out server
+// restarts.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("netscope: %w", err)
 	}
 	c := &Client{
+		addr: addr,
 		conn: conn,
 		kick: make(chan struct{}, 1),
 		done: make(chan struct{}),
@@ -191,13 +268,68 @@ func Dial(addr string) (*Client, error) {
 	return c, nil
 }
 
+// DialReconnect returns a client whose background writer establishes (and
+// after failures re-establishes) the connection with exponential backoff
+// between DefaultReconnectMin and DefaultReconnectMax. It never returns an
+// error: the first connection attempt happens in the background too, so a
+// publisher can start before its hub. While disconnected, sends accumulate
+// in a queue bounded at DefaultClientQueueLimit tuples with a drop-oldest
+// policy (see Dropped).
+func DialReconnect(addr string) *Client {
+	c := &Client{
+		addr:       addr,
+		reconnect:  true,
+		backoffMin: DefaultReconnectMin,
+		backoffMax: DefaultReconnectMax,
+		queueLimit: DefaultClientQueueLimit,
+		kick:       make(chan struct{}, 1),
+		done:       make(chan struct{}),
+	}
+	go c.writer()
+	return c
+}
+
 func (c *Client) writer() {
 	defer close(c.done)
+	backoff := c.backoffMin
 	for {
+		c.mu.Lock()
+		conn := c.conn
+		closed := c.closed
+		c.mu.Unlock()
+
+		if conn == nil {
+			if closed {
+				return
+			}
+			nc, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+			if err != nil {
+				c.sleep(backoff)
+				backoff *= 2
+				if backoff > c.backoffMax {
+					backoff = c.backoffMax
+				}
+				continue
+			}
+			// Backoff resets on a successful write, not here: a server
+			// that accepts and immediately resets must still back off.
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				nc.Close()
+				return
+			}
+			c.conn = nc
+			c.reconnects++
+			c.mu.Unlock()
+			continue
+		}
+
 		c.mu.Lock()
 		batch := c.queue
 		c.queue = nil
-		closed := c.closed
+		c.inflight = len(batch)
+		closed = c.closed
 		c.mu.Unlock()
 
 		if len(batch) > 0 {
@@ -206,24 +338,68 @@ func (c *Client) writer() {
 				buf = append(buf, t.String()...)
 				buf = append(buf, '\n')
 			}
-			if _, err := c.conn.Write(buf); err != nil {
+			if _, err := conn.Write(buf); err != nil {
+				if c.reconnect {
+					conn.Close()
+					c.mu.Lock()
+					c.conn = nil
+					// Requeue the unsent batch ahead of anything
+					// enqueued meanwhile, then re-apply the bound.
+					c.queue = append(batch, c.queue...)
+					c.inflight = 0
+					c.trimLocked()
+					c.mu.Unlock()
+					// Back off before redialing; without this a
+					// crash-looping server whose listener still
+					// accepts would be hammered at full speed.
+					c.sleep(backoff)
+					backoff *= 2
+					if backoff > c.backoffMax {
+						backoff = c.backoffMax
+					}
+					continue
+				}
 				c.mu.Lock()
 				if c.err == nil {
 					c.err = err
 				}
 				c.closed = true
+				c.inflight = 0
 				c.mu.Unlock()
 				return
 			}
 			c.mu.Lock()
 			c.sent += int64(len(batch))
+			c.inflight = 0
 			c.mu.Unlock()
+			backoff = c.backoffMin
 			continue
 		}
 		if closed {
 			return
 		}
 		<-c.kick
+	}
+}
+
+// sleep waits for d, or less if a send (or Close) kicks the writer awake.
+func (c *Client) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.kick:
+	}
+}
+
+// trimLocked enforces the queue bound (drop-oldest). Caller holds mu.
+func (c *Client) trimLocked() {
+	if c.queueLimit <= 0 {
+		return
+	}
+	if over := len(c.queue) - c.queueLimit; over > 0 {
+		c.queue = append(c.queue[:0:0], c.queue[over:]...)
+		c.dropped += int64(over)
 	}
 }
 
@@ -246,6 +422,7 @@ func (c *Client) SendTuple(t tuple.Tuple) error {
 		return err
 	}
 	c.queue = append(c.queue, t)
+	c.trimLocked()
 	err := c.err
 	c.mu.Unlock()
 	select {
@@ -262,11 +439,53 @@ func (c *Client) Sent() int64 {
 	return c.sent
 }
 
-// Flush blocks until the queue has drained (or the writer died).
-func (c *Client) Flush() error {
+// SetQueueLimit bounds the send queue in tuples with a drop-oldest policy;
+// non-positive removes the bound. Plain Dial clients default to unbounded,
+// DialReconnect clients to DefaultClientQueueLimit.
+func (c *Client) SetQueueLimit(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.queueLimit = n
+	c.trimLocked()
+}
+
+// Dropped returns the number of tuples discarded by the reconnect queue's
+// drop-oldest bound (always 0 for plain Dial clients).
+func (c *Client) Dropped() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Reconnects returns how many times the background writer has established
+// the connection; for a DialReconnect client that includes the initial
+// connect, so a value over 1 means the client survived at least one outage.
+func (c *Client) Reconnects() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnects
+}
+
+// Connected reports whether the client currently holds a live connection.
+func (c *Client) Connected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn != nil && !c.closed
+}
+
+// Flush blocks until the queue has drained (or the writer died). For a
+// reconnecting client whose server is down this can block until the server
+// returns; use FlushTimeout to bound the wait.
+func (c *Client) Flush() error { return c.flush(time.Time{}) }
+
+// FlushTimeout is Flush with a deadline; it returns a timeout error if the
+// queue has not drained within d.
+func (c *Client) FlushTimeout(d time.Duration) error { return c.flush(time.Now().Add(d)) }
+
+func (c *Client) flush(deadline time.Time) error {
 	for {
 		c.mu.Lock()
-		empty := len(c.queue) == 0
+		empty := len(c.queue) == 0 && c.inflight == 0
 		err := c.err
 		closed := c.closed
 		c.mu.Unlock()
@@ -279,25 +498,47 @@ func (c *Client) Flush() error {
 		if closed {
 			return fmt.Errorf("netscope: client closed with queued data")
 		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return fmt.Errorf("netscope: flush timed out with queued data")
+		}
 		time.Sleep(time.Millisecond)
 	}
 }
 
-// Close flushes pending tuples and closes the connection.
+// Close flushes pending tuples (queued and in-flight) and closes the
+// connection. A reconnecting client bounds the flush at one second (it may
+// be waiting out an outage) and then shuts down, abandoning whatever is
+// still queued; a plain client blocks until everything is written.
 func (c *Client) Close() error {
-	ferr := c.Flush()
+	var ferr error
+	if c.reconnect {
+		ferr = c.FlushTimeout(time.Second)
+	} else {
+		ferr = c.Flush()
+	}
 	c.mu.Lock()
 	already := c.closed
 	c.closed = true
+	conn := c.conn
 	c.mu.Unlock()
 	select {
 	case c.kick <- struct{}{}:
 	default:
 	}
+	var cerr error
+	if c.reconnect && conn != nil {
+		// The bounded flush may have left a write in flight; sever the
+		// connection so the writer cannot stay wedged in conn.Write.
+		cerr = conn.Close()
+	}
 	if !already {
 		<-c.done
 	}
-	cerr := c.conn.Close()
+	if !c.reconnect && conn != nil {
+		// The flush above was unbounded, so the writer is idle by the
+		// time it observes closed and exits; nothing is in flight.
+		cerr = conn.Close()
+	}
 	if ferr != nil {
 		return ferr
 	}

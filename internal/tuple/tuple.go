@@ -14,6 +14,41 @@
 //
 // Timestamps in a well-formed stream are in non-decreasing order; Reader can
 // enforce that.
+//
+// # Grammar
+//
+// A stream is a sequence of newline-terminated lines:
+//
+//	stream  = { line } ;
+//	line    = comment | tuple ;
+//	comment = [ ws ] [ "#" any-text ] newline ;       (blank lines included)
+//	tuple   = [ ws ] time ws value [ ws name ] [ ws ] newline ;
+//	time    = integer ;                               (milliseconds)
+//	value   = Go floating-point literal ;             (strconv.ParseFloat)
+//	name    = any-text ;                              (may contain spaces)
+//	ws      = one or more spaces ;
+//
+// The name field, when present, extends to the end of the line, so signal
+// names may contain spaces. Values round-trip through FormatValue: integral
+// values print without a decimal point, everything else with 'g' formatting
+// at full precision.
+//
+// # Embedded protocols
+//
+// Because readers skip comments, higher layers frame richer protocols with
+// '#' lines while staying valid tuple streams. Recorders stamp files with
+// "# ..." metadata headers, and the netscope fan-out hub frames its
+// subscriber handshake and connect-time snapshot this way:
+//
+//	# gscope-hub 1
+//	# snapshot tuples=2 window-ms=5000
+//	1500 42.5 CWND
+//	1550 41 CWND
+//	# snapshot-end
+//
+// (see package repro/internal/netscope for that protocol's semantics). A
+// consumer using Reader sees only the tuples; a protocol-aware consumer
+// inspects the comment lines before discarding them.
 package tuple
 
 import (
