@@ -418,6 +418,149 @@ func BenchmarkFeedPushTake(b *testing.B) {
 	}
 }
 
+// benchFeedIngest measures the feed's pure ingest throughput: 8
+// concurrent publishers, each owning one signal, push b.N tuples in total
+// — per sample or in batches. Work proceeds in bounded rounds; between
+// rounds the timer stops while the feed is drained (the consumer side has
+// its own benchmarks), so ns/op is the per-tuple cost of the push path
+// alone and the backlog never outgrows one round. Timestamps rise
+// monotonically across rounds and the drain cursor trails them, so no
+// tuple is ever dropped and both variants do identical per-tuple work.
+func benchFeedIngest(b *testing.B, batchSize int) {
+	const publishers = 8
+	const roundPer = 1 << 11 // tuples per publisher per round (cache-resident backlog)
+	f := core.NewFeed()
+	var drainBuf []tuple.Tuple
+	names := make([]string, publishers)
+	templates := make([][]tuple.Tuple, publishers)
+	for g := range names {
+		names[g] = fmt.Sprintf("sig%d", g)
+		if batchSize > 1 {
+			// The batch is a reusable template — name and value slots
+			// are laid down once, each round restamps only the times.
+			// That is the shape of a real batching publisher (and of the
+			// network server's decode scratch): batching amortizes
+			// construction, not just locking.
+			templates[g] = make([]tuple.Tuple, batchSize)
+			for j := range templates[g] {
+				templates[g][j] = tuple.Tuple{Value: float64(j), Name: names[g]}
+			}
+		}
+	}
+	base := 0 // starting timestamp of the current round, ms
+	b.ResetTimer()
+	for pushed := 0; pushed < b.N; {
+		per := roundPer
+		if rem := (b.N - pushed + publishers - 1) / publishers; rem < per {
+			per = rem
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < publishers; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if batchSize <= 1 {
+					name := names[g]
+					for i := 0; i < per; i++ {
+						f.Push(time.Duration(base+i)*time.Millisecond, name, float64(i))
+					}
+					return
+				}
+				batch := templates[g]
+				for i := 0; i < per; i += batchSize {
+					n := batchSize
+					if per-i < n {
+						n = per - i
+					}
+					for j := 0; j < n; j++ {
+						batch[j].Time = int64(base + i + j)
+					}
+					f.PushBatch(batch[:n])
+				}
+			}()
+		}
+		wg.Wait()
+		pushed += per * publishers
+		b.StopTimer()
+		drainBuf = f.DrainInto(time.Duration(base+per-1)*time.Millisecond, drainBuf[:0])
+		base += per
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if _, dropped := f.Stats(); dropped != 0 {
+		b.Fatalf("benchmark dropped %d tuples; timestamp discipline broken", dropped)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkFeedPushPerSample is the pre-shard ingest shape: 8 publishers
+// contending one tuple at a time.
+func BenchmarkFeedPushPerSample(b *testing.B) { benchFeedIngest(b, 1) }
+
+// BenchmarkFeedPushBatch is the batch ingest path the network server
+// uses; the acceptance bar is ≥4x the per-sample throughput above.
+func BenchmarkFeedPushBatch(b *testing.B) { benchFeedIngest(b, 256) }
+
+// BenchmarkTraceView measures the tiered-history render query: a window
+// of W samples decimated into 512 columns. Doubling the window eight-fold
+// should leave ns/op roughly flat — the query is O(columns), not
+// O(samples).
+func BenchmarkTraceView(b *testing.B) {
+	tr := core.NewTrace(4096)
+	tr.EnableHistory(1 << 21)
+	for i := 0; i < 1<<20; i++ {
+		tr.Push(float64(i & 0x3ff))
+	}
+	for _, window := range []int{1 << 17, 1 << 20} {
+		window := window
+		b.Run(fmt.Sprintf("window=%d", window), func(b *testing.B) {
+			var cols []core.Bucket
+			for i := 0; i < b.N; i++ {
+				cols = tr.View(window, 512)
+			}
+			if len(cols) != 512 {
+				b.Fatalf("View returned %d cols", len(cols))
+			}
+			b.ReportMetric(float64(window)/512, "samples/col")
+		})
+	}
+}
+
+// BenchmarkRenderCanvasZoomedOut draws a million-sample sweep through the
+// decimated render path (history-backed, ~1750 samples per pixel column),
+// the O(columns) counterpart of BenchmarkRenderCanvas.
+func BenchmarkRenderCanvasZoomedOut(b *testing.B) {
+	rig := figures.NewRig("bench", 600, 200)
+	var v core.IntVar
+	sig, err := rig.Scope.AddSignal(core.Sig{Name: "s", Source: &v})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sig.Trace().EnableHistory(1 << 21)
+	for i := 0; i < 1<<20; i++ {
+		sig.Trace().Push(float64(i % 100))
+	}
+	rig.Scope.SetZoom(600.0 / (1 << 20)) // the whole canvas spans 2^20 samples
+	s := draw.NewSurface(600, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rig.Scope.Render(s, s.Bounds())
+	}
+}
+
+func BenchmarkTupleAppendWire(b *testing.B) {
+	t := tuple.Tuple{Time: 123456, Value: 42.125, Name: "CWND"}
+	buf := make([]byte, 0, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = tuple.AppendWire(buf[:0], t)
+	}
+	if len(buf) == 0 {
+		b.Fatal("no output")
+	}
+}
+
 func BenchmarkEventAggregation(b *testing.B) {
 	rig := figures.NewRig("bench", 600, 200)
 	if _, err := rig.Scope.AddSignal(core.Sig{Name: "lat", Agg: core.AggMax}); err != nil {
@@ -471,20 +614,82 @@ func BenchmarkHubFanOut(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				srv.Inject(tuple.Tuple{Time: int64(i), Value: float64(i & 0xff), Name: "s"})
 			}
-			// Wait on completed writes (handshake chunk + one per tuple,
-			// per subscriber); the queue alone reads empty while a taken
-			// batch is still going out on the socket.
-			target := int64(subs) * int64(b.N+1)
-			for {
-				_, _, _, dropped := srv.SubscriberStats()
-				if srv.SubscriberWritten()+dropped >= target {
-					break
-				}
+			// Wait until every accepted byte is on the wire (or counted
+			// dropped); the queue alone reads empty while a taken batch
+			// is still going out on the socket.
+			for !srv.SubscribersFlushed() {
 				time.Sleep(50 * time.Microsecond)
 			}
 			b.StopTimer()
 			_, _, published, dropped := srv.SubscriberStats()
 			b.ReportMetric(float64(subs), "fanout")
+			b.ReportMetric(float64(published*int64(subs))/b.Elapsed().Seconds(), "deliveries/s")
+			b.ReportMetric(float64(dropped), "dropped")
+			srv.Close()
+			for _, c := range conns {
+				c.Close()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkHubFanOutBatch is BenchmarkHubFanOut through the batch
+// pipeline: tuples are injected in read-chunk-sized batches, so each
+// subscriber queue takes one shared chunk per batch instead of one per
+// tuple. ns/op stays per tuple for direct comparison.
+func BenchmarkHubFanOutBatch(b *testing.B) {
+	const batchLen = 64
+	for _, subs := range []int{4, 16} {
+		subs := subs
+		b.Run(fmt.Sprintf("subs=%d", subs), func(b *testing.B) {
+			vc := glib.NewVirtualClock(time.Unix(0, 0))
+			loop := glib.NewLoop(vc, glib.WithGranularity(0))
+			srv := netscope.NewServer(loop)
+			srv.SetSnapshotWindow(0)
+			srv.SetSubscriberQueueLimit(1 << 20)
+			subAddr, err := srv.ListenSubscribers("127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			conns := make([]net.Conn, subs)
+			for i := range conns {
+				conn, err := net.Dial("tcp", subAddr.String())
+				if err != nil {
+					b.Fatal(err)
+				}
+				conns[i] = conn
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					io.Copy(io.Discard, conn) //nolint:errcheck
+				}()
+			}
+			for srv.Subscribers() < subs {
+				loop.Iterate()
+				time.Sleep(time.Millisecond)
+			}
+			batch := make([]tuple.Tuple, batchLen)
+			for j := range batch {
+				batch[j] = tuple.Tuple{Value: float64(j & 0xff), Name: "s"}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batchLen {
+				n := batchLen
+				if b.N-i < n {
+					n = b.N - i
+				}
+				for j := 0; j < n; j++ {
+					batch[j].Time = int64(i + j)
+				}
+				srv.InjectBatch(batch[:n])
+			}
+			for !srv.SubscribersFlushed() {
+				time.Sleep(50 * time.Microsecond)
+			}
+			b.StopTimer()
+			_, _, published, dropped := srv.SubscriberStats()
 			b.ReportMetric(float64(published*int64(subs))/b.Elapsed().Seconds(), "deliveries/s")
 			b.ReportMetric(float64(dropped), "dropped")
 			srv.Close()

@@ -1,0 +1,194 @@
+// Command benchdiff compares `go test -bench` output against a committed
+// JSON baseline and fails (exit 1) when any benchmark regresses by more
+// than a threshold in ns/op. It is the CI benchmark-regression gate: the
+// bench job runs the ingest/fan-out/render benchmarks and pipes them here.
+//
+// Usage:
+//
+//	go test -bench ... | benchdiff -baseline BENCH_baseline.json
+//	benchdiff -baseline BENCH_baseline.json bench.txt
+//	benchdiff -update -baseline BENCH_baseline.json bench.txt
+//
+// The baseline file records ns/op per benchmark plus free-form metadata:
+//
+//	{
+//	  "note": "refreshed on the CI runner class the gate runs on",
+//	  "benchmarks": {"BenchmarkFeedPushBatch": 6.1, ...}
+//	}
+//
+// Refresh it with -update whenever a change intentionally shifts a hot
+// path (or the runner hardware changes); the diff in review shows exactly
+// which numbers moved and by how much.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed benchmark reference.
+type Baseline struct {
+	// Note is free-form provenance (host class, date, refresh reason).
+	Note string `json:"note,omitempty"`
+	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
+	// reference ns/op.
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		baselinePath = fs.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+		threshold    = fs.Float64("threshold", 0.30, "fail when ns/op exceeds baseline by this fraction")
+		update       = fs.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+		note         = fs.String("note", "", "note to store with -update")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		in = f
+	}
+	current, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(stderr, "benchdiff: no benchmark results in input")
+		return 2
+	}
+
+	if *update {
+		b := Baseline{Note: *note, Benchmarks: current}
+		data, err := json.MarshalIndent(&b, "", "  ")
+		if err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*baselinePath, data, 0o644); err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "benchdiff: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		return 0
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v (run with -update to create it)\n", err)
+		return 2
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %s: %v\n", *baselinePath, err)
+		return 2
+	}
+	return compare(base, current, *threshold, stdout, stderr)
+}
+
+// compare prints one row per benchmark and returns the exit code.
+func compare(base Baseline, current map[string]float64, threshold float64, stdout, stderr io.Writer) int {
+	names := make([]string, 0, len(current))
+	for name := range current {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	fmt.Fprintf(stdout, "%-52s %12s %12s %8s\n", "benchmark", "base ns/op", "now ns/op", "delta")
+	for _, name := range names {
+		now := current[name]
+		ref, ok := base.Benchmarks[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-52s %12s %12.2f %8s\n", name, "-", now, "new")
+			continue
+		}
+		delta := 0.0
+		if ref > 0 {
+			delta = now/ref - 1
+		}
+		status := fmt.Sprintf("%+6.1f%%", delta*100)
+		if delta > threshold {
+			status += "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-52s %12.2f %12.2f %s\n", name, ref, now, status)
+	}
+	for name := range base.Benchmarks {
+		if _, ok := current[name]; !ok {
+			fmt.Fprintf(stderr, "benchdiff: warning: baseline benchmark %q missing from input\n", name)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% vs %s\n",
+			regressions, threshold*100, "baseline")
+		return 1
+	}
+	fmt.Fprintf(stdout, "benchdiff: ok (%d compared, threshold %.0f%%)\n", len(names), threshold*100)
+	return 0
+}
+
+// parseBench extracts name → ns/op from `go test -bench` output. Repeated
+// runs of one benchmark (-count > 1) keep the fastest, damping runner
+// noise in the gate's favor of stability.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Layout: Name-P  N  ns float  "ns/op"  [metrics...]
+		var ns float64
+		found := false
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+				}
+				ns = v
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := fields[0]
+		// Strip the -GOMAXPROCS suffix so baselines survive CPU-count
+		// differences between runners.
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		if prev, ok := out[name]; !ok || ns < prev {
+			out[name] = ns
+		}
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFeedPushPerSample-8   	20000000	        25.00 ns/op	  40000000 tuples/s
+BenchmarkFeedPushBatch-8       	90000000	         6.00 ns/op	 160000000 tuples/s
+BenchmarkTraceView/window=1048576-8      	    6789	     50000 ns/op	      2048 samples/col
+BenchmarkTupleParse-8          	 4000000	       300.0 ns/op
+PASS
+ok  	repro	2.0s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkFeedPushPerSample":        25,
+		"BenchmarkFeedPushBatch":            6,
+		"BenchmarkTraceView/window=1048576": 50000,
+		"BenchmarkTupleParse":               300,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks: %v", len(got), got)
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Fatalf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestParseBenchKeepsFastestOfRepeats(t *testing.T) {
+	in := "BenchmarkX-2 100 40.0 ns/op\nBenchmarkX-2 100 30.0 ns/op\nBenchmarkX-2 100 35.0 ns/op\n"
+	got, err := parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkX"] != 30 {
+		t.Fatalf("kept %v, want fastest 30", got["BenchmarkX"])
+	}
+}
+
+func writeBaseline(t *testing.T, dir string, b Baseline) string {
+	t.Helper()
+	data, err := json.Marshal(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGatePassesWithinThreshold(t *testing.T) {
+	path := writeBaseline(t, t.TempDir(), Baseline{Benchmarks: map[string]float64{
+		"BenchmarkFeedPushPerSample":        20, // now 25: +25% < 30%
+		"BenchmarkFeedPushBatch":            6,
+		"BenchmarkTraceView/window=1048576": 60000, // improved
+		"BenchmarkTupleParse":               300,
+	}})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "benchdiff: ok") {
+		t.Fatalf("missing ok line:\n%s", out.String())
+	}
+}
+
+func TestGateFailsOnRegression(t *testing.T) {
+	path := writeBaseline(t, t.TempDir(), Baseline{Benchmarks: map[string]float64{
+		"BenchmarkTupleParse": 200, // now 300: +50% > 30%
+	}})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Fatalf("missing REGRESSION marker:\n%s", out.String())
+	}
+}
+
+func TestGateThresholdFlag(t *testing.T) {
+	path := writeBaseline(t, t.TempDir(), Baseline{Benchmarks: map[string]float64{
+		"BenchmarkTupleParse": 290, // +3.4%
+	}})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", path, "-threshold", "0.02"},
+		strings.NewReader(sampleBench), &out, &errb); code != 1 {
+		t.Fatalf("tight threshold should fail, got %d", code)
+	}
+}
+
+func TestGateNewAndMissingBenchmarks(t *testing.T) {
+	path := writeBaseline(t, t.TempDir(), Baseline{Benchmarks: map[string]float64{
+		"BenchmarkTupleParse": 300,
+		"BenchmarkGone":       10,
+	}})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "new") {
+		t.Fatalf("new benchmarks not marked:\n%s", out.String())
+	}
+	if !strings.Contains(errb.String(), "BenchmarkGone") {
+		t.Fatalf("missing-benchmark warning absent:\n%s", errb.String())
+	}
+}
+
+func TestUpdateWritesBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "new.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-update", "-baseline", path, "-note", "test host"},
+		strings.NewReader(sampleBench), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Note != "test host" || len(b.Benchmarks) != 4 {
+		t.Fatalf("baseline = %+v", b)
+	}
+	// The written baseline gates its own input cleanly.
+	out.Reset()
+	if code := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out, &errb); code != 0 {
+		t.Fatalf("self-compare failed: %d", code)
+	}
+}
+
+func TestEmptyInputRejected(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{}, strings.NewReader("no benchmarks here\n"), &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

@@ -8,6 +8,11 @@
 // Usage:
 //
 //	gscope-bench [-window 400ms] [-reps 5] [-signals 1,8,16,32]
+//	gscope-bench -ingest [-publishers 8] [-batch 256] [-window 400ms]
+//
+// The -ingest mode instead measures the sharded feed's ingest throughput:
+// N publisher goroutines pushing per sample versus in batches, the
+// experiment behind the CI benchmark gate's BenchmarkFeedPushBatch.
 package main
 
 import (
@@ -15,20 +20,30 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/glib"
 	"repro/internal/loadgen"
+	"repro/internal/tuple"
 )
 
 func main() {
 	var (
-		window  = flag.Duration("window", 400*time.Millisecond, "measurement window per phase")
-		reps    = flag.Int("reps", 5, "repetitions (median taken)")
-		signals = flag.String("signals", "1,8,16,32", "signal counts for the per-signal sweep")
+		window     = flag.Duration("window", 400*time.Millisecond, "measurement window per phase")
+		reps       = flag.Int("reps", 5, "repetitions (median taken)")
+		signals    = flag.String("signals", "1,8,16,32", "signal counts for the per-signal sweep")
+		ingest     = flag.Bool("ingest", false, "measure feed ingest throughput instead of CPU overhead")
+		publishers = flag.Int("publishers", 8, "publisher goroutines for -ingest")
+		batch      = flag.Int("batch", 256, "batch size for -ingest (the per-sample row always runs)")
 	)
 	flag.Parse()
+
+	if *ingest {
+		runIngest(*publishers, *batch, *window)
+		return
+	}
 
 	fmt.Println("gscope overhead experiment (§4.6 methodology)")
 	fmt.Printf("window=%s reps=%d\n\n", *window, *reps)
@@ -112,4 +127,70 @@ func stopScope(cleanup *func()) func() {
 			*cleanup = nil
 		}
 	}
+}
+
+// runIngest measures tuples/s through the sharded feed for the per-sample
+// and batch push paths: publishers push rounds of rising timestamps, the
+// feed is drained between rounds, and only push time is counted.
+func runIngest(publishers, batchSize int, window time.Duration) {
+	if publishers < 1 {
+		publishers = 1
+	}
+	if batchSize < 2 {
+		batchSize = 2
+	}
+	fmt.Println("gscope feed ingest experiment (sharded batch engine)")
+	fmt.Printf("publishers=%d batch=%d window=%s\n\n", publishers, batchSize, window)
+	perSample := measureIngest(publishers, 1, window)
+	batched := measureIngest(publishers, batchSize, window)
+	fmt.Printf("  per-sample Push    %12.0f tuples/s\n", perSample)
+	fmt.Printf("  PushBatch(%4d)    %12.0f tuples/s   (%.1fx)\n",
+		batchSize, batched, batched/perSample)
+}
+
+func measureIngest(publishers, batchSize int, window time.Duration) float64 {
+	const roundPer = 1 << 11
+	f := core.NewFeed()
+	var drainBuf []tuple.Tuple
+	base := 0
+	pushed := 0
+	var spent time.Duration
+	for spent < window {
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < publishers; g++ {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				name := fmt.Sprintf("sig%d", g)
+				if batchSize <= 1 {
+					for i := 0; i < roundPer; i++ {
+						f.Push(time.Duration(base+i)*time.Millisecond, name, float64(i))
+					}
+					return
+				}
+				batch := make([]tuple.Tuple, batchSize)
+				for j := range batch {
+					batch[j] = tuple.Tuple{Value: float64(j), Name: name}
+				}
+				for i := 0; i < roundPer; i += batchSize {
+					n := batchSize
+					if roundPer-i < n {
+						n = roundPer - i
+					}
+					for j := 0; j < n; j++ {
+						batch[j].Time = int64(base + i + j)
+					}
+					f.PushBatch(batch[:n])
+				}
+			}()
+		}
+		wg.Wait()
+		spent += time.Since(start)
+		pushed += roundPer * publishers
+		drainBuf = f.DrainInto(time.Duration(base+roundPer-1)*time.Millisecond, drainBuf[:0])
+		base += roundPer
+	}
+	return float64(pushed) / spent.Seconds()
 }

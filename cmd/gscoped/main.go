@@ -189,7 +189,7 @@ func newRelay(cfg *config) (*relay, error) {
 // redial with backoff when the hub goes away, so a chained relay survives
 // hub restarts instead of silently serving a frozen stream.
 func (r *relay) connectUpstream() error {
-	up, err := netscope.SubscribeTo(r.loop, r.cfg.upstream, r.srv.Inject)
+	up, err := netscope.SubscribeToBatch(r.loop, r.cfg.upstream, r.srv.InjectBatch)
 	if err != nil {
 		return err
 	}

@@ -79,6 +79,11 @@ type (
 	Feed = core.Feed
 	// Trace is a signal's displayed sample history.
 	Trace = core.Trace
+	// History is the tiered decimated store behind a Trace ring,
+	// retaining millions of samples for zoomed-out views.
+	History = core.History
+	// Bucket is one min/max/last column summary from Trace.View.
+	Bucket = core.Bucket
 	// Stats holds scope activity counters.
 	Stats = core.Stats
 

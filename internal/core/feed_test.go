@@ -1,10 +1,14 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/tuple"
 )
 
 func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
@@ -118,6 +122,126 @@ func TestFeedExactlyOnceDelivery(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestFeedPushBatch(t *testing.T) {
+	f := NewFeed()
+	n := f.PushBatch([]tuple.Tuple{
+		{Time: 10, Value: 1, Name: "a"},
+		{Time: 30, Value: 2, Name: "b"},
+		{Time: 20, Value: 3, Name: "c"},
+	})
+	if n != 3 {
+		t.Fatalf("PushBatch accepted %d", n)
+	}
+	got := f.TakeBatch(ms(25))
+	if len(got) != 2 || got[0].Time != 10 || got[1].Time != 20 {
+		t.Fatalf("TakeBatch = %+v", got)
+	}
+	if f.Pending() != 1 {
+		t.Fatalf("Pending = %d", f.Pending())
+	}
+}
+
+func TestFeedPushBatchDropsLate(t *testing.T) {
+	f := NewFeed()
+	f.Take(ms(100))
+	n := f.PushBatch([]tuple.Tuple{
+		{Time: 50, Name: "a"},  // late
+		{Time: 100, Name: "b"}, // at the mark: late
+		{Time: 150, Name: "c"},
+		{Time: 101, Name: "d"},
+	})
+	if n != 2 {
+		t.Fatalf("PushBatch accepted %d of 2 on-time tuples", n)
+	}
+	pushed, dropped := f.Stats()
+	if pushed != 4 || dropped != 2 {
+		t.Fatalf("stats = %d/%d", pushed, dropped)
+	}
+	got := f.Take(ms(1 << 20))
+	if len(got) != 2 || got[0].Time != 101 || got[1].Time != 150 {
+		t.Fatalf("Take = %+v", got)
+	}
+}
+
+func TestFeedPushBatchEmpty(t *testing.T) {
+	f := NewFeed()
+	if n := f.PushBatch(nil); n != 0 {
+		t.Fatalf("PushBatch(nil) = %d", n)
+	}
+}
+
+// Concurrent PushBatch from N goroutines, each owning one signal, must
+// preserve per-signal push order: the tuples of any one signal come out of
+// TakeBatch in exactly the order that signal pushed them.
+func TestFeedConcurrentPushBatchOrdering(t *testing.T) {
+	const (
+		publishers = 8
+		batches    = 50
+		batchLen   = 32
+	)
+	f := NewFeed()
+	var wg sync.WaitGroup
+	for g := 0; g < publishers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := fmt.Sprintf("sig%d", g)
+			seq := int64(0)
+			for b := 0; b < batches; b++ {
+				batch := make([]tuple.Tuple, batchLen)
+				for i := range batch {
+					// Same timestamp for runs of tuples so ordering
+					// depends on arrival order, not on the sort key.
+					batch[i] = tuple.Tuple{Time: seq / 4, Value: float64(seq), Name: name}
+					seq++
+				}
+				f.PushBatch(batch)
+			}
+		}()
+	}
+	wg.Wait()
+	got := f.TakeBatch(ms(1 << 30))
+	if len(got) != publishers*batches*batchLen {
+		t.Fatalf("delivered %d of %d", len(got), publishers*batches*batchLen)
+	}
+	next := make(map[string]float64, publishers)
+	for _, tu := range got {
+		if tu.Value != next[tu.Name] {
+			t.Fatalf("%s out of order: got seq %v, want %v", tu.Name, tu.Value, next[tu.Name])
+		}
+		next[tu.Name]++
+	}
+}
+
+// Interleaving per-sample Push and PushBatch for the same signal preserves
+// order too (the wrappers share the shard path).
+func TestFeedMixedPushOrdering(t *testing.T) {
+	f := NewFeed()
+	seq := int64(0)
+	for b := 0; b < 20; b++ {
+		if b%2 == 0 {
+			batch := make([]tuple.Tuple, 8)
+			for i := range batch {
+				batch[i] = tuple.Tuple{Time: 1, Value: float64(seq), Name: "x"}
+				seq++
+			}
+			f.PushBatch(batch)
+		} else {
+			for i := 0; i < 8; i++ {
+				f.Push(ms(1), "x", float64(seq))
+				seq++
+			}
+		}
+	}
+	got := f.Take(ms(1 << 20))
+	for i, tu := range got {
+		if tu.Value != float64(i) {
+			t.Fatalf("slot %d holds seq %v", i, tu.Value)
+		}
 	}
 }
 

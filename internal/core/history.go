@@ -1,0 +1,255 @@
+package core
+
+import "math"
+
+// Tiered trace history: the Trace ring is the hot sweep window (what the
+// paper's scope displays), and a History is the cold store behind it — a
+// decimated min/max/last pyramid that retains millions of samples in a few
+// megabytes and answers range summaries in O(1) per column. The renderer
+// consumes it through Trace.View, so rendering a window of W samples into C
+// columns costs O(C), not O(W).
+//
+// Structure: level k holds buckets each summarizing histFanout^(k+1)
+// consecutive slots (samples or holes), stored in a ring sized to the
+// configured retention. A pushed slot folds into level 0's accumulating
+// bucket; every completed bucket cascades into the accumulator one level
+// up. Total memory is sum_k retention/fanout^(k+1) buckets — under 7% of
+// one float64 per retained sample at the default fanout.
+
+// histFanout is the decimation ratio between pyramid levels. A query maps
+// each output column to at most 2×fanout buckets of the best level, which
+// keeps View O(columns) with a small constant.
+const histFanout = 16
+
+// Bucket summarizes a span of consecutive trace slots.
+type Bucket struct {
+	// Min and Max bound every non-hole sample in the span; meaningless
+	// when Count is zero.
+	Min, Max float64
+	// Last is the newest non-hole sample in the span.
+	Last float64
+	// Count is the number of non-hole samples summarized.
+	Count int64
+}
+
+// add folds one slot into the bucket. Holes (and NaN values, which the
+// trace stores as holes) leave the envelope untouched.
+func (b *Bucket) add(v float64, hole bool) {
+	if hole || math.IsNaN(v) {
+		return
+	}
+	if b.Count == 0 || v < b.Min {
+		b.Min = v
+	}
+	if b.Count == 0 || v > b.Max {
+		b.Max = v
+	}
+	b.Last = v
+	b.Count++
+}
+
+// merge folds another bucket (covering newer slots) into b.
+func (b *Bucket) merge(o Bucket) {
+	if o.Count == 0 {
+		return
+	}
+	if b.Count == 0 || o.Min < b.Min {
+		b.Min = o.Min
+	}
+	if b.Count == 0 || o.Max > b.Max {
+		b.Max = o.Max
+	}
+	b.Last = o.Last
+	b.Count += o.Count
+}
+
+// histLevel is one ring of completed buckets plus the bucket currently
+// accumulating.
+type histLevel struct {
+	span int64 // slots per bucket: histFanout^(level+1)
+	buf  []Bucket
+	head int // slot that will be written next
+	n    int // valid buckets, up to len(buf)
+	acc  Bucket
+	fill int64 // slots folded into acc so far
+}
+
+// completed returns the absolute index of the next bucket this level will
+// complete, given the total slot count; buckets [completed-n, completed)
+// are resident in the ring.
+func (l *histLevel) completed(total int64) int64 { return total / l.span }
+
+// push appends a completed bucket to the ring.
+func (l *histLevel) push(b Bucket) {
+	l.buf[l.head] = b
+	l.head = (l.head + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+}
+
+// at returns the resident bucket with absolute index abs, given total slots
+// pushed; ok is false when it has rotated out (or is not complete yet).
+func (l *histLevel) at(abs, total int64) (Bucket, bool) {
+	comp := l.completed(total)
+	if abs >= comp || abs < comp-int64(l.n) {
+		return Bucket{}, false
+	}
+	back := int(comp - 1 - abs) // 0 = newest resident bucket
+	i := l.head - 1 - back
+	i = ((i % len(l.buf)) + len(l.buf)) % len(l.buf)
+	return l.buf[i], true
+}
+
+// History is the decimated store. It is not safe for concurrent use; like
+// the Trace that feeds it, it belongs to the scope's loop goroutine.
+type History struct {
+	retention int64
+	levels    []histLevel
+	total     int64 // slots pushed (samples + holes)
+}
+
+// DefaultHistoryRetention is the retention used when a non-positive value
+// is requested: one million slots, the scale the tiered store is built for.
+const DefaultHistoryRetention = 1 << 20
+
+// NewHistory creates a store retaining approximately the given number of
+// most recent slots (minimum one fanout's worth).
+func NewHistory(retention int) *History {
+	r := int64(retention)
+	if r <= 0 {
+		r = DefaultHistoryRetention
+	}
+	if r < histFanout {
+		r = histFanout
+	}
+	h := &History{retention: r}
+	for span := int64(histFanout); span < r; span *= histFanout {
+		capBuckets := (r + span - 1) / span
+		if capBuckets < 2 {
+			capBuckets = 2
+		}
+		h.levels = append(h.levels, histLevel{
+			span: span,
+			buf:  make([]Bucket, capBuckets),
+		})
+	}
+	if len(h.levels) == 0 {
+		h.levels = append(h.levels, histLevel{span: histFanout, buf: make([]Bucket, 2)})
+	}
+	return h
+}
+
+// Retention returns the configured retention in slots.
+func (h *History) Retention() int64 { return h.retention }
+
+// Total returns the number of slots ever pushed.
+func (h *History) Total() int64 { return h.total }
+
+// Push folds one slot (sample or hole) into the pyramid.
+func (h *History) Push(v float64, hole bool) {
+	h.total++
+	l := &h.levels[0]
+	l.acc.add(v, hole)
+	l.fill++
+	for k := 0; k < len(h.levels); k++ {
+		l = &h.levels[k]
+		if l.fill < l.span {
+			break
+		}
+		done := l.acc
+		l.acc = Bucket{}
+		l.fill = 0
+		l.push(done)
+		if k+1 < len(h.levels) {
+			up := &h.levels[k+1]
+			up.acc.merge(done)
+			up.fill += l.span
+		}
+	}
+}
+
+// Clear resets the store to empty without reallocating.
+func (h *History) Clear() {
+	h.total = 0
+	for k := range h.levels {
+		l := &h.levels[k]
+		l.head, l.n = 0, 0
+		l.acc = Bucket{}
+		l.fill = 0
+	}
+}
+
+// Oldest returns the absolute index of the oldest slot the store can still
+// summarize (coarsest level's residency).
+func (h *History) Oldest() int64 {
+	top := &h.levels[len(h.levels)-1]
+	oldest := (top.completed(h.total) - int64(top.n)) * top.span
+	if top.n < len(top.buf) {
+		// The ring never filled; everything since slot 0 is resident.
+		oldest = 0
+	}
+	if oldest < 0 {
+		oldest = 0
+	}
+	return oldest
+}
+
+// levelFor picks the coarsest level whose bucket span does not exceed the
+// query granularity, so each column touches at most ~2×fanout buckets.
+func (h *History) levelFor(perCol int64) *histLevel {
+	best := &h.levels[0]
+	for k := range h.levels {
+		if h.levels[k].span <= perCol {
+			best = &h.levels[k]
+		}
+	}
+	return best
+}
+
+// Query summarizes the absolute slot range [lo, hi) using buckets of the
+// coarsest adequate level. The result is a conservative envelope: it may
+// include neighboring slots up to one bucket span on each side, so it
+// always contains every sample in [lo, hi). Slots that have rotated out of
+// retention contribute nothing.
+func (h *History) Query(lo, hi int64) Bucket {
+	var out Bucket
+	if hi <= lo || h.total == 0 {
+		return out
+	}
+	if hi > h.total {
+		hi = h.total
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	l := h.levelFor(hi - lo)
+	b0 := lo / l.span
+	b1 := (hi + l.span - 1) / l.span
+	comp := l.completed(h.total)
+	for b := b0; b < b1 && b < comp; b++ {
+		if bk, ok := l.at(b, h.total); ok {
+			out.merge(bk)
+		}
+	}
+	if b1 > comp {
+		// The range extends past this level's completed buckets into the
+		// accumulating tail. The accumulators of level l and below cover
+		// the tail exactly and contiguously — acc_k spans
+		// [comp_k·span_k, comp_{k-1}·span_{k-1}), down to acc_0 which
+		// ends at the newest slot — so merging them from coarse to fine
+		// visits the tail in slot order.
+		lo := comp * l.span
+		for k := len(h.levels) - 1; k >= 0; k-- {
+			a := &h.levels[k]
+			if a.span > l.span || a.fill == 0 {
+				continue
+			}
+			start := a.completed(h.total) * a.span
+			if start+a.fill > lo && start < hi {
+				out.merge(a.acc)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHistoryBasicQuery(t *testing.T) {
+	h := NewHistory(1 << 16)
+	for i := 0; i < 1000; i++ {
+		h.Push(float64(i), false)
+	}
+	b := h.Query(0, 1000)
+	if b.Count != 1000 || b.Min != 0 || b.Max != 999 || b.Last != 999 {
+		t.Fatalf("Query(0,1000) = %+v", b)
+	}
+	// A mid-range query's envelope must contain its range (it may widen
+	// to bucket boundaries, never narrow).
+	b = h.Query(100, 200)
+	if b.Count == 0 || b.Min > 100 || b.Max < 199 {
+		t.Fatalf("Query(100,200) = %+v", b)
+	}
+	// The newest partial slots live in accumulators and must be visible.
+	b = h.Query(990, 1000)
+	if b.Count == 0 || b.Max != 999 || b.Last != 999 {
+		t.Fatalf("tail Query = %+v", b)
+	}
+}
+
+func TestHistoryHolesAndNaN(t *testing.T) {
+	h := NewHistory(1 << 12)
+	for i := 0; i < 100; i++ {
+		switch {
+		case i%3 == 0:
+			h.Push(math.NaN(), true)
+		case i%7 == 0:
+			h.Push(math.NaN(), false) // NaN data must also be ignored
+		default:
+			h.Push(50, false)
+		}
+	}
+	b := h.Query(0, 100)
+	if b.Min != 50 || b.Max != 50 {
+		t.Fatalf("holes leaked into envelope: %+v", b)
+	}
+	if math.IsNaN(b.Last) {
+		t.Fatalf("NaN Last: %+v", b)
+	}
+}
+
+func TestHistoryAllHoles(t *testing.T) {
+	h := NewHistory(1 << 12)
+	for i := 0; i < 500; i++ {
+		h.Push(math.NaN(), true)
+	}
+	if b := h.Query(0, 500); b.Count != 0 {
+		t.Fatalf("holes counted: %+v", b)
+	}
+}
+
+func TestHistoryRetentionRotation(t *testing.T) {
+	h := NewHistory(1 << 12) // 4096 slots
+	n := 100000
+	for i := 0; i < n; i++ {
+		h.Push(float64(i), false)
+	}
+	if h.Total() != int64(n) {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	// A query entirely before the retained range returns nothing.
+	if b := h.Query(0, 100); b.Count != 0 {
+		t.Fatalf("rotten range answered: %+v", b)
+	}
+	// The retained tail is still answerable and correctly bounded.
+	b := h.Query(int64(n-2000), int64(n))
+	if b.Count == 0 || b.Max != float64(n-1) || b.Min > float64(n-2000) {
+		t.Fatalf("recent Query = %+v", b)
+	}
+	if old := h.Oldest(); old > int64(n-(1<<12)) {
+		t.Fatalf("Oldest = %d, retains less than configured", old)
+	}
+}
+
+func TestHistoryClear(t *testing.T) {
+	h := NewHistory(1 << 12)
+	for i := 0; i < 1000; i++ {
+		h.Push(1, false)
+	}
+	h.Clear()
+	if h.Total() != 0 {
+		t.Fatalf("Total after Clear = %d", h.Total())
+	}
+	if b := h.Query(0, 1000); b.Count != 0 {
+		t.Fatalf("Clear left data: %+v", b)
+	}
+	h.Push(7, false)
+	if b := h.Query(0, 1); b.Count != 1 || b.Last != 7 {
+		t.Fatalf("post-Clear push: %+v", b)
+	}
+}
+
+func TestTraceViewFromRing(t *testing.T) {
+	tr := NewTrace(64)
+	for i := 0; i < 64; i++ {
+		tr.Push(float64(i))
+	}
+	cols := tr.View(64, 8)
+	if len(cols) != 8 {
+		t.Fatalf("View returned %d cols", len(cols))
+	}
+	for j, b := range cols {
+		wantMin, wantMax := float64(j*8), float64(j*8+7)
+		if b.Count != 8 || b.Min != wantMin || b.Max != wantMax || b.Last != wantMax {
+			t.Fatalf("col %d = %+v", j, b)
+		}
+	}
+}
+
+func TestTraceViewBeyondRingWithoutHistory(t *testing.T) {
+	tr := NewTrace(16)
+	for i := 0; i < 100; i++ {
+		tr.Push(float64(i))
+	}
+	// Window covers 50 slots but only the last 16 survive; earlier
+	// columns must read empty rather than inventing data.
+	cols := tr.View(50, 50)
+	empty := 0
+	for _, b := range cols {
+		if b.Count == 0 {
+			empty++
+		}
+	}
+	if empty != 50-16 {
+		t.Fatalf("%d empty cols, want %d", empty, 50-16)
+	}
+}
+
+func TestTraceViewUsesHistoryBeyondRing(t *testing.T) {
+	tr := NewTrace(32)
+	tr.EnableHistory(1 << 16)
+	n := 10000
+	for i := 0; i < n; i++ {
+		tr.Push(float64(i % 100))
+	}
+	cols := tr.View(n, 16)
+	for j, b := range cols {
+		if b.Count == 0 {
+			t.Fatalf("col %d empty despite history", j)
+		}
+		if b.Min > 0 || b.Max < 99 {
+			// Each column covers 625 slots — far more than one 0..99
+			// ramp — so every envelope must span the full ramp.
+			t.Fatalf("col %d envelope %+v", j, b)
+		}
+	}
+}
+
+// Property: every raw sample inside a column's slot range lies within that
+// column's [Min, Max] envelope, for random pushes (values, holes, NaN),
+// window sizes, and column counts, with and without history.
+func TestTraceViewEnvelopeContainsRawSamples(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		ringCap := 16 + r.Intn(200)
+		tr := NewTrace(ringCap)
+		withHist := trial%2 == 0
+		if withHist {
+			tr.EnableHistory(1 << 14)
+		}
+		n := 100 + r.Intn(5000)
+		raw := make([]float64, n) // shadow copy; NaN marks holes
+		for i := 0; i < n; i++ {
+			switch r.Intn(10) {
+			case 0:
+				tr.PushHole()
+				raw[i] = math.NaN()
+			case 1:
+				tr.Push(math.NaN())
+				raw[i] = math.NaN()
+			default:
+				v := r.NormFloat64() * 100
+				tr.Push(v)
+				raw[i] = v
+			}
+		}
+		window := 1 + r.Intn(n)
+		cols := 1 + r.Intn(64)
+		view := tr.View(window, cols)
+		if len(view) != cols {
+			t.Fatalf("View returned %d cols, want %d", len(view), cols)
+		}
+		start := n - window
+		visible := int64(tr.Len())
+		if withHist {
+			visible = tr.History().Total() - tr.History().Oldest()
+		}
+		for j := 0; j < cols; j++ {
+			lo := start + window*j/cols
+			hi := start + window*(j+1)/cols
+			for abs := lo; abs < hi; abs++ {
+				if abs < 0 || int64(n-abs) > visible {
+					continue // rotated out of both ring and history
+				}
+				v := raw[abs]
+				if math.IsNaN(v) {
+					continue
+				}
+				b := view[j]
+				if b.Count == 0 {
+					t.Fatalf("trial %d col %d: sample %v at %d but Count=0 (hist=%v)",
+						trial, j, v, abs, withHist)
+				}
+				if v < b.Min || v > b.Max {
+					t.Fatalf("trial %d col %d: sample %v at %d outside [%v,%v] (hist=%v)",
+						trial, j, v, abs, b.Min, b.Max, withHist)
+				}
+			}
+		}
+	}
+}
+
+func TestTraceNaNPushBecomesHole(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Push(5)
+	tr.Push(math.NaN())
+	tr.Push(7)
+	if _, ok := tr.At(1); ok {
+		t.Fatal("NaN slot should read as a hole")
+	}
+	lo, hi, ok := tr.MinMax()
+	if !ok || lo != 5 || hi != 7 {
+		t.Fatalf("MinMax = %v %v %v", lo, hi, ok)
+	}
+	for _, v := range tr.RecentValues(8) {
+		if math.IsNaN(v) {
+			t.Fatal("RecentValues leaked NaN")
+		}
+	}
+	rec := tr.Recent(3)
+	if !math.IsNaN(rec[1]) {
+		t.Fatal("Recent should mark the NaN slot as a hole (NaN)")
+	}
+	if v, ok := tr.Last(); !ok || v != 7 {
+		t.Fatalf("Last = %v %v", v, ok)
+	}
+}
+
+func TestTraceMinMaxNeverNonFinite(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Push(math.NaN())
+	tr.PushHole()
+	if _, _, ok := tr.MinMax(); ok {
+		t.Fatal("MinMax ok with only NaN/holes")
+	}
+	tr.Push(3)
+	lo, hi, ok := tr.MinMax()
+	if !ok || math.IsInf(lo, 0) || math.IsInf(hi, 0) || math.IsNaN(lo) || math.IsNaN(hi) {
+		t.Fatalf("MinMax = %v %v %v", lo, hi, ok)
+	}
+}
+
+func TestTraceClearResetsHistory(t *testing.T) {
+	tr := NewTrace(16)
+	tr.EnableHistory(1 << 12)
+	for i := 0; i < 1000; i++ {
+		tr.Push(float64(i))
+	}
+	tr.Clear()
+	if tr.History().Total() != 0 {
+		t.Fatal("Clear did not reset history")
+	}
+	cols := tr.View(100, 4)
+	for _, b := range cols {
+		if b.Count != 0 {
+			t.Fatalf("stale data after Clear: %+v", b)
+		}
+	}
+}

@@ -80,10 +80,59 @@ func (sc *Scope) renderTime(s *draw.Surface, r geom.Rect) {
 		if !sig.visible || sig.trace.Len() == 0 {
 			continue
 		}
+		// Zoomed-out sweeps pack several samples into each pixel column;
+		// drawing them through the decimated View keeps the cost
+		// O(columns) however wide the window is (and, with history
+		// enabled, reaches samples the hot ring has already recycled).
+		// The trigger path stays sample-accurate: alignment needs exact
+		// back-indexes, and triggered views are zoomed in, not out.
+		if sc.zoom < 1 && trigBack < 0 {
+			sc.renderDecimated(s, r, sig)
+			continue
+		}
 		if sig.envWindow > 0 {
 			sc.renderEnvelope(s, r, sig, trigBack)
 		}
 		sc.renderTrace(s, r, sig, trigBack)
+	}
+}
+
+// renderDecimated draws one signal from its View envelopes: each pixel
+// column shows the min/max band of the samples it covers, with the
+// column's last sample joined into a line for solid traces. This is the
+// render path for wide windows — a million-sample sweep costs the same as
+// a screen-wide one.
+func (sc *Scope) renderDecimated(s *draw.Surface, r geom.Rect, sig *Signal) {
+	window := int(float64(r.W) / sc.zoom)
+	view := sig.trace.View(window, r.W)
+	zeroY := r.Y + sc.mapY(sig, math.Max(sig.min, math.Min(0, sig.max)), r.H)
+	band := sig.color.Blend(draw.ScopeBG, 0.5)
+	prevX, prevY := -1, -1
+	for j, b := range view {
+		if b.Count == 0 {
+			prevX = -1
+			continue
+		}
+		x := r.X + j
+		yHi := r.Y + sc.mapY(sig, b.Max, r.H)
+		yLo := r.Y + sc.mapY(sig, b.Min, r.H)
+		y := r.Y + sc.mapY(sig, b.Last, r.H)
+		switch sig.line {
+		case LinePoints:
+			s.Set(x, y, sig.color)
+		case LineFilled:
+			s.VLine(x, y, zeroY, sig.color)
+		default:
+			if yHi != yLo {
+				s.VLine(x, yHi, yLo, band)
+			}
+			if prevX >= 0 {
+				s.Line(x, y, prevX, prevY, sig.color)
+			} else {
+				s.Set(x, y, sig.color)
+			}
+		}
+		prevX, prevY = x, y
 	}
 }
 

@@ -332,3 +332,59 @@ func TestRenderDuringLivePolling(t *testing.T) {
 		t.Fatal("live trace rendered nothing")
 	}
 }
+
+func TestRenderDecimatedZoomedOut(t *testing.T) {
+	// At zoom < 1 the sweep covers more samples than pixels; the decimated
+	// path must still ink the trace, and with history enabled it reaches
+	// samples far beyond the hot ring.
+	sc, sig := renderRig(t)
+	sig.Trace().EnableHistory(1 << 16)
+	fillSine(sig, 20000, 40, 40, 50)
+	sc.SetZoom(0.125) // 160px × 8 samples/px = 1280-sample window
+	s := sc.Snapshot()
+	if countColor(s, sig.Color()) == 0 {
+		t.Fatal("decimated render inked nothing")
+	}
+	// The min/max band color must appear too: a sine at 8 samples/column
+	// always spans more than one pixel vertically.
+	band := sig.Color().Blend(draw.ScopeBG, 0.5)
+	if countColor(s, band) == 0 {
+		t.Fatal("decimated render drew no min/max band")
+	}
+}
+
+func TestRenderDecimatedRespectsLineModes(t *testing.T) {
+	sc, sig := renderRig(t)
+	fillSine(sig, 4000, 40, 40, 50)
+	sc.SetZoom(0.25)
+	for _, m := range []LineMode{LineSolid, LinePoints, LineFilled} {
+		sig.SetLine(m)
+		s := sc.Snapshot()
+		if countColor(s, sig.Color()) == 0 {
+			t.Fatalf("line mode %v inked nothing at zoom<1", m)
+		}
+	}
+}
+
+func TestSetHistoryRetentionAppliesToSignals(t *testing.T) {
+	sc, sig := renderRig(t)
+	sc.SetHistoryRetention(1 << 12)
+	if sig.Trace().History() == nil {
+		t.Fatal("existing signal did not gain history")
+	}
+	var v2 IntVar
+	sig2, err := sc.AddSignal(Sig{Name: "s2", Source: &v2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig2.Trace().History() == nil {
+		t.Fatal("new signal did not gain history")
+	}
+	if sc.HistoryRetention() != 1<<12 {
+		t.Fatalf("HistoryRetention = %d", sc.HistoryRetention())
+	}
+	sc.SetHistoryRetention(0)
+	if sig.Trace().History() != nil {
+		t.Fatal("disable did not detach history")
+	}
+}

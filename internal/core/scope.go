@@ -257,13 +257,15 @@ type Scope struct {
 	running bool
 	origin  time.Time
 
-	signals []*Signal
-	byName  map[string]*Signal
-	nextHue int
+	signals       []*Signal
+	byName        map[string]*Signal
+	nextHue       int
+	histRetention int
 
 	feed      *Feed
 	bufCursor time.Duration
 	bufInit   bool
+	takeBuf   []tuple.Tuple // reused drain buffer (loop goroutine only)
 
 	playback   []tuple.Tuple
 	playIdx    int
@@ -336,12 +338,15 @@ func (sc *Scope) SetDelay(d time.Duration) {
 // Zoom returns the horizontal zoom in pixels per sample.
 func (sc *Scope) Zoom() float64 { return sc.zoom }
 
-// SetZoom changes the horizontal zoom; values are clamped to [1/8, 64].
+// SetZoom changes the horizontal zoom; values are clamped to [1/4096, 64].
 // At the default zoom of 1 the scope displays data one pixel apart per
-// polling period (§3.1).
+// polling period (§3.1). Below 1 each pixel column summarizes 1/zoom
+// samples through the decimated render path; with history enabled
+// (SetHistoryRetention) the deepest zoom puts millions of samples on
+// screen at O(width) render cost.
 func (sc *Scope) SetZoom(z float64) {
-	if z < 0.125 {
-		z = 0.125
+	if z < 1.0/4096 {
+		z = 1.0 / 4096
 	}
 	if z > 64 {
 		z = 64
@@ -378,6 +383,30 @@ func (sc *Scope) TriggerConfig() *Trigger { return sc.trigger }
 // Feed exposes the scope-wide buffered-signal feed.
 func (sc *Scope) Feed() *Feed { return sc.feed }
 
+// SetHistoryRetention backs every signal's trace ring with a tiered
+// decimated history retaining approximately n slots (samples or holes) per
+// signal — the store behind wide zoomed-out views, sized for millions of
+// samples. It applies to existing signals (their history starts empty) and
+// to signals added later. Non-positive n disables history for existing and
+// future signals.
+func (sc *Scope) SetHistoryRetention(n int) {
+	if n < 0 {
+		n = 0
+	}
+	sc.histRetention = n
+	for _, s := range sc.signals {
+		if n > 0 {
+			s.trace.EnableHistory(n)
+		} else {
+			s.trace.DisableHistory()
+		}
+	}
+}
+
+// HistoryRetention returns the per-signal history retention in slots (0
+// when disabled).
+func (sc *Scope) HistoryRetention() int { return sc.histRetention }
+
 // Elapsed returns the scope's clock position: time since the scope was
 // created, on the loop's clock.
 func (sc *Scope) Elapsed() time.Duration {
@@ -407,6 +436,9 @@ func (sc *Scope) AddSignal(spec Sig) (*Signal, error) {
 	}
 	if s.min == 0 && s.max == 0 {
 		s.min, s.max = 0, 100
+	}
+	if sc.histRetention > 0 {
+		s.trace.EnableHistory(sc.histRetention)
 	}
 	if spec.HasColor {
 		s.color = spec.Color
@@ -641,8 +673,8 @@ func (sc *Scope) drainFeed(now time.Duration) {
 	}
 	for sc.bufCursor+sc.period <= target {
 		windowEnd := sc.bufCursor + sc.period
-		batch := sc.feed.Take(windowEnd)
-		sc.deliverWindow(batch, windowEnd, func(s *Signal) bool { return s.kind == KindBuffer })
+		sc.takeBuf = sc.feed.DrainInto(windowEnd, sc.takeBuf[:0])
+		sc.deliverWindow(sc.takeBuf, windowEnd, func(s *Signal) bool { return s.kind == KindBuffer })
 		sc.bufCursor = windowEnd
 	}
 }

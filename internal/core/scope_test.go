@@ -514,7 +514,7 @@ func TestZoomBiasClamping(t *testing.T) {
 		t.Fatalf("zoom clamp high: %v", sc.Zoom())
 	}
 	sc.SetZoom(0)
-	if sc.Zoom() != 0.125 {
+	if sc.Zoom() != 1.0/4096 {
 		t.Fatalf("zoom clamp low: %v", sc.Zoom())
 	}
 	sc.SetBias(500)

@@ -12,6 +12,7 @@ type Trace struct {
 	head  int // index of the slot that will be written next
 	n     int // number of valid slots, up to len(vals)
 	total int64
+	hist  *History // optional tiered history behind the ring
 }
 
 // NewTrace allocates a trace with the given capacity (minimum 1).
@@ -36,8 +37,25 @@ func (t *Trace) Len() int { return t.n }
 // rotated out of the ring.
 func (t *Trace) Total() int64 { return t.total }
 
-// Push appends a sample.
-func (t *Trace) Push(v float64) { t.push(v, false) }
+// EnableHistory backs the ring with a tiered decimated store retaining
+// approximately the given number of most recent slots (non-positive selects
+// DefaultHistoryRetention). Samples pushed from then on are folded into the
+// store; the renderer reads it through View. Enabling history on a trace
+// that already has one replaces it (history restarts empty).
+func (t *Trace) EnableHistory(retention int) {
+	t.hist = NewHistory(retention)
+}
+
+// DisableHistory detaches the tiered store; the ring keeps working alone.
+func (t *Trace) DisableHistory() { t.hist = nil }
+
+// History returns the tiered history store, or nil when disabled.
+func (t *Trace) History() *History { return t.hist }
+
+// Push appends a sample. NaN is recorded as a hole: a NaN sample carries no
+// displayable value, and storing it as data would poison min/max scans and
+// decimated envelopes downstream.
+func (t *Trace) Push(v float64) { t.push(v, math.IsNaN(v)) }
 
 // PushHole appends a hole (a polling interval with no sample).
 func (t *Trace) PushHole() { t.push(math.NaN(), true) }
@@ -50,6 +68,9 @@ func (t *Trace) push(v float64, hole bool) {
 		t.n++
 	}
 	t.total++
+	if t.hist != nil {
+		t.hist.Push(v, hole)
+	}
 }
 
 // At returns the sample that is 'back' slots behind the most recent one:
@@ -79,8 +100,10 @@ func (t *Trace) Last() (v float64, ok bool) {
 }
 
 // Recent copies the newest n slots into vals (oldest first), marking holes
-// with NaN. It returns the number of slots copied (less than n when the
-// history is shorter).
+// with NaN. Because Push records NaN samples as holes, a NaN in the result
+// always means "no data here" (a render gap) and never a data value —
+// consumers can test slots with math.IsNaN alone. It returns the number of
+// slots copied (less than n when the history is shorter).
 func (t *Trace) Recent(n int) []float64 {
 	if n > t.n {
 		n = t.n
@@ -116,19 +139,25 @@ func (t *Trace) RecentValues(n int) []float64 {
 	return out
 }
 
-// Clear resets the trace to empty without reallocating.
+// Clear resets the trace (and its history store, if any) to empty without
+// reallocating.
 func (t *Trace) Clear() {
 	t.head = 0
 	t.n = 0
 	t.total = 0
+	if t.hist != nil {
+		t.hist.Clear()
+	}
 }
 
 // MinMax scans the recorded samples and returns their range; ok is false
-// when the trace holds only holes.
+// when the trace holds only holes. Holes and NaN slots are skipped, so the
+// result is always finite — autoscale and decimated views can use it
+// directly.
 func (t *Trace) MinMax() (lo, hi float64, ok bool) {
 	lo, hi = math.Inf(1), math.Inf(-1)
 	for back := 0; back < t.n; back++ {
-		if v, vok := t.At(back); vok {
+		if v, vok := t.At(back); vok && !math.IsNaN(v) {
 			if v < lo {
 				lo = v
 			}
@@ -142,4 +171,53 @@ func (t *Trace) MinMax() (lo, hi float64, ok bool) {
 		return 0, 0, false
 	}
 	return lo, hi, true
+}
+
+// View summarizes the newest window slots into cols column buckets (oldest
+// column first) for decimated rendering: column j covers the slot range
+// [start+j·window/cols, start+(j+1)·window/cols) where start is window
+// slots back from the newest slot. A column's Min/Max always bound every
+// non-hole sample in its range (envelopes are conservative: near decimation
+// boundaries they may also include up to one neighboring bucket span).
+// Columns whose range holds no data have Count zero.
+//
+// Narrow windows are answered from the ring; windows beyond the ring come
+// from the tiered history store in O(cols) regardless of window size. With
+// no history enabled, slots older than the ring are simply empty.
+func (t *Trace) View(window int, cols int) []Bucket {
+	if window <= 0 || cols <= 0 {
+		return nil
+	}
+	out := make([]Bucket, cols)
+	w := int64(window)
+	start := t.total - w
+	ringStart := t.total - int64(t.n)
+	// Serve from the ring when the window fits in it (each column scans
+	// its own slots: total work is one ring pass, bounded by the ring
+	// capacity) — the history pyramid would only widen the envelopes.
+	if start >= ringStart || t.hist == nil {
+		for j := 0; j < cols; j++ {
+			lo := start + w*int64(j)/int64(cols)
+			hi := start + w*int64(j+1)/int64(cols)
+			if hi > t.total {
+				hi = t.total
+			}
+			if lo < ringStart {
+				lo = ringStart // pre-ring slots are gone without history
+			}
+			for abs := lo; abs < hi; abs++ {
+				back := int(t.total - 1 - abs)
+				if v, ok := t.At(back); ok {
+					out[j].add(v, false)
+				}
+			}
+		}
+		return out
+	}
+	for j := 0; j < cols; j++ {
+		lo := start + w*int64(j)/int64(cols)
+		hi := start + w*int64(j+1)/int64(cols)
+		out[j] = t.hist.Query(lo, hi)
+	}
+	return out
 }

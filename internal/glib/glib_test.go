@@ -1,6 +1,7 @@
 package glib
 
 import (
+	"bytes"
 	"io"
 	"net"
 	"strings"
@@ -408,4 +409,131 @@ func TestTimeoutAddValidation(t *testing.T) {
 			fn()
 		}()
 	}
+}
+
+func TestWatchLineBatchesDeliversChunks(t *testing.T) {
+	l, _ := newVirtualLoop(0)
+	var lines []string
+	var batches int
+	var eof atomic.Bool
+	r := strings.NewReader("one\ntwo\nthree\n")
+	l.WatchLineBatches(r, func(batch []string, err error) bool {
+		lines = append(lines, batch...)
+		if len(batch) > 0 {
+			batches++
+		}
+		if err == io.EOF {
+			eof.Store(true)
+			return false
+		}
+		return true
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for !eof.Load() && time.Now().Before(deadline) {
+		l.Iterate()
+	}
+	if len(lines) != 3 || lines[0] != "one" || lines[2] != "three" {
+		t.Fatalf("lines = %v", lines)
+	}
+	// The whole reader fits one read, so one batch carried all lines.
+	if batches != 1 {
+		t.Fatalf("batches = %d", batches)
+	}
+}
+
+func TestWatchLineBatchesCarriesPartialLines(t *testing.T) {
+	l, _ := newVirtualLoop(0)
+	var lines []string
+	var eof atomic.Bool
+	pr, pw := io.Pipe()
+	l.WatchLineBatches(pr, func(batch []string, err error) bool {
+		lines = append(lines, batch...)
+		if err != nil {
+			eof.Store(true)
+			return false
+		}
+		return true
+	})
+	go func() {
+		// A line split across three writes, a CRLF line, and an
+		// unterminated trailing line that EOF must still deliver.
+		pw.Write([]byte("hel"))         //nolint:errcheck
+		pw.Write([]byte("lo wo"))       //nolint:errcheck
+		pw.Write([]byte("rld\nsec"))    //nolint:errcheck
+		pw.Write([]byte("ond\r\ntail")) //nolint:errcheck
+		pw.Close()
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for !eof.Load() && time.Now().Before(deadline) {
+		l.Iterate()
+	}
+	want := []string{"hello world", "second", "tail"}
+	if len(lines) != len(want) {
+		t.Fatalf("lines = %q", lines)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestWatchLineBatchesCancel(t *testing.T) {
+	l, _ := newVirtualLoop(0)
+	var count atomic.Int32
+	pr, pw := io.Pipe()
+	w := l.WatchLineBatches(pr, func(batch []string, err error) bool {
+		count.Add(int32(len(batch)))
+		return true
+	})
+	pw.Write([]byte("a\n")) //nolint:errcheck
+	deadline := time.Now().Add(2 * time.Second)
+	for count.Load() == 0 && time.Now().Before(deadline) {
+		l.Iterate()
+	}
+	w.Cancel()
+	pw.Write([]byte("b\n")) //nolint:errcheck
+	for i := 0; i < 50; i++ {
+		l.Iterate()
+		time.Sleep(time.Millisecond)
+	}
+	if count.Load() != 1 {
+		t.Fatalf("saw %d lines after cancel", count.Load())
+	}
+	pw.Close()
+	pr.Close()
+}
+
+func TestWriteWatchByteAccounting(t *testing.T) {
+	l, _ := newVirtualLoop(0)
+	var sink bytes.Buffer
+	mu := &lockedWriter{w: &sink}
+	ww := l.WatchWriter(mu, 8, nil)
+	ww.Send([]byte("hello\n"))
+	ww.Send([]byte("world\n"))
+	deadline := time.Now().Add(2 * time.Second)
+	for !ww.Flushed() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !ww.Flushed() {
+		t.Fatal("never flushed")
+	}
+	if ww.EnqueuedBytes() != 12 || ww.WrittenBytes() != 12 || ww.DroppedBytes() != 0 {
+		t.Fatalf("bytes = %d/%d/%d", ww.EnqueuedBytes(), ww.WrittenBytes(), ww.DroppedBytes())
+	}
+	ww.Cancel()
+	<-ww.Done()
+}
+
+// lockedWriter serializes writes for the race detector (the watch's writer
+// goroutine vs. test assertions reading the buffer).
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
 }

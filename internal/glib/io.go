@@ -2,8 +2,10 @@ package glib
 
 import (
 	"bufio"
+	"bytes"
 	"io"
 	"net"
+	"strings"
 	"sync/atomic"
 )
 
@@ -24,6 +26,14 @@ type ReadFunc func(data []byte, err error) bool
 // LineFunc receives one line (without the trailing newline) from a watched
 // reader. Semantics of err and the return value match ReadFunc.
 type LineFunc func(line string, err error) bool
+
+// LineBatchFunc receives every complete line found in one read chunk —
+// the batch framing used by the streaming hot path, which amortizes one
+// loop dispatch over a whole network read instead of paying it per line.
+// lines is valid only for the duration of the call. Semantics of err and
+// the return value match ReadFunc; the final callback may carry both
+// trailing lines and the terminal error.
+type LineBatchFunc func(lines []string, err error) bool
 
 // AcceptFunc receives connections from a watched listener. A non-nil err
 // means the listener failed or closed and the watch is removed. Return
@@ -117,6 +127,88 @@ func (l *Loop) WatchLines(r io.Reader, fn LineFunc) *IOWatch {
 				w.cancel.Store(true)
 			}
 		})
+	}()
+	return w
+}
+
+// maxWatchedLine bounds a single line in a batch watch, matching the
+// line-by-line watch's bufio.Scanner limit.
+const maxWatchedLine = 1024 * 1024
+
+// WatchLineBatches watches r and delivers all complete lines of each read
+// chunk in one callback, so a reader that keeps up with a fast peer pays
+// one loop dispatch per network read rather than per line. A line spanning
+// reads is carried over and delivered with the chunk that completes it; a
+// line longer than the scanner limit ends the watch with an error, like
+// WatchLines. At end of stream any unterminated trailing line is delivered
+// together with the terminal error.
+func (l *Loop) WatchLineBatches(r io.Reader, fn LineBatchFunc) *IOWatch {
+	w := &IOWatch{}
+	deliver := func(lines []string, err error) bool {
+		done := make(chan bool, 1)
+		l.Invoke(func() {
+			if w.cancel.Load() {
+				done <- false
+				return
+			}
+			keep := fn(lines, err)
+			if err != nil {
+				keep = false
+			}
+			if !keep {
+				w.cancel.Store(true)
+			}
+			done <- keep
+		})
+		return <-done
+	}
+	go func() {
+		buf := make([]byte, 64*1024)
+		var carry []byte
+		var lines []string
+		for {
+			n, err := r.Read(buf)
+			if w.cancel.Load() {
+				return
+			}
+			data := buf[:n]
+			lines = lines[:0]
+			for {
+				i := bytes.IndexByte(data, '\n')
+				if i < 0 {
+					break
+				}
+				var line string
+				if len(carry) > 0 {
+					carry = append(carry, data[:i]...)
+					line = string(carry)
+					carry = carry[:0]
+				} else {
+					line = string(data[:i])
+				}
+				lines = append(lines, strings.TrimSuffix(line, "\r"))
+				data = data[i+1:]
+			}
+			carry = append(carry, data...)
+			if err == nil && len(carry) > maxWatchedLine {
+				err = bufio.ErrTooLong
+			}
+			if err != nil {
+				if len(carry) > 0 && err == io.EOF {
+					// An unterminated final line is still a line, the
+					// way bufio.Scanner treats it.
+					lines = append(lines, strings.TrimSuffix(string(carry), "\r"))
+				}
+				deliver(lines, err)
+				return
+			}
+			if len(lines) == 0 {
+				continue
+			}
+			if !deliver(lines, nil) {
+				return
+			}
+		}
 	}()
 	return w
 }

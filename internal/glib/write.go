@@ -42,6 +42,13 @@ type WriteWatch struct {
 	sent     atomic.Int64
 	dropped  atomic.Int64
 	errv     atomic.Value // error
+
+	// Byte accounting: with batch-sized chunks, chunk counts no longer
+	// measure traffic; bytes do. enqueued == written+droppedB (with an
+	// empty queue) means every accepted byte reached the socket.
+	enqueued atomic.Int64
+	written  atomic.Int64
+	droppedB atomic.Int64
 }
 
 // WatchWriter starts a write watch on w. limit bounds the queue in chunks
@@ -92,17 +99,22 @@ func (ww *WriteWatch) send(chunk []byte, protect bool) bool {
 		return false
 	}
 	for len(ww.queue) >= ww.limit && len(ww.queue) > ww.protected {
+		var evicted []byte
 		if ww.protected > 0 {
+			evicted = ww.queue[ww.protected]
 			ww.queue = append(ww.queue[:ww.protected], ww.queue[ww.protected+1:]...)
 		} else {
+			evicted = ww.queue[0]
 			ww.queue = ww.queue[1:]
 		}
 		ww.dropped.Add(1)
+		ww.droppedB.Add(int64(len(evicted)))
 	}
 	if protect && len(ww.queue) == ww.protected {
 		ww.protected++
 	}
 	ww.queue = append(ww.queue, chunk)
+	ww.enqueued.Add(int64(len(chunk)))
 	ww.mu.Unlock()
 	select {
 	case ww.kick <- struct{}{}:
@@ -124,6 +136,21 @@ func (ww *WriteWatch) Sent() int64 { return ww.sent.Load() }
 // Dropped returns the number of chunks discarded by the drop-oldest policy.
 func (ww *WriteWatch) Dropped() int64 { return ww.dropped.Load() }
 
+// EnqueuedBytes returns the total bytes accepted by Send/SendProtected.
+func (ww *WriteWatch) EnqueuedBytes() int64 { return ww.enqueued.Load() }
+
+// WrittenBytes returns the total bytes written to the underlying writer.
+func (ww *WriteWatch) WrittenBytes() int64 { return ww.written.Load() }
+
+// DroppedBytes returns the total bytes discarded by the drop-oldest policy.
+func (ww *WriteWatch) DroppedBytes() int64 { return ww.droppedB.Load() }
+
+// Flushed reports whether every accepted byte has either been written or
+// dropped — i.e. nothing is queued or in flight.
+func (ww *WriteWatch) Flushed() bool {
+	return ww.enqueued.Load() == ww.written.Load()+ww.droppedB.Load()
+}
+
 // Err returns the write error that stopped the watch, if any.
 func (ww *WriteWatch) Err() error {
 	if err, ok := ww.errv.Load().(error); ok {
@@ -132,13 +159,17 @@ func (ww *WriteWatch) Err() error {
 	return nil
 }
 
-// Cancel stops the watch: queued chunks are discarded and no error callback
-// will run. A write already in progress is not interrupted — close the
-// underlying connection to unblock it, as with read watches.
+// Cancel stops the watch: queued chunks are discarded (counted as dropped
+// bytes, so Flushed stays meaningful) and no error callback will run. A
+// write already in progress is not interrupted — close the underlying
+// connection to unblock it, as with read watches.
 func (ww *WriteWatch) Cancel() {
 	ww.canceled.Store(true)
 	ww.mu.Lock()
 	ww.closed = true
+	for _, c := range ww.queue {
+		ww.droppedB.Add(int64(len(c)))
+	}
 	ww.queue = nil
 	ww.protected = 0
 	ww.mu.Unlock()
@@ -170,6 +201,13 @@ func (ww *WriteWatch) writer() {
 				ww.errv.Store(err)
 				ww.mu.Lock()
 				ww.closed = true
+				// The failed batch and anything still queued will never
+				// be written; count them dropped so Flushed() (and its
+				// waiters) converge instead of spinning forever.
+				ww.droppedB.Add(int64(len(buf)))
+				for _, c := range ww.queue {
+					ww.droppedB.Add(int64(len(c)))
+				}
 				ww.queue = nil
 				ww.mu.Unlock()
 				if !ww.canceled.Swap(true) && ww.onErr != nil {
@@ -178,6 +216,7 @@ func (ww *WriteWatch) writer() {
 				return
 			}
 			ww.sent.Add(int64(len(batch)))
+			ww.written.Add(int64(len(buf)))
 			continue
 		}
 		if closed {

@@ -3,6 +3,7 @@ package glib
 import (
 	"bytes"
 	"errors"
+	"io"
 	"sync"
 	"testing"
 	"time"
@@ -168,4 +169,49 @@ func TestWriteWatchCancelSuppressesCallback(t *testing.T) {
 	if ww.Send([]byte("y\n")) {
 		t.Fatal("send after cancel should be refused")
 	}
+}
+
+// failingWriter fails every write.
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestWriteWatchFlushedConvergesAfterError(t *testing.T) {
+	l, _ := newVirtualLoop(0)
+	ww := l.WatchWriter(failingWriter{}, 8, nil)
+	ww.Send([]byte("doomed\n"))
+	ww.Send([]byte("also doomed\n"))
+	deadline := time.Now().Add(2 * time.Second)
+	for !ww.Flushed() {
+		if time.Now().After(deadline) {
+			t.Fatalf("Flushed never converged: enq=%d written=%d dropped=%d",
+				ww.EnqueuedBytes(), ww.WrittenBytes(), ww.DroppedBytes())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if ww.WrittenBytes() != 0 || ww.DroppedBytes() == 0 {
+		t.Fatalf("bytes = %d/%d", ww.WrittenBytes(), ww.DroppedBytes())
+	}
+	<-ww.Done()
+}
+
+func TestWriteWatchFlushedConvergesAfterCancel(t *testing.T) {
+	l, _ := newVirtualLoop(0)
+	pr, pw := io.Pipe() // nothing ever reads pr, so writes block in flight
+	defer pr.Close()
+	ww := l.WatchWriter(pw, 8, nil)
+	ww.Send([]byte("wedged 1\n"))
+	ww.Send([]byte("wedged 2\n"))
+	time.Sleep(10 * time.Millisecond) // let the writer take a batch and block
+	ww.Cancel()
+	pw.Close() // unblock the in-flight write, per the Cancel contract
+	deadline := time.Now().Add(2 * time.Second)
+	for !ww.Flushed() {
+		if time.Now().After(deadline) {
+			t.Fatalf("Flushed never converged after Cancel: enq=%d written=%d dropped=%d",
+				ww.EnqueuedBytes(), ww.WrittenBytes(), ww.DroppedBytes())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-ww.Done()
 }

@@ -158,20 +158,24 @@ func (s *Server) snapshotChunk() []byte {
 	return []byte(b.String())
 }
 
-// broadcast retains t in the snapshot history and fans it out to every
-// subscriber. Runs on the loop goroutine as part of delivery.
-func (s *Server) broadcast(t tuple.Tuple) {
-	if s.hub.subs == nil {
+// broadcastBatch retains a delivered batch in the snapshot history and
+// fans it out to every subscriber as a single wire-encoded chunk shared by
+// all of their queues: per-subscriber cost is one queue append per batch,
+// not per tuple. Runs on the loop goroutine as part of delivery.
+func (s *Server) broadcastBatch(batch []tuple.Tuple) {
+	if s.hub.subs == nil || len(batch) == 0 {
 		return
 	}
-	s.retain(t)
-	s.hub.published++
+	for _, t := range batch {
+		s.retain(t)
+	}
+	s.hub.published += int64(len(batch))
 	if len(s.hub.subs) == 0 {
 		return
 	}
-	line := append([]byte(t.String()), '\n')
+	chunk := tuple.AppendWireBatch(make([]byte, 0, 24*len(batch)), batch)
 	for _, sub := range s.hub.subs {
-		sub.ww.Send(line)
+		sub.ww.Send(chunk)
 	}
 }
 
@@ -210,6 +214,13 @@ func (s *Server) Inject(t tuple.Tuple) {
 	s.deliver(t)
 }
 
+// InjectBatch delivers a whole batch through the same pipeline with one
+// feed push and one broadcast chunk — the batch counterpart relays use.
+func (s *Server) InjectBatch(batch []tuple.Tuple) {
+	s.received += int64(len(batch))
+	s.deliverBatch(batch)
+}
+
 func (s *Server) unsubscribe(conn net.Conn) {
 	sub, ok := s.hub.subs[conn]
 	if !ok {
@@ -228,8 +239,10 @@ func (s *Server) Subscribers() int { return len(s.hub.subs) }
 
 // SubscriberStats returns lifetime fan-out counters: viewer connects and
 // disconnects, tuples published to the subscriber side (counted once per
-// tuple, not per viewer), and tuples lost to the per-subscriber drop-oldest
-// policy summed across all viewers past and present.
+// tuple, not per viewer), and queue chunks lost to the per-subscriber
+// drop-oldest policy summed across all viewers past and present. A chunk
+// is one delivered batch (at least one tuple), so a non-zero drop count
+// means data loss even though it does not count tuples one by one.
 func (s *Server) SubscriberStats() (subscribes, unsubscribes, published, dropped int64) {
 	d := s.hub.dropped
 	for _, sub := range s.hub.subs {
@@ -250,13 +263,26 @@ func (s *Server) SubscriberBacklog() int {
 }
 
 // SubscriberWritten returns the total number of chunks (the handshake plus
-// one per tuple) fully written to current subscribers' connections.
+// one per delivered batch) fully written to current subscribers'
+// connections.
 func (s *Server) SubscriberWritten() int64 {
 	var n int64
 	for _, sub := range s.hub.subs {
 		n += sub.ww.Sent()
 	}
 	return n
+}
+
+// SubscribersFlushed reports whether every currently connected subscriber
+// has either written or dropped every byte queued to it — the barrier
+// benches and tests use to know the fan-out has fully drained.
+func (s *Server) SubscribersFlushed() bool {
+	for _, sub := range s.hub.subs {
+		if !sub.ww.Flushed() {
+			return false
+		}
+	}
+	return true
 }
 
 // closeHub tears down the subscriber side; part of Server.Close.
@@ -295,14 +321,56 @@ type Subscriber struct {
 // SubscribeTo connects to a hub's subscriber address and invokes fn on the
 // loop goroutine for each tuple in the merged stream. Snapshot history and
 // live deltas are delivered uniformly; use Snapshot to learn where the
-// boundary was.
+// boundary was. Internally tuples are decoded in read-chunk batches; use
+// SubscribeToBatch to receive them that way and keep the batch shape
+// through a relay.
 func SubscribeTo(loop *glib.Loop, addr string, fn func(tuple.Tuple)) (*Subscriber, error) {
+	return SubscribeToBatch(loop, addr, func(batch []tuple.Tuple) {
+		for _, t := range batch {
+			fn(t)
+		}
+	})
+}
+
+// SubscribeToBatch is SubscribeTo with batch delivery: fn receives every
+// tuple decoded from one read chunk in a single call (the batch is valid
+// only for the duration of the call). Relays chain this into
+// Server.InjectBatch so one upstream read stays one downstream broadcast.
+func SubscribeToBatch(loop *glib.Loop, addr string, fn func([]tuple.Tuple)) (*Subscriber, error) {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("netscope: %w", err)
 	}
 	sub := &Subscriber{conn: conn}
-	sub.watch = loop.WatchLines(conn, func(line string, err error) bool {
+	var batch []tuple.Tuple
+	flush := func() {
+		if len(batch) > 0 {
+			fn(batch)
+			batch = batch[:0]
+		}
+	}
+	sub.watch = loop.WatchLineBatches(conn, func(lines []string, err error) bool {
+		batch = batch[:0]
+		for _, line := range lines {
+			if tuple.IsComment(line) {
+				// Control lines frame the snapshot; deliver what came
+				// before so snapshot accounting stays exact.
+				flush()
+				sub.control(line)
+				continue
+			}
+			t, perr := tuple.Parse(line)
+			if perr != nil {
+				sub.parseErrors++
+				continue
+			}
+			sub.received++
+			if sub.inSnapshot {
+				sub.snapTuples++
+			}
+			batch = append(batch, t)
+		}
+		flush()
 		if err != nil {
 			sub.closed = true
 			if sub.onClose != nil {
@@ -311,20 +379,6 @@ func SubscribeTo(loop *glib.Loop, addr string, fn func(tuple.Tuple)) (*Subscribe
 			conn.Close()
 			return false
 		}
-		if tuple.IsComment(line) {
-			sub.control(line)
-			return true
-		}
-		t, perr := tuple.Parse(line)
-		if perr != nil {
-			sub.parseErrors++
-			return true
-		}
-		sub.received++
-		if sub.inSnapshot {
-			sub.snapTuples++
-		}
-		fn(t)
 		return true
 	})
 	return sub, nil

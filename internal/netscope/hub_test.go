@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/glib"
 	"repro/internal/tuple"
 )
@@ -145,17 +146,25 @@ func TestHubFanOut(t *testing.T) {
 		}
 	}
 
-	// The stalled subscriber hit the drop-oldest policy.
-	_, _, published, dropped := srv.SubscriberStats()
+	// The stalled subscriber hit the drop-oldest policy. Batching means
+	// the 600 publisher tuples may have arrived in fewer chunks than the
+	// queue bound, so push the wedged queue past it deterministically:
+	// each Inject broadcasts one chunk and the pipe never drains any.
+	_, _, published, _ := srv.SubscriberStats()
 	if published != total {
 		t.Fatalf("published = %d, want %d", published, total)
 	}
+	for j := 0; j < 3*16; j++ {
+		srv.Inject(tuple.Tuple{Time: int64(10000 + j), Value: float64(j), Name: "extra"})
+	}
+	_, _, _, dropped := srv.SubscriberStats()
 	if dropped == 0 {
-		t.Fatal("stalled subscriber should have dropped tuples")
+		t.Fatal("stalled subscriber should have dropped chunks")
 	}
-	if backlog := srv.SubscriberBacklog(); backlog > 16 {
-		t.Fatalf("backlog %d exceeds queue limit", backlog)
-	}
+	// The healthy subscribers drain their queues (their writers keep
+	// running); the wedged queue remains, capped by the limit. If the
+	// bound leaked, the backlog would stay above it and pump would fail.
+	pump(t, loop, func() bool { return srv.SubscriberBacklog() <= 16 })
 
 	// Teardown releases every goroutine: publishers, hub watches, the
 	// wedged pipe writer, and the collectors (EOF on hub close).
@@ -476,5 +485,66 @@ func TestReconnectQueueBoundDropOldest(t *testing.T) {
 	}
 	if err := c.Close(); err == nil {
 		t.Fatal("close with undeliverable queue should report the flush timeout")
+	}
+}
+
+func TestSubscribeToBatchReceivesBatches(t *testing.T) {
+	loop, srv, _, subAddr := hubRig(t)
+	srv.SetSnapshotWindow(0)
+
+	var batches [][]tuple.Tuple
+	var total int
+	sub, err := SubscribeToBatch(loop, subAddr, func(batch []tuple.Tuple) {
+		cp := make([]tuple.Tuple, len(batch))
+		copy(cp, batch)
+		batches = append(batches, cp)
+		total += len(batch)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pump(t, loop, func() bool { return srv.Subscribers() == 1 })
+
+	// One InjectBatch becomes one broadcast chunk; the subscriber should
+	// see the whole thing in (at most a few) batch callbacks rather than
+	// one per tuple.
+	in := make([]tuple.Tuple, 64)
+	for i := range in {
+		in[i] = tuple.Tuple{Time: int64(i), Value: float64(i), Name: "b"}
+	}
+	srv.InjectBatch(in)
+	pump(t, loop, func() bool { return total == len(in) })
+	if len(batches) > 4 {
+		t.Fatalf("64 tuples arrived in %d callbacks; batching lost", len(batches))
+	}
+	seq := 0
+	for _, b := range batches {
+		for _, tu := range b {
+			if tu.Value != float64(seq) {
+				t.Fatalf("out of order at %d: %+v", seq, tu)
+			}
+			seq++
+		}
+	}
+}
+
+func TestInjectBatchFeedsScopesAndHistory(t *testing.T) {
+	loop, srv, _, _ := hubRig(t)
+	sc := core.New(loop, "attached", 100, 50)
+	if _, err := sc.AddSignal(core.Sig{Name: "b", Kind: core.KindBuffer}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Attach(sc)
+	in := make([]tuple.Tuple, 32)
+	for i := range in {
+		in[i] = tuple.Tuple{Time: int64((i + 1) * 10), Value: float64(i), Name: "b"}
+	}
+	srv.InjectBatch(in)
+	if sc.Feed().Pending() != len(in) {
+		t.Fatalf("feed pending = %d", sc.Feed().Pending())
+	}
+	if _, _, received, _ := srv.Stats(); received != int64(len(in)) {
+		t.Fatalf("received = %d", received)
 	}
 }

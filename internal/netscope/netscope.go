@@ -53,10 +53,20 @@
 //
 // Each subscriber has a bounded outbound queue drained by its own writer
 // goroutine (glib.WriteWatch). A slow or stalled viewer loses its own
-// oldest queued tuples (drop-oldest, counted in [Server.SubscriberStats])
+// oldest queued chunks (drop-oldest, counted in [Server.SubscriberStats])
 // but can never block the loop, the publishers, or other subscribers. The
 // snapshot is enqueued as a single drop-exempt unit, so the bound can
 // neither tear it nor evict the protocol banner.
+//
+// # Batching
+//
+// The whole ingest/fan-out pipeline is batch-oriented: publisher bytes are
+// decoded a read chunk at a time (glib.WatchLineBatches), delivered into
+// attached scopes through the sharded Feed.PushBatch, and broadcast to
+// subscribers as one wire-encoded chunk per batch shared across all their
+// queues. Per-sample APIs (Client.Send, Server.Inject) remain as thin
+// wrappers; Client.SendBatch, Server.InjectBatch and SubscribeToBatch keep
+// the batch shape end to end through chained relays.
 package netscope
 
 import (
@@ -92,7 +102,8 @@ type Server struct {
 	// display delay. The recorder always stores the original stamps.
 	MapTime func(time.Duration) time.Duration
 
-	rec *tuple.Writer
+	rec    *tuple.Writer
+	mapped []tuple.Tuple // MapTime rebase scratch, reused across batches
 
 	hub hubState
 
@@ -136,43 +147,80 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 }
 
 func (s *Server) addClient(conn net.Conn) {
-	w := s.loop.WatchLines(conn, func(line string, err error) bool {
+	// Publisher streams are decoded and delivered a read-chunk at a time:
+	// every complete line in one network read becomes one decoded batch,
+	// which flows through scope feeds (Feed.PushBatch) and the fan-out
+	// hub (one broadcast chunk) without ever touching a per-tuple lock.
+	var batch []tuple.Tuple
+	w := s.loop.WatchLineBatches(conn, func(lines []string, err error) bool {
+		batch = batch[:0]
+		for _, line := range lines {
+			if tuple.IsComment(line) {
+				continue
+			}
+			t, perr := tuple.Parse(line)
+			if perr != nil {
+				s.parseErrors++
+				continue
+			}
+			batch = append(batch, t)
+		}
+		s.received += int64(len(batch))
+		s.deliverBatch(batch)
 		if err != nil {
 			s.disconnects++
 			delete(s.clients, conn)
 			conn.Close()
 			return false
 		}
-		if tuple.IsComment(line) {
-			return true
-		}
-		t, perr := tuple.Parse(line)
-		if perr != nil {
-			s.parseErrors++
-			return true
-		}
-		s.received++
-		s.deliver(t)
 		return true
 	})
 	s.clients[conn] = w
 }
 
 func (s *Server) deliver(t tuple.Tuple) {
+	one := [1]tuple.Tuple{t}
+	s.deliverBatch(one[:])
+}
+
+// deliverBatch runs the full delivery pipeline for a decoded batch:
+// observers and the recorder see every tuple, attached scopes ingest the
+// batch through their sharded feeds in one call, and the hub broadcasts it
+// to subscribers as one chunk. MapTime rebasing applies only to scope
+// delivery — the recorder and the relay stream keep the original stamps.
+func (s *Server) deliverBatch(batch []tuple.Tuple) {
+	if len(batch) == 0 {
+		return
+	}
 	if s.OnTuple != nil {
-		s.OnTuple(t)
+		for _, t := range batch {
+			s.OnTuple(t)
+		}
 	}
 	if s.rec != nil {
-		s.rec.Write(t) //nolint:errcheck // recorder errors surface on Flush
+		for _, t := range batch {
+			s.rec.Write(t) //nolint:errcheck // recorder errors surface on Flush
+		}
 	}
-	at := t.Timestamp()
+	feedBatch := batch
 	if s.MapTime != nil {
-		at = s.MapTime(at)
+		if cap(s.mapped) < len(batch) {
+			s.mapped = make([]tuple.Tuple, 0, len(batch)+cap(s.mapped))
+		}
+		s.mapped = s.mapped[:len(batch)]
+		for i, t := range batch {
+			s.mapped[i] = tuple.Tuple{
+				Time:  s.MapTime(t.Timestamp()).Milliseconds(),
+				Value: t.Value,
+				Name:  t.Name,
+			}
+		}
+		feedBatch = s.mapped
 	}
 	for _, sc := range s.scopes {
-		sc.Feed().Push(at, t.Name, t.Value)
+		sc.Feed().PushBatch(feedBatch)
 	}
-	s.broadcast(t)
+	s.broadcastBatch(batch)
 }
 
 // Stats returns lifetime counters: client connects, disconnects, tuples
@@ -333,11 +381,7 @@ func (c *Client) writer() {
 		c.mu.Unlock()
 
 		if len(batch) > 0 {
-			buf := make([]byte, 0, 32*len(batch))
-			for _, t := range batch {
-				buf = append(buf, t.String()...)
-				buf = append(buf, '\n')
-			}
+			buf := tuple.AppendWireBatch(make([]byte, 0, 24*len(batch)), batch)
 			if _, err := conn.Write(buf); err != nil {
 				if c.reconnect {
 					conn.Close()
@@ -422,6 +466,33 @@ func (c *Client) SendTuple(t tuple.Tuple) error {
 		return err
 	}
 	c.queue = append(c.queue, t)
+	c.trimLocked()
+	err := c.err
+	c.mu.Unlock()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	return err
+}
+
+// SendBatch enqueues a whole batch under one lock acquisition and one
+// writer wake-up — the publisher-side counterpart of the server's batch
+// ingest. The batch is copied; the caller may reuse it.
+func (c *Client) SendBatch(batch []tuple.Tuple) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("netscope: client closed")
+		}
+		return err
+	}
+	c.queue = append(c.queue, batch...)
 	c.trimLocked()
 	err := c.err
 	c.mu.Unlock()

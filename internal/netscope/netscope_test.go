@@ -1,6 +1,7 @@
 package netscope
 
 import (
+	"net"
 	"testing"
 	"time"
 
@@ -254,5 +255,97 @@ func TestMapTimeRebasesStamps(t *testing.T) {
 	sig := sc.Signal("remote")
 	if v, ok := sig.Trace().Last(); !ok || v != 5 {
 		t.Fatalf("rebased sample not displayed: %v %v", v, ok)
+	}
+}
+
+func TestClientSendBatchDelivery(t *testing.T) {
+	loop, sc, srv, addr := rig(t)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	batch := make([]tuple.Tuple, 100)
+	for i := range batch {
+		batch[i] = tuple.Tuple{Time: int64((i + 1) * 10), Value: float64(i), Name: "remote"}
+	}
+	if err := c.SendBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, loop, func() bool { return sc.Feed().Pending() == 100 })
+
+	got := sc.Feed().Take(time.Hour)
+	if len(got) != 100 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i, tu := range got {
+		if tu.Value != float64(i) || tu.Name != "remote" {
+			t.Fatalf("tuple %d = %+v", i, tu)
+		}
+	}
+	if _, _, received, parseErrors := srv.Stats(); received != 100 || parseErrors != 0 {
+		t.Fatalf("server stats: received=%d parseErrors=%d", received, parseErrors)
+	}
+}
+
+func TestBatchIngestPreservesOrderAcrossChunkBoundaries(t *testing.T) {
+	// Force tuples to arrive in many small TCP segments so lines split
+	// across read chunks; the carry logic must reassemble them exactly.
+	loop, sc, _, addr := rig(t)
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var wire []byte
+	const n = 50
+	for i := 1; i <= n; i++ {
+		wire = tuple.AppendWire(wire, tuple.Tuple{Time: int64(i * 10), Value: float64(i), Name: "remote"})
+	}
+	go func() {
+		for len(wire) > 0 {
+			k := 7
+			if k > len(wire) {
+				k = len(wire)
+			}
+			conn.Write(wire[:k]) //nolint:errcheck
+			wire = wire[k:]
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	pump(t, loop, func() bool { return sc.Feed().Pending() == n })
+	got := sc.Feed().Take(time.Hour)
+	for i, tu := range got {
+		if tu.Value != float64(i+1) {
+			t.Fatalf("tuple %d = %+v", i, tu)
+		}
+	}
+}
+
+func TestMapTimeRebasesBatches(t *testing.T) {
+	loop, sc, srv, addr := rig(t)
+	srv.MapTime = func(d time.Duration) time.Duration { return d + time.Second }
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SendBatch([]tuple.Tuple{
+		{Time: 10, Value: 1, Name: "remote"},
+		{Time: 20, Value: 2, Name: "remote"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, loop, func() bool { return sc.Feed().Pending() == 2 })
+	got := sc.Feed().Take(time.Hour)
+	if got[0].Time != 1010 || got[1].Time != 1020 {
+		t.Fatalf("rebased stamps = %d, %d", got[0].Time, got[1].Time)
 	}
 }

@@ -93,6 +93,33 @@ func FormatValue(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
+// AppendWire appends the newline-terminated wire form of t to dst and
+// returns the extended slice. It is the allocation-free encoder behind the
+// batch streaming paths (client writer, hub broadcast); the result parses
+// back with Parse.
+func AppendWire(dst []byte, t Tuple) []byte {
+	dst = strconv.AppendInt(dst, t.Time, 10)
+	dst = append(dst, ' ')
+	if t.Value == float64(int64(t.Value)) {
+		dst = strconv.AppendInt(dst, int64(t.Value), 10)
+	} else {
+		dst = strconv.AppendFloat(dst, t.Value, 'g', -1, 64)
+	}
+	if t.Name != "" {
+		dst = append(dst, ' ')
+		dst = append(dst, t.Name...)
+	}
+	return append(dst, '\n')
+}
+
+// AppendWireBatch appends every tuple in batch to dst in wire form.
+func AppendWireBatch(dst []byte, batch []Tuple) []byte {
+	for _, t := range batch {
+		dst = AppendWire(dst, t)
+	}
+	return dst
+}
+
 // Parse decodes one tuple line. Both the two-field (time value) and
 // three-field (time value name) forms are accepted. Signal names may
 // contain spaces: everything after the second field is the name.

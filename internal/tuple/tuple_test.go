@@ -225,3 +225,38 @@ func TestWriterStickyError(t *testing.T) {
 type failWriter struct{}
 
 func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestAppendWireRoundTrip(t *testing.T) {
+	cases := []Tuple{
+		{Time: 1500, Value: 42.5, Name: "CWND"},
+		{Time: 0, Value: -3, Name: ""},
+		{Time: 123456789, Value: 0.1, Name: "name with spaces"},
+		{Time: -7, Value: 1e300, Name: "big"},
+	}
+	var buf []byte
+	for _, want := range cases {
+		buf = AppendWire(buf[:0], want)
+		if buf[len(buf)-1] != '\n' {
+			t.Fatalf("%+v: no trailing newline in %q", want, buf)
+		}
+		got, err := Parse(string(buf[:len(buf)-1]))
+		if err != nil {
+			t.Fatalf("%+v: parse back: %v", want, err)
+		}
+		if got != want {
+			t.Fatalf("round trip: %+v != %+v", got, want)
+		}
+		// AppendWire and String produce the same wire form.
+		if string(buf) != want.String()+"\n" {
+			t.Fatalf("AppendWire %q != String %q", buf, want.String())
+		}
+	}
+}
+
+func TestAppendWireBatch(t *testing.T) {
+	batch := []Tuple{{Time: 1, Value: 2, Name: "a"}, {Time: 3, Value: 4, Name: "b"}}
+	out := AppendWireBatch(nil, batch)
+	if string(out) != "1 2 a\n3 4 b\n" {
+		t.Fatalf("AppendWireBatch = %q", out)
+	}
+}
