@@ -31,6 +31,7 @@ import (
 	"repro/internal/mxtraf"
 	"repro/internal/netscope"
 	"repro/internal/netsim"
+	"repro/internal/reclog"
 	"repro/internal/tuple"
 )
 
@@ -731,4 +732,78 @@ func BenchmarkMxtrafSnapshot(b *testing.B) {
 		g.Sim().RunUntil(at)
 		g.Snapshot()
 	}
+}
+
+// --- flight recorder (internal/reclog) -------------------------------------
+
+// BenchmarkRecordAppend measures the loop-side cost of flight recording:
+// one bounded-queue append per delivered batch. ns/op is per tuple; the
+// allocation report must show amortized sub-1 allocs/op (one batch copy
+// per 256 tuples — never a per-tuple allocation), which is the acceptance
+// bar for "recording costs one extra queue append per batch".
+func BenchmarkRecordAppend(b *testing.B) {
+	lg, err := reclog.Open(b.TempDir(), reclog.Options{
+		SegmentBytes: 64 << 20,
+		QueueLimit:   1 << 16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchSize = 256
+	batch := make([]tuple.Tuple, batchSize)
+	for j := range batch {
+		batch[j] = tuple.Tuple{Value: float64(j % 50), Name: "cps"}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchSize {
+		for j := range batch {
+			batch[j].Time = int64(i + j)
+		}
+		lg.Append(batch)
+	}
+	b.StopTimer()
+	if err := lg.Close(); err != nil {
+		b.Fatal(err)
+	}
+	appended, _, _ := lg.Stats()
+	b.ReportMetric(float64(appended)/b.Elapsed().Seconds(), "tuples/s")
+}
+
+// BenchmarkReplayDrain measures as-fast-as-possible replay throughput:
+// sealed segments read back, decoded and delivered in batches. ns/op is
+// per tuple.
+func BenchmarkReplayDrain(b *testing.B) {
+	dir := b.TempDir()
+	lg, err := reclog.Open(dir, reclog.Options{SegmentBytes: 4 << 20, QueueLimit: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1 << 17
+	batch := make([]tuple.Tuple, 256)
+	for i := 0; i < n; i += len(batch) {
+		for j := range batch {
+			batch[j] = tuple.Tuple{Time: int64(i + j), Value: float64(j % 50), Name: "cps"}
+		}
+		lg.Append(batch)
+	}
+	if err := lg.Close(); err != nil {
+		b.Fatal(err)
+	}
+	sess, err := reclog.OpenSession(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for drained := 0; drained < b.N; {
+		rep := reclog.NewReplayer(sess)
+		rep.SetSpeed(0)
+		if err := rep.Run(func(batch []tuple.Tuple) error {
+			drained += len(batch)
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
 }

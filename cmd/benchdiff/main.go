@@ -116,12 +116,18 @@ func compare(base Baseline, current map[string]float64, threshold float64, stdou
 	sort.Strings(names)
 
 	regressions := 0
+	fresh := 0
 	fmt.Fprintf(stdout, "%-52s %12s %12s %8s\n", "benchmark", "base ns/op", "now ns/op", "delta")
 	for _, name := range names {
 		now := current[name]
 		ref, ok := base.Benchmarks[name]
 		if !ok {
+			// A benchmark the baseline has never seen (e.g. one added in
+			// the same change, before the baseline refresh) is reported
+			// and skipped: it has no reference to regress against, so it
+			// must never fail the gate.
 			fmt.Fprintf(stdout, "%-52s %12s %12.2f %8s\n", name, "-", now, "new")
+			fresh++
 			continue
 		}
 		delta := 0.0
@@ -145,7 +151,8 @@ func compare(base Baseline, current map[string]float64, threshold float64, stdou
 			regressions, threshold*100, "baseline")
 		return 1
 	}
-	fmt.Fprintf(stdout, "benchdiff: ok (%d compared, threshold %.0f%%)\n", len(names), threshold*100)
+	fmt.Fprintf(stdout, "benchdiff: ok (%d compared, %d new/skipped, threshold %.0f%%)\n",
+		len(names)-fresh, fresh, threshold*100)
 	return 0
 }
 

@@ -158,3 +158,42 @@ func TestEmptyInputRejected(t *testing.T) {
 		t.Fatalf("exit %d, want 2", code)
 	}
 }
+
+// TestGateSkipsBenchesAbsentFromBaseline pins the contract the record/
+// replay benchmarks rely on between landing and the next baseline refresh:
+// benchmarks present in the run but absent from the baseline are reported
+// as "new" and skipped — never a regression, never an exit-1 — while real
+// regressions elsewhere in the same run still fail the gate.
+func TestGateSkipsBenchesAbsentFromBaseline(t *testing.T) {
+	const benchOut = `BenchmarkRecordAppend-8     5000000    120.0 ns/op
+BenchmarkReplayDrain-8      3000000    410.0 ns/op
+BenchmarkTupleParse-8       4000000    300.0 ns/op
+`
+	path := writeBaseline(t, t.TempDir(), Baseline{Benchmarks: map[string]float64{
+		"BenchmarkTupleParse": 300, // the only known benchmark, unchanged
+	}})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", path}, strings.NewReader(benchOut), &out, &errb)
+	if code != 0 {
+		t.Fatalf("new benchmarks failed the gate: exit %d\n%s%s", code, out.String(), errb.String())
+	}
+	for _, name := range []string{"BenchmarkRecordAppend", "BenchmarkReplayDrain"} {
+		if !strings.Contains(out.String(), name) {
+			t.Fatalf("%s not reported:\n%s", name, out.String())
+		}
+	}
+	if !strings.Contains(out.String(), "1 compared, 2 new/skipped") {
+		t.Fatalf("summary does not count new benchmarks:\n%s", out.String())
+	}
+
+	// A regression in a known benchmark still fails even with new ones
+	// present.
+	path2 := writeBaseline(t, t.TempDir(), Baseline{Benchmarks: map[string]float64{
+		"BenchmarkTupleParse": 100, // now 300: +200%
+	}})
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-baseline", path2}, strings.NewReader(benchOut), &out, &errb); code != 1 {
+		t.Fatalf("regression hidden by new benchmarks: exit %d", code)
+	}
+}

@@ -9,15 +9,22 @@
 //
 //	gscope-bench [-window 400ms] [-reps 5] [-signals 1,8,16,32]
 //	gscope-bench -ingest [-publishers 8] [-batch 256] [-window 400ms]
+//	gscope-bench -replay [-tuples 1000000] [-batch 256]
 //
 // The -ingest mode instead measures the sharded feed's ingest throughput:
 // N publisher goroutines pushing per sample versus in batches, the
 // experiment behind the CI benchmark gate's BenchmarkFeedPushBatch.
+//
+// The -replay mode measures the flight recorder (internal/reclog): tuples/s
+// appended through the recording queue to sealed segments on disk, and
+// tuples/s drained back out by an as-fast-as-possible replay — the
+// experiment behind BenchmarkRecordAppend and BenchmarkReplayDrain.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -26,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/glib"
 	"repro/internal/loadgen"
+	"repro/internal/reclog"
 	"repro/internal/tuple"
 )
 
@@ -36,12 +44,18 @@ func main() {
 		signals    = flag.String("signals", "1,8,16,32", "signal counts for the per-signal sweep")
 		ingest     = flag.Bool("ingest", false, "measure feed ingest throughput instead of CPU overhead")
 		publishers = flag.Int("publishers", 8, "publisher goroutines for -ingest")
-		batch      = flag.Int("batch", 256, "batch size for -ingest (the per-sample row always runs)")
+		batch      = flag.Int("batch", 256, "batch size for -ingest and -replay")
+		replay     = flag.Bool("replay", false, "measure flight-recorder record/replay throughput")
+		tuples     = flag.Int("tuples", 1_000_000, "tuples to record for -replay")
 	)
 	flag.Parse()
 
 	if *ingest {
 		runIngest(*publishers, *batch, *window)
+		return
+	}
+	if *replay {
+		runReplay(*tuples, *batch)
 		return
 	}
 
@@ -146,6 +160,72 @@ func runIngest(publishers, batchSize int, window time.Duration) {
 	fmt.Printf("  per-sample Push    %12.0f tuples/s\n", perSample)
 	fmt.Printf("  PushBatch(%4d)    %12.0f tuples/s   (%.1fx)\n",
 		batchSize, batched, batched/perSample)
+}
+
+// runReplay measures the flight recorder end to end: record n synthetic
+// tuples through the bounded queue into rotated segments, seal, then drain
+// the session back with an as-fast-as-possible replay.
+func runReplay(n, batchSize int) {
+	if n < 1000 {
+		n = 1000
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	dir, err := os.MkdirTemp("", "gscope-replay-bench")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gscope-bench:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Println("gscope flight-recorder experiment (internal/reclog)")
+	fmt.Printf("tuples=%d batch=%d dir=%s\n\n", n, batchSize, dir)
+
+	lg, err := reclog.Open(dir, reclog.Options{QueueLimit: 1 << 16})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gscope-bench:", err)
+		os.Exit(1)
+	}
+	batch := make([]tuple.Tuple, batchSize)
+	names := []string{"cps", "errps", "tput"}
+	start := time.Now()
+	for i := 0; i < n; i += batchSize {
+		for j := range batch {
+			batch[j] = tuple.Tuple{Time: int64(i + j), Value: float64(j), Name: names[j%3]}
+		}
+		lg.Append(batch)
+	}
+	if err := lg.Close(); err != nil { // Close waits for the disk to drain
+		fmt.Fprintln(os.Stderr, "gscope-bench:", err)
+		os.Exit(1)
+	}
+	recSecs := time.Since(start).Seconds()
+	_, dropped, written := lg.Stats()
+
+	sess, err := reclog.OpenSession(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gscope-bench:", err)
+		os.Exit(1)
+	}
+	rep := reclog.NewReplayer(sess)
+	rep.SetSpeed(0)
+	rep.SetBatch(batchSize)
+	start = time.Now()
+	var drained int64
+	if err := rep.Run(func(b []tuple.Tuple) error {
+		drained += int64(len(b))
+		return nil
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "gscope-bench:", err)
+		os.Exit(1)
+	}
+	repSecs := time.Since(start).Seconds()
+
+	fmt.Printf("  record Append      %12.0f tuples/s   (%d written, %d dropped, %d segments)\n",
+		float64(written)/recSecs, written, dropped, len(sess.Segments()))
+	fmt.Printf("  replay drain       %12.0f tuples/s   (%d drained)\n",
+		float64(drained)/repSecs, drained)
 }
 
 func measureIngest(publishers, batchSize int, window time.Duration) float64 {

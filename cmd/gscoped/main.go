@@ -1,18 +1,27 @@
 // Command gscoped is the scope daemon for distributed visualization: the
 // §4.4 server grown into a fan-out relay. It ingests tuple streams from
 // gscope publishers, optionally displays them on a local scope (rendered
-// periodically as a PNG and/or painted live as ANSI art, with optional
-// recording), and re-publishes the merged stream to any number of
-// downstream subscribers — each new subscriber first receives a snapshot
-// of the recent display window, then live deltas. Relays chain: -upstream
-// subscribes this daemon to another gscoped's -subscribers port, so one
-// instrumented application can feed a tree of viewers.
+// periodically as a PNG and/or painted live as ANSI art), and re-publishes
+// the merged stream to any number of downstream subscribers — each new
+// subscriber first receives a snapshot of the recent display window, then
+// live deltas. Relays chain: -upstream subscribes this daemon to another
+// gscoped's -subscribers port, so one instrumented application can feed a
+// tree of viewers.
+//
+// The flight recorder (-record) appends the merged stream to a segmented
+// on-disk session (internal/reclog): bounded retention, replayable later.
+// -replay streams a recorded session back through the same pipeline —
+// display, fan-out, even re-recording — at the recorded cadence, ×N, or as
+// fast as possible, optionally windowed with -from/-to.
 //
 // Usage:
 //
 //	gscoped -listen :7420 -signals cps,errps,tput -delay 200ms -png live.png
 //	gscoped -listen :7420 -subscribers :7421              # headless fan-out hub
 //	gscoped -upstream hub:7421 -subscribers :7422         # chained relay
+//	gscoped -listen :7420 -subscribers :7421 -record ./session   # flight recorder
+//	gscoped -replay ./session -subscribers :7421 -speed 4        # replay at ×4
+//	gscoped -replay ./session -signals cps -speed 0 -from 10s -to 20s -png out.png
 package main
 
 import (
@@ -32,6 +41,7 @@ import (
 	"repro/internal/glib"
 	"repro/internal/gtk"
 	"repro/internal/netscope"
+	"repro/internal/reclog"
 	"repro/internal/tuple"
 )
 
@@ -47,6 +57,11 @@ type config struct {
 	subQueue    int
 	pngOut      string
 	rec         string
+	recLimit    int64
+	replay      string
+	speed       float64
+	from        time.Duration
+	to          time.Duration
 	ansi        bool
 	width       int
 	height      int
@@ -68,7 +83,12 @@ func parseFlags(args []string) (*config, error) {
 	fs.DurationVar(&cfg.snapshot, "snapshot", netscope.DefaultSnapshotWindow, "history window replayed to new subscribers")
 	fs.IntVar(&cfg.subQueue, "subqueue", netscope.DefaultSubscriberQueueLimit, "per-subscriber outbound queue bound, in tuples")
 	fs.StringVar(&cfg.pngOut, "png", "", "write the current frame to this PNG periodically")
-	fs.StringVar(&cfg.rec, "record", "", "record received tuples to this file")
+	fs.StringVar(&cfg.rec, "record", "", "flight-record the merged stream into this session directory (segmented, bounded)")
+	fs.Int64Var(&cfg.recLimit, "record-limit", 0, "flight-recorder retention budget in bytes (0 = default)")
+	fs.StringVar(&cfg.replay, "replay", "", "replay a recorded session directory through the pipeline")
+	fs.Float64Var(&cfg.speed, "speed", 1, "replay pacing: 1 = recorded cadence, 2 = twice as fast, 0 = as fast as possible")
+	fs.DurationVar(&cfg.from, "from", 0, "replay only tuples stamped at or after this offset on the recorded timeline")
+	fs.DurationVar(&cfg.to, "to", 0, "replay only tuples stamped at or before this offset (0 = to the end)")
 	fs.BoolVar(&cfg.ansi, "ansi", false, "paint the scope as ANSI art on stdout")
 	fs.IntVar(&cfg.width, "width", 600, "canvas width")
 	fs.IntVar(&cfg.height, "height", 200, "canvas height")
@@ -88,11 +108,14 @@ func parseFlags(args []string) (*config, error) {
 		fmt.Fprintln(fs.Output(), "gscoped:", err)
 		return nil, err
 	}
-	if len(cfg.signals) == 0 && cfg.subscribers == "" {
-		return fail("nothing to do: need -signals (local display) and/or -subscribers (fan-out), e.g. -signals cps,errps")
+	if len(cfg.signals) == 0 && cfg.subscribers == "" && cfg.rec == "" {
+		return fail("nothing to do: need -signals (local display), -subscribers (fan-out) and/or -record, e.g. -signals cps,errps")
 	}
 	if len(cfg.signals) == 0 && (cfg.pngOut != "" || cfg.ansi) {
 		return fail("-png/-ansi need -signals to display")
+	}
+	if cfg.replay != "" && cfg.replay == cfg.rec {
+		return fail("-replay and -record must name different session directories")
 	}
 	return cfg, nil
 }
@@ -105,10 +128,21 @@ type relay struct {
 	scope  *core.Scope
 	widget *gtk.ScopeWidget
 	srv    *netscope.Server
-	recF   *os.File
 
 	status io.Writer
 	closed atomic.Bool
+	stopRC chan struct{} // closed by cleanup; aborts an in-flight replay
+	stopRn sync.Once
+
+	replaySess *reclog.Session
+
+	// replayDone is closed when the -replay pass finishes (tests and the
+	// shutdown path wait on it); nil when -replay is off. replayStarted
+	// records that replayLoop was actually spawned — newRelay error paths
+	// reach cleanup before run() starts it, and waiting on replayDone
+	// there would hang forever.
+	replayDone    chan struct{}
+	replayStarted atomic.Bool
 
 	upMu sync.Mutex
 	up   *netscope.Subscriber
@@ -121,7 +155,8 @@ type relay struct {
 
 // newRelay binds the listeners and assembles the pipeline; run starts it.
 func newRelay(cfg *config) (*relay, error) {
-	r := &relay{cfg: cfg, loop: glib.NewLoop(glib.RealClock{}), status: os.Stderr}
+	r := &relay{cfg: cfg, loop: glib.NewLoop(glib.RealClock{}), status: os.Stderr,
+		stopRC: make(chan struct{})}
 	if len(cfg.signals) > 0 {
 		r.scope = core.New(r.loop, "gscoped", cfg.width, cfg.height)
 		for _, name := range cfg.signals {
@@ -152,14 +187,17 @@ func newRelay(cfg *config) (*relay, error) {
 		}
 	}
 	if cfg.rec != "" {
-		f, err := os.Create(cfg.rec)
+		if _, err := r.srv.Record(cfg.rec, reclog.Options{TotalBytes: cfg.recLimit}); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.replay != "" {
+		sess, err := reclog.OpenSession(cfg.replay)
 		if err != nil {
 			return nil, err
 		}
-		r.recF = f
-		w := tuple.NewWriter(f)
-		w.Comment(fmt.Sprintf("gscoped recording, signals=%s", strings.Join(cfg.signals, ","))) //nolint:errcheck
-		r.srv.SetRecorder(w)
+		r.replaySess = sess
+		r.replayDone = make(chan struct{})
 	}
 
 	pubAddr, err := r.srv.Listen(cfg.listen)
@@ -261,7 +299,72 @@ func (r *relay) run(status io.Writer) error {
 			return err
 		}
 	}
+	if r.replaySess != nil {
+		r.replayStarted.Store(true)
+		go r.replayLoop()
+	}
 	return r.loop.Run()
+}
+
+// replayLoop streams the -replay session through the delivery pipeline on
+// its own goroutine: each batch is handed to the loop (InjectBatch must run
+// there) and the replayer blocks until the loop has taken it, which both
+// keeps the shared batch buffer valid and paces a saturating replay at the
+// loop's own speed. With no -for deadline the daemon exits once the replay
+// completes, like a batch job; with one it keeps serving subscribers.
+func (r *relay) replayLoop() {
+	defer close(r.replayDone)
+	rep := reclog.NewReplayer(r.replaySess)
+	rep.SetSpeed(r.cfg.speed)
+	if r.cfg.from > 0 || r.cfg.to > 0 {
+		rep.SetWindow(r.cfg.from, r.cfg.to)
+	}
+	errAborted := errors.New("replay aborted")
+	err := rep.Run(func(batch []tuple.Tuple) error {
+		done := make(chan struct{})
+		r.loop.Invoke(func() {
+			r.srv.InjectBatch(batch)
+			close(done)
+		})
+		select {
+		case <-done:
+			return nil
+		case <-r.stopRC:
+			return errAborted
+		}
+	})
+	if err != nil && !errors.Is(err, errAborted) {
+		fmt.Fprintf(r.status, "gscoped: replay: %v\n", err)
+	}
+	if err == nil {
+		fmt.Fprintf(r.status, "gscoped: replay complete: %d tuples from %s\n",
+			rep.Delivered(), r.cfg.replay)
+	}
+	if r.cfg.runFor <= 0 && !r.closed.Load() {
+		r.drainSubscribers(5 * time.Second)
+		r.loop.Quit()
+	}
+}
+
+// drainSubscribers waits (bounded) until every subscriber's outbound queue
+// has flushed before the caller tears the loop down — quitting immediately
+// after the last inject would cancel the write watches with the replay's
+// tail still queued, truncating what downstream viewers receive.
+func (r *relay) drainSubscribers(limit time.Duration) {
+	deadline := time.Now().Add(limit)
+	for !r.closed.Load() && time.Now().Before(deadline) {
+		flushed := make(chan bool, 1)
+		r.loop.Invoke(func() { flushed <- r.srv.SubscribersFlushed() })
+		select {
+		case ok := <-flushed:
+			if ok {
+				return
+			}
+		case <-r.stopRC:
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // stop makes run return.
@@ -269,6 +372,10 @@ func (r *relay) stop() { r.loop.Quit() }
 
 func (r *relay) cleanup() {
 	r.closed.Store(true)
+	r.stopRn.Do(func() { close(r.stopRC) })
+	if r.replayStarted.Load() {
+		<-r.replayDone // the replayer must stop injecting before Close
+	}
 	r.upMu.Lock()
 	up := r.up
 	r.upMu.Unlock()
@@ -276,10 +383,7 @@ func (r *relay) cleanup() {
 		up.Close()
 	}
 	if r.srv != nil {
-		r.srv.Close()
-	}
-	if r.recF != nil {
-		r.recF.Close()
+		r.srv.Close() // seals the flight-recorder session, if any
 	}
 }
 
@@ -302,6 +406,14 @@ func main() {
 	}
 	if cfg.upstream != "" {
 		fmt.Fprintf(os.Stderr, "gscoped: relaying upstream hub %s\n", cfg.upstream)
+	}
+	if cfg.rec != "" {
+		fmt.Fprintf(os.Stderr, "gscoped: flight-recording to %s\n", cfg.rec)
+	}
+	if r.replaySess != nil {
+		first, last, _ := r.replaySess.Bounds()
+		fmt.Fprintf(os.Stderr, "gscoped: replaying %d tuples (%dms..%dms) from %s at speed %g\n",
+			r.replaySess.Tuples(), first, last, cfg.replay, cfg.speed)
 	}
 	if err := r.run(os.Stderr); err != nil {
 		fatal(err)

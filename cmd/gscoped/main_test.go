@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/netscope"
+	"repro/internal/reclog"
 	"repro/internal/tuple"
 )
 
@@ -268,5 +270,218 @@ func TestRelayUpstreamReconnects(t *testing.T) {
 			t.Fatal("chained relay never resumed after hub restart")
 		}
 		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestParseFlagsRecordReplay(t *testing.T) {
+	cfg, err := parseFlags([]string{"-replay", "sess", "-subscribers", ":0",
+		"-speed", "0", "-from", "10s", "-to", "20s", "-record-limit", "1048576"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.replay != "sess" || cfg.speed != 0 || cfg.from != 10*time.Second || cfg.to != 20*time.Second {
+		t.Fatalf("replay flags wrong: %+v", cfg)
+	}
+	if cfg.recLimit != 1048576 {
+		t.Fatalf("record-limit = %d", cfg.recLimit)
+	}
+	// A record-only daemon has something to do.
+	if _, err := parseFlags([]string{"-record", "sess2"}); err != nil {
+		t.Fatalf("record-only rejected: %v", err)
+	}
+	// Recording over the session being replayed is rejected.
+	if _, err := parseFlags([]string{"-replay", "sess", "-record", "sess", "-subscribers", ":0"}); err == nil {
+		t.Fatal("-replay dir == -record dir should be rejected")
+	}
+}
+
+// TestGscopedRecordReplayRoundTrip is the daemon-level e2e for the flight
+// recorder: a publisher streams into a recording relay; a second relay
+// replays the sealed session as fast as possible to a downstream
+// subscriber, whose received tuple stream must be wire-identical to what
+// was published.
+func TestGscopedRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir() + "/session"
+	in := make([]tuple.Tuple, 500)
+	for i := range in {
+		in[i] = tuple.Tuple{Time: int64(i) * 3, Value: float64(i%17) + 0.25, Name: "cps"}
+	}
+
+	// Phase 1: record. No -for: stopped explicitly once everything is on
+	// the wire.
+	rec := startRelay(t, "-listen", "127.0.0.1:0", "-record", dir)
+	c, err := netscope.Dial(rec.PubAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(in); i += 50 {
+		if err := c.SendBatch(in[i : i+50]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, written := rec.srv.FlightLog().Stats(); written >= int64(len(in)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flight log never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Close()  //nolint:errcheck
+	rec.stop() // cleanup (via startRelay) seals the session
+	time.Sleep(10 * time.Millisecond)
+
+	// Wait for the recording relay to actually seal the log before
+	// replaying: its run() returns asynchronously after stop().
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if sess, err := reclog.OpenSession(dir); err == nil && sess.Tuples() >= int64(len(in)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never sealed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Phase 2: replay through a fresh relay with a subscriber. -for keeps
+	// the daemon serving after the replay finishes; a huge -snapshot
+	// window means even a subscriber racing the fast replay sees the
+	// whole stream via the connect-time snapshot.
+	rep := startRelay(t, "-listen", "127.0.0.1:0", "-subscribers", "127.0.0.1:0",
+		"-replay", dir, "-speed", "0", "-snapshot", "24h", "-subqueue", "65536",
+		"-for", "1m")
+
+	var mu sync.Mutex
+	var got []tuple.Tuple
+	conn := readTuples(t, rep.SubAddr.String(), &got, &mu)
+	defer conn.Close()
+
+	select {
+	case <-rep.replayDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("replay never completed")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= len(in) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber got %d/%d tuples", n, len(in))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := tuple.AppendWireBatch(nil, in)
+	have := tuple.AppendWireBatch(nil, got[:len(in)])
+	if !bytes.Equal(want, have) {
+		t.Fatalf("replayed stream differs from recording (%d tuples)", len(got))
+	}
+}
+
+// TestGscopedReplayWindow replays a recorded session with -from/-to and
+// checks only the window is delivered, seeked via the segment index.
+func TestGscopedReplayWindow(t *testing.T) {
+	dir := t.TempDir() + "/session"
+	lg, err := reclog.Open(dir, reclog.Options{SegmentBytes: 2048, QueueLimit: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in []tuple.Tuple
+	for i := 0; i < 2000; i++ {
+		in = append(in, tuple.Tuple{Time: int64(i) * 10, Value: float64(i), Name: "x"})
+	}
+	for i := 0; i < len(in); i += 100 {
+		lg.Append(in[i : i+100])
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := startRelay(t, "-listen", "127.0.0.1:0", "-subscribers", "127.0.0.1:0",
+		"-replay", dir, "-speed", "0", "-from", "5s", "-to", "10s",
+		"-snapshot", "24h", "-subqueue", "65536", "-for", "1m")
+	var mu sync.Mutex
+	var got []tuple.Tuple
+	conn := readTuples(t, rep.SubAddr.String(), &got, &mu)
+	defer conn.Close()
+
+	select {
+	case <-rep.replayDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("replay never completed")
+	}
+	var want []tuple.Tuple
+	for _, tu := range in {
+		if tu.Time >= 5000 && tu.Time <= 10000 {
+			want = append(want, tu)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= len(want) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber got %d/%d tuples", n, len(want))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if !bytes.Equal(tuple.AppendWireBatch(nil, want), tuple.AppendWireBatch(nil, got[:len(want)])) {
+		t.Fatalf("window replay differs: got %d tuples, want %d", len(got), len(want))
+	}
+}
+
+// TestReplayRelayFailedStartupDoesNotHang: when newRelay fails after the
+// -replay session was opened (e.g. the listen port is taken), the error
+// cleanup path must not wait for a replay goroutine that was never
+// started.
+func TestReplayRelayFailedStartupDoesNotHang(t *testing.T) {
+	dir := t.TempDir() + "/session"
+	lg, err := reclog.Open(dir, reclog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Append([]tuple.Tuple{{Time: 1, Value: 1, Name: "x"}})
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0") // occupy a port
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	cfg, err := parseFlags([]string{"-replay", dir, "-subscribers", ":0",
+		"-listen", ln.Addr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := newRelay(cfg)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("listen on an occupied port should fail")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("newRelay error path hung (waited on a replay that never started)")
 	}
 }

@@ -10,7 +10,13 @@
 //	publisher-a ─┐                      ┌─ subscriber scope 1 → distributed_sub1.png
 //	             ├─→ relay hub (scope) ─┤
 //	publisher-b ─┘        │             └─ subscriber scope 2 → distributed_sub2.png
-//	                      └→ distributed.png
+//	                      ├→ distributed.png
+//	                      └→ flight recorder → replay → distributed_replay.png
+//
+// The hub also flight-records the merged stream (a segmented reclog
+// session); after the live run the recording is replayed as fast as
+// possible into a fourth, offline scope, demonstrating that a recorded
+// session reproduces the live picture after the fact.
 package main
 
 import (
@@ -53,7 +59,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("hub ingesting on %s, serving subscribers on %s\n", pubAddr, subAddr)
+	recDir, err := os.MkdirTemp("", "distributed-session")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(recDir)
+	if _, err := srv.Record(recDir, gscope.RecordOptions{}); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("hub ingesting on %s, serving subscribers on %s, recording to %s\n",
+		pubAddr, subAddr, recDir)
 
 	// Two downstream viewer scopes, each fed by its own subscription to
 	// the hub's merged stream (snapshot + deltas, on the loop goroutine).
@@ -126,6 +141,42 @@ func main() {
 		p, d := sc.Feed().Stats()
 		fmt.Printf("viewer %d: %d buffered, %d dropped late\n", i+1, p, d)
 	}
+
+	// Post-mortem: replay the flight-recorded session (sealed by
+	// srv.Close above) into an offline scope and render the same picture
+	// from disk. The replayed tuples drive the scope's playback mode at
+	// the recorded cadence, compressed to one poll period per sample
+	// window.
+	sess, err := gscope.OpenSession(recDir)
+	if err != nil {
+		fatal(err)
+	}
+	rep := gscope.NewReplayer(sess)
+	rep.SetSpeed(0) // as fast as possible
+	var recorded []gscope.Tuple
+	if err := rep.Run(func(batch []gscope.Tuple) error {
+		recorded = append(recorded, append([]gscope.Tuple(nil), batch...)...)
+		return nil
+	}); err != nil {
+		fatal(err)
+	}
+	replayLoop := gscope.NewLoop(gscope.NewVirtualClock(time.Unix(0, 0)))
+	replayScope := newBufferScope(replayLoop, "replay")
+	for _, tu := range recorded {
+		replayScope.Feed().PushTuple(tu)
+	}
+	if err := replayScope.SetPollingMode(50 * time.Millisecond); err != nil {
+		fatal(err)
+	}
+	if err := replayScope.StartPolling(); err != nil {
+		fatal(err)
+	}
+	replayLoop.AdvanceTo(time.Unix(0, 0).Add(4 * time.Second))
+	if err := gtk.NewScopeWidget(replayScope).RenderFrame().WritePNG("distributed_replay.png"); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote distributed_replay.png (%d tuples replayed from %s)\n",
+		len(recorded), recDir)
 }
 
 func fatal(err error) {

@@ -33,6 +33,7 @@ import (
 	"repro/internal/draw"
 	"repro/internal/glib"
 	"repro/internal/netscope"
+	"repro/internal/reclog"
 	"repro/internal/tuple"
 )
 
@@ -113,7 +114,23 @@ type (
 	NetClient = netscope.Client
 	// NetSubscriber consumes a hub's merged stream (snapshot + deltas).
 	NetSubscriber = netscope.Subscriber
+
+	// RecordLog is the flight recorder: a segmented on-disk tuple log
+	// with bounded retention (attach one with NetServer.Record).
+	RecordLog = reclog.Log
+	// RecordOptions tune segment rotation, retention and queueing.
+	RecordOptions = reclog.Options
+	// RecordSession is a recorded directory opened for replay.
+	RecordSession = reclog.Session
+	// Replayer streams a RecordSession back at ×N or as fast as possible.
+	Replayer = reclog.Replayer
 )
+
+// OpenSession indexes a recorded flight-recorder directory for replay.
+func OpenSession(dir string) (*RecordSession, error) { return reclog.OpenSession(dir) }
+
+// NewReplayer creates a replayer over a recorded session.
+func NewReplayer(s *RecordSession) *Replayer { return reclog.NewReplayer(s) }
 
 // Signal kinds (§3.1).
 const (

@@ -89,10 +89,14 @@ func shardIndex(name string) int {
 	return int(h & (feedShards - 1))
 }
 
-// push appends one tuple to shard s, applying the late-data rule. Caller
-// must not hold the shard lock.
-func (s *feedShard) push(t tuple.Tuple) bool {
-	at := t.Timestamp()
+// push appends one tuple to shard s, applying the late-data rule against
+// at — the sample's full-precision arrival timestamp. t.Time is at
+// truncated to milliseconds (the tuple wire granularity); the check must
+// use the un-truncated duration, or a sample at 1.7ms compares as 1ms
+// against a 1.5ms displayed watermark and is wrongly dropped even though
+// its window has not been displayed yet. Caller must not hold the shard
+// lock.
+func (s *feedShard) push(t tuple.Tuple, at time.Duration) bool {
 	s.mu.Lock()
 	s.pushed++
 	if s.started && at <= s.displayed {
@@ -108,19 +112,22 @@ func (s *feedShard) push(t tuple.Tuple) bool {
 
 // Push enqueues a timestamped sample for the named BUFFER signal. It
 // returns false when the sample arrived too late (its timestamp has already
-// been displayed) and was dropped.
+// been displayed) and was dropped. The late check runs at the caller's full
+// sub-millisecond precision; only the stored tuple is truncated to the
+// millisecond wire granularity.
 func (f *Feed) Push(at time.Duration, name string, v float64) bool {
 	return f.shards[shardIndex(name)].push(tuple.Tuple{
 		Time:  at.Milliseconds(),
 		Value: v,
 		Name:  name,
-	})
+	}, at)
 }
 
 // PushTuple enqueues an already-encoded tuple (used by the streaming
-// server).
+// server). Wire tuples carry millisecond stamps, so the late check runs at
+// that granularity.
 func (f *Feed) PushTuple(t tuple.Tuple) bool {
-	return f.shards[shardIndex(t.Name)].push(t)
+	return f.shards[shardIndex(t.Name)].push(t, t.Timestamp())
 }
 
 // pushRun appends a run of same-shard tuples under one lock acquisition.

@@ -269,3 +269,33 @@ func TestFeedConcurrentPush(t *testing.T) {
 		t.Fatalf("delivered %d of %d accepted", got, total)
 	}
 }
+
+// TestFeedPushSubMillisecondNotLate is the regression test for the
+// timestamp-precision late-drop bug: Push used to truncate the sample time
+// to milliseconds before the late check, so a sample at 1.7ms compared as
+// 1ms against a 1.5ms displayed watermark and was wrongly dropped. The
+// check must run at the caller's full precision.
+func TestFeedPushSubMillisecondNotLate(t *testing.T) {
+	f := NewFeed()
+	f.Take(1500 * time.Microsecond) // displayed watermark at 1.5ms
+	if !f.Push(1700*time.Microsecond, "a", 1) {
+		t.Fatal("1.7ms sample dropped against a 1.5ms watermark")
+	}
+	// Samples at or before the watermark are still late.
+	if f.Push(1500*time.Microsecond, "a", 2) {
+		t.Fatal("sample at the watermark should be dropped")
+	}
+	if f.Push(1400*time.Microsecond, "a", 3) {
+		t.Fatal("older sample should be dropped")
+	}
+	pushed, dropped := f.Stats()
+	if pushed != 3 || dropped != 2 {
+		t.Fatalf("stats = %d/%d", pushed, dropped)
+	}
+	// The survivor is stored at wire (ms) granularity and drains with the
+	// next window.
+	got := f.Take(2 * time.Millisecond)
+	if len(got) != 1 || got[0].Time != 1 || got[0].Value != 1 {
+		t.Fatalf("Take = %+v", got)
+	}
+}

@@ -181,14 +181,20 @@ func (h *History) Clear() {
 }
 
 // Oldest returns the absolute index of the oldest slot the store can still
-// summarize (coarsest level's residency).
+// summarize. It is the coarsest level's residency: every level's ring
+// covers at least the configured retention, span rounding only adds slots
+// as spans grow, so the coarsest ring reaches furthest back — and Query
+// falls back to it for ranges that have rotated out of finer levels, making
+// Oldest exactly the floor of what Query can answer.
 func (h *History) Oldest() int64 {
-	top := &h.levels[len(h.levels)-1]
-	oldest := (top.completed(h.total) - int64(top.n)) * top.span
-	if top.n < len(top.buf) {
-		// The ring never filled; everything since slot 0 is resident.
-		oldest = 0
-	}
+	return h.oldestResident(len(h.levels) - 1)
+}
+
+// oldestResident returns the absolute index of the oldest slot level k's
+// completed buckets still cover.
+func (h *History) oldestResident(k int) int64 {
+	l := &h.levels[k]
+	oldest := (l.completed(h.total) - int64(l.n)) * l.span
 	if oldest < 0 {
 		oldest = 0
 	}
@@ -196,15 +202,24 @@ func (h *History) Oldest() int64 {
 }
 
 // levelFor picks the coarsest level whose bucket span does not exceed the
-// query granularity, so each column touches at most ~2×fanout buckets.
-func (h *History) levelFor(perCol int64) *histLevel {
-	best := &h.levels[0]
+// query granularity, so each column touches at most ~2×fanout buckets —
+// then climbs to coarser levels while the range's start has rotated out of
+// the choice's ring. Fine levels retain slightly fewer slots than coarse
+// ones (ring-capacity rounding plus accumulator lag), so without the climb
+// an old narrow window could land on a level whose buckets are gone and
+// come back empty while a coarser level still covers it, breaking the
+// always-contains-every-sample envelope.
+func (h *History) levelFor(lo, perCol int64) *histLevel {
+	best := 0
 	for k := range h.levels {
 		if h.levels[k].span <= perCol {
-			best = &h.levels[k]
+			best = k
 		}
 	}
-	return best
+	for best+1 < len(h.levels) && lo < h.oldestResident(best) {
+		best++
+	}
+	return &h.levels[best]
 }
 
 // Query summarizes the absolute slot range [lo, hi) using buckets of the
@@ -223,7 +238,7 @@ func (h *History) Query(lo, hi int64) Bucket {
 	if lo < 0 {
 		lo = 0
 	}
-	l := h.levelFor(hi - lo)
+	l := h.levelFor(lo, hi-lo)
 	b0 := lo / l.span
 	b1 := (hi + l.span - 1) / l.span
 	comp := l.completed(h.total)

@@ -277,3 +277,53 @@ func TestTraceClearResetsHistory(t *testing.T) {
 		}
 	}
 }
+
+// TestHistoryQueryOldNarrowWindowFallsBack is the regression test for the
+// rotated-level query bug: a narrow range maps to a fine level whose
+// buckets may have rotated out while a coarser level still covers the
+// range. Query used to return an empty bucket there — breaking the
+// documented "always contains every sample" envelope — instead of falling
+// back to the coarsest resident level.
+func TestHistoryQueryOldNarrowWindowFallsBack(t *testing.T) {
+	// Retention 300 builds two levels (spans 16 and 256). After 10000
+	// pushes the fine level retains only ~300 recent slots while the
+	// coarse level still covers ~512.
+	h := NewHistory(300)
+	for i := 0; i < 10000; i++ {
+		h.Push(float64(i), false)
+	}
+	lo := h.Oldest()
+	hi := lo + 20 // narrow: per-column span 20 selects the span-16 level
+	got := h.Query(lo, hi)
+	if got.Count == 0 {
+		t.Fatalf("Query(%d, %d) came back empty though Oldest()=%d claims coverage", lo, hi, lo)
+	}
+	// The envelope must contain every sample in [lo, hi): samples are the
+	// slot index, so Min ≤ lo and Max ≥ hi-1 (conservatively wider is
+	// allowed, narrower is the bug).
+	if got.Min > float64(lo) || got.Max < float64(hi-1) {
+		t.Fatalf("envelope [%g, %g] does not contain samples [%d, %d)", got.Min, got.Max, lo, hi)
+	}
+}
+
+// TestHistoryOldestAnswerable checks the Oldest/Query consistency contract
+// across a sweep of retentions and fills: a narrow query at Oldest() must
+// never come back empty once data has been pushed past it.
+func TestHistoryOldestAnswerable(t *testing.T) {
+	for _, retention := range []int{16, 64, 300, 1 << 12} {
+		for _, pushes := range []int{1, 100, 5000, 50000} {
+			h := NewHistory(retention)
+			for i := 0; i < pushes; i++ {
+				h.Push(1, false)
+			}
+			lo := h.Oldest()
+			if lo >= h.Total() {
+				t.Fatalf("retention %d pushes %d: Oldest %d past Total %d",
+					retention, pushes, lo, h.Total())
+			}
+			if got := h.Query(lo, lo+1); got.Count == 0 {
+				t.Fatalf("retention %d pushes %d: Query(Oldest) empty", retention, pushes)
+			}
+		}
+	}
+}

@@ -86,7 +86,10 @@ func (ww *WriteWatch) Send(chunk []byte) bool { return ww.send(chunk, false) }
 // Protection applies only while the queue holds nothing but protected
 // chunks — i.e. to handshake chunks sent before any regular traffic,
 // which is the only place FIFO order and protection can coexist; later
-// calls behave like Send.
+// calls behave like Send. Protected chunks are capped at the queue limit:
+// once the queue is protected chunks to the bound, nothing is evictable,
+// so the incoming chunk is the one dropped (and counted) — the bound holds
+// even for a caller that protects everything.
 func (ww *WriteWatch) SendProtected(chunk []byte) bool { return ww.send(chunk, true) }
 
 func (ww *WriteWatch) send(chunk []byte, protect bool) bool {
@@ -109,6 +112,18 @@ func (ww *WriteWatch) send(chunk []byte, protect bool) bool {
 		}
 		ww.dropped.Add(1)
 		ww.droppedB.Add(int64(len(evicted)))
+	}
+	if len(ww.queue) >= ww.limit {
+		// Everything resident is protected: the eviction loop could not
+		// make room, and growing past the limit would let a peer that
+		// never drains (every queued chunk a handshake) hold unbounded
+		// memory. Drop the incoming chunk instead — enqueued-then-dropped
+		// in the byte accounting, so Flushed stays balanced.
+		ww.dropped.Add(1)
+		ww.enqueued.Add(int64(len(chunk)))
+		ww.droppedB.Add(int64(len(chunk)))
+		ww.mu.Unlock()
+		return true
 	}
 	if protect && len(ww.queue) == ww.protected {
 		ww.protected++

@@ -215,3 +215,48 @@ func TestWriteWatchFlushedConvergesAfterCancel(t *testing.T) {
 	}
 	<-ww.Done()
 }
+
+// TestWriteWatchAllProtectedCappedAtLimit is the regression test for
+// unbounded growth through SendProtected: when every queued chunk is
+// protected the eviction loop cannot run, and the queue used to grow past
+// the limit without bound. The bound must hold — the incoming chunk drops
+// (counted) once the queue is protected chunks to the limit.
+func TestWriteWatchAllProtectedCappedAtLimit(t *testing.T) {
+	loop := NewLoop(NewVirtualClock(time.Unix(0, 0)))
+	gw := &gatedWriter{release: make(chan struct{})}
+	ww := loop.WatchWriter(gw, 4, nil)
+
+	// Wedge the writer on a first chunk so the queue fills behind it.
+	ww.Send([]byte("head\n"))
+	waitFor(t, func() bool { return ww.Queued() == 0 })
+
+	for i := 0; i < 10; i++ {
+		if !ww.SendProtected([]byte{byte('0' + i), '\n'}) {
+			t.Fatalf("SendProtected %d refused a live watch", i)
+		}
+	}
+	if ww.Queued() != 4 {
+		t.Fatalf("queued = %d, want the limit 4", ww.Queued())
+	}
+	if ww.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", ww.Dropped())
+	}
+	// A regular send against a full all-protected queue drops too: there
+	// is nothing evictable.
+	ww.Send([]byte("x\n"))
+	if ww.Queued() != 4 || ww.Dropped() != 7 {
+		t.Fatalf("after Send: queued=%d dropped=%d, want 4/7", ww.Queued(), ww.Dropped())
+	}
+	close(gw.release)
+	waitFor(t, func() bool { return ww.Queued() == 0 && ww.Sent() == 5 })
+	// The protected prefix that fit the bound survives in FIFO order.
+	if got := gw.String(); got != "head\n0\n1\n2\n3\n" {
+		t.Fatalf("wrote %q", got)
+	}
+	if !ww.Flushed() {
+		t.Fatalf("byte accounting unbalanced: enq=%d written=%d dropped=%d",
+			ww.EnqueuedBytes(), ww.WrittenBytes(), ww.DroppedBytes())
+	}
+	ww.Cancel()
+	<-ww.Done()
+}

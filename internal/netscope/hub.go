@@ -55,6 +55,8 @@ type hubState struct {
 	subs map[net.Conn]*subscriber
 
 	history    []tuple.Tuple
+	newestMS   int64 // running max of retained-stream timestamps
+	newestSet  bool
 	window     time.Duration
 	windowSet  bool
 	histLimit  int
@@ -180,19 +182,31 @@ func (s *Server) broadcastBatch(batch []tuple.Tuple) {
 }
 
 // retain appends t to the snapshot history and prunes it to the configured
-// window (relative to the newest timestamp seen) and hard size cap.
+// window and hard size cap. The window is anchored to a running max of the
+// timestamps seen, not the incoming tuple's own stamp: under non-monotonic
+// stamps (one publisher with a skewed clock) a per-tuple anchor let a
+// single stale tuple stall pruning entirely. Tuples already outside the
+// window relative to the running max are not retained at all — they could
+// never be part of a connect-time snapshot, and appended behind in-window
+// history they would be unreachable by the front-only prune.
 func (s *Server) retain(t tuple.Tuple) {
 	if s.hub.window <= 0 {
 		return
 	}
+	if !s.hub.newestSet || t.Time > s.hub.newestMS {
+		s.hub.newestMS = t.Time
+		s.hub.newestSet = true
+	}
+	winMS := s.hub.window.Milliseconds()
+	if s.hub.newestMS-t.Time > winMS {
+		return // stale-stamped: outside the snapshot window on arrival
+	}
 	s.hub.history = append(s.hub.history, t)
-	newest := t.Time
 	cut := 0
 	if over := len(s.hub.history) - s.hub.histLimit; over > 0 {
 		cut = over
 	}
-	winMS := s.hub.window.Milliseconds()
-	for cut < len(s.hub.history) && newest-s.hub.history[cut].Time > winMS {
+	for cut < len(s.hub.history) && s.hub.newestMS-s.hub.history[cut].Time > winMS {
 		cut++
 	}
 	if cut > 0 {

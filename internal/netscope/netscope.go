@@ -77,6 +77,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/glib"
+	"repro/internal/reclog"
 	"repro/internal/tuple"
 )
 
@@ -103,6 +104,7 @@ type Server struct {
 	MapTime func(time.Duration) time.Duration
 
 	rec    *tuple.Writer
+	flight *reclog.Log
 	mapped []tuple.Tuple // MapTime rebase scratch, reused across batches
 
 	hub hubState
@@ -126,6 +128,31 @@ func (s *Server) Attach(sc *core.Scope) { s.scopes = append(s.scopes, sc) }
 // SetRecorder mirrors every received tuple to w (the server-side recording
 // path); nil disables.
 func (s *Server) SetRecorder(w *tuple.Writer) { s.rec = w }
+
+// Record attaches a flight recorder: every delivered batch is appended to
+// a segmented reclog session under dir (see package repro/internal/reclog
+// for the format, rotation and retention semantics). Recording taps the
+// delivery pipeline at batch granularity, so its loop-side cost is one
+// bounded-queue append per delivered batch; all file I/O happens on the
+// log's own goroutine, and a stalled disk drops recorded batches (counted
+// in the log's Stats) rather than ever blocking delivery. Recorded tuples
+// keep their original timestamps even when MapTime rebases scope delivery,
+// so a replayed session reproduces the wire stream, not the display. The
+// log is closed by Server.Close; the returned Log exposes its counters.
+func (s *Server) Record(dir string, opts reclog.Options) (*reclog.Log, error) {
+	lg, err := reclog.Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	if s.flight != nil {
+		s.flight.Close() //nolint:errcheck // superseded recorder; its data is sealed
+	}
+	s.flight = lg
+	return lg, nil
+}
+
+// FlightLog returns the attached flight recorder, or nil.
+func (s *Server) FlightLog() *reclog.Log { return s.flight }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting clients.
 // It returns the bound address.
@@ -202,6 +229,9 @@ func (s *Server) deliverBatch(batch []tuple.Tuple) {
 			s.rec.Write(t) //nolint:errcheck // recorder errors surface on Flush
 		}
 	}
+	if s.flight != nil {
+		s.flight.Append(batch) // drop-safe; losses are counted in the log
+	}
 	feedBatch := batch
 	if s.MapTime != nil {
 		if cap(s.mapped) < len(batch) {
@@ -255,6 +285,11 @@ func (s *Server) Close() error {
 	}
 	if s.rec != nil {
 		if ferr := s.rec.Flush(); err == nil {
+			err = ferr
+		}
+	}
+	if s.flight != nil {
+		if ferr := s.flight.Close(); err == nil {
 			err = ferr
 		}
 	}

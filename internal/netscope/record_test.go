@@ -1,0 +1,127 @@
+package netscope
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/glib"
+	"repro/internal/reclog"
+	"repro/internal/tuple"
+)
+
+// TestServerRecordReplayRoundTrip drives the full flight-recorder loop: a
+// publisher streams batches into a recording hub, the session is closed,
+// and a Replayer feeds the recording back through a second hub's
+// InjectBatch — the downstream subscriber must see a byte-identical wire
+// stream (the replayed session is indistinguishable from the original
+// publisher).
+func TestServerRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := make([]tuple.Tuple, 1000)
+	for i := range in {
+		in[i] = tuple.Tuple{Time: int64(i) * 2, Value: float64(i % 31), Name: "cps"}
+	}
+
+	// Session 1: publish over TCP into a recording server.
+	loop, _, srv, addr := rig(t)
+	lg, err := srv.Record(dir, reclog.Options{SegmentBytes: 4096, QueueLimit: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(in); i += 100 {
+		if err := c.SendBatch(in[i : i+100]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, loop, func() bool {
+		_, _, recv, _ := srv.Stats()
+		return recv >= int64(len(in))
+	})
+	c.Close()   //nolint:errcheck
+	srv.Close() //nolint:errcheck // seals the flight log
+	if lg.Err() != nil {
+		t.Fatal(lg.Err())
+	}
+	if _, dropped, written := lg.Stats(); dropped != 0 || written != int64(len(in)) {
+		t.Fatalf("log wrote %d, dropped %d", written, dropped)
+	}
+
+	// Session 2: replay as fast as possible through a fresh hub with a
+	// subscriber attached; collect the broadcast wire stream.
+	vc := glib.NewVirtualClock(time.Unix(9000, 0))
+	loop2 := glib.NewLoop(vc, glib.WithGranularity(0))
+	sc2 := core.New(loop2, "replay-scope", 200, 100)
+	if _, err := sc2.AddSignal(core.Sig{Name: "cps", Kind: core.KindBuffer}); err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(loop2)
+	srv2.Attach(sc2)
+	srv2.SetSnapshotWindow(0) // deltas only: the subscriber sees the replay verbatim
+	subAddr, err := srv2.ListenSubscribers("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	var got []tuple.Tuple
+	sub, err := SubscribeTo(loop2, subAddr.String(), func(tu tuple.Tuple) {
+		got = append(got, tu)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pump(t, loop2, func() bool { return srv2.Subscribers() == 1 })
+
+	sess, err := reclog.OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reclog.NewReplayer(sess)
+	rep.SetSpeed(0)
+	replayDone := make(chan error, 1)
+	go func() {
+		replayDone <- rep.Run(func(batch []tuple.Tuple) error {
+			// InjectBatch must run on the loop goroutine; block the
+			// replayer until the loop has taken the batch so the shared
+			// buffer stays valid.
+			done := make(chan struct{})
+			loop2.Invoke(func() {
+				srv2.InjectBatch(batch)
+				close(done)
+			})
+			<-done
+			return nil
+		})
+	}()
+	pump(t, loop2, func() bool {
+		select {
+		case err := <-replayDone:
+			if err != nil {
+				t.Fatal(err)
+			}
+			return true
+		default:
+			return false
+		}
+	})
+	pump(t, loop2, func() bool { return int64(len(got)) >= int64(len(in)) && srv2.SubscribersFlushed() })
+
+	want := tuple.AppendWireBatch(nil, in)
+	have := tuple.AppendWireBatch(nil, got)
+	if !bytes.Equal(want, have) {
+		t.Fatalf("replayed stream differs: %d tuples in, %d out", len(in), len(got))
+	}
+	if rep.Delivered() != int64(len(in)) {
+		t.Fatalf("replayer delivered %d", rep.Delivered())
+	}
+}

@@ -1,0 +1,166 @@
+// Package reclog is gscope's flight recorder: a segmented on-disk log of
+// tuple streams that turns every live session into a replayable dataset.
+// The paper's scope (§3.3) can record what it displays to a flat file;
+// reclog generalizes that into a durable, bounded record/replay layer for
+// the whole merged stream a netscope hub carries — the post-mortem
+// workload: record in production, replay later at any speed, seek to the
+// interesting moment.
+//
+// # On-disk format
+//
+// A recorded session is a directory of append-only segment files plus a
+// small index:
+//
+//	session/
+//	  seg-00000001.tuples
+//	  seg-00000002.tuples
+//	  ...
+//	  reclog.index
+//
+// Each segment is a valid §3.3 tuple stream (package repro/internal/tuple):
+// a '#' comment header, wire-format tuple lines, and a '#' seal footer, so
+// any tuple.Reader — or a text editor — can read a segment directly:
+//
+//	# gscope-reclog 1 seq=3
+//	1500 42.5 CWND
+//	1550 41 CWND
+//	# seal tuples=2 first=1500 last=1550
+//
+// The active segment is sealed and a new one started when it exceeds the
+// configured byte size or tuple-time span ([Options]). Sealed segments are
+// never modified; bounded retention deletes the oldest sealed segments once
+// the session exceeds its total byte budget, so a recorder left running
+// holds a sliding window of the stream.
+//
+// reclog.index holds one line per segment — sequence number, first/last
+// tuple timestamp, byte offset in the concatenated session stream, size and
+// tuple count — and is rewritten atomically on every seal. It is an
+// optimization, not a source of truth: [OpenSession] verifies each entry
+// against the file on disk and falls back to scanning any segment the index
+// does not cover (the active segment of a live or crashed recorder), so a
+// session is always replayable.
+//
+// # Recording
+//
+// [Log] is the writer: Append enqueues one copied batch on a bounded
+// drop-oldest queue (the same discipline as glib.WriteWatch) and returns
+// immediately; a background goroutine encodes batches with
+// tuple.AppendWireBatch and performs the blocking file writes, rotation and
+// retention. A stalled disk can therefore only drop recorded batches —
+// counted in [Log.Stats] — never block the event loop that feeds it.
+// netscope's Server.Record taps its delivery pipeline into a Log, so
+// recording a fan-out hub costs one queue append per delivered batch.
+//
+// # Replaying
+//
+// [OpenSession] indexes a recorded directory; [Replayer] streams it back in
+// batches, as fast as possible or paced at ×N of the recorded timeline,
+// optionally windowed to [from, to] — the segment index makes seeking to a
+// timestamp skip whole segments without reading them. Replayed batches feed
+// netscope.Client.SendBatch or Server.InjectBatch, so a recorded session
+// drives live viewers exactly like the original publishers did.
+package reclog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Format constants. The magic lines are '#' comments in the §3.3 tuple
+// grammar, so segment files remain plain tuple streams.
+const (
+	// logMagic opens every segment: "# gscope-reclog 1 seq=N".
+	logMagic = "gscope-reclog"
+	// indexMagic opens the index file: "# gscope-reclog-index 1".
+	indexMagic = "gscope-reclog-index"
+	// formatVersion is the on-disk format revision.
+	formatVersion = 1
+
+	// segPrefix/segSuffix frame segment file names: seg-00000001.tuples.
+	segPrefix = "seg-"
+	segSuffix = ".tuples"
+	// indexName is the session index file.
+	indexName = "reclog.index"
+)
+
+// Defaults applied by Options.withDefaults for zero fields.
+const (
+	// DefaultSegmentBytes rotates segments at 4 MiB — large enough that
+	// header/footer overhead vanishes, small enough that seek-to-time and
+	// retention work at fine granularity.
+	DefaultSegmentBytes = 4 << 20
+	// DefaultSegmentSpan rotates segments once they cover a minute of
+	// tuple time, bounding how stale the index can be for slow streams.
+	DefaultSegmentSpan = time.Minute
+	// DefaultTotalBytes bounds a session at 256 MiB before the oldest
+	// segments are retired.
+	DefaultTotalBytes = 256 << 20
+	// DefaultQueueLimit bounds the append queue in batches.
+	DefaultQueueLimit = 256
+)
+
+// Options configure a Log. The zero value selects every default.
+type Options struct {
+	// SegmentBytes seals the active segment once it reaches this size.
+	// Non-positive selects DefaultSegmentBytes.
+	SegmentBytes int64
+	// SegmentSpan seals the active segment once its tuples cover this
+	// much recorded time. Non-positive selects DefaultSegmentSpan.
+	SegmentSpan time.Duration
+	// TotalBytes bounds the whole session: once sealed segments exceed
+	// it, the oldest are deleted. Non-positive selects DefaultTotalBytes.
+	TotalBytes int64
+	// QueueLimit bounds the append queue in batches (drop-oldest beyond
+	// it). Non-positive selects DefaultQueueLimit.
+	QueueLimit int
+}
+
+// withDefaults resolves zero fields.
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = DefaultSegmentBytes
+	}
+	if o.SegmentSpan <= 0 {
+		o.SegmentSpan = DefaultSegmentSpan
+	}
+	if o.TotalBytes <= 0 {
+		o.TotalBytes = DefaultTotalBytes
+	}
+	if o.QueueLimit <= 0 {
+		o.QueueLimit = DefaultQueueLimit
+	}
+	return o
+}
+
+// SegmentInfo is one index entry: where a segment's tuples sit on the
+// session's timeline and in its concatenated byte stream.
+type SegmentInfo struct {
+	// Seq is the segment sequence number (monotonic across the session).
+	Seq int64
+	// First and Last are the oldest and newest tuple timestamps (ms) in
+	// the segment; with a non-monotonic source these are running min/max,
+	// so [First, Last] always covers every tuple.
+	First, Last int64
+	// Offset is the byte offset of this segment's first byte in the
+	// concatenated session stream; Bytes is the segment file size.
+	Offset, Bytes int64
+	// Tuples is the number of tuple lines in the segment.
+	Tuples int64
+}
+
+// segName formats a segment file name.
+func segName(seq int64) string { return fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix) }
+
+// segSeq parses a segment file name, reporting whether it is one.
+func segSeq(name string) (int64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseInt(name[len(segPrefix):len(name)-len(segSuffix)], 10, 64)
+	if err != nil || seq <= 0 {
+		return 0, false
+	}
+	return seq, true
+}

@@ -1,0 +1,237 @@
+package reclog
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// Session is a recorded directory opened for reading: the per-segment
+// index, verified against the files on disk.
+type Session struct {
+	dir  string
+	segs []SegmentInfo
+}
+
+// OpenSession indexes a recorded session directory. Index entries that
+// match the files on disk are trusted; anything else (the active segment of
+// a live recorder, a crashed session, a hand-edited directory) is scanned.
+func OpenSession(dir string) (*Session, error) {
+	segs, err := scanDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("reclog: %s: no segments", dir)
+	}
+	return &Session{dir: dir, segs: segs}, nil
+}
+
+// Dir returns the session directory.
+func (s *Session) Dir() string { return s.dir }
+
+// Segments returns the index, oldest segment first.
+func (s *Session) Segments() []SegmentInfo {
+	out := make([]SegmentInfo, len(s.segs))
+	copy(out, s.segs)
+	return out
+}
+
+// Tuples returns the total recorded tuple count.
+func (s *Session) Tuples() int64 {
+	var n int64
+	for _, seg := range s.segs {
+		n += seg.Tuples
+	}
+	return n
+}
+
+// Bounds returns the oldest and newest tuple timestamps (ms) in the
+// session; ok is false for a session holding no tuples.
+func (s *Session) Bounds() (first, last int64, ok bool) {
+	for _, seg := range s.segs {
+		if seg.Tuples == 0 {
+			continue
+		}
+		if !ok || seg.First < first {
+			first = seg.First
+		}
+		if !ok || seg.Last > last {
+			last = seg.Last
+		}
+		ok = true
+	}
+	return first, last, ok
+}
+
+// DefaultReplayBatch is the tuple batch size Replayer delivers.
+const DefaultReplayBatch = 512
+
+// paceSliceMS bounds how much recorded time one delivered batch may span
+// when pacing is on. Pacing sleeps happen between batches, so without this
+// a slow recording (hundreds of tuples per second) would fill a whole
+// 512-tuple batch spanning seconds of recorded time and replay it as one
+// burst; 50ms slices reproduce the recorded cadence at scope-poll
+// granularity.
+const paceSliceMS = 50
+
+// Replayer streams a Session back as tuple batches: as fast as possible,
+// or paced so recorded time advances at a multiple of real time. A
+// Replayer is single-use state (delivered counters, pacing anchor); create
+// one per replay pass.
+type Replayer struct {
+	sess  *Session
+	speed float64
+	from  int64 // ms, inclusive
+	to    int64 // ms, inclusive
+	batch int
+
+	delivered   int64
+	skippedSegs int
+	sleep       func(time.Duration) // test seam; nil = time.Sleep
+}
+
+// NewReplayer creates a replayer over the whole session at recorded speed
+// (×1 pacing).
+func NewReplayer(s *Session) *Replayer {
+	return &Replayer{sess: s, speed: 1, from: math.MinInt64, to: math.MaxInt64, batch: DefaultReplayBatch}
+}
+
+// SetSpeed sets the pacing multiple: 1 replays on the recorded timeline, 2
+// twice as fast, and so on. Non-positive disables pacing entirely (replay
+// as fast as possible).
+func (r *Replayer) SetSpeed(x float64) { r.speed = x }
+
+// SetWindow restricts replay to tuples stamped in [from, to] on the
+// recorded timeline. A non-positive to means no upper bound. Seeking uses
+// the segment index: segments wholly before from are skipped without being
+// read, so starting mid-session costs at most one segment of scanning.
+func (r *Replayer) SetWindow(from, to time.Duration) {
+	r.from = from.Milliseconds()
+	r.to = math.MaxInt64
+	if to > 0 {
+		r.to = to.Milliseconds()
+	}
+}
+
+// SetBatch bounds delivered batches in tuples (non-positive restores
+// DefaultReplayBatch).
+func (r *Replayer) SetBatch(n int) {
+	if n <= 0 {
+		n = DefaultReplayBatch
+	}
+	r.batch = n
+}
+
+// Delivered returns the number of tuples delivered so far; it may be read
+// while Run is in flight only from the delivering callback.
+func (r *Replayer) Delivered() int64 { return r.delivered }
+
+// SkippedSegments returns how many whole segments the window seek skipped
+// without reading.
+func (r *Replayer) SkippedSegments() int { return r.skippedSegs }
+
+// Run streams the session through fn in timestamp-windowed batches (each at
+// most the configured batch size; valid only for the duration of the call).
+// It blocks until the session is exhausted, fn returns an error (which Run
+// returns), or a read fails. Pacing sleeps happen between batches, anchored
+// to the first delivered tuple, so a paced replay reproduces the recorded
+// cadence at the configured multiple.
+func (r *Replayer) Run(fn func(batch []tuple.Tuple) error) error {
+	var (
+		wallStart time.Time
+		t0        int64
+		anchored  bool
+	)
+	batch := make([]tuple.Tuple, 0, r.batch)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if r.speed > 0 {
+			if !anchored {
+				wallStart, t0, anchored = time.Now(), batch[0].Time, true
+			} else if ahead := r.paceDelay(wallStart, t0, batch[0].Time); ahead > 0 {
+				if r.sleep != nil {
+					r.sleep(ahead)
+				} else {
+					time.Sleep(ahead)
+				}
+			}
+		}
+		if err := fn(batch); err != nil {
+			return err
+		}
+		r.delivered += int64(len(batch))
+		batch = batch[:0]
+		return nil
+	}
+	for _, seg := range r.sess.segs {
+		if seg.Tuples == 0 {
+			continue
+		}
+		if seg.Last < r.from || seg.First > r.to {
+			r.skippedSegs++
+			continue
+		}
+		if err := r.runSegment(seg, &batch, flush); err != nil {
+			return err
+		}
+	}
+	return flush()
+}
+
+// paceDelay returns how long to sleep so that the tuple stamped at (ms)
+// is delivered at wallStart + (at-t0)/speed.
+func (r *Replayer) paceDelay(wallStart time.Time, t0, at int64) time.Duration {
+	target := wallStart.Add(time.Duration(float64(at-t0) / r.speed * float64(time.Millisecond)))
+	return time.Until(target)
+}
+
+// runSegment streams one segment file through the shared batch buffer.
+func (r *Replayer) runSegment(seg SegmentInfo, batch *[]tuple.Tuple, flush func() error) error {
+	f, err := os.Open(filepath.Join(r.sess.dir, segName(seg.Seq)))
+	if err != nil {
+		return fmt.Errorf("reclog: %w", err)
+	}
+	defer f.Close()
+	tr := tuple.NewReader(f, false)
+	for {
+		t, err := tr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if errors.Is(err, tuple.ErrBadLine) {
+			// A torn final line from a crashed recorder (segments are
+			// append-only, so damage is only ever at the tail): stop at
+			// what parsed, matching what the index scanner counted.
+			return nil
+		}
+		if err != nil {
+			// A transport error (disk I/O, oversized line): the rest of
+			// the segment is unreadable, and silently replaying a partial
+			// session would misrepresent the recording.
+			return fmt.Errorf("reclog: %s: %w", segName(seg.Seq), err)
+		}
+		if t.Time < r.from || t.Time > r.to {
+			continue
+		}
+		if r.speed > 0 && len(*batch) > 0 && t.Time-(*batch)[0].Time >= paceSliceMS {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+		*batch = append(*batch, t)
+		if len(*batch) >= r.batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+}

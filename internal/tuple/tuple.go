@@ -46,19 +46,35 @@
 //	1550 41 CWND
 //	# snapshot-end
 //
-// (see package repro/internal/netscope for that protocol's semantics). A
-// consumer using Reader sees only the tuples; a protocol-aware consumer
+// (see package repro/internal/netscope for that protocol's semantics), and
+// the flight recorder frames its on-disk segments the same way:
+//
+//	# gscope-reclog 1 seq=3
+//	1500 42.5 CWND
+//	1550 41 CWND
+//	# seal tuples=2 first=1500 last=1550
+//
+// (see package repro/internal/reclog for the segment/rotation semantics).
+// A consumer using Reader sees only the tuples; a protocol-aware consumer
 // inspects the comment lines before discarding them.
 package tuple
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 	"time"
 )
+
+// ErrBadLine tags data-level stream errors from Reader.Read — a line that
+// does not parse, or an out-of-order timestamp in strict mode — so
+// consumers can distinguish bad data (skippable, or a torn tail in an
+// append-only file) from transport/I-O errors, which Read returns unwrapped
+// and which mean the rest of the stream is unreadable.
+var ErrBadLine = errors.New("bad tuple line")
 
 // Tuple is one timestamped sample of a named signal. Name may be empty in
 // the single-signal form.
@@ -234,10 +250,10 @@ func (tr *Reader) Read() (Tuple, error) {
 		}
 		t, err := Parse(line)
 		if err != nil {
-			return Tuple{}, fmt.Errorf("line %d: %w", tr.line, err)
+			return Tuple{}, fmt.Errorf("line %d: %w: %w", tr.line, ErrBadLine, err)
 		}
 		if tr.strict && tr.started && t.Time < tr.lastTime {
-			return Tuple{}, fmt.Errorf("line %d: tuple: time %d before previous %d", tr.line, t.Time, tr.lastTime)
+			return Tuple{}, fmt.Errorf("line %d: %w: time %d before previous %d", tr.line, ErrBadLine, t.Time, tr.lastTime)
 		}
 		tr.lastTime = t.Time
 		tr.started = true
