@@ -15,11 +15,13 @@ package gscope
 // -bench` run into out/.
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -699,6 +701,181 @@ func BenchmarkHubFanOutBatch(b *testing.B) {
 			}
 			wg.Wait()
 		})
+	}
+}
+
+// BenchmarkHubFanOutFiltered measures the v2 per-signal subscription path
+// at hub scale: 64 signals, 100 subscribers all filtered to one hot
+// signal, plus one unfiltered reference viewer. The filtered subscribers
+// share a single narrowed encoding per batch (the memo path), so the
+// per-tuple cost stays near the unfiltered broadcast while each filtered
+// wire carries ~1/64 of the bytes. The bench asserts the headline claim:
+// a filtered subscriber receives <5% of the unfiltered byte volume.
+func BenchmarkHubFanOutFiltered(b *testing.B) {
+	const (
+		signals  = 64
+		filtered = 100
+		batchLen = 64
+	)
+	vc := glib.NewVirtualClock(time.Unix(0, 0))
+	loop := glib.NewLoop(vc, glib.WithGranularity(0))
+	srv := netscope.NewServer(loop)
+	srv.SetSnapshotWindow(0)
+	srv.SetSubscriberQueueLimit(1 << 20)
+	subAddr, err := srv.ListenSubscribers("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var conns []net.Conn
+	var counters []*int64
+	dial := func(request string) *int64 {
+		conn, err := net.Dial("tcp", subAddr.String())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if request != "" {
+			if _, err := conn.Write([]byte(request)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		conns = append(conns, conn)
+		n := new(int64)
+		counters = append(counters, n)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 64<<10)
+			for {
+				k, err := conn.Read(buf)
+				atomic.AddInt64(n, int64(k))
+				if err != nil {
+					return
+				}
+			}
+		}()
+		return n
+	}
+	unfiltered := dial("") // silent v1 reference viewer
+	var filteredBytes []*int64
+	for i := 0; i < filtered; i++ {
+		filteredBytes = append(filteredBytes, dial("gscope-sub 2 signals=sig0\n"))
+	}
+	for srv.Subscribers() < filtered+1 {
+		loop.Iterate()
+		time.Sleep(time.Millisecond)
+	}
+	batch := make([]tuple.Tuple, batchLen)
+	for j := range batch {
+		batch[j] = tuple.Tuple{Value: float64(j & 0xff), Name: fmt.Sprintf("sig%d", j%signals)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchLen {
+		n := batchLen
+		if b.N-i < n {
+			n = b.N - i
+		}
+		for j := 0; j < n; j++ {
+			batch[j].Time = int64(i + j)
+		}
+		srv.InjectBatch(batch[:n])
+	}
+	for !srv.SubscribersFlushed() {
+		time.Sleep(50 * time.Microsecond)
+	}
+	b.StopTimer()
+	st := srv.FanoutStats()
+	b.ReportMetric(float64(st.Published*int64(filtered+1))/b.Elapsed().Seconds(), "deliveries/s")
+	b.ReportMetric(float64(st.Dropped), "dropped")
+	srv.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	wg.Wait()
+	ref := atomic.LoadInt64(unfiltered)
+	var filtTotal int64
+	for _, n := range filteredBytes {
+		filtTotal += atomic.LoadInt64(n)
+	}
+	filtAvg := filtTotal / int64(len(filteredBytes))
+	if ref > 0 {
+		ratio := float64(filtAvg) / float64(ref)
+		b.ReportMetric(100*ratio, "filtered-bytes-%")
+		// The acceptance bar: 1 hot signal of 64 must cost <5% of the
+		// full stream. Only meaningful once enough batches flowed to
+		// amortize the handshake frames.
+		if b.N >= 64*100 && ratio >= 0.05 {
+			b.Fatalf("filtered subscriber received %.1f%% of the unfiltered bytes, want <5%%", 100*ratio)
+		}
+	}
+}
+
+// BenchmarkParamSetNetwork measures one remote-parameter round trip: a
+// control-plane client sends "param set" on the subscriber socket and
+// waits for the hub's param-ok ack. ns/op is the full wire round trip
+// through the loop's command handling and bounds clamping.
+func BenchmarkParamSetNetwork(b *testing.B) {
+	loop := glib.NewLoop(glib.RealClock{})
+	srv := netscope.NewServer(loop)
+	ps := core.NewParamSet()
+	var knob core.FloatVar
+	if err := ps.Add(core.FloatParam("knob", &knob, 0, 1e9)); err != nil {
+		b.Fatal(err)
+	}
+	srv.SetParams(ps)
+	subAddr, err := srv.ListenSubscribers("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		loop.Run() //nolint:errcheck
+		close(done)
+	}()
+	defer func() {
+		srv.Close()
+		loop.Quit()
+		<-done
+	}()
+	conn, err := net.Dial("tcp", subAddr.String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("gscope-sub 2 stream=0\n")); err != nil {
+		b.Fatal(err)
+	}
+	r := bufio.NewReader(conn)
+	readFrame := func(verb string) {
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, ok := tuple.ParseControl(line)
+			if !ok {
+				continue
+			}
+			if f.Verb == "error" {
+				b.Fatalf("hub error: %v", f.Fields)
+			}
+			if f.Verb == verb {
+				return
+			}
+		}
+	}
+	readFrame("gscope-hub") // the v2 ack
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fmt.Fprintf(conn, "param set knob %d\n", i); err != nil {
+			b.Fatal(err)
+		}
+		readFrame("param-ok")
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sets/s")
+	if knob.Load() != float64(b.N-1) {
+		b.Fatalf("knob = %v after %d sets", knob.Load(), b.N)
 	}
 }
 

@@ -25,6 +25,7 @@
 package main
 
 import (
+	"bufio"
 	"errors"
 	"flag"
 	"fmt"
@@ -51,6 +52,8 @@ type config struct {
 	subscribers string
 	upstream    string
 	signals     []string
+	maxRate     float64
+	since       time.Duration
 	delay       time.Duration
 	period      time.Duration
 	snapshot    time.Duration
@@ -67,6 +70,11 @@ type config struct {
 	height      int
 	runFor      time.Duration
 	unixTS      bool
+
+	// paramCmd holds a one-shot control-plane command ("param list",
+	// "param get <name>", "param set <name> <value>") run against the
+	// -upstream hub's subscriber socket instead of starting a relay.
+	paramCmd []string
 }
 
 // parseFlags parses args (without the program name) into a config.
@@ -77,7 +85,9 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&cfg.listen, "listen", "127.0.0.1:7420", "address to ingest publisher tuple streams on")
 	fs.StringVar(&cfg.subscribers, "subscribers", "", "address to serve downstream subscribers on (fan-out hub)")
 	fs.StringVar(&cfg.upstream, "upstream", "", "subscribe to an upstream gscoped hub and relay its stream")
-	fs.StringVar(&signals, "signals", "", "comma-separated BUFFER signal names to display locally")
+	fs.StringVar(&signals, "signals", "", "comma-separated signal names/globs: displayed locally, and (with -upstream) the per-signal upstream subscription filter")
+	fs.Float64Var(&cfg.maxRate, "max-rate", 0, "with -upstream: cap the upstream subscription at this many tuples/s per signal (server-side decimation; 0 = unlimited)")
+	fs.DurationVar(&cfg.since, "since", 0, "with -upstream: backfill this much trailing history on first connect (e.g. 10s)")
 	fs.DurationVar(&cfg.delay, "delay", 200*time.Millisecond, "buffered display delay")
 	fs.DurationVar(&cfg.period, "period", 50*time.Millisecond, "polling period")
 	fs.DurationVar(&cfg.snapshot, "snapshot", netscope.DefaultSnapshotWindow, "history window replayed to new subscribers")
@@ -107,6 +117,35 @@ func parseFlags(args []string) (*config, error) {
 		err := errors.New(msg)
 		fmt.Fprintln(fs.Output(), "gscoped:", err)
 		return nil, err
+	}
+	if cfg.maxRate < 0 {
+		return fail("-max-rate must not be negative")
+	}
+	if cfg.since < 0 {
+		return fail("-since must not be negative (it is a trailing window)")
+	}
+	if args := fs.Args(); len(args) > 0 {
+		// One-shot control-plane mode: gscoped -upstream hub:7421 param ...
+		if args[0] != "param" {
+			return fail(fmt.Sprintf("unknown command %q (only \"param\" is supported)", args[0]))
+		}
+		if cfg.upstream == "" {
+			return fail("param commands need -upstream to name the hub's subscriber address")
+		}
+		ok := len(args) >= 2 && (args[1] == "list" && len(args) == 2 ||
+			args[1] == "get" && len(args) == 3 ||
+			args[1] == "set" && len(args) == 4)
+		if !ok {
+			return fail("usage: param list | param get <name> | param set <name> <value>")
+		}
+		cfg.paramCmd = args
+		return cfg, nil
+	}
+	if cfg.maxRate > 0 && cfg.upstream == "" {
+		return fail("-max-rate shapes the upstream subscription and needs -upstream")
+	}
+	if cfg.since != 0 && cfg.upstream == "" {
+		return fail("-since backfills the upstream subscription and needs -upstream")
 	}
 	if len(cfg.signals) == 0 && cfg.subscribers == "" && cfg.rec == "" {
 		return fail("nothing to do: need -signals (local display), -subscribers (fan-out) and/or -record, e.g. -signals cps,errps")
@@ -174,7 +213,28 @@ func newRelay(cfg *config) (*relay, error) {
 	r.srv = netscope.NewServer(r.loop)
 	r.srv.SetSnapshotWindow(cfg.snapshot)
 	r.srv.SetSubscriberQueueLimit(cfg.subQueue)
+	// The daemon's own control parameters, reachable over the subscriber
+	// socket's v2 plane (`gscoped -upstream host:port param list`).
+	params := core.NewParamSet()
+	r.srv.SetParams(params)
 	if r.scope != nil {
+		// delay-ms: the §3.2 display delay, remotely tunable. The setter
+		// runs on the loop (network sets are handled there), which is the
+		// thread SetDelay requires.
+		var delayMS core.IntVar
+		delayMS.Store(cfg.delay.Milliseconds())
+		scope := r.scope
+		if err := params.Add(&core.Param{
+			Name: "delay-ms",
+			Get:  func() float64 { return float64(delayMS.Load()) },
+			Set: func(v float64) {
+				delayMS.Store(int64(v))
+				scope.SetDelay(time.Duration(v) * time.Millisecond)
+			},
+			Min: 0, Max: 60_000, Step: 50,
+		}); err != nil {
+			return nil, err
+		}
 		r.srv.Attach(r.scope)
 		if cfg.unixTS {
 			// Rebase shared-clock (Unix ms) stamps onto this scope's
@@ -215,7 +275,7 @@ func newRelay(cfg *config) (*relay, error) {
 		r.SubAddr = subAddr
 	}
 	if cfg.upstream != "" {
-		if err := r.connectUpstream(); err != nil {
+		if err := r.connectUpstream(true); err != nil {
 			r.cleanup()
 			return nil, err
 		}
@@ -223,11 +283,31 @@ func newRelay(cfg *config) (*relay, error) {
 	return r, nil
 }
 
+// upstreamOpts builds the v2 subscription the relay asks of its upstream
+// hub: the -signals filter and -max-rate decimation on every connect, and
+// the -since backfill on the first connect only (a redial after an outage
+// must not replay a stale window into downstream viewers). With no options
+// the relay stays a plain v1 subscriber.
+func (r *relay) upstreamOpts(first bool) []netscope.SubscribeOption {
+	var opts []netscope.SubscribeOption
+	if len(r.cfg.signals) > 0 {
+		opts = append(opts, netscope.WithSignals(r.cfg.signals...))
+	}
+	if r.cfg.maxRate > 0 {
+		opts = append(opts, netscope.WithMaxRate(r.cfg.maxRate))
+	}
+	if first && r.cfg.since > 0 {
+		opts = append(opts, netscope.WithSince(-r.cfg.since))
+	}
+	return opts
+}
+
 // connectUpstream subscribes to the upstream hub and arranges automatic
 // redial with backoff when the hub goes away, so a chained relay survives
 // hub restarts instead of silently serving a frozen stream.
-func (r *relay) connectUpstream() error {
-	up, err := netscope.SubscribeToBatch(r.loop, r.cfg.upstream, r.srv.InjectBatch)
+func (r *relay) connectUpstream(first bool) error {
+	up, err := netscope.SubscribeToBatch(r.loop, r.cfg.upstream, r.srv.InjectBatch,
+		r.upstreamOpts(first)...)
 	if err != nil {
 		return err
 	}
@@ -251,7 +331,7 @@ func (r *relay) redialUpstream() {
 		if r.closed.Load() {
 			return
 		}
-		if err := r.connectUpstream(); err == nil {
+		if err := r.connectUpstream(false); err == nil {
 			fmt.Fprintf(r.status, "gscoped: upstream %s reconnected\n", r.cfg.upstream)
 			return
 		}
@@ -282,8 +362,12 @@ func (r *relay) run(status io.Writer) error {
 				fmt.Print(draw.ANSIHome())
 				r.widget.RenderFrame().WriteANSI(os.Stdout, draw.ANSIOptions{Scale: 3}) //nolint:errcheck
 				conns, _, recv, _ := r.srv.Stats()
-				fmt.Printf("%s  clients=%d recv=%d subs=%d\n",
-					r.widget.StatusLine(), conns, recv, r.srv.Subscribers())
+				// drops = chunks lost to slow viewers; filt = tuples the
+				// v2 plane withheld per subscription (decimation working).
+				st := r.srv.FanoutStats()
+				fmt.Printf("%s  clients=%d recv=%d subs=%d drops=%d filt=%d\n",
+					r.widget.StatusLine(), conns, recv, r.srv.Subscribers(),
+					st.Dropped, st.Filtered)
 			}
 			return true
 		})
@@ -387,6 +471,60 @@ func (r *relay) cleanup() {
 	}
 }
 
+// runParamCmd executes a one-shot control-plane command against the
+// -upstream hub: it opens a stream-less v2 subscription on the same
+// subscriber socket the viewers use, sends the command, and prints the
+// reply frames (without their comment framing) to out. Errors from the hub
+// ("# error ...") come back as errors.
+func runParamCmd(cfg *config, out io.Writer) error {
+	conn, err := net.DialTimeout("tcp", cfg.upstream, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	cmd := strings.Join(cfg.paramCmd, " ")
+	if _, err := fmt.Fprintf(conn, "gscope-sub 2 stream=0\n%s\n", cmd); err != nil {
+		return err
+	}
+	terminal := map[string]string{"list": "params-end", "get": "param", "set": "param-ok"}[cfg.paramCmd[1]]
+	var wantName string
+	if len(cfg.paramCmd) > 2 {
+		wantName = cfg.paramCmd[2]
+	}
+	sc := bufio.NewScanner(conn)
+	for sc.Scan() {
+		f, ok := tuple.ParseControl(sc.Text())
+		if !ok {
+			continue
+		}
+		switch f.Verb {
+		case "gscope-hub", "params":
+			continue // the ack and the list header carry no values
+		case "param":
+			// Change notifications (name + value only) fan out to every
+			// v2 subscriber; a concurrent set by someone else must not
+			// masquerade as our reply or pollute the list output. Full
+			// get/list replies carry the min/max/step/mode metadata.
+			if len(f.Fields) <= 2 {
+				continue
+			}
+		case "error":
+			return fmt.Errorf("%s: %s", cmd, strings.Join(f.Fields, " "))
+		}
+		if f.Verb != "params-end" {
+			fmt.Fprintln(out, strings.Join(append([]string{f.Verb}, f.Fields...), " "))
+		}
+		if f.Verb == terminal && (wantName == "" || f.Arg(0) == wantName) {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("%s: %w", cmd, err)
+	}
+	return fmt.Errorf("%s: connection closed before a reply", cmd)
+}
+
 func main() {
 	cfg, err := parseFlags(os.Args[1:])
 	if errors.Is(err, flag.ErrHelp) {
@@ -395,6 +533,12 @@ func main() {
 	if err != nil {
 		// parseFlags (or flag itself) already reported the problem.
 		os.Exit(2)
+	}
+	if cfg.paramCmd != nil {
+		if err := runParamCmd(cfg, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	r, err := newRelay(cfg)
 	if err != nil {

@@ -485,3 +485,142 @@ func TestReplayRelayFailedStartupDoesNotHang(t *testing.T) {
 		t.Fatal("newRelay error path hung (waited on a replay that never started)")
 	}
 }
+
+func TestParseFlagsV2Subscription(t *testing.T) {
+	cfg, err := parseFlags([]string{"-upstream", "hub:7421", "-subscribers", ":0",
+		"-signals", "cpu.*,mem", "-max-rate", "30", "-since", "10s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.maxRate != 30 || cfg.since != 10*time.Second {
+		t.Fatalf("v2 flags wrong: %+v", cfg)
+	}
+	if got := strings.Join(cfg.signals, "|"); got != "cpu.*|mem" {
+		t.Fatalf("signals = %q", got)
+	}
+}
+
+func TestParseFlagsRejectsBadV2Flags(t *testing.T) {
+	if _, err := parseFlags([]string{"-subscribers", ":0", "-max-rate", "-1"}); err == nil {
+		t.Fatal("negative -max-rate accepted")
+	}
+	if _, err := parseFlags([]string{"-subscribers", ":0", "-max-rate", "10"}); err == nil {
+		t.Fatal("-max-rate without -upstream accepted")
+	}
+	if _, err := parseFlags([]string{"-subscribers", ":0", "-since", "10s"}); err == nil {
+		t.Fatal("-since without -upstream accepted")
+	}
+	if _, err := parseFlags([]string{"-upstream", "h:1", "-subscribers", ":0", "-since", "-10s"}); err == nil {
+		t.Fatal("negative -since accepted")
+	}
+}
+
+func TestParseFlagsParamMode(t *testing.T) {
+	cfg, err := parseFlags([]string{"-upstream", "hub:7421", "param", "set", "delay-ms", "300"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(cfg.paramCmd, " ") != "param set delay-ms 300" {
+		t.Fatalf("paramCmd = %v", cfg.paramCmd)
+	}
+	if _, err := parseFlags([]string{"param", "list"}); err == nil {
+		t.Fatal("param mode without -upstream accepted")
+	}
+	if _, err := parseFlags([]string{"-upstream", "h:1", "param", "set", "x"}); err == nil {
+		t.Fatal("param set without a value accepted")
+	}
+	if _, err := parseFlags([]string{"-upstream", "h:1", "bogus"}); err == nil {
+		t.Fatal("unknown positional command accepted")
+	}
+}
+
+// TestGscopedParamGetSet drives the gscopectl-style path end to end: a
+// displaying relay exposes delay-ms; the one-shot param mode sets it
+// (clamped to its bounds), reads it back, and lists it — all through the
+// same subscriber socket the viewers use.
+func TestGscopedParamGetSet(t *testing.T) {
+	r := startRelay(t, "-listen", "127.0.0.1:0", "-subscribers", "127.0.0.1:0",
+		"-signals", "cps")
+	addr := r.SubAddr.String()
+
+	run := func(args ...string) string {
+		t.Helper()
+		cfg, err := parseFlags(append([]string{"-upstream", addr}, args...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := runParamCmd(cfg, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		return out.String()
+	}
+	if got := run("param", "set", "delay-ms", "300"); !strings.Contains(got, "param-ok delay-ms 300") {
+		t.Fatalf("set reply = %q", got)
+	}
+	if got := run("param", "get", "delay-ms"); !strings.Contains(got, "param delay-ms 300") {
+		t.Fatalf("get reply = %q", got)
+	}
+	// Out-of-bounds set clamps server-side (delay-ms is bounded at 60s).
+	if got := run("param", "set", "delay-ms", "999999"); !strings.Contains(got, "param-ok delay-ms 60000") {
+		t.Fatalf("clamped set reply = %q", got)
+	}
+	if got := run("param", "list"); !strings.Contains(got, "delay-ms") || !strings.Contains(got, "mode=rw") {
+		t.Fatalf("list reply = %q", got)
+	}
+	// Errors surface as errors, not output.
+	cfg, err := parseFlags([]string{"-upstream", addr, "param", "get", "nope"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runParamCmd(cfg, &out); err == nil {
+		t.Fatal("unknown parameter should error")
+	}
+}
+
+// TestRelayFilteredUpstream: a chained relay with -signals subscribes
+// upstream per-signal, so only the filtered stream crosses the link and
+// reaches downstream viewers.
+func TestRelayFilteredUpstream(t *testing.T) {
+	hub := startRelay(t, "-listen", "127.0.0.1:0", "-subscribers", "127.0.0.1:0")
+	chained := startRelay(t, "-listen", "127.0.0.1:0", "-subscribers", "127.0.0.1:0",
+		"-upstream", hub.SubAddr.String(), "-signals", "cps", "-unixtime=false")
+
+	var mu sync.Mutex
+	var got []tuple.Tuple
+	conn := readTuples(t, chained.SubAddr.String(), &got, &mu)
+	defer conn.Close()
+
+	c, err := netscope.Dial(hub.PubAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		c.Send(time.Duration(i)*time.Millisecond, "cps", float64(i))  //nolint:errcheck
+		c.Send(time.Duration(i)*time.Millisecond, "junk", float64(i)) //nolint:errcheck
+	}
+	c.Flush() //nolint:errcheck
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("filtered relay delivered %d/5", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, tu := range got {
+		if tu.Name != "cps" {
+			t.Fatalf("junk crossed the filtered relay: %+v", tu)
+		}
+	}
+}

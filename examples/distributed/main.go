@@ -8,10 +8,20 @@
 // separate machines would.
 //
 //	publisher-a ─┐                      ┌─ subscriber scope 1 → distributed_sub1.png
-//	             ├─→ relay hub (scope) ─┤
-//	publisher-b ─┘        │             └─ subscriber scope 2 → distributed_sub2.png
+//	             ├─→ relay hub (scope) ─┤      (v1: the full merged stream)
+//	publisher-b ─┘        │             ├─ subscriber scope 2 → distributed_sub2.png
+//	                      │             │      (v2: WithSignals("client-a") only)
+//	                      │             └─ control plane: param set amplitude ...
 //	                      ├→ distributed.png
 //	                      └→ flight recorder → replay → distributed_replay.png
+//
+// Viewer 2 demonstrates the v2 subscriber protocol: it asks the hub for a
+// per-signal subscription, so the unwanted signal never crosses its wire
+// (FanoutStats counts what was withheld). A fourth, stream-less connection
+// uses the same socket as a control plane: halfway through the run it sets
+// the publishers' amplitude parameter remotely — clamped to its declared
+// bounds and observed live by both publishers — which is visible as the
+// sine waves flattening in every rendered PNG.
 //
 // The hub also flight-records the merged stream (a segmented reclog
 // session); after the live run the recording is replayed as fast as
@@ -67,23 +77,60 @@ func main() {
 	if _, err := srv.Record(recDir, gscope.RecordOptions{}); err != nil {
 		fatal(err)
 	}
+	// The publishers' shared amplitude, exposed as a remote-settable
+	// control parameter (§3.2 over the wire).
+	var amplitude gscope.FloatVar
+	amplitude.Store(40)
+	params := gscope.NewParams()
+	if err := params.Add(gscope.FloatParam("amplitude", &amplitude, 0, 40)); err != nil {
+		fatal(err)
+	}
+	srv.SetParams(params)
 	fmt.Printf("hub ingesting on %s, serving subscribers on %s, recording to %s\n",
 		pubAddr, subAddr, recDir)
 
 	// Two downstream viewer scopes, each fed by its own subscription to
 	// the hub's merged stream (snapshot + deltas, on the loop goroutine).
+	// Viewer 1 is a classic v1 subscriber; viewer 2 subscribes v2 with a
+	// per-signal filter, so client-b never crosses its connection.
 	viewers := make([]*gscope.Scope, 2)
 	for i := range viewers {
 		sc := newBufferScope(loop, fmt.Sprintf("viewer-%d", i+1))
 		viewers[i] = sc
-		sub, err := netscope.SubscribeTo(loop, subAddr.String(), func(t gscope.Tuple) {
+		var opts []gscope.SubscribeOption
+		if i == 1 {
+			opts = append(opts, gscope.WithSignals("client-a"))
+		}
+		sub, err := gscope.SubscribeNet(loop, subAddr.String(), func(t gscope.Tuple) {
 			sc.Feed().Push(t.Timestamp(), t.Name, t.Value)
-		})
+		}, opts...)
 		if err != nil {
 			fatal(err)
 		}
 		defer sub.Close()
 	}
+
+	// The control plane: a stream-less v2 connection on the same socket.
+	// Halfway through the run it turns the amplitude down remotely; the
+	// hub clamps to the declared bounds and notifies every v2 subscriber.
+	ctl, err := netscope.SubscribeTo(loop, subAddr.String(), func(gscope.Tuple) {},
+		netscope.WithoutStream())
+	if err != nil {
+		fatal(err)
+	}
+	defer ctl.Close()
+	ctl.OnControl(func(f gscope.ControlFrame) {
+		if f.Verb == "param-ok" {
+			fmt.Printf("remote param set applied: %s = %s\n", f.Arg(0), f.Arg(1))
+		}
+	})
+	loop.TimeoutAdd(1500*time.Millisecond, func(int) bool {
+		// Asks for 100 but the parameter is bounded [0, 40] — the clamp
+		// happens hub-side, then 12 flattens the waves mid-sweep.
+		ctl.Command("param set amplitude 100") //nolint:errcheck
+		ctl.Command("param set amplitude 12")  //nolint:errcheck
+		return false
+	})
 
 	// Two publishers streaming from their own goroutines ("machines"),
 	// stamping samples against the shared origin. DialReconnect lets a
@@ -101,7 +148,7 @@ func main() {
 				if at > 3*time.Second {
 					return
 				}
-				v := 50 + 40*math.Sin(2*math.Pi*at.Seconds()/(1.5+float64(i)))
+				v := 50 + amplitude.Load()*math.Sin(2*math.Pi*at.Seconds()/(1.5+float64(i)))
 				c.Send(at, name, v) //nolint:errcheck
 			}
 		}()
@@ -119,7 +166,7 @@ func main() {
 	if err := loop.Run(); err != nil {
 		fatal(err)
 	}
-	subscribes, _, published, subDropped := srv.SubscriberStats()
+	fanout := srv.FanoutStats()
 	srv.Close()
 
 	for i, sc := range append([]*gscope.Scope{hubScope}, viewers...) {
@@ -135,8 +182,8 @@ func main() {
 	_, _, received, _ := srv.Stats()
 	pushed, dropped := hubScope.Feed().Stats()
 	fmt.Printf("hub: received %d tuples (%d buffered, %d dropped late)\n", received, pushed, dropped)
-	fmt.Printf("fan-out: %d subscribers, %d tuples published, %d dropped to slow viewers\n",
-		subscribes, published, subDropped)
+	fmt.Printf("fan-out: %d subscribers, %d tuples published, %d dropped to slow viewers, %d filtered by subscriptions\n",
+		fanout.Subscribes, fanout.Published, fanout.Dropped, fanout.Filtered)
 	for i, sc := range viewers {
 		p, d := sc.Feed().Stats()
 		fmt.Printf("viewer %d: %d buffered, %d dropped late\n", i+1, p, d)

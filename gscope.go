@@ -112,8 +112,23 @@ type (
 	NetServer = netscope.Server
 	// NetClient asynchronously publishes tuples to a NetServer.
 	NetClient = netscope.Client
-	// NetSubscriber consumes a hub's merged stream (snapshot + deltas).
+	// NetSubscriber consumes a hub's merged stream (snapshot + deltas);
+	// created with options it speaks the v2 query/control plane.
 	NetSubscriber = netscope.Subscriber
+	// SubscribeOption configures a v2 subscription (WithSignals,
+	// WithMaxRate, WithSince, ...).
+	SubscribeOption = netscope.SubscribeOption
+	// SubscriptionRequest is the explicit form of a v2 subscription, for
+	// NetServer.SubscribeWith.
+	SubscriptionRequest = netscope.SubscriptionRequest
+	// FanoutStats are the hub's lifetime fan-out counters, including the
+	// v2 plane's filter/decimation accounting.
+	FanoutStats = netscope.FanoutStats
+	// ParamInfo is a point-in-time snapshot of one control parameter.
+	ParamInfo = core.ParamInfo
+	// ControlFrame is one parsed '#' control line of an embedded protocol
+	// (the hub's v2 frames, param notifications, ...).
+	ControlFrame = tuple.ControlFrame
 
 	// RecordLog is the flight recorder: a segmented on-disk tuple log
 	// with bounded retention (attach one with NetServer.Record).
@@ -233,8 +248,47 @@ func DialNet(addr string) (*NetClient, error) { return netscope.Dial(addr) }
 func DialNetReconnect(addr string) *NetClient { return netscope.DialReconnect(addr) }
 
 // SubscribeNet connects a viewer to a hub's ListenSubscribers address; fn
-// receives the merged stream (snapshot first, then deltas) on the loop
-// goroutine.
-func SubscribeNet(loop *Loop, addr string, fn func(Tuple)) (*NetSubscriber, error) {
-	return netscope.SubscribeTo(loop, addr, fn)
+// receives the merged stream (snapshot or backfill first, then deltas) on
+// the loop goroutine. With no options the viewer is a classic v1
+// subscriber; options select the v2 query/control plane:
+//
+//	sub, err := gscope.SubscribeNet(loop, addr, fn,
+//	    gscope.WithSignals("cpu.*"),          // per-signal subscription
+//	    gscope.WithMaxRate(30),               // ≤30 samples/s/signal
+//	    gscope.WithSince(-10*time.Second))    // backfill the last 10s
+//
+// and the returned subscriber's Command/OnControl reach the hub's remote
+// parameters (PARAM LIST/GET/SET).
+func SubscribeNet(loop *Loop, addr string, fn func(Tuple), opts ...SubscribeOption) (*NetSubscriber, error) {
+	return netscope.SubscribeTo(loop, addr, fn, opts...)
 }
+
+// SubscribeNetBatch is SubscribeNet with batch delivery: fn receives every
+// tuple decoded from one read chunk in a single call.
+func SubscribeNetBatch(loop *Loop, addr string, fn func([]Tuple), opts ...SubscribeOption) (*NetSubscriber, error) {
+	return netscope.SubscribeToBatch(loop, addr, fn, opts...)
+}
+
+// WithSignals restricts a subscription to signals matching the given exact
+// names or path.Match globs ("cpu.*"), filtered server-side.
+func WithSignals(patterns ...string) SubscribeOption { return netscope.WithSignals(patterns...) }
+
+// WithMaxRate caps delivery at perSec tuples per second per signal,
+// decimated server-side.
+func WithMaxRate(perSec float64) SubscribeOption { return netscope.WithMaxRate(perSec) }
+
+// WithSince requests backfill: negative d is a trailing window before the
+// newest stream timestamp, positive an absolute stream offset.
+func WithSince(d time.Duration) SubscribeOption { return netscope.WithSince(d) }
+
+// WithResolution asks for the backfill decimated to at most cols min/max
+// buckets per signal (with WithSince).
+func WithResolution(cols int) SubscribeOption { return netscope.WithResolution(cols) }
+
+// WithoutStream makes the connection control-plane only (param commands
+// and notifications; no tuple stream).
+func WithoutStream() SubscribeOption { return netscope.WithoutStream() }
+
+// WithControl requests the v2 handshake with no other changes: the same
+// tuples as v1, plus the control plane.
+func WithControl() SubscribeOption { return netscope.WithControl() }

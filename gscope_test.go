@@ -2,6 +2,7 @@ package gscope
 
 import (
 	"bytes"
+	"sync"
 	"testing"
 	"time"
 
@@ -226,5 +227,117 @@ func TestBoolParamFacade(t *testing.T) {
 	}
 	if !b.Load() {
 		t.Fatal("bool param")
+	}
+}
+
+// TestSubscribeNetV2Facade drives the v2 query/control plane end to end
+// through the public facade only: a filtered, backfilled subscription plus
+// a remote parameter set, the shapes the README advertises.
+func TestSubscribeNetV2Facade(t *testing.T) {
+	loop := NewLoop(nil) // real clock
+	srv := NewNetServer(loop)
+	params := NewParams()
+	var gain IntVar
+	if err := params.Add(IntParam("gain", &gain, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetParams(params)
+	srv.SetSnapshotWindow(time.Hour)
+	subAddr, err := srv.ListenSubscribers("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	done := make(chan struct{})
+	go func() {
+		loop.Run() //nolint:errcheck
+		close(done)
+	}()
+	defer func() {
+		loop.Quit()
+		<-done
+	}()
+
+	inject := func(ts Tuple) { loop.Invoke(func() { srv.Inject(ts) }) }
+	for i := int64(1); i <= 5; i++ {
+		inject(Tuple{Time: i * 1000, Value: float64(i), Name: "cpu.user"})
+		inject(Tuple{Time: i * 1000, Value: float64(-i), Name: "mem"})
+	}
+
+	var mu sync.Mutex
+	var got []Tuple
+	frames := make(chan ControlFrame, 16)
+	sub, err := SubscribeNet(loop, subAddr.String(), func(tu Tuple) {
+		mu.Lock()
+		got = append(got, tu)
+		mu.Unlock()
+	}, WithSignals("cpu.*"), WithSince(-3*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	sub.OnControl(func(f ControlFrame) {
+		select {
+		case frames <- f:
+		default:
+		}
+	})
+
+	wait := func(cond func() bool, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatal("timed out: " + what)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Backfill: cpu.* tuples stamped in [2000, 5000] — three of them.
+	wait(func() bool { return sub.Backfilled() >= 3 }, "backfill")
+	inject(Tuple{Time: 6000, Value: 6, Name: "cpu.user"})
+	inject(Tuple{Time: 6000, Value: -6, Name: "mem"})
+	wait(func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 4
+	}, "live delta")
+	mu.Lock()
+	for _, tu := range got {
+		if tu.Name != "cpu.user" {
+			t.Fatalf("filter leaked %+v", tu)
+		}
+	}
+	if got[0].Time != 2000 {
+		t.Fatalf("backfill starts at %d, want 2000", got[0].Time)
+	}
+	mu.Unlock()
+
+	// Remote parameter: set over the wire, clamped, observed in-process.
+	if err := sub.Command("param set gain 99"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var f ControlFrame
+		select {
+		case f = <-frames:
+		case <-time.After(50 * time.Millisecond):
+		}
+		if f.Verb == "param-ok" {
+			if f.Arg(0) != "gain" || f.Arg(1) != "10" {
+				t.Fatalf("param-ok = %+v", f)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no param-ok frame")
+		}
+	}
+	if gain.Load() != 10 {
+		t.Fatalf("gain = %d, want 10 (clamped)", gain.Load())
+	}
+	if st := srv.FanoutStats(); st.Filtered == 0 {
+		t.Fatal("fan-out stats show no filtering")
 	}
 }

@@ -88,6 +88,15 @@ func (l *histLevel) push(b Bucket) {
 	}
 }
 
+// ringIndex returns the slot of the entry back positions behind head in a
+// ring of the given length (back 0 = the most recently written entry).
+// Shared by the bucket rings here and TimedHistory's parallel time ring,
+// which advances in lockstep with level 0.
+func ringIndex(head, length, back int) int {
+	i := head - 1 - back
+	return ((i % length) + length) % length
+}
+
 // at returns the resident bucket with absolute index abs, given total slots
 // pushed; ok is false when it has rotated out (or is not complete yet).
 func (l *histLevel) at(abs, total int64) (Bucket, bool) {
@@ -95,10 +104,7 @@ func (l *histLevel) at(abs, total int64) (Bucket, bool) {
 	if abs >= comp || abs < comp-int64(l.n) {
 		return Bucket{}, false
 	}
-	back := int(comp - 1 - abs) // 0 = newest resident bucket
-	i := l.head - 1 - back
-	i = ((i % len(l.buf)) + len(l.buf)) % len(l.buf)
-	return l.buf[i], true
+	return l.buf[ringIndex(l.head, len(l.buf), int(comp-1-abs))], true
 }
 
 // History is the decimated store. It is not safe for concurrent use; like

@@ -79,12 +79,46 @@ func BoolParam(name string, v *BoolVar) *Param {
 	}
 }
 
+// ParamInfo is a point-in-time value snapshot of one registered parameter:
+// everything a remote control plane needs to render or write it, with no
+// reference back into the registry. Network layers ship these instead of
+// *Param so no callback ever escapes the registry's lock discipline.
+type ParamInfo struct {
+	Name           string
+	Value          float64
+	Min, Max, Step float64
+	ReadOnly       bool
+}
+
+// ParamObserver is notified after a successful Set with the name and the
+// actually-stored (clamped) value. Observers run outside the registry lock,
+// on whichever goroutine performed the Set; an observer that needs loop
+// affinity must marshal itself (e.g. glib.Loop.Invoke).
+type ParamObserver func(name string, value float64)
+
 // ParamSet is the application-wide registry shown in the control-parameters
-// window (Figure 3). It is safe for concurrent use.
+// window (Figure 3). It is safe for concurrent use: all reads and writes —
+// including the invocation of each parameter's Get/Set callbacks via the
+// registry's own methods — are serialized under one lock, so parameters
+// whose state is touched only through the registry (or through atomic
+// variables like IntVar) can be written by a network control plane while
+// the application reads them. Callbacks must not call back into the same
+// ParamSet, and List remains for GUI code that predates the snapshot API:
+// the *Param pointers it returns bypass the lock, so their Get/Set should
+// only be invoked from one goroutine.
 type ParamSet struct {
-	mu     sync.Mutex
-	params []*Param
-	byName map[string]*Param
+	mu        sync.Mutex
+	params    []*Param
+	byName    map[string]*Param
+	observers []paramObserverReg
+	nextObs   uint64
+}
+
+// paramObserverReg pairs an observer with its registration token so
+// unregistering is exact even when removals interleave.
+type paramObserverReg struct {
+	id uint64
+	fn ParamObserver
 }
 
 // NewParamSet returns an empty registry.
@@ -128,33 +162,115 @@ func (ps *ParamSet) Remove(name string) bool {
 	return true
 }
 
-// Get reads a parameter's value by name.
+// Get reads a parameter's value by name. The getter runs under the
+// registry lock, serialized against every other registry operation.
 func (ps *ParamSet) Get(name string) (float64, error) {
 	ps.mu.Lock()
+	defer ps.mu.Unlock()
 	p, ok := ps.byName[name]
-	ps.mu.Unlock()
 	if !ok {
 		return 0, fmt.Errorf("core: unknown parameter %q", name)
 	}
 	return p.Get(), nil
 }
 
-// Set writes a parameter's value by name, clamping to its declared range.
+// Set writes a parameter's value by name, clamping to its declared range,
+// and notifies registered observers with the stored value. The setter runs
+// under the registry lock; observers run after it is released, so
+// concurrent Sets may notify out of order (each notification carries the
+// value that Set stored, not necessarily the final one).
 func (ps *ParamSet) Set(name string, v float64) error {
 	ps.mu.Lock()
 	p, ok := ps.byName[name]
-	ps.mu.Unlock()
 	if !ok {
+		ps.mu.Unlock()
 		return fmt.Errorf("core: unknown parameter %q", name)
 	}
 	if p.Set == nil {
+		ps.mu.Unlock()
 		return fmt.Errorf("core: parameter %q is read-only", name)
 	}
 	p.Set(p.clamp(v))
+	// Notify with what the parameter actually holds, not the clamped
+	// input: a setter may quantize further (an IntParam truncates), and a
+	// notification that disagrees with a subsequent Get would leave two
+	// remote viewers showing different values for the same parameter.
+	stored := p.Get()
+	obs := ps.observers
+	ps.mu.Unlock()
+	for _, o := range obs {
+		o.fn(name, stored)
+	}
 	return nil
 }
 
-// List returns the registered parameters in insertion order.
+// Info returns a value snapshot of one parameter.
+func (ps *ParamSet) Info(name string) (ParamInfo, error) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	p, ok := ps.byName[name]
+	if !ok {
+		return ParamInfo{}, fmt.Errorf("core: unknown parameter %q", name)
+	}
+	return snapshotLocked(p), nil
+}
+
+// Infos returns value snapshots of every registered parameter in insertion
+// order — the safe enumeration for concurrent consumers (the network
+// control plane); GUI code on the owning goroutine may keep using List.
+func (ps *ParamSet) Infos() []ParamInfo {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	out := make([]ParamInfo, len(ps.params))
+	for i, p := range ps.params {
+		out[i] = snapshotLocked(p)
+	}
+	return out
+}
+
+// snapshotLocked reads one parameter into a ParamInfo; caller holds mu.
+func snapshotLocked(p *Param) ParamInfo {
+	return ParamInfo{
+		Name:     p.Name,
+		Value:    p.Get(),
+		Min:      p.Min,
+		Max:      p.Max,
+		Step:     p.Step,
+		ReadOnly: p.Set == nil,
+	}
+}
+
+// Observe registers fn to run after every successful Set through the
+// registry (writes that bypass it — direct variable stores, List-pointer
+// setters — are invisible). It returns a function that unregisters fn.
+func (ps *ParamSet) Observe(fn ParamObserver) (remove func()) {
+	if fn == nil {
+		return func() {}
+	}
+	ps.mu.Lock()
+	ps.nextObs++
+	id := ps.nextObs
+	// Copy-on-write so Set can fan out to the slice outside the lock.
+	obs := make([]paramObserverReg, len(ps.observers), len(ps.observers)+1)
+	copy(obs, ps.observers)
+	ps.observers = append(obs, paramObserverReg{id: id, fn: fn})
+	ps.mu.Unlock()
+	return func() {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		obs := make([]paramObserverReg, 0, len(ps.observers))
+		for _, o := range ps.observers {
+			if o.id != id {
+				obs = append(obs, o)
+			}
+		}
+		ps.observers = obs
+	}
+}
+
+// List returns the registered parameters in insertion order. The returned
+// pointers bypass the registry lock (their Get/Set run unserialized), so
+// List is for single-goroutine GUI wiring; concurrent consumers use Infos.
 func (ps *ParamSet) List() []*Param {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()

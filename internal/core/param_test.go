@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestParamSetConcurrentStress is the -race regression test for the
+// network control plane: remote sets race application gets, list
+// enumeration, add/remove churn and observer registration, all through the
+// registry, which must serialize every callback invocation.
+func TestParamSetConcurrentStress(t *testing.T) {
+	ps := NewParamSet()
+	const fixed = 8
+	vars := make([]IntVar, fixed)
+	for i := range vars {
+		if err := ps.Add(IntParam(fmt.Sprintf("p%d", i), &vars[i], 0, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A closure param over a plain variable: only safe because the
+	// registry serializes Get/Set under its lock.
+	var plain float64
+	if err := ps.Add(&Param{
+		Name: "plain",
+		Get:  func() float64 { return plain },
+		Set:  func(v float64) { plain = v },
+		Min:  0, Max: 500,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var notified atomic.Int64
+	remove := ps.Observe(func(name string, v float64) { notified.Add(1) })
+	defer remove()
+
+	const iters = 400
+	var wg sync.WaitGroup
+	worker := func(fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				fn(i)
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		g := g
+		worker(func(i int) { // setters (the "network" side)
+			name := fmt.Sprintf("p%d", (g+i)%fixed)
+			if err := ps.Set(name, float64(i*7)); err != nil {
+				t.Error(err)
+			}
+			if err := ps.Set("plain", float64(i)); err != nil {
+				t.Error(err)
+			}
+		})
+		worker(func(i int) { // getters (the "application" side)
+			if _, err := ps.Get(fmt.Sprintf("p%d", (g+i)%fixed)); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	worker(func(i int) { // enumeration
+		infos := ps.Infos()
+		for _, in := range infos {
+			if in.Value < 0 {
+				t.Errorf("negative snapshot %+v", in)
+			}
+		}
+		ps.Names()
+	})
+	worker(func(i int) { // add/remove churn on a disjoint name
+		name := fmt.Sprintf("churn%d", i%3)
+		var v IntVar
+		ps.Add(IntParam(name, &v, 0, 10)) //nolint:errcheck // duplicate adds expected
+		ps.Remove(name)
+	})
+	worker(func(i int) { // observer churn
+		rm := ps.Observe(func(string, float64) {})
+		rm()
+	})
+	wg.Wait()
+
+	if notified.Load() == 0 {
+		t.Fatal("observer never notified")
+	}
+	// Clamping held under concurrency.
+	if plain > 500 {
+		t.Fatalf("plain escaped its bound: %v", plain)
+	}
+}
+
+func TestParamSetObserverSeesClampedValue(t *testing.T) {
+	ps := NewParamSet()
+	var v IntVar
+	if err := ps.Add(IntParam("knob", &v, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	var gotName string
+	var gotVal float64
+	remove := ps.Observe(func(name string, val float64) { gotName, gotVal = name, val })
+	if err := ps.Set("knob", 99); err != nil {
+		t.Fatal(err)
+	}
+	if gotName != "knob" || gotVal != 10 {
+		t.Fatalf("observer saw %q=%v, want knob=10 (clamped)", gotName, gotVal)
+	}
+	if v.Load() != 10 {
+		t.Fatalf("var = %d, want 10", v.Load())
+	}
+	remove()
+	if err := ps.Set("knob", 3); err != nil {
+		t.Fatal(err)
+	}
+	if gotVal != 10 {
+		t.Fatal("removed observer still notified")
+	}
+}
+
+func TestParamSetInfo(t *testing.T) {
+	ps := NewParamSet()
+	var v FloatVar
+	if err := ps.Add(FloatParam("gain", &v, -1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Add(&Param{Name: "ro", Get: func() float64 { return 7 }}); err != nil {
+		t.Fatal(err)
+	}
+	in, err := ps.Info("gain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Min != -1 || in.Max != 1 || in.ReadOnly {
+		t.Fatalf("info = %+v", in)
+	}
+	if in, err = ps.Info("ro"); err != nil || !in.ReadOnly || in.Value != 7 {
+		t.Fatalf("ro info = %+v err=%v", in, err)
+	}
+	if _, err := ps.Info("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	infos := ps.Infos()
+	if len(infos) != 2 || infos[0].Name != "gain" || infos[1].Name != "ro" {
+		t.Fatalf("infos = %+v", infos)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTimedHistoryViewSinceEnvelope(t *testing.T) {
+	th := NewTimedHistory(1 << 16)
+	// 50k samples, 2ms apart, a triangle wave plus two planted extremes.
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := float64(i % 997)
+		switch i {
+		case 40000:
+			v = -5000
+		case 45000:
+			v = 9000
+		}
+		th.Push(int64(i)*2, v)
+	}
+	newest, ok := th.Newest()
+	if !ok || newest != int64(n-1)*2 {
+		t.Fatalf("newest = %d ok=%v", newest, ok)
+	}
+
+	// Window covering the planted extremes: the envelope must contain them.
+	since := int64(40000-10) * 2
+	cols := th.ViewSince(since, 64)
+	if len(cols) == 0 || len(cols) > 64 {
+		t.Fatalf("got %d cols", len(cols))
+	}
+	sawMin, sawMax := false, false
+	var last int64
+	for i, c := range cols {
+		if c.Count > 0 && c.Min == -5000 {
+			sawMin = true
+		}
+		if c.Count > 0 && c.Max == 9000 {
+			sawMax = true
+		}
+		if i > 0 && c.Time < last {
+			t.Fatalf("column times not monotonic at %d: %d < %d", i, c.Time, last)
+		}
+		last = c.Time
+	}
+	if !sawMin || !sawMax {
+		t.Fatalf("envelope lost planted extremes: min=%v max=%v", sawMin, sawMax)
+	}
+	if last != newest {
+		t.Fatalf("final column time = %d, want newest %d", last, newest)
+	}
+}
+
+func TestTimedHistoryViewSinceWindowing(t *testing.T) {
+	th := NewTimedHistory(1 << 12)
+	for i := 0; i < 4096; i++ {
+		th.Push(int64(i)*10, float64(i))
+	}
+	// A since inside the stream: columns must not reach much before it.
+	// The slot mapping is bucket-granular (histFanout slots), so allow one
+	// bucket of slack on values: since=20000ms → sample 2000.
+	cols := th.ViewSince(20000, 32)
+	if len(cols) == 0 {
+		t.Fatal("no columns")
+	}
+	for _, c := range cols {
+		if c.Count > 0 && c.Min < 2000-16 {
+			t.Fatalf("column reaches back to sample %v, want >= %v", c.Min, 2000-16)
+		}
+	}
+	// since == 0 covers everything retained.
+	all := th.ViewSince(0, 16)
+	if len(all) == 0 || all[0].Count == 0 {
+		t.Fatal("empty full view")
+	}
+	// since beyond the newest stamp yields at most the accumulating tail.
+	future := th.ViewSince(10*4096*10, 16)
+	for _, c := range future {
+		if c.Count > 16 {
+			t.Fatalf("future window returned %d samples in one column", c.Count)
+		}
+	}
+}
+
+func TestTimedHistoryNonMonotonicStampsClamped(t *testing.T) {
+	th := NewTimedHistory(256)
+	th.Push(1000, 1)
+	th.Push(500, 2) // behind: clamps to 1000
+	for i := 0; i < 64; i++ {
+		th.Push(1000+int64(i), float64(i))
+	}
+	newest, _ := th.Newest()
+	if newest != 1063 {
+		t.Fatalf("newest = %d", newest)
+	}
+	cols := th.ViewSince(0, 8)
+	var total int64
+	for i := 1; i < len(cols); i++ {
+		if cols[i].Time < cols[i-1].Time {
+			t.Fatalf("times went backwards: %v", cols)
+		}
+	}
+	for _, c := range cols {
+		total += c.Count
+	}
+	if total == 0 {
+		t.Fatal("no samples summarized")
+	}
+}
+
+func TestTimedHistoryRetentionRotation(t *testing.T) {
+	th := NewTimedHistory(1 << 10) // 1024 slots
+	const n = 10000
+	for i := 0; i < n; i++ {
+		th.Push(int64(i), float64(i))
+	}
+	// A since that rotated out clamps to the oldest retained sample; the
+	// envelope of the full view must only cover recent samples.
+	cols := th.ViewSince(0, 8)
+	if len(cols) == 0 {
+		t.Fatal("no columns")
+	}
+	oldestRetained := th.h.Oldest()
+	for _, c := range cols {
+		if c.Count > 0 && int64(c.Min) < oldestRetained-histFanout {
+			t.Fatalf("rotated-out sample %v resurfaced (oldest retained %d)", c.Min, oldestRetained)
+		}
+	}
+	if th.Samples() != n {
+		t.Fatalf("samples = %d", th.Samples())
+	}
+}
+
+func TestTimedHistoryHolesNaN(t *testing.T) {
+	th := NewTimedHistory(256)
+	for i := 0; i < 64; i++ {
+		v := float64(i)
+		if i%2 == 0 {
+			v = math.NaN()
+		}
+		th.Push(int64(i), v)
+	}
+	for _, c := range th.ViewSince(0, 4) {
+		if math.IsNaN(c.Min) || math.IsNaN(c.Max) {
+			t.Fatalf("NaN leaked into envelope: %+v", c)
+		}
+	}
+}

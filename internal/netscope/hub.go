@@ -2,11 +2,19 @@ package netscope
 
 import (
 	"fmt"
+	"io"
+	"math"
 	"net"
+	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/glib"
+	"repro/internal/reclog"
 	"repro/internal/tuple"
 )
 
@@ -17,14 +25,25 @@ import (
 // second listener and receive the merged tuple stream, so one instrumented
 // application can drive many concurrent synchronized scopes (and hubs can
 // be chained through Inject).
+//
+// Two subscriber protocols share the listener. A v1 subscriber connects
+// and says nothing: it receives the snapshot-then-deltas stream unchanged
+// from the original hub protocol. A v2 subscriber opens with a
+// "gscope-sub 2" handshake line carrying a SubscriptionRequest — signal
+// filters, server-side decimation, backfill, control-plane access — and
+// the connection becomes a query/control plane (see the package comment
+// for the frame vocabulary). The server sniffs the first inbound line to
+// tell them apart; a client that stays silent through the handshake grace
+// window is a v1 subscriber, and everything delivered while the server was
+// waiting is queued, so the v1 stream is byte-identical to the pre-v2 hub.
 
 // Subscriber handshake framing. Every framing line is a '#' comment in the
 // §3.3 tuple format, so a subscriber that just wants the merged stream can
 // read it with a plain tuple.Reader and never see the markers.
 const (
-	// hubMagic opens every subscriber stream: "# gscope-hub 1".
+	// hubMagic opens every subscriber stream: "# gscope-hub <version>".
 	hubMagic = "gscope-hub"
-	// hubVersion is the protocol revision announced in the magic line.
+	// hubVersion is the protocol revision announced to v1 subscribers.
 	hubVersion = 1
 )
 
@@ -39,11 +58,111 @@ const DefaultSnapshotLimit = 4096
 // tuples, when SetSubscriberQueueLimit is not called.
 const DefaultSubscriberQueueLimit = 1024
 
+// DefaultHandshakeGrace is how long an accepted subscriber connection may
+// stay silent before the hub commits it to the v1 protocol. A v2 client
+// sends its handshake immediately on connect, so the window is normally
+// only waited out by v1 clients — deltas delivered meanwhile are buffered,
+// not lost, so the wait never changes what a v1 viewer receives — and a
+// handshake that loses the race anyway (a round trip longer than the
+// grace) still upgrades the connection when it arrives.
+const DefaultHandshakeGrace = 50 * time.Millisecond
+
+// DefaultBackfillRetention is the per-signal tiered-history retention (in
+// samples) selected when SetBackfillRetention is called with a
+// non-positive value.
+const DefaultBackfillRetention = 1 << 16
+
+// maxBackfillSignals caps how many distinct signals the tiered backfill
+// store tracks; signals beyond the cap stream normally but cannot be
+// backfilled decimated.
+const maxBackfillSignals = 1024
+
+// maxFlightBackfillTuples bounds how many tuples one reclog backfill may
+// deliver; when the window holds more, the newest are kept.
+const maxFlightBackfillTuples = 1 << 17
+
+// maxPendingCommands bounds command lines held while a subscriber's
+// activation is waiting on a flight-log read; excess lines are discarded.
+const maxPendingCommands = 256
+
+// subState tracks where a subscriber connection is in the handshake.
+type subState int
+
+const (
+	// subSniffing: accepted, protocol version not yet known; deltas are
+	// buffered as encoded chunks and the v1 snapshot is already captured.
+	subSniffing subState = iota
+	// subBackfilling: v2 request accepted, flight-log read in flight;
+	// deltas are buffered decoded so they can be filtered at activation.
+	subBackfilling
+	// subLive: streaming (v1 when sub.sub is nil, v2 otherwise).
+	subLive
+)
+
 // subscriber is one downstream viewer connection.
 type subscriber struct {
 	conn net.Conn
 	ww   *glib.WriteWatch
-	rw   *glib.IOWatch // read side, watched only to notice disconnect
+	rw   *glib.IOWatch // read side: v2 command channel, v1 disconnect probe
+
+	state   subState
+	counted bool          // reflected in hub.subscribes
+	sub     *subscription // compiled v2 request; nil for v1
+	// lateUpgrade marks a v1-committed connection whose v2 handshake
+	// arrived after the grace window; it already holds the v1 snapshot,
+	// so activation must not serve it twice.
+	lateUpgrade bool
+
+	filtered int64 // tuples withheld by this sub's filter/decimation
+
+	// Sniffing state: the v1 snapshot captured at accept, delta chunks
+	// (shared with live subscribers' queues) delivered while undecided,
+	// and the grace timer that commits silent clients to v1.
+	snap     []byte
+	pend     [][]byte
+	pendDrop int64
+	grace    *time.Timer
+
+	// Backfilling state: decoded deltas awaiting the flight-log read
+	// (one entry per delivered batch, so the bound and the drop counter
+	// stay in chunk units like every other subscriber queue), and command
+	// lines to run once the activation frames are queued.
+	pendT    [][]tuple.Tuple
+	pendCmds []string
+}
+
+// bufferChunk queues an encoded delta chunk while the protocol version is
+// undecided, bounded like a live queue (drop-oldest, counted).
+func (sub *subscriber) bufferChunk(chunk []byte, limit int) {
+	if len(sub.pend) >= limit {
+		sub.pend = sub.pend[1:]
+		sub.pendDrop++
+	}
+	sub.pend = append(sub.pend, chunk)
+}
+
+// bufferTuples queues one decoded delta batch during an asynchronous
+// backfill, pre-filtered by name (decimation state advances at
+// activation, in order). Bounded drop-oldest in chunks, counted — the
+// same units as the live write queue.
+func (sub *subscriber) bufferTuples(batch []tuple.Tuple, limit int) {
+	f := sub.sub.filter
+	var keep []tuple.Tuple
+	for _, t := range batch {
+		if !f.match(t.Name) {
+			sub.filtered++
+			continue
+		}
+		keep = append(keep, t)
+	}
+	if keep == nil {
+		return
+	}
+	if len(sub.pendT) >= limit {
+		sub.pendT = sub.pendT[1:]
+		sub.pendDrop++
+	}
+	sub.pendT = append(sub.pendT, keep)
 }
 
 // hubState holds the Server's subscriber side. All fields are owned by the
@@ -61,11 +180,45 @@ type hubState struct {
 	windowSet  bool
 	histLimit  int
 	queueLimit int
+	grace      time.Duration
+
+	// The control plane: the application's parameter registry and the
+	// unobserve hook for its change notifications.
+	params          *core.ParamSet
+	paramsUnobserve func()
+
+	// The tiered per-signal backfill store (SetBackfillRetention).
+	backfill    map[string]*core.TimedHistory
+	backfillRet int
+
+	// shareMemo caches one encoded chunk per filter signature per
+	// broadcast, so many subscribers with the same filter pay one encode.
+	shareMemo map[string]*memoChunk
 
 	subscribes   int64
 	unsubscribes int64
 	published    int64 // tuples broadcast (per tuple, not per subscriber)
 	dropped      int64 // drop-oldest losses accumulated from departed subscribers
+	filtered     int64 // filter/decimation withholdings from departed subscribers
+}
+
+// memoChunk is one memoized filtered encoding of the current batch.
+type memoChunk struct {
+	chunk   []byte
+	matched int
+}
+
+// FanoutStats are the lifetime fan-out counters, including the v2 plane's
+// filter accounting. Dropped counts queue chunks lost to the drop-oldest
+// policy; Filtered counts tuples withheld from subscribers by their own
+// signal filters and rate decimation (bandwidth the v2 plane saved, not
+// data loss).
+type FanoutStats struct {
+	Subscribes   int64
+	Unsubscribes int64
+	Published    int64
+	Dropped      int64
+	Filtered     int64
 }
 
 // SetSnapshotWindow sets how much trailing stream history new subscribers
@@ -82,6 +235,58 @@ func (s *Server) SetSnapshotWindow(d time.Duration) {
 // DefaultSubscriberQueueLimit.
 func (s *Server) SetSubscriberQueueLimit(n int) { s.hub.queueLimit = n }
 
+// SetHandshakeGrace sets how long an accepted subscriber may stay silent
+// before it is committed to the v1 protocol (non-positive restores
+// DefaultHandshakeGrace). Deltas delivered during the window are buffered,
+// so the setting trades only connect latency, never data.
+func (s *Server) SetHandshakeGrace(d time.Duration) {
+	if d <= 0 {
+		d = DefaultHandshakeGrace
+	}
+	s.hub.grace = d
+}
+
+// SetBackfillRetention enables the tiered per-signal backfill store:
+// every broadcast sample is folded into a core.TimedHistory pyramid
+// retaining approximately the given number of recent samples per signal
+// (non-positive selects DefaultBackfillRetention), which serves v2
+// decimated-backfill queries (Since+Cols) in O(cols). Call it before
+// traffic flows; the store only covers samples delivered after it is
+// enabled.
+func (s *Server) SetBackfillRetention(samples int) {
+	if samples <= 0 {
+		samples = DefaultBackfillRetention
+	}
+	s.hubInit()
+	s.hub.backfillRet = samples
+	if s.hub.backfill == nil {
+		s.hub.backfill = make(map[string]*core.TimedHistory)
+	}
+}
+
+// SetParams attaches the application's control-parameter registry (§3.2,
+// Figure 3) to the wire: v2 subscribers may `param list`, `param get` and
+// `param set` it — sets clamp to each parameter's declared bounds — and
+// every successful set through the registry (from the wire or from the
+// application) is fanned out to all v2 subscribers as a
+// "# param <name> <value>" notification frame. Passing nil detaches.
+func (s *Server) SetParams(ps *core.ParamSet) {
+	if s.hub.paramsUnobserve != nil {
+		s.hub.paramsUnobserve()
+		s.hub.paramsUnobserve = nil
+	}
+	s.hub.params = ps
+	if ps == nil {
+		return
+	}
+	s.hub.paramsUnobserve = ps.Observe(func(name string, v float64) {
+		s.loop.Invoke(func() { s.broadcastParamChange(name, v) })
+	})
+}
+
+// Params returns the attached parameter registry, or nil.
+func (s *Server) Params() *core.ParamSet { return s.hub.params }
+
 func (s *Server) hubInit() {
 	if s.hub.subs == nil {
 		s.hub.subs = make(map[net.Conn]*subscriber)
@@ -96,11 +301,15 @@ func (s *Server) hubInit() {
 	if s.hub.queueLimit <= 0 {
 		s.hub.queueLimit = DefaultSubscriberQueueLimit
 	}
+	if s.hub.grace <= 0 {
+		s.hub.grace = DefaultHandshakeGrace
+	}
 }
 
 // ListenSubscribers binds addr and starts accepting downstream viewers.
-// Each accepted connection receives the snapshot-then-deltas stream
-// described in the package comment. It returns the bound address.
+// Each accepted connection is version-sniffed: a v2 handshake line selects
+// the query/control plane, silence (or anything else) the v1
+// snapshot-then-deltas stream. It returns the bound address.
 func (s *Server) ListenSubscribers(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -112,37 +321,384 @@ func (s *Server) ListenSubscribers(addr string) (net.Addr, error) {
 		if err != nil {
 			return false
 		}
-		s.Subscribe(conn)
+		s.subscribeSniff(conn)
 		return true
 	})
 	return ln.Addr(), nil
 }
 
-// Subscribe registers conn as a downstream viewer: it is sent the protocol
-// handshake, a snapshot of the retained history window, and then every
-// subsequently delivered tuple. Subscribe must run on the loop goroutine
-// (ListenSubscribers calls it there; in-process wiring can pass one end of
-// a net.Pipe from a loop callback). The subscriber's outbound queue is
-// bounded; when the peer stalls, its oldest queued tuples are dropped and
-// counted rather than ever blocking the loop or other subscribers.
-func (s *Server) Subscribe(conn net.Conn) {
+// register wires the shared per-connection plumbing: the bounded write
+// queue and the read watch that doubles as the v2 command channel and the
+// v1 disconnect probe. Must run on the loop goroutine.
+func (s *Server) register(conn net.Conn, state subState) *subscriber {
 	s.hubInit()
-	sub := &subscriber{conn: conn}
+	sub := &subscriber{conn: conn, state: state}
 	sub.ww = s.loop.WatchWriter(conn, s.hub.queueLimit, func(error) {
 		s.unsubscribe(conn)
 	})
-	// Watch the read side purely to notice the peer going away; inbound
-	// lines from subscribers are not part of the protocol and are ignored.
-	sub.rw = s.loop.WatchLines(conn, func(_ string, err error) bool {
+	sub.rw = s.loop.WatchLines(conn, func(line string, err error) bool {
 		if err != nil {
 			s.unsubscribe(conn)
 			return false
 		}
+		s.subscriberLine(conn, line)
 		return true
 	})
 	s.hub.subs[conn] = sub
+	return sub
+}
+
+// subscribeSniff registers an accepted connection in the version-sniffing
+// state: the v1 snapshot is captured now (so a silent client's stream is
+// exactly what an immediate v1 subscription would have produced), deltas
+// buffer until the protocol is decided, and a grace timer commits silent
+// clients to v1.
+func (s *Server) subscribeSniff(conn net.Conn) {
+	sub := s.register(conn, subSniffing)
+	sub.snap = s.snapshotChunk()
+	sub.grace = time.AfterFunc(s.hub.grace, func() {
+		s.loop.Invoke(func() { s.promoteV1(conn) })
+	})
+}
+
+// Subscribe registers conn as a v1 downstream viewer immediately — no
+// version sniffing: it is sent the protocol handshake, a snapshot of the
+// retained history window, and then every subsequently delivered tuple.
+// Subscribe must run on the loop goroutine (in-process wiring can pass one
+// end of a net.Pipe from a loop callback). The subscriber's outbound queue
+// is bounded; when the peer stalls, its oldest queued tuples are dropped
+// and counted rather than ever blocking the loop or other subscribers.
+func (s *Server) Subscribe(conn net.Conn) {
+	sub := s.register(conn, subLive)
+	sub.counted = true
 	s.hub.subscribes++
 	sub.ww.SendProtected(s.snapshotChunk())
+}
+
+// SubscribeWith registers conn as a v2 subscriber with an explicit
+// request, as if the client had sent the corresponding handshake line —
+// the programmatic path for in-process wiring and tests. It must run on
+// the loop goroutine. The error reports an invalid request; the
+// subscription itself proceeds asynchronously when backfill needs the
+// flight log.
+func (s *Server) SubscribeWith(conn net.Conn, req SubscriptionRequest) error {
+	if err := req.validate(); err != nil {
+		return err
+	}
+	sub := s.register(conn, subSniffing)
+	s.activateV2(conn, sub, req)
+	return nil
+}
+
+// subscriberLine routes one inbound line according to the connection's
+// handshake state. Runs on the loop goroutine.
+func (s *Server) subscriberLine(conn net.Conn, line string) {
+	sub, ok := s.hub.subs[conn]
+	if !ok {
+		return
+	}
+	switch sub.state {
+	case subSniffing:
+		req, isV2, err := parseSubscriptionRequest(line)
+		if !isV2 {
+			// Not a v2 handshake: a v1 client that happens to talk.
+			// Commit to v1 now; the line itself is ignored, as always.
+			s.promoteV1(conn)
+			return
+		}
+		if err != nil {
+			// A malformed v2 handshake gets an error frame and the v1
+			// stream — the closest thing to the pre-v2 contract.
+			s.sendError(sub, err.Error())
+			s.promoteV1(conn)
+			return
+		}
+		s.activateV2(conn, sub, req)
+	case subBackfilling:
+		// Hold commands until the activation frames are queued, so
+		// replies can never overtake (or displace) the handshake —
+		// bounded, unlike a client, so a command flood during a slow
+		// flight-log read cannot balloon hub memory.
+		if len(sub.pendCmds) < maxPendingCommands {
+			sub.pendCmds = append(sub.pendCmds, line)
+		}
+	case subLive:
+		if sub.sub == nil {
+			// A v1 connection normally ignores inbound lines — except a
+			// v2 handshake, which upgrades it. This is how a client whose
+			// handshake lost the race against the grace window (RTT
+			// longer than the grace) still gets its subscription: the
+			// request applies from here on, and the client's own filter
+			// covers the v1 prefix it already received.
+			if req, isV2, err := parseSubscriptionRequest(line); isV2 {
+				if err != nil {
+					s.sendError(sub, err.Error())
+					return
+				}
+				sub.lateUpgrade = true
+				s.activateV2(conn, sub, req)
+			}
+			return
+		}
+		s.handleCommand(sub, line)
+	}
+}
+
+// promoteV1 commits a sniffing connection to the v1 protocol: the
+// accept-time snapshot, then every delta buffered while undecided, then
+// live traffic — byte-identical to a hub that never sniffed.
+func (s *Server) promoteV1(conn net.Conn) {
+	sub, ok := s.hub.subs[conn]
+	if !ok || sub.state != subSniffing {
+		return
+	}
+	if sub.grace != nil {
+		sub.grace.Stop()
+	}
+	sub.state = subLive
+	sub.counted = true
+	s.hub.subscribes++
+	sub.ww.SendProtected(sub.snap)
+	for _, chunk := range sub.pend {
+		sub.ww.Send(chunk)
+	}
+	sub.snap, sub.pend = nil, nil
+}
+
+// activateV2 applies an accepted request. Requests needing the flight log
+// park the connection in subBackfilling and finish on the loop when the
+// read completes; everything else activates synchronously.
+func (s *Server) activateV2(conn net.Conn, sub *subscriber, req SubscriptionRequest) {
+	if sub.grace != nil {
+		sub.grace.Stop()
+	}
+	sub.sub = compileSubscription(req)
+	sub.snap, sub.pend = nil, nil
+
+	if req.Since == 0 || req.NoStream {
+		s.finishV2(conn, sub, 0, nil, "")
+		return
+	}
+	if sub.lateUpgrade {
+		// The connection already received the v1 snapshot and deltas; a
+		// Since-backfill of the same window would deliver them twice (and
+		// a relay would re-inject the duplicates downstream). Late
+		// upgrades get an empty backfill frame instead — a client that
+		// wants the deep window reconnects, winning the handshake race it
+		// lost.
+		s.finishV2(conn, sub, s.resolveSince(req.Since), nil, "late-upgrade")
+		return
+	}
+	if req.Since < 0 && !s.hub.newestSet {
+		// A trailing window has no anchor before the first live tuple:
+		// serve it empty rather than letting sinceMS=0 spill an attached
+		// flight log's entire (arbitrarily old) recorded history.
+		s.finishV2(conn, sub, 0, nil, "history")
+		return
+	}
+	sinceMS := s.resolveSince(req.Since)
+	if req.Cols > 0 && s.hub.backfill != nil {
+		s.finishV2(conn, sub, sinceMS, s.decimatedBackfill(sub.sub.filter, sinceMS, req.Cols), "decimated")
+		return
+	}
+	if s.historyCovers(sinceMS) || s.flightDir == "" {
+		s.finishV2(conn, sub, sinceMS, s.historyBackfill(sub.sub.filter, sinceMS), "history")
+		return
+	}
+	// The window predates the retained history: serve it from the flight
+	// log. Disk reads happen off the loop; deltas buffer meanwhile. The
+	// read is capped at the stream's newest stamp as of now (unbounded
+	// when no live tuple has arrived yet), and finishV2 additionally
+	// trims the backfill where the buffered deltas begin, so the two
+	// sources do not deliver the same tuple twice.
+	sub.state = subBackfilling
+	cutoffMS := int64(0)
+	if s.hub.newestSet {
+		cutoffMS = s.hub.newestMS
+	}
+	dir, filter, lg := s.flightDir, sub.sub.filter, s.flight
+	go func() {
+		if lg != nil {
+			// Barrier: push the live log's buffered tail to disk so the
+			// window read below can actually see it.
+			lg.Flush() //nolint:errcheck // best-effort; the read copes with gaps
+		}
+		backfill := readFlightBackfill(dir, sinceMS, cutoffMS, filter)
+		s.loop.Invoke(func() {
+			cur, ok := s.hub.subs[conn]
+			if !ok || cur != sub || sub.state != subBackfilling {
+				return
+			}
+			if cutoffMS <= 0 && len(sub.pendT) > 0 && len(backfill) > 0 {
+				// The read ran unbounded (no live stamp existed at
+				// request time), so it may have caught tuples that were
+				// also broadcast — and buffered — while it ran. Prefer
+				// the live copy: the backfill ends where the buffered
+				// deltas begin. Bounded reads skip this trim; their
+				// overlap is already limited to stale-stamped tuples by
+				// the cutoff, and a stale stamp at the head of the
+				// buffer must not be allowed to discard the window.
+				firstPend := sub.pendT[0][0].Time
+				kept := backfill[:0]
+				for _, t := range backfill {
+					if t.Time < firstPend {
+						kept = append(kept, t)
+					}
+				}
+				backfill = kept
+			}
+			s.finishV2(conn, sub, sinceMS, backfill, "reclog")
+		})
+	}()
+}
+
+// finishV2 queues the v2 activation frames — ack, then backfill or
+// filtered snapshot — flushes any buffered deltas and held commands, and
+// puts the connection live.
+func (s *Server) finishV2(conn net.Conn, sub *subscriber, sinceMS int64, backfill []tuple.Tuple, source string) {
+	sub.state = subLive
+	if !sub.counted {
+		sub.counted = true
+		s.hub.subscribes++
+	}
+	req := sub.sub.req
+	b := tuple.AppendControl(nil, hubMagic, "2", strings.Join(req.fields(), " "))
+	switch {
+	case req.NoStream:
+		// Control plane only: no snapshot, no backfill, no deltas.
+	case source != "":
+		b = tuple.AppendControl(b, "backfill",
+			fmt.Sprintf("tuples=%d", len(backfill)),
+			fmt.Sprintf("since-ms=%d", sinceMS),
+			"source="+source)
+		b = tuple.AppendWireBatch(b, backfill)
+		b = tuple.AppendControl(b, "backfill-end")
+	case sub.lateUpgrade:
+		// The connection already received the v1 snapshot before its
+		// handshake won through; re-serving it would duplicate data.
+	default:
+		// The v1 snapshot shape, narrowed to the subscription's signals.
+		snap := s.historyBackfill(sub.sub.filter, 0)
+		b = tuple.AppendControl(b, "snapshot",
+			fmt.Sprintf("tuples=%d", len(snap)),
+			fmt.Sprintf("window-ms=%d", s.hub.window.Milliseconds()))
+		b = tuple.AppendWireBatch(b, snap)
+		b = tuple.AppendControl(b, "snapshot-end")
+	}
+	sub.ww.SendProtected(b)
+	if len(sub.pendT) > 0 && !req.NoStream {
+		var out []byte
+		for _, chunk := range sub.pendT {
+			enc, matched := encodeSubset(sub.sub, chunk)
+			out = append(out, enc...)
+			sub.filtered += int64(len(chunk) - matched)
+		}
+		if len(out) > 0 {
+			sub.ww.Send(out)
+		}
+	}
+	sub.pendT = nil
+	cmds := sub.pendCmds
+	sub.pendCmds = nil
+	for _, line := range cmds {
+		s.handleCommand(sub, line)
+	}
+}
+
+// resolveSince maps a request's Since onto the stream timeline: negative
+// is a trailing window anchored at the newest stamp seen, positive an
+// absolute offset.
+func (s *Server) resolveSince(since time.Duration) int64 {
+	ms := since.Milliseconds()
+	if ms >= 0 {
+		return ms
+	}
+	if !s.hub.newestSet {
+		return 0
+	}
+	abs := s.hub.newestMS + ms
+	if abs < 0 {
+		abs = 0
+	}
+	return abs
+}
+
+// historyCovers reports whether the retained snapshot history reaches back
+// to sinceMS.
+func (s *Server) historyCovers(sinceMS int64) bool {
+	return len(s.hub.history) > 0 && s.hub.history[0].Time <= sinceMS
+}
+
+// historyBackfill collects retained history stamped at or after sinceMS
+// whose signals pass the filter.
+func (s *Server) historyBackfill(f *sigFilter, sinceMS int64) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, t := range s.hub.history {
+		if t.Time >= sinceMS && f.match(t.Name) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// decimatedBackfill renders the tiered store's view of [sinceMS, now] for
+// every matching signal: per bucket, its min and max as two tuples (one
+// when they coincide) stamped at the bucket's end time — the min/max
+// envelope a zoomed-out viewer draws, at O(cols) cost per signal.
+func (s *Server) decimatedBackfill(f *sigFilter, sinceMS int64, cols int) []tuple.Tuple {
+	names := make([]string, 0, len(s.hub.backfill))
+	for name := range s.hub.backfill {
+		if f.match(name) {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	var out []tuple.Tuple
+	for _, name := range names {
+		for _, bk := range s.hub.backfill[name].ViewSince(sinceMS, cols) {
+			if bk.Count == 0 {
+				continue
+			}
+			if bk.Min == bk.Max {
+				out = append(out, tuple.Tuple{Time: bk.Time, Value: bk.Last, Name: name})
+				continue
+			}
+			out = append(out,
+				tuple.Tuple{Time: bk.Time, Value: bk.Min, Name: name},
+				tuple.Tuple{Time: bk.Time, Value: bk.Max, Name: name})
+		}
+	}
+	return out
+}
+
+// readFlightBackfill reads [sinceMS, cutoffMS] from a flight-recorder
+// session directory, filtered, as fast as possible. Best-effort by design:
+// the session is read while the recorder may still be writing it, so the
+// newest batches (still queued to disk) can be missing. Bounded at
+// maxFlightBackfillTuples, keeping the newest.
+func readFlightBackfill(dir string, sinceMS, cutoffMS int64, f *sigFilter) []tuple.Tuple {
+	sess, err := reclog.OpenSession(dir)
+	if err != nil {
+		return nil
+	}
+	rep := reclog.NewReplayer(sess)
+	rep.SetSpeed(0)
+	to := time.Duration(cutoffMS) * time.Millisecond
+	rep.SetWindow(time.Duration(sinceMS)*time.Millisecond, to)
+	var out []tuple.Tuple
+	rep.Run(func(batch []tuple.Tuple) error { //nolint:errcheck // best-effort read
+		for _, t := range batch {
+			if !f.match(t.Name) {
+				continue
+			}
+			if len(out) >= maxFlightBackfillTuples {
+				out = out[1:]
+			}
+			out = append(out, t)
+		}
+		return nil
+	})
+	return out
 }
 
 // snapshotChunk encodes the handshake plus the retained history window as
@@ -160,10 +716,29 @@ func (s *Server) snapshotChunk() []byte {
 	return []byte(b.String())
 }
 
-// broadcastBatch retains a delivered batch in the snapshot history and
-// fans it out to every subscriber as a single wire-encoded chunk shared by
-// all of their queues: per-subscriber cost is one queue append per batch,
-// not per tuple. Runs on the loop goroutine as part of delivery.
+// encodeSubset encodes the tuples of batch that pass the subscription
+// (advancing its decimation clock) into a fresh chunk.
+func encodeSubset(sub *subscription, batch []tuple.Tuple) (chunk []byte, matched int) {
+	var out []byte
+	for _, t := range batch {
+		if !sub.passes(t) {
+			continue
+		}
+		if out == nil {
+			out = make([]byte, 0, 128)
+		}
+		out = tuple.AppendWire(out, t)
+		matched++
+	}
+	return out, matched
+}
+
+// broadcastBatch retains a delivered batch in the snapshot history (and
+// the tiered backfill store, when enabled) and fans it out to every
+// subscriber. Unfiltered subscribers share a single wire-encoded chunk per
+// batch — one queue append, no per-tuple work — and filtered subscribers
+// get their own narrowed encoding, shared across subscribers with the same
+// filter. Runs on the loop goroutine as part of delivery.
 func (s *Server) broadcastBatch(batch []tuple.Tuple) {
 	if s.hub.subs == nil || len(batch) == 0 {
 		return
@@ -171,13 +746,83 @@ func (s *Server) broadcastBatch(batch []tuple.Tuple) {
 	for _, t := range batch {
 		s.retain(t)
 	}
+	if s.hub.backfill != nil {
+		s.backfillRetain(batch)
+	}
 	s.hub.published += int64(len(batch))
 	if len(s.hub.subs) == 0 {
 		return
 	}
-	chunk := tuple.AppendWireBatch(make([]byte, 0, 24*len(batch)), batch)
+	var shared []byte
+	sharedChunk := func() []byte {
+		if shared == nil {
+			shared = tuple.AppendWireBatch(make([]byte, 0, 24*len(batch)), batch)
+		}
+		return shared
+	}
+	memoCleared := false
 	for _, sub := range s.hub.subs {
-		sub.ww.Send(chunk)
+		switch {
+		case sub.state == subSniffing:
+			sub.bufferChunk(sharedChunk(), s.hub.queueLimit)
+		case sub.state == subBackfilling:
+			sub.bufferTuples(batch, s.hub.queueLimit)
+		case sub.sub != nil && sub.sub.req.NoStream:
+			// Control-plane-only connections never wanted the stream;
+			// counting their withholdings as Filtered would make the
+			// decimation stat lie to operators.
+		case sub.sub == nil || sub.sub.plain():
+			sub.ww.Send(sharedChunk())
+		default:
+			if key := sub.sub.shareKey(); key != "" {
+				if !memoCleared {
+					memoCleared = true
+					if s.hub.shareMemo == nil {
+						s.hub.shareMemo = make(map[string]*memoChunk)
+					}
+					for k := range s.hub.shareMemo {
+						delete(s.hub.shareMemo, k)
+					}
+				}
+				entry := s.hub.shareMemo[key]
+				if entry == nil {
+					chunk, matched := encodeSubset(sub.sub, batch)
+					entry = &memoChunk{chunk: chunk, matched: matched}
+					s.hub.shareMemo[key] = entry
+				}
+				if len(entry.chunk) > 0 {
+					sub.ww.Send(entry.chunk)
+				}
+				sub.filtered += int64(len(batch) - entry.matched)
+				continue
+			}
+			chunk, matched := encodeSubset(sub.sub, batch)
+			if len(chunk) > 0 {
+				sub.ww.Send(chunk)
+			}
+			sub.filtered += int64(len(batch) - matched)
+		}
+	}
+}
+
+// backfillRetain folds a batch into the per-signal tiered store.
+func (s *Server) backfillRetain(batch []tuple.Tuple) {
+	var lastName string
+	var last *core.TimedHistory
+	for _, t := range batch {
+		th := last
+		if t.Name != lastName || th == nil {
+			th = s.hub.backfill[t.Name]
+			if th == nil {
+				if len(s.hub.backfill) >= maxBackfillSignals {
+					continue
+				}
+				th = core.NewTimedHistory(s.hub.backfillRet)
+				s.hub.backfill[t.Name] = th
+			}
+			lastName, last = t.Name, th
+		}
+		th.Push(t.Time, t.Value)
 	}
 }
 
@@ -235,21 +880,158 @@ func (s *Server) InjectBatch(batch []tuple.Tuple) {
 	s.deliverBatch(batch)
 }
 
+// --- The v2 command channel ------------------------------------------------
+
+// sendError queues an error frame on a subscriber's stream.
+func (s *Server) sendError(sub *subscriber, msg string) {
+	sub.ww.Send(tuple.AppendControl(nil, "error", strings.ReplaceAll(msg, "\n", " ")))
+}
+
+// handleCommand runs one inbound v2 command line. Runs on the loop.
+func (s *Server) handleCommand(sub *subscriber, line string) {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return
+	}
+	switch f[0] {
+	case "param":
+		s.handleParamCommand(sub, f[1:])
+	case subMagic:
+		s.sendError(sub, "already subscribed")
+	default:
+		s.sendError(sub, "unknown command "+f[0])
+	}
+}
+
+// paramFrame renders one parameter as a reply/list frame. Parameters whose
+// names contain whitespace cannot cross the space-delimited framing and
+// are not addressable over the wire.
+func paramFrame(dst []byte, in core.ParamInfo) []byte {
+	mode := "rw"
+	if in.ReadOnly {
+		mode = "ro"
+	}
+	return tuple.AppendControl(dst, "param", in.Name,
+		tuple.FormatValue(in.Value),
+		"min="+tuple.FormatValue(in.Min),
+		"max="+tuple.FormatValue(in.Max),
+		"step="+tuple.FormatValue(in.Step),
+		"mode="+mode)
+}
+
+// handleParamCommand serves the PARAM LIST/GET/SET plane against the
+// attached registry.
+func (s *Server) handleParamCommand(sub *subscriber, args []string) {
+	ps := s.hub.params
+	if ps == nil {
+		s.sendError(sub, "no parameter registry attached")
+		return
+	}
+	if len(args) == 0 {
+		s.sendError(sub, "param: need list, get <name> or set <name> <value>")
+		return
+	}
+	switch args[0] {
+	case "list":
+		infos := ps.Infos()
+		b := tuple.AppendControl(nil, "params", fmt.Sprintf("n=%d", len(infos)))
+		for _, in := range infos {
+			if strings.ContainsAny(in.Name, " \t") {
+				continue // unaddressable over the space-delimited framing
+			}
+			b = paramFrame(b, in)
+		}
+		b = tuple.AppendControl(b, "params-end")
+		sub.ww.Send(b)
+	case "get":
+		if len(args) != 2 {
+			s.sendError(sub, "param get: need exactly one name")
+			return
+		}
+		in, err := ps.Info(args[1])
+		if err != nil {
+			s.sendError(sub, err.Error())
+			return
+		}
+		sub.ww.Send(paramFrame(nil, in))
+	case "set":
+		if len(args) != 3 {
+			s.sendError(sub, "param set: need a name and a value")
+			return
+		}
+		v, err := strconv.ParseFloat(args[2], 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			// NaN must be rejected here: it compares false against both
+			// clamp bounds, so it would sail through the range the
+			// protocol promises to enforce.
+			s.sendError(sub, "param set: bad value "+args[2])
+			return
+		}
+		if err := ps.Set(args[1], v); err != nil {
+			s.sendError(sub, err.Error())
+			return
+		}
+		actual, err := ps.Get(args[1])
+		if err != nil {
+			s.sendError(sub, err.Error())
+			return
+		}
+		sub.ww.Send(tuple.AppendControl(nil, "param-ok", args[1], tuple.FormatValue(actual)))
+	default:
+		s.sendError(sub, "param: unknown subcommand "+args[0])
+	}
+}
+
+// broadcastParamChange fans a parameter change out to every live v2
+// subscriber as a short notification frame. Runs on the loop.
+func (s *Server) broadcastParamChange(name string, v float64) {
+	if strings.ContainsAny(name, " \t") {
+		return
+	}
+	var frame []byte
+	for _, sub := range s.hub.subs {
+		if sub.state != subLive || sub.sub == nil {
+			continue
+		}
+		if frame == nil {
+			frame = tuple.AppendControl(nil, "param", name, tuple.FormatValue(v))
+		}
+		sub.ww.Send(frame)
+	}
+}
+
+// --- Teardown and stats ----------------------------------------------------
+
 func (s *Server) unsubscribe(conn net.Conn) {
 	sub, ok := s.hub.subs[conn]
 	if !ok {
 		return
 	}
 	delete(s.hub.subs, conn)
-	s.hub.unsubscribes++
-	s.hub.dropped += sub.ww.Dropped()
+	if sub.grace != nil {
+		sub.grace.Stop()
+	}
+	if sub.counted {
+		s.hub.unsubscribes++
+	}
+	s.hub.dropped += sub.ww.Dropped() + sub.pendDrop
+	s.hub.filtered += sub.filtered
 	sub.ww.Cancel()
 	sub.rw.Cancel()
 	conn.Close()
 }
 
-// Subscribers returns the number of currently connected viewers.
-func (s *Server) Subscribers() int { return len(s.hub.subs) }
+// Subscribers returns the number of connected viewers whose handshake has
+// completed (sniffing and backfilling connections are still in flight).
+func (s *Server) Subscribers() int {
+	n := 0
+	for _, sub := range s.hub.subs {
+		if sub.state == subLive {
+			n++
+		}
+	}
+	return n
+}
 
 // SubscriberStats returns lifetime fan-out counters: viewer connects and
 // disconnects, tuples published to the subscriber side (counted once per
@@ -257,12 +1039,27 @@ func (s *Server) Subscribers() int { return len(s.hub.subs) }
 // drop-oldest policy summed across all viewers past and present. A chunk
 // is one delivered batch (at least one tuple), so a non-zero drop count
 // means data loss even though it does not count tuples one by one.
+// FanoutStats adds the v2 plane's filter accounting.
 func (s *Server) SubscriberStats() (subscribes, unsubscribes, published, dropped int64) {
-	d := s.hub.dropped
-	for _, sub := range s.hub.subs {
-		d += sub.ww.Dropped()
+	st := s.FanoutStats()
+	return st.Subscribes, st.Unsubscribes, st.Published, st.Dropped
+}
+
+// FanoutStats returns the lifetime fan-out counters including tuples
+// withheld by v2 signal filters and rate decimation.
+func (s *Server) FanoutStats() FanoutStats {
+	st := FanoutStats{
+		Subscribes:   s.hub.subscribes,
+		Unsubscribes: s.hub.unsubscribes,
+		Published:    s.hub.published,
+		Dropped:      s.hub.dropped,
+		Filtered:     s.hub.filtered,
 	}
-	return s.hub.subscribes, s.hub.unsubscribes, s.hub.published, d
+	for _, sub := range s.hub.subs {
+		st.Dropped += sub.ww.Dropped() + sub.pendDrop
+		st.Filtered += sub.filtered
+	}
+	return st
 }
 
 // SubscriberBacklog returns the total number of chunks queued but not yet
@@ -271,7 +1068,7 @@ func (s *Server) SubscriberStats() (subscribes, unsubscribes, published, dropped
 func (s *Server) SubscriberBacklog() int {
 	n := 0
 	for _, sub := range s.hub.subs {
-		n += sub.ww.Queued()
+		n += sub.ww.Queued() + len(sub.pend)
 	}
 	return n
 }
@@ -289,10 +1086,14 @@ func (s *Server) SubscriberWritten() int64 {
 
 // SubscribersFlushed reports whether every currently connected subscriber
 // has either written or dropped every byte queued to it — the barrier
-// benches and tests use to know the fan-out has fully drained.
+// benches and tests use to know the fan-out has fully drained. A
+// connection still mid-handshake with buffered deltas is not flushed.
 func (s *Server) SubscribersFlushed() bool {
 	for _, sub := range s.hub.subs {
 		if !sub.ww.Flushed() {
+			return false
+		}
+		if sub.state != subLive && (len(sub.pend) > 0 || len(sub.pendT) > 0) {
 			return false
 		}
 	}
@@ -311,51 +1112,103 @@ func (s *Server) closeHub() error {
 	for conn := range s.hub.subs {
 		s.unsubscribe(conn)
 	}
+	if s.hub.paramsUnobserve != nil {
+		s.hub.paramsUnobserve()
+		s.hub.paramsUnobserve = nil
+	}
 	return err
 }
 
+// --- The subscriber client --------------------------------------------------
+
 // Subscriber is the client side of the fan-out protocol: it connects to a
-// hub's subscriber listener and delivers every tuple — snapshot first, then
-// live deltas — to a callback on the loop goroutine, the same threading
-// model as Server callbacks.
+// hub's subscriber listener and delivers every tuple — snapshot or
+// backfill first, then live deltas — to a callback on the loop goroutine,
+// the same threading model as Server callbacks. Created with options, it
+// speaks the v2 protocol: its handshake carries the subscription request,
+// and the connection doubles as a command channel (Command, OnControl).
+// Counters are safe to read from any goroutine.
 type Subscriber struct {
 	conn  net.Conn
 	watch *glib.IOWatch
 
-	// all owned by the loop goroutine
-	received    int64
-	parseErrors int64
-	snapTuples  int64
-	inSnapshot  bool
-	handshaken  bool
-	closed      bool
-	onClose     func(error)
+	req          *SubscriptionRequest // nil for a pure v1 client
+	clientFilter *sigFilter
+
+	received    atomic.Int64
+	parseErrors atomic.Int64
+	snapTuples  atomic.Int64
+	backTuples  atomic.Int64
+	handshaken  atomic.Bool
+	acked       atomic.Bool
+
+	// owned by the loop goroutine
+	inSnapshot bool
+	inBackfill bool
+	closed     bool
+
+	// Callback registration may race a live loop delivering frames, so it
+	// is guarded; the callbacks themselves always run on the loop.
+	cbMu      sync.Mutex
+	onClose   func(error)
+	onControl func(tuple.ControlFrame)
+}
+
+func (s *Subscriber) closeCallback() func(error) {
+	s.cbMu.Lock()
+	defer s.cbMu.Unlock()
+	return s.onClose
+}
+
+func (s *Subscriber) controlCallback() func(tuple.ControlFrame) {
+	s.cbMu.Lock()
+	defer s.cbMu.Unlock()
+	return s.onControl
 }
 
 // SubscribeTo connects to a hub's subscriber address and invokes fn on the
-// loop goroutine for each tuple in the merged stream. Snapshot history and
-// live deltas are delivered uniformly; use Snapshot to learn where the
-// boundary was. Internally tuples are decoded in read-chunk batches; use
+// loop goroutine for each tuple in the merged stream. Snapshot/backfill
+// history and live deltas are delivered uniformly; use Snapshot and
+// Backfilled to learn where the boundaries were. With no options the
+// client is a pure v1 subscriber (it sends nothing and receives the
+// classic snapshot-then-deltas stream); any option switches it to the v2
+// handshake. Internally tuples are decoded in read-chunk batches; use
 // SubscribeToBatch to receive them that way and keep the batch shape
 // through a relay.
-func SubscribeTo(loop *glib.Loop, addr string, fn func(tuple.Tuple)) (*Subscriber, error) {
+func SubscribeTo(loop *glib.Loop, addr string, fn func(tuple.Tuple), opts ...SubscribeOption) (*Subscriber, error) {
 	return SubscribeToBatch(loop, addr, func(batch []tuple.Tuple) {
 		for _, t := range batch {
 			fn(t)
 		}
-	})
+	}, opts...)
 }
 
 // SubscribeToBatch is SubscribeTo with batch delivery: fn receives every
 // tuple decoded from one read chunk in a single call (the batch is valid
 // only for the duration of the call). Relays chain this into
 // Server.InjectBatch so one upstream read stays one downstream broadcast.
-func SubscribeToBatch(loop *glib.Loop, addr string, fn func([]tuple.Tuple)) (*Subscriber, error) {
+func SubscribeToBatch(loop *glib.Loop, addr string, fn func([]tuple.Tuple), opts ...SubscribeOption) (*Subscriber, error) {
 	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, fmt.Errorf("netscope: %w", err)
 	}
 	sub := &Subscriber{conn: conn}
+	if len(opts) > 0 {
+		req := SubscriptionRequest{}
+		for _, o := range opts {
+			o(&req)
+		}
+		if err := req.validate(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if _, err := io.WriteString(conn, req.encodeLine()); err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("netscope: %w", err)
+		}
+		sub.req = &req
+		sub.clientFilter = compileFilter(req.Signals)
+	}
 	var batch []tuple.Tuple
 	flush := func() {
 		if len(batch) > 0 {
@@ -375,20 +1228,29 @@ func SubscribeToBatch(loop *glib.Loop, addr string, fn func([]tuple.Tuple)) (*Su
 			}
 			t, perr := tuple.Parse(line)
 			if perr != nil {
-				sub.parseErrors++
+				sub.parseErrors.Add(1)
 				continue
 			}
-			sub.received++
-			if sub.inSnapshot {
-				sub.snapTuples++
+			if !sub.acked.Load() && !sub.clientFilter.match(t.Name) {
+				// Tuples broadcast before the server applied our request
+				// (the handshake race) are outside the subscription;
+				// enforce the filter client-side until the ack.
+				continue
+			}
+			sub.received.Add(1)
+			switch {
+			case sub.inSnapshot:
+				sub.snapTuples.Add(1)
+			case sub.inBackfill:
+				sub.backTuples.Add(1)
 			}
 			batch = append(batch, t)
 		}
 		flush()
 		if err != nil {
 			sub.closed = true
-			if sub.onClose != nil {
-				sub.onClose(err)
+			if fn := sub.closeCallback(); fn != nil {
+				fn(err)
 			}
 			conn.Close()
 			return false
@@ -400,35 +1262,76 @@ func SubscribeToBatch(loop *glib.Loop, addr string, fn func([]tuple.Tuple)) (*Su
 
 // control interprets the hub's '#'-comment framing lines.
 func (s *Subscriber) control(line string) {
-	f := strings.Fields(strings.TrimPrefix(strings.TrimSpace(line), "#"))
-	if len(f) == 0 {
+	f, ok := tuple.ParseControl(line)
+	if !ok {
 		return
 	}
-	switch f[0] {
+	switch f.Verb {
 	case hubMagic:
-		s.handshaken = true
+		s.handshaken.Store(true)
+		if f.Arg(0) == "2" {
+			s.acked.Store(true)
+		}
 	case "snapshot":
 		s.inSnapshot = true
 	case "snapshot-end":
 		s.inSnapshot = false
+	case "backfill":
+		s.inBackfill = true
+	case "backfill-end":
+		s.inBackfill = false
+	}
+	if fn := s.controlCallback(); fn != nil {
+		fn(f)
 	}
 }
 
 // OnClose registers fn to run on the loop goroutine when the stream ends
-// (io.EOF on hub shutdown, or a transport error).
-func (s *Subscriber) OnClose(fn func(error)) { s.onClose = fn }
+// (io.EOF on hub shutdown, or a transport error). Safe to call from any
+// goroutine.
+func (s *Subscriber) OnClose(fn func(error)) {
+	s.cbMu.Lock()
+	s.onClose = fn
+	s.cbMu.Unlock()
+}
+
+// OnControl registers fn to observe every control frame on the loop
+// goroutine — param replies and change notifications, error frames, and
+// the stream framing itself. Register it before frames of interest can
+// arrive (i.e. immediately after SubscribeTo returns); safe to call from
+// any goroutine.
+func (s *Subscriber) OnControl(fn func(tuple.ControlFrame)) {
+	s.cbMu.Lock()
+	s.onControl = fn
+	s.cbMu.Unlock()
+}
+
+// Command sends one control-plane line to the hub (e.g. "param set delay
+// 250"). Valid on v2 subscriptions; a v1 hub (or a v1 subscription)
+// silently ignores it. Safe to call from any goroutine.
+func (s *Subscriber) Command(line string) error {
+	_, err := io.WriteString(s.conn, strings.TrimSuffix(line, "\n")+"\n")
+	return err
+}
 
 // Handshaken reports whether the hub's protocol banner has been seen.
-func (s *Subscriber) Handshaken() bool { return s.handshaken }
+func (s *Subscriber) Handshaken() bool { return s.handshaken.Load() }
+
+// Acked reports whether the hub acknowledged the v2 subscription request.
+func (s *Subscriber) Acked() bool { return s.acked.Load() }
 
 // Snapshot returns the number of tuples that arrived as connect-time
 // history rather than live deltas.
-func (s *Subscriber) Snapshot() int64 { return s.snapTuples }
+func (s *Subscriber) Snapshot() int64 { return s.snapTuples.Load() }
 
-// Stats returns tuples received (snapshot + live) and lines that failed to
-// parse.
+// Backfilled returns the number of tuples that arrived as requested
+// backfill (WithSince) rather than live deltas.
+func (s *Subscriber) Backfilled() int64 { return s.backTuples.Load() }
+
+// Stats returns tuples received (snapshot + backfill + live) and lines
+// that failed to parse.
 func (s *Subscriber) Stats() (received, parseErrors int64) {
-	return s.received, s.parseErrors
+	return s.received.Load(), s.parseErrors.Load()
 }
 
 // Close disconnects from the hub.

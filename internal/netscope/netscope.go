@@ -30,10 +30,14 @@
 // single merged stream can drive any number of concurrent synchronized
 // viewers, and relays can be chained ([Server.Inject]).
 //
-// A subscriber connection is write-only from the hub's point of view
-// (inbound lines are ignored; EOF means the viewer left). The stream is
-// framed entirely with '#' comment lines, so it is itself a valid tuple
-// stream and a viewer that only wants the data can read it with a plain
+// Two protocol revisions share the subscriber listener; the hub decides
+// per connection by sniffing the first inbound line.
+//
+// Version 1 — the dumb tap. The client connects and sends nothing (any
+// first line that is not a v2 handshake also selects v1, and is ignored).
+// The connection is then write-only from the hub's point of view, framed
+// entirely with '#' comment lines, so it is itself a valid tuple stream
+// and a viewer that only wants the data can read it with a plain
 // tuple.Reader and never notice the framing:
 //
 //	# gscope-hub 1
@@ -49,14 +53,54 @@
 // connects mid-run starts with the recent display window instead of an
 // empty screen — and "# snapshot-end" marks the snapshot/delta boundary.
 // After that the connection carries every tuple the hub delivers, in
-// delivery order.
+// delivery order. A silent client is committed to v1 after
+// [DefaultHandshakeGrace]; the snapshot is captured at accept and deltas
+// delivered while the hub waited are buffered behind it, so the stream is
+// byte-identical to a hub that never sniffed.
+//
+// Version 2 — the query/control plane. The client's first line is a
+// handshake carrying a [SubscriptionRequest]:
+//
+//	gscope-sub 2 signals=cpu.*,mem max-rate=30 since=-10000 cols=512 stream=0
+//
+// (every key optional; see the SubscriptionRequest fields). The hub
+// answers with a v2 banner echoing the applied request, serves the
+// requested history, and then streams deltas narrowed per subscription —
+// name filters and rate decimation are applied before bytes are queued,
+// so a viewer of 1 signal in 64 pays ~1/64 of the bandwidth:
+//
+//	# gscope-hub 2 signals=cpu.*,mem max-rate=30 since=-10000
+//	# backfill tuples=40 since-ms=4000 source=history
+//	...tuples...
+//	# backfill-end
+//	...filtered, decimated deltas...
+//
+// With no since, the v1-shaped snapshot (narrowed to the subscription) is
+// sent instead of backfill. Backfill is served from the retained snapshot
+// history (source=history), from the per-signal tiered min/max store at a
+// requested resolution (cols=N → source=decimated, ≤2·cols tuples per
+// signal however deep the window, the Trace.View property over the wire),
+// or from the attached flight recorder (source=reclog, best-effort on a
+// live log). After the handshake the inbound direction stays open as a
+// command channel:
+//
+//	param list                → # params n=2 … # param <name> <value> min=… max=… step=… mode=rw|ro … # params-end
+//	param get <name>          → # param <name> <value> min=… max=… step=… mode=…
+//	param set <name> <value>  → # param-ok <name> <stored>      (clamped to the declared bounds)
+//	anything else             → # error <message>
+//
+// and every successful set through the attached registry ([Server.SetParams])
+// — from any subscriber or from the application itself — is fanned out to
+// all v2 subscribers as "# param <name> <value>" notification frames.
+// stream=0 subscribes to the control plane only.
 //
 // Each subscriber has a bounded outbound queue drained by its own writer
 // goroutine (glib.WriteWatch). A slow or stalled viewer loses its own
 // oldest queued chunks (drop-oldest, counted in [Server.SubscriberStats])
 // but can never block the loop, the publishers, or other subscribers. The
 // snapshot is enqueued as a single drop-exempt unit, so the bound can
-// neither tear it nor evict the protocol banner.
+// neither tear it nor evict the protocol banner. Tuples withheld by v2
+// filters and decimation are counted in [Server.FanoutStats].
 //
 // # Batching
 //
@@ -103,9 +147,10 @@ type Server struct {
 	// display delay. The recorder always stores the original stamps.
 	MapTime func(time.Duration) time.Duration
 
-	rec    *tuple.Writer
-	flight *reclog.Log
-	mapped []tuple.Tuple // MapTime rebase scratch, reused across batches
+	rec       *tuple.Writer
+	flight    *reclog.Log
+	flightDir string        // the recording directory, for v2 backfill reads
+	mapped    []tuple.Tuple // MapTime rebase scratch, reused across batches
 
 	hub hubState
 
@@ -148,6 +193,7 @@ func (s *Server) Record(dir string, opts reclog.Options) (*reclog.Log, error) {
 		s.flight.Close() //nolint:errcheck // superseded recorder; its data is sealed
 	}
 	s.flight = lg
+	s.flightDir = dir
 	return lg, nil
 }
 

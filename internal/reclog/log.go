@@ -27,9 +27,10 @@ type Log struct {
 	dir  string
 	opts Options
 
-	mu     sync.Mutex
-	queue  [][]tuple.Tuple
-	closed bool
+	mu      sync.Mutex
+	queue   [][]tuple.Tuple
+	flushes []chan error
+	closed  bool
 
 	kick chan struct{}
 	done chan struct{}
@@ -139,6 +140,30 @@ func (l *Log) Drained() bool {
 	return queued == 0 && l.appended.Load() == l.written.Load()+l.dropped.Load()
 }
 
+// Flush is a durability barrier for readers of a live session: it returns
+// once every tuple appended before the call has been written through to
+// the active segment file (or dropped by the queue bound) and the file's
+// buffered bytes pushed to the OS, so OpenSession on the same directory
+// sees them. The netscope hub uses it before serving v2 backfill from an
+// attached, still-recording log. On a closed (or failed) log it waits for
+// the writer to finish sealing and returns its error.
+func (l *Log) Flush() error {
+	ack := make(chan error, 1)
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		<-l.done
+		return l.Err()
+	}
+	l.flushes = append(l.flushes, ack)
+	l.mu.Unlock()
+	select {
+	case l.kick <- struct{}{}:
+	default:
+	}
+	return <-ack
+}
+
 // Err returns the I/O error that stopped the writer, if any.
 func (l *Log) Err() error {
 	if err, ok := l.errv.Load().(error); ok {
@@ -172,14 +197,28 @@ func (l *Log) writer() {
 		l.mu.Lock()
 		batches := l.queue
 		l.queue = nil
+		flushes := l.flushes
+		l.flushes = nil
 		closed := l.closed
 		l.mu.Unlock()
 
+		var werr error
 		for _, b := range batches {
-			if err := l.writeBatch(b); err != nil {
-				l.fail(err)
-				return
+			if werr = l.writeBatch(b); werr != nil {
+				break
 			}
+		}
+		if werr == nil && len(flushes) > 0 && l.w != nil {
+			if ferr := l.w.Flush(); ferr != nil {
+				werr = fmt.Errorf("reclog: flush %s: %w", segName(l.seq), ferr)
+			}
+		}
+		for _, ack := range flushes {
+			ack <- werr
+		}
+		if werr != nil {
+			l.fail(werr)
+			return
 		}
 		if closed {
 			l.mu.Lock()
@@ -211,7 +250,12 @@ func (l *Log) fail(err error) {
 		l.dropped.Add(int64(len(b)))
 	}
 	l.queue = nil
+	flushes := l.flushes
+	l.flushes = nil
 	l.mu.Unlock()
+	for _, ack := range flushes {
+		ack <- err
+	}
 }
 
 // writeBatch appends one batch to the active segment, opening and rotating

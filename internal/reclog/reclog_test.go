@@ -443,3 +443,48 @@ func TestReplaySurfacesTransportErrors(t *testing.T) {
 		t.Fatal("OpenSession scanned past a transport error silently")
 	}
 }
+
+// TestFlushMakesLiveSessionReadable: Flush is the durability barrier the
+// netscope hub's v2 backfill relies on — after it returns, a concurrent
+// OpenSession on the still-recording directory sees every tuple appended
+// before the call, even though the active segment is unsealed and the
+// writer buffers.
+func TestFlushMakesLiveSessionReadable(t *testing.T) {
+	dir := t.TempDir()
+	lg, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100 // ~1KB: well under the bufio buffer, invisible without Flush
+	batch := make([]tuple.Tuple, n)
+	for i := range batch {
+		batch[i] = tuple.Tuple{Time: int64(i), Value: float64(i), Name: "s"}
+	}
+	lg.Append(batch)
+	if err := lg.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Tuples() != n {
+		t.Fatalf("live session shows %d tuples after Flush, want %d", sess.Tuples(), n)
+	}
+	// The log keeps recording after the barrier, and Flush on a closed
+	// log degrades to waiting for the seal.
+	lg.Append(batch)
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := lg.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sess, err = OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Tuples() != 2*n {
+		t.Fatalf("sealed session shows %d tuples, want %d", sess.Tuples(), 2*n)
+	}
+}

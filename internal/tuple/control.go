@@ -1,0 +1,112 @@
+package tuple
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Control frames are the '#'-comment lines higher layers use to embed
+// protocols in a tuple stream (see the package comment's "Embedded
+// protocols" section). A frame is a verb followed by space-separated
+// fields, some of which may be key=value pairs:
+//
+//	# gscope-hub 2 signals=cpu.*,mem max-rate=30
+//	# backfill tuples=12 since-ms=4000 source=history
+//	# param threshold 5 min=0 max=10 step=1 mode=rw
+//
+// Because every frame is a comment, a plain Reader skips them and sees only
+// the data; protocol-aware consumers parse them with ParseControl before
+// discarding. This file holds the shared framing primitives; the
+// vocabulary (which verbs exist and what their fields mean) belongs to the
+// protocol packages (netscope, reclog).
+
+// ControlFrame is one parsed '#' control line: a verb and its fields, in
+// order. Fields of the form key=value are additionally reachable through
+// Lookup; anything else is positional.
+type ControlFrame struct {
+	// Verb is the first field after the '#'.
+	Verb string
+	// Fields are the remaining space-separated fields, in order.
+	Fields []string
+}
+
+// Arg returns positional field i ("" when the frame is shorter). Key=value
+// fields count toward positions too; by convention protocols put positional
+// fields first.
+func (f ControlFrame) Arg(i int) string {
+	if i < 0 || i >= len(f.Fields) {
+		return ""
+	}
+	return f.Fields[i]
+}
+
+// Lookup returns the value of the first key=value field with the given key.
+func (f ControlFrame) Lookup(key string) (string, bool) {
+	for _, fld := range f.Fields {
+		if v, ok := strings.CutPrefix(fld, key+"="); ok {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// Int returns Lookup(key) parsed as an int64, or def when the key is absent
+// or malformed.
+func (f ControlFrame) Int(key string, def int64) int64 {
+	s, ok := f.Lookup(key)
+	if !ok {
+		return def
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+// Float returns Lookup(key) parsed as a float64, or def when the key is
+// absent or malformed.
+func (f ControlFrame) Float(key string, def float64) float64 {
+	s, ok := f.Lookup(key)
+	if !ok {
+		return def
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// ParseControl parses a '#' comment line as a control frame. ok is false
+// for blank comments and for lines that are not comments at all. The verb
+// and fields must not contain newlines; fields are split on runs of spaces,
+// so neither verbs nor values can contain spaces (protocols quote or escape
+// above this layer if they must).
+func ParseControl(line string) (ControlFrame, bool) {
+	s := strings.TrimSpace(line)
+	if !strings.HasPrefix(s, "#") {
+		return ControlFrame{}, false
+	}
+	fields := strings.Fields(strings.TrimPrefix(s, "#"))
+	if len(fields) == 0 {
+		return ControlFrame{}, false
+	}
+	return ControlFrame{Verb: fields[0], Fields: fields[1:]}, true
+}
+
+// AppendControl appends a newline-terminated control frame to dst:
+// "# verb field field...\n". Empty fields are skipped so callers can build
+// frames from optional parts.
+func AppendControl(dst []byte, verb string, fields ...string) []byte {
+	dst = append(dst, '#', ' ')
+	dst = append(dst, verb...)
+	for _, f := range fields {
+		if f == "" {
+			continue
+		}
+		dst = append(dst, ' ')
+		dst = append(dst, f...)
+	}
+	return append(dst, '\n')
+}

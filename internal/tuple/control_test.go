@@ -1,0 +1,60 @@
+package tuple
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAppendControlParseControlRoundTrip(t *testing.T) {
+	line := AppendControl(nil, "gscope-hub", "2", "signals=cpu.*,mem", "max-rate=30")
+	if got, want := string(line), "# gscope-hub 2 signals=cpu.*,mem max-rate=30\n"; got != want {
+		t.Fatalf("encoded %q, want %q", got, want)
+	}
+	f, ok := ParseControl(strings.TrimSuffix(string(line), "\n"))
+	if !ok {
+		t.Fatal("ParseControl rejected its own encoding")
+	}
+	if f.Verb != "gscope-hub" || f.Arg(0) != "2" {
+		t.Fatalf("frame = %+v", f)
+	}
+	if v, ok := f.Lookup("signals"); !ok || v != "cpu.*,mem" {
+		t.Fatalf("signals = %q ok=%v", v, ok)
+	}
+	if f.Float("max-rate", 0) != 30 {
+		t.Fatalf("max-rate = %v", f.Float("max-rate", 0))
+	}
+}
+
+func TestParseControlCompatWithExistingFraming(t *testing.T) {
+	// The v1 hub and reclog framing predate this helper; it must read them.
+	f, ok := ParseControl("# snapshot tuples=2 window-ms=5000")
+	if !ok || f.Verb != "snapshot" {
+		t.Fatalf("frame = %+v ok=%v", f, ok)
+	}
+	if f.Int("tuples", -1) != 2 || f.Int("window-ms", -1) != 5000 {
+		t.Fatalf("kv fields wrong: %+v", f)
+	}
+	if _, ok := ParseControl("1500 42.5 CWND"); ok {
+		t.Fatal("tuple line parsed as a control frame")
+	}
+	if _, ok := ParseControl("#"); ok {
+		t.Fatal("blank comment parsed as a control frame")
+	}
+	if _, ok := ParseControl("   # seal tuples=2 first=1500 last=1550"); !ok {
+		t.Fatal("leading whitespace rejected")
+	}
+}
+
+func TestControlFrameDefaults(t *testing.T) {
+	f, _ := ParseControl("# param threshold 5 mode=rw")
+	if f.Arg(0) != "threshold" || f.Arg(1) != "5" || f.Arg(5) != "" {
+		t.Fatalf("positional args wrong: %+v", f)
+	}
+	if f.Int("missing", 42) != 42 || f.Float("mode", 7) != 7 {
+		t.Fatal("defaults not honored for absent/malformed keys")
+	}
+	// Empty optional fields are skipped by the encoder.
+	if got := string(AppendControl(nil, "params-end", "", "")); got != "# params-end\n" {
+		t.Fatalf("empty fields not skipped: %q", got)
+	}
+}
