@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -504,6 +505,178 @@ func BenchmarkFeedPushPerSample(b *testing.B) { benchFeedIngest(b, 1) }
 // BenchmarkFeedPushBatch is the batch ingest path the network server
 // uses; the acceptance bar is ≥4x the per-sample throughput above.
 func BenchmarkFeedPushBatch(b *testing.B) { benchFeedIngest(b, 256) }
+
+// BenchmarkProbeRecord measures the redesigned instrumentation hot path:
+// one probe handle recording from one goroutine — the paper's "a few lines
+// in the hot loop of a time-sensitive program" shape. Registration interned
+// the name and pinned the shard up front, so each record is a lock-free
+// late check plus plain stores into the probe's staging ring, with the
+// cross-goroutine publication and the ring→shard flush amortized over
+// batches. The benchmark measures an identical hot loop through the
+// string-keyed Feed.Push for reference and asserts the acceptance bar
+// inline: ≥2x over the string path and an allocation-free steady state
+// (ReportAllocs must show 0 allocs/op; benchdiff gates both).
+func BenchmarkProbeRecord(b *testing.B) {
+	const signal = "net.flow0.cwnd"
+	const drainMask = 1<<12 - 1 // drain cadence: keep the backlog cache-resident
+
+	// Reference: the same loop, same drain cadence, through Feed.Push.
+	const refN = 1 << 19
+	ref := core.NewFeed()
+	var refBuf []tuple.Tuple
+	refStart := time.Now()
+	for i := 0; i < refN; i++ {
+		ref.Push(time.Duration(i)*time.Microsecond, signal, float64(i))
+		if i&drainMask == drainMask {
+			refBuf = ref.DrainInto(time.Duration(i)*time.Microsecond, refBuf[:0])
+		}
+	}
+	nsPush := float64(time.Since(refStart)) / refN
+
+	f := core.NewFeed()
+	p, err := f.Probe(signal)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up past the first-fill allocations (ring flush growing the
+	// shard backlog, the drain buffer) so the timed region is steady
+	// state.
+	var drainBuf []tuple.Tuple
+	base := 0
+	for i := 0; i < 1<<13; i++ {
+		p.RecordAt(time.Duration(base+i)*time.Microsecond, float64(i))
+	}
+	base += 1 << 13
+	p.Flush()
+	drainBuf = f.DrainInto(time.Duration(base-1)*time.Microsecond, drainBuf[:0])
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.RecordAt(time.Duration(base+i)*time.Microsecond, float64(i))
+		if i&drainMask == drainMask {
+			b.StopTimer()
+			drainBuf = f.DrainInto(time.Duration(base+i)*time.Microsecond, drainBuf[:0])
+			b.StartTimer()
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+
+	nsProbe := float64(b.Elapsed()) / float64(b.N)
+	if nsProbe > 0 {
+		b.ReportMetric(nsPush/nsProbe, "speedup-vs-push")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	if _, dropped := f.Stats(); dropped != 0 {
+		b.Fatalf("benchmark dropped %d samples; timestamp discipline broken", dropped)
+	}
+	// The acceptance bar, asserted only on runs long enough to be
+	// meaningful.
+	if b.N >= 1<<16 {
+		if allocs := m1.Mallocs - m0.Mallocs; allocs > uint64(b.N/1000) {
+			b.Fatalf("record path allocated: %d mallocs over %d records", allocs, b.N)
+		}
+		if nsProbe*2 > nsPush {
+			b.Fatalf("Probe.RecordAt %.1f ns/op is not ≥2x Feed.Push %.1f ns/op", nsProbe, nsPush)
+		}
+	}
+}
+
+// BenchmarkClientSendProbeBatch measures the remote publish hot path: a
+// probe-keyed batch enqueue through the client's reusable queue and encode
+// buffers onto a loopback socket. ns/op is per sample. The steady state
+// must be allocation-free (ReportAllocs 0 allocs/op, gated by benchdiff):
+// the queue ping-pongs between two retained slices, the writer reuses one
+// wire buffer, and the probe's canonical name means no per-sample string
+// work anywhere.
+func BenchmarkClientSendProbeBatch(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				io.Copy(io.Discard, conn) //nolint:errcheck
+				conn.Close()
+			}()
+		}
+	}()
+
+	c, err := netscope.Dial(ln.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := c.Probe("cps")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batchLen = 256
+	samples := make([]tuple.Sample, batchLen)
+	stamp := 0
+	fill := func(n int) {
+		for j := 0; j < n; j++ {
+			samples[j] = tuple.Sample{At: time.Duration(stamp) * time.Millisecond, Value: float64(j & 0xff)}
+			stamp++
+		}
+	}
+	// Warm up the queue/encode buffers to their steady-state capacity.
+	for r := 0; r < 8; r++ {
+		fill(batchLen)
+		if err := c.SendProbeBatch(p, samples); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	batches := 0
+	for i := 0; i < b.N; i += batchLen {
+		n := batchLen
+		if b.N-i < n {
+			n = b.N - i
+		}
+		fill(n)
+		if err := c.SendProbeBatch(p, samples[:n]); err != nil {
+			b.Fatal(err)
+		}
+		// Bound the queue by letting the writer catch up periodically
+		// (untimed), so growth never masquerades as steady state.
+		if batches++; batches&63 == 0 {
+			b.StopTimer()
+			if err := c.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	if err := c.Close(); err != nil {
+		b.Fatal(err)
+	}
+	ln.Close()
+	wg.Wait()
+}
 
 // BenchmarkTraceView measures the tiered-history render query: a window
 // of W samples decimated into 512 columns. Doubling the window eight-fold

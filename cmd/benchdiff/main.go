@@ -1,24 +1,34 @@
 // Command benchdiff compares `go test -bench` output against a committed
 // JSON baseline and fails (exit 1) when any benchmark regresses by more
-// than a threshold in ns/op. It is the CI benchmark-regression gate: the
-// bench job runs the ingest/fan-out/render benchmarks and pipes them here.
+// than a threshold in ns/op — or, for benchmarks run with -benchmem, in
+// allocs/op. It is the CI benchmark-regression gate: the bench job runs
+// the ingest/fan-out/render benchmarks and pipes them here.
 //
 // Usage:
 //
-//	go test -bench ... | benchdiff -baseline BENCH_baseline.json
+//	go test -bench ... -benchmem | benchdiff -baseline BENCH_baseline.json
 //	benchdiff -baseline BENCH_baseline.json bench.txt
 //	benchdiff -update -baseline BENCH_baseline.json bench.txt
 //
-// The baseline file records ns/op per benchmark plus free-form metadata:
+// The baseline file records ns/op (and allocs/op where reported) per
+// benchmark plus free-form metadata:
 //
 //	{
 //	  "note": "refreshed on the CI runner class the gate runs on",
-//	  "benchmarks": {"BenchmarkFeedPushBatch": 6.1, ...}
+//	  "benchmarks": {"BenchmarkFeedPushBatch": 6.1, ...},
+//	  "allocs": {"BenchmarkProbeRecord": 0, ...}
 //	}
 //
-// Refresh it with -update whenever a change intentionally shifts a hot
-// path (or the runner hardware changes); the diff in review shows exactly
-// which numbers moved and by how much.
+// Both gates follow the same contract: a benchmark (or metric) the
+// baseline has never seen is reported as new and skipped, never failed.
+// The allocation gate additionally requires the regression to be at least
+// one whole alloc/op, so integer jitter around a small baseline cannot
+// trip it — but a 0 → 1 alloc/op change, the way a zero-allocation hot
+// path typically dies, always fails.
+//
+// Refresh the baseline with -update whenever a change intentionally shifts
+// a hot path (or the runner hardware changes); the diff in review shows
+// exactly which numbers moved and by how much.
 package main
 
 import (
@@ -40,6 +50,16 @@ type Baseline struct {
 	// Benchmarks maps benchmark name (GOMAXPROCS suffix stripped) to its
 	// reference ns/op.
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	// Allocs maps benchmark name to its reference allocs/op, for
+	// benchmarks run with -benchmem when the baseline was refreshed.
+	Allocs map[string]float64 `json:"allocs,omitempty"`
+}
+
+// result is one benchmark's parsed metrics.
+type result struct {
+	ns        float64
+	allocs    float64
+	hasAllocs bool
 }
 
 func main() {
@@ -50,10 +70,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		baselinePath = fs.String("baseline", "BENCH_baseline.json", "baseline JSON file")
-		threshold    = fs.Float64("threshold", 0.30, "fail when ns/op exceeds baseline by this fraction")
-		update       = fs.Bool("update", false, "rewrite the baseline from the input instead of comparing")
-		note         = fs.String("note", "", "note to store with -update")
+		baselinePath   = fs.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+		threshold      = fs.Float64("threshold", 0.30, "fail when ns/op exceeds baseline by this fraction")
+		allocThreshold = fs.Float64("alloc-threshold", 0.30, "fail when allocs/op exceeds baseline by this fraction (and by at least one alloc)")
+		update         = fs.Bool("update", false, "rewrite the baseline from the input instead of comparing")
+		note           = fs.String("note", "", "note to store with -update")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,7 +100,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	}
 
 	if *update {
-		b := Baseline{Note: *note, Benchmarks: current}
+		b := Baseline{Note: *note, Benchmarks: make(map[string]float64, len(current))}
+		for name, r := range current {
+			b.Benchmarks[name] = r.ns
+			if r.hasAllocs {
+				if b.Allocs == nil {
+					b.Allocs = make(map[string]float64)
+				}
+				b.Allocs[name] = r.allocs
+			}
+		}
 		data, err := json.MarshalIndent(&b, "", "  ")
 		if err != nil {
 			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
@@ -90,7 +120,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
 			return 2
 		}
-		fmt.Fprintf(stdout, "benchdiff: wrote %d benchmarks to %s\n", len(current), *baselinePath)
+		fmt.Fprintf(stdout, "benchdiff: wrote %d benchmarks (%d with allocs) to %s\n",
+			len(b.Benchmarks), len(b.Allocs), *baselinePath)
 		return 0
 	}
 
@@ -104,11 +135,18 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchdiff: %s: %v\n", *baselinePath, err)
 		return 2
 	}
-	return compare(base, current, *threshold, stdout, stderr)
+	return compare(base, current, *threshold, *allocThreshold, stdout, stderr)
+}
+
+// allocsRegressed applies the allocation gate: more than the threshold
+// fraction over baseline AND at least one whole alloc worse, so integer
+// jitter on small counts cannot trip it while 0 → 1 always does.
+func allocsRegressed(ref, now, threshold float64) bool {
+	return now > ref*(1+threshold) && now-ref >= 1
 }
 
 // compare prints one row per benchmark and returns the exit code.
-func compare(base Baseline, current map[string]float64, threshold float64, stdout, stderr io.Writer) int {
+func compare(base Baseline, current map[string]result, threshold, allocThreshold float64, stdout, stderr io.Writer) int {
 	names := make([]string, 0, len(current))
 	for name := range current {
 		names = append(names, name)
@@ -126,29 +164,45 @@ func compare(base Baseline, current map[string]float64, threshold float64, stdou
 			// the same change, before the baseline refresh) is reported
 			// and skipped: it has no reference to regress against, so it
 			// must never fail the gate.
-			fmt.Fprintf(stdout, "%-52s %12s %12.2f %8s\n", name, "-", now, "new")
+			fmt.Fprintf(stdout, "%-52s %12s %12.2f %8s\n", name, "-", now.ns, "new")
 			fresh++
 			continue
 		}
 		delta := 0.0
 		if ref > 0 {
-			delta = now/ref - 1
+			delta = now.ns/ref - 1
 		}
 		status := fmt.Sprintf("%+6.1f%%", delta*100)
 		if delta > threshold {
 			status += "  REGRESSION"
 			regressions++
 		}
-		fmt.Fprintf(stdout, "%-52s %12.2f %12.2f %s\n", name, ref, now, status)
+		// The allocation gate runs where both sides have data; a baseline
+		// without an allocs entry for this benchmark is the "new/skipped"
+		// case of that metric.
+		if allocRef, ok := base.Allocs[name]; ok && now.hasAllocs {
+			if allocsRegressed(allocRef, now.allocs, allocThreshold) {
+				status += fmt.Sprintf("  ALLOCS %.0f→%.0f REGRESSION", allocRef, now.allocs)
+				regressions++
+			}
+		} else if now.hasAllocs && base.Allocs != nil {
+			status += "  allocs-new"
+		}
+		fmt.Fprintf(stdout, "%-52s %12.2f %12.2f %s\n", name, ref, now.ns, status)
 	}
 	for name := range base.Benchmarks {
 		if _, ok := current[name]; !ok {
 			fmt.Fprintf(stderr, "benchdiff: warning: baseline benchmark %q missing from input\n", name)
 		}
 	}
+	for name := range base.Allocs {
+		if r, ok := current[name]; ok && !r.hasAllocs {
+			fmt.Fprintf(stderr, "benchdiff: warning: baseline has allocs/op for %q but the input reports none (run with -benchmem)\n", name)
+		}
+	}
 	if regressions > 0 {
-		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% vs %s\n",
-			regressions, threshold*100, "baseline")
+		fmt.Fprintf(stderr, "benchdiff: %d metric(s) regressed more than the threshold (%.0f%% ns/op, %.0f%% allocs/op) vs baseline\n",
+			regressions, threshold*100, allocThreshold*100)
 		return 1
 	}
 	fmt.Fprintf(stdout, "benchdiff: ok (%d compared, %d new/skipped, threshold %.0f%%)\n",
@@ -156,11 +210,12 @@ func compare(base Baseline, current map[string]float64, threshold float64, stdou
 	return 0
 }
 
-// parseBench extracts name → ns/op from `go test -bench` output. Repeated
-// runs of one benchmark (-count > 1) keep the fastest, damping runner
-// noise in the gate's favor of stability.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	out := make(map[string]float64)
+// parseBench extracts name → {ns/op, allocs/op} from `go test -bench`
+// output (allocs/op appears with -benchmem or b.ReportAllocs). Repeated
+// runs of one benchmark (-count > 1) keep the best of each metric, damping
+// runner noise in the gate's favor of stability.
+func parseBench(r io.Reader) (map[string]result, error) {
+	out := make(map[string]result)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	for sc.Scan() {
@@ -168,21 +223,25 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		// Layout: Name-P  N  ns float  "ns/op"  [metrics...]
-		var ns float64
-		found := false
-		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] == "ns/op" {
-				v, err := strconv.ParseFloat(fields[i], 64)
-				if err != nil {
-					return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
-				}
-				ns = v
-				found = true
-				break
+		// Layout: Name-P  N  ns "ns/op"  [B "B/op"  allocs "allocs/op"]  [metrics...]
+		var ns, allocs float64
+		foundNS, foundAllocs := false, false
+		for i := 1; i+1 < len(fields); i++ {
+			unit := fields[i+1]
+			if unit != "ns/op" && unit != "allocs/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad %s in %q: %w", unit, sc.Text(), err)
+			}
+			if unit == "ns/op" && !foundNS {
+				ns, foundNS = v, true
+			} else if unit == "allocs/op" {
+				allocs, foundAllocs = v, true
 			}
 		}
-		if !found {
+		if !foundNS {
 			continue
 		}
 		name := fields[0]
@@ -193,9 +252,18 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 				name = name[:i]
 			}
 		}
-		if prev, ok := out[name]; !ok || ns < prev {
-			out[name] = ns
+		prev, seen := out[name]
+		if !seen {
+			out[name] = result{ns: ns, allocs: allocs, hasAllocs: foundAllocs}
+			continue
 		}
+		if ns < prev.ns {
+			prev.ns = ns
+		}
+		if foundAllocs && (!prev.hasAllocs || allocs < prev.allocs) {
+			prev.allocs, prev.hasAllocs = allocs, true
+		}
+		out[name] = prev
 	}
 	return out, sc.Err()
 }

@@ -21,6 +21,13 @@ PASS
 ok  	repro	2.0s
 `
 
+// sampleBenchMem is -benchmem output: B/op and allocs/op columns present.
+const sampleBenchMem = `BenchmarkProbeRecord-8        	100000000	        10.00 ns/op	       0 B/op	       0 allocs/op
+BenchmarkClientSendProbeBatch-8	 20000000	        80.00 ns/op	       1 B/op	       0 allocs/op
+BenchmarkTupleParse-8          	  4000000	       300.0 ns/op	      64 B/op	       3 allocs/op
+PASS
+`
+
 func TestParseBench(t *testing.T) {
 	got, err := parseBench(strings.NewReader(sampleBench))
 	if err != nil {
@@ -36,8 +43,29 @@ func TestParseBench(t *testing.T) {
 		t.Fatalf("parsed %d benchmarks: %v", len(got), got)
 	}
 	for name, ns := range want {
-		if got[name] != ns {
-			t.Fatalf("%s = %v, want %v", name, got[name], ns)
+		if got[name].ns != ns {
+			t.Fatalf("%s = %v, want %v", name, got[name].ns, ns)
+		}
+		if got[name].hasAllocs {
+			t.Fatalf("%s claims allocs without -benchmem output", name)
+		}
+	}
+}
+
+func TestParseBenchAllocs(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sampleBenchMem))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]struct{ ns, allocs float64 }{
+		"BenchmarkProbeRecord":          {10, 0},
+		"BenchmarkClientSendProbeBatch": {80, 0},
+		"BenchmarkTupleParse":           {300, 3},
+	}
+	for name, want := range cases {
+		r := got[name]
+		if !r.hasAllocs || r.ns != want.ns || r.allocs != want.allocs {
+			t.Fatalf("%s = %+v, want %+v", name, r, want)
 		}
 	}
 }
@@ -48,8 +76,20 @@ func TestParseBenchKeepsFastestOfRepeats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got["BenchmarkX"] != 30 {
-		t.Fatalf("kept %v, want fastest 30", got["BenchmarkX"])
+	if got["BenchmarkX"].ns != 30 {
+		t.Fatalf("kept %v, want fastest 30", got["BenchmarkX"].ns)
+	}
+	// Best of each metric independently, including a repeat without the
+	// allocs columns.
+	in = "BenchmarkY-2 100 40.0 ns/op 16 B/op 4 allocs/op\n" +
+		"BenchmarkY-2 100 30.0 ns/op 8 B/op 2 allocs/op\n" +
+		"BenchmarkY-2 100 35.0 ns/op\n"
+	got, err = parseBench(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := got["BenchmarkY"]; r.ns != 30 || !r.hasAllocs || r.allocs != 2 {
+		t.Fatalf("BenchmarkY = %+v", r)
 	}
 }
 
@@ -149,6 +189,137 @@ func TestUpdateWritesBaseline(t *testing.T) {
 	out.Reset()
 	if code := run([]string{"-baseline", path}, strings.NewReader(sampleBench), &out, &errb); code != 0 {
 		t.Fatalf("self-compare failed: %d", code)
+	}
+}
+
+func TestAllocGateFailsOnRegression(t *testing.T) {
+	// BenchmarkTupleParse: 1 → 3 allocs/op (+200%, ≥1 alloc) must fail
+	// even though ns/op is unchanged.
+	path := writeBaseline(t, t.TempDir(), Baseline{
+		Benchmarks: map[string]float64{
+			"BenchmarkProbeRecord":          10,
+			"BenchmarkClientSendProbeBatch": 80,
+			"BenchmarkTupleParse":           300,
+		},
+		Allocs: map[string]float64{
+			"BenchmarkProbeRecord":          0,
+			"BenchmarkClientSendProbeBatch": 0,
+			"BenchmarkTupleParse":           1,
+		},
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", path}, strings.NewReader(sampleBenchMem), &out, &errb)
+	if code != 1 {
+		t.Fatalf("alloc regression passed: exit %d\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ALLOCS 1→3 REGRESSION") {
+		t.Fatalf("missing allocs regression marker:\n%s", out.String())
+	}
+}
+
+func TestAllocGateZeroToOneFails(t *testing.T) {
+	// The way a zero-allocation hot path dies: 0 → 1 allocs/op. The
+	// relative threshold alone cannot express that; the ≥1-alloc rule
+	// catches it.
+	path := writeBaseline(t, t.TempDir(), Baseline{
+		Benchmarks: map[string]float64{"BenchmarkProbeRecord": 10},
+		Allocs:     map[string]float64{"BenchmarkProbeRecord": 0},
+	})
+	in := "BenchmarkProbeRecord-8 100 10.0 ns/op 8 B/op 1 allocs/op\n"
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", path}, strings.NewReader(in), &out, &errb); code != 1 {
+		t.Fatalf("0→1 allocs passed the gate: exit %d\n%s", code, out.String())
+	}
+}
+
+func TestAllocGateToleratesJitterAndImprovement(t *testing.T) {
+	path := writeBaseline(t, t.TempDir(), Baseline{
+		Benchmarks: map[string]float64{"BenchmarkA": 10, "BenchmarkB": 10},
+		Allocs:     map[string]float64{"BenchmarkA": 3, "BenchmarkB": 100},
+	})
+	// A: 3 → 3 (unchanged). B: 100 → 101 (+1 alloc but only +1% < 30%).
+	in := "BenchmarkA-8 100 10.0 ns/op 8 B/op 3 allocs/op\n" +
+		"BenchmarkB-8 100 10.0 ns/op 8 B/op 101 allocs/op\n"
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", path}, strings.NewReader(in), &out, &errb); code != 0 {
+		t.Fatalf("jitter failed the gate: exit %d\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestAllocGateThresholdFlag(t *testing.T) {
+	path := writeBaseline(t, t.TempDir(), Baseline{
+		Benchmarks: map[string]float64{"BenchmarkB": 10},
+		Allocs:     map[string]float64{"BenchmarkB": 100},
+	})
+	in := "BenchmarkB-8 100 10.0 ns/op 8 B/op 110 allocs/op\n" // +10%
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", path, "-alloc-threshold", "0.05"},
+		strings.NewReader(in), &out, &errb); code != 1 {
+		t.Fatalf("tight alloc threshold should fail, got %d", code)
+	}
+}
+
+// Benchmarks whose allocs the baseline has never recorded — or whole
+// benchmarks new to the baseline — are skipped by the allocation gate,
+// exactly like the ns/op gate's new/skipped contract.
+func TestAllocGateSkipsNewMetrics(t *testing.T) {
+	path := writeBaseline(t, t.TempDir(), Baseline{
+		Benchmarks: map[string]float64{
+			"BenchmarkClientSendProbeBatch": 80,
+			"BenchmarkTupleParse":           300,
+		},
+		// Allocs present for one benchmark only; ProbeRecord entirely new.
+		Allocs: map[string]float64{"BenchmarkClientSendProbeBatch": 0},
+	})
+	var out, errb bytes.Buffer
+	code := run([]string{"-baseline", path}, strings.NewReader(sampleBenchMem), &out, &errb)
+	if code != 0 {
+		t.Fatalf("new alloc metrics failed the gate: exit %d\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "allocs-new") {
+		t.Fatalf("allocs-new not reported:\n%s", out.String())
+	}
+}
+
+// An old-format baseline (no allocs key at all) keeps gating ns/op and
+// ignores allocations entirely.
+func TestAllocGateBackwardCompatibleBaseline(t *testing.T) {
+	path := writeBaseline(t, t.TempDir(), Baseline{Benchmarks: map[string]float64{
+		"BenchmarkProbeRecord":          10,
+		"BenchmarkClientSendProbeBatch": 80,
+		"BenchmarkTupleParse":           300,
+	}})
+	var out, errb bytes.Buffer
+	if code := run([]string{"-baseline", path}, strings.NewReader(sampleBenchMem), &out, &errb); code != 0 {
+		t.Fatalf("legacy baseline failed: exit %d\n%s%s", code, out.String(), errb.String())
+	}
+}
+
+func TestUpdateWritesAllocs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "new.json")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-update", "-baseline", path},
+		strings.NewReader(sampleBenchMem), &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Benchmarks) != 3 || len(b.Allocs) != 3 {
+		t.Fatalf("baseline = %+v", b)
+	}
+	if b.Allocs["BenchmarkProbeRecord"] != 0 || b.Allocs["BenchmarkTupleParse"] != 3 {
+		t.Fatalf("allocs = %+v", b.Allocs)
+	}
+	// The written baseline gates its own input cleanly.
+	out.Reset()
+	if code := run([]string{"-baseline", path}, strings.NewReader(sampleBenchMem), &out, &errb); code != 0 {
+		t.Fatalf("self-compare failed: %d\n%s", code, out.String())
 	}
 }
 

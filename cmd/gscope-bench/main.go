@@ -12,8 +12,9 @@
 //	gscope-bench -replay [-tuples 1000000] [-batch 256]
 //
 // The -ingest mode instead measures the sharded feed's ingest throughput:
-// N publisher goroutines pushing per sample versus in batches, the
-// experiment behind the CI benchmark gate's BenchmarkFeedPushBatch.
+// N publisher goroutines pushing per sample, in batches, and through
+// pre-registered probe handles — the experiments behind the CI gate's
+// BenchmarkFeedPushBatch and BenchmarkProbeRecord.
 //
 // The -replay mode measures the flight recorder (internal/reclog): tuples/s
 // appended through the recording queue to sealed segments on disk, and
@@ -24,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -37,33 +39,115 @@ import (
 	"repro/internal/tuple"
 )
 
-func main() {
+// config is the parsed and validated command line.
+type config struct {
+	window     time.Duration
+	reps       int
+	signals    []int
+	ingest     bool
+	publishers int
+	batch      int
+	replay     bool
+	tuples     int
+}
+
+// parseFlags validates the command line into a config, mirroring the
+// gscoped flag discipline: structurally impossible requests are rejected
+// here with an error rather than silently clamped at run time.
+func parseFlags(args []string) (config, error) {
+	fs := flag.NewFlagSet("gscope-bench", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
 	var (
-		window     = flag.Duration("window", 400*time.Millisecond, "measurement window per phase")
-		reps       = flag.Int("reps", 5, "repetitions (median taken)")
-		signals    = flag.String("signals", "1,8,16,32", "signal counts for the per-signal sweep")
-		ingest     = flag.Bool("ingest", false, "measure feed ingest throughput instead of CPU overhead")
-		publishers = flag.Int("publishers", 8, "publisher goroutines for -ingest")
-		batch      = flag.Int("batch", 256, "batch size for -ingest and -replay")
-		replay     = flag.Bool("replay", false, "measure flight-recorder record/replay throughput")
-		tuples     = flag.Int("tuples", 1_000_000, "tuples to record for -replay")
+		window     = fs.Duration("window", 400*time.Millisecond, "measurement window per phase")
+		reps       = fs.Int("reps", 5, "repetitions (median taken)")
+		signals    = fs.String("signals", "1,8,16,32", "signal counts for the per-signal sweep")
+		ingest     = fs.Bool("ingest", false, "measure feed ingest throughput instead of CPU overhead")
+		publishers = fs.Int("publishers", 8, "publisher goroutines for -ingest")
+		batch      = fs.Int("batch", 256, "batch size for -ingest and -replay")
+		replay     = fs.Bool("replay", false, "measure flight-recorder record/replay throughput")
+		tuples     = fs.Int("tuples", 1_000_000, "tuples to record for -replay")
 	)
-	flag.Parse()
-
-	if *ingest {
-		runIngest(*publishers, *batch, *window)
-		return
+	if err := fs.Parse(args); err != nil {
+		return config{}, err
 	}
-	if *replay {
-		runReplay(*tuples, *batch)
-		return
+	cfg := config{
+		window:     *window,
+		reps:       *reps,
+		ingest:     *ingest,
+		publishers: *publishers,
+		batch:      *batch,
+		replay:     *replay,
+		tuples:     *tuples,
 	}
+	if fs.NArg() > 0 {
+		return config{}, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if cfg.ingest && cfg.replay {
+		return config{}, fmt.Errorf("-ingest and -replay are mutually exclusive")
+	}
+	if cfg.window <= 0 {
+		return config{}, fmt.Errorf("-window must be positive, got %s", cfg.window)
+	}
+	if cfg.reps < 1 {
+		return config{}, fmt.Errorf("-reps must be at least 1, got %d", cfg.reps)
+	}
+	if cfg.publishers < 1 {
+		return config{}, fmt.Errorf("-publishers must be at least 1, got %d", cfg.publishers)
+	}
+	if cfg.batch < 2 {
+		return config{}, fmt.Errorf("-batch must be at least 2, got %d", cfg.batch)
+	}
+	if cfg.replay && cfg.tuples < 1000 {
+		return config{}, fmt.Errorf("-tuples must be at least 1000, got %d", cfg.tuples)
+	}
+	for _, tok := range strings.Split(*signals, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 1 {
+			return config{}, fmt.Errorf("bad -signals entry %q", tok)
+		}
+		cfg.signals = append(cfg.signals, n)
+	}
+	if !cfg.ingest && !cfg.replay && len(cfg.signals) == 0 {
+		return config{}, fmt.Errorf("-signals lists no signal counts")
+	}
+	return cfg, nil
+}
 
-	fmt.Println("gscope overhead experiment (§4.6 methodology)")
-	fmt.Printf("window=%s reps=%d\n\n", *window, *reps)
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gscope-bench:", err)
+		os.Exit(2)
+	}
+	if err := runBench(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gscope-bench:", err)
+		os.Exit(1)
+	}
+}
 
-	fmt.Println("polling period sweep (8 integer signals):")
-	fmt.Println("  period   overhead    paper")
+// runBench dispatches the selected experiment.
+func runBench(cfg config, out io.Writer) error {
+	if cfg.ingest {
+		return runIngest(cfg, out)
+	}
+	if cfg.replay {
+		return runReplay(cfg, out)
+	}
+	runOverheadSweep(cfg, out)
+	return nil
+}
+
+// runOverheadSweep is the default §4.6 CPU-overhead experiment.
+func runOverheadSweep(cfg config, out io.Writer) {
+	fmt.Fprintln(out, "gscope overhead experiment (§4.6 methodology)")
+	fmt.Fprintf(out, "window=%s reps=%d\n\n", cfg.window, cfg.reps)
+
+	fmt.Fprintln(out, "polling period sweep (8 integer signals):")
+	fmt.Fprintln(out, "  period   overhead    paper")
 	for _, row := range []struct {
 		period time.Duration
 		paper  string
@@ -71,25 +155,21 @@ func main() {
 		{10 * time.Millisecond, "< 2%"},
 		{50 * time.Millisecond, "< 1%"},
 	} {
-		oh := measureOverhead(*reps, *window, row.period, 8)
-		fmt.Printf("  %-7s  %6.2f%%     %s\n", row.period, oh, row.paper)
+		oh := measureOverhead(cfg.reps, cfg.window, row.period, 8)
+		fmt.Fprintf(out, "  %-7s  %6.2f%%     %s\n", row.period, oh, row.paper)
 	}
 
-	fmt.Println("\nsignal count sweep (10 ms period):")
-	fmt.Println("  signals  overhead   delta/signal (paper: 0.02-0.05%/signal)")
+	fmt.Fprintln(out, "\nsignal count sweep (10 ms period):")
+	fmt.Fprintln(out, "  signals  overhead   delta/signal (paper: 0.02-0.05%/signal)")
 	var prev float64
 	var prevN int
-	for i, tok := range strings.Split(*signals, ",") {
-		n, err := strconv.Atoi(strings.TrimSpace(tok))
-		if err != nil || n < 1 {
-			continue
-		}
-		oh := measureOverhead(*reps, *window, 10*time.Millisecond, n)
+	for i, n := range cfg.signals {
+		oh := measureOverhead(cfg.reps, cfg.window, 10*time.Millisecond, n)
 		if i == 0 {
-			fmt.Printf("  %-7d  %6.2f%%\n", n, oh)
+			fmt.Fprintf(out, "  %-7d  %6.2f%%\n", n, oh)
 		} else {
 			delta := (oh - prev) / float64(n-prevN)
-			fmt.Printf("  %-7d  %6.2f%%    %+.3f%%\n", n, oh, delta)
+			fmt.Fprintf(out, "  %-7d  %6.2f%%    %+.3f%%\n", n, oh, delta)
 		}
 		prev, prevN = oh, n
 	}
@@ -143,49 +223,41 @@ func stopScope(cleanup *func()) func() {
 	}
 }
 
-// runIngest measures tuples/s through the sharded feed for the per-sample
-// and batch push paths: publishers push rounds of rising timestamps, the
-// feed is drained between rounds, and only push time is counted.
-func runIngest(publishers, batchSize int, window time.Duration) {
-	if publishers < 1 {
-		publishers = 1
-	}
-	if batchSize < 2 {
-		batchSize = 2
-	}
-	fmt.Println("gscope feed ingest experiment (sharded batch engine)")
-	fmt.Printf("publishers=%d batch=%d window=%s\n\n", publishers, batchSize, window)
-	perSample := measureIngest(publishers, 1, window)
-	batched := measureIngest(publishers, batchSize, window)
-	fmt.Printf("  per-sample Push    %12.0f tuples/s\n", perSample)
-	fmt.Printf("  PushBatch(%4d)    %12.0f tuples/s   (%.1fx)\n",
-		batchSize, batched, batched/perSample)
+// runIngest measures tuples/s through the sharded feed for the per-sample,
+// batch, and probe publish paths: publishers push rounds of rising
+// timestamps, the feed is drained between rounds, and only push time is
+// counted.
+func runIngest(cfg config, out io.Writer) error {
+	fmt.Fprintln(out, "gscope feed ingest experiment (sharded batch engine + probes)")
+	fmt.Fprintf(out, "publishers=%d batch=%d window=%s\n\n", cfg.publishers, cfg.batch, cfg.window)
+	perSample := measureIngest(cfg.publishers, 1, cfg.window, false)
+	batched := measureIngest(cfg.publishers, cfg.batch, cfg.window, false)
+	probes := measureIngest(cfg.publishers, 1, cfg.window, true)
+	fmt.Fprintf(out, "  per-sample Push    %12.0f tuples/s\n", perSample)
+	fmt.Fprintf(out, "  PushBatch(%4d)    %12.0f tuples/s   (%.1fx)\n",
+		cfg.batch, batched, batched/perSample)
+	fmt.Fprintf(out, "  Probe.RecordAt     %12.0f tuples/s   (%.1fx)\n",
+		probes, probes/perSample)
+	return nil
 }
 
 // runReplay measures the flight recorder end to end: record n synthetic
 // tuples through the bounded queue into rotated segments, seal, then drain
 // the session back with an as-fast-as-possible replay.
-func runReplay(n, batchSize int) {
-	if n < 1000 {
-		n = 1000
-	}
-	if batchSize < 1 {
-		batchSize = 1
-	}
+func runReplay(cfg config, out io.Writer) error {
+	n, batchSize := cfg.tuples, cfg.batch
 	dir, err := os.MkdirTemp("", "gscope-replay-bench")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gscope-bench:", err)
-		os.Exit(1)
+		return err
 	}
 	defer os.RemoveAll(dir)
 
-	fmt.Println("gscope flight-recorder experiment (internal/reclog)")
-	fmt.Printf("tuples=%d batch=%d dir=%s\n\n", n, batchSize, dir)
+	fmt.Fprintln(out, "gscope flight-recorder experiment (internal/reclog)")
+	fmt.Fprintf(out, "tuples=%d batch=%d dir=%s\n\n", n, batchSize, dir)
 
 	lg, err := reclog.Open(dir, reclog.Options{QueueLimit: 1 << 16})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gscope-bench:", err)
-		os.Exit(1)
+		return err
 	}
 	batch := make([]tuple.Tuple, batchSize)
 	names := []string{"cps", "errps", "tput"}
@@ -197,16 +269,14 @@ func runReplay(n, batchSize int) {
 		lg.Append(batch)
 	}
 	if err := lg.Close(); err != nil { // Close waits for the disk to drain
-		fmt.Fprintln(os.Stderr, "gscope-bench:", err)
-		os.Exit(1)
+		return err
 	}
 	recSecs := time.Since(start).Seconds()
 	_, dropped, written := lg.Stats()
 
 	sess, err := reclog.OpenSession(dir)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "gscope-bench:", err)
-		os.Exit(1)
+		return err
 	}
 	rep := reclog.NewReplayer(sess)
 	rep.SetSpeed(0)
@@ -217,20 +287,33 @@ func runReplay(n, batchSize int) {
 		drained += int64(len(b))
 		return nil
 	}); err != nil {
-		fmt.Fprintln(os.Stderr, "gscope-bench:", err)
-		os.Exit(1)
+		return err
 	}
 	repSecs := time.Since(start).Seconds()
 
-	fmt.Printf("  record Append      %12.0f tuples/s   (%d written, %d dropped, %d segments)\n",
+	fmt.Fprintf(out, "  record Append      %12.0f tuples/s   (%d written, %d dropped, %d segments)\n",
 		float64(written)/recSecs, written, dropped, len(sess.Segments()))
-	fmt.Printf("  replay drain       %12.0f tuples/s   (%d drained)\n",
+	fmt.Fprintf(out, "  replay drain       %12.0f tuples/s   (%d drained)\n",
 		float64(drained)/repSecs, drained)
+	return nil
 }
 
-func measureIngest(publishers, batchSize int, window time.Duration) float64 {
+// measureIngest times one publish shape: per-sample Push (batchSize <= 1,
+// probes false), PushBatch runs, or per-sample Probe.RecordAt (probes
+// true).
+func measureIngest(publishers, batchSize int, window time.Duration, probes bool) float64 {
 	const roundPer = 1 << 11
 	f := core.NewFeed()
+	handles := make([]*core.Probe, publishers)
+	if probes {
+		for g := range handles {
+			p, err := f.Probe(fmt.Sprintf("sig%d", g))
+			if err != nil {
+				panic(err)
+			}
+			handles[g] = p
+		}
+	}
 	var drainBuf []tuple.Tuple
 	base := 0
 	pushed := 0
@@ -244,25 +327,32 @@ func measureIngest(publishers, batchSize int, window time.Duration) float64 {
 			go func() {
 				defer wg.Done()
 				name := fmt.Sprintf("sig%d", g)
-				if batchSize <= 1 {
+				switch {
+				case probes:
+					p := handles[g]
+					for i := 0; i < roundPer; i++ {
+						p.RecordAt(time.Duration(base+i)*time.Millisecond, float64(i))
+					}
+					p.Flush()
+				case batchSize <= 1:
 					for i := 0; i < roundPer; i++ {
 						f.Push(time.Duration(base+i)*time.Millisecond, name, float64(i))
 					}
-					return
-				}
-				batch := make([]tuple.Tuple, batchSize)
-				for j := range batch {
-					batch[j] = tuple.Tuple{Value: float64(j), Name: name}
-				}
-				for i := 0; i < roundPer; i += batchSize {
-					n := batchSize
-					if roundPer-i < n {
-						n = roundPer - i
+				default:
+					batch := make([]tuple.Tuple, batchSize)
+					for j := range batch {
+						batch[j] = tuple.Tuple{Value: float64(j), Name: name}
 					}
-					for j := 0; j < n; j++ {
-						batch[j].Time = int64(base + i + j)
+					for i := 0; i < roundPer; i += batchSize {
+						n := batchSize
+						if roundPer-i < n {
+							n = roundPer - i
+						}
+						for j := 0; j < n; j++ {
+							batch[j].Time = int64(base + i + j)
+						}
+						f.PushBatch(batch[:n])
 					}
-					f.PushBatch(batch[:n])
 				}
 			}()
 		}

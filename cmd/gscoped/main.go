@@ -108,15 +108,23 @@ func parseFlags(args []string) (*config, error) {
 		// fs.Parse already printed the error (or the -h usage).
 		return nil, err
 	}
-	for _, name := range strings.Split(signals, ",") {
-		if name = strings.TrimSpace(name); name != "" {
-			cfg.signals = append(cfg.signals, name)
-		}
-	}
 	fail := func(msg string) (*config, error) {
 		err := errors.New(msg)
 		fmt.Fprintln(fs.Output(), "gscoped:", err)
 		return nil, err
+	}
+	for _, name := range strings.Split(signals, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			// Reject names the §3.3 wire format cannot carry up front —
+			// the daemon registers them as scope signals and echoes them
+			// into streams and recordings.
+			if err := tuple.ValidateName(name); err != nil {
+				err = fmt.Errorf("-signals: %w", err)
+				fmt.Fprintln(fs.Output(), "gscoped:", err)
+				return nil, err
+			}
+			cfg.signals = append(cfg.signals, name)
+		}
 	}
 	if cfg.maxRate < 0 {
 		return fail("-max-rate must not be negative")

@@ -69,6 +69,17 @@ func TestParseFlagsRejectsNothingToDo(t *testing.T) {
 	}
 }
 
+func TestParseFlagsRejectsInvalidSignalNames(t *testing.T) {
+	// Names the §3.3 wire format cannot carry must be rejected at the
+	// flag, not silently corrupted in streams and recordings later.
+	if _, err := parseFlags([]string{"-signals", "cps,bad\nname"}); !errors.Is(err, tuple.ErrBadName) {
+		t.Fatalf("newline in -signals accepted: %v", err)
+	}
+	if _, err := parseFlags([]string{"-signals", "ok\rbad"}); !errors.Is(err, tuple.ErrBadName) {
+		t.Fatal("carriage return in -signals accepted")
+	}
+}
+
 // startRelay runs a relay in the background and returns it plus a stopper.
 func startRelay(t *testing.T, args ...string) *relay {
 	t.Helper()

@@ -114,13 +114,32 @@ func recordRun(path string, ecn bool, half, period time.Duration, seed int64) er
 
 // streamMetrics runs the experiment in real time (scaled) and streams the
 // windowed metrics to a gscoped server — the distributed-visualization
-// deployment of §4.4.
+// deployment of §4.4. The signals are registered as probe handles once,
+// before the loop: each poll then publishes through pre-validated interned
+// names with no per-sample string work (the probe API v2 publish path).
 func streamMetrics(addr string, ecn bool, half, period time.Duration, seed int64) error {
 	client, err := netscope.Dial(addr)
 	if err != nil {
 		return err
 	}
 	defer client.Close()
+
+	probe := func(name string) *netscope.ClientProbe {
+		p, perr := client.Probe(name)
+		if perr != nil && err == nil {
+			err = perr
+		}
+		return p
+	}
+	cwnd := probe("cwnd")
+	cps := probe("cps")
+	errps := probe("errps")
+	tput := probe("tput")
+	latency := probe("latency")
+	elephants := probe("elephants")
+	if err != nil {
+		return err
+	}
 
 	var cfg mxtraf.Config
 	if ecn {
@@ -148,12 +167,12 @@ func streamMetrics(addr string, ecn bool, half, period time.Duration, seed int64
 		// can correlate data from multiple machines (§4.4; gscoped
 		// rebases these onto its own timeline).
 		at := time.Duration(time.Now().UnixNano())
-		client.Send(at, "cwnd", gen.ElephantCwnd(0))       //nolint:errcheck
-		client.Send(at, "cps", m.ConnsPerSec)              //nolint:errcheck
-		client.Send(at, "errps", m.ErrorsPerSec)           //nolint:errcheck
-		client.Send(at, "tput", m.ThroughputBps/1e6)       //nolint:errcheck
-		client.Send(at, "latency", m.LatencyMs)            //nolint:errcheck
-		client.Send(at, "elephants", float64(m.Elephants)) //nolint:errcheck
+		cwnd.Send(at, gen.ElephantCwnd(0))       //nolint:errcheck
+		cps.Send(at, m.ConnsPerSec)              //nolint:errcheck
+		errps.Send(at, m.ErrorsPerSec)           //nolint:errcheck
+		tput.Send(at, m.ThroughputBps/1e6)       //nolint:errcheck
+		latency.Send(at, m.LatencyMs)            //nolint:errcheck
+		elephants.Send(at, float64(m.Elephants)) //nolint:errcheck
 	}
 	return client.Flush()
 }

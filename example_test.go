@@ -37,6 +37,68 @@ func Example() {
 	// Output: elephants = 12
 }
 
+// ExampleRegistry shows the probe instrumentation shape: signal names are
+// registered once, and the program's hot loop records through the returned
+// handles — no per-sample hashing, string copies, or allocation. The same
+// handles would also stream remotely if the registry were built with
+// WithNetClient.
+func ExampleRegistry() {
+	clock := gscope.NewVirtualClock(time.Unix(0, 0))
+	loop := gscope.NewLoopGranularity(clock, 0)
+	scope := gscope.New(loop, "demo", 200, 100)
+	if _, err := scope.AddSignal(gscope.Sig{Name: "latency-ms", Kind: gscope.KindBuffer}); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	reg := gscope.NewRegistry(gscope.WithScope(scope))
+	latency := reg.MustProbe("latency-ms")
+
+	// The time-sensitive hot loop: a few lines, a few nanoseconds.
+	for i := 0; i < 5; i++ {
+		latency.RecordAt(time.Duration(i+1)*10*time.Millisecond, float64(20+i))
+	}
+	reg.Flush() // publish staged samples before draining
+
+	for _, t := range scope.Feed().Take(time.Second) {
+		fmt.Println(t.String())
+	}
+	// Output:
+	// 10 20 latency-ms
+	// 20 21 latency-ms
+	// 30 22 latency-ms
+	// 40 23 latency-ms
+	// 50 24 latency-ms
+}
+
+// ExampleScope_Probe registers a BUFFER signal and records it through the
+// scope-bound probe handle, whose Record stamps samples with the scope's
+// own clock.
+func ExampleScope_Probe() {
+	clock := gscope.NewVirtualClock(time.Unix(0, 0))
+	loop := gscope.NewLoopGranularity(clock, 0)
+	scope := gscope.New(loop, "demo", 200, 100)
+	if _, err := scope.AddSignal(gscope.Sig{Name: "queue", Kind: gscope.KindBuffer}); err != nil {
+		fmt.Println(err)
+		return
+	}
+	probe, err := scope.Probe("queue")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	clock.Set(time.Unix(0, 0).Add(25 * time.Millisecond))
+	probe.Record(7) // stamped at the scope's elapsed 25ms
+	probe.Flush()
+
+	for _, t := range scope.Feed().Take(time.Second) {
+		fmt.Println(t.String())
+	}
+	// Output:
+	// 25 7 queue
+}
+
 // ExampleNewNetServer wires a publisher/subscriber pair through a fan-out
 // hub over loopback TCP: the publisher streams tuples in, the subscriber
 // receives the merged stream (connect-time snapshot plus live deltas) on

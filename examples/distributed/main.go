@@ -134,22 +134,37 @@ func main() {
 
 	// Two publishers streaming from their own goroutines ("machines"),
 	// stamping samples against the shared origin. DialReconnect lets a
-	// publisher start before the hub and ride out hub restarts.
+	// publisher start before the hub and ride out hub restarts. Each
+	// publisher registers its signal once as a probe handle and batches a
+	// few samples per send — the probe API v2 publish shape: the name is
+	// validated and encoded per batch run, never per sample.
 	origin := time.Now()
 	for i, name := range []string{"client-a", "client-b"} {
 		i, name := i, name
 		go func() {
 			c := netscope.DialReconnect(pubAddr.String())
 			defer c.Close()
+			probe, err := c.Probe(name)
+			if err != nil {
+				fatal(err)
+			}
 			tick := time.NewTicker(25 * time.Millisecond)
 			defer tick.Stop()
+			batch := make([]gscope.Sample, 0, 4)
 			for range tick.C {
 				at := time.Since(origin)
 				if at > 3*time.Second {
+					if len(batch) > 0 {
+						probe.SendBatch(batch) //nolint:errcheck
+					}
 					return
 				}
 				v := 50 + amplitude.Load()*math.Sin(2*math.Pi*at.Seconds()/(1.5+float64(i)))
-				c.Send(at, name, v) //nolint:errcheck
+				batch = append(batch, gscope.Sample{At: at, Value: v})
+				if len(batch) == cap(batch) {
+					probe.SendBatch(batch) //nolint:errcheck
+					batch = batch[:0]
+				}
 			}
 		}()
 	}

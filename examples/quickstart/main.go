@@ -46,6 +46,39 @@ func main() {
 	}); err != nil {
 		fatal(err)
 	}
+	// A third, BUFFER-typed signal published through a probe handle — the
+	// §3–4 "few lines in the hot loop" instrumentation shape: register the
+	// name once, then Record costs a handful of stores (no hashing, no
+	// allocation), here from a worker goroutine simulating per-request
+	// latency measurements.
+	if _, err := scope.AddSignal(gscope.Sig{
+		Name: "latency-ms",
+		Kind: gscope.KindBuffer,
+		Min:  0, Max: 40,
+	}); err != nil {
+		fatal(err)
+	}
+	latency, err := scope.Probe("latency-ms")
+	if err != nil {
+		fatal(err)
+	}
+	scope.SetDelay(100 * time.Millisecond)
+	stopWorker := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		n := 0
+		for {
+			select {
+			case <-stopWorker:
+				latency.Flush() // publish staged samples before exiting
+				return
+			case <-tick.C:
+				n++
+				latency.Record(18 + 12*math.Sin(float64(n)/8) + 5*math.Sin(float64(n)/3))
+			}
+		}
+	}()
 
 	// gtk_scope_set_polling_mode(scope, 50); /* 50 ms */
 	if err := scope.SetPollingMode(50 * time.Millisecond); err != nil {
@@ -77,6 +110,7 @@ func main() {
 	if err := loop.Run(); err != nil {
 		fatal(err)
 	}
+	close(stopWorker)
 
 	widget := gtk.NewScopeWidget(scope)
 	frame := widget.RenderFrame()

@@ -24,6 +24,12 @@
 //	loop.Run()
 //
 // which mirrors the paper's Figure 6 program line for line.
+//
+// Buffered (timestamped) signals publish through pre-registered probe
+// handles — see [Registry], [Probe], and [Scope.Probe] — so the hot loop
+// of a time-sensitive program pays no per-sample string costs; the
+// string-keyed Feed.Push/NetClient.Send APIs remain as thin wrappers over
+// the same paths.
 package gscope
 
 import (

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/tuple"
@@ -36,7 +37,16 @@ type feedShard struct {
 	lastTime  int64 // newest timestamp in pending, for sortedness tracking
 	pushed    int64
 	dropped   int64
-	_         [24]byte // pad toward a cache line to limit false sharing
+	// limNs mirrors the late-data cutoff for lock-free readers: it holds
+	// displayed+1 in nanoseconds once the shard has started, 0 before.
+	// Probe.RecordAt loads it to run the late check without taking mu
+	// (`at <= displayed` ⟺ `int64(at) < limNs`); drains keep it in sync
+	// under mu.
+	limNs atomic.Int64
+	// probes are the staging rings pinned to this shard; drains steal
+	// their published samples under mu. Appended at registration.
+	probes []*Probe
+	_      [24]byte // pad toward a cache line to limit false sharing
 }
 
 // note records t's timestamp for the sortedness check. Caller holds mu and
@@ -70,10 +80,25 @@ func (s *feedShard) emptied() {
 // thin wrapper over the same path.
 type Feed struct {
 	shards [feedShards]feedShard
+
+	// Probe/ID registrations. regs is an id-indexed copy-on-write snapshot
+	// so PushID resolves a SignalID with one atomic load and one slice
+	// index — no hash, no lock; regMu serializes (rare) registrations.
+	regMu    sync.Mutex
+	regs     atomic.Pointer[[]feedReg]
+	probes   map[string]*Probe
+	interner *tuple.Interner
+	origin   time.Time // Probe.Record's fallback clock origin
+}
+
+// feedReg is one registered signal: its canonical name and pinned shard.
+type feedReg struct {
+	sh   *feedShard
+	name string
 }
 
 // NewFeed returns an empty feed.
-func NewFeed() *Feed { return &Feed{} }
+func NewFeed() *Feed { return &Feed{origin: time.Now()} }
 
 // shardIndex routes a signal name to its shard (FNV-1a, masked).
 func shardIndex(name string) int {
@@ -231,10 +256,12 @@ func (f *Feed) takeRuns(upTo time.Duration, dst []tuple.Tuple) ([]tuple.Tuple, [
 	for s := range f.shards {
 		sh := &f.shards[s]
 		sh.mu.Lock()
+		sh.stealLocked()
 		sh.started = true
 		if upTo > sh.displayed {
 			sh.displayed = upTo
 		}
+		sh.limNs.Store(int64(sh.displayed) + 1)
 		live := sh.buf[sh.head:]
 		n := len(live)
 		if n == 0 {
@@ -342,32 +369,47 @@ func (f *Feed) DrainInto(upTo time.Duration, buf []tuple.Tuple) []tuple.Tuple {
 	return buf
 }
 
-// Pending returns the number of buffered samples not yet displayed.
+// Pending returns the number of buffered samples not yet displayed,
+// including probe samples already published to their staging rings.
 func (f *Feed) Pending() int {
 	n := 0
 	for s := range f.shards {
 		sh := &f.shards[s]
 		sh.mu.Lock()
 		n += len(sh.buf) - sh.head
+		for _, p := range sh.probes {
+			n += int(p.tail.Load() - p.head.Load())
+		}
 		sh.mu.Unlock()
 	}
 	return n
 }
 
 // Stats returns the lifetime counters: samples pushed and samples dropped
-// for arriving late.
+// for arriving late. Probe samples enter the pushed count when a drain (or
+// a ring overflow) absorbs them from their staging ring; samples a probe
+// rejected at record time for being late count as both pushed and dropped,
+// matching Push's accounting.
 func (f *Feed) Stats() (pushed, dropped int64) {
 	for s := range f.shards {
 		sh := &f.shards[s]
 		sh.mu.Lock()
 		pushed += sh.pushed
 		dropped += sh.dropped
+		for _, p := range sh.probes {
+			late := p.late.Load()
+			pushed += late
+			dropped += late
+		}
 		sh.mu.Unlock()
 	}
 	return pushed, dropped
 }
 
-// Reset clears the feed and its high-water mark.
+// Reset clears the feed and its high-water mark. Probes stay registered;
+// their published staging is discarded and their counters cleared. Reset
+// is not synchronized with goroutines still recording — samples staged but
+// not yet published survive into the fresh feed.
 func (f *Feed) Reset() {
 	for s := range f.shards {
 		sh := &f.shards[s]
@@ -378,6 +420,11 @@ func (f *Feed) Reset() {
 		sh.started = false
 		sh.pushed = 0
 		sh.dropped = 0
+		sh.limNs.Store(0)
+		for _, p := range sh.probes {
+			p.head.Store(p.tail.Load())
+			p.late.Store(0)
+		}
 		sh.emptied()
 		sh.mu.Unlock()
 	}

@@ -1,0 +1,361 @@
+package core
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// Probe staging-ring geometry. The ring is the write-combining buffer
+// between one recording goroutine and the feed: 256 slots of 16 bytes keep
+// it cache-resident, publication every 32 samples (or 1 ms of stream time,
+// whichever first) amortizes the one atomic store a cross-goroutine
+// hand-off fundamentally costs, and a full ring self-flushes into the
+// pinned shard under a single lock — so the steady-state record is plain
+// stores: no hash, no lock, no allocation.
+const (
+	probeRingSize      = 256
+	probePublishEvery  = 32
+	probePublishSpanNs = int64(time.Millisecond)
+)
+
+// probeSample is one staged sample: the caller's full-precision timestamp
+// (nanoseconds, for the late check) and the value. Truncation to the
+// millisecond wire granularity happens when the sample leaves the ring.
+type probeSample struct {
+	at int64
+	v  float64
+}
+
+// Probe is a pre-registered publish handle for one BUFFER signal — the
+// redesigned instrumentation hot path. Registration (Feed.Probe,
+// Scope.Probe, or the gscope Registry) interns the name, validates it
+// once, and pins the signal's shard; RecordAt then costs a handful of
+// plain stores into a single-producer staging ring. Drains steal published
+// samples under the shard lock, so everything a drain returns is exactly
+// what the string-keyed Push path would have produced — same tuples, same
+// late-data rule, same ordering guarantees.
+//
+// # Single producer
+//
+// A Probe is a SINGLE-PRODUCER handle: Record/RecordAt must not be called
+// concurrently from multiple goroutines (the race detector will flag it).
+// Give each producing goroutine its own probe (distinct signal names), or
+// use the locked, thread-safe Feed.PushID path for a shared signal.
+//
+// # Visibility
+//
+// Records become visible to drains in publication batches: after at most
+// probePublishEvery samples, after the staged span exceeds 1 ms of stream
+// time, or on Flush. A producer that records continuously therefore never
+// delays a sample by more than 1 ms of its own timeline — far inside any
+// display delay — but a producer that stops mid-burst can leave its last
+// few samples staged; call Flush (from the producing goroutine) before
+// pausing or shutting down.
+type Probe struct {
+	sh   *feedShard
+	name string
+	id   tuple.SignalID
+	now  func() time.Duration // Record's clock
+
+	ring []probeSample
+	mask uint64
+
+	// Producer-owned plain state.
+	wtail uint64 // next slot to write
+	pub   uint64 // last published wtail
+	pubAt int64  // stream time (ns) of the last publication
+
+	_ [4]uint64 // keep the producer-written tail off the consumer's line
+	// Shared ring cursors: tail is published by the producer (release),
+	// head advanced by whoever holds the shard lock while stealing.
+	tail atomic.Uint64
+	_    [7]uint64
+	head atomic.Uint64
+	_    [7]uint64
+	late atomic.Int64 // record-time late rejections
+}
+
+// Name returns the probe's canonical signal name.
+func (p *Probe) Name() string { return p.name }
+
+// ID returns the signal's dense ID in the feed's interner.
+func (p *Probe) ID() tuple.SignalID { return p.id }
+
+// Recorded returns the number of samples published so far (staged-but-
+// unpublished samples are not yet counted; see Flush).
+func (p *Probe) Recorded() int64 { return int64(p.tail.Load()) }
+
+// Late returns the number of samples rejected at record time for arriving
+// after their display window.
+func (p *Probe) Late() int64 { return p.late.Load() }
+
+// RecordAt enqueues one sample stamped at the given offset on the feed's
+// timeline, with the caller's full sub-millisecond precision. It returns
+// false when the sample arrived too late (its window has already been
+// displayed) and was dropped. It is the zero-allocation hot path: a
+// lock-free late check, two plain stores, and an amortized publication.
+// Single producer only — see the type comment.
+func (p *Probe) RecordAt(at time.Duration, v float64) bool {
+	if lim := p.sh.limNs.Load(); lim != 0 && int64(at) < lim {
+		p.late.Add(1)
+		return false
+	}
+	t := p.wtail
+	if t-p.head.Load() >= uint64(len(p.ring)) {
+		return p.recordFull(at, v)
+	}
+	p.ring[t&p.mask] = probeSample{at: int64(at), v: v}
+	p.wtail = t + 1
+	if p.wtail-p.pub >= probePublishEvery || int64(at)-p.pubAt >= probePublishSpanNs {
+		p.pub = p.wtail
+		p.pubAt = int64(at)
+		p.tail.Store(p.wtail)
+	}
+	return true
+}
+
+// Record enqueues v stamped with the probe's clock: the owning scope's
+// elapsed time for Scope/Registry probes, time since feed creation for
+// bare Feed probes.
+func (p *Probe) Record(v float64) bool { return p.RecordAt(p.now(), v) }
+
+// recordFull is the ring-overflow path: publish everything, absorb the
+// ring into the shard under its lock (the lock is what makes the producer
+// a legitimate consumer here), and retry on the now-empty ring. Reached
+// once per probeRingSize samples at worst, so the amortized cost is a
+// fraction of a lock acquisition per sample.
+func (p *Probe) recordFull(at time.Duration, v float64) bool {
+	p.pub = p.wtail
+	p.pubAt = int64(at)
+	p.tail.Store(p.wtail)
+	p.sh.mu.Lock()
+	p.sh.stealProbeLocked(p)
+	p.sh.mu.Unlock()
+	return p.RecordAt(at, v)
+}
+
+// Flush publishes any staged samples so the next drain sees them. Like
+// Record, it must be called from the producing goroutine; use it before
+// the producer pauses or exits.
+func (p *Probe) Flush() {
+	if p.wtail != p.pub {
+		p.pub = p.wtail
+		p.tail.Store(p.wtail)
+	}
+}
+
+// stealProbeLocked absorbs the published portion of p's ring into the
+// shard backlog, applying the late-data rule at the samples' full
+// precision. Caller holds s.mu, which serializes all stealers (drains and
+// the producer's own overflow flush), so the ring sees one consumer at a
+// time.
+func (s *feedShard) stealProbeLocked(p *Probe) {
+	h, t := p.head.Load(), p.tail.Load()
+	if h == t {
+		return
+	}
+	for ; h < t; h++ {
+		smp := p.ring[h&p.mask]
+		s.pushed++
+		at := time.Duration(smp.at)
+		if s.started && at <= s.displayed {
+			s.dropped++
+			continue
+		}
+		tu := tuple.Tuple{Time: smp.at / int64(time.Millisecond), Value: smp.v, Name: p.name}
+		s.buf = append(s.buf, tu)
+		s.note(&tu)
+	}
+	p.head.Store(t)
+}
+
+// stealLocked absorbs every probe ring pinned to the shard. Caller holds
+// s.mu.
+func (s *feedShard) stealLocked() {
+	for _, p := range s.probes {
+		s.stealProbeLocked(p)
+	}
+}
+
+// Interner exposes the feed's signal-name interner: the shared name space
+// behind Probe handles and the PushID fast paths.
+func (f *Feed) Interner() *tuple.Interner {
+	f.regMu.Lock()
+	defer f.regMu.Unlock()
+	return f.internerLocked()
+}
+
+func (f *Feed) internerLocked() *tuple.Interner {
+	if f.interner == nil {
+		f.interner = tuple.NewInterner()
+	}
+	return f.interner
+}
+
+// Register interns a signal name, pins its shard, and returns its dense
+// SignalID for use with PushID/PushIDBatch. Registering the same name
+// again returns the same ID. The shard is the same one the string-keyed
+// Push hashes to, so both APIs can feed one signal without breaking its
+// ordering. Names the wire format cannot carry are rejected (see
+// tuple.ValidateName).
+func (f *Feed) Register(name string) (tuple.SignalID, error) {
+	f.regMu.Lock()
+	defer f.regMu.Unlock()
+	return f.registerLocked(name)
+}
+
+func (f *Feed) registerLocked(name string) (tuple.SignalID, error) {
+	id, err := f.internerLocked().Intern(name)
+	if err != nil {
+		return tuple.NoSignal, err
+	}
+	regs := f.regs.Load()
+	var cur []feedReg
+	if regs != nil {
+		cur = *regs
+	}
+	if int(id) < len(cur) && cur[id].sh != nil {
+		return id, nil
+	}
+	// Copy-on-write: extend an id-indexed snapshot, filling any gaps from
+	// names interned directly through Interner() but never registered.
+	next := make([]feedReg, int(id)+1)
+	copy(next, cur)
+	canonical := f.interner.Name(id)
+	next[id] = feedReg{sh: &f.shards[shardIndex(canonical)], name: canonical}
+	f.regs.Store(&next)
+	return id, nil
+}
+
+// lookupReg resolves a registered SignalID with one atomic load.
+func (f *Feed) lookupReg(id tuple.SignalID) (feedReg, bool) {
+	regs := f.regs.Load()
+	if regs == nil || id < 0 || int(id) >= len(*regs) {
+		return feedReg{}, false
+	}
+	r := (*regs)[id]
+	return r, r.sh != nil
+}
+
+// PushID is Push keyed by a pre-registered SignalID: the shard was pinned
+// and the name validated at registration, so the per-sample cost is one
+// atomic snapshot load, one lock, one append — no hashing. It is safe for
+// concurrent use from any goroutine (unlike a Probe, which trades that for
+// an even cheaper single-producer path). IDs the feed has never seen are
+// dropped (returning false).
+func (f *Feed) PushID(id tuple.SignalID, at time.Duration, v float64) bool {
+	r, ok := f.lookupReg(id)
+	if !ok {
+		if r, ok = f.ensureReg(id); !ok {
+			return false
+		}
+	}
+	return r.sh.push(tuple.Tuple{Time: at.Milliseconds(), Value: v, Name: r.name}, at)
+}
+
+// ensureReg lazily registers an ID that was interned through Interner()
+// but never passed to Register, and reports whether the ID is known at
+// all.
+func (f *Feed) ensureReg(id tuple.SignalID) (feedReg, bool) {
+	f.regMu.Lock()
+	in := f.internerLocked()
+	known := id >= 0 && int(id) < in.Len()
+	if known {
+		f.registerLocked(in.Name(id)) //nolint:errcheck // interned names are pre-validated
+	}
+	f.regMu.Unlock()
+	if !known {
+		return feedReg{}, false
+	}
+	return f.lookupReg(id)
+}
+
+// PushIDBatch enqueues a run of samples of one registered signal under a
+// single lock acquisition — the batch counterpart of PushID and the shape
+// a batching publisher hands the feed. It returns how many samples were
+// accepted (the rest arrived late and were dropped). IDs the feed has
+// never seen drop the whole batch.
+func (f *Feed) PushIDBatch(id tuple.SignalID, samples []tuple.Sample) int {
+	if len(samples) == 0 {
+		return 0
+	}
+	r, ok := f.lookupReg(id)
+	if !ok {
+		if r, ok = f.ensureReg(id); !ok {
+			return 0
+		}
+	}
+	return r.sh.pushSamples(r.name, samples)
+}
+
+// pushSamples appends a run of samples for one signal under one lock.
+func (s *feedShard) pushSamples(name string, samples []tuple.Sample) int {
+	s.mu.Lock()
+	s.pushed += int64(len(samples))
+	accepted := 0
+	for i := range samples {
+		at := samples[i].At
+		if s.started && at <= s.displayed {
+			s.dropped++
+			continue
+		}
+		tu := tuple.Tuple{Time: at.Milliseconds(), Value: samples[i].Value, Name: name}
+		s.buf = append(s.buf, tu)
+		s.note(&tu)
+		accepted++
+	}
+	s.mu.Unlock()
+	return accepted
+}
+
+// Probe registers name (see Register) and returns its single-producer
+// publish handle. Calling Probe again with the same name returns the SAME
+// handle — the single-producer contract is per signal, so hand each
+// concurrent producer its own signal or use PushID. Record's clock binds
+// when the handle is first created (the scope's clock through Scope.Probe,
+// wall time since feed creation here) and never changes afterwards: a
+// re-registration must not mutate a handle another goroutine may be
+// recording on.
+func (f *Feed) Probe(name string) (*Probe, error) {
+	return f.probe(name, nil)
+}
+
+// probe creates or returns the handle for name; now, when non-nil, is the
+// Record clock for a NEWLY created handle (existing handles keep theirs).
+func (f *Feed) probe(name string, now func() time.Duration) (*Probe, error) {
+	f.regMu.Lock()
+	defer f.regMu.Unlock()
+	if p := f.probes[name]; p != nil {
+		return p, nil
+	}
+	id, err := f.registerLocked(name)
+	if err != nil {
+		return nil, err
+	}
+	r := (*f.regs.Load())[id]
+	p := &Probe{
+		sh:   r.sh,
+		name: r.name,
+		id:   id,
+		ring: make([]probeSample, probeRingSize),
+		mask: probeRingSize - 1,
+		now:  now,
+	}
+	if p.now == nil {
+		origin := f.origin
+		if origin.IsZero() {
+			origin = time.Now()
+		}
+		p.now = func() time.Duration { return time.Since(origin) }
+	}
+	r.sh.mu.Lock()
+	r.sh.probes = append(r.sh.probes, p)
+	r.sh.mu.Unlock()
+	if f.probes == nil {
+		f.probes = make(map[string]*Probe)
+	}
+	f.probes[r.name] = p
+	return p, nil
+}

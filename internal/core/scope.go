@@ -185,6 +185,9 @@ func (s *Signal) Value() float64 { return s.last.Load() }
 // Trace exposes the displayed sample history.
 func (s *Signal) Trace() *Trace { return s.trace }
 
+// Probe returns the publish handle for a BUFFER signal (see Scope.Probe).
+func (s *Signal) Probe() (*Probe, error) { return s.scope.Probe(s.spec.Name) }
+
 // Spec returns a copy of the registering specification.
 func (s *Signal) Spec() Sig { return s.spec }
 
@@ -512,6 +515,23 @@ func (sc *Scope) Push(at time.Duration, name string, v float64) bool {
 // PushNow stamps the sample with the scope's current elapsed time.
 func (sc *Scope) PushNow(name string, v float64) bool {
 	return sc.feed.Push(sc.Elapsed(), name, v)
+}
+
+// Probe returns a pre-registered publish handle for a BUFFER signal on
+// this scope: the name is validated and interned once, the feed shard
+// pinned, and Probe.Record stamps samples with the scope's clock — the
+// few-lines-in-the-hot-loop instrumentation shape of §3–4 without the
+// per-sample string costs. The name does not need a registered Signal yet
+// (instrumentation may be laid down before the display side exists), but
+// if one exists it must be a BUFFER signal. Probes are idempotent per name
+// and single-producer; see core.Probe.
+func (sc *Scope) Probe(name string) (*Probe, error) {
+	if s := sc.byName[name]; s != nil && s.kind != KindBuffer {
+		return nil, fmt.Errorf("core: signal %q is %s, not BUFFER", name, s.kind)
+	}
+	// The clock binds only if this call creates the handle; an existing
+	// handle may be live on another goroutine and must not be mutated.
+	return sc.feed.probe(name, sc.Elapsed)
 }
 
 // SetPollingMode configures polling acquisition with the given sampling

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/draw"
+	"repro/internal/tuple"
 )
 
 // Kind enumerates the signal types of the paper's GtkScopeSig (§3.1). The
@@ -220,6 +221,11 @@ func (s Sig) inferKind() Kind {
 func (s Sig) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("core: signal must have a name")
+	}
+	if err := tuple.ValidateName(s.Name); err != nil {
+		// Reject at registration: a name the §3.3 wire format cannot
+		// carry would silently corrupt recordings and streams later.
+		return fmt.Errorf("core: signal %w", err)
 	}
 	kind := s.inferKind()
 	if kind == KindBuffer {

@@ -717,9 +717,13 @@ func (s *Server) snapshotChunk() []byte {
 }
 
 // encodeSubset encodes the tuples of batch that pass the subscription
-// (advancing its decimation clock) into a fresh chunk.
+// (advancing its decimation clock) into a fresh chunk. Names are cleaned
+// once per same-name run, not once per tuple — batches are overwhelmingly
+// runs of one signal, and deliverBatch already canonicalized them, so the
+// common case is a pointer-equal compare.
 func encodeSubset(sub *subscription, batch []tuple.Tuple) (chunk []byte, matched int) {
 	var out []byte
+	var prev, prevClean string
 	for _, t := range batch {
 		if !sub.passes(t) {
 			continue
@@ -727,7 +731,10 @@ func encodeSubset(sub *subscription, batch []tuple.Tuple) (chunk []byte, matched
 		if out == nil {
 			out = make([]byte, 0, 128)
 		}
-		out = tuple.AppendWire(out, t)
+		if t.Name != prev {
+			prev, prevClean = t.Name, tuple.CleanName(t.Name)
+		}
+		out = tuple.AppendWirePrepared(out, t.Time, t.Value, prevClean)
 		matched++
 	}
 	return out, matched

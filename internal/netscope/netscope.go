@@ -116,6 +116,7 @@ package netscope
 import (
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -151,6 +152,7 @@ type Server struct {
 	flight    *reclog.Log
 	flightDir string        // the recording directory, for v2 backfill reads
 	mapped    []tuple.Tuple // MapTime rebase scratch, reused across batches
+	intern    *tuple.Interner
 
 	hub hubState
 
@@ -163,7 +165,42 @@ type Server struct {
 
 // NewServer creates a server on loop. Attach scopes, then call Listen.
 func NewServer(loop *glib.Loop) *Server {
-	return &Server{loop: loop, clients: make(map[net.Conn]*glib.IOWatch)}
+	return &Server{
+		loop:    loop,
+		clients: make(map[net.Conn]*glib.IOWatch),
+		intern:  tuple.NewInterner(),
+	}
+}
+
+// maxInternedNames bounds the server's name interner so a hostile
+// publisher inventing names cannot grow it without limit; names past the
+// cap still flow, they just keep their per-line backing arrays.
+const maxInternedNames = 4096
+
+// canonicalizeNames rewrites each tuple's name to the interned instance.
+// Parsed names are substrings of their read chunk: retaining one tuple
+// (snapshot history, feed backlogs, recorder queues) used to pin the whole
+// line's backing array — per tuple, for the life of the retention window.
+// Interning on parse makes every tuple of one signal share a single
+// canonical string and the line buffers die young. Batches are
+// overwhelmingly runs of one signal, so after the first tuple of a run the
+// rewrite is a pointer-equal string compare.
+func (s *Server) canonicalizeNames(batch []tuple.Tuple) {
+	var prev, prevC string
+	for i := range batch {
+		name := batch[i].Name
+		if name == prev {
+			batch[i].Name = prevC
+			continue
+		}
+		prev = name
+		if id, ok := s.intern.Lookup(name); ok {
+			batch[i].Name = s.intern.Name(id)
+		} else if s.intern.Len() < maxInternedNames {
+			batch[i].Name = s.intern.Canonical(name)
+		}
+		prevC = batch[i].Name
+	}
 }
 
 // Attach adds a scope whose feed will receive every tuple. BUFFER signals
@@ -265,6 +302,7 @@ func (s *Server) deliverBatch(batch []tuple.Tuple) {
 	if len(batch) == 0 {
 		return
 	}
+	s.canonicalizeNames(batch)
 	if s.OnTuple != nil {
 		for _, t := range batch {
 			s.OnTuple(t)
@@ -356,11 +394,15 @@ type Client struct {
 	mu       sync.Mutex
 	conn     net.Conn // nil while disconnected in reconnect mode
 	queue    []tuple.Tuple
+	spare    []tuple.Tuple // drained queue returned by the writer for reuse
+	probes   map[string]*ClientProbe
 	inflight int // tuples taken by the writer, not yet confirmed written
 	kick     chan struct{}
 	closed   bool
 	sent     int64
 	err      error
+
+	wbuf []byte // writer-goroutine-owned wire-encode buffer, reused per round
 
 	// reconnect-mode state
 	backoffMin time.Duration
@@ -456,14 +498,22 @@ func (c *Client) writer() {
 
 		c.mu.Lock()
 		batch := c.queue
-		c.queue = nil
+		if len(batch) > 0 {
+			// Ping-pong the queue with the previously drained slice so a
+			// steady-state publisher never allocates: the sender fills one
+			// buffer while the writer encodes the other. An empty queue
+			// keeps its buffer — swapping it away would shed the retained
+			// capacity on every idle wake-up.
+			c.queue = c.spare[:0]
+			c.spare = nil
+		}
 		c.inflight = len(batch)
 		closed = c.closed
 		c.mu.Unlock()
 
 		if len(batch) > 0 {
-			buf := tuple.AppendWireBatch(make([]byte, 0, 24*len(batch)), batch)
-			if _, err := conn.Write(buf); err != nil {
+			c.wbuf = tuple.AppendWireBatch(c.wbuf[:0], batch)
+			if _, err := conn.Write(c.wbuf); err != nil {
 				if c.reconnect {
 					conn.Close()
 					c.mu.Lock()
@@ -496,6 +546,9 @@ func (c *Client) writer() {
 			c.mu.Lock()
 			c.sent += int64(len(batch))
 			c.inflight = 0
+			if c.spare == nil {
+				c.spare = batch[:0]
+			}
 			c.mu.Unlock()
 			backoff = c.backoffMin
 			continue
@@ -517,13 +570,16 @@ func (c *Client) sleep(d time.Duration) {
 	}
 }
 
-// trimLocked enforces the queue bound (drop-oldest). Caller holds mu.
+// trimLocked enforces the queue bound (drop-oldest). The survivors shift
+// down in place — no fresh backing array — so a bounded publisher stays on
+// the zero-allocation path even while dropping. Caller holds mu.
 func (c *Client) trimLocked() {
 	if c.queueLimit <= 0 {
 		return
 	}
 	if over := len(c.queue) - c.queueLimit; over > 0 {
-		c.queue = append(c.queue[:0:0], c.queue[over:]...)
+		n := copy(c.queue, c.queue[over:])
+		c.queue = c.queue[:n]
 		c.dropped += int64(over)
 	}
 }
@@ -574,6 +630,85 @@ func (c *Client) SendBatch(batch []tuple.Tuple) error {
 		return err
 	}
 	c.queue = append(c.queue, batch...)
+	c.trimLocked()
+	err := c.err
+	c.mu.Unlock()
+	select {
+	case c.kick <- struct{}{}:
+	default:
+	}
+	return err
+}
+
+// ClientProbe is a pre-registered publish handle for one signal on a
+// Client — the remote counterpart of core.Probe. Registration validates
+// the name once and pins one canonical string, so every enqueued sample
+// shares it (no per-sample name allocation, O(1) run detection in the
+// writer's batch encoder) and publishing N samples of one signal validates
+// and prepares the name once per batch run, not once per sample. Probes
+// are idempotent per name and safe for concurrent use (sends serialize on
+// the client's queue lock like every other send).
+type ClientProbe struct {
+	c    *Client
+	name string
+}
+
+// Probe validates and registers a signal name, returning its publish
+// handle. Calling Probe again with the same name returns the same handle.
+// Names the wire format cannot carry are rejected (tuple.ValidateName).
+func (c *Client) Probe(name string) (*ClientProbe, error) {
+	if err := tuple.ValidateName(name); err != nil {
+		return nil, fmt.Errorf("netscope: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p := c.probes[name]; p != nil {
+		return p, nil
+	}
+	if c.probes == nil {
+		c.probes = make(map[string]*ClientProbe)
+	}
+	p := &ClientProbe{c: c, name: strings.Clone(name)}
+	c.probes[p.name] = p
+	return p, nil
+}
+
+// Name returns the probe's canonical signal name.
+func (p *ClientProbe) Name() string { return p.name }
+
+// Send enqueues one sample of the probe's signal. Like Client.Send it
+// never blocks on the network and returns the background writer's first
+// error, if any.
+func (p *ClientProbe) Send(at time.Duration, v float64) error {
+	return p.c.SendProbeBatch(p, []tuple.Sample{{At: at, Value: v}})
+}
+
+// SendBatch enqueues a run of samples under one lock acquisition.
+func (p *ClientProbe) SendBatch(samples []tuple.Sample) error {
+	return p.c.SendProbeBatch(p, samples)
+}
+
+// SendProbeBatch enqueues a same-signal run of samples under one lock
+// acquisition and one writer wake-up. The samples are copied; the caller
+// may reuse the slice. Combined with the writer's reusable queue and
+// encode buffers this is the zero-allocation publish path: a steady-state
+// publisher sending batches through a probe allocates nothing per batch.
+func (c *Client) SendProbeBatch(p *ClientProbe, samples []tuple.Sample) error {
+	if len(samples) == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("netscope: client closed")
+		}
+		return err
+	}
+	for _, s := range samples {
+		c.queue = append(c.queue, tuple.Tuple{Time: s.At.Milliseconds(), Value: s.Value, Name: p.name})
+	}
 	c.trimLocked()
 	err := c.err
 	c.mu.Unlock()

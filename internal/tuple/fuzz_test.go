@@ -19,6 +19,9 @@ func FuzzParse(f *testing.F) {
 		"1 nan x",
 		"1 +Inf x",
 		"9223372036854775807 1 x",
+		"1500 1 cwnd\n9999 666 forged", // name smuggling a line break
+		"7 2 \rcarriage\r",
+		"8 3  unicode-padded ",
 	}
 	for _, s := range seeds {
 		f.Add(s)
@@ -29,7 +32,10 @@ func FuzzParse(f *testing.F) {
 			return
 		}
 		// Accepted tuples must re-parse to themselves (NaN breaks the
-		// equality trivially; skip it).
+		// equality trivially; skip it). A fuzzed line can smuggle a name
+		// the wire format cannot carry — a multi-line string fed straight
+		// to Parse — and the encoder sanitizes those, so the name
+		// round-trips through CleanName rather than identically.
 		if tu.Value != tu.Value {
 			return
 		}
@@ -37,8 +43,11 @@ func FuzzParse(f *testing.F) {
 		if err != nil {
 			t.Fatalf("reparse of %q (from %q) failed: %v", tu.String(), line, err)
 		}
-		if again.Time != tu.Time || again.Name != tu.Name {
+		if again.Time != tu.Time || again.Name != CleanName(tu.Name) {
 			t.Fatalf("round-trip mismatch: %+v vs %+v", tu, again)
+		}
+		if err := ValidateName(again.Name); err != nil {
+			t.Fatalf("re-parsed name %q still invalid: %v", again.Name, err)
 		}
 	})
 }

@@ -1,0 +1,128 @@
+package tuple
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestValidateName(t *testing.T) {
+	valid := []string{"", "CWND", "name with spaces", "a\tb", "α.β", "net.tcp/flow-1"}
+	for _, name := range valid {
+		if err := ValidateName(name); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", name, err)
+		}
+	}
+	invalid := []string{"a\nb", "a\rb", "\n", " x", "x ", "\tx", "x\t", " x", "x ", " "}
+	for _, name := range invalid {
+		if err := ValidateName(name); !errors.Is(err, ErrBadName) {
+			t.Errorf("ValidateName(%q) = %v, want ErrBadName", name, err)
+		}
+	}
+}
+
+func TestCleanName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"CWND", "CWND"},
+		{"", ""},
+		{"a b", "a b"},
+		{"a\nb", "a b"},
+		{"evil\r\nname", "evil  name"},
+		{" padded ", "padded"},
+		{"\nx\n", "x"},
+		{"α", "α"}, // multi-byte edge rune, not a space
+	}
+	for _, c := range cases {
+		if got := CleanName(c.in); got != c.want {
+			t.Errorf("CleanName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestAppendWireNameInjection is the regression test for the wire-format
+// corruption bug: a signal name containing a newline used to be emitted
+// verbatim as the trailing field, splitting the line — which both lost the
+// name and let a crafted name forge entire extra tuples in the stream.
+// Pre-fix, the stream below decoded as TWO tuples (the second forged);
+// post-fix the name is sanitized and exactly one tuple survives.
+func TestAppendWireNameInjection(t *testing.T) {
+	evil := Tuple{Time: 1500, Value: 1, Name: "cwnd\n9999 666 forged"}
+	wire := AppendWire(nil, evil)
+	got, err := NewReader(strings.NewReader(string(wire)), false).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("decoded %d tuples from one AppendWire, want 1: %q", len(got), wire)
+	}
+	if got[0].Time != 1500 || got[0].Value != 1 {
+		t.Fatalf("tuple corrupted: %+v", got[0])
+	}
+	if strings.ContainsAny(got[0].Name, "\n\r") {
+		t.Fatalf("name still carries a line break: %q", got[0].Name)
+	}
+
+	// Edge whitespace: pre-fix the padding was silently eaten by Parse so
+	// the name round-tripped changed; post-fix the encoder trims it up
+	// front and the emitted line round-trips exactly.
+	padded := Tuple{Time: 7, Value: 2, Name: " lead-and-trail "}
+	line := string(AppendWire(nil, padded))
+	back, err := Parse(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "lead-and-trail" {
+		t.Fatalf("padded name round-tripped as %q", back.Name)
+	}
+	if line != back.String()+"\n" {
+		t.Fatalf("emitted line %q is not canonical (reparses to %q)", line, back.String())
+	}
+
+	// Valid names must be byte-identical to the historical encoding.
+	ok := Tuple{Time: 123456, Value: 42.125, Name: "CWND"}
+	if got := string(AppendWire(nil, ok)); got != "123456 42.125 CWND\n" {
+		t.Fatalf("valid-name encoding changed: %q", got)
+	}
+}
+
+func TestAppendWireBatchSanitizesPerRun(t *testing.T) {
+	batch := []Tuple{
+		{Time: 1, Value: 1, Name: "a\nb"},
+		{Time: 2, Value: 2, Name: "a\nb"},
+		{Time: 3, Value: 3, Name: "ok"},
+	}
+	wire := AppendWireBatch(nil, batch)
+	got, err := NewReader(strings.NewReader(string(wire)), true).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("decoded %d tuples, want 3: %q", len(got), wire)
+	}
+	for i, tu := range got {
+		if strings.ContainsAny(tu.Name, "\n\r") {
+			t.Fatalf("tuple %d name unsanitized: %q", i, tu.Name)
+		}
+	}
+}
+
+func TestWriterRejectsInvalidName(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	if err := w.Write(Tuple{Time: 1, Value: 1, Name: "bad\nname"}); !errors.Is(err, ErrBadName) {
+		t.Fatalf("Write(invalid name) = %v, want ErrBadName", err)
+	}
+	// The rejection is per tuple: the writer is not poisoned.
+	if err := w.Write(Tuple{Time: 2, Value: 2, Name: "good"}); err != nil {
+		t.Fatalf("Write after rejection: %v", err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", w.Count())
+	}
+	if got := sb.String(); got != "2 2 good\n" {
+		t.Fatalf("output = %q", got)
+	}
+}

@@ -29,9 +29,13 @@
 //	ws      = one or more spaces ;
 //
 // The name field, when present, extends to the end of the line, so signal
-// names may contain spaces. Values round-trip through FormatValue: integral
-// values print without a decimal point, everything else with 'g' formatting
-// at full precision.
+// names may contain spaces — but not line breaks, and not leading or
+// trailing whitespace, which Parse trims away: ValidateName rejects such
+// names at the registration APIs, and the encoders sanitize them
+// (CleanName) rather than emit lines that parse back differently or, for a
+// crafted name with an embedded newline, forge extra tuples. Values
+// round-trip through FormatValue: integral values print without a decimal
+// point, everything else with 'g' formatting at full precision.
 //
 // # Embedded protocols
 //
@@ -76,6 +80,76 @@ import (
 // and which mean the rest of the stream is unreadable.
 var ErrBadLine = errors.New("bad tuple line")
 
+// ErrBadName tags signal names the textual wire format cannot carry
+// faithfully (see ValidateName). Registration APIs and Writer.Write reject
+// such names with an error wrapping this one.
+var ErrBadName = errors.New("invalid signal name")
+
+// ValidateName reports whether a signal name survives the wire format
+// unchanged. The name is the trailing field of a tuple line, so interior
+// spaces are fine, but a newline or carriage return splits the line —
+// worse than losing the name, it lets a crafted name forge whole tuples —
+// and leading or trailing whitespace is silently dropped by Parse's
+// trimming. Both are rejected. The empty name is valid: it selects the
+// two-field tuple form.
+func ValidateName(name string) error {
+	if name == "" {
+		return nil
+	}
+	if strings.ContainsAny(name, "\n\r") {
+		return fmt.Errorf("%w: %q contains a line break", ErrBadName, name)
+	}
+	if strings.TrimSpace(name) != name {
+		return fmt.Errorf("%w: %q has leading or trailing whitespace", ErrBadName, name)
+	}
+	return nil
+}
+
+// CleanName returns the closest valid form of name: line breaks become
+// spaces and surrounding whitespace is trimmed. Valid names come back
+// unchanged (and unallocated). It is the sanitization AppendWire applies to
+// names it cannot reject.
+func CleanName(name string) string {
+	if nameClean(name) {
+		return name
+	}
+	if ValidateName(name) == nil {
+		return name // multi-byte edge rune that is not a space
+	}
+	name = strings.Map(func(r rune) rune {
+		if r == '\n' || r == '\r' {
+			return ' '
+		}
+		return r
+	}, name)
+	return strings.TrimSpace(name)
+}
+
+// nameClean is the fast-path check behind CleanName/AppendWire: ASCII edge
+// bytes that TrimSpace would keep, and no line breaks anywhere. Multi-byte
+// edge runes fall through to the slow path, which handles Unicode spaces.
+func nameClean(name string) bool {
+	if name == "" {
+		return true
+	}
+	if strings.IndexByte(name, '\n') >= 0 || strings.IndexByte(name, '\r') >= 0 {
+		return false
+	}
+	first, last := name[0], name[len(name)-1]
+	return !edgeSuspect(first) && !edgeSuspect(last)
+}
+
+// edgeSuspect reports whether a leading/trailing byte could be trimmed by
+// TrimSpace. Bytes ≥ 0x80 may start or end a Unicode space rune, so they
+// are suspect and resolved on the slow path.
+func edgeSuspect(b byte) bool {
+	switch b {
+	case ' ', '\t', '\v', '\f':
+		return true
+	}
+	return b >= 0x80
+}
+
 // Tuple is one timestamped sample of a named signal. Name may be empty in
 // the single-signal form.
 type Tuple struct {
@@ -91,13 +165,29 @@ type Tuple struct {
 // Timestamp converts the millisecond time to a Duration offset.
 func (t Tuple) Timestamp() time.Duration { return time.Duration(t.Time) * time.Millisecond }
 
+// Sample is one timestamped value without a name — the payload of the
+// probe fast paths, where the signal identity travels once per batch (as a
+// SignalID or probe handle) instead of once per sample. At keeps the
+// caller's full sub-millisecond precision; encoding truncates to the
+// millisecond wire granularity exactly like Tuple.
+type Sample struct {
+	// At is the sample timestamp as an offset on the stream timeline.
+	At time.Duration
+	// Value is the sample value.
+	Value float64
+}
+
+// Tuple converts the sample to a named wire tuple.
+func (s Sample) Tuple(name string) Tuple {
+	return Tuple{Time: s.At.Milliseconds(), Value: s.Value, Name: name}
+}
+
 // String formats the tuple in wire form (without a trailing newline).
+// Names the wire format cannot carry are sanitized the way AppendWire
+// sanitizes them.
 func (t Tuple) String() string {
-	v := FormatValue(t.Value)
-	if t.Name == "" {
-		return fmt.Sprintf("%d %s", t.Time, v)
-	}
-	return fmt.Sprintf("%d %s %s", t.Time, v, t.Name)
+	b := AppendWire(nil, t)
+	return string(b[:len(b)-1])
 }
 
 // FormatValue renders a sample value compactly: integers without a decimal
@@ -112,26 +202,46 @@ func FormatValue(v float64) string {
 // AppendWire appends the newline-terminated wire form of t to dst and
 // returns the extended slice. It is the allocation-free encoder behind the
 // batch streaming paths (client writer, hub broadcast); the result parses
-// back with Parse.
+// back with Parse. AppendWire cannot return an error, so a name the wire
+// format cannot carry (see ValidateName) is sanitized with CleanName
+// instead of corrupting the stream; valid names — the only kind the
+// registration APIs hand out — are encoded byte-identically to before.
 func AppendWire(dst []byte, t Tuple) []byte {
-	dst = strconv.AppendInt(dst, t.Time, 10)
+	return AppendWirePrepared(dst, t.Time, t.Value, CleanName(t.Name))
+}
+
+// AppendWirePrepared encodes one line from parts, trusting name to be
+// already validated or sanitized (CleanName output, an interned canonical
+// name). It is the shared tail of AppendWire and the run encoders: batch
+// paths that encode many tuples of one signal clean the name once per run
+// and call this per tuple.
+func AppendWirePrepared(dst []byte, timeMS int64, v float64, name string) []byte {
+	dst = strconv.AppendInt(dst, timeMS, 10)
 	dst = append(dst, ' ')
-	if t.Value == float64(int64(t.Value)) {
-		dst = strconv.AppendInt(dst, int64(t.Value), 10)
+	if v == float64(int64(v)) {
+		dst = strconv.AppendInt(dst, int64(v), 10)
 	} else {
-		dst = strconv.AppendFloat(dst, t.Value, 'g', -1, 64)
+		dst = strconv.AppendFloat(dst, v, 'g', -1, 64)
 	}
-	if t.Name != "" {
+	if name != "" {
 		dst = append(dst, ' ')
-		dst = append(dst, t.Name...)
+		dst = append(dst, name...)
 	}
 	return append(dst, '\n')
 }
 
 // AppendWireBatch appends every tuple in batch to dst in wire form.
+// Publisher batches overwhelmingly carry runs of one signal, so the name
+// is validated once per run, not once per tuple.
 func AppendWireBatch(dst []byte, batch []Tuple) []byte {
-	for _, t := range batch {
-		dst = AppendWire(dst, t)
+	for i := 0; i < len(batch); {
+		name := batch[i].Name
+		clean := CleanName(name)
+		j := i
+		for ; j < len(batch) && batch[j].Name == name; j++ {
+			dst = AppendWirePrepared(dst, batch[j].Time, batch[j].Value, clean)
+		}
+		i = j
 	}
 	return dst
 }
@@ -182,10 +292,15 @@ func NewWriter(w io.Writer) *Writer {
 	return &Writer{w: bufio.NewWriter(w)}
 }
 
-// Write emits one tuple.
+// Write emits one tuple. A name the wire format cannot carry (see
+// ValidateName) is rejected with an error wrapping ErrBadName; the rejection
+// is per tuple — it does not poison the writer the way an I/O error does.
 func (tw *Writer) Write(t Tuple) error {
 	if tw.err != nil {
 		return tw.err
+	}
+	if err := ValidateName(t.Name); err != nil {
+		return err
 	}
 	_, tw.err = tw.w.WriteString(t.String())
 	if tw.err == nil {

@@ -1,0 +1,228 @@
+package gscope
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netscope"
+	"repro/internal/tuple"
+)
+
+// SignalID is the dense handle an interner assigns to a signal name; the
+// key of the Feed.PushID fast paths.
+type SignalID = tuple.SignalID
+
+// Sample is one timestamped value without a name — the payload of the
+// probe batch paths.
+type Sample = tuple.Sample
+
+// Interner assigns dense SignalIDs to names and keeps their canonical
+// strings and prebuilt wire bytes.
+type Interner = tuple.Interner
+
+// FeedProbe is the local single-producer publish handle (see core.Probe
+// for the ring semantics and the single-producer contract).
+type FeedProbe = core.Probe
+
+// ClientProbe is the remote publish handle on a NetClient.
+type ClientProbe = netscope.ClientProbe
+
+// Probe is a pre-registered publish handle for one signal — the paper's
+// "few lines in the hot loop" instrumentation point (§3–4), redesigned so
+// the per-sample cost is a handful of stores: the signal name is
+// validated, interned, and routed once at registration, and Record/
+// RecordAt then publish with no hashing, no string copies, and no
+// allocation. A Probe created through a Registry can publish locally (into
+// a Scope's feed), remotely (through a NetClient), or both from the same
+// call sites, so instrumentation does not change when a program grows from
+// one process to a distributed deployment (§4.4).
+//
+// The local path inherits core.Probe's single-producer contract: call
+// Record/RecordAt from one goroutine at a time, and Flush before the
+// producer pauses or exits. Remote-only probes are free of that
+// restriction.
+type Probe struct {
+	feed *core.Probe
+	net  *netscope.ClientProbe
+	now  func() time.Duration
+}
+
+// RecordAt publishes one sample stamped at the given offset on the shared
+// timeline. The result reports the local feed's late-data verdict (always
+// true for remote-only probes, whose verdict is rendered server-side).
+func (p *Probe) RecordAt(at time.Duration, v float64) bool {
+	ok := true
+	if p.feed != nil {
+		ok = p.feed.RecordAt(at, v)
+	}
+	if p.net != nil {
+		p.net.Send(at, v) //nolint:errcheck // async path; surfaced by Client.Flush/Close
+	}
+	return ok
+}
+
+// Record publishes v stamped with the registry's clock: the owning
+// scope's elapsed time when the registry has a scope, time since registry
+// creation otherwise.
+func (p *Probe) Record(v float64) bool { return p.RecordAt(p.now(), v) }
+
+// RecordBatch publishes a run of samples: one feed lock and one client
+// enqueue for the whole run.
+func (p *Probe) RecordBatch(samples []Sample) {
+	if p.feed != nil {
+		for _, s := range samples {
+			p.feed.RecordAt(s.At, s.Value)
+		}
+	}
+	if p.net != nil {
+		p.net.SendBatch(samples) //nolint:errcheck // async path
+	}
+}
+
+// Flush publishes any locally staged samples (a no-op for remote-only
+// probes). Like Record it must run on the producing goroutine.
+func (p *Probe) Flush() {
+	if p.feed != nil {
+		p.feed.Flush()
+	}
+}
+
+// Name returns the probe's canonical signal name.
+func (p *Probe) Name() string {
+	if p.feed != nil {
+		return p.feed.Name()
+	}
+	if p.net != nil {
+		return p.net.Name()
+	}
+	return ""
+}
+
+// Int returns integer-typed sugar over the probe.
+func (p *Probe) Int() IntProbe { return IntProbe{p} }
+
+// Bool returns boolean-typed sugar over the probe.
+func (p *Probe) Bool() BoolProbe { return BoolProbe{p} }
+
+// IntProbe records integer samples — the INTEGER signal kind's publish
+// shape without a float conversion at every call site.
+type IntProbe struct{ p *Probe }
+
+// Record publishes v with the registry clock.
+func (ip IntProbe) Record(v int64) bool { return ip.p.Record(float64(v)) }
+
+// RecordAt publishes v at the given offset.
+func (ip IntProbe) RecordAt(at time.Duration, v int64) bool {
+	return ip.p.RecordAt(at, float64(v))
+}
+
+// BoolProbe records boolean samples as 0/1, the BOOLEAN signal encoding.
+type BoolProbe struct{ p *Probe }
+
+// Record publishes v with the registry clock.
+func (bp BoolProbe) Record(v bool) bool { return bp.p.RecordAt(bp.p.now(), boolSample(v)) }
+
+// RecordAt publishes v at the given offset.
+func (bp BoolProbe) RecordAt(at time.Duration, v bool) bool {
+	return bp.p.RecordAt(at, boolSample(v))
+}
+
+func boolSample(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Registry hands out Probe handles bound to a local Scope, a NetClient, or
+// both — one instrumentation surface for every deployment shape. Probes
+// are idempotent per name. The zero option set is valid but useless;
+// configure at least one sink.
+type Registry struct {
+	scope  *core.Scope
+	client *netscope.Client
+	origin time.Time
+
+	mu     sync.Mutex
+	probes map[string]*Probe
+}
+
+// RegistryOption configures a Registry.
+type RegistryOption func(*Registry)
+
+// WithScope routes probes into sc's buffered feed; Record stamps samples
+// with sc's clock.
+func WithScope(sc *Scope) RegistryOption { return func(r *Registry) { r.scope = sc } }
+
+// WithNetClient additionally (or exclusively) streams every recorded
+// sample through c to a netscope server.
+func WithNetClient(c *NetClient) RegistryOption { return func(r *Registry) { r.client = c } }
+
+// NewRegistry builds a probe registry over the configured sinks.
+func NewRegistry(opts ...RegistryOption) *Registry {
+	r := &Registry{origin: time.Now(), probes: make(map[string]*Probe)}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// Probe validates and registers name once and returns its publish handle;
+// repeated calls return the same handle. Registration is safe from any
+// goroutine; the returned handle's local path is single-producer.
+func (r *Registry) Probe(name string) (*Probe, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p := r.probes[name]; p != nil {
+		return p, nil
+	}
+	if err := tuple.ValidateName(name); err != nil {
+		return nil, err
+	}
+	p := &Probe{}
+	if r.scope != nil {
+		fp, err := r.scope.Probe(name)
+		if err != nil {
+			return nil, err
+		}
+		p.feed = fp
+	}
+	if r.client != nil {
+		np, err := r.client.Probe(name)
+		if err != nil {
+			return nil, err
+		}
+		p.net = np
+	}
+	if r.scope != nil {
+		p.now = r.scope.Elapsed
+	} else {
+		origin := r.origin
+		p.now = func() time.Duration { return time.Since(origin) }
+	}
+	r.probes[name] = p
+	return p, nil
+}
+
+// MustProbe is Probe for static signal names, panicking on the errors only
+// an invalid literal can cause — the Figure-6 registration shape.
+func (r *Registry) MustProbe(name string) *Probe {
+	p, err := r.Probe(name)
+	if err != nil {
+		panic(fmt.Sprintf("gscope: %v", err))
+	}
+	return p
+}
+
+// Flush publishes the staged samples of every probe. It must run on the
+// goroutine that records (or after all recording goroutines have
+// stopped); use it before rendering or shutdown.
+func (r *Registry) Flush() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, p := range r.probes {
+		p.Flush()
+	}
+}

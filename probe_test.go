@@ -1,0 +1,143 @@
+package gscope
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/glib"
+	"repro/internal/netscope"
+)
+
+func TestRegistryLocalProbes(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	loop := NewLoopGranularity(clock, 0)
+	scope := New(loop, "t", 200, 100)
+	if _, err := scope.AddSignal(Sig{Name: "lat", Kind: KindBuffer}); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(WithScope(scope))
+	p, err := reg.Probe("lat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2, err := reg.Probe("lat"); err != nil || p2 != p {
+		t.Fatal("Probe not idempotent")
+	}
+	if _, err := reg.Probe("bad\nname"); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+	if p.Name() != "lat" {
+		t.Fatalf("Name = %q", p.Name())
+	}
+
+	// Record uses the scope clock.
+	clock.Set(time.Unix(0, 0).Add(40 * time.Millisecond))
+	if !p.Record(1.5) {
+		t.Fatal("Record rejected")
+	}
+	p.RecordAt(60*time.Millisecond, 2.5)
+	p.Int().RecordAt(70*time.Millisecond, 3)
+	p.Bool().RecordAt(80*time.Millisecond, true)
+	reg.Flush()
+	got := scope.Feed().Take(time.Second)
+	if len(got) != 4 {
+		t.Fatalf("drained %d tuples: %+v", len(got), got)
+	}
+	wantTimes := []int64{40, 60, 70, 80}
+	wantVals := []float64{1.5, 2.5, 3, 1}
+	for i, tu := range got {
+		if tu.Time != wantTimes[i] || tu.Value != wantVals[i] || tu.Name != "lat" {
+			t.Fatalf("tuple %d = %+v", i, tu)
+		}
+	}
+}
+
+func TestRegistryRemoteProbes(t *testing.T) {
+	vc := glib.NewVirtualClock(time.Unix(0, 0))
+	srvLoop := glib.NewLoop(vc, glib.WithGranularity(0))
+	srv := netscope.NewServer(srvLoop)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var got []Tuple
+	srv.OnTuple = func(tu Tuple) { got = append(got, tu) }
+
+	c, err := DialNet(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reg := NewRegistry(WithNetClient(c))
+	p, err := reg.Probe("remote")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.RecordAt(10*time.Millisecond, 42) {
+		t.Fatal("remote-only RecordAt reported a late drop")
+	}
+	p.RecordBatch([]Sample{{At: 20 * time.Millisecond, Value: 43}})
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < 2 {
+		srvLoop.Iterate()
+		if time.Now().After(deadline) {
+			t.Fatalf("server saw %d tuples", len(got))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got[0] != (Tuple{Time: 10, Value: 42, Name: "remote"}) ||
+		got[1] != (Tuple{Time: 20, Value: 43, Name: "remote"}) {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// A dual-sink registry fans one Record into both the local feed and the
+// network client.
+func TestRegistryDualSink(t *testing.T) {
+	clock := NewVirtualClock(time.Unix(0, 0))
+	loop := NewLoopGranularity(clock, 0)
+	scope := New(loop, "t", 200, 100)
+
+	srv := netscope.NewServer(loop)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	var remote []Tuple
+	srv.OnTuple = func(tu Tuple) { remote = append(remote, tu) }
+
+	c, err := DialNet(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	reg := NewRegistry(WithScope(scope), WithNetClient(c))
+	p, err := reg.Probe("both")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.RecordAt(5*time.Millisecond, 9)
+	reg.Flush()
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if local := scope.Feed().Take(time.Second); len(local) != 1 || local[0].Value != 9 {
+		t.Fatalf("local sink got %+v", local)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(remote) < 1 {
+		loop.Iterate()
+		if time.Now().After(deadline) {
+			t.Fatal("remote sink never saw the sample")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if remote[0] != (Tuple{Time: 5, Value: 9, Name: "both"}) {
+		t.Fatalf("remote sink got %+v", remote)
+	}
+}
