@@ -10,6 +10,7 @@
 //	gscope-bench [-window 400ms] [-reps 5] [-signals 1,8,16,32]
 //	gscope-bench -ingest [-publishers 8] [-batch 256] [-window 400ms]
 //	gscope-bench -replay [-tuples 1000000] [-batch 256]
+//	gscope-bench -soak 30s [-soak-publishers 4] [-soak-subscribers 6] [-chaos] [-seed 1]
 //
 // The -ingest mode instead measures the sharded feed's ingest throughput:
 // N publisher goroutines pushing per sample, in batches, and through
@@ -20,6 +21,11 @@
 // appended through the recording queue to sealed segments on disk, and
 // tuples/s drained back out by an as-fast-as-possible replay — the
 // experiment behind BenchmarkRecordAppend and BenchmarkReplayDrain.
+//
+// The -soak mode is a correctness harness, not a benchmark: it runs the
+// whole pipeline (publishers → relay tree → hub → subscribers, with the
+// flight recorder attached) under continuous invariant checks and exits
+// non-zero on any violation. See soak.go.
 package main
 
 import (
@@ -49,6 +55,12 @@ type config struct {
 	batch      int
 	replay     bool
 	tuples     int
+
+	soak            time.Duration
+	soakPublishers  int
+	soakSubscribers int
+	chaos           bool
+	seed            int64
 }
 
 // parseFlags validates the command line into a config, mirroring the
@@ -66,6 +78,11 @@ func parseFlags(args []string) (config, error) {
 		batch      = fs.Int("batch", 256, "batch size for -ingest and -replay")
 		replay     = fs.Bool("replay", false, "measure flight-recorder record/replay throughput")
 		tuples     = fs.Int("tuples", 1_000_000, "tuples to record for -replay")
+		soak       = fs.Duration("soak", 0, "run the full-pipeline soak for this long (0 disables)")
+		soakPubs   = fs.Int("soak-publishers", 4, "publisher clients for -soak")
+		soakSubs   = fs.Int("soak-subscribers", 6, "subscriber clients for -soak")
+		chaos      = fs.Bool("chaos", false, "degrade the publisher links during -soak (delay, kills, partitions)")
+		seed       = fs.Int64("seed", 1, "randomness seed for -chaos")
 	)
 	if err := fs.Parse(args); err != nil {
 		return config{}, err
@@ -78,12 +95,36 @@ func parseFlags(args []string) (config, error) {
 		batch:      *batch,
 		replay:     *replay,
 		tuples:     *tuples,
+
+		soak:            *soak,
+		soakPublishers:  *soakPubs,
+		soakSubscribers: *soakSubs,
+		chaos:           *chaos,
+		seed:            *seed,
 	}
 	if fs.NArg() > 0 {
 		return config{}, fmt.Errorf("unexpected argument %q", fs.Arg(0))
 	}
 	if cfg.ingest && cfg.replay {
 		return config{}, fmt.Errorf("-ingest and -replay are mutually exclusive")
+	}
+	if cfg.soak < 0 {
+		return config{}, fmt.Errorf("-soak must be positive, got %s", cfg.soak)
+	}
+	if cfg.soak > 0 && (cfg.ingest || cfg.replay) {
+		return config{}, fmt.Errorf("-soak is mutually exclusive with -ingest and -replay")
+	}
+	if cfg.soak > 0 && cfg.soak < time.Second {
+		return config{}, fmt.Errorf("-soak needs at least 1s to quiesce, got %s", cfg.soak)
+	}
+	if cfg.chaos && cfg.soak == 0 {
+		return config{}, fmt.Errorf("-chaos requires -soak")
+	}
+	if cfg.soak > 0 && (cfg.soakPublishers < 1 || cfg.soakPublishers > 64) {
+		return config{}, fmt.Errorf("-soak-publishers must be between 1 and 64, got %d", cfg.soakPublishers)
+	}
+	if cfg.soak > 0 && (cfg.soakSubscribers < 1 || cfg.soakSubscribers > 64) {
+		return config{}, fmt.Errorf("-soak-subscribers must be between 1 and 64, got %d", cfg.soakSubscribers)
 	}
 	if cfg.window <= 0 {
 		return config{}, fmt.Errorf("-window must be positive, got %s", cfg.window)
@@ -131,6 +172,9 @@ func main() {
 
 // runBench dispatches the selected experiment.
 func runBench(cfg config, out io.Writer) error {
+	if cfg.soak > 0 {
+		return runSoak(cfg, out)
+	}
 	if cfg.ingest {
 		return runIngest(cfg, out)
 	}

@@ -52,6 +52,15 @@ func TestParseFlagsRejectsInvalid(t *testing.T) {
 		{"zero publishers", []string{"-ingest", "-publishers", "0"}},
 		{"batch too small", []string{"-ingest", "-batch", "1"}},
 		{"replay too few tuples", []string{"-replay", "-tuples", "10"}},
+		{"soak and ingest", []string{"-soak", "5s", "-ingest"}},
+		{"soak and replay", []string{"-soak", "5s", "-replay"}},
+		{"negative soak", []string{"-soak", "-5s"}},
+		{"sub-second soak", []string{"-soak", "500ms"}},
+		{"chaos without soak", []string{"-chaos"}},
+		{"zero soak publishers", []string{"-soak", "5s", "-soak-publishers", "0"}},
+		{"too many soak publishers", []string{"-soak", "5s", "-soak-publishers", "65"}},
+		{"zero soak subscribers", []string{"-soak", "5s", "-soak-subscribers", "0"}},
+		{"too many soak subscribers", []string{"-soak", "5s", "-soak-subscribers", "65"}},
 		{"bad signals token", []string{"-signals", "1,x,8"}},
 		{"negative signals token", []string{"-signals", "-3"}},
 		{"empty signals list", []string{"-signals", " , "}},
@@ -63,6 +72,47 @@ func TestParseFlagsRejectsInvalid(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-h"}); !errors.Is(err, flag.ErrHelp) {
 		t.Fatalf("-h should surface flag.ErrHelp, got %v", err)
+	}
+}
+
+func TestParseFlagsSoakDefaults(t *testing.T) {
+	cfg, err := parseFlags([]string{"-soak", "2s", "-chaos"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.soak != 2*time.Second || !cfg.chaos {
+		t.Fatalf("soak flags wrong: %+v", cfg)
+	}
+	if cfg.soakPublishers != 4 || cfg.soakSubscribers != 6 || cfg.seed != 1 {
+		t.Fatalf("soak defaults wrong: %+v", cfg)
+	}
+}
+
+// TestSoakSmoke runs the full-pipeline soak at its minimum duration —
+// the end-to-end test of the publisher → relay → hub → subscriber →
+// recorder path, with every continuous invariant armed.
+func TestSoakSmoke(t *testing.T) {
+	cfg, err := parseFlags([]string{"-soak", "1s", "-soak-publishers", "2", "-soak-subscribers", "6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runBench(cfg, &out); err != nil {
+		t.Fatalf("soak failed: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{
+		"publishers         ",
+		"root hub           ",
+		"sub0(plain-v1)",
+		"sub3(max-rate)",
+		"sub5(no-stream)",
+		"replay             ",
+		"invariants         OK (0 violations)",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
 	}
 }
 

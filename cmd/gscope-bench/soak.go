@@ -1,0 +1,680 @@
+package main
+
+// Soak mode: the whole pipeline under sustained load. N publisher
+// clients feed a two-level relay tree (leaf hubs forwarding into a root
+// hub), M mixed subscribers watch the root (plain v1, v2 control,
+// filtered, rate-capped, backfilled, control-plane-only), and a flight
+// recorder records everything. Every sink checks the stream invariants
+// continuously: per-signal watermarks never regress, every value
+// carries its deterministic checksum, filters and rate caps hold, and
+// drop counters stay consistent with the configured queue bounds. The
+// run finishes with a record→replay→byte-diff of the root stream and a
+// goroutine leak check. With -chaos the publisher→relay hop runs
+// through netsim.ChaosProxy (delay, jitter, connection kills,
+// partitions); reconnecting clients must ride through without violating
+// a single stream invariant — chaos is allowed to lose data, never to
+// corrupt or reorder it.
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/glib"
+	"repro/internal/netscope"
+	"repro/internal/netsim"
+	"repro/internal/reclog"
+	"repro/internal/testutil"
+	"repro/internal/tuple"
+)
+
+const (
+	// soakTick paces each publisher: one sample per signal per tick.
+	soakTick = 5 * time.Millisecond
+	// soakMaxRate is the rate cap the decimated subscriber requests;
+	// well under the publish rate so decimation actually engages.
+	soakMaxRate = 50
+	// soakQueue bounds every queue in the topology. Generous enough
+	// that a clean run must not drop anything — which turns the drop
+	// counters into invariants.
+	soakQueue = 1 << 16
+)
+
+// soakValue is the deterministic checksum every publisher stamps on
+// every tuple: any sink can recompute it from (name, time) alone, so
+// corruption anywhere in the pipeline is detectable without keeping the
+// sent stream around.
+func soakValue(name string, tms int64) float64 {
+	h := fnv.New32a()
+	io.WriteString(h, name) //nolint:errcheck // fnv cannot fail
+	return float64(h.Sum32()%1000) + float64(tms%1_000_000)*1e-6
+}
+
+// soakViolations accumulates invariant violations from every goroutine;
+// the run fails if any were recorded.
+type soakViolations struct {
+	mu      sync.Mutex
+	n       int64
+	samples []string
+}
+
+func (v *soakViolations) addf(format string, args ...any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.n++
+	if len(v.samples) < 12 {
+		v.samples = append(v.samples, fmt.Sprintf(format, args...))
+	}
+}
+
+func (v *soakViolations) count() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.n
+}
+
+// sinkCheck verifies the stream invariants at one sink: per-signal
+// watermarks only advance and every value matches its checksum. Not
+// goroutine-safe — each instance is confined to whatever goroutine its
+// sink's callbacks run on (the shared glib loop for servers and
+// subscribers, the main goroutine for replay).
+type sinkCheck struct {
+	name string
+	vio  *soakViolations
+	last map[string]int64
+	seen int64
+}
+
+func newSinkCheck(name string, vio *soakViolations) *sinkCheck {
+	return &sinkCheck{name: name, vio: vio, last: make(map[string]int64)}
+}
+
+func (c *sinkCheck) observe(t tuple.Tuple) {
+	c.seen++
+	if want := soakValue(t.Name, t.Time); t.Value != want {
+		c.vio.addf("%s: %s carried %v at %dms, checksum says %v", c.name, t.Name, t.Value, t.Time, want)
+	}
+	if last, ok := c.last[t.Name]; ok && t.Time < last {
+		c.vio.addf("%s: watermark regressed on %s: %dms after %dms", c.name, t.Name, t.Time, last)
+	}
+	c.last[t.Name] = t.Time
+}
+
+// soakMatch mirrors the hub's filter semantics: exact name or
+// path.Match glob.
+func soakMatch(patterns []string, name string) bool {
+	for _, p := range patterns {
+		if p == name {
+			return true
+		}
+		if ok, _ := path.Match(p, name); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// soakSub is one root subscriber plus the per-profile invariants its
+// subscription implies. All callback state is loop-confined.
+type soakSub struct {
+	label    string
+	sub      *netscope.Subscriber
+	check    *sinkCheck
+	filter   []string
+	minGapMS int64
+	noStream bool
+
+	acked          bool
+	inSnap, inBack bool
+	lastLive       map[string]int64
+	paramFrames    int64
+	errorFrames    int64
+}
+
+// newSoakSub connects subscriber i to the root hub with a profile
+// cycled from the six the protocol offers.
+func newSoakSub(loop *glib.Loop, addr string, i int, vio *soakViolations, closed *atomic.Int64) (*soakSub, error) {
+	ss := &soakSub{}
+	var opts []netscope.SubscribeOption
+	switch i % 6 {
+	case 0:
+		ss.label = "plain-v1"
+	case 1:
+		ss.label = "control"
+		opts = append(opts, netscope.WithControl())
+	case 2:
+		ss.label = "filtered"
+		ss.filter = []string{"p0.*"}
+		opts = append(opts, netscope.WithSignals(ss.filter...))
+	case 3:
+		ss.label = "max-rate"
+		ss.minGapMS = int64(1000 / soakMaxRate)
+		ss.lastLive = make(map[string]int64)
+		opts = append(opts, netscope.WithMaxRate(soakMaxRate))
+	case 4:
+		ss.label = "since"
+		opts = append(opts, netscope.WithSince(-2*time.Second))
+	case 5:
+		ss.label = "no-stream"
+		ss.noStream = true
+		opts = append(opts, netscope.WithoutStream())
+	}
+	ss.check = newSinkCheck(fmt.Sprintf("sub%d(%s)", i, ss.label), vio)
+	sub, err := netscope.SubscribeToBatch(loop, addr, ss.onBatch, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("subscriber %d (%s): %w", i, ss.label, err)
+	}
+	sub.OnControl(ss.onControl)
+	sub.OnClose(func(error) { closed.Add(1) })
+	ss.sub = sub
+	return ss, nil
+}
+
+func (ss *soakSub) onBatch(batch []tuple.Tuple) {
+	for _, t := range batch {
+		if ss.noStream {
+			ss.check.vio.addf("%s: control-plane-only subscription received %d %v %s",
+				ss.check.name, t.Time, t.Value, t.Name)
+			continue
+		}
+		ss.check.observe(t)
+		if len(ss.filter) > 0 && !soakMatch(ss.filter, t.Name) {
+			ss.check.vio.addf("%s: %q leaked through filter %v", ss.check.name, t.Name, ss.filter)
+		}
+		// The rate cap only governs the live stream: snapshot and
+		// backfill are history and arrive undecimated.
+		if ss.minGapMS > 0 && ss.acked && !ss.inSnap && !ss.inBack {
+			if last, ok := ss.lastLive[t.Name]; ok && t.Time-last < ss.minGapMS {
+				ss.check.vio.addf("%s: rate cap violated on %s: gap %dms < %dms",
+					ss.check.name, t.Name, t.Time-last, ss.minGapMS)
+			}
+			ss.lastLive[t.Name] = t.Time
+		}
+	}
+}
+
+func (ss *soakSub) onControl(f tuple.ControlFrame) {
+	switch f.Verb {
+	case "gscope-hub":
+		if f.Arg(0) == "2" {
+			ss.acked = true
+		}
+	case "snapshot":
+		ss.inSnap = true
+	case "snapshot-end":
+		ss.inSnap = false
+	case "backfill":
+		ss.inBack = true
+	case "backfill-end":
+		ss.inBack = false
+	case "param", "params", "params-end", "param-ok":
+		ss.paramFrames++
+	case "error":
+		ss.errorFrames++
+	}
+}
+
+// soakPublish drives one publisher until stop: two signals, one sample
+// each per tick, checksummed values. Odd publishers go through the
+// probe-handle batch path, even ones through SendBatch.
+func soakPublish(i int, c *netscope.Client, start time.Time, stop <-chan struct{}, chaos bool, vio *soakViolations) {
+	names := []string{fmt.Sprintf("p%d.s0", i), fmt.Sprintf("p%d.s1", i)}
+	var probes []*netscope.ClientProbe
+	if i%2 == 1 {
+		for _, n := range names {
+			p, err := c.Probe(n)
+			if err != nil {
+				vio.addf("publisher %d: probe %q: %v", i, n, err)
+				return
+			}
+			probes = append(probes, p)
+		}
+	}
+	tick := time.NewTicker(soakTick)
+	defer tick.Stop()
+	var last int64
+	batch := make([]tuple.Tuple, 0, len(names))
+	for {
+		select {
+		case <-stop:
+			// Drain the queue so the conservation checks can demand
+			// exact delivery. Under chaos the link may be down; the
+			// data lost with it is what the relaxed accounting allows.
+			if err := c.FlushTimeout(3 * time.Second); err != nil && !chaos {
+				vio.addf("publisher %d: flush: %v", i, err)
+			}
+			c.Close() //nolint:errcheck
+			return
+		case <-tick.C:
+		}
+		tms := time.Since(start).Milliseconds()
+		if tms < last {
+			tms = last // a signal's clock must never rewind
+		}
+		last = tms
+		if probes != nil {
+			at := time.Duration(tms) * time.Millisecond
+			for j, p := range probes {
+				c.SendProbeBatch(p, []tuple.Sample{{At: at, Value: soakValue(names[j], tms)}}) //nolint:errcheck // queued; drops counted
+			}
+		} else {
+			batch = batch[:0]
+			for _, n := range names {
+				batch = append(batch, tuple.Tuple{Time: tms, Value: soakValue(n, tms), Name: n})
+			}
+			c.SendBatch(batch) //nolint:errcheck // queued; drops counted
+		}
+	}
+}
+
+// runSoak assembles the topology, runs it for cfg.soak, then tears it
+// down through quiesce, accounting, replay diff, and leak check. Any
+// invariant violation fails the run.
+func runSoak(cfg config, out io.Writer) error {
+	vio := &soakViolations{}
+	fmt.Fprintln(out, "gscope soak experiment (publishers → relay tree → hub → subscribers + recorder)")
+	fmt.Fprintf(out, "duration=%s publishers=%d subscribers=%d chaos=%v seed=%d\n\n",
+		cfg.soak, cfg.soakPublishers, cfg.soakSubscribers, cfg.chaos, cfg.seed)
+
+	loop := glib.NewLoop(glib.RealClock{}, glib.WithGranularity(soakTick))
+
+	// Root hub: flight recorder, retained backfill, a parameter plane.
+	root := netscope.NewServer(loop)
+	rootCheck := newSinkCheck("root", vio)
+	var captured []byte // the root stream in wire form, for the replay diff
+	root.OnTuple = func(t tuple.Tuple) {
+		rootCheck.observe(t)
+		captured = tuple.AppendWire(captured, t)
+	}
+	recDir, err := os.MkdirTemp("", "gscope-soak")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(recDir)
+	flight, err := root.Record(recDir, reclog.Options{
+		SegmentBytes: 1 << 18, // small segments: the diff must survive rotation
+		TotalBytes:   1 << 40,
+		QueueLimit:   soakQueue,
+	})
+	if err != nil {
+		return err
+	}
+	root.SetBackfillRetention(4096)
+	root.SetSubscriberQueueLimit(soakQueue)
+
+	gain := 1.0 // touched only by param commands on the loop goroutine
+	params := core.NewParamSet()
+	if err := params.Add(&core.Param{Name: "gain", Get: func() float64 { return gain },
+		Set: func(v float64) { gain = v }, Min: 0, Max: 100, Step: 1}); err != nil {
+		return err
+	}
+	root.SetParams(params)
+
+	rootPubAddr, err := root.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	rootSubAddr, err := root.ListenSubscribers("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+
+	// Two leaf relays, each re-publishing everything it hears into the
+	// root's publisher port through a reconnecting client.
+	const relays = 2
+	relaySrvs := make([]*netscope.Server, relays)
+	relayChecks := make([]*sinkCheck, relays)
+	fwds := make([]*netscope.Client, relays)
+	relayAddrs := make([]string, relays)
+	for r := 0; r < relays; r++ {
+		srv := netscope.NewServer(loop)
+		check := newSinkCheck(fmt.Sprintf("relay%d", r), vio)
+		fwd := netscope.DialReconnect(rootPubAddr.String())
+		fwd.SetQueueLimit(soakQueue)
+		srv.OnTuple = func(t tuple.Tuple) {
+			check.observe(t)
+			fwd.SendTuple(t) //nolint:errcheck // queued; drops counted
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		relaySrvs[r], relayChecks[r], fwds[r], relayAddrs[r] = srv, check, fwd, addr.String()
+	}
+
+	// The chaos layer sits on the publisher→relay hop only: the tree
+	// above it must absorb flapping inputs without corrupting anything.
+	pubAddrs := relayAddrs
+	var proxies []*netsim.ChaosProxy
+	if cfg.chaos {
+		pubAddrs = make([]string, relays)
+		for r := 0; r < relays; r++ {
+			p, err := netsim.NewChaosProxy(relayAddrs[r], netsim.ChaosConfig{
+				Delay:          2 * time.Millisecond,
+				Jitter:         3 * time.Millisecond,
+				KillEvery:      3 * time.Second,
+				PartitionEvery: 2 * time.Second,
+				PartitionFor:   300 * time.Millisecond,
+				Seed:           cfg.seed + int64(r),
+			})
+			if err != nil {
+				return err
+			}
+			proxies = append(proxies, p)
+			pubAddrs[r] = p.Addr()
+		}
+	}
+
+	runDone := make(chan struct{})
+	go func() {
+		loop.Run() //nolint:errcheck // real clock: only returns on Quit
+		close(runDone)
+	}()
+	// onLoop runs fn on the loop goroutine and waits, for reading
+	// loop-confined state. Only valid while the loop is running.
+	onLoop := func(fn func()) {
+		done := make(chan struct{})
+		loop.Invoke(func() { fn(); close(done) })
+		<-done
+	}
+
+	var closedSubs atomic.Int64
+	subs := make([]*soakSub, cfg.soakSubscribers)
+	for i := range subs {
+		ss, err := newSoakSub(loop, rootSubAddr.String(), i, vio, &closedSubs)
+		if err != nil {
+			return err
+		}
+		subs[i] = ss
+	}
+	// Everyone through the handshake before traffic starts: the
+	// conservation checks below assume the plain subscribers saw every
+	// broadcast.
+	if !testutil.Poll(10*time.Second, func() bool {
+		for _, ss := range subs {
+			if !ss.sub.Handshaken() {
+				return false
+			}
+		}
+		return true
+	}) {
+		vio.addf("subscribers never completed the handshake")
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	pubs := make([]*netscope.Client, cfg.soakPublishers)
+	start := time.Now()
+	for i := 0; i < cfg.soakPublishers; i++ {
+		c := netscope.DialReconnect(pubAddrs[i%relays])
+		c.SetQueueLimit(soakQueue)
+		pubs[i] = c
+		wg.Add(1)
+		go func(i int, c *netscope.Client) {
+			defer wg.Done()
+			soakPublish(i, c, start, stop, cfg.chaos, vio)
+		}(i, c)
+	}
+
+	// Param churn: the control-plane subscribers exercise get/set while
+	// the stream runs; replies and change notifications are counted.
+	var churnSent atomic.Int64
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		for n := 0; ; n++ {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			for _, ss := range subs {
+				if ss.label != "control" && ss.label != "no-stream" {
+					continue
+				}
+				cmd := "param get gain"
+				if n%2 == 0 {
+					cmd = fmt.Sprintf("param set gain %d", n%101)
+				}
+				if ss.sub.Command(cmd) == nil {
+					churnSent.Add(1)
+				}
+			}
+		}
+	}()
+
+	timer := time.NewTimer(cfg.soak)
+	<-timer.C
+	close(stop)
+	wg.Wait()
+
+	// --- Quiesce and accounting --------------------------------------
+
+	var pubSent, pubDropped, reconnects int64
+	for _, c := range pubs {
+		pubSent += c.Sent()
+		pubDropped += c.Dropped()
+		reconnects += c.Reconnects()
+	}
+	relaySeen := func() (n int64) {
+		onLoop(func() {
+			for _, ch := range relayChecks {
+				n += ch.seen
+			}
+		})
+		return n
+	}
+	// settle waits for a counter to stop moving — chaos breaks exact
+	// accounting, so convergence is the best available quiesce signal.
+	settle := func(read func() int64) {
+		last := read()
+		testutil.Poll(10*time.Second, func() bool {
+			time.Sleep(200 * time.Millisecond)
+			cur := read()
+			stable := cur == last
+			last = cur
+			return stable
+		})
+	}
+	if cfg.chaos {
+		settle(relaySeen)
+	} else if !testutil.Poll(10*time.Second, func() bool { return relaySeen() == pubSent }) {
+		vio.addf("relays received %d of %d published tuples with no chaos in the way", relaySeen(), pubSent)
+	}
+	relayTotal := relaySeen()
+	if relayTotal > pubSent {
+		vio.addf("relays received %d tuples, more than the %d published", relayTotal, pubSent)
+	}
+
+	var fwdSent, fwdDropped int64
+	for _, fwd := range fwds {
+		if err := fwd.FlushTimeout(5 * time.Second); err != nil {
+			vio.addf("relay forwarder flush: %v", err)
+		}
+		fwdSent += fwd.Sent()
+		fwdDropped += fwd.Dropped()
+	}
+	if fwdDropped != 0 {
+		vio.addf("relay forwarders dropped %d tuples despite the %d-tuple queue bound", fwdDropped, soakQueue)
+	}
+	rootSeen := func() (n int64) { onLoop(func() { n = rootCheck.seen }); return n }
+	// The relay→root hop is never chaosed: delivery must be exact.
+	if !testutil.Poll(10*time.Second, func() bool { return rootSeen() == fwdSent }) {
+		vio.addf("root received %d of %d forwarded tuples", rootSeen(), fwdSent)
+	}
+	rootTotal := rootSeen()
+
+	if !testutil.Poll(10*time.Second, func() (ok bool) {
+		onLoop(func() { ok = root.SubscribersFlushed() })
+		return ok
+	}) {
+		vio.addf("hub never drained its subscriber queues")
+	}
+	// Let every subscriber's receive counter go quiet before comparing.
+	testutil.Poll(10*time.Second, func() bool {
+		before := make([]int64, len(subs))
+		for i, ss := range subs {
+			before[i], _ = ss.sub.Stats()
+		}
+		time.Sleep(150 * time.Millisecond)
+		for i, ss := range subs {
+			if r, _ := ss.sub.Stats(); r != before[i] {
+				return false
+			}
+		}
+		return true
+	})
+
+	var relayParseErrs, rootParseErrs int64
+	var hubSubscribes, hubPublished, hubDropped int64
+	var paramFrames, errorFrames int64
+	onLoop(func() {
+		for _, srv := range relaySrvs {
+			_, _, _, pe := srv.Stats()
+			relayParseErrs += pe
+		}
+		_, _, _, rootParseErrs = root.Stats()
+		hubSubscribes, _, hubPublished, hubDropped = root.SubscriberStats()
+		for _, ss := range subs {
+			paramFrames += ss.paramFrames
+			errorFrames += ss.errorFrames
+		}
+	})
+	if relayParseErrs != 0 && !cfg.chaos {
+		vio.addf("relays hit %d parse errors on a clean network", relayParseErrs)
+	}
+	if rootParseErrs != 0 {
+		vio.addf("root hit %d parse errors on relay-encoded input", rootParseErrs)
+	}
+	if hubDropped != 0 {
+		vio.addf("hub dropped %d subscriber tuples despite the %d-tuple queue bound", hubDropped, soakQueue)
+	}
+	if errorFrames != 0 {
+		vio.addf("subscribers received %d error frames from the control plane", errorFrames)
+	}
+	if churnSent.Load() > 0 && paramFrames == 0 {
+		vio.addf("%d param commands sent but no param frames came back", churnSent.Load())
+	}
+	for _, ss := range subs {
+		received, parseErrs := ss.sub.Stats()
+		if parseErrs != 0 {
+			vio.addf("%s: %d unparseable lines", ss.check.name, parseErrs)
+		}
+		// A plain v1 subscriber connected before traffic must have seen
+		// the entire broadcast stream — the subscriber path is never
+		// chaosed, so this holds in both modes.
+		if ss.label == "plain-v1" && hubDropped == 0 && received != rootTotal {
+			vio.addf("%s received %d of %d broadcast tuples", ss.check.name, received, rootTotal)
+		}
+	}
+
+	// --- Teardown (the loop must outlive every watch) -----------------
+
+	for _, fwd := range fwds {
+		fwd.Close() //nolint:errcheck
+	}
+	onLoop(func() {
+		for _, srv := range relaySrvs {
+			srv.Close() //nolint:errcheck
+		}
+		root.Close() //nolint:errcheck
+	})
+	if !testutil.Poll(10*time.Second, func() bool {
+		return closedSubs.Load() == int64(len(subs))
+	}) {
+		vio.addf("only %d of %d subscribers observed hub shutdown", closedSubs.Load(), len(subs))
+	}
+	for _, ss := range subs {
+		ss.sub.Close() //nolint:errcheck
+	}
+	onLoop(func() {}) // drain anything teardown posted before quitting
+	loop.Quit()
+	<-runDone
+	for _, p := range proxies {
+		p.Close() //nolint:errcheck
+	}
+
+	// --- Record → replay → diff --------------------------------------
+
+	flightAppended, flightDropped, flightWritten := flight.Stats()
+	if flightDropped != 0 {
+		vio.addf("flight recorder dropped %d tuples despite the %d-tuple queue bound", flightDropped, soakQueue)
+	}
+	if flightAppended != rootTotal {
+		vio.addf("flight recorder appended %d of %d root tuples", flightAppended, rootTotal)
+	}
+	var replayCount, segments int64
+	if rootTotal == 0 {
+		vio.addf("no tuples reached the root hub")
+	} else if flightDropped == 0 {
+		sess, err := reclog.OpenSession(recDir)
+		if err != nil {
+			vio.addf("reopening the recording: %v", err)
+		} else {
+			segments = int64(len(sess.Segments()))
+			replayCheck := newSinkCheck("replay", vio)
+			rep := reclog.NewReplayer(sess)
+			rep.SetSpeed(0)
+			var replayed []byte
+			if err := rep.Run(func(b []tuple.Tuple) error {
+				for _, t := range b {
+					replayCheck.observe(t)
+				}
+				replayed = tuple.AppendWireBatch(replayed, b)
+				replayCount += int64(len(b))
+				return nil
+			}); err != nil {
+				vio.addf("replaying the recording: %v", err)
+			}
+			if !bytes.Equal(captured, replayed) {
+				vio.addf("record→replay diff: %d tuples in, %d out, wire bytes differ", rootTotal, replayCount)
+			}
+		}
+	}
+
+	if err := testutil.CheckLeaksWithin(10*time.Second, "main.main("); err != nil {
+		vio.addf("goroutine leak after shutdown: %v", err)
+	}
+
+	// --- Report -------------------------------------------------------
+
+	fmt.Fprintf(out, "  publishers         %d sent, %d dropped, %d reconnects\n", pubSent, pubDropped, reconnects)
+	fmt.Fprintf(out, "  relays             %d received, %d parse errors, %d forward drops\n", relayTotal, relayParseErrs, fwdDropped)
+	fmt.Fprintf(out, "  root hub           %d received, %d published to %d subscriptions, %d hub drops\n",
+		rootTotal, hubPublished, hubSubscribes, hubDropped)
+	for _, ss := range subs {
+		received, _ := ss.sub.Stats()
+		fmt.Fprintf(out, "  %-18s %d tuples (snapshot %d, backfill %d)\n",
+			ss.check.name, received, ss.sub.Snapshot(), ss.sub.Backfilled())
+	}
+	fmt.Fprintf(out, "  control plane      %d commands, %d param frames\n", churnSent.Load(), paramFrames)
+	if cfg.chaos {
+		var kills, parts int64
+		for _, p := range proxies {
+			kills += p.Killed()
+			parts += p.Partitions()
+		}
+		fmt.Fprintf(out, "  chaos              %d connection kills, %d partitions\n", kills, parts)
+	}
+	fmt.Fprintf(out, "  recorder           %d appended, %d written, %d dropped\n", flightAppended, flightWritten, flightDropped)
+	fmt.Fprintf(out, "  replay             %d tuples across %d segments\n", replayCount, segments)
+
+	if n := vio.count(); n > 0 {
+		fmt.Fprintf(out, "\n%d invariant violation(s):\n", n)
+		for _, s := range vio.samples {
+			fmt.Fprintf(out, "  %s\n", s)
+		}
+		return fmt.Errorf("soak failed with %d invariant violation(s)", n)
+	}
+	fmt.Fprintf(out, "\n  invariants         OK (0 violations)\n")
+	return nil
+}

@@ -13,8 +13,15 @@ import (
 
 	"repro/internal/netscope"
 	"repro/internal/reclog"
+	"repro/internal/testutil"
 	"repro/internal/tuple"
 )
+
+// The daemon's whole stack — loops, relays, recorders, subscribers —
+// promises goroutine-clean shutdown; the e2e suite enforces it.
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}
 
 func TestParseFlagsDefaults(t *testing.T) {
 	cfg, err := parseFlags([]string{"-signals", "cps, errps ,tput"})
@@ -268,20 +275,13 @@ func TestRelayUpstreamReconnects(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
-	deadline = time.Now().Add(15 * time.Second)
-	for {
+	testutil.WaitUntil(t, "chained relay to resume after hub restart", 15*time.Second, func() bool {
 		c.Send(time.Duration(time.Now().UnixMilli())*time.Millisecond, "x", 1) //nolint:errcheck
 		mu.Lock()
 		n := len(got)
 		mu.Unlock()
-		if n > 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("chained relay never resumed after hub restart")
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+		return n > 0
+	})
 }
 
 func TestParseFlagsRecordReplay(t *testing.T) {
@@ -345,20 +345,13 @@ func TestGscopedRecordReplayRoundTrip(t *testing.T) {
 	}
 	c.Close()  //nolint:errcheck
 	rec.stop() // cleanup (via startRelay) seals the session
-	time.Sleep(10 * time.Millisecond)
 
 	// Wait for the recording relay to actually seal the log before
 	// replaying: its run() returns asynchronously after stop().
-	deadline = time.Now().Add(5 * time.Second)
-	for {
-		if sess, err := reclog.OpenSession(dir); err == nil && sess.Tuples() >= int64(len(in)) {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("session never sealed")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitFor(t, "session to seal", func() bool {
+		sess, err := reclog.OpenSession(dir)
+		return err == nil && sess.Tuples() >= int64(len(in))
+	})
 
 	// Phase 2: replay through a fresh relay with a subscriber. -for keeps
 	// the daemon serving after the replay finishes; a huge -snapshot

@@ -43,17 +43,38 @@ type AcceptFunc func(conn net.Conn, err error) bool
 // IOWatch is a handle to a reader or accept watch.
 type IOWatch struct {
 	cancel atomic.Bool
+	dead   chan struct{}
 }
+
+func newIOWatch() *IOWatch { return &IOWatch{dead: make(chan struct{})} }
 
 // Cancel stops delivering callbacks. The underlying blocking read is not
 // interrupted (close the reader to unblock it), but no further callbacks
 // will run.
-func (w *IOWatch) Cancel() { w.cancel.Store(true) }
+func (w *IOWatch) Cancel() {
+	if w.cancel.CompareAndSwap(false, true) {
+		close(w.dead)
+	}
+}
+
+// wait blocks until the invoked callback reports back or the watch is
+// canceled. The cancel arm matters when the watch is abandoned on a loop
+// that has stopped dispatching (a daemon quitting, a test done iterating
+// its virtual clock): the posted callback will never run, and without it
+// the reader goroutine would stay pinned on the channel forever.
+func (w *IOWatch) wait(done <-chan bool) bool {
+	select {
+	case keep := <-done:
+		return keep
+	case <-w.dead:
+		return false
+	}
+}
 
 // WatchReader watches r and invokes fn on the loop goroutine with each chunk
 // of data as it arrives, emulating a G_IO_IN watch.
 func (l *Loop) WatchReader(r io.Reader, fn ReadFunc) *IOWatch {
-	w := &IOWatch{}
+	w := newIOWatch()
 	go func() {
 		buf := make([]byte, 4096)
 		for {
@@ -74,11 +95,11 @@ func (l *Loop) WatchReader(r io.Reader, fn ReadFunc) *IOWatch {
 					keep = false
 				}
 				if !keep {
-					w.cancel.Store(true)
+					w.Cancel()
 				}
 				done <- keep
 			})
-			if !<-done || err != nil {
+			if !w.wait(done) || err != nil {
 				return
 			}
 		}
@@ -89,7 +110,7 @@ func (l *Loop) WatchReader(r io.Reader, fn ReadFunc) *IOWatch {
 // WatchLines watches r and delivers it line-by-line; this is the framing
 // used by the tuple streaming protocol (§3.3).
 func (l *Loop) WatchLines(r io.Reader, fn LineFunc) *IOWatch {
-	w := &IOWatch{}
+	w := newIOWatch()
 	go func() {
 		sc := bufio.NewScanner(r)
 		sc.Buffer(make([]byte, 64*1024), 1024*1024)
@@ -106,11 +127,11 @@ func (l *Loop) WatchLines(r io.Reader, fn LineFunc) *IOWatch {
 				}
 				keep := fn(line, nil)
 				if !keep {
-					w.cancel.Store(true)
+					w.Cancel()
 				}
 				done <- keep
 			})
-			if !<-done {
+			if !w.wait(done) {
 				return
 			}
 		}
@@ -124,7 +145,7 @@ func (l *Loop) WatchLines(r io.Reader, fn LineFunc) *IOWatch {
 		l.Invoke(func() {
 			if !w.cancel.Load() {
 				fn("", err)
-				w.cancel.Store(true)
+				w.Cancel()
 			}
 		})
 	}()
@@ -143,7 +164,7 @@ const maxWatchedLine = 1024 * 1024
 // WatchLines. At end of stream any unterminated trailing line is delivered
 // together with the terminal error.
 func (l *Loop) WatchLineBatches(r io.Reader, fn LineBatchFunc) *IOWatch {
-	w := &IOWatch{}
+	w := newIOWatch()
 	deliver := func(lines []string, err error) bool {
 		done := make(chan bool, 1)
 		l.Invoke(func() {
@@ -156,11 +177,11 @@ func (l *Loop) WatchLineBatches(r io.Reader, fn LineBatchFunc) *IOWatch {
 				keep = false
 			}
 			if !keep {
-				w.cancel.Store(true)
+				w.Cancel()
 			}
 			done <- keep
 		})
-		return <-done
+		return w.wait(done)
 	}
 	go func() {
 		buf := make([]byte, 64*1024)
@@ -217,7 +238,7 @@ func (l *Loop) WatchLineBatches(r io.Reader, fn LineBatchFunc) *IOWatch {
 // loop goroutine, so a single-threaded server (§4.4) can manage all clients
 // without locks.
 func (l *Loop) WatchAccept(ln net.Listener, fn AcceptFunc) *IOWatch {
-	w := &IOWatch{}
+	w := newIOWatch()
 	go func() {
 		for {
 			conn, err := ln.Accept()
@@ -241,11 +262,11 @@ func (l *Loop) WatchAccept(ln net.Listener, fn AcceptFunc) *IOWatch {
 					keep = false
 				}
 				if !keep {
-					w.cancel.Store(true)
+					w.Cancel()
 				}
 				done <- keep
 			})
-			if !<-done || err != nil {
+			if !w.wait(done) || err != nil {
 				return
 			}
 		}

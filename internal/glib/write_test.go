@@ -7,6 +7,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/testutil"
 )
 
 // lockedBuffer is an io.Writer safe for the watch's writer goroutine.
@@ -202,7 +204,10 @@ func TestWriteWatchFlushedConvergesAfterCancel(t *testing.T) {
 	ww := l.WatchWriter(pw, 8, nil)
 	ww.Send([]byte("wedged 1\n"))
 	ww.Send([]byte("wedged 2\n"))
-	time.Sleep(10 * time.Millisecond) // let the writer take a batch and block
+	// Wait until the writer goroutine has taken a batch off the queue
+	// and is blocked inside the pipe write — Cancel must then cope with
+	// a write in flight.
+	testutil.WaitFor(t, "writer to block mid-write", func() bool { return ww.Queued() < 2 })
 	ww.Cancel()
 	pw.Close() // unblock the in-flight write, per the Cancel contract
 	deadline := time.Now().Add(2 * time.Second)

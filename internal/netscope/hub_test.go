@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/glib"
+	"repro/internal/testutil"
 	"repro/internal/tuple"
 )
 
@@ -420,19 +421,12 @@ func TestClientReconnectSurvivesHubRestart(t *testing.T) {
 
 	// Sends issued during/after the outage arrive once the client has
 	// reconnected with backoff.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	testutil.WaitUntil(t, "client to reconnect", 10*time.Second, func() bool {
 		c.Send(20*time.Millisecond, "remote", 2) //nolint:errcheck
-		_, _, recv, _ := srv2.Stats()
-		if recv >= 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("client never reconnected")
-		}
 		loop.Iterate()
-		time.Sleep(5 * time.Millisecond)
-	}
+		_, _, recv, _ := srv2.Stats()
+		return recv >= 1
+	})
 	if c.Reconnects() < 2 {
 		t.Fatalf("reconnects = %d, want >= 2", c.Reconnects())
 	}

@@ -7,8 +7,15 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/glib"
+	"repro/internal/testutil"
 	"repro/internal/tuple"
 )
+
+// Every client writer, watch reader, and hub writer in this package
+// promises to exit on Close; a leak fails the whole suite.
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}
 
 // rig assembles a virtual-clock loop, a scope with a BUFFER signal, and a
 // listening server.
@@ -33,14 +40,7 @@ func rig(t *testing.T) (*glib.Loop, *core.Scope, *Server, string) {
 // pump iterates the loop until cond is true or the deadline passes.
 func pump(t *testing.T, loop *glib.Loop, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() {
-		loop.Iterate()
-		if time.Now().After(deadline) {
-			t.Fatal("condition never reached")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.PumpUntil(t, "netscope condition", func() { loop.Iterate() }, cond)
 }
 
 func TestClientServerDelivery(t *testing.T) {

@@ -2,6 +2,7 @@ package netscope
 
 import (
 	"fmt"
+	"math"
 	"path"
 	"strconv"
 	"strings"
@@ -137,12 +138,17 @@ func parseSubscriptionRequest(line string) (req SubscriptionRequest, ok bool, er
 			}
 		case "max-rate":
 			req.MaxRate, err = strconv.ParseFloat(val, 64)
-			if err != nil || req.MaxRate < 0 {
+			// NaN compares false against 0, so it would slip past the sign
+			// check into a subscription that decimates nothing.
+			if err != nil || req.MaxRate < 0 || math.IsNaN(req.MaxRate) {
 				return req, true, fmt.Errorf("bad max-rate %q", val)
 			}
 		case "since":
 			ms, perr := strconv.ParseInt(val, 10, 64)
-			if perr != nil {
+			// The ms→Duration multiply overflows outside ±(MaxInt64/1e6) ms;
+			// a wrapped Since would silently request a different window.
+			if perr != nil || ms > math.MaxInt64/int64(time.Millisecond) ||
+				ms < math.MinInt64/int64(time.Millisecond) {
 				return req, true, fmt.Errorf("bad since %q", val)
 			}
 			req.Since = time.Duration(ms) * time.Millisecond

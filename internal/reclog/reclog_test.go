@@ -9,18 +9,19 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/testutil"
 	"repro/internal/tuple"
 )
 
+// The recorder promises its writer goroutine exits when Close drains;
+// a leaked writer fails the whole package.
+func TestMain(m *testing.M) {
+	testutil.VerifyTestMain(m)
+}
+
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for !cond() {
-		if time.Now().After(deadline) {
-			t.Fatal("condition never reached")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	testutil.WaitFor(t, "recorder condition", cond)
 }
 
 // record writes tuples through a Log in batches of batchSize and closes it.
@@ -273,6 +274,15 @@ func TestUnsealedActiveSegmentReplayable(t *testing.T) {
 	if !bytes.Equal(tuple.AppendWireBatch(nil, in), tuple.AppendWireBatch(nil, got)) {
 		t.Fatalf("crashed session replayed %d tuples, want %d", len(got), len(in))
 	}
+
+	// Unpark the writer goroutine left blocked on its kick channel by the
+	// simulated crash; it sees closed, attempts the seal against the closed
+	// file, and exits, keeping the suite leak-clean.
+	select {
+	case lg.kick <- struct{}{}:
+	default:
+	}
+	<-lg.done
 }
 
 // TestQueueDropOldest wedges the writer (by pointing the log at a

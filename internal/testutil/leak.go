@@ -1,0 +1,126 @@
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// This file is a dependency-free stand-in for go.uber.org/goleak (the
+// module deliberately has no external requirements): it snapshots every
+// goroutine stack, filters the ones the runtime and the testing harness
+// legitimately keep alive, retries while stragglers wind down, and
+// reports whatever is left as a leak.
+
+// defaultLeakWait bounds how long CheckLeaks retries before declaring a
+// leak. Shutdown paths in this codebase are bounded — writer goroutines
+// exit when their queue closes, reconnect backoff re-checks closed every
+// cycle — so anything still alive after several seconds is wedged, not
+// slow.
+const defaultLeakWait = 5 * time.Second
+
+// ignoredStacks marks goroutines that are part of the test harness or
+// runtime rather than code under test. Matching is by substring over the
+// whole stack dump.
+var ignoredStacks = []string{
+	"testing.Main(",
+	"testing.runTests(",
+	"testing.(*T).Run(",
+	"testing.(*M).",
+	"testing.runFuzzing(",
+	"testing.runFuzzTests(",
+	"os/signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ReadTrace",
+	"runtime.ensureSigM",
+	// The goroutine running the check itself.
+	"repro/internal/testutil.goroutineStacks",
+}
+
+// runtimeStack is runtime.Stack behind a named wrapper so the checking
+// goroutine's own dump carries a frame the ignore list can match.
+func runtimeStack(buf []byte) int { return runtime.Stack(buf, true) }
+
+// goroutineStacks returns one stack dump per live goroutine.
+func goroutineStacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtimeStack(buf)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	return strings.Split(strings.TrimSpace(string(buf)), "\n\n")
+}
+
+// leaked returns the stacks that survive filtering, or nil when every
+// goroutine is accounted for.
+func leaked(extraIgnores []string) []string {
+	var out []string
+next:
+	for _, st := range goroutineStacks() {
+		for _, ig := range ignoredStacks {
+			if strings.Contains(st, ig) {
+				continue next
+			}
+		}
+		for _, ig := range extraIgnores {
+			if strings.Contains(st, ig) {
+				continue next
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// CheckLeaks scans for goroutines that outlived the code under test,
+// retrying for a few seconds so goroutines legitimately mid-shutdown can
+// finish. Goroutines whose stack contains any of extraIgnores
+// (substring match, e.g. a function name) are tolerated. It returns an
+// error describing the leaked stacks, or nil.
+func CheckLeaks(extraIgnores ...string) error {
+	return CheckLeaksWithin(defaultLeakWait, extraIgnores...)
+}
+
+// CheckLeaksWithin is CheckLeaks with an explicit retry budget.
+func CheckLeaksWithin(wait time.Duration, extraIgnores ...string) error {
+	deadline := time.Now().Add(wait)
+	var last []string
+	for {
+		last = leaked(extraIgnores)
+		if len(last) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("found %d leaked goroutine(s):\n\n%s",
+		len(last), strings.Join(last, "\n\n"))
+}
+
+// VerifyTestMain wraps m.Run with a leak check, the way
+// goleak.VerifyTestMain does:
+//
+//	func TestMain(m *testing.M) { testutil.VerifyTestMain(m) }
+//
+// The check runs only when the tests themselves passed — a failing test
+// may legitimately abandon goroutines mid-flight, and its own failure is
+// the signal that matters.
+func VerifyTestMain(m *testing.M, extraIgnores ...string) {
+	code := m.Run()
+	if code == 0 {
+		if err := CheckLeaks(extraIgnores...); err != nil {
+			fmt.Fprintf(os.Stderr, "testutil: goroutine leak after tests passed: %v\n", err)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,95 @@
+package testutil
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPollReturnsOnceConditionHolds(t *testing.T) {
+	var n atomic.Int64
+	start := time.Now()
+	ok := Poll(DefaultWaitTimeout, func() bool { return n.Add(1) >= 3 })
+	if !ok {
+		t.Fatal("Poll gave up on a condition that becomes true")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Poll took %s for a condition true on the third check", elapsed)
+	}
+}
+
+func TestPollTimesOut(t *testing.T) {
+	start := time.Now()
+	if Poll(20*time.Millisecond, func() bool { return false }) {
+		t.Fatal("Poll reported success for an impossible condition")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Poll overshot its 20ms timeout by a lot: %s", elapsed)
+	}
+}
+
+func TestWaitForPassesQuickConditions(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(done)
+	}()
+	WaitFor(t, "channel close", func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	})
+}
+
+func TestPumpUntilSteps(t *testing.T) {
+	steps := 0
+	PumpUntil(t, "three steps", func() { steps++ }, func() bool { return steps >= 3 })
+	if steps < 3 {
+		t.Fatalf("PumpUntil stopped after %d steps", steps)
+	}
+}
+
+func TestCheckLeaksCleanBaseline(t *testing.T) {
+	if err := CheckLeaksWithin(100 * time.Millisecond); err != nil {
+		t.Fatalf("baseline has leaks: %v", err)
+	}
+}
+
+func TestCheckLeaksCatchesABlockedGoroutine(t *testing.T) {
+	release := make(chan struct{})
+	go leakyForTest(release)
+	defer close(release)
+
+	err := CheckLeaksWithin(50 * time.Millisecond)
+	if err == nil {
+		t.Fatal("CheckLeaks missed a parked goroutine")
+	}
+	if !strings.Contains(err.Error(), "leakyForTest") {
+		t.Fatalf("leak report does not name the culprit: %v", err)
+	}
+
+	// The same goroutine is tolerated when explicitly ignored.
+	if err := CheckLeaksWithin(50*time.Millisecond, "leakyForTest"); err != nil {
+		t.Fatalf("ignore list not honored: %v", err)
+	}
+}
+
+func TestCheckLeaksWaitsForStragglers(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		close(done)
+	}()
+	<-done // goroutine is exiting right about now
+	if err := CheckLeaks(); err != nil {
+		t.Fatalf("goroutine mid-exit reported as leak: %v", err)
+	}
+}
+
+// leakyForTest parks until released; its name is what the leak report
+// must surface.
+func leakyForTest(release chan struct{}) { <-release }

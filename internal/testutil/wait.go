@@ -1,0 +1,66 @@
+// Package testutil holds the small shared test harness the e2e suites
+// lean on: condition polling (instead of fixed sleeps, which soak runs
+// under -race showed to be either flaky or wastefully long) and a
+// goroutine-leak check in the spirit of go.uber.org/goleak, implemented
+// locally so the module stays dependency-free.
+package testutil
+
+import (
+	"testing"
+	"time"
+)
+
+// DefaultWaitTimeout bounds WaitFor and PumpUntil. Five seconds is far
+// beyond any healthy convergence in this codebase (queues drain in
+// microseconds; reconnect backoff tops out at 5s only after repeated
+// failures) while keeping a genuinely stuck test from eating the whole
+// package deadline.
+const DefaultWaitTimeout = 5 * time.Second
+
+// WaitFor polls cond every millisecond until it holds, failing the test
+// after DefaultWaitTimeout. what names the condition in the failure
+// message ("recorder drained", "subscriber saw snapshot").
+func WaitFor(t testing.TB, what string, cond func() bool) {
+	t.Helper()
+	WaitUntil(t, what, DefaultWaitTimeout, cond)
+}
+
+// WaitUntil is WaitFor with an explicit timeout.
+func WaitUntil(t testing.TB, what string, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	if !Poll(timeout, cond) {
+		t.Fatalf("timed out after %s waiting for %s", timeout, what)
+	}
+}
+
+// Poll reports whether cond held within timeout, checking every
+// millisecond. It is the non-fatal core of WaitFor, usable outside a
+// testing.TB (the soak harness polls with it).
+func Poll(timeout time.Duration, cond func() bool) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return cond()
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// PumpUntil repeatedly runs step (typically a glib loop Iterate) and
+// checks cond, failing the test if cond does not hold within
+// DefaultWaitTimeout. It yields between iterations so goroutines the
+// stepped code is waiting on (socket reads, queue drains) get scheduled.
+func PumpUntil(t testing.TB, what string, step func(), cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(DefaultWaitTimeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %s pumping for %s", DefaultWaitTimeout, what)
+		}
+		step()
+		time.Sleep(time.Millisecond)
+	}
+}

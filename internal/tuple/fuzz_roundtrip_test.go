@@ -1,0 +1,155 @@
+package tuple_test
+
+// Structured round-trip fuzzing over the wire codec: where fuzz_test.go
+// throws raw lines at Parse, these targets generate whole valid streams
+// (via internal/fuzzgen) and assert the encoder and decoder are exact
+// inverses — including the batch encoder's run optimization and the
+// reader's comment/garbage skipping. They live in an external test
+// package because fuzzgen imports tuple.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fuzzgen"
+	"repro/internal/tuple"
+)
+
+// FuzzWireRoundTrip: for generated tuples t, Parse(AppendWire(t)) == t,
+// AppendWireBatch equals the per-tuple encoding, and a Reader over the
+// stream — noise lines and all — yields exactly the input tuples.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("some decision bytes 123"))
+	f.Add(bytes.Repeat([]byte{0xff, 0x03, 0x59}, 64))
+	f.Add(bytes.Repeat([]byte{0x80, 0x11}, 200))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := fuzzgen.New(data)
+		ts := src.Tuples(256, false)
+
+		// The batch encoder's same-name run optimization must be
+		// invisible: byte-identical to encoding each tuple alone.
+		var perTuple []byte
+		for _, tu := range ts {
+			perTuple = tuple.AppendWire(perTuple, tu)
+		}
+		batch := tuple.AppendWireBatch(nil, ts)
+		if !bytes.Equal(perTuple, batch) {
+			t.Fatalf("AppendWireBatch diverges from per-tuple AppendWire:\n%q\nvs\n%q", batch, perTuple)
+		}
+
+		// Parse is the encoder's inverse, tuple by tuple.
+		for _, tu := range ts {
+			got, err := tuple.Parse(tu.String())
+			if err != nil {
+				t.Fatalf("Parse(AppendWire(%+v)) failed: %v", tu, err)
+			}
+			if got != tu {
+				t.Fatalf("round trip mismatch: %+v -> %+v", tu, got)
+			}
+		}
+
+		// A reader over the full stream — with comments, blanks and
+		// garbage interleaved — sees exactly the payload tuples, in order.
+		stream := src.WireStream(ts)
+		got, err := tuple.NewReader(bytes.NewReader(stream), false).ReadAll()
+		if err != nil {
+			t.Fatalf("reading generated stream: %v\nstream: %q", err, stream)
+		}
+		if len(got) != len(ts) {
+			t.Fatalf("stream yielded %d tuples, expected %d\nstream: %q", len(got), len(ts), stream)
+		}
+		for i := range got {
+			if got[i] != ts[i] {
+				t.Fatalf("tuple %d: %+v != %+v", i, got[i], ts[i])
+			}
+		}
+	})
+}
+
+// FuzzControlRoundTrip: generated control frames survive
+// AppendControl→ParseControl unchanged, and for arbitrary input lines
+// parse→encode→parse is idempotent (whatever ParseControl accepts,
+// re-encoding yields a frame that parses back identically).
+func FuzzControlRoundTrip(f *testing.F) {
+	f.Add([]byte{}, "# gscope-hub 2 signals=a max-rate=30")
+	f.Add([]byte{1, 2, 3}, "# seal tuples=2 first=1500 last=1550")
+	f.Add([]byte{9, 9}, "   #   spaced   out   fields ")
+	f.Add([]byte{0xff}, "# param-ok x 1.5")
+	f.Add([]byte{4}, "not a comment")
+	f.Fuzz(func(t *testing.T, data []byte, line string) {
+		src := fuzzgen.New(data)
+		verb, fields := src.ControlFrame()
+		enc := string(tuple.AppendControl(nil, verb, fields...))
+		fr, ok := tuple.ParseControl(strings.TrimSuffix(enc, "\n"))
+		if !ok {
+			t.Fatalf("generated frame does not parse: %q", enc)
+		}
+		if fr.Verb != verb {
+			t.Fatalf("verb mismatch: %q -> %q", verb, fr.Verb)
+		}
+		if len(fr.Fields) != len(fields) {
+			t.Fatalf("field count mismatch: %v -> %v", fields, fr.Fields)
+		}
+		for i := range fields {
+			if fr.Fields[i] != fields[i] {
+				t.Fatalf("field %d: %q != %q", i, fr.Fields[i], fields[i])
+			}
+		}
+
+		// Arbitrary line: never panic; accepted frames re-encode stably.
+		fr1, ok := tuple.ParseControl(line)
+		if !ok {
+			return
+		}
+		re := string(tuple.AppendControl(nil, fr1.Verb, fr1.Fields...))
+		fr2, ok2 := tuple.ParseControl(strings.TrimSuffix(re, "\n"))
+		if !ok2 {
+			t.Fatalf("re-encoded frame does not parse: %q (from %q)", re, line)
+		}
+		if fr2.Verb != fr1.Verb || len(fr2.Fields) != len(fr1.Fields) {
+			t.Fatalf("parse/encode not idempotent: %+v vs %+v (line %q)", fr1, fr2, line)
+		}
+		for i := range fr1.Fields {
+			if fr2.Fields[i] != fr1.Fields[i] {
+				t.Fatalf("field %d drifted: %q != %q (line %q)", i, fr1.Fields[i], fr2.Fields[i], line)
+			}
+		}
+	})
+}
+
+// FuzzInterner: the publish path's name interner must hand back strings
+// equal to their input and keep Lookup/Name/Canonical mutually
+// consistent under arbitrary interleavings.
+func FuzzInterner(f *testing.F) {
+	f.Add([]byte("ab"))
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src := fuzzgen.New(data)
+		in := tuple.NewInterner()
+		interned := map[string]bool{}
+		for i := 0; i < 64 && !src.Exhausted(); i++ {
+			name := src.Name()
+			if src.Bool() {
+				id, ok := in.Lookup(name)
+				if interned[name] && !ok {
+					t.Fatalf("interned name %q not found by Lookup", name)
+				}
+				if ok {
+					if got := in.Name(id); got != name {
+						t.Fatalf("Lookup(%q) resolved to %q", name, got)
+					}
+				}
+				continue
+			}
+			if c := in.Canonical(name); c != name {
+				t.Fatalf("Canonical(%q) = %q", name, c)
+			}
+			interned[name] = true
+		}
+		if in.Len() > len(interned) {
+			t.Fatalf("interner holds %d names, only %d distinct interned", in.Len(), len(interned))
+		}
+	})
+}
