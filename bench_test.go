@@ -737,6 +737,116 @@ func BenchmarkTupleAppendWire(b *testing.B) {
 	}
 }
 
+// --- wire protocol v3 (docs/WIRE.md) ----------------------------------------
+
+// benchTelemetryBatch builds the runs-shaped counter-telemetry batch the
+// binary codec is designed for: one signal per run, steady timestamps,
+// counter-like values — the shape probe batches and the soak workload
+// actually have on the wire.
+func benchTelemetryBatch(n int) []tuple.Tuple {
+	batch := make([]tuple.Tuple, n)
+	for j := range batch {
+		// A minute into a run, 2ms sample spacing, a monotone counter —
+		// the magnitudes a real session's text lines actually carry.
+		batch[j] = tuple.Tuple{Time: 60_000 + int64(j)*2, Value: float64(1_000_000 + j), Name: "net.flow0.cwnd"}
+	}
+	return batch
+}
+
+// BenchmarkTupleAppendBinary measures the v3 binary encode hot path: one
+// warmed encoder appending runs-shaped batches into a reused buffer. ns/op
+// is per tuple. The acceptance bar is asserted inline on runs long enough
+// to be meaningful: sub-10 ns/tuple and an allocation-free steady state.
+func BenchmarkTupleAppendBinary(b *testing.B) {
+	const batchLen = 256
+	batch := benchTelemetryBatch(batchLen)
+	enc := tuple.NewBinaryEncoder()
+	buf := enc.AppendBatch(make([]byte, 0, 4096), batch) // warm dictionary and buffer
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchLen {
+		buf = enc.AppendBatch(buf[:0], batch)
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	if len(buf) == 0 {
+		b.Fatal("no output")
+	}
+	ns := float64(b.Elapsed()) / float64(b.N)
+	b.ReportMetric(float64(len(buf))/batchLen, "bytes/tuple")
+	// Assert only on full-length runs: the short calibration rounds the
+	// harness uses to find b.N carry timer noise worth a few ns/tuple.
+	if b.N >= 1<<22 {
+		if allocs := m1.Mallocs - m0.Mallocs; allocs > uint64(b.N/10000) {
+			b.Fatalf("binary encode allocated: %d mallocs over %d tuples", allocs, b.N)
+		}
+		if ns >= 10 {
+			b.Fatalf("binary encode %.2f ns/tuple, want <10", ns)
+		}
+	}
+}
+
+// BenchmarkTupleParseBinary measures the v3 decode hot path: a
+// StreamDecoder fed one pre-encoded runs-shaped chunk per iteration. ns/op
+// is per tuple, directly comparable to BenchmarkTupleParse for the text
+// grammar.
+func BenchmarkTupleParseBinary(b *testing.B) {
+	const batchLen = 256
+	enc := tuple.NewBinaryEncoder()
+	chunk := enc.AppendBatch(nil, benchTelemetryBatch(batchLen))
+	dec := tuple.NewStreamDecoder()
+	line := func(string) { b.Fatal("text line in a binary chunk") }
+	sink := 0
+	batch := func(ts []tuple.Tuple) { sink += len(ts) }
+	if err := dec.Feed(chunk, line, batch); err != nil { // warm the dictionary
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchLen {
+		if err := dec.Feed(chunk, line, batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if sink == 0 {
+		b.Fatal("no tuples decoded")
+	}
+}
+
+// BenchmarkWireBytesPerTuple measures what v3 exists for: wire bandwidth.
+// The same counter-telemetry stream is encoded as text lines and as binary
+// frames (dictionary included); the metrics report bytes/tuple for both
+// and the reduction ratio, and the run fails if binary does not beat text
+// by the claimed ≥5x.
+func BenchmarkWireBytesPerTuple(b *testing.B) {
+	const batchLen = 256
+	batch := benchTelemetryBatch(batchLen)
+	enc := tuple.NewBinaryEncoder()
+	var txt, bin []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchLen {
+		enc.Reset()
+		txt = tuple.AppendWireBatch(txt[:0], batch)
+		bin = enc.AppendBatch(bin[:0], batch)
+	}
+	b.StopTimer()
+	txtPer := float64(len(txt)) / batchLen
+	binPer := float64(len(bin)) / batchLen
+	b.ReportMetric(txtPer, "text-bytes/tuple")
+	b.ReportMetric(binPer, "binary-bytes/tuple")
+	if binPer > 0 {
+		ratio := txtPer / binPer
+		b.ReportMetric(ratio, "reduction-x")
+		if ratio < 5 {
+			b.Fatalf("binary wire carries %.2f bytes/tuple vs text %.2f: %.1fx reduction, want ≥5x",
+				binPer, txtPer, ratio)
+		}
+	}
+}
+
 func BenchmarkEventAggregation(b *testing.B) {
 	rig := figures.NewRig("bench", 600, 200)
 	if _, err := rig.Scope.AddSignal(core.Sig{Name: "lat", Agg: core.AggMax}); err != nil {

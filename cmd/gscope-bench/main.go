@@ -10,7 +10,7 @@
 //	gscope-bench [-window 400ms] [-reps 5] [-signals 1,8,16,32]
 //	gscope-bench -ingest [-publishers 8] [-batch 256] [-window 400ms]
 //	gscope-bench -replay [-tuples 1000000] [-batch 256]
-//	gscope-bench -soak 30s [-soak-publishers 4] [-soak-subscribers 6] [-chaos] [-seed 1]
+//	gscope-bench -soak 30s [-soak-publishers 4] [-soak-subscribers 8] [-chaos] [-seed 1]
 //
 // The -ingest mode instead measures the sharded feed's ingest throughput:
 // N publisher goroutines pushing per sample, in batches, and through
@@ -80,7 +80,7 @@ func parseFlags(args []string) (config, error) {
 		tuples     = fs.Int("tuples", 1_000_000, "tuples to record for -replay")
 		soak       = fs.Duration("soak", 0, "run the full-pipeline soak for this long (0 disables)")
 		soakPubs   = fs.Int("soak-publishers", 4, "publisher clients for -soak")
-		soakSubs   = fs.Int("soak-subscribers", 6, "subscriber clients for -soak")
+		soakSubs   = fs.Int("soak-subscribers", 8, "subscriber clients for -soak")
 		chaos      = fs.Bool("chaos", false, "degrade the publisher links during -soak (delay, kills, partitions)")
 		seed       = fs.Int64("seed", 1, "randomness seed for -chaos")
 	)

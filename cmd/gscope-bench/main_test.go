@@ -83,7 +83,7 @@ func TestParseFlagsSoakDefaults(t *testing.T) {
 	if cfg.soak != 2*time.Second || !cfg.chaos {
 		t.Fatalf("soak flags wrong: %+v", cfg)
 	}
-	if cfg.soakPublishers != 4 || cfg.soakSubscribers != 6 || cfg.seed != 1 {
+	if cfg.soakPublishers != 4 || cfg.soakSubscribers != 8 || cfg.seed != 1 {
 		t.Fatalf("soak defaults wrong: %+v", cfg)
 	}
 }
@@ -92,7 +92,7 @@ func TestParseFlagsSoakDefaults(t *testing.T) {
 // the end-to-end test of the publisher → relay → hub → subscriber →
 // recorder path, with every continuous invariant armed.
 func TestSoakSmoke(t *testing.T) {
-	cfg, err := parseFlags([]string{"-soak", "1s", "-soak-publishers", "2", "-soak-subscribers", "6"})
+	cfg, err := parseFlags([]string{"-soak", "1s", "-soak-publishers", "2", "-soak-subscribers", "8"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,6 +107,8 @@ func TestSoakSmoke(t *testing.T) {
 		"sub0(plain-v1)",
 		"sub3(max-rate)",
 		"sub5(no-stream)",
+		"sub6(binary)",
+		"sub7(binary-filtered)",
 		"replay             ",
 		"invariants         OK (0 violations)",
 	} {

@@ -3,8 +3,11 @@ package main
 // Soak mode: the whole pipeline under sustained load. N publisher
 // clients feed a two-level relay tree (leaf hubs forwarding into a root
 // hub), M mixed subscribers watch the root (plain v1, v2 control,
-// filtered, rate-capped, backfilled, control-plane-only), and a flight
-// recorder records everything. Every sink checks the stream invariants
+// filtered, rate-capped, backfilled, control-plane-only, plus v3 binary
+// plain and binary-filtered lanes per docs/WIRE.md), and a flight
+// recorder records everything in binary segments. Half the publishers
+// publish binary frames; the rest stay text, so every ingest path sees
+// mixed encodings. Every sink checks the stream invariants
 // continuously: per-signal watermarks never regress, every value
 // carries its deterministic checksum, filters and rate caps hold, and
 // drop counters stay consistent with the configured queue bounds. The
@@ -139,11 +142,11 @@ type soakSub struct {
 }
 
 // newSoakSub connects subscriber i to the root hub with a profile
-// cycled from the six the protocol offers.
+// cycled from the eight the protocol offers.
 func newSoakSub(loop *glib.Loop, addr string, i int, vio *soakViolations, closed *atomic.Int64) (*soakSub, error) {
 	ss := &soakSub{}
 	var opts []netscope.SubscribeOption
-	switch i % 6 {
+	switch i % 8 {
 	case 0:
 		ss.label = "plain-v1"
 	case 1:
@@ -165,6 +168,13 @@ func newSoakSub(loop *glib.Loop, addr string, i int, vio *soakViolations, closed
 		ss.label = "no-stream"
 		ss.noStream = true
 		opts = append(opts, netscope.WithoutStream())
+	case 6:
+		ss.label = "binary"
+		opts = append(opts, netscope.WithWireVersion(3))
+	case 7:
+		ss.label = "binary-filtered"
+		ss.filter = []string{"p0.*"}
+		opts = append(opts, netscope.WithWireVersion(3), netscope.WithSignals(ss.filter...))
 	}
 	ss.check = newSinkCheck(fmt.Sprintf("sub%d(%s)", i, ss.label), vio)
 	sub, err := netscope.SubscribeToBatch(loop, addr, ss.onBatch, opts...)
@@ -302,6 +312,7 @@ func runSoak(cfg config, out io.Writer) error {
 		SegmentBytes: 1 << 18, // small segments: the diff must survive rotation
 		TotalBytes:   1 << 40,
 		QueueLimit:   soakQueue,
+		WireVersion:  3, // binary segments; the replay diff is encoding-blind
 	})
 	if err != nil {
 		return err
@@ -415,6 +426,9 @@ func runSoak(cfg config, out io.Writer) error {
 	for i := 0; i < cfg.soakPublishers; i++ {
 		c := netscope.DialReconnect(pubAddrs[i%relays])
 		c.SetQueueLimit(soakQueue)
+		if i%2 == 1 {
+			c.SetWireVersion(3) // odd publishers exercise the binary wire
+		}
 		pubs[i] = c
 		wg.Add(1)
 		go func(i int, c *netscope.Client) {
@@ -569,10 +583,11 @@ func runSoak(cfg config, out io.Writer) error {
 		if parseErrs != 0 {
 			vio.addf("%s: %d unparseable lines", ss.check.name, parseErrs)
 		}
-		// A plain v1 subscriber connected before traffic must have seen
-		// the entire broadcast stream — the subscriber path is never
-		// chaosed, so this holds in both modes.
-		if ss.label == "plain-v1" && hubDropped == 0 && received != rootTotal {
+		// A plain subscriber connected before traffic must have seen the
+		// entire broadcast stream — the subscriber path is never chaosed,
+		// so this holds in both modes, and for the binary lane it proves
+		// the shared frame stream decodes to the same tuples as text.
+		if (ss.label == "plain-v1" || ss.label == "binary") && hubDropped == 0 && received != rootTotal {
 			vio.addf("%s received %d of %d broadcast tuples", ss.check.name, received, rootTotal)
 		}
 	}

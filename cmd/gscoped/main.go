@@ -14,6 +14,13 @@
 // display, fan-out, even re-recording — at the recorded cadence, ×N, or as
 // fast as possible, optionally windowed with -from/-to.
 //
+// -wire 3 selects the binary v3 encoding (docs/WIRE.md) where this daemon
+// is the one choosing an encoding: the -upstream subscription rides binary
+// frames and -record writes binary segments. Everything this daemon
+// serves to others negotiates per connection regardless — text publishers
+// and v1/v2 subscribers are unaffected, and a relay chain may mix wire
+// versions hop by hop.
+//
 // Usage:
 //
 //	gscoped -listen :7420 -signals cps,errps,tput -delay 200ms -png live.png
@@ -70,6 +77,7 @@ type config struct {
 	height      int
 	runFor      time.Duration
 	unixTS      bool
+	wire        int
 
 	// paramCmd holds a one-shot control-plane command ("param list",
 	// "param get <name>", "param set <name> <value>") run against the
@@ -104,6 +112,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.IntVar(&cfg.height, "height", 200, "canvas height")
 	fs.DurationVar(&cfg.runFor, "for", 0, "exit after this long (0 = run forever)")
 	fs.BoolVar(&cfg.unixTS, "unixtime", true, "treat incoming timestamps as Unix-epoch ms (clients stamp with a shared clock)")
+	fs.IntVar(&cfg.wire, "wire", 0, "wire version for the -upstream subscription and -record segments: 0/1/2 = text, 3 = binary frames (see docs/WIRE.md)")
 	if err := fs.Parse(args); err != nil {
 		// fs.Parse already printed the error (or the -h usage).
 		return nil, err
@@ -154,6 +163,14 @@ func parseFlags(args []string) (*config, error) {
 	}
 	if cfg.since != 0 && cfg.upstream == "" {
 		return fail("-since backfills the upstream subscription and needs -upstream")
+	}
+	switch cfg.wire {
+	case 0, 1, 2, 3:
+	default:
+		return fail("-wire must be 0, 1, 2 or 3")
+	}
+	if cfg.wire == 3 && cfg.upstream == "" && cfg.rec == "" {
+		return fail("-wire 3 selects the binary encoding for -upstream and/or -record; it needs one of them")
 	}
 	if len(cfg.signals) == 0 && cfg.subscribers == "" && cfg.rec == "" {
 		return fail("nothing to do: need -signals (local display), -subscribers (fan-out) and/or -record, e.g. -signals cps,errps")
@@ -255,7 +272,7 @@ func newRelay(cfg *config) (*relay, error) {
 		}
 	}
 	if cfg.rec != "" {
-		if _, err := r.srv.Record(cfg.rec, reclog.Options{TotalBytes: cfg.recLimit}); err != nil {
+		if _, err := r.srv.Record(cfg.rec, reclog.Options{TotalBytes: cfg.recLimit, WireVersion: cfg.wire}); err != nil {
 			return nil, err
 		}
 	}
@@ -306,6 +323,9 @@ func (r *relay) upstreamOpts(first bool) []netscope.SubscribeOption {
 	}
 	if first && r.cfg.since > 0 {
 		opts = append(opts, netscope.WithSince(-r.cfg.since))
+	}
+	if r.cfg.wire == 3 {
+		opts = append(opts, netscope.WithWireVersion(3))
 	}
 	return opts
 }

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netscope"
+	"repro/internal/reclog"
+	"repro/internal/testutil"
+	"repro/internal/tuple"
+)
+
+// The -wire flag: v3 binary upstream subscriptions and binary flight
+// recording (docs/WIRE.md).
+
+func TestParseFlagsWire(t *testing.T) {
+	cfg, err := parseFlags([]string{"-upstream", "h:1", "-subscribers", "127.0.0.1:0", "-wire", "3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.wire != 3 {
+		t.Fatalf("wire = %d, want 3", cfg.wire)
+	}
+	if _, err := parseFlags([]string{"-record", "/tmp/x", "-wire", "3"}); err != nil {
+		t.Fatalf("-wire 3 with -record rejected: %v", err)
+	}
+	if _, err := parseFlags([]string{"-subscribers", "127.0.0.1:0", "-wire", "5"}); err == nil {
+		t.Fatal("-wire 5 accepted")
+	}
+	if _, err := parseFlags([]string{"-subscribers", "127.0.0.1:0", "-wire", "3"}); err == nil {
+		t.Fatal("-wire 3 without -upstream/-record accepted")
+	}
+}
+
+// TestRelayChainedBinaryUpstream: a chained relay negotiates a binary
+// upstream subscription; tuples cross the binary hop and come out of the
+// downstream fan-out as ordinary text.
+func TestRelayChainedBinaryUpstream(t *testing.T) {
+	hub := startRelay(t, "-listen", "127.0.0.1:0", "-subscribers", "127.0.0.1:0")
+	chained := startRelay(t, "-listen", "127.0.0.1:0", "-subscribers", "127.0.0.1:0",
+		"-upstream", hub.SubAddr.String(), "-wire", "3")
+
+	var mu sync.Mutex
+	var got []tuple.Tuple
+	conn := readTuples(t, chained.SubAddr.String(), &got, &mu)
+	defer conn.Close()
+
+	c, err := netscope.Dial(hub.PubAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 4; i++ {
+		c.Send(time.Duration(i)*time.Millisecond, "x", float64(i)) //nolint:errcheck
+	}
+	c.Flush() //nolint:errcheck
+
+	testutil.WaitFor(t, "binary relay delivery", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 4
+	})
+	chained.upMu.Lock()
+	up := chained.up
+	chained.upMu.Unlock()
+	if !up.Acked() {
+		t.Fatal("binary upstream subscription not acked")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, tu := range got[:4] {
+		if tu.Name != "x" || tu.Value != float64(i) {
+			t.Fatalf("relayed tuple %d = %+v", i, tu)
+		}
+	}
+}
+
+// TestGscopedBinaryRecord: -record -wire 3 writes binary segments, and the
+// session replays to the same tuples the publisher sent.
+func TestGscopedBinaryRecord(t *testing.T) {
+	dir := t.TempDir() + "/session"
+	in := make([]tuple.Tuple, 300)
+	for i := range in {
+		in[i] = tuple.Tuple{Time: int64(i) * 3, Value: float64(1000 + i), Name: "cps"}
+	}
+
+	rec := startRelay(t, "-listen", "127.0.0.1:0", "-record", dir, "-wire", "3")
+	c, err := netscope.Dial(rec.PubAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(in); i += 50 {
+		if err := c.SendBatch(in[i : i+50]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	testutil.WaitFor(t, "flight log drain", func() bool {
+		_, _, written := rec.srv.FlightLog().Stats()
+		return written >= int64(len(in))
+	})
+	c.Close()  //nolint:errcheck
+	rec.stop() // cleanup seals the session
+
+	testutil.WaitFor(t, "session to seal", func() bool {
+		sess, err := reclog.OpenSession(dir)
+		return err == nil && sess.Tuples() >= int64(len(in))
+	})
+
+	data, err := os.ReadFile(filepath.Join(dir, "seg-00000001.tuples"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("wire=3")) || !bytes.Contains(data, []byte{tuple.FrameMarker}) {
+		t.Fatalf("recorded segment is not binary: %q", data[:min(len(data), 60)])
+	}
+
+	sess, err := reclog.OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := reclog.NewReplayer(sess)
+	rep.SetSpeed(0)
+	var got []tuple.Tuple
+	if err := rep.Run(func(b []tuple.Tuple) error {
+		got = append(got, b...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := tuple.AppendWireBatch(nil, in)
+	have := tuple.AppendWireBatch(nil, got)
+	if !bytes.Equal(want, have) {
+		t.Fatalf("binary recording replayed %d tuples, want %d byte-identical", len(got), len(in))
+	}
+}

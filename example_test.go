@@ -2,6 +2,7 @@ package gscope_test
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	gscope "repro"
@@ -153,4 +154,118 @@ func ExampleNewNetServer() {
 	// Output:
 	// 10 42 cwnd
 	// 20 41.5 cwnd
+}
+
+// ExampleWithWireVersion upgrades both hops of a publisher→hub→viewer
+// chain to the v3 binary framing (docs/WIRE.md): the publisher opts in
+// with SetWireVersion, the subscriber negotiates wire=3 in its handshake.
+// The tuples delivered to the callback are identical to a text run — only
+// the bytes on the wire change — and either side talking to an older peer
+// falls back to text automatically.
+func ExampleWithWireVersion() {
+	loop := gscope.NewLoop(gscope.NewVirtualClock(time.Unix(0, 0)))
+	srv := gscope.NewNetServer(loop)
+	pubAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	subAddr, err := srv.ListenSubscribers("127.0.0.1:0")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer srv.Close()
+
+	var got []gscope.Tuple
+	sub, err := gscope.SubscribeNet(loop, subAddr.String(), func(t gscope.Tuple) {
+		got = append(got, t)
+	}, gscope.WithWireVersion(3))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer sub.Close()
+
+	pub, err := gscope.DialNet(pubAddr.String())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer pub.Close()
+	pub.SetWireVersion(3)                       // publish binary frames too
+	pub.Send(10*time.Millisecond, "cwnd", 42)   //nolint:errcheck
+	pub.Send(20*time.Millisecond, "cwnd", 41.5) //nolint:errcheck
+	if err := pub.Flush(); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	for len(got) < 2 {
+		loop.Iterate()
+		time.Sleep(time.Millisecond)
+	}
+	for _, t := range got {
+		fmt.Println(t.String())
+	}
+	// Output:
+	// 10 42 cwnd
+	// 20 41.5 cwnd
+}
+
+// ExampleOpenSession replays a flight-recorder session whose segments mix
+// wire encodings — here one recorder run in text and one in v3 binary
+// (docs/WIRE.md) into the same directory. The reader autodetects each
+// segment's encoding, so replay is seamless.
+func ExampleOpenSession() {
+	dir, err := os.MkdirTemp("", "gscope-session")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	// Two recording runs into one session directory: first text, then —
+	// say after an upgrade — binary.
+	for _, opts := range []gscope.RecordOptions{{}, {WireVersion: 3}} {
+		lg, err := gscope.OpenRecordLog(dir, opts)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		base := int64(0)
+		if opts.WireVersion == 3 {
+			base = 100
+		}
+		lg.Append([]gscope.Tuple{
+			{Time: base + 10, Value: 1, Name: "cps"},
+			{Time: base + 20, Value: 2, Name: "cps"},
+		})
+		if err := lg.Close(); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+
+	sess, err := gscope.OpenSession(dir)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	rep := gscope.NewReplayer(sess)
+	rep.SetSpeed(0) // as fast as possible
+	err = rep.Run(func(batch []gscope.Tuple) error {
+		for _, t := range batch {
+			fmt.Println(t.String())
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// 10 1 cps
+	// 20 2 cps
+	// 110 1 cps
+	// 120 2 cps
 }

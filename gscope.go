@@ -5,8 +5,9 @@
 // are polled words of memory, functions, aggregated events or timestamped
 // buffered samples; the scope displays them in real time (or replays
 // recordings), supports control parameters, records and streams signal data
-// in a textual tuple format, and visualizes distributed applications
-// through a client/server library.
+// in a textual tuple format — optionally upgraded per connection to the
+// compressed binary framing specified in docs/WIRE.md — and visualizes
+// distributed applications through a client/server library.
 //
 // The package is a thin facade over internal/core (the scope engine),
 // internal/glib (the event loop), internal/gtk (the widget toolkit) and
@@ -146,6 +147,14 @@ type (
 	// Replayer streams a RecordSession back at ×N or as fast as possible.
 	Replayer = reclog.Replayer
 )
+
+// OpenRecordLog opens a flight-recorder directory for writing without a
+// server attached (NetServer.Record wires one to a hub). Set
+// RecordOptions.WireVersion to 3 to record the binary framing of
+// docs/WIRE.md; replay autodetects per segment, so sessions may mix.
+func OpenRecordLog(dir string, opts RecordOptions) (*RecordLog, error) {
+	return reclog.Open(dir, opts)
+}
 
 // OpenSession indexes a recorded flight-recorder directory for replay.
 func OpenSession(dir string) (*RecordSession, error) { return reclog.OpenSession(dir) }
@@ -298,3 +307,11 @@ func WithoutStream() SubscribeOption { return netscope.WithoutStream() }
 // WithControl requests the v2 handshake with no other changes: the same
 // tuples as v1, plus the control plane.
 func WithControl() SubscribeOption { return netscope.WithControl() }
+
+// WithWireVersion selects the subscription's tuple encoding: 3 negotiates
+// the binary framing of docs/WIRE.md, cutting tuple bandwidth several-fold
+// on telemetry streams (a hub too old to know the option serves text and
+// the subscriber adapts, so 3 is always safe to request); 1 and 2 keep the
+// text default. Decoding is internal either way — the callback sees the
+// same Tuple values.
+func WithWireVersion(v int) SubscribeOption { return netscope.WithWireVersion(v) }

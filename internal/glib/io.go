@@ -74,9 +74,16 @@ func (w *IOWatch) wait(done <-chan bool) bool {
 // WatchReader watches r and invokes fn on the loop goroutine with each chunk
 // of data as it arrives, emulating a G_IO_IN watch.
 func (l *Loop) WatchReader(r io.Reader, fn ReadFunc) *IOWatch {
+	return l.WatchReaderSize(r, 4096, fn)
+}
+
+// WatchReaderSize is WatchReader with a caller-chosen read buffer size, for
+// hot streams (a publisher's binary tuple feed) where 4 KiB reads would pay
+// one loop dispatch per few thousand tuples.
+func (l *Loop) WatchReaderSize(r io.Reader, size int, fn ReadFunc) *IOWatch {
 	w := newIOWatch()
 	go func() {
-		buf := make([]byte, 4096)
+		buf := make([]byte, size)
 		for {
 			n, err := r.Read(buf)
 			if w.cancel.Load() {

@@ -129,6 +129,31 @@ type subscriber struct {
 	// lines to run once the activation frames are queued.
 	pendT    [][]tuple.Tuple
 	pendCmds []string
+
+	// v3 binary delivery (req.Wire == 3, docs/WIRE.md). A plain
+	// subscription shares the hub's broadcast encoder stream and benc
+	// stays nil; a filtered/decimated one gets its own encoder — its
+	// narrowed stream needs its own dictionary — plus a filter scratch.
+	benc *tuple.BinaryEncoder
+	tmp  []tuple.Tuple
+}
+
+// binary reports whether the subscriber negotiated v3 binary delivery.
+func (sub *subscriber) binary() bool {
+	return sub.sub != nil && sub.sub.req.Wire == 3
+}
+
+// passing filters batch through the subscription (advancing its decimation
+// clock) into the reusable scratch — the binary counterpart of
+// encodeSubset's selection half.
+func (sub *subscriber) passing(batch []tuple.Tuple) []tuple.Tuple {
+	sub.tmp = sub.tmp[:0]
+	for _, t := range batch {
+		if sub.sub.passes(t) {
+			sub.tmp = append(sub.tmp, t)
+		}
+	}
+	return sub.tmp
 }
 
 // bufferChunk queues an encoded delta chunk while the protocol version is
@@ -194,6 +219,13 @@ type hubState struct {
 	// shareMemo caches one encoded chunk per filter signature per
 	// broadcast, so many subscribers with the same filter pay one encode.
 	shareMemo map[string]*memoChunk
+
+	// benc is the shared v3 broadcast encoder: all plain binary
+	// subscribers ride one encoded chunk per batch, sharing one dictionary
+	// stream. A subscriber activating mid-stream gets an AppendDict
+	// catch-up; its activation frames are encoded read-only so they can
+	// never invent IDs the other sharers haven't seen (docs/WIRE.md §B3).
+	benc *tuple.BinaryEncoder
 
 	subscribes   int64
 	unsubscribes int64
@@ -303,6 +335,9 @@ func (s *Server) hubInit() {
 	}
 	if s.hub.grace <= 0 {
 		s.hub.grace = DefaultHandshakeGrace
+	}
+	if s.hub.benc == nil {
+		s.hub.benc = tuple.NewBinaryEncoder()
 	}
 }
 
@@ -563,6 +598,32 @@ func (s *Server) finishV2(conn net.Conn, sub *subscriber, sinceMS int64, backfil
 	}
 	req := sub.sub.req
 	b := tuple.AppendControl(nil, hubMagic, "2", strings.Join(req.fields(), " "))
+	if sub.binary() && !req.NoStream {
+		if sub.sub.plain() {
+			// This connection will share the broadcast encoder's stream:
+			// catch it up on every binding emitted before it joined, so the
+			// next shared chunk's bare IDs resolve (docs/WIRE.md §B3).
+			b = s.hub.benc.AppendDict(b)
+		} else if sub.benc == nil {
+			// A narrowed stream gets its own dictionary.
+			sub.benc = tuple.NewBinaryEncoder()
+		}
+	}
+	// Activation frames (backfill/snapshot/buffered deltas) encode per the
+	// negotiated wire version. The shared-stream case must not mutate the
+	// broadcast dictionary — an ID invented here would reach only this
+	// subscriber — so it encodes read-only, falling back to text lines for
+	// names the broadcast encoder has not bound yet (always legal, §B1).
+	appendTuples := func(dst []byte, ts []tuple.Tuple) []byte {
+		switch {
+		case !sub.binary():
+			return tuple.AppendWireBatch(dst, ts)
+		case sub.benc != nil:
+			return sub.benc.AppendBatch(dst, ts)
+		default:
+			return s.hub.benc.AppendBatchReadOnly(dst, ts)
+		}
+	}
 	switch {
 	case req.NoStream:
 		// Control plane only: no snapshot, no backfill, no deltas.
@@ -571,7 +632,7 @@ func (s *Server) finishV2(conn net.Conn, sub *subscriber, sinceMS int64, backfil
 			fmt.Sprintf("tuples=%d", len(backfill)),
 			fmt.Sprintf("since-ms=%d", sinceMS),
 			"source="+source)
-		b = tuple.AppendWireBatch(b, backfill)
+		b = appendTuples(b, backfill)
 		b = tuple.AppendControl(b, "backfill-end")
 	case sub.lateUpgrade:
 		// The connection already received the v1 snapshot before its
@@ -582,16 +643,22 @@ func (s *Server) finishV2(conn net.Conn, sub *subscriber, sinceMS int64, backfil
 		b = tuple.AppendControl(b, "snapshot",
 			fmt.Sprintf("tuples=%d", len(snap)),
 			fmt.Sprintf("window-ms=%d", s.hub.window.Milliseconds()))
-		b = tuple.AppendWireBatch(b, snap)
+		b = appendTuples(b, snap)
 		b = tuple.AppendControl(b, "snapshot-end")
 	}
 	sub.ww.SendProtected(b)
 	if len(sub.pendT) > 0 && !req.NoStream {
 		var out []byte
 		for _, chunk := range sub.pendT {
-			enc, matched := encodeSubset(sub.sub, chunk)
-			out = append(out, enc...)
-			sub.filtered += int64(len(chunk) - matched)
+			if sub.binary() {
+				kept := sub.passing(chunk)
+				out = appendTuples(out, kept)
+				sub.filtered += int64(len(chunk) - len(kept))
+			} else {
+				enc, matched := encodeSubset(sub.sub, chunk)
+				out = append(out, enc...)
+				sub.filtered += int64(len(chunk) - matched)
+			}
 		}
 		if len(out) > 0 {
 			sub.ww.Send(out)
@@ -767,6 +834,23 @@ func (s *Server) broadcastBatch(batch []tuple.Tuple) {
 		}
 		return shared
 	}
+	// The binary counterpart: one v3-encoded chunk per batch, built at
+	// most once and shared by every plain binary subscriber. Encoding
+	// advances the hub encoder's dictionary even though only current
+	// sharers see the DICT frames — later joiners are caught up at
+	// activation (finishV2). Drop-oldest interacts with this: DATA-only
+	// chunks are self-contained (WIRE.md §B4) and drop silently like text,
+	// but a dropped chunk that carried a DICT binding leaves the
+	// subscriber unable to resolve that ID, and its decoder fails closed
+	// (§B7) — a stalled binary viewer reconnects rather than render a
+	// corrupt stream.
+	var sharedBin []byte
+	sharedBinChunk := func() []byte {
+		if sharedBin == nil {
+			sharedBin = s.hub.benc.AppendBatch(make([]byte, 0, 8*len(batch)), batch)
+		}
+		return sharedBin
+	}
 	memoCleared := false
 	for _, sub := range s.hub.subs {
 		switch {
@@ -779,7 +863,19 @@ func (s *Server) broadcastBatch(batch []tuple.Tuple) {
 			// counting their withholdings as Filtered would make the
 			// decimation stat lie to operators.
 		case sub.sub == nil || sub.sub.plain():
-			sub.ww.Send(sharedChunk())
+			if sub.binary() {
+				sub.ww.Send(sharedBinChunk())
+			} else {
+				sub.ww.Send(sharedChunk())
+			}
+		case sub.binary():
+			// Filtered/decimated binary subscribers own their encoder (and
+			// its dictionary), so the text share-memo cannot apply.
+			kept := sub.passing(batch)
+			if len(kept) > 0 {
+				sub.ww.Send(sub.benc.AppendBatch(make([]byte, 0, 8*len(kept)), kept))
+			}
+			sub.filtered += int64(len(batch) - len(kept))
 		default:
 			if key := sub.sub.shareKey(); key != "" {
 				if !memoCleared {
@@ -1223,43 +1319,90 @@ func SubscribeToBatch(loop *glib.Loop, addr string, fn func([]tuple.Tuple), opts
 			batch = batch[:0]
 		}
 	}
+	handleLine := func(line string) {
+		if tuple.IsComment(line) {
+			// Control lines frame the snapshot; deliver what came
+			// before so snapshot accounting stays exact.
+			flush()
+			sub.control(line)
+			return
+		}
+		t, perr := tuple.Parse(line)
+		if perr != nil {
+			sub.parseErrors.Add(1)
+			return
+		}
+		if !sub.acked.Load() && !sub.clientFilter.match(t.Name) {
+			// Tuples broadcast before the server applied our request
+			// (the handshake race) are outside the subscription;
+			// enforce the filter client-side until the ack.
+			return
+		}
+		sub.received.Add(1)
+		switch {
+		case sub.inSnapshot:
+			sub.snapTuples.Add(1)
+		case sub.inBackfill:
+			sub.backTuples.Add(1)
+		}
+		batch = append(batch, t)
+	}
+	finish := func(err error) {
+		sub.closed = true
+		if fn := sub.closeCallback(); fn != nil {
+			fn(err)
+		}
+		conn.Close()
+	}
+	if sub.req != nil && sub.req.Wire == 3 {
+		// v3: the hub may answer with binary frames interleaved with the
+		// text control plane, so reads go through the mixed-stream decoder
+		// (docs/WIRE.md). Binary tuples need no pre-ack client filter: the
+		// hub only emits them after (and behind) the wire=3 ack, which
+		// handleLine processes in stream order first. A framing error is
+		// terminal by design (§B7).
+		dec := tuple.NewStreamDecoder()
+		onTuples := func(ts []tuple.Tuple) {
+			for _, t := range ts {
+				sub.received.Add(1)
+				switch {
+				case sub.inSnapshot:
+					sub.snapTuples.Add(1)
+				case sub.inBackfill:
+					sub.backTuples.Add(1)
+				}
+				batch = append(batch, t)
+			}
+		}
+		sub.watch = loop.WatchReaderSize(conn, 64*1024, func(data []byte, err error) bool {
+			batch = batch[:0]
+			ferr := dec.Feed(data, handleLine, onTuples)
+			if err != nil && ferr == nil {
+				dec.Tail(handleLine)
+			}
+			flush()
+			if ferr != nil {
+				sub.parseErrors.Add(1)
+				if err == nil {
+					err = ferr
+				}
+			}
+			if err != nil {
+				finish(err)
+				return false
+			}
+			return true
+		})
+		return sub, nil
+	}
 	sub.watch = loop.WatchLineBatches(conn, func(lines []string, err error) bool {
 		batch = batch[:0]
 		for _, line := range lines {
-			if tuple.IsComment(line) {
-				// Control lines frame the snapshot; deliver what came
-				// before so snapshot accounting stays exact.
-				flush()
-				sub.control(line)
-				continue
-			}
-			t, perr := tuple.Parse(line)
-			if perr != nil {
-				sub.parseErrors.Add(1)
-				continue
-			}
-			if !sub.acked.Load() && !sub.clientFilter.match(t.Name) {
-				// Tuples broadcast before the server applied our request
-				// (the handshake race) are outside the subscription;
-				// enforce the filter client-side until the ack.
-				continue
-			}
-			sub.received.Add(1)
-			switch {
-			case sub.inSnapshot:
-				sub.snapTuples.Add(1)
-			case sub.inBackfill:
-				sub.backTuples.Add(1)
-			}
-			batch = append(batch, t)
+			handleLine(line)
 		}
 		flush()
 		if err != nil {
-			sub.closed = true
-			if fn := sub.closeCallback(); fn != nil {
-				fn(err)
-			}
-			conn.Close()
+			finish(err)
 			return false
 		}
 		return true

@@ -1,0 +1,390 @@
+package netscope
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tuple"
+)
+
+// End-to-end coverage for the v3 binary wire protocol (docs/WIRE.md): the
+// publisher's binary lane, subscriber negotiation through the v2
+// handshake, shared and private encoder fan-out, text fallback paths, and
+// the guarantee that v1/v2 text peers are unaffected by binary traffic.
+
+// TestV3PublisherBinaryWire checks the raw bytes a binary publisher emits:
+// the advisory hello line, then binary frames, the whole stream decodable
+// by the mixed-stream reader.
+func TestV3PublisherBinaryWire(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, aerr := ln.Accept()
+		if aerr == nil {
+			accepted <- conn
+		}
+	}()
+
+	c, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.SetWireVersion(3); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 8; i++ {
+		if err := c.Send(time.Duration(i*10)*time.Millisecond, "CWND", float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	conn := <-accepted
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second)) //nolint:errcheck
+	var raw []byte
+	chunk := make([]byte, 4096)
+	for !bytes.Contains(raw, []byte{tuple.FrameMarker}) || len(raw) < 20 {
+		n, rerr := conn.Read(chunk)
+		raw = append(raw, chunk[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	if !bytes.HasPrefix(raw, []byte("# gscope-pub 3\n")) {
+		t.Fatalf("binary publisher did not open with the hello line: %q", raw)
+	}
+	if !bytes.Contains(raw, []byte{tuple.FrameMarker}) {
+		t.Fatalf("no binary frames on the wire: %q", raw)
+	}
+	sr := tuple.NewStreamReader(bytes.NewReader(raw))
+	var got []tuple.Tuple
+	for {
+		tu, rerr := sr.Read()
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			t.Fatalf("publisher stream undecodable: %v", rerr)
+		}
+		got = append(got, tu)
+	}
+	if len(got) != 8 || got[0].Name != "CWND" || got[7].Value != 8 {
+		t.Fatalf("decoded publisher stream = %+v", got)
+	}
+}
+
+// TestV3PublisherToServer: a binary publisher and a text publisher feed the
+// same server; both streams land in the feed, and the binary one is
+// counted tuple-for-tuple like text.
+func TestV3PublisherToServer(t *testing.T) {
+	loop, sc, srv, addr := rig(t)
+	bin, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bin.Close()
+	if err := bin.SetWireVersion(3); err != nil {
+		t.Fatal(err)
+	}
+	txt, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer txt.Close()
+
+	for i := 1; i <= 6; i++ {
+		bin.Send(time.Duration(i)*time.Millisecond, "remote", float64(i)) //nolint:errcheck
+		txt.Send(time.Duration(i)*time.Millisecond, "remote", float64(i)) //nolint:errcheck
+	}
+	bin.Flush() //nolint:errcheck
+	txt.Flush() //nolint:errcheck
+	pump(t, loop, func() bool {
+		_, _, recv, _ := srv.Stats()
+		return recv >= 12
+	})
+	_, _, _, parseErrs := srv.Stats()
+	if parseErrs != 0 {
+		t.Fatalf("binary ingest produced %d parse errors", parseErrs)
+	}
+	if sc.Feed().Pending() != 12 {
+		t.Fatalf("feed pending = %d, want 12", sc.Feed().Pending())
+	}
+}
+
+// TestV3SubscriberBinaryDelivery: a wire=3 subscriber negotiates through
+// the v2 handshake, receives live deltas as binary frames (verified on the
+// raw wire), and decodes them to the same tuples a text viewer sees.
+func TestV3SubscriberBinaryDelivery(t *testing.T) {
+	loop, srv, _, subAddr := hubRig(t)
+	srv.SetSnapshotWindow(0)
+
+	var mu sync.Mutex
+	var got []tuple.Tuple
+	sub, err := SubscribeTo(loop, subAddr, func(tu tuple.Tuple) {
+		mu.Lock()
+		got = append(got, tu)
+		mu.Unlock()
+	}, WithWireVersion(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// A raw peer speaking the same handshake, to inspect the bytes.
+	raw, rawConn := collectRaw(t, subAddr)
+	defer rawConn.Close()
+	if _, err := rawConn.Write([]byte(subMagic + " 2 wire=3\n")); err != nil {
+		t.Fatal(err)
+	}
+	// And a plain v1 text viewer for cross-checking.
+	txt, txtConn := collect(t, subAddr)
+	defer txtConn.Close()
+
+	pump(t, loop, func() bool { return srv.Subscribers() == 3 })
+	batch := []tuple.Tuple{
+		{Time: 100, Value: 1.5, Name: "CWND"},
+		{Time: 110, Value: 2.5, Name: "CWND"},
+		{Time: 120, Value: 7, Name: "rtt"},
+	}
+	srv.InjectBatch(batch)
+	pump(t, loop, func() bool {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		return n >= 3 && txt.count() >= 3 && bytes.Contains(raw.bytes(), []byte{tuple.FrameMarker})
+	})
+
+	if !sub.Acked() {
+		t.Fatal("wire=3 subscription not acked")
+	}
+	rb := raw.bytes()
+	if !bytes.Contains(rb, []byte("wire=3")) {
+		t.Fatalf("ack does not echo wire=3: %q", rb)
+	}
+	if !bytes.Contains(rb, []byte{tuple.FrameMarker, tuple.FrameDict}) {
+		t.Fatalf("no DICT frame on the wire: %q", rb)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	a := tuple.AppendWireBatch(nil, got)
+	b := tuple.AppendWireBatch(nil, txt.tuples())
+	if !bytes.Equal(a, b) {
+		t.Fatalf("binary and text subscribers diverge:\nbin %q\ntxt %q", a, b)
+	}
+}
+
+// TestV3SubscriberSnapshot: history that predates the binary dictionary is
+// served at activation via the read-only encoder (text fallback, WIRE.md
+// §B1) and still counts as snapshot tuples; deltas after the ack flow
+// binary and the shared broadcast dictionary catches the client up.
+func TestV3SubscriberSnapshot(t *testing.T) {
+	loop, srv, _, subAddr := hubRig(t)
+	for i := 1; i <= 3; i++ {
+		srv.Inject(tuple.Tuple{Time: int64(i * 10), Value: float64(i), Name: "s"})
+	}
+	var mu sync.Mutex
+	var got []tuple.Tuple
+	sub, err := SubscribeTo(loop, subAddr, func(tu tuple.Tuple) {
+		mu.Lock()
+		got = append(got, tu)
+		mu.Unlock()
+	}, WithWireVersion(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pump(t, loop, func() bool { return srv.Subscribers() == 1 })
+	srv.Inject(tuple.Tuple{Time: 40, Value: 4, Name: "s"})
+	pump(t, loop, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 4
+	})
+	if sub.Snapshot() != 3 {
+		t.Fatalf("snapshot count = %d, want 3", sub.Snapshot())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, want := range []float64{1, 2, 3, 4} {
+		if got[i].Value != want || got[i].Name != "s" {
+			t.Fatalf("tuple %d = %+v, want value %v", i, got[i], want)
+		}
+	}
+}
+
+// TestV3FilteredSubscriberBinary: a filtered wire=3 subscription gets its
+// own encoder; filtering and decimation accounting match the text plane.
+func TestV3FilteredSubscriberBinary(t *testing.T) {
+	loop, srv, _, subAddr := hubRig(t)
+	srv.SetSnapshotWindow(0)
+
+	var mu sync.Mutex
+	var got []tuple.Tuple
+	sub, err := SubscribeTo(loop, subAddr, func(tu tuple.Tuple) {
+		mu.Lock()
+		got = append(got, tu)
+		mu.Unlock()
+	}, WithWireVersion(3), WithSignals("alpha", "p*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	pump(t, loop, func() bool { return srv.Subscribers() == 1 })
+
+	srv.InjectBatch([]tuple.Tuple{
+		{Time: 10, Value: 1, Name: "alpha"},
+		{Time: 11, Value: 2, Name: "beta"},
+		{Time: 12, Value: 3, Name: "p1"},
+		{Time: 13, Value: 4, Name: "quux"},
+	})
+	pump(t, loop, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) >= 2
+	})
+	mu.Lock()
+	if len(got) != 2 || got[0].Name != "alpha" || got[1].Name != "p1" {
+		t.Fatalf("filtered binary stream = %+v", got)
+	}
+	mu.Unlock()
+	if st := srv.FanoutStats(); st.Filtered != 2 {
+		t.Fatalf("filtered counter = %d, want 2", st.Filtered)
+	}
+}
+
+// TestV3RelayChain: an upstream hub feeds a downstream server through a
+// binary subscription; a v1 text viewer on the downstream hub sees every
+// tuple — binary survives the relay hop by being decoded and re-broadcast.
+func TestV3RelayChain(t *testing.T) {
+	loop, up, _, upSub := hubRig(t)
+	up.SetSnapshotWindow(0)
+	down := NewServer(loop)
+	downSub, err := down.ListenSubscribers("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { down.Close() })
+
+	relay, err := SubscribeToBatch(loop, upSub, func(batch []tuple.Tuple) {
+		down.InjectBatch(batch)
+	}, WithWireVersion(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	viewer, viewerConn := collect(t, downSub.String())
+	defer viewerConn.Close()
+	pump(t, loop, func() bool { return up.Subscribers() == 1 && down.Subscribers() == 1 })
+
+	up.InjectBatch([]tuple.Tuple{
+		{Time: 10, Value: 1, Name: "a"},
+		{Time: 20, Value: 2, Name: "b"},
+		{Time: 30, Value: 3, Name: "a"},
+	})
+	pump(t, loop, func() bool { return viewer.count() >= 3 })
+	ts := viewer.tuples()
+	if ts[0].Name != "a" || ts[1].Name != "b" || ts[2].Value != 3 {
+		t.Fatalf("relayed stream = %+v", ts)
+	}
+}
+
+// TestV3ControlPlaneStaysText: param replies on a wire=3 connection are
+// text control frames (control never goes binary), and they arrive in
+// order relative to binary tuple traffic.
+func TestV3ControlPlaneStaysText(t *testing.T) {
+	loop, srv, _, subAddr := hubRig(t)
+	srv.SetSnapshotWindow(0)
+	ps := core.NewParamSet()
+	var knob core.IntVar
+	if err := ps.Add(core.IntParam("knob", &knob, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	srv.SetParams(ps)
+
+	var mu sync.Mutex
+	var frames []tuple.ControlFrame
+	sub, err := SubscribeTo(loop, subAddr, func(tuple.Tuple) {}, WithWireVersion(3), WithControl())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	sub.OnControl(func(f tuple.ControlFrame) {
+		mu.Lock()
+		frames = append(frames, f)
+		mu.Unlock()
+	})
+	pump(t, loop, func() bool { return srv.Subscribers() == 1 })
+	if err := sub.Command("param list"); err != nil {
+		t.Fatal(err)
+	}
+	pump(t, loop, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, f := range frames {
+			if f.Verb == "params-end" {
+				return true
+			}
+		}
+		return false
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	var sawList bool
+	for _, f := range frames {
+		if f.Verb == "params" {
+			sawList = true
+		}
+	}
+	if !sawList {
+		t.Fatalf("no params frame over the v3 connection: %+v", frames)
+	}
+}
+
+// TestV1TextUnchangedBesideV3: with a binary subscriber attached to the
+// same hub, a v1 subscriber's stream stays byte-identical to the classic
+// protocol — binary fan-out must not perturb the text lane.
+func TestV1TextUnchangedBesideV3(t *testing.T) {
+	loop, srv, _, subAddr := hubRig(t)
+
+	bin, err := SubscribeTo(loop, subAddr, func(tuple.Tuple) {}, WithWireVersion(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bin.Close()
+	pump(t, loop, func() bool { return srv.Subscribers() == 1 })
+
+	raw, conn := collectRaw(t, subAddr)
+	defer conn.Close()
+	pump(t, loop, func() bool { return len(srv.hub.subs) == 2 })
+	// Let the grace window commit the silent connection to v1.
+	pump(t, loop, func() bool { return srv.Subscribers() == 2 })
+
+	srv.Inject(tuple.Tuple{Time: 10, Value: 1, Name: "s"})
+	srv.Inject(tuple.Tuple{Time: 20, Value: 2, Name: "s"})
+
+	want := "# gscope-hub 1\n" +
+		"# snapshot tuples=0 window-ms=5000\n" +
+		"# snapshot-end\n" +
+		"10 1 s\n20 2 s\n"
+	pump(t, loop, func() bool { return len(raw.bytes()) >= len(want) })
+	if got := string(raw.bytes()); got != want {
+		t.Fatalf("v1 stream perturbed by binary peer:\ngot  %q\nwant %q", got, want)
+	}
+	if strings.Contains(string(raw.bytes()), string(rune(tuple.FrameMarker))) {
+		t.Fatal("binary frame leaked into the v1 stream")
+	}
+}

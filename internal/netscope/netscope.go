@@ -94,6 +94,27 @@
 // all v2 subscribers as "# param <name> <value>" notification frames.
 // stream=0 subscribes to the control plane only.
 //
+// # Wire version 3 — binary framing
+//
+// Either direction can upgrade its tuple payload from text lines to the
+// v3 binary framing specified in docs/WIRE.md: interned signal IDs
+// declared by in-band dictionary frames, delta-of-delta varint
+// timestamps, and XOR-compressed values, interleaved freely with ordinary
+// text lines behind the 0xF5 frame marker.
+//
+// A publisher opts in with [Client.SetWireVersion](3); it announces
+// itself with a "# gscope-pub 3" comment, but the server needs no
+// warning — ingest autodetects frames per connection, so text and binary
+// publishers coexist on one listener. A subscriber opts in by adding
+// wire=3 to the v2 handshake (the [WithWireVersion] option); the hub
+// echoes wire=3 in the banner and thereafter delivers snapshot, backfill
+// and deltas as binary frames, while the banner and every control frame
+// ('#' lines, param traffic) stay text. A hub too old to know the key
+// ignores it and serves text — the subscriber's decoder handles either,
+// so the downgrade is invisible. v1 and v2 text subscribers on the same
+// hub receive byte-identical streams whether or not binary peers are
+// attached.
+//
 // Each subscriber has a bounded outbound queue drained by its own writer
 // goroutine (glib.WriteWatch). A slow or stalled viewer loses its own
 // oldest queued chunks (drop-oldest, counted in [Server.SubscriberStats])
@@ -258,25 +279,42 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 
 func (s *Server) addClient(conn net.Conn) {
 	// Publisher streams are decoded and delivered a read-chunk at a time:
-	// every complete line in one network read becomes one decoded batch,
-	// which flows through scope feeds (Feed.PushBatch) and the fan-out
-	// hub (one broadcast chunk) without ever touching a per-tuple lock.
+	// everything decoded from one network read becomes one batch, which
+	// flows through scope feeds (Feed.PushBatch) and the fan-out hub (one
+	// broadcast chunk) without ever touching a per-tuple lock. Each
+	// connection carries a mixed wire stream — §3.3 text lines and v3
+	// binary frames, freely interleaved (docs/WIRE.md) — with no up-front
+	// negotiation: frames are self-marking, so the per-connection decoder
+	// accepts either encoding at any line/frame boundary.
 	var batch []tuple.Tuple
-	w := s.loop.WatchLineBatches(conn, func(lines []string, err error) bool {
+	dec := tuple.NewStreamDecoder()
+	onLine := func(line string) {
+		if tuple.IsComment(line) {
+			return
+		}
+		t, perr := tuple.Parse(line)
+		if perr != nil {
+			s.parseErrors++
+			return
+		}
+		batch = append(batch, t)
+	}
+	onTuples := func(ts []tuple.Tuple) { batch = append(batch, ts...) }
+	w := s.loop.WatchReaderSize(conn, 64*1024, func(data []byte, err error) bool {
 		batch = batch[:0]
-		for _, line := range lines {
-			if tuple.IsComment(line) {
-				continue
-			}
-			t, perr := tuple.Parse(line)
-			if perr != nil {
-				s.parseErrors++
-				continue
-			}
-			batch = append(batch, t)
+		ferr := dec.Feed(data, onLine, onTuples)
+		if err != nil && ferr == nil {
+			dec.Tail(onLine)
 		}
 		s.received += int64(len(batch))
 		s.deliverBatch(batch)
+		if ferr != nil {
+			// A bad text line is skippable (newlines resynchronize), but
+			// malformed binary framing loses the frame boundaries: nothing
+			// after it is decodable, so the connection must drop.
+			s.parseErrors++
+			err = ferr
+		}
 		if err != nil {
 			s.disconnects++
 			delete(s.clients, conn)
@@ -401,6 +439,7 @@ type Client struct {
 	closed   bool
 	sent     int64
 	err      error
+	wire     int // publish encoding: 3 = binary frames, else text
 
 	wbuf []byte // writer-goroutine-owned wire-encode buffer, reused per round
 
@@ -460,9 +499,30 @@ func DialReconnect(addr string) *Client {
 	return c
 }
 
+// SetWireVersion selects the publish encoding: 1 and 2 are the §3.3 text
+// stream (the default), 3 the binary framing of docs/WIRE.md — interned
+// signal IDs, delta-of-delta timestamps, XOR-compressed values. The server
+// needs no configuration (frames are self-marking, and the two encodings
+// may legally interleave on one connection), so the version can even be
+// switched on a live client; it applies from the next written batch.
+func (c *Client) SetWireVersion(v int) error {
+	if v < 1 || v > 3 {
+		return fmt.Errorf("netscope: unsupported wire version %d", v)
+	}
+	c.mu.Lock()
+	c.wire = v
+	c.mu.Unlock()
+	return nil
+}
+
 func (c *Client) writer() {
 	defer close(c.done)
 	backoff := c.backoffMin
+	// Binary encode state is connection-local: the server decodes each
+	// connection from byte zero, so a redial resets the dictionary and
+	// re-announces the advisory hello comment.
+	var benc *tuple.BinaryEncoder
+	helloNeeded := true
 	for {
 		c.mu.Lock()
 		conn := c.conn
@@ -493,11 +553,16 @@ func (c *Client) writer() {
 			c.conn = nc
 			c.reconnects++
 			c.mu.Unlock()
+			if benc != nil {
+				benc.Reset()
+			}
+			helloNeeded = true
 			continue
 		}
 
 		c.mu.Lock()
 		batch := c.queue
+		wire := c.wire
 		if len(batch) > 0 {
 			// Ping-pong the queue with the previously drained slice so a
 			// steady-state publisher never allocates: the sender fills one
@@ -512,7 +577,20 @@ func (c *Client) writer() {
 		c.mu.Unlock()
 
 		if len(batch) > 0 {
-			c.wbuf = tuple.AppendWireBatch(c.wbuf[:0], batch)
+			if wire == 3 {
+				if benc == nil {
+					benc = tuple.NewBinaryEncoder()
+				}
+				c.wbuf = c.wbuf[:0]
+				if helloNeeded {
+					// Advisory: servers autodetect frames regardless; the
+					// hello makes captures and logs self-describing.
+					c.wbuf = append(c.wbuf, "# gscope-pub 3\n"...)
+				}
+				c.wbuf = benc.AppendBatch(c.wbuf, batch)
+			} else {
+				c.wbuf = tuple.AppendWireBatch(c.wbuf[:0], batch)
+			}
 			if _, err := conn.Write(c.wbuf); err != nil {
 				if c.reconnect {
 					conn.Close()
@@ -543,6 +621,7 @@ func (c *Client) writer() {
 				c.mu.Unlock()
 				return
 			}
+			helloNeeded = false
 			c.mu.Lock()
 			c.sent += int64(len(batch))
 			c.inflight = 0

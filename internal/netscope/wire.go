@@ -57,12 +57,20 @@ type SubscriptionRequest struct {
 	// backfill, no live tuples — just command replies and notification
 	// frames (the gscoped "param get/set" path).
 	NoStream bool
+	// Wire selects the downstream tuple encoding: 3 asks the hub to send
+	// snapshot, backfill and deltas as v3 binary frames (docs/WIRE.md);
+	// 0, 1 and 2 are the classic text stream. Negotiation is graceful by
+	// construction — a pre-v3 hub ignores the unknown handshake key and
+	// its ack therefore does not echo wire=3, which tells the client to
+	// expect text. Control frames stay textual in every version.
+	Wire int
 }
 
 // isZero reports whether the request asks for anything beyond the v1
 // stream.
 func (r *SubscriptionRequest) isZero() bool {
-	return len(r.Signals) == 0 && r.MaxRate == 0 && r.Since == 0 && r.Cols == 0 && !r.NoStream
+	return len(r.Signals) == 0 && r.MaxRate == 0 && r.Since == 0 && r.Cols == 0 && !r.NoStream &&
+		r.Wire == 0
 }
 
 // validate rejects requests the wire encoding cannot carry.
@@ -80,6 +88,11 @@ func (r *SubscriptionRequest) validate() error {
 	}
 	if r.Cols < 0 {
 		return fmt.Errorf("netscope: negative backfill resolution %d", r.Cols)
+	}
+	switch r.Wire {
+	case 0, 1, 2, 3:
+	default:
+		return fmt.Errorf("netscope: unsupported wire version %d", r.Wire)
 	}
 	return nil
 }
@@ -102,6 +115,9 @@ func (r *SubscriptionRequest) fields() []string {
 	}
 	if r.NoStream {
 		f = append(f, "stream=0")
+	}
+	if r.Wire == 3 {
+		f = append(f, "wire=3")
 	}
 	return f
 }
@@ -159,6 +175,14 @@ func parseSubscriptionRequest(line string) (req SubscriptionRequest, ok bool, er
 			}
 		case "stream":
 			req.NoStream = val == "0"
+		case "wire":
+			// Known version 3 upgrades; anything else (including future
+			// versions this hub cannot speak) falls back to text, and the
+			// ack's missing wire=3 echo tells the client so. Never an
+			// error: the negotiation degrades, it does not fail.
+			if val == "3" {
+				req.Wire = 3
+			}
 		default:
 			// Unknown keys are ignored for forward compatibility.
 		}
@@ -210,6 +234,20 @@ func WithoutStream() SubscribeOption {
 // control plane (param commands, notification frames).
 func WithControl() SubscribeOption {
 	return func(*SubscriptionRequest) {}
+}
+
+// WithWireVersion selects the downstream tuple encoding: 3 negotiates the
+// v3 binary framing (docs/WIRE.md) through the v2 handshake, 1 or 2 the
+// classic text stream. A hub that predates v3 ignores the request key and
+// the subscription proceeds in text — the client adapts from the ack, so
+// the option is always safe to pass. Other versions fail validation.
+func WithWireVersion(v int) SubscribeOption {
+	return func(r *SubscriptionRequest) {
+		if v == 1 || v == 2 {
+			v = 0
+		}
+		r.Wire = v
+	}
 }
 
 // sigFilter is a compiled signal-name filter: exact names hash, glob

@@ -51,7 +51,8 @@ type Log struct {
 	segLast   int64
 	segTuples int64
 	encBuf    []byte
-	sealed    []SegmentInfo // oldest first; excludes the active segment
+	benc      *tuple.BinaryEncoder // v3 segment encoder; nil for text sessions
+	sealed    []SegmentInfo        // oldest first; excludes the active segment
 }
 
 // Open creates (or reopens) a session directory for recording and starts
@@ -59,6 +60,11 @@ type Log struct {
 // segments: recording resumes in a fresh segment after the highest existing
 // sequence number, and existing segments count toward the retention budget.
 func Open(dir string, opts Options) (*Log, error) {
+	switch opts.WireVersion {
+	case 0, 1, 2, 3:
+	default:
+		return nil, fmt.Errorf("reclog: unsupported wire version %d", opts.WireVersion)
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("reclog: %w", err)
 	}
@@ -266,7 +272,11 @@ func (l *Log) writeBatch(batch []tuple.Tuple) error {
 			return err
 		}
 	}
-	l.encBuf = tuple.AppendWireBatch(l.encBuf[:0], batch)
+	if l.opts.WireVersion == 3 {
+		l.encBuf = l.benc.AppendBatch(l.encBuf[:0], batch)
+	} else {
+		l.encBuf = tuple.AppendWireBatch(l.encBuf[:0], batch)
+	}
 	n, err := l.w.Write(l.encBuf)
 	l.segBytes += int64(n)
 	if err != nil {
@@ -301,7 +311,19 @@ func (l *Log) openSegment() error {
 	l.w = bufio.NewWriter(f)
 	l.segBytes = 0
 	l.segFirst, l.segLast, l.segTuples = 0, 0, 0
-	n, err := fmt.Fprintf(l.w, "# %s %d seq=%d\n", logMagic, formatVersion, l.seq)
+	header := "# %s %d seq=%d\n"
+	args := []any{logMagic, formatVersion, l.seq}
+	if l.opts.WireVersion == 3 {
+		// Each binary segment restarts the dictionary: segments must stay
+		// independently readable after their predecessors are retired.
+		if l.benc == nil {
+			l.benc = tuple.NewBinaryEncoder()
+		} else {
+			l.benc.Reset()
+		}
+		header = "# %s %d seq=%d wire=3\n"
+	}
+	n, err := fmt.Fprintf(l.w, header, args...)
 	l.segBytes += int64(n)
 	return err
 }
@@ -458,11 +480,13 @@ func scanSegment(path string, seq, size int64) (SegmentInfo, error) {
 	}
 	defer f.Close()
 	s := SegmentInfo{Seq: seq, Bytes: size}
-	r := tuple.NewReader(f, false)
+	// The mixed-stream reader handles both segment encodings — §3.3 text
+	// lines and v3 binary frames (docs/WIRE.md) — with no mode switch.
+	r := tuple.NewStreamReader(f)
 	for {
 		t, err := r.Read()
-		if err == io.EOF || errors.Is(err, tuple.ErrBadLine) {
-			break // end of segment, or a torn final line from a crash: index what parsed
+		if err == io.EOF || errors.Is(err, tuple.ErrBadLine) || errors.Is(err, tuple.ErrBadFrame) {
+			break // end of segment, or a torn tail from a crash: index what parsed
 		}
 		if err != nil {
 			return SegmentInfo{}, fmt.Errorf("reclog: scan %s: %w", path, err)

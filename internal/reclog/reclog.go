@@ -26,6 +26,20 @@
 //	1550 41 CWND
 //	# seal tuples=2 first=1500 last=1550
 //
+// With [Options].WireVersion 3 the recorder writes its tuple payload as
+// the binary framing specified in docs/WIRE.md instead of text lines; the
+// header gains a wire=3 marker and each segment restarts the signal
+// dictionary, so every segment stays independently decodable:
+//
+//	# gscope-reclog 1 seq=3 wire=3
+//	<binary frames>
+//	# seal tuples=2 first=1500 last=1550
+//
+// Replay autodetects the encoding per segment (the 0xF5 frame marker can
+// never open a text line), so one session may freely mix text and binary
+// segments — a recorder restarted with different options keeps appending
+// to the same directory.
+//
 // The active segment is sealed and a new one started when it exceeds the
 // configured byte size or tuple-time span ([Options]). Sealed segments are
 // never modified; bounded retention deletes the oldest sealed segments once
@@ -115,6 +129,13 @@ type Options struct {
 	// QueueLimit bounds the append queue in batches (drop-oldest beyond
 	// it). Non-positive selects DefaultQueueLimit.
 	QueueLimit int
+	// WireVersion selects the segment encoding: 0 (or 1, 2) records the
+	// §3.3 text lines, 3 records v3 binary frames (docs/WIRE.md), each
+	// segment a self-contained stream with its own dictionary so sealed
+	// segments stay independently readable, retirable and seekable. Any
+	// other value is rejected by Open. Replay autodetects per segment, so
+	// a session may mix segments recorded at different versions.
+	WireVersion int
 }
 
 // withDefaults resolves zero fields.
@@ -130,6 +151,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.QueueLimit <= 0 {
 		o.QueueLimit = DefaultQueueLimit
+	}
+	if o.WireVersion == 1 || o.WireVersion == 2 {
+		o.WireVersion = 0 // all pre-3 versions record identical text lines
 	}
 	return o
 }

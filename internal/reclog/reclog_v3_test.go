@@ -1,0 +1,189 @@
+package reclog
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// Recording and replay of v3 binary segments (docs/WIRE.md): the
+// record→replay byte-diff must hold whichever encoding the session was
+// recorded with — text-only, binary-only, or a session mixing segments of
+// both — because replay re-emits decoded tuples, not raw bytes.
+
+// byteDiff re-encodes two tuple slices canonically and compares them —
+// the same equivalence the soak harness's record→replay check uses.
+func byteDiff(t *testing.T, want, got []tuple.Tuple) {
+	t.Helper()
+	a := tuple.AppendWireBatch(nil, want)
+	b := tuple.AppendWireBatch(nil, got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("record→replay byte-diff failed: recorded %d tuples, replayed %d", len(want), len(got))
+	}
+}
+
+// runStream generates the shape probe batches actually have — runs of one
+// signal per batch, counter-like values — which is what the binary codec's
+// run/delta/XOR layers are built for.
+func runStream(n int) []tuple.Tuple {
+	names := []string{"pkts", "bytes", "drops"}
+	out := make([]tuple.Tuple, 0, n)
+	for i := 0; len(out) < n; i++ {
+		name := names[i%len(names)]
+		for k := 0; k < 64 && len(out) < n; k++ {
+			out = append(out, tuple.Tuple{
+				Time:  int64(len(out)) * 2,
+				Value: float64(1000*i + k),
+				Name:  name,
+			})
+		}
+	}
+	return out
+}
+
+// TestBinaryRecordReplayRoundTrip: a binary session across many rotated
+// segments replays byte-identically, and the segments really are binary.
+func TestBinaryRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := runStream(5000)
+	record(t, dir, Options{SegmentBytes: 4096, WireVersion: 3}, in, 64)
+
+	byteDiff(t, in, replayAll(t, dir))
+
+	data, err := os.ReadFile(filepath.Join(dir, segName(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("# gscope-reclog 1 seq=1 wire=3\n")) {
+		t.Fatalf("binary segment header = %q", data[:min(len(data), 40)])
+	}
+	if !bytes.Contains(data, []byte{tuple.FrameMarker, tuple.FrameDict}) {
+		t.Fatal("binary segment holds no DICT frame")
+	}
+
+	// The compression claim, on disk: the same stream recorded as text
+	// must be substantially larger.
+	txtDir := t.TempDir()
+	record(t, txtDir, Options{SegmentBytes: 4096}, in, 64)
+	sizeOf := func(d string) int64 {
+		entries, err := os.ReadDir(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var n int64
+		for _, e := range entries {
+			fi, err := e.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			n += fi.Size()
+		}
+		return n
+	}
+	bin, txt := sizeOf(dir), sizeOf(txtDir)
+	if bin*3 > txt {
+		t.Fatalf("binary session %d bytes vs text %d: expected ≥3× reduction", bin, txt)
+	}
+}
+
+// TestMixedSessionReplay: a session whose segments were recorded at
+// different wire versions (a recorder restarted with new options) replays
+// seamlessly — the reader autodetects per segment.
+func TestMixedSessionReplay(t *testing.T) {
+	dir := t.TempDir()
+	in := stream(3000, 5)
+	record(t, dir, Options{}, in[:1000], 50)
+	record(t, dir, Options{WireVersion: 3}, in[1000:2000], 50)
+	record(t, dir, Options{}, in[2000:], 50)
+
+	byteDiff(t, in, replayAll(t, dir))
+
+	sess, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Tuples() != int64(len(in)) {
+		t.Fatalf("mixed session counts %d tuples, want %d", sess.Tuples(), len(in))
+	}
+}
+
+// TestBinarySegmentsSelfContained: every binary segment restarts its
+// dictionary, so a window replay that skips earlier segments still
+// decodes. Retention (which deletes the oldest segments) depends on this.
+func TestBinarySegmentsSelfContained(t *testing.T) {
+	dir := t.TempDir()
+	in := stream(5000, 3)
+	record(t, dir, Options{SegmentBytes: 4096, WireVersion: 3}, in, 64)
+
+	sess, err := OpenSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := sess.Segments()
+	if len(segs) < 3 {
+		t.Fatalf("expected rotation, got %d segments", len(segs))
+	}
+	// Every segment must decode standalone, not just in session order.
+	for _, seg := range segs {
+		data, err := os.ReadFile(filepath.Join(dir, segName(seg.Seq)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr := tuple.NewStreamReader(bytes.NewReader(data))
+		n := int64(0)
+		for {
+			_, rerr := sr.Read()
+			if rerr != nil {
+				break
+			}
+			n++
+		}
+		if n != seg.Tuples {
+			t.Fatalf("segment %d decodes %d tuples standalone, index says %d", seg.Seq, n, seg.Tuples)
+		}
+	}
+}
+
+// TestBinaryTornTailReplayable: a crash mid-frame leaves a truncated
+// binary tail; scan and replay must stop at the prefix that decodes, like
+// a torn text line (WIRE.md §B7).
+func TestBinaryTornTailReplayable(t *testing.T) {
+	dir := t.TempDir()
+	in := stream(200, 10)
+	record(t, dir, Options{WireVersion: 3}, in, 200)
+
+	path := filepath.Join(dir, segName(1))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a frame whose declared payload never arrives, then a few
+	// payload bytes — the shape a crashed writer leaves behind.
+	torn := append(data, tuple.FrameMarker, tuple.FrameData, 0x40, 1, 2, 3)
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	byteDiff(t, in, replayAll(t, dir))
+}
+
+// TestOpenRejectsUnknownWireVersion: the recording side fails fast on a
+// version it cannot write.
+func TestOpenRejectsUnknownWireVersion(t *testing.T) {
+	if _, err := Open(t.TempDir(), Options{WireVersion: 7}); err == nil {
+		t.Fatal("Open accepted wire version 7")
+	}
+	lg, err := Open(t.TempDir(), Options{WireVersion: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg.opts.WireVersion != 0 {
+		t.Fatalf("wire 2 should normalize to text, got %d", lg.opts.WireVersion)
+	}
+	if err := lg.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -201,15 +201,19 @@ func (r *Replayer) runSegment(seg SegmentInfo, batch *[]tuple.Tuple, flush func(
 		return fmt.Errorf("reclog: %w", err)
 	}
 	defer f.Close()
-	tr := tuple.NewReader(f, false)
+	// Segments may hold §3.3 text lines or v3 binary frames (docs/WIRE.md)
+	// depending on the recording options; the mixed-stream reader decodes
+	// either without being told which, so replay re-emits exactly the
+	// tuples that arrived regardless of the encoding they rode in on.
+	tr := tuple.NewStreamReader(f)
 	for {
 		t, err := tr.Read()
 		if err == io.EOF {
 			return nil
 		}
-		if errors.Is(err, tuple.ErrBadLine) {
-			// A torn final line from a crashed recorder (segments are
-			// append-only, so damage is only ever at the tail): stop at
+		if errors.Is(err, tuple.ErrBadLine) || errors.Is(err, tuple.ErrBadFrame) {
+			// A torn final line or frame from a crashed recorder (segments
+			// are append-only, so damage is only ever at the tail): stop at
 			// what parsed, matching what the index scanner counted.
 			return nil
 		}

@@ -1,0 +1,503 @@
+package tuple
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+// This file is the v3 binary wire encoding: a compressed framing that can
+// interleave with the §3.3 text stream on the same connection. The
+// normative specification — frame grammar, negotiation, error handling,
+// worked examples — is docs/WIRE.md; the comments here only summarize it.
+//
+// A v3 stream is a sequence of text lines and binary frames. Every frame
+// opens with FrameMarker (0xF5), a byte that can never begin a UTF-8 text
+// line, so the two encodings need no out-of-band mode switch: a decoder
+// positioned at a line/frame boundary looks at one byte. Frames carry
+// per-stream dense signal IDs (declared by DICT frames once per new name),
+// zigzag-varint delta-of-delta timestamps, and byte-aligned XOR-compressed
+// float values, columnar per same-signal run. Every DATA run is
+// self-contained — its timestamp and value predictors reset at the run
+// head — so frames can be sliced, buffered and fanned out independently;
+// the ID dictionary is the only cross-frame state.
+
+const (
+	// FrameMarker opens every binary frame. 0xF5 is not a valid leading
+	// byte anywhere in UTF-8 text (and tuple lines never contain it), so a
+	// decoder at a boundary distinguishes text from binary unambiguously
+	// (WIRE.md §B1).
+	FrameMarker byte = 0xF5
+	// FrameDict declares one stream-local signal ID → name binding.
+	FrameDict byte = 0x01
+	// FrameData carries same-signal runs of compressed tuples.
+	FrameData byte = 0x02
+
+	// MaxFramePayload bounds one frame's declared payload length; a frame
+	// claiming more is malformed (WIRE.md §B2), which caps how much a
+	// decoder ever buffers waiting for a frame to complete.
+	MaxFramePayload = 1 << 20
+
+	// maxStreamSignals caps a stream's ID dictionary on both sides. An
+	// encoder that hits the cap falls back to text lines for further names
+	// (always legal in a mixed stream); a decoder treats a DICT frame past
+	// the cap as malformed.
+	maxStreamSignals = 1 << 20
+
+	// maxRunTuples bounds one encoded run, and with flushPayload keeps
+	// every DATA frame far below MaxFramePayload.
+	maxRunTuples = 4096
+	// flushPayload is the encoder's soft frame-size threshold: once the
+	// pending payload reaches it, the frame is closed.
+	flushPayload = 1 << 16
+
+	// maxStreamLine bounds one text line in a mixed stream, matching the
+	// line-watch limit the server read path has always enforced.
+	maxStreamLine = 1 << 20
+)
+
+// ErrBadFrame tags malformed binary framing. Unlike a bad text line —
+// skippable, because newlines resynchronize — a bad frame loses the frame
+// boundaries, so the rest of the stream is undecodable: connections drop,
+// file scans stop at the prefix that decoded (WIRE.md §B7).
+var ErrBadFrame = errors.New("bad binary frame")
+
+// errLineTooLong reports a text line exceeding maxStreamLine: the newline
+// that would resynchronize the stream was never found, so like bufio's
+// ErrTooLong — and unlike ErrBadLine — it is a transport-level failure,
+// not a skippable parse error.
+var errLineTooLong = fmt.Errorf("tuple: stream line exceeds %d bytes", maxStreamLine)
+
+// zigzag maps a signed delta onto the unsigned varint domain so small
+// negative values stay small (WIRE.md §B5).
+func zigzag(v int64) uint64 { return uint64(v)<<1 ^ uint64(v>>63) }
+
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendXOR appends one XOR-compressed value residual: control byte 0x00
+// for a repeat (x == 0), otherwise 1 + 8·L + T for L leading and T
+// trailing zero bytes of x, followed by the 8−L−T middle bytes
+// most-significant first (WIRE.md §B6).
+func appendXOR(dst []byte, x uint64) []byte {
+	if x == 0 {
+		return append(dst, 0)
+	}
+	l := bits.LeadingZeros64(x) >> 3
+	t := bits.TrailingZeros64(x) >> 3
+	dst = append(dst, byte(1+l<<3+t))
+	for i := 7 - l; i >= t; i-- {
+		dst = append(dst, byte(x>>(uint(i)*8)))
+	}
+	return dst
+}
+
+// readXOR decodes one value residual, returning the remaining payload.
+func readXOR(p []byte) (uint64, []byte, error) {
+	if len(p) == 0 {
+		return 0, nil, fmt.Errorf("%w: truncated value", ErrBadFrame)
+	}
+	c := p[0]
+	p = p[1:]
+	if c == 0 {
+		return 0, p, nil
+	}
+	c--
+	l, t := int(c>>3), int(c&7)
+	if l+t > 7 {
+		return 0, nil, fmt.Errorf("%w: bad value control byte %#x", ErrBadFrame, c+1)
+	}
+	m := 8 - l - t
+	if len(p) < m {
+		return 0, nil, fmt.Errorf("%w: truncated value", ErrBadFrame)
+	}
+	var x uint64
+	for i := 0; i < m; i++ {
+		x = x<<8 | uint64(p[i])
+	}
+	return x << (uint(t) * 8), p[m:], nil
+}
+
+// BinaryEncoder encodes tuple batches into v3 binary frames. It owns one
+// stream's encode state: the name → ID dictionary (IDs are assigned densely
+// in first-use order and declared in-band with DICT frames) and reusable
+// scratch, so a steady-state publisher allocates nothing per batch. An
+// encoder is stream-local — its output is only decodable as one contiguous
+// stream — and not safe for concurrent use.
+type BinaryEncoder struct {
+	ids     map[string]uint64
+	names   []string // ID → cleaned name, for AppendDict catch-up
+	payload []byte   // pending DATA payload, flushed as frames into dst
+}
+
+// NewBinaryEncoder returns an encoder with an empty dictionary.
+func NewBinaryEncoder() *BinaryEncoder {
+	return &BinaryEncoder{ids: make(map[string]uint64)}
+}
+
+// Reset forgets the dictionary, starting a new stream (a reconnected
+// publisher, a fresh self-contained reclog segment).
+func (e *BinaryEncoder) Reset() {
+	clear(e.ids)
+	e.names = e.names[:0]
+	e.payload = e.payload[:0]
+}
+
+// Signals returns how many names the dictionary holds.
+func (e *BinaryEncoder) Signals() int { return len(e.names) }
+
+// appendDictFrame encodes one DICT frame: uvarint ID, then the name bytes
+// to the end of the payload (WIRE.md §B3).
+func appendDictFrame(dst []byte, id uint64, name string) []byte {
+	var idb [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(idb[:], id)
+	dst = append(dst, FrameMarker, FrameDict)
+	dst = binary.AppendUvarint(dst, uint64(n+len(name)))
+	dst = append(dst, idb[:n]...)
+	return append(dst, name...)
+}
+
+// AppendDict appends DICT frames declaring every binding in the
+// dictionary, in ID order — the catch-up a fan-out hub sends a subscriber
+// joining a shared stream mid-flight. It does not change encoder state.
+func (e *BinaryEncoder) AppendDict(dst []byte) []byte {
+	for id, name := range e.names {
+		dst = appendDictFrame(dst, uint64(id), name)
+	}
+	return dst
+}
+
+// appendRun appends one self-contained run to the pending payload:
+// uvarint ID, uvarint count, the timestamp column (first stamp zigzag
+// absolute, then delta-of-delta), then the value column (XOR against the
+// previous value bits, 0 at the run head). WIRE.md §B4–B6.
+func (e *BinaryEncoder) appendRun(id uint64, run []Tuple) {
+	p := e.payload
+	p = binary.AppendUvarint(p, id)
+	p = binary.AppendUvarint(p, uint64(len(run)))
+	var lastT, lastD int64
+	for k, t := range run {
+		var dod int64
+		if k == 0 {
+			dod = t.Time
+			lastT, lastD = t.Time, 0
+		} else {
+			d := t.Time - lastT
+			dod = d - lastD
+			lastT, lastD = t.Time, d
+		}
+		p = binary.AppendUvarint(p, zigzag(dod))
+	}
+	var prev uint64
+	for _, t := range run {
+		b := math.Float64bits(t.Value)
+		p = appendXOR(p, b^prev)
+		prev = b
+	}
+	e.payload = p
+}
+
+// flush closes the pending payload into one DATA frame appended to dst.
+func (e *BinaryEncoder) flush(dst []byte) []byte {
+	if len(e.payload) == 0 {
+		return dst
+	}
+	dst = append(dst, FrameMarker, FrameData)
+	dst = binary.AppendUvarint(dst, uint64(len(e.payload)))
+	dst = append(dst, e.payload...)
+	e.payload = e.payload[:0]
+	return dst
+}
+
+// AppendBatch appends batch encoded as v3 frames — DICT frames for names
+// new to the stream, then DATA frames — and returns the extended buffer.
+// Same-name runs share one run header; names past the dictionary cap are
+// appended as text lines in place (a legal mixed stream), preserving tuple
+// order exactly. This is the binary counterpart of AppendWireBatch.
+func (e *BinaryEncoder) AppendBatch(dst []byte, batch []Tuple) []byte {
+	for i := 0; i < len(batch); {
+		name := batch[i].Name
+		j := i + 1
+		for j < len(batch) && batch[j].Name == name {
+			j++
+		}
+		id, ok := e.ids[name]
+		if !ok && len(e.names) < maxStreamSignals {
+			clean := strings.Clone(CleanName(name))
+			id = uint64(len(e.names))
+			e.ids[strings.Clone(name)] = id
+			e.names = append(e.names, clean)
+			dst = appendDictFrame(dst, id, clean)
+			ok = true
+		}
+		if !ok {
+			// Dictionary full: this run rides as text, in order.
+			dst = e.flush(dst)
+			dst = AppendWireBatch(dst, batch[i:j])
+		} else {
+			for k := i; k < j; k += maxRunTuples {
+				end := k + maxRunTuples
+				if end > j {
+					end = j
+				}
+				e.appendRun(id, batch[k:end])
+				if len(e.payload) >= flushPayload {
+					dst = e.flush(dst)
+				}
+			}
+		}
+		i = j
+	}
+	return e.flush(dst)
+}
+
+// AppendBatchReadOnly encodes batch without mutating the dictionary: runs
+// of already-declared names become DATA frames, anything else text lines.
+// A hub uses it to serve one subscriber's snapshot/backfill from a shared
+// stream encoder — the private frames must not invent IDs that other
+// subscribers of the same stream never saw declared.
+func (e *BinaryEncoder) AppendBatchReadOnly(dst []byte, batch []Tuple) []byte {
+	for i := 0; i < len(batch); {
+		name := batch[i].Name
+		j := i + 1
+		for j < len(batch) && batch[j].Name == name {
+			j++
+		}
+		if id, ok := e.ids[name]; ok {
+			for k := i; k < j; k += maxRunTuples {
+				end := k + maxRunTuples
+				if end > j {
+					end = j
+				}
+				e.appendRun(id, batch[k:end])
+				if len(e.payload) >= flushPayload {
+					dst = e.flush(dst)
+				}
+			}
+		} else {
+			dst = e.flush(dst)
+			dst = AppendWireBatch(dst, batch[i:j])
+		}
+		i = j
+	}
+	return e.flush(dst)
+}
+
+// errShortFrame signals an incomplete frame still waiting for bytes.
+var errShortFrame = errors.New("short frame")
+
+// StreamDecoder incrementally decodes a mixed text/binary tuple stream
+// from arbitrarily sliced chunks — the inbound half of the v3 wire. Feed
+// dispatches, in stream order, complete text lines to line (newline
+// stripped, one trailing \r trimmed, exactly the framing of
+// glib.WatchLineBatches) and each DATA frame's tuples to batch (the slice
+// is reused across calls). DICT frames update the dictionary invisibly;
+// unknown frame types are skipped by length for forward compatibility
+// (WIRE.md §B2).
+//
+// Framing errors are sticky and fatal: once Feed returns a non-nil error
+// the stream is undecodable past that point (WIRE.md §B7). Decoded names
+// are shared canonical strings — all tuples of one signal point at the
+// dictionary's copy.
+type StreamDecoder struct {
+	names []string
+	carry []byte
+	tup   []Tuple
+	err   error
+}
+
+// NewStreamDecoder returns a decoder with an empty dictionary.
+func NewStreamDecoder() *StreamDecoder { return &StreamDecoder{} }
+
+// Feed consumes the next chunk of the stream. line and batch are invoked
+// synchronously, in stream order; their arguments are valid only for the
+// duration of the call.
+func (d *StreamDecoder) Feed(data []byte, line func(string), batch func([]Tuple)) error {
+	if d.err != nil {
+		return d.err
+	}
+	buf := data
+	if len(d.carry) > 0 {
+		d.carry = append(d.carry, data...)
+		buf = d.carry
+	}
+	pos := 0
+	for pos < len(buf) {
+		if buf[pos] == FrameMarker {
+			n, err := d.frame(buf[pos:], batch)
+			if err == errShortFrame {
+				break
+			}
+			if err != nil {
+				return d.fail(err)
+			}
+			pos += n
+		} else {
+			rel := bytes.IndexByte(buf[pos:], '\n')
+			if rel < 0 {
+				break
+			}
+			ln := buf[pos : pos+rel]
+			if len(ln) > 0 && ln[len(ln)-1] == '\r' {
+				ln = ln[:len(ln)-1]
+			}
+			line(string(ln))
+			pos += rel + 1
+		}
+	}
+	rest := buf[pos:]
+	if len(rest) > 0 && rest[0] != FrameMarker && len(rest) > maxStreamLine {
+		return d.fail(errLineTooLong)
+	}
+	d.carry = append(d.carry[:0], rest...)
+	return nil
+}
+
+func (d *StreamDecoder) fail(err error) error {
+	d.err = err
+	d.carry = nil
+	return err
+}
+
+// Tail finishes the stream: an unterminated trailing text line is still a
+// line (the way bufio.Scanner treats one) and is delivered to line; an
+// incomplete trailing frame is a torn tail and is discarded.
+func (d *StreamDecoder) Tail(line func(string)) {
+	if d.err == nil && len(d.carry) > 0 && d.carry[0] != FrameMarker {
+		ln := d.carry
+		if ln[len(ln)-1] == '\r' {
+			ln = ln[:len(ln)-1]
+		}
+		line(string(ln))
+	}
+	d.carry = d.carry[:0]
+}
+
+// frame decodes one frame at the head of b, returning the bytes consumed,
+// or errShortFrame if b does not yet hold the whole frame.
+func (d *StreamDecoder) frame(b []byte, batch func([]Tuple)) (int, error) {
+	if len(b) < 3 {
+		return 0, errShortFrame
+	}
+	plen, n := binary.Uvarint(b[2:])
+	if n == 0 {
+		if len(b)-2 >= binary.MaxVarintLen64 {
+			return 0, fmt.Errorf("%w: bad payload length varint", ErrBadFrame)
+		}
+		return 0, errShortFrame
+	}
+	if n < 0 || plen > MaxFramePayload {
+		return 0, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, plen, MaxFramePayload)
+	}
+	total := 2 + n + int(plen)
+	if len(b) < total {
+		return 0, errShortFrame
+	}
+	payload := b[2+n : total]
+	switch b[1] {
+	case FrameDict:
+		if err := d.dict(payload); err != nil {
+			return 0, err
+		}
+	case FrameData:
+		if err := d.data(payload, batch); err != nil {
+			return 0, err
+		}
+	default:
+		// Unknown frame types are skipped by length, the binary analogue
+		// of ignoring unknown handshake keys.
+	}
+	return total, nil
+}
+
+// dict applies one DICT payload. IDs must arrive densely: id == len(dict)
+// appends; id < len(dict) must re-declare the same name (redundant
+// catch-up declarations are legal, WIRE.md §B3); a gap is malformed.
+func (d *StreamDecoder) dict(payload []byte) error {
+	id, n := binary.Uvarint(payload)
+	if n <= 0 {
+		return fmt.Errorf("%w: bad dict id varint", ErrBadFrame)
+	}
+	name := string(payload[n:])
+	if err := ValidateName(name); err != nil {
+		return fmt.Errorf("%w: dict name: %v", ErrBadFrame, err)
+	}
+	switch {
+	case id < uint64(len(d.names)):
+		if d.names[id] != name {
+			return fmt.Errorf("%w: dict id %d redeclared %q as %q", ErrBadFrame, id, d.names[id], name)
+		}
+	case id == uint64(len(d.names)):
+		if len(d.names) >= maxStreamSignals {
+			return fmt.Errorf("%w: dict exceeds %d signals", ErrBadFrame, maxStreamSignals)
+		}
+		d.names = append(d.names, name)
+	default:
+		return fmt.Errorf("%w: dict id %d leaves a gap (have %d)", ErrBadFrame, id, len(d.names))
+	}
+	return nil
+}
+
+// data decodes one DATA payload's runs into the scratch batch and hands it
+// to the callback.
+func (d *StreamDecoder) data(payload []byte, batch func([]Tuple)) error {
+	d.tup = d.tup[:0]
+	p := payload
+	for len(p) > 0 {
+		id, n := binary.Uvarint(p)
+		if n <= 0 {
+			return fmt.Errorf("%w: bad run id varint", ErrBadFrame)
+		}
+		p = p[n:]
+		if id >= uint64(len(d.names)) {
+			return fmt.Errorf("%w: run id %d not declared (have %d)", ErrBadFrame, id, len(d.names))
+		}
+		name := d.names[id]
+		cnt, n := binary.Uvarint(p)
+		if n <= 0 {
+			return fmt.Errorf("%w: bad run count varint", ErrBadFrame)
+		}
+		p = p[n:]
+		// Every tuple takes at least one timestamp byte, so the count can
+		// never exceed the remaining payload — reject before allocating.
+		if cnt == 0 || cnt > uint64(len(p)) {
+			return fmt.Errorf("%w: run count %d exceeds payload", ErrBadFrame, cnt)
+		}
+		base := len(d.tup)
+		var lastT, lastD int64
+		for k := 0; k < int(cnt); k++ {
+			u, n := binary.Uvarint(p)
+			if n <= 0 {
+				return fmt.Errorf("%w: bad timestamp varint", ErrBadFrame)
+			}
+			p = p[n:]
+			var t int64
+			if k == 0 {
+				t = unzigzag(u)
+				lastT, lastD = t, 0
+			} else {
+				lastD += unzigzag(u)
+				t = lastT + lastD
+				lastT = t
+			}
+			d.tup = append(d.tup, Tuple{Time: t, Name: name})
+		}
+		var prev uint64
+		for k := 0; k < int(cnt); k++ {
+			x, rest, err := readXOR(p)
+			if err != nil {
+				return err
+			}
+			p = rest
+			prev ^= x
+			d.tup[base+k].Value = math.Float64frombits(prev)
+		}
+	}
+	if len(d.tup) > 0 {
+		batch(d.tup)
+	}
+	return nil
+}

@@ -11,8 +11,9 @@ import (
 // SignalID is a dense handle for an interned signal name: the first name
 // interned gets 0, the next 1, and so on, so an Interner's consumers can
 // index plain slices by ID instead of hashing strings. IDs are local to one
-// Interner — they never cross the wire, which stays textual and
-// self-describing.
+// Interner and never cross the wire: the text format stays self-describing,
+// and the v3 binary framing carries its own stream-local dictionary IDs,
+// re-declared per stream (docs/WIRE.md §B3), never an Interner's.
 type SignalID int32
 
 // NoSignal is the invalid SignalID.

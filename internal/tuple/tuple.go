@@ -1,6 +1,10 @@
-// Package tuple implements gscope's textual tuple format (§3.3 of the
-// paper): the on-wire and on-disk representation used for streaming signals
-// to a scope, recording them, and replaying them.
+// Package tuple implements gscope's tuple formats: the §3.3 textual format
+// described here — the on-wire and on-disk representation used for
+// streaming signals to a scope, recording them, and replaying them — and
+// the optional v3 compressed binary framing (see binary.go and the
+// normative spec in docs/WIRE.md) that interleaves with the text stream
+// for bandwidth-sensitive connections. Text is the universal fallback;
+// every peer and every file reader understands it.
 //
 // Each tuple is one line of text holding a millisecond timestamp, a value,
 // and a signal name:
