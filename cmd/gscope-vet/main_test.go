@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/vet"
+)
+
+// TestSuiteCleanOverRepo is the same gate CI's gscope-vet job applies,
+// run as a test: the repo must be clean under every analyzer. A finding
+// here means either new code broke an invariant or an intentional
+// exception is missing its //gscope:allow.
+func TestSuiteCleanOverRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	root := filepath.Dir(strings.TrimSpace(string(out)))
+
+	prog, err := vet.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	findings, sum, err := prog.Run(analyzers)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, f := range findings {
+		if !f.Suppressed {
+			t.Errorf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	t.Logf("\n%s", sum.Format())
+}
+
+// TestAnalyzerRoster pins the suite composition: dropping an analyzer
+// from the multichecker should not happen silently.
+func TestAnalyzerRoster(t *testing.T) {
+	want := []string{"hotpath", "guardedby", "stickyerr", "signalname", "watchleak"}
+	if len(analyzers) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(analyzers), len(want))
+	}
+	for i, a := range analyzers {
+		if a.Name != want[i] {
+			t.Errorf("analyzers[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %s has no Doc", a.Name)
+		}
+	}
+}

@@ -28,15 +28,24 @@ const feedShards = 16
 // steady-state push→drain cycle allocates nothing (buffer capacity is
 // retained across full drains).
 type feedShard struct {
-	mu        sync.Mutex
-	buf       []tuple.Tuple
-	head      int           // buf[:head] is consumed, buf[head:] is pending
+	mu sync.Mutex
+
+	//gscope:guardedby mu
+	buf []tuple.Tuple
+	//gscope:guardedby mu
+	head int // buf[:head] is consumed, buf[head:] is pending
+	//gscope:guardedby mu
 	displayed time.Duration // high-water mark of drained sample time
-	started   bool
-	unsorted  bool  // pending arrived out of time order (rare)
-	lastTime  int64 // newest timestamp in pending, for sortedness tracking
-	pushed    int64
-	dropped   int64
+	//gscope:guardedby mu
+	started bool
+	//gscope:guardedby mu
+	unsorted bool // pending arrived out of time order (rare)
+	//gscope:guardedby mu
+	lastTime int64 // newest timestamp in pending, for sortedness tracking
+	//gscope:guardedby mu
+	pushed int64
+	//gscope:guardedby mu
+	dropped int64
 	// limNs mirrors the late-data cutoff for lock-free readers: it holds
 	// displayed+1 in nanoseconds once the shard has started, 0 before.
 	// Probe.RecordAt loads it to run the late check without taking mu
@@ -45,12 +54,16 @@ type feedShard struct {
 	limNs atomic.Int64
 	// probes are the staging rings pinned to this shard; drains steal
 	// their published samples under mu. Appended at registration.
+	//gscope:guardedby mu
 	probes []*Probe
 	_      [24]byte // pad toward a cache line to limit false sharing
 }
 
 // note records t's timestamp for the sortedness check. Caller holds mu and
 // has appended t to the backlog.
+//
+//gscope:hotpath
+//gscope:locked mu
 func (s *feedShard) note(t *tuple.Tuple) {
 	if t.Time < s.lastTime {
 		s.unsorted = true
@@ -61,6 +74,9 @@ func (s *feedShard) note(t *tuple.Tuple) {
 
 // emptied resets the sortedness tracking after the backlog fully drains.
 // Caller holds mu.
+//
+//gscope:hotpath
+//gscope:locked mu
 func (s *feedShard) emptied() {
 	s.unsorted = false
 	s.lastTime = math.MinInt64
@@ -84,9 +100,11 @@ type Feed struct {
 	// Probe/ID registrations. regs is an id-indexed copy-on-write snapshot
 	// so PushID resolves a SignalID with one atomic load and one slice
 	// index — no hash, no lock; regMu serializes (rare) registrations.
-	regMu    sync.Mutex
-	regs     atomic.Pointer[[]feedReg]
-	probes   map[string]*Probe
+	regMu sync.Mutex
+	regs  atomic.Pointer[[]feedReg]
+	//gscope:guardedby regMu
+	probes map[string]*Probe
+	//gscope:guardedby regMu
 	interner *tuple.Interner
 	origin   time.Time // Probe.Record's fallback clock origin
 }
@@ -101,6 +119,8 @@ type feedReg struct {
 func NewFeed() *Feed { return &Feed{origin: time.Now()} }
 
 // shardIndex routes a signal name to its shard (FNV-1a, masked).
+//
+//gscope:hotpath
 func shardIndex(name string) int {
 	const (
 		offset64 = 14695981039346656037
@@ -121,6 +141,8 @@ func shardIndex(name string) int {
 // against a 1.5ms displayed watermark and is wrongly dropped even though
 // its window has not been displayed yet. Caller must not hold the shard
 // lock.
+//
+//gscope:hotpath
 func (s *feedShard) push(t tuple.Tuple, at time.Duration) bool {
 	s.mu.Lock()
 	s.pushed++
@@ -140,6 +162,8 @@ func (s *feedShard) push(t tuple.Tuple, at time.Duration) bool {
 // been displayed) and was dropped. The late check runs at the caller's full
 // sub-millisecond precision; only the stored tuple is truncated to the
 // millisecond wire granularity.
+//
+//gscope:hotpath
 func (f *Feed) Push(at time.Duration, name string, v float64) bool {
 	return f.shards[shardIndex(name)].push(tuple.Tuple{
 		Time:  at.Milliseconds(),
@@ -151,6 +175,8 @@ func (f *Feed) Push(at time.Duration, name string, v float64) bool {
 // PushTuple enqueues an already-encoded tuple (used by the streaming
 // server). Wire tuples carry millisecond stamps, so the late check runs at
 // that granularity.
+//
+//gscope:hotpath
 func (f *Feed) PushTuple(t tuple.Tuple) bool {
 	return f.shards[shardIndex(t.Name)].push(t, t.Timestamp())
 }
@@ -160,6 +186,8 @@ func (f *Feed) PushTuple(t tuple.Tuple) bool {
 // (PushBatch verifies this in its routing scan); such runs, when wholly on
 // time — the overwhelming common case — take a bulk path: one append, one
 // copy.
+//
+//gscope:hotpath
 func (s *feedShard) pushRun(run []tuple.Tuple, sorted bool) int {
 	s.mu.Lock()
 	s.pushed += int64(len(run))
@@ -196,6 +224,8 @@ func (s *feedShard) pushRun(run []tuple.Tuple, sorted bool) int {
 // rest arrived late and were dropped). It is the publisher-side hot path:
 // the network server and batch-oriented instrumentation call it with whole
 // decoded read chunks.
+//
+//gscope:hotpath
 func (f *Feed) PushBatch(batch []tuple.Tuple) int {
 	if len(batch) == 0 {
 		return 0
@@ -250,6 +280,8 @@ func (f *Feed) TakeBatch(upTo time.Duration) []tuple.Tuple {
 // prefix to dst (one copy, under the shard lock, so concurrent drains are
 // safe), and returns the extended dst plus each shard's [start,end) span
 // in it. Each span is internally time-ordered.
+//
+//gscope:hotpath
 func (f *Feed) takeRuns(upTo time.Duration, dst []tuple.Tuple) ([]tuple.Tuple, [feedShards][2]int, int) {
 	var spans [feedShards][2]int
 	total := 0
@@ -272,13 +304,14 @@ func (f *Feed) takeRuns(upTo time.Duration, dst []tuple.Tuple) ([]tuple.Tuple, [
 			// Out-of-order backlog (rare): restore time order in place —
 			// a stable sort, so per-signal arrival order survives for
 			// equal stamps — after which the prefix rule applies again.
-			sort.Stable(byTime(live))
+			sort.Stable(byTime(live)) //gscope:allow hotpath rare out-of-order backlog; the interface box does not escape
 			sh.unsorted = false
 		}
 		// The backlog is time-ordered (pushers stamp monotonically), so
 		// the due tuples are a prefix found by binary search. The undue
 		// tail is never scanned or copied, which keeps a drain
 		// O(due + log n) however deep the backlog runs.
+		//gscope:allow hotpath sort.Search does not retain its predicate, so the closure stays on the stack
 		cut := sort.Search(n, func(i int) bool {
 			return live[i].Timestamp() > upTo
 		})
@@ -364,6 +397,8 @@ func (f *Feed) TakeBatchInto(upTo time.Duration, buf []tuple.Tuple) []tuple.Tupl
 // global timestamp merge. That is exactly the guarantee a per-window
 // consumer needs — the scope keeps the last sample per signal per window —
 // and it makes the drain a straight copy-out.
+//
+//gscope:hotpath
 func (f *Feed) DrainInto(upTo time.Duration, buf []tuple.Tuple) []tuple.Tuple {
 	buf, _, _ = f.takeRuns(upTo, buf)
 	return buf

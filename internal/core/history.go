@@ -34,6 +34,8 @@ type Bucket struct {
 
 // add folds one slot into the bucket. Holes (and NaN values, which the
 // trace stores as holes) leave the envelope untouched.
+//
+//gscope:hotpath
 func (b *Bucket) add(v float64, hole bool) {
 	if hole || math.IsNaN(v) {
 		return
@@ -49,6 +51,8 @@ func (b *Bucket) add(v float64, hole bool) {
 }
 
 // merge folds another bucket (covering newer slots) into b.
+//
+//gscope:hotpath
 func (b *Bucket) merge(o Bucket) {
 	if o.Count == 0 {
 		return
@@ -80,6 +84,8 @@ type histLevel struct {
 func (l *histLevel) completed(total int64) int64 { return total / l.span }
 
 // push appends a completed bucket to the ring.
+//
+//gscope:hotpath
 func (l *histLevel) push(b Bucket) {
 	l.buf[l.head] = b
 	l.head = (l.head + 1) % len(l.buf)
@@ -150,9 +156,13 @@ func NewHistory(retention int) *History {
 func (h *History) Retention() int64 { return h.retention }
 
 // Total returns the number of slots ever pushed.
+//
+//gscope:hotpath
 func (h *History) Total() int64 { return h.total }
 
 // Push folds one slot (sample or hole) into the pyramid.
+//
+//gscope:hotpath
 func (h *History) Push(v float64, hole bool) {
 	h.total++
 	l := &h.levels[0]

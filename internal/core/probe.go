@@ -97,6 +97,8 @@ func (p *Probe) Late() int64 { return p.late.Load() }
 // displayed) and was dropped. It is the zero-allocation hot path: a
 // lock-free late check, two plain stores, and an amortized publication.
 // Single producer only — see the type comment.
+//
+//gscope:hotpath
 func (p *Probe) RecordAt(at time.Duration, v float64) bool {
 	if lim := p.sh.limNs.Load(); lim != 0 && int64(at) < lim {
 		p.late.Add(1)
@@ -119,13 +121,19 @@ func (p *Probe) RecordAt(at time.Duration, v float64) bool {
 // Record enqueues v stamped with the probe's clock: the owning scope's
 // elapsed time for Scope/Registry probes, time since feed creation for
 // bare Feed probes.
-func (p *Probe) Record(v float64) bool { return p.RecordAt(p.now(), v) }
+//
+//gscope:hotpath
+func (p *Probe) Record(v float64) bool {
+	return p.RecordAt(p.now(), v) //gscope:allow hotpath the clock indirection is one static call bound at registration
+}
 
 // recordFull is the ring-overflow path: publish everything, absorb the
 // ring into the shard under its lock (the lock is what makes the producer
 // a legitimate consumer here), and retry on the now-empty ring. Reached
 // once per probeRingSize samples at worst, so the amortized cost is a
 // fraction of a lock acquisition per sample.
+//
+//gscope:hotpath
 func (p *Probe) recordFull(at time.Duration, v float64) bool {
 	p.pub = p.wtail
 	p.pubAt = int64(at)
@@ -139,6 +147,8 @@ func (p *Probe) recordFull(at time.Duration, v float64) bool {
 // Flush publishes any staged samples so the next drain sees them. Like
 // Record, it must be called from the producing goroutine; use it before
 // the producer pauses or exits.
+//
+//gscope:hotpath
 func (p *Probe) Flush() {
 	if p.wtail != p.pub {
 		p.pub = p.wtail
@@ -151,6 +161,8 @@ func (p *Probe) Flush() {
 // precision. Caller holds s.mu, which serializes all stealers (drains and
 // the producer's own overflow flush), so the ring sees one consumer at a
 // time.
+//
+//gscope:hotpath
 func (s *feedShard) stealProbeLocked(p *Probe) {
 	h, t := p.head.Load(), p.tail.Load()
 	if h == t {
@@ -173,6 +185,8 @@ func (s *feedShard) stealProbeLocked(p *Probe) {
 
 // stealLocked absorbs every probe ring pinned to the shard. Caller holds
 // s.mu.
+//
+//gscope:hotpath
 func (s *feedShard) stealLocked() {
 	for _, p := range s.probes {
 		s.stealProbeLocked(p)
@@ -187,6 +201,7 @@ func (f *Feed) Interner() *tuple.Interner {
 	return f.internerLocked()
 }
 
+//gscope:locked regMu
 func (f *Feed) internerLocked() *tuple.Interner {
 	if f.interner == nil {
 		f.interner = tuple.NewInterner()
@@ -206,6 +221,7 @@ func (f *Feed) Register(name string) (tuple.SignalID, error) {
 	return f.registerLocked(name)
 }
 
+//gscope:locked regMu
 func (f *Feed) registerLocked(name string) (tuple.SignalID, error) {
 	id, err := f.internerLocked().Intern(name)
 	if err != nil {
@@ -230,6 +246,8 @@ func (f *Feed) registerLocked(name string) (tuple.SignalID, error) {
 }
 
 // lookupReg resolves a registered SignalID with one atomic load.
+//
+//gscope:hotpath
 func (f *Feed) lookupReg(id tuple.SignalID) (feedReg, bool) {
 	regs := f.regs.Load()
 	if regs == nil || id < 0 || int(id) >= len(*regs) {
@@ -245,10 +263,12 @@ func (f *Feed) lookupReg(id tuple.SignalID) (feedReg, bool) {
 // concurrent use from any goroutine (unlike a Probe, which trades that for
 // an even cheaper single-producer path). IDs the feed has never seen are
 // dropped (returning false).
+//
+//gscope:hotpath
 func (f *Feed) PushID(id tuple.SignalID, at time.Duration, v float64) bool {
 	r, ok := f.lookupReg(id)
 	if !ok {
-		if r, ok = f.ensureReg(id); !ok {
+		if r, ok = f.ensureReg(id); !ok { //gscope:allow hotpath one-time lazy registration on the first miss for an ID
 			return false
 		}
 	}
@@ -277,13 +297,15 @@ func (f *Feed) ensureReg(id tuple.SignalID) (feedReg, bool) {
 // a batching publisher hands the feed. It returns how many samples were
 // accepted (the rest arrived late and were dropped). IDs the feed has
 // never seen drop the whole batch.
+//
+//gscope:hotpath
 func (f *Feed) PushIDBatch(id tuple.SignalID, samples []tuple.Sample) int {
 	if len(samples) == 0 {
 		return 0
 	}
 	r, ok := f.lookupReg(id)
 	if !ok {
-		if r, ok = f.ensureReg(id); !ok {
+		if r, ok = f.ensureReg(id); !ok { //gscope:allow hotpath one-time lazy registration on the first miss for an ID
 			return 0
 		}
 	}
@@ -291,6 +313,8 @@ func (f *Feed) PushIDBatch(id tuple.SignalID, samples []tuple.Sample) int {
 }
 
 // pushSamples appends a run of samples for one signal under one lock.
+//
+//gscope:hotpath
 func (s *feedShard) pushSamples(name string, samples []tuple.Sample) int {
 	s.mu.Lock()
 	s.pushed += int64(len(samples))

@@ -49,6 +49,8 @@ func NewTimedHistory(retention int) *TimedHistory {
 }
 
 // Push records one sample. NaN values become holes, as in Trace.
+//
+//gscope:hotpath
 func (th *TimedHistory) Push(tms int64, v float64) {
 	if th.seen && tms < th.lastMS {
 		tms = th.lastMS // clamp: keep the time index sorted

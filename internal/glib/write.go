@@ -30,10 +30,14 @@ type WriteWatch struct {
 	onErr WriteErrFunc
 	limit int
 
-	mu        sync.Mutex
-	queue     [][]byte
-	protected int // leading queue chunks exempt from drop-oldest
-	closed    bool
+	mu sync.Mutex
+	//gscope:guardedby mu
+	queue [][]byte
+	// protected counts leading queue chunks exempt from drop-oldest.
+	//gscope:guardedby mu
+	protected int
+	//gscope:guardedby mu
+	closed bool
 
 	kick chan struct{}
 	done chan struct{}
@@ -78,6 +82,8 @@ func (l *Loop) WatchWriter(w io.Writer, limit int, onErr WriteErrFunc) *WriteWat
 // oldest queued chunks are dropped — never the loop blocked — and the drop
 // counter advances. Send reports false once the watch has failed or been
 // canceled.
+//
+//gscope:hotpath
 func (ww *WriteWatch) Send(chunk []byte) bool { return ww.send(chunk, false) }
 
 // SendProtected enqueues a chunk that is exempt from the drop-oldest
@@ -90,8 +96,11 @@ func (ww *WriteWatch) Send(chunk []byte) bool { return ww.send(chunk, false) }
 // once the queue is protected chunks to the bound, nothing is evictable,
 // so the incoming chunk is the one dropped (and counted) — the bound holds
 // even for a caller that protects everything.
+//
+//gscope:hotpath
 func (ww *WriteWatch) SendProtected(chunk []byte) bool { return ww.send(chunk, true) }
 
+//gscope:hotpath
 func (ww *WriteWatch) send(chunk []byte, protect bool) bool {
 	if ww.canceled.Load() {
 		return false

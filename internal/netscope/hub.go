@@ -909,6 +909,8 @@ func (s *Server) broadcastBatch(batch []tuple.Tuple) {
 }
 
 // backfillRetain folds a batch into the per-signal tiered store.
+//
+//gscope:hotpath
 func (s *Server) backfillRetain(batch []tuple.Tuple) {
 	var lastName string
 	var last *core.TimedHistory
@@ -920,7 +922,7 @@ func (s *Server) backfillRetain(batch []tuple.Tuple) {
 				if len(s.hub.backfill) >= maxBackfillSignals {
 					continue
 				}
-				th = core.NewTimedHistory(s.hub.backfillRet)
+				th = core.NewTimedHistory(s.hub.backfillRet) //gscope:allow hotpath store creation happens once per new signal name
 				s.hub.backfill[t.Name] = th
 			}
 			lastName, last = t.Name, th
@@ -937,6 +939,8 @@ func (s *Server) backfillRetain(batch []tuple.Tuple) {
 // window relative to the running max are not retained at all — they could
 // never be part of a connect-time snapshot, and appended behind in-window
 // history they would be unreachable by the front-only prune.
+//
+//gscope:hotpath
 func (s *Server) retain(t tuple.Tuple) {
 	if s.hub.window <= 0 {
 		return

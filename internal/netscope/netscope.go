@@ -206,6 +206,8 @@ const maxInternedNames = 4096
 // canonical string and the line buffers die young. Batches are
 // overwhelmingly runs of one signal, so after the first tuple of a run the
 // rewrite is a pointer-equal string compare.
+//
+//gscope:hotpath
 func (s *Server) canonicalizeNames(batch []tuple.Tuple) {
 	var prev, prevC string
 	for i := range batch {
@@ -218,7 +220,7 @@ func (s *Server) canonicalizeNames(batch []tuple.Tuple) {
 		if id, ok := s.intern.Lookup(name); ok {
 			batch[i].Name = s.intern.Name(id)
 		} else if s.intern.Len() < maxInternedNames {
-			batch[i].Name = s.intern.Canonical(name)
+			batch[i].Name = s.intern.Canonical(name) //gscope:allow hotpath interning allocates once per new signal name, not per tuple
 		}
 		prevC = batch[i].Name
 	}
@@ -429,25 +431,42 @@ type Client struct {
 	addr      string
 	reconnect bool
 
-	mu       sync.Mutex
-	conn     net.Conn // nil while disconnected in reconnect mode
-	queue    []tuple.Tuple
-	spare    []tuple.Tuple // drained queue returned by the writer for reuse
-	probes   map[string]*ClientProbe
-	inflight int // tuples taken by the writer, not yet confirmed written
+	mu sync.Mutex
+	// conn is nil while disconnected in reconnect mode.
+	//gscope:guardedby mu
+	conn net.Conn
+	//gscope:guardedby mu
+	queue []tuple.Tuple
+	// spare is the drained queue returned by the writer for reuse.
+	//gscope:guardedby mu
+	spare []tuple.Tuple
+	//gscope:guardedby mu
+	probes map[string]*ClientProbe
+	// inflight counts tuples taken by the writer, not yet confirmed written.
+	//gscope:guardedby mu
+	inflight int
 	kick     chan struct{}
-	closed   bool
-	sent     int64
-	err      error
-	wire     int // publish encoding: 3 = binary frames, else text
+	//gscope:guardedby mu
+	closed bool
+	//gscope:guardedby mu
+	sent int64
+	//gscope:guardedby mu
+	err error
+	// wire selects the publish encoding: 3 = binary frames, else text.
+	//gscope:guardedby mu
+	wire int
 
 	wbuf []byte // writer-goroutine-owned wire-encode buffer, reused per round
 
 	// reconnect-mode state
 	backoffMin time.Duration
 	backoffMax time.Duration
-	queueLimit int // >0 bounds queue with drop-oldest
-	dropped    int64
+	// queueLimit > 0 bounds queue with drop-oldest.
+	//gscope:guardedby mu
+	queueLimit int
+	//gscope:guardedby mu
+	dropped int64
+	//gscope:guardedby mu
 	reconnects int64
 
 	done chan struct{}
@@ -652,6 +671,8 @@ func (c *Client) sleep(d time.Duration) {
 // trimLocked enforces the queue bound (drop-oldest). The survivors shift
 // down in place — no fresh backing array — so a bounded publisher stays on
 // the zero-allocation path even while dropping. Caller holds mu.
+//
+//gscope:hotpath
 func (c *Client) trimLocked() {
 	if c.queueLimit <= 0 {
 		return
@@ -763,6 +784,8 @@ func (p *ClientProbe) Send(at time.Duration, v float64) error {
 }
 
 // SendBatch enqueues a run of samples under one lock acquisition.
+//
+//gscope:hotpath
 func (p *ClientProbe) SendBatch(samples []tuple.Sample) error {
 	return p.c.SendProbeBatch(p, samples)
 }
@@ -772,6 +795,8 @@ func (p *ClientProbe) SendBatch(samples []tuple.Sample) error {
 // may reuse the slice. Combined with the writer's reusable queue and
 // encode buffers this is the zero-allocation publish path: a steady-state
 // publisher sending batches through a probe allocates nothing per batch.
+//
+//gscope:hotpath
 func (c *Client) SendProbeBatch(p *ClientProbe, samples []tuple.Sample) error {
 	if len(samples) == 0 {
 		return nil
@@ -781,7 +806,7 @@ func (c *Client) SendProbeBatch(p *ClientProbe, samples []tuple.Sample) error {
 		err := c.err
 		c.mu.Unlock()
 		if err == nil {
-			err = fmt.Errorf("netscope: client closed")
+			err = fmt.Errorf("netscope: client closed") //gscope:allow hotpath error construction happens only after Close
 		}
 		return err
 	}

@@ -27,10 +27,13 @@ type Log struct {
 	dir  string
 	opts Options
 
-	mu      sync.Mutex
-	queue   [][]tuple.Tuple
+	mu sync.Mutex
+	//gscope:guardedby mu
+	queue [][]tuple.Tuple
+	//gscope:guardedby mu
 	flushes []chan error
-	closed  bool
+	//gscope:guardedby mu
+	closed bool
 
 	kick chan struct{}
 	done chan struct{}
@@ -97,6 +100,8 @@ func (l *Log) Dir() string { return l.dir }
 // regardless of batch size. When the queue is full the oldest queued batch
 // is dropped and counted. Append reports false once the log is closed or
 // its writer has failed.
+//
+//gscope:hotpath
 func (l *Log) Append(batch []tuple.Tuple) bool {
 	if l.failed.Load() {
 		return false
@@ -107,7 +112,7 @@ func (l *Log) Append(batch []tuple.Tuple) bool {
 		l.mu.Unlock()
 		return !closed
 	}
-	cp := make([]tuple.Tuple, len(batch))
+	cp := make([]tuple.Tuple, len(batch)) //gscope:allow hotpath the batch copy is the documented loop-side cost of recording
 	copy(cp, batch)
 	l.mu.Lock()
 	if l.closed {
@@ -266,9 +271,11 @@ func (l *Log) fail(err error) {
 
 // writeBatch appends one batch to the active segment, opening and rotating
 // segments as needed. Runs on the writer goroutine.
+//
+//gscope:hotpath
 func (l *Log) writeBatch(batch []tuple.Tuple) error {
 	if l.w == nil {
-		if err := l.openSegment(); err != nil {
+		if err := l.openSegment(); err != nil { //gscope:allow hotpath segment rotation is once per SegmentBytes of traffic
 			return err
 		}
 	}
@@ -277,10 +284,10 @@ func (l *Log) writeBatch(batch []tuple.Tuple) error {
 	} else {
 		l.encBuf = tuple.AppendWireBatch(l.encBuf[:0], batch)
 	}
-	n, err := l.w.Write(l.encBuf)
+	n, err := l.w.Write(l.encBuf) //gscope:allow hotpath buffered segment write on the log's own goroutine, off the loop
 	l.segBytes += int64(n)
 	if err != nil {
-		return fmt.Errorf("reclog: %s: %w", segName(l.seq), err)
+		return fmt.Errorf("reclog: %s: %w", segName(l.seq), err) //gscope:allow hotpath error construction happens only when the disk write fails
 	}
 	for _, t := range batch {
 		if l.segTuples == 0 || t.Time < l.segFirst {
@@ -294,7 +301,7 @@ func (l *Log) writeBatch(batch []tuple.Tuple) error {
 	l.written.Add(int64(len(batch)))
 	if l.segBytes >= l.opts.SegmentBytes ||
 		l.segLast-l.segFirst >= l.opts.SegmentSpan.Milliseconds() {
-		return l.seal()
+		return l.seal() //gscope:allow hotpath segment rotation is once per SegmentBytes of traffic
 	}
 	return nil
 }

@@ -1,0 +1,175 @@
+package testutil
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/vet"
+)
+
+// This file is the analysistest-style harness for the gscope-vet
+// analyzers (stdlib-only, like the vet framework itself — see
+// internal/vet's package comment for why x/tools is not available).
+// Tests hand RunAnalyzer a map of inline sources; every line that should
+// produce a diagnostic carries a trailing expectation comment:
+//
+//	p.buf = nil // want `without holding mu`
+//	s := fmt.Sprint(v) //gscope:allow hotpath reason // allowed `fmt`
+//
+// `// want` expects an unsuppressed diagnostic on that line whose
+// message matches the backquoted regexp; `// allowed` expects a
+// diagnostic suppressed by a //gscope:allow on the same (or previous)
+// line. Diagnostics without expectations and expectations without
+// diagnostics both fail the test, so suites pin exact analyzer behavior
+// in both directions.
+
+// expectRe matches one expectation comment. The message pattern is
+// backquoted so expectation regexps can contain double quotes.
+var expectRe = regexp.MustCompile("// (want|allowed) `([^`]*)`")
+
+// AnalyzerResult is what RunAnalyzer returns, for tests that assert on
+// more than line expectations (e.g. suppression counts).
+type AnalyzerResult struct {
+	Findings []vet.Finding
+	Summary  vet.Summary
+}
+
+// RunAnalyzer type-checks the inline sources as one package (imports of
+// real repro/... packages resolve through the module's build cache, so
+// test sources exercise the real tuple/glib/core APIs), runs the
+// analyzer plus the //gscope:allow suppression pipeline over it, and
+// compares every diagnostic against the sources' `// want` / `// allowed`
+// expectations.
+func RunAnalyzer(t *testing.T, a *vet.Analyzer, sources map[string]string) AnalyzerResult {
+	t.Helper()
+	root := moduleRoot(t)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var expects []*expectation
+	for _, name := range sortedKeys(sources) {
+		src := sources[name]
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+		expects = append(expects, parseExpectations(t, name, src)...)
+	}
+
+	info := vet.NewInfo()
+	conf := types.Config{Importer: vet.NewImporter(fset, root)}
+	pkgPath := "repro/vettest/" + files[0].Name.Name
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+
+	module := vet.NewModule()
+	module.Internal[pkgPath] = true
+	if err := vet.CollectFacts(module, files, info); err != nil {
+		t.Fatalf("collect facts: %v", err)
+	}
+	prog := &vet.Program{
+		Fset:   fset,
+		Module: module,
+		Packages: []*vet.Package{{
+			ImportPath: pkgPath,
+			Files:      files,
+			Types:      tpkg,
+			Info:       info,
+		}},
+	}
+	findings, sum, err := prog.Run([]*vet.Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s: %v", a.Name, err)
+	}
+
+	for i := range findings {
+		f := &findings[i]
+		matched := false
+		for _, e := range expects {
+			if e.matched || e.file != f.Pos.Filename || e.line != f.Pos.Line {
+				continue
+			}
+			if e.allowed == f.Suppressed && e.re.MatchString(f.Message) {
+				e.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			kind := "diagnostic"
+			if f.Suppressed {
+				kind = "suppressed diagnostic"
+			}
+			t.Errorf("%s: unexpected %s: %s: %s", f.Pos, kind, f.Analyzer, f.Message)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			kind := "want"
+			if e.allowed {
+				kind = "allowed"
+			}
+			t.Errorf("%s:%d: no diagnostic matched // %s `%s`", e.file, e.line, kind, e.re)
+		}
+	}
+	return AnalyzerResult{Findings: findings, Summary: sum}
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == filepath.FromSlash("/dev/null") {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+// sortedKeys returns the file names in lexical order so file order —
+// and thus fact collection and diagnostics — is stable run to run.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// expectation is one parsed want/allowed comment.
+type expectation struct {
+	file    string
+	line    int
+	allowed bool
+	re      *regexp.Regexp
+	matched bool
+}
+
+func parseExpectations(t *testing.T, name, src string) []*expectation {
+	t.Helper()
+	var out []*expectation
+	for i, line := range strings.Split(src, "\n") {
+		for _, m := range expectRe.FindAllStringSubmatch(line, -1) {
+			re, err := regexp.Compile(m[2])
+			if err != nil {
+				t.Fatalf("%s:%d: bad expectation regexp %q: %v", name, i+1, m[2], err)
+			}
+			out = append(out, &expectation{file: name, line: i + 1, allowed: m[1] == "allowed", re: re})
+		}
+	}
+	return out
+}

@@ -74,14 +74,19 @@ var errLineTooLong = fmt.Errorf("tuple: stream line exceeds %d bytes", maxStream
 
 // zigzag maps a signed delta onto the unsigned varint domain so small
 // negative values stay small (WIRE.md §B5).
+//
+//gscope:hotpath
 func zigzag(v int64) uint64 { return uint64(v)<<1 ^ uint64(v>>63) }
 
+//gscope:hotpath
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
 // appendXOR appends one XOR-compressed value residual: control byte 0x00
 // for a repeat (x == 0), otherwise 1 + 8·L + T for L leading and T
 // trailing zero bytes of x, followed by the 8−L−T middle bytes
 // most-significant first (WIRE.md §B6).
+//
+//gscope:hotpath
 func appendXOR(dst []byte, x uint64) []byte {
 	if x == 0 {
 		return append(dst, 0)
@@ -151,6 +156,8 @@ func (e *BinaryEncoder) Signals() int { return len(e.names) }
 
 // appendDictFrame encodes one DICT frame: uvarint ID, then the name bytes
 // to the end of the payload (WIRE.md §B3).
+//
+//gscope:hotpath
 func appendDictFrame(dst []byte, id uint64, name string) []byte {
 	var idb [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(idb[:], id)
@@ -163,6 +170,8 @@ func appendDictFrame(dst []byte, id uint64, name string) []byte {
 // AppendDict appends DICT frames declaring every binding in the
 // dictionary, in ID order — the catch-up a fan-out hub sends a subscriber
 // joining a shared stream mid-flight. It does not change encoder state.
+//
+//gscope:hotpath
 func (e *BinaryEncoder) AppendDict(dst []byte) []byte {
 	for id, name := range e.names {
 		dst = appendDictFrame(dst, uint64(id), name)
@@ -174,6 +183,8 @@ func (e *BinaryEncoder) AppendDict(dst []byte) []byte {
 // uvarint ID, uvarint count, the timestamp column (first stamp zigzag
 // absolute, then delta-of-delta), then the value column (XOR against the
 // previous value bits, 0 at the run head). WIRE.md §B4–B6.
+//
+//gscope:hotpath
 func (e *BinaryEncoder) appendRun(id uint64, run []Tuple) {
 	p := e.payload
 	p = binary.AppendUvarint(p, id)
@@ -201,6 +212,8 @@ func (e *BinaryEncoder) appendRun(id uint64, run []Tuple) {
 }
 
 // flush closes the pending payload into one DATA frame appended to dst.
+//
+//gscope:hotpath
 func (e *BinaryEncoder) flush(dst []byte) []byte {
 	if len(e.payload) == 0 {
 		return dst
@@ -217,6 +230,8 @@ func (e *BinaryEncoder) flush(dst []byte) []byte {
 // Same-name runs share one run header; names past the dictionary cap are
 // appended as text lines in place (a legal mixed stream), preserving tuple
 // order exactly. This is the binary counterpart of AppendWireBatch.
+//
+//gscope:hotpath
 func (e *BinaryEncoder) AppendBatch(dst []byte, batch []Tuple) []byte {
 	for i := 0; i < len(batch); {
 		name := batch[i].Name
@@ -226,9 +241,9 @@ func (e *BinaryEncoder) AppendBatch(dst []byte, batch []Tuple) []byte {
 		}
 		id, ok := e.ids[name]
 		if !ok && len(e.names) < maxStreamSignals {
-			clean := strings.Clone(CleanName(name))
+			clean := strings.Clone(CleanName(name)) //gscope:allow hotpath dictionary growth copies each name once per stream
 			id = uint64(len(e.names))
-			e.ids[strings.Clone(name)] = id
+			e.ids[strings.Clone(name)] = id //gscope:allow hotpath dictionary growth copies each name once per stream
 			e.names = append(e.names, clean)
 			dst = appendDictFrame(dst, id, clean)
 			ok = true
@@ -259,6 +274,8 @@ func (e *BinaryEncoder) AppendBatch(dst []byte, batch []Tuple) []byte {
 // A hub uses it to serve one subscriber's snapshot/backfill from a shared
 // stream encoder — the private frames must not invent IDs that other
 // subscribers of the same stream never saw declared.
+//
+//gscope:hotpath
 func (e *BinaryEncoder) AppendBatchReadOnly(dst []byte, batch []Tuple) []byte {
 	for i := 0; i < len(batch); {
 		name := batch[i].Name

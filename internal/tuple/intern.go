@@ -35,10 +35,14 @@ const NoSignal SignalID = -1
 // released; callers managing unbounded name spaces should cap growth via
 // Len.
 type Interner struct {
-	mu    sync.RWMutex
-	ids   map[string]SignalID
+	mu sync.RWMutex
+	//gscope:guardedby mu
+	ids map[string]SignalID
+	//gscope:guardedby mu
 	names []string
-	wire  [][]byte // " " + name, empty for the unnamed signal
+	// wire holds " " + name per ID, empty for the unnamed signal.
+	//gscope:guardedby mu
+	wire [][]byte
 }
 
 // NewInterner returns an empty interner.
@@ -81,6 +85,8 @@ func (in *Interner) Intern(name string) (SignalID, error) {
 }
 
 // Lookup returns the ID of an already-interned name.
+//
+//gscope:hotpath
 func (in *Interner) Lookup(name string) (SignalID, bool) {
 	in.mu.RLock()
 	id, ok := in.ids[name]
@@ -107,6 +113,8 @@ func (in *Interner) Canonical(name string) string {
 }
 
 // Name returns the canonical name for id, or "" for an unknown ID.
+//
+//gscope:hotpath
 func (in *Interner) Name(id SignalID) string {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
@@ -119,6 +127,8 @@ func (in *Interner) Name(id SignalID) string {
 // NameBytes returns the prebuilt " name" wire suffix for id (empty for the
 // unnamed signal or an unknown ID). The slice is shared and must not be
 // modified.
+//
+//gscope:hotpath
 func (in *Interner) NameBytes(id SignalID) []byte {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
@@ -129,6 +139,8 @@ func (in *Interner) NameBytes(id SignalID) []byte {
 }
 
 // Len returns the number of interned names.
+//
+//gscope:hotpath
 func (in *Interner) Len() int {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
@@ -139,6 +151,8 @@ func (in *Interner) Len() int {
 // the interned signal id. The name was validated at Intern time, so the
 // encoder is a straight byte append — the zero-allocation batch path
 // behind ClientProbe and the hub's interned broadcast.
+//
+//gscope:hotpath
 func (in *Interner) AppendWireID(dst []byte, id SignalID, s Sample) []byte {
 	return AppendWireName(dst, in.NameBytes(id), s)
 }
@@ -147,6 +161,8 @@ func (in *Interner) AppendWireID(dst []byte, id SignalID, s Sample) []byte {
 // (as returned by Interner.NameBytes; empty encodes the two-field form).
 // Callers that hold a suffix encode a whole same-signal run without
 // re-validating or re-copying the name per tuple.
+//
+//gscope:hotpath
 func AppendWireName(dst []byte, nameSfx []byte, s Sample) []byte {
 	dst = strconv.AppendInt(dst, s.At.Milliseconds(), 10)
 	dst = append(dst, ' ')

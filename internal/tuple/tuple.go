@@ -96,15 +96,17 @@ var ErrBadName = errors.New("invalid signal name")
 // and leading or trailing whitespace is silently dropped by Parse's
 // trimming. Both are rejected. The empty name is valid: it selects the
 // two-field tuple form.
+//
+//gscope:hotpath
 func ValidateName(name string) error {
 	if name == "" {
 		return nil
 	}
 	if strings.ContainsAny(name, "\n\r") {
-		return fmt.Errorf("%w: %q contains a line break", ErrBadName, name)
+		return fmt.Errorf("%w: %q contains a line break", ErrBadName, name) //gscope:allow hotpath error construction happens only when a name is rejected
 	}
 	if strings.TrimSpace(name) != name {
-		return fmt.Errorf("%w: %q has leading or trailing whitespace", ErrBadName, name)
+		return fmt.Errorf("%w: %q has leading or trailing whitespace", ErrBadName, name) //gscope:allow hotpath error construction happens only when a name is rejected
 	}
 	return nil
 }
@@ -112,7 +114,10 @@ func ValidateName(name string) error {
 // CleanName returns the closest valid form of name: line breaks become
 // spaces and surrounding whitespace is trimmed. Valid names come back
 // unchanged (and unallocated). It is the sanitization AppendWire applies to
-// names it cannot reject.
+// names it cannot reject. The slow path below the nameClean check allocates,
+// but only for names that failed validation — never for registered names.
+//
+//gscope:hotpath
 func CleanName(name string) string {
 	if nameClean(name) {
 		return name
@@ -120,6 +125,7 @@ func CleanName(name string) string {
 	if ValidateName(name) == nil {
 		return name // multi-byte edge rune that is not a space
 	}
+	//gscope:allow hotpath sanitizing slow path, reached only for invalid names
 	name = strings.Map(func(r rune) rune {
 		if r == '\n' || r == '\r' {
 			return ' '
@@ -132,6 +138,8 @@ func CleanName(name string) string {
 // nameClean is the fast-path check behind CleanName/AppendWire: ASCII edge
 // bytes that TrimSpace would keep, and no line breaks anywhere. Multi-byte
 // edge runes fall through to the slow path, which handles Unicode spaces.
+//
+//gscope:hotpath
 func nameClean(name string) bool {
 	if name == "" {
 		return true
@@ -146,6 +154,8 @@ func nameClean(name string) bool {
 // edgeSuspect reports whether a leading/trailing byte could be trimmed by
 // TrimSpace. Bytes ≥ 0x80 may start or end a Unicode space rune, so they
 // are suspect and resolved on the slow path.
+//
+//gscope:hotpath
 func edgeSuspect(b byte) bool {
 	switch b {
 	case ' ', '\t', '\v', '\f':
@@ -167,6 +177,8 @@ type Tuple struct {
 }
 
 // Timestamp converts the millisecond time to a Duration offset.
+//
+//gscope:hotpath
 func (t Tuple) Timestamp() time.Duration { return time.Duration(t.Time) * time.Millisecond }
 
 // Sample is one timestamped value without a name — the payload of the
@@ -182,6 +194,8 @@ type Sample struct {
 }
 
 // Tuple converts the sample to a named wire tuple.
+//
+//gscope:hotpath
 func (s Sample) Tuple(name string) Tuple {
 	return Tuple{Time: s.At.Milliseconds(), Value: s.Value, Name: name}
 }
@@ -210,6 +224,8 @@ func FormatValue(v float64) string {
 // format cannot carry (see ValidateName) is sanitized with CleanName
 // instead of corrupting the stream; valid names — the only kind the
 // registration APIs hand out — are encoded byte-identically to before.
+//
+//gscope:hotpath
 func AppendWire(dst []byte, t Tuple) []byte {
 	return AppendWirePrepared(dst, t.Time, t.Value, CleanName(t.Name))
 }
@@ -219,6 +235,8 @@ func AppendWire(dst []byte, t Tuple) []byte {
 // name). It is the shared tail of AppendWire and the run encoders: batch
 // paths that encode many tuples of one signal clean the name once per run
 // and call this per tuple.
+//
+//gscope:hotpath
 func AppendWirePrepared(dst []byte, timeMS int64, v float64, name string) []byte {
 	dst = strconv.AppendInt(dst, timeMS, 10)
 	dst = append(dst, ' ')
@@ -237,6 +255,8 @@ func AppendWirePrepared(dst []byte, timeMS int64, v float64, name string) []byte
 // AppendWireBatch appends every tuple in batch to dst in wire form.
 // Publisher batches overwhelmingly carry runs of one signal, so the name
 // is validated once per run, not once per tuple.
+//
+//gscope:hotpath
 func AppendWireBatch(dst []byte, batch []Tuple) []byte {
 	for i := 0; i < len(batch); {
 		name := batch[i].Name

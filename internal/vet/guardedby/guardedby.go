@@ -1,0 +1,474 @@
+// Package guardedby implements the gscope-vet analyzer enforcing the
+// repo's lock and atomic disciplines — the invariant class behind the
+// Probe displayed-watermark mirror, where one field is written under a
+// shard mutex while a sibling atomic mirrors it for lock-free readers.
+//
+// Two rules:
+//
+//  1. A struct field annotated `//gscope:guardedby mu` may only be
+//     accessed while the sibling lock `mu` on the same receiver is held.
+//     Lock state is tracked flow-sensitively through each function body:
+//     x.mu.Lock()/Unlock()/RLock()/RUnlock() calls update the state,
+//     branches merge conservatively (a lock is held after an if only
+//     when every surviving branch holds it), and `defer x.mu.Unlock()`
+//     keeps the lock held to the end of the function. Writes require the
+//     exclusive lock; reads accept a read lock. A function that expects
+//     its caller to hold the lock declares it with `//gscope:locked mu`
+//     (methods named `...Locked` default to requiring `mu`), which both
+//     seeds the state inside the function and obliges every caller to
+//     hold that lock at the call site.
+//
+//  2. A field touched through sync/atomic — annotated `//gscope:atomic`,
+//     or detected because `&x.f` is passed to a sync/atomic function
+//     anywhere in the package — must never also be accessed with plain
+//     loads or stores; the mix is exactly the race the displayed
+//     watermark had before it grew its atomic mirror.
+//
+// Fields of type atomic.Int64 & co. need no annotation: the type system
+// already forbids plain access.
+package guardedby
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/vet"
+)
+
+// Analyzer is the guardedby analyzer.
+var Analyzer = &vet.Analyzer{
+	Name: "guardedby",
+	Doc:  "//gscope:guardedby fields are only touched under their lock; atomically-accessed fields are never also plainly accessed",
+	Run:  run,
+}
+
+// mode is how a lock is held.
+type mode int
+
+const (
+	shared mode = 1 // RLock
+	excl   mode = 2 // Lock
+)
+
+// state maps a rendered lock expression ("s.mu", "p.sh.mu") to how it is
+// held. Keys are syntactic: aliasing through renamed variables is out of
+// scope, which matches how the code is written (the alias and the lock
+// call use the same variable).
+type state map[string]mode
+
+func (s state) clone() state {
+	n := make(state, len(s))
+	for k, v := range s {
+		n[k] = v
+	}
+	return n
+}
+
+// merge returns the intersection of two states, keeping the weaker mode.
+func merge(a, b state) state {
+	n := make(state)
+	for k, va := range a {
+		if vb, ok := b[k]; ok {
+			if vb < va {
+				n[k] = vb
+			} else {
+				n[k] = va
+			}
+		}
+	}
+	return n
+}
+
+func run(pass *vet.Pass) error {
+	c := &checker{
+		pass:       pass,
+		info:       pass.TypesInfo,
+		atomics:    make(map[string]token.Pos),
+		atomicUses: make(map[*ast.SelectorExpr]bool),
+	}
+	// Pass 1: find fields whose address reaches sync/atomic, and record
+	// the exact selector nodes used that way so pass 2 can exempt them.
+	for fd := range vet.EnclosingFuncs(pass.Files, pass.TypesInfo) {
+		ast.Inspect(fd.Body, c.findAtomics)
+	}
+	// Pass 2: flow-check every function.
+	for fd, fn := range vet.EnclosingFuncs(pass.Files, pass.TypesInfo) {
+		c.checkFunc(fd, fn)
+	}
+	return nil
+}
+
+type checker struct {
+	pass *vet.Pass
+	info *types.Info
+
+	// atomics maps field keys accessed via sync/atomic to one use
+	// position (for the diagnostic); atomicUses marks the selector nodes
+	// inside those atomic calls.
+	atomics    map[string]token.Pos
+	atomicUses map[*ast.SelectorExpr]bool
+}
+
+// findAtomics records fields used as &x.f arguments to sync/atomic
+// functions.
+func (c *checker) findAtomics(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return true
+	}
+	fn := vet.Callee(c.info, call)
+	if vet.PkgPath(fn) != "sync/atomic" {
+		return true
+	}
+	for _, arg := range call.Args {
+		un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			continue
+		}
+		sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		field, recv, ok := vet.FieldSelection(c.info, sel)
+		if !ok {
+			continue
+		}
+		if key, ok := vet.FieldKey(recv, field); ok {
+			if _, seen := c.atomics[key]; !seen {
+				c.atomics[key] = sel.Pos()
+			}
+			c.atomicUses[sel] = true
+		}
+	}
+	return true
+}
+
+// checkFunc flow-checks one function body.
+func (c *checker) checkFunc(fd *ast.FuncDecl, fn *types.Func) {
+	st := make(state)
+	if lock, ok := c.pass.Module.Locked[vet.FuncKey(fn)]; ok {
+		if recv := recvName(fd); recv != "" {
+			st[recv+"."+lock] = excl
+		}
+	}
+	c.block(fd.Body.List, st)
+}
+
+// recvName returns the receiver identifier of a method declaration.
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// block walks a statement list, threading lock state. It returns the
+// exit state and whether control definitely leaves the block (return,
+// break, continue, goto, panic).
+func (c *checker) block(stmts []ast.Stmt, st state) (state, bool) {
+	for _, s := range stmts {
+		var term bool
+		st, term = c.stmt(s, st)
+		if term {
+			return st, true
+		}
+	}
+	return st, false
+}
+
+func (c *checker) stmt(s ast.Stmt, st state) (state, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if lock, m, un := lockOp(c.info, s.X); lock != "" {
+			c.expr(lockReceiver(s.X), st, false)
+			if un {
+				delete(st, lock)
+			} else {
+				st[lock] = m
+			}
+			return st, false
+		}
+		c.expr(s.X, st, false)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			c.expr(r, st, false)
+		}
+		for _, l := range s.Lhs {
+			c.expr(l, st, true)
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X, st, true)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v, st, false)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		// defer x.mu.Unlock() keeps the lock held through the rest of
+		// the function; other deferred calls run at exit with unknown
+		// lock state, so their closures are checked lock-free.
+		if lock, _, un := lockOp(c.info, s.Call); lock != "" && un {
+			return st, false
+		}
+		c.expr(s.Call, make(state), false)
+	case *ast.GoStmt:
+		c.expr(s.Call, make(state), false)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			c.expr(r, st, false)
+		}
+		return st, true
+	case *ast.BranchStmt:
+		return st, s.Tok != token.FALLTHROUGH
+	case *ast.BlockStmt:
+		return c.block(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		c.expr(s.Cond, st, false)
+		thenSt, thenTerm := c.block(s.Body.List, st.clone())
+		elseSt, elseTerm := st.clone(), false
+		if s.Else != nil {
+			elseSt, elseTerm = c.stmt(s.Else, st.clone())
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseSt, false
+		case elseTerm:
+			return thenSt, false
+		default:
+			return merge(thenSt, elseSt), false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, st, false)
+		}
+		bodySt, _ := c.block(s.Body.List, st.clone())
+		if s.Post != nil {
+			c.stmt(s.Post, bodySt)
+		}
+		return merge(st, bodySt), false
+	case *ast.RangeStmt:
+		c.expr(s.X, st, false)
+		if s.Key != nil {
+			c.expr(s.Key, st, true)
+		}
+		if s.Value != nil {
+			c.expr(s.Value, st, true)
+		}
+		bodySt, _ := c.block(s.Body.List, st.clone())
+		return merge(st, bodySt), false
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, st, false)
+		}
+		return c.clauses(s.Body, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st, _ = c.stmt(s.Init, st)
+		}
+		c.stmt(s.Assign, st)
+		return c.clauses(s.Body, st)
+	case *ast.SelectStmt:
+		return c.clauses(s.Body, st)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	case *ast.SendStmt:
+		c.expr(s.Chan, st, false)
+		c.expr(s.Value, st, false)
+	}
+	return st, false
+}
+
+// clauses walks switch/select clause bodies, merging the exit states of
+// clauses that fall out the bottom.
+func (c *checker) clauses(body *ast.BlockStmt, st state) (state, bool) {
+	exit := st
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				c.expr(e, st, false)
+			}
+			stmts = cl.Body
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				c.stmt(cl.Comm, st.clone())
+			}
+			stmts = cl.Body
+		}
+		clSt, clTerm := c.block(stmts, st.clone())
+		if !clTerm {
+			exit = merge(exit, clSt)
+		}
+	}
+	return exit, false
+}
+
+// expr checks every guarded-field access and locked-callee call inside
+// an expression. write marks the OUTERMOST selector as a store; nested
+// subexpressions are reads.
+func (c *checker) expr(e ast.Expr, st state, write bool) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		c.access(e, st, write)
+		c.expr(e.X, st, false)
+		return
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			// Taking the address hands out mutable access.
+			if sel, ok := ast.Unparen(e.X).(*ast.SelectorExpr); ok {
+				c.access(sel, st, true)
+				c.expr(sel.X, st, false)
+				return
+			}
+		}
+		c.expr(e.X, st, write)
+		return
+	case *ast.CallExpr:
+		c.lockedCallee(e, st)
+		c.expr(e.Fun, st, false)
+		for _, a := range e.Args {
+			c.expr(a, st, false)
+		}
+		return
+	case *ast.FuncLit:
+		// The literal may run on another goroutine or after the lock is
+		// released; check its body against an empty lock state. Locks it
+		// takes itself are tracked normally.
+		c.block(e.Body.List, make(state))
+		return
+	}
+	// Generic traversal for the remaining expression shapes.
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			c.expr(n, st, false)
+			return false
+		case *ast.CallExpr:
+			c.expr(n, st, false)
+			return false
+		case *ast.FuncLit:
+			c.block(n.Body.List, make(state))
+			return false
+		case *ast.UnaryExpr:
+			c.expr(n, st, false)
+			return false
+		}
+		return true
+	})
+}
+
+// access checks one field selection against the lock state and the
+// atomic-mix rule.
+func (c *checker) access(sel *ast.SelectorExpr, st state, write bool) {
+	field, recv, ok := vet.FieldSelection(c.info, sel)
+	if !ok {
+		// Not a field (method, package member): check locked callees is
+		// handled at call sites; nothing to do here.
+		return
+	}
+	key, ok := vet.FieldKey(recv, field)
+	if !ok {
+		return
+	}
+	if lock, guarded := c.pass.Module.Guarded[key]; guarded {
+		lockKey := types.ExprString(sel.X) + "." + lock
+		held := st[lockKey]
+		switch {
+		case held == 0:
+			c.pass.Reportf(sel.Pos(), "%s read/written without holding %s", key, lockKey)
+		case write && held == shared:
+			c.pass.Reportf(sel.Pos(), "%s written while holding only a read lock on %s", key, lockKey)
+		}
+	}
+	if c.pass.Module.Atomic[key] && !c.atomicUses[sel] {
+		c.pass.Reportf(sel.Pos(), "%s is //gscope:atomic — plain access races with its sync/atomic users", key)
+	} else if pos, mixed := c.atomics[key]; mixed && !c.atomicUses[sel] {
+		p := c.pass.Fset.Position(pos)
+		c.pass.Reportf(sel.Pos(), "%s is accessed with sync/atomic at %s:%d — this plain access races with it", key, p.Filename, p.Line)
+	}
+}
+
+// lockedCallee enforces //gscope:locked contracts at call sites: the
+// caller must hold the callee's declared lock on the same receiver.
+func (c *checker) lockedCallee(call *ast.CallExpr, st state) {
+	fn := vet.Callee(c.info, call)
+	if fn == nil {
+		return
+	}
+	lock, ok := c.pass.Module.Locked[vet.FuncKey(fn)]
+	if !ok {
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return // method expression or bare call; out of scope
+	}
+	lockKey := types.ExprString(sel.X) + "." + lock
+	if st[lockKey] == 0 {
+		c.pass.Reportf(call.Pos(), "%s requires %s held (//gscope:locked)", fn.Name(), lockKey)
+	}
+}
+
+// lockOp recognizes x.mu.Lock()/RLock()/Unlock()/RUnlock() call
+// expressions. It returns the rendered lock key ("x.mu"), the mode a
+// lock acquisition takes, and whether the op is a release.
+func lockOp(info *types.Info, e ast.Expr) (string, mode, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", 0, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", 0, false
+	}
+	recv := sel.X
+	tv, ok := info.Types[recv]
+	if !ok || vet.MutexKind(tv.Type) == "" {
+		return "", 0, false
+	}
+	key := types.ExprString(recv)
+	switch sel.Sel.Name {
+	case "Lock":
+		return key, excl, false
+	case "RLock":
+		return key, shared, false
+	case "Unlock", "RUnlock":
+		return key, 0, true
+	}
+	return "", 0, false
+}
+
+// lockReceiver returns the receiver chain of a lock call so guarded
+// fields inside it (rare, e.g. locks reached through guarded pointers)
+// are still checked.
+func lockReceiver(e ast.Expr) ast.Expr {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return e
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.X
+	}
+	return e
+}

@@ -1,0 +1,144 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+	"repro/internal/vet/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	testutil.RunAnalyzer(t, guardedby.Analyzer, map[string]string{"a.go": `
+package guardedbytest
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type shard struct {
+	mu sync.RWMutex
+
+	//gscope:guardedby mu
+	buf []float64
+
+	//gscope:guardedby mu
+	head int
+
+	limNs int64 //gscope:atomic
+}
+
+func (s *shard) good(v float64) {
+	s.mu.Lock()
+	s.buf = append(s.buf, v)
+	s.head++
+	s.mu.Unlock()
+	atomic.StoreInt64(&s.limNs, 5)
+}
+
+func (s *shard) goodDefer() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.head
+}
+
+func (s *shard) badNoLock() int {
+	return s.head // want ` + "`shard.head read/written without holding s.mu`" + `
+}
+
+func (s *shard) badReadLockWrite() {
+	s.mu.RLock()
+	s.head = 0 // want ` + "`written while holding only a read lock on s.mu`" + `
+	s.mu.RUnlock()
+}
+
+func (s *shard) badBranch(c bool) {
+	if c {
+		s.mu.Lock()
+	}
+	s.buf = nil // want ` + "`shard.buf read/written without holding s.mu`" + `
+	if c {
+		s.mu.Unlock()
+	}
+}
+
+func (s *shard) goodBranch(c bool) {
+	s.mu.Lock()
+	if c {
+		s.head++
+	} else {
+		s.head--
+	}
+	s.mu.Unlock()
+}
+
+func (s *shard) badAtomicMix() {
+	s.limNs = 3 // want ` + "`shard.limNs is //gscope:atomic — plain access races`" + `
+}
+
+func (s *shard) badClosure() {
+	s.mu.Lock()
+	f := func() { s.buf = nil } // want ` + "`shard.buf read/written without holding s.mu`" + `
+	f()
+	s.mu.Unlock()
+}
+
+// stealLocked follows the ...Locked convention: mu is required on entry,
+// so the body is checked with it held and callers must hold it.
+func (s *shard) stealLocked() {
+	s.buf = s.buf[:0]
+}
+
+func (s *shard) callerGood() {
+	s.mu.Lock()
+	s.stealLocked()
+	s.mu.Unlock()
+}
+
+func (s *shard) callerBad() {
+	s.stealLocked() // want ` + "`stealLocked requires s.mu held`" + `
+}
+
+// mirror has no annotation on disp, but its address reaches sync/atomic,
+// so plain access elsewhere is flagged as a mixed-mode race.
+type mirror struct {
+	disp int64
+}
+
+func (m *mirror) store(v int64) {
+	atomic.StoreInt64(&m.disp, v)
+}
+
+func (m *mirror) badPlain() int64 {
+	return m.disp // want ` + "`mirror.disp is accessed with sync/atomic at`" + `
+}
+
+// reg exercises an explicit //gscope:locked naming a non-default lock,
+// overriding the ...Locked convention.
+type reg struct {
+	regMu sync.Mutex
+
+	//gscope:guardedby regMu
+	names []string
+}
+
+//gscope:locked regMu
+func (r *reg) addLocked(n string) {
+	r.names = append(r.names, n)
+}
+
+func (r *reg) add(n string) {
+	r.regMu.Lock()
+	r.addLocked(n)
+	r.regMu.Unlock()
+}
+
+func (r *reg) addBad(n string) {
+	r.addLocked(n) // want ` + "`addLocked requires r.regMu held`" + `
+}
+
+func (s *shard) allowedRead() int {
+	return s.head //gscope:allow guardedby fixture: racy stats read is tolerated // allowed ` + "`without holding s.mu`" + `
+}
+`})
+}

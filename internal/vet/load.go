@@ -1,0 +1,225 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// The loader resolves packages the way cmd/vet's unitchecker does:
+// `go list -export` compiles every dependency and reports the build-cache
+// file holding its export data, and the stdlib gc importer materializes
+// types.Packages from those files. Only the packages being analyzed are
+// parsed and type-checked from source (analyzers need syntax and
+// comments); everything they import — stdlib and module-internal alike —
+// loads from export data. This works with no network and no GOPATH
+// contents beyond the toolchain itself.
+
+// A Package is one source-loaded, type-checked package ready for
+// analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// A Program is a set of loaded packages sharing one FileSet and one
+// module-wide fact base.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	Module   *Module
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// goList runs `go list -export -json` over the patterns in dir and
+// decodes the stream of package objects.
+func goList(dir string, deps bool, patterns []string) ([]listedPkg, error) {
+	args := []string{"list", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard,Module,Error,DepsErrors"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil && len(out) == 0 {
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		for _, de := range p.DepsErrors {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, de.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter satisfies go/types.Importer backed by export-data files
+// discovered via go list, with a lazy fallback for paths (such as
+// transitive test-only imports) the eager -deps listing did not cover.
+type exportImporter struct {
+	dir     string
+	mu      sync.Mutex
+	exports map[string]string
+	gc      types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, dir string, exports map[string]string) *exportImporter {
+	ei := &exportImporter{dir: dir, exports: exports}
+	ei.gc = importer.ForCompiler(fset, "gc", ei.lookup)
+	return ei
+}
+
+func (ei *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	ei.mu.Lock()
+	file, ok := ei.exports[path]
+	ei.mu.Unlock()
+	if !ok {
+		pkgs, err := goList(ei.dir, true, []string{path})
+		if err != nil {
+			return nil, fmt.Errorf("no export data for %q: %v", path, err)
+		}
+		ei.mu.Lock()
+		for _, p := range pkgs {
+			if p.Export != "" {
+				ei.exports[p.ImportPath] = p.Export
+			}
+		}
+		file, ok = ei.exports[path]
+		ei.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) { return ei.gc.Import(path) }
+
+// NewImporter returns a types.Importer resolving any import path through
+// `go list -export` run in dir (typically the module root). The test
+// harness uses it to type-check inline sources whose imports — stdlib or
+// repro-internal — resolve exactly as the real build would.
+func NewImporter(fset *token.FileSet, dir string) types.Importer {
+	return newExportImporter(fset, dir, make(map[string]string))
+}
+
+// NewInfo returns a types.Info with every map an analyzer needs
+// populated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Load lists patterns in dir (a directory inside the module), parses and
+// type-checks every non-standard matched package from source, loads all
+// dependencies from export data, and collects module-wide annotation
+// facts.
+func Load(dir string, patterns ...string) (*Program, error) {
+	pkgs, err := goList(dir, true, patterns)
+	if err != nil {
+		return nil, err
+	}
+	// The -deps listing interleaves targets and dependencies; targets are
+	// the module's own packages. (Dependencies of a target that are
+	// themselves module packages are targets too under "./...", which is
+	// how gscope-vet is run; a narrower pattern analyzes just its
+	// matches.)
+	exports := make(map[string]string)
+	matched := make(map[string]bool)
+	if len(patterns) > 0 {
+		// Re-list without -deps to know which packages the patterns
+		// themselves name.
+		direct, err := goList(dir, false, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range direct {
+			matched[p.ImportPath] = true
+		}
+	}
+	var targets []listedPkg
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if matched[p.ImportPath] && !p.Standard && p.Module != nil {
+			targets = append(targets, p)
+		}
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no module packages matched %s", strings.Join(patterns, " "))
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, dir, exports)
+	prog := &Program{Fset: fset, Module: NewModule()}
+	for _, lp := range targets {
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", lp.ImportPath, err)
+		}
+		pkg := &Package{ImportPath: lp.ImportPath, Dir: lp.Dir, Files: files, Types: tpkg, Info: info}
+		prog.Module.Internal[lp.ImportPath] = true
+		if err := CollectFacts(prog.Module, pkg.Files, pkg.Info); err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}

@@ -1,0 +1,178 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Finding is one diagnostic after suppression processing.
+type Finding struct {
+	Analyzer   string
+	Pos        token.Position
+	Message    string
+	Suppressed bool
+	Reason     string // the //gscope:allow justification, when suppressed
+}
+
+// A Summary counts findings per analyzer, the shape the CI job prints so
+// regressions are diffable run-to-run.
+type Summary struct {
+	Analyzers []AnalyzerCount
+}
+
+// AnalyzerCount is one analyzer's tally.
+type AnalyzerCount struct {
+	Name       string
+	Reported   int // unsuppressed diagnostics (failures)
+	Suppressed int // diagnostics silenced by //gscope:allow
+}
+
+// Format renders the summary table.
+func (s Summary) Format() string {
+	var b strings.Builder
+	for _, a := range s.Analyzers {
+		fmt.Fprintf(&b, "%12s: %d finding(s), %d allowed\n", a.Name, a.Reported, a.Suppressed)
+	}
+	return b.String()
+}
+
+// allowRule is one parsed //gscope:allow comment.
+type allowRule struct {
+	analyzer string
+	reason   string
+	line     int
+	used     bool
+}
+
+// collectAllows gathers every //gscope:allow in a file, keyed by the
+// line it applies to. An allow on its own line covers the next line; an
+// allow trailing code covers its own line.
+func collectAllows(fset *token.FileSet, f *ast.File) ([]*allowRule, []Finding) {
+	var rules []*allowRule
+	var bad []Finding
+	for _, g := range f.Comments {
+		for _, c := range g.List {
+			d, ok := ParseDirective(c)
+			if !ok || d.Verb != "allow" {
+				continue
+			}
+			name, reason, _ := strings.Cut(d.Args, " ")
+			reason = strings.TrimSpace(reason)
+			pos := fset.Position(c.Slash)
+			if name == "" || reason == "" {
+				bad = append(bad, Finding{
+					Analyzer: "gscope-vet",
+					Pos:      pos,
+					Message:  "malformed //gscope:allow: want \"//gscope:allow <analyzer> <reason>\"",
+				})
+				continue
+			}
+			rules = append(rules, &allowRule{analyzer: name, reason: reason, line: pos.Line})
+		}
+	}
+	return rules, bad
+}
+
+// Run executes every analyzer over every package in the program, applies
+// //gscope:allow suppressions, and returns all findings (suppressed ones
+// included, marked) plus the per-analyzer summary. Unused allow comments
+// are themselves findings: a suppression that no longer fires is stale
+// and must be deleted, so the suppression inventory stays honest.
+func (prog *Program) Run(analyzers []*Analyzer) ([]Finding, Summary, error) {
+	// Allow rules are per file; index them once.
+	type fileRules struct{ rules []*allowRule }
+	byFile := make(map[string]*fileRules)
+	var findings []Finding
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			name := prog.Fset.Position(f.Pos()).Filename
+			rules, bad := collectAllows(prog.Fset, f)
+			byFile[name] = &fileRules{rules: rules}
+			findings = append(findings, bad...)
+		}
+	}
+
+	counts := make(map[string]*AnalyzerCount, len(analyzers))
+	for _, a := range analyzers {
+		counts[a.Name] = &AnalyzerCount{Name: a.Name}
+		for _, pkg := range prog.Packages {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      prog.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				Module:    prog.Module,
+			}
+			var diags []Diagnostic
+			pass.report = func(d Diagnostic) { diags = append(diags, d) }
+			if err := a.Run(pass); err != nil {
+				return nil, Summary{}, fmt.Errorf("%s: %s: %v", a.Name, pkg.ImportPath, err)
+			}
+			for _, d := range diags {
+				pos := prog.Fset.Position(d.Pos)
+				fnd := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+				if fr := byFile[pos.Filename]; fr != nil {
+					for _, r := range fr.rules {
+						if r.analyzer != a.Name {
+							continue
+						}
+						if r.line == pos.Line || r.line == pos.Line-1 {
+							fnd.Suppressed = true
+							fnd.Reason = r.reason
+							r.used = true
+							break
+						}
+					}
+				}
+				if fnd.Suppressed {
+					counts[a.Name].Suppressed++
+				} else {
+					counts[a.Name].Reported++
+				}
+				findings = append(findings, fnd)
+			}
+		}
+	}
+
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	for file, fr := range byFile {
+		for _, r := range fr.rules {
+			if r.used {
+				continue
+			}
+			msg := fmt.Sprintf("stale //gscope:allow %s: no %s diagnostic here — delete it", r.analyzer, r.analyzer)
+			if !known[r.analyzer] {
+				msg = fmt.Sprintf("//gscope:allow names unknown analyzer %q", r.analyzer)
+			}
+			findings = append(findings, Finding{
+				Analyzer: "gscope-vet",
+				Pos:      token.Position{Filename: file, Line: r.line},
+				Message:  msg,
+			})
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Message < findings[j].Message
+	})
+
+	var sum Summary
+	for _, a := range analyzers {
+		sum.Analyzers = append(sum.Analyzers, *counts[a.Name])
+	}
+	return findings, sum, nil
+}

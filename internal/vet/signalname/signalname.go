@@ -1,0 +1,70 @@
+// Package signalname implements the gscope-vet analyzer that moves
+// signal-name validation from runtime to analysis time.
+//
+// Every name that reaches a registration site — tuple.Interner.Intern,
+// core.Feed.Register/Probe, core.Scope.Probe, netscope.Client.Probe,
+// the gscope facade Registry.Probe/MustProbe — is validated by
+// tuple.ValidateName before it is accepted, so an invalid literal is a
+// guaranteed runtime error (or panic, for MustProbe). When the argument
+// is a compile-time constant string the analyzer runs the very same
+// tuple.ValidateName over it and reports the rejection at the call
+// site. Non-constant names stay a runtime concern.
+package signalname
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"repro/internal/tuple"
+	"repro/internal/vet"
+)
+
+// Analyzer is the signalname analyzer.
+var Analyzer = &vet.Analyzer{
+	Name: "signalname",
+	Doc:  "constant signal names at registration sites must pass tuple.ValidateName",
+	Run:  run,
+}
+
+// registrars maps the FullName of each registration function to the
+// index of its name argument.
+var registrars = map[string]int{
+	"(*repro/internal/tuple.Interner).Intern":   0,
+	"(*repro/internal/core.Feed).Register":      0,
+	"(*repro/internal/core.Feed).Probe":         0,
+	"(*repro/internal/core.Scope).Probe":        0,
+	"(*repro/internal/netscope.Client).Probe":   0,
+	"(*repro.Registry).Probe":                   0,
+	"(*repro.Registry).MustProbe":               0,
+	"(*repro/internal/core.Scope).RemoveSignal": 0,
+}
+
+func run(pass *vet.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := vet.Callee(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			idx, ok := registrars[vet.FuncKey(fn)]
+			if !ok || idx >= len(call.Args) {
+				return true
+			}
+			arg := call.Args[idx]
+			tv, ok := pass.TypesInfo.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if err := tuple.ValidateName(name); err != nil {
+				pass.Reportf(arg.Pos(), "%q rejected at runtime by %s: %v", name, fn.Name(), err)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package signalname_test
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+	"repro/internal/vet/signalname"
+)
+
+func TestSignalName(t *testing.T) {
+	testutil.RunAnalyzer(t, signalname.Analyzer, map[string]string{"a.go": `
+package signalnametest
+
+import "repro/internal/tuple"
+
+func register(in *tuple.Interner) {
+	in.Intern("cpu.load")
+	in.Intern("") // empty selects the two-field tuple form: valid
+	in.Intern("bad\nname")   // want ` + "`rejected at runtime by Intern.*line break`" + `
+	in.Intern(" padded")     // want ` + "`rejected at runtime by Intern.*whitespace`" + `
+	in.Intern("trailing \t") // want ` + "`rejected at runtime by Intern.*whitespace`" + `
+}
+
+const derived = "derived" + "\r" + "name"
+
+func registerConst(in *tuple.Interner) {
+	in.Intern(derived) // want ` + "`rejected at runtime by Intern`" + `
+}
+
+// runtimeName is not a constant; validation stays a runtime concern.
+func runtimeName(in *tuple.Interner, name string) {
+	in.Intern(name)
+}
+
+func allowedBad(in *tuple.Interner) {
+	in.Intern("intentionally bad\n") //gscope:allow signalname fixture: exercises the runtime rejection path // allowed ` + "`rejected at runtime`" + `
+}
+`})
+}

@@ -1,0 +1,124 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the static callee of a call, or nil for conversions,
+// builtins, and dynamic calls (func values, interface methods).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal {
+				// Methods reached through an interface receiver dispatch
+				// dynamically; the static object is the interface method,
+				// which callers can still inspect, so return it.
+				fn, _ := sel.Obj().(*types.Func)
+				return fn
+			}
+			return nil // field of func type: a dynamic call
+		}
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsConversion reports whether the call expression is a type conversion.
+func IsConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	return ok && tv.IsType()
+}
+
+// BuiltinName returns the name of the builtin a call invokes, or "".
+func BuiltinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// PkgPath returns the import path of the package a function belongs to,
+// or "" for builtins and error.Error.
+func PkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// IsInterfaceMethod reports whether fn is declared on an interface, so a
+// call through it dispatches dynamically.
+func IsInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// MutexKind classifies a type as a sync mutex: "mutex" for sync.Mutex,
+// "rwmutex" for sync.RWMutex (possibly behind a pointer), else "".
+func MutexKind(t types.Type) string {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return ""
+	}
+	switch obj.Name() {
+	case "Mutex":
+		return "mutex"
+	case "RWMutex":
+		return "rwmutex"
+	}
+	return ""
+}
+
+// FieldSelection returns the field object and receiver type when sel is
+// a (possibly embedded) struct field selection.
+func FieldSelection(info *types.Info, sel *ast.SelectorExpr) (*types.Var, types.Type, bool) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil, nil, false
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return nil, nil, false
+	}
+	return v, s.Recv(), true
+}
+
+// EnclosingFuncs returns, for every FuncDecl with a body in the files,
+// the declaration and its types.Func.
+func EnclosingFuncs(files []*ast.File, info *types.Info) map[*ast.FuncDecl]*types.Func {
+	out := make(map[*ast.FuncDecl]*types.Func)
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if fn, ok := info.Defs[fd.Name].(*types.Func); ok {
+					out[fd] = fn
+				}
+			}
+		}
+	}
+	return out
+}

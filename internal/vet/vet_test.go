@@ -1,0 +1,171 @@
+package vet_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/testutil"
+	"repro/internal/vet"
+)
+
+// typecheck checks a single import-free file.
+func typecheck(fset *token.FileSet, f *ast.File, info *types.Info) (*types.Package, error) {
+	conf := types.Config{}
+	return conf.Check("p", fset, []*ast.File{f}, info)
+}
+
+// marker flags every identifier named "flagme" — a minimal analyzer for
+// exercising the suppression pipeline.
+var marker = &vet.Analyzer{
+	Name: "marker",
+	Doc:  "test analyzer: flags identifiers named flagme",
+	Run: func(pass *vet.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "flagme" {
+					pass.Reportf(id.Pos(), "identifier flagme")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestSuppressionPipeline(t *testing.T) {
+	res := testutil.RunAnalyzer(t, marker, map[string]string{"a.go": `
+package markertest
+
+var flagme int // want ` + "`identifier flagme`" + `
+
+var other = flagme //gscope:allow marker fixture: reading is fine here // allowed ` + "`identifier flagme`" + `
+
+//gscope:allow marker fixture: allow above the line
+var flagme2 = flagme // allowed ` + "`identifier flagme`" + `
+`})
+	var sum vet.AnalyzerCount
+	for _, a := range res.Summary.Analyzers {
+		if a.Name == "marker" {
+			sum = a
+		}
+	}
+	if sum.Reported != 1 || sum.Suppressed != 2 {
+		t.Errorf("summary = %d reported, %d suppressed; want 1, 2", sum.Reported, sum.Suppressed)
+	}
+}
+
+func TestStaleAndUnknownAllows(t *testing.T) {
+	testutil.RunAnalyzer(t, marker, map[string]string{"a.go": `
+package markertest
+
+//gscope:allow marker nothing fires on the next line // want ` + "`stale //gscope:allow marker`" + `
+var clean int
+
+//gscope:allow nosuchanalyzer some reason // want ` + "`unknown analyzer \"nosuchanalyzer\"`" + `
+var clean2 int
+`})
+}
+
+// TestMalformedAllow cannot use want comments: any text after the
+// analyzer name — including an expectation comment — would itself be
+// the missing reason. Drive the runner directly.
+func TestMalformedAllow(t *testing.T) {
+	src := `package markertest
+
+//gscope:allow marker
+var clean int
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := vet.NewInfo()
+	tpkg, err := typecheck(fset, f, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := &vet.Program{
+		Fset:   fset,
+		Module: vet.NewModule(),
+		Packages: []*vet.Package{{
+			ImportPath: "p", Files: []*ast.File{f}, Types: tpkg, Info: info,
+		}},
+	}
+	findings, _, err := prog.Run([]*vet.Analyzer{marker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "malformed //gscope:allow") {
+		t.Errorf("findings = %+v, want one malformed-allow diagnostic", findings)
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	src := `package p
+
+//gscope:hotpath
+//gscope:guardedby mu
+//gscope:locked regMu
+// plain comment
+//gscope:allow hotpath the reason text
+func f() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, g := range f.Comments {
+		for _, d := range vet.Directives(g) {
+			got = append(got, d.Verb+"|"+d.Args)
+		}
+	}
+	want := []string{"hotpath|", "guardedby|mu", "locked|regMu", "allow|hotpath the reason text"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("directives = %v, want %v", got, want)
+	}
+}
+
+func TestLockedNamingConvention(t *testing.T) {
+	src := `package p
+
+type s struct{ x int }
+
+func (p *s) stealLocked() {}
+
+// Locked alone is a predicate name (the PLL has one), not the
+// convention.
+func (p *s) Locked() bool { return true }
+
+func helperLocked() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := vet.NewInfo()
+	tpkg, err := typecheck(fset, f, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = tpkg
+	m := vet.NewModule()
+	if err := vet.CollectFacts(m, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Locked) != 1 {
+		t.Fatalf("Locked facts = %v, want exactly stealLocked", m.Locked)
+	}
+	for k, lock := range m.Locked {
+		if !strings.Contains(k, "stealLocked") || lock != "mu" {
+			t.Errorf("Locked fact %s=%s, want stealLocked=mu", k, lock)
+		}
+	}
+}

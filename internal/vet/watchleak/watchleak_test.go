@@ -1,0 +1,97 @@
+package watchleak_test
+
+import (
+	"testing"
+
+	"repro/internal/testutil"
+	"repro/internal/vet/watchleak"
+)
+
+func TestWatchLeak(t *testing.T) {
+	testutil.RunAnalyzer(t, watchleak.Analyzer, map[string]string{"a.go": `
+package watchleaktest
+
+import (
+	"io"
+
+	"repro/internal/glib"
+)
+
+func discarded(l *glib.Loop, r io.Reader) {
+	l.WatchReader(r, nil) // want ` + "`WatchReader result discarded`" + `
+}
+
+func blanked(l *glib.Loop, r io.Reader) {
+	_ = l.WatchReader(r, nil) // want ` + "`WatchReader result assigned to blank`" + `
+}
+
+func localNeverCanceled(l *glib.Loop, r io.Reader) {
+	w := l.WatchLines(r, nil) // want ` + "`watch in \"w\" is never canceled and never escapes localNeverCanceled`" + `
+	_ = w
+}
+
+func localCanceled(l *glib.Loop, r io.Reader) {
+	w := l.WatchReader(r, nil)
+	w.Cancel()
+}
+
+func returned(l *glib.Loop, r io.Reader) *glib.IOWatch {
+	w := l.WatchReader(r, nil)
+	return w
+}
+
+func passedOn(l *glib.Loop, r io.Reader) {
+	w := l.WatchReader(r, nil)
+	adopt(w)
+}
+
+func adopt(w *glib.IOWatch) {}
+
+func capturedByClosure(l *glib.Loop, r io.Reader) func() {
+	w := l.WatchReader(r, nil)
+	return func() { w.Cancel() }
+}
+
+// leaky stores a watch into a field no method ever cancels.
+type leaky struct {
+	w *glib.IOWatch
+}
+
+func (h *leaky) start(l *glib.Loop, r io.Reader) {
+	h.w = l.WatchReader(r, nil) // want ` + "`watch stored in .*leaky.w but no method cancels it`" + `
+}
+
+// owned pairs the field store with a Cancel through the same field.
+type owned struct {
+	w *glib.IOWatch
+}
+
+func (h *owned) start(l *glib.Loop, r io.Reader) {
+	h.w = l.WatchReader(r, nil)
+}
+
+func (h *owned) stop() {
+	h.w.Cancel()
+}
+
+// pool stores watches in a map field and cancels them by ranging it.
+type pool struct {
+	watches map[string]*glib.WriteWatch
+}
+
+func (p *pool) add(l *glib.Loop, w io.Writer, key string) {
+	ww := l.WatchWriter(w, 8, nil)
+	p.watches[key] = ww
+}
+
+func (p *pool) closeAll() {
+	for _, ww := range p.watches {
+		ww.Cancel()
+	}
+}
+
+func allowedDiscard(l *glib.Loop, r io.Reader) {
+	l.WatchReader(r, nil) //gscope:allow watchleak fixture: process-lifetime watch // allowed ` + "`result discarded`" + `
+}
+`})
+}
