@@ -17,6 +17,14 @@ package main
 // partitions); reconnecting clients must ride through without violating
 // a single stream invariant — chaos is allowed to lose data, never to
 // corrupt or reorder it.
+//
+// A UDP leg rides along: two datagram publishers feed the root's lossy
+// lane (docs/WIRE.md §D) directly, proving both transports merge into
+// one stream under sustained load with exact conservation accounting —
+// every datagram the publishers numbered ends the run either released
+// into the root or explicitly declared lost. (Datagram-lane chaos is
+// owned by the internal/dgram chaos tests; the soak keeps this hop on
+// clean loopback.)
 
 import (
 	"bytes"
@@ -48,6 +56,8 @@ const (
 	// that a clean run must not drop anything — which turns the drop
 	// counters into invariants.
 	soakQueue = 1 << 16
+	// udpLegPubs datagram publishers feed the root's lossy lane.
+	udpLegPubs = 2
 )
 
 // soakValue is the deterministic checksum every publisher stamps on
@@ -336,6 +346,10 @@ func runSoak(cfg config, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	rootUDPAddr, err := root.ListenPublishersUDP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
 
 	// Two leaf relays, each re-publishing everything it hears into the
 	// root's publisher port through a reconnecting client.
@@ -437,6 +451,26 @@ func runSoak(cfg config, out io.Writer) error {
 		}(i, c)
 	}
 
+	// The UDP leg: datagram publishers straight into the root's lossy
+	// lane, same tick cadence and checksummed values as the stream pubs.
+	udpPubs := make([]*netscope.Client, udpLegPubs)
+	for u := range udpPubs {
+		c, err := netscope.DialUDP(rootUDPAddr.String())
+		if err != nil {
+			return err
+		}
+		udpPubs[u] = c
+		// Even synthetic indexes keep signal names unique across the
+		// fleet and select soakPublish's SendBatch path (the probe path
+		// is transport-independent and already covered above).
+		idx := 2*cfg.soakPublishers + 2*u
+		wg.Add(1)
+		go func(idx int, c *netscope.Client) {
+			defer wg.Done()
+			soakPublish(idx, c, start, stop, false, vio)
+		}(idx, c)
+	}
+
 	// Param churn: the control-plane subscribers exercise get/set while
 	// the stream runs; replies and change notifications are counted.
 	var churnSent atomic.Int64
@@ -520,10 +554,48 @@ func runSoak(cfg config, out io.Writer) error {
 	if fwdDropped != 0 {
 		vio.addf("relay forwarders dropped %d tuples despite the %d-tuple queue bound", fwdDropped, soakQueue)
 	}
+	// UDP leg accounting. soakPublish has flushed and closed each datagram
+	// client; quiesce once every datagram they numbered is either released
+	// into the root or explicitly declared lost (docs/WIRE.md §D4) —
+	// conservation is the exit condition, nothing may go missing silently.
+	var udpSentDgrams, udpSentTuples int64
+	for _, c := range udpPubs {
+		st, _ := c.UDPStats()
+		udpSentDgrams += st.Datagrams
+		udpSentTuples += st.Tuples
+		if st.Oversized != 0 || st.WriteErrs != 0 {
+			vio.addf("udp publisher: %d oversized batches, %d write errors on clean loopback", st.Oversized, st.WriteErrs)
+		}
+	}
+	udpAgg := func() (rel, lost, rec, tuples int64) {
+		for _, ss := range root.UDPSourceStats() {
+			rel += ss.Released
+			lost += ss.Lost
+			rec += ss.Recovered
+			tuples += ss.Tuples
+		}
+		return
+	}
+	if !testutil.Poll(10*time.Second, func() bool {
+		rel, lost, _, _ := udpAgg()
+		return rel+lost == udpSentDgrams
+	}) {
+		rel, lost, _, _ := udpAgg()
+		vio.addf("udp leg never quiesced: released %d + lost %d != %d datagrams numbered", rel, lost, udpSentDgrams)
+	}
+	udpRel, udpLost, udpRec, udpTuples := udpAgg()
+	if udpTuples > udpSentTuples {
+		vio.addf("udp leg released %d tuples, more than the %d published", udpTuples, udpSentTuples)
+	}
+	if udpLost == 0 && udpTuples != udpSentTuples {
+		vio.addf("udp leg lost no datagrams yet delivered %d of %d tuples", udpTuples, udpSentTuples)
+	}
+
 	rootSeen := func() (n int64) { onLoop(func() { n = rootCheck.seen }); return n }
-	// The relay→root hop is never chaosed: delivery must be exact.
-	if !testutil.Poll(10*time.Second, func() bool { return rootSeen() == fwdSent }) {
-		vio.addf("root received %d of %d forwarded tuples", rootSeen(), fwdSent)
+	// The relay→root hop is never chaosed and the udp leg's losses are
+	// explicitly accounted above: delivery into the root must be exact.
+	if !testutil.Poll(10*time.Second, func() bool { return rootSeen() == fwdSent+udpTuples }) {
+		vio.addf("root received %d tuples, want %d forwarded + %d udp-released", rootSeen(), fwdSent, udpTuples)
 	}
 	rootTotal := rootSeen()
 
@@ -664,6 +736,8 @@ func runSoak(cfg config, out io.Writer) error {
 
 	fmt.Fprintf(out, "  publishers         %d sent, %d dropped, %d reconnects\n", pubSent, pubDropped, reconnects)
 	fmt.Fprintf(out, "  relays             %d received, %d parse errors, %d forward drops\n", relayTotal, relayParseErrs, fwdDropped)
+	fmt.Fprintf(out, "  udp leg            %d datagrams (%d released, %d lost, %d recovered), %d of %d tuples delivered\n",
+		udpSentDgrams, udpRel, udpLost, udpRec, udpTuples, udpSentTuples)
 	fmt.Fprintf(out, "  root hub           %d received, %d published to %d subscriptions, %d hub drops\n",
 		rootTotal, hubPublished, hubSubscribes, hubDropped)
 	for _, ss := range subs {

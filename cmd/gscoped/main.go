@@ -39,6 +39,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -56,6 +57,7 @@ import (
 // config is the parsed command line.
 type config struct {
 	listen      string
+	listenUDP   string
 	subscribers string
 	upstream    string
 	signals     []string
@@ -91,6 +93,7 @@ func parseFlags(args []string) (*config, error) {
 	fs := flag.NewFlagSet("gscoped", flag.ContinueOnError)
 	var signals string
 	fs.StringVar(&cfg.listen, "listen", "127.0.0.1:7420", "address to ingest publisher tuple streams on")
+	fs.StringVar(&cfg.listenUDP, "publishers-udp", "", "also ingest datagram (UDP) publishers on this address: the lossy lane with reorder buffering and NACK recovery (docs/WIRE.md §D)")
 	fs.StringVar(&cfg.subscribers, "subscribers", "", "address to serve downstream subscribers on (fan-out hub)")
 	fs.StringVar(&cfg.upstream, "upstream", "", "subscribe to an upstream gscoped hub and relay its stream")
 	fs.StringVar(&signals, "signals", "", "comma-separated signal names/globs: displayed locally, and (with -upstream) the per-signal upstream subscription filter")
@@ -211,9 +214,15 @@ type relay struct {
 	upMu sync.Mutex
 	up   *netscope.Subscriber
 
-	// PubAddr is the bound publisher-ingest address, SubAddr the bound
-	// subscriber address (nil when fan-out is off).
+	// statusBuf is the reused render buffer for the -ansi stats line; the
+	// once-a-second repaint appends into it instead of allocating.
+	statusBuf []byte
+
+	// PubAddr is the bound publisher-ingest address, UDPAddr the bound
+	// datagram-ingest address (nil without -publishers-udp), SubAddr the
+	// bound subscriber address (nil when fan-out is off).
 	PubAddr net.Addr
+	UDPAddr net.Addr
 	SubAddr net.Addr
 }
 
@@ -291,6 +300,14 @@ func newRelay(cfg *config) (*relay, error) {
 		return nil, err
 	}
 	r.PubAddr = pubAddr
+	if cfg.listenUDP != "" {
+		udpAddr, err := r.srv.ListenPublishersUDP(cfg.listenUDP)
+		if err != nil {
+			r.cleanup()
+			return nil, err
+		}
+		r.UDPAddr = udpAddr
+	}
 	if cfg.subscribers != "" {
 		subAddr, err := r.srv.ListenSubscribers(cfg.subscribers)
 		if err != nil {
@@ -389,13 +406,8 @@ func (r *relay) run(status io.Writer) error {
 			if cfg.ansi {
 				fmt.Print(draw.ANSIHome())
 				r.widget.RenderFrame().WriteANSI(os.Stdout, draw.ANSIOptions{Scale: 3}) //nolint:errcheck
-				conns, _, recv, _ := r.srv.Stats()
-				// drops = chunks lost to slow viewers; filt = tuples the
-				// v2 plane withheld per subscription (decimation working).
-				st := r.srv.FanoutStats()
-				fmt.Printf("%s  clients=%d recv=%d subs=%d drops=%d filt=%d\n",
-					r.widget.StatusLine(), conns, recv, r.srv.Subscribers(),
-					st.Dropped, st.Filtered)
+				r.statusBuf = r.appendStatus(r.statusBuf[:0])
+				os.Stdout.Write(r.statusBuf) //nolint:errcheck
 			}
 			return true
 		})
@@ -416,6 +428,33 @@ func (r *relay) run(status io.Writer) error {
 		go r.replayLoop()
 	}
 	return r.loop.Run()
+}
+
+// appendStatus renders the -ansi stats line into dst and returns it,
+// allocating nothing per refresh (the terminal repaints it every second):
+// scope status, ingest and fan-out counters — drops are chunks lost to slow
+// viewers, filt the tuples the v2 plane withheld per subscription — and,
+// with -publishers-udp, the per-source datagram transport counters.
+func (r *relay) appendStatus(dst []byte) []byte {
+	dst = r.widget.AppendStatusLine(dst)
+	conns, _, recv, _ := r.srv.Stats()
+	st := r.srv.FanoutStats()
+	dst = append(dst, "  clients="...)
+	dst = strconv.AppendInt(dst, conns, 10)
+	dst = append(dst, " recv="...)
+	dst = strconv.AppendInt(dst, recv, 10)
+	dst = append(dst, " subs="...)
+	dst = strconv.AppendInt(dst, int64(r.srv.Subscribers()), 10)
+	dst = append(dst, " drops="...)
+	dst = strconv.AppendInt(dst, st.Dropped, 10)
+	dst = append(dst, " filt="...)
+	dst = strconv.AppendInt(dst, st.Filtered, 10)
+	if r.UDPAddr != nil {
+		dst = append(dst, "  "...)
+		dst = r.srv.AppendUDPStats(dst)
+	}
+	dst = append(dst, '\n')
+	return dst
 }
 
 // replayLoop streams the -replay session through the delivery pipeline on
@@ -573,6 +612,9 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "gscoped: ingesting publishers on %s\n", r.PubAddr)
+	if r.UDPAddr != nil {
+		fmt.Fprintf(os.Stderr, "gscoped: ingesting datagram publishers on %s\n", r.UDPAddr)
+	}
 	if r.SubAddr != nil {
 		fmt.Fprintf(os.Stderr, "gscoped: serving subscribers on %s\n", r.SubAddr)
 	}

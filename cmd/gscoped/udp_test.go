@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netscope"
+	"repro/internal/tuple"
+)
+
+func TestParseFlagsPublishersUDP(t *testing.T) {
+	cfg, err := parseFlags([]string{"-subscribers", ":0", "-publishers-udp", "127.0.0.1:7423"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.listenUDP != "127.0.0.1:7423" {
+		t.Fatalf("listenUDP = %q", cfg.listenUDP)
+	}
+}
+
+// TestRelayUDPPublishers is TestRelayEndToEnd over the lossy lane: a
+// datagram publisher feeds the relay's -publishers-udp socket and a
+// downstream TCP subscriber receives the merged stream — both transports
+// converge on the same pipeline.
+func TestRelayUDPPublishers(t *testing.T) {
+	r := startRelay(t, "-listen", "127.0.0.1:0", "-publishers-udp", "127.0.0.1:0",
+		"-subscribers", "127.0.0.1:0", "-signals", "cps", "-unixtime=false")
+	if r.UDPAddr == nil {
+		t.Fatal("relay bound no datagram address")
+	}
+
+	var mu sync.Mutex
+	var got []tuple.Tuple
+	conn := readTuples(t, r.SubAddr.String(), &got, &mu)
+	defer conn.Close()
+
+	c, err := netscope.DialUDP(r.UDPAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		if err := c.Send(time.Duration(i)*time.Millisecond, "cps", float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("subscriber got %d/5 tuples published over UDP", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	for i := 0; i < 5; i++ {
+		if got[i].Name != "cps" || got[i].Value != float64(i) {
+			t.Fatalf("tuple %d = %v", i, got[i])
+		}
+	}
+	mu.Unlock()
+
+	// The -ansi stats line must carry the transport counters. Render on
+	// the loop goroutine, as the real repaint does — FanoutStats reads
+	// loop-owned hub state.
+	lineCh := make(chan []byte, 1)
+	r.loop.Invoke(func() { lineCh <- r.appendStatus(nil) })
+	line := <-lineCh
+	if !bytes.Contains(line, []byte("udp src=1")) {
+		t.Fatalf("status line misses UDP counters: %q", line)
+	}
+}
+
+// TestRelayUDPBadAddress: a bind failure on the datagram socket must fail
+// startup cleanly, not leave a half-started relay.
+func TestRelayUDPBadAddress(t *testing.T) {
+	// Occupy a port, then ask the relay to bind it.
+	taken, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer taken.Close()
+	cfg, err := parseFlags([]string{"-subscribers", "127.0.0.1:0", "-listen", "127.0.0.1:0",
+		"-publishers-udp", taken.LocalAddr().String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newRelay(cfg); err == nil {
+		t.Fatal("relay started on an occupied datagram port")
+	}
+}

@@ -262,6 +262,13 @@ func DialNet(addr string) (*NetClient, error) { return netscope.Dial(addr) }
 // survives server restarts with exponential-backoff reconnection.
 func DialNetReconnect(addr string) *NetClient { return netscope.DialReconnect(addr) }
 
+// DialNetUDP connects a publisher over the datagram lane (docs/WIRE.md §D):
+// batches go out as sequence-numbered UDP datagrams, so a lossy network
+// costs counted gaps at the receiver instead of head-of-line blocking
+// here. The server side is NetServer.ListenPublishersUDP (or gscoped
+// -publishers-udp).
+func DialNetUDP(addr string) (*NetClient, error) { return netscope.DialUDP(addr) }
+
 // SubscribeNet connects a viewer to a hub's ListenSubscribers address; fn
 // receives the merged stream (snapshot or backfill first, then deltas) on
 // the loop goroutine. With no options the viewer is a classic v1

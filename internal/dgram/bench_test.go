@@ -1,0 +1,101 @@
+package dgram
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+// BenchmarkDgramPublish measures the publisher hot path — packetize,
+// encode, retain in the ring, hand to the socket — against a discarding
+// conn, so the kernel is out of the measurement. ns/op is per tuple. The
+// acceptance bar is asserted inline on runs long enough to be meaningful:
+// the encode path must be allocation-free in steady state (the same gate
+// TestPublishZeroAllocSteadyState applies per call).
+func BenchmarkDgramPublish(b *testing.B) {
+	const batchLen = 256
+	conn := newPipeConn()
+	conn.drop = func([]byte, int) bool { return true } // discard, like /dev/null UDP
+	p := NewPublisher(conn, fakeAddr("sink"))
+	defer p.Close()
+	batch := mkBatch(0, batchLen)
+	// Warm the name table, the packet buffer, and one full wrap of the
+	// retained ring, so every slot's buffer has its steady-state capacity.
+	for i := 0; i < RingSize+8; i++ {
+		p.Publish(batch)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += batchLen {
+		p.Publish(batch)
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&m1)
+	if p.Stats().Tuples == 0 {
+		b.Fatal("no tuples published")
+	}
+	// Assert only on full-length runs: the short calibration rounds the
+	// harness uses to find b.N carry startup noise.
+	if b.N >= 1<<20 {
+		if allocs := m1.Mallocs - m0.Mallocs; allocs > uint64(b.N/10000) {
+			b.Fatalf("publish allocated: %d mallocs over %d tuples", allocs, b.N)
+		}
+	}
+}
+
+// BenchmarkJitterBufferRelease measures the receiver's reorder buffer in
+// its steady state under jitter: datagrams arrive shuffled within a
+// bounded window, so the buffer continuously opens short gaps, holds the
+// out-of-order tail, and releases in-order runs as they complete. ns/op
+// is per tuple, ingest through release. Each outer round is a fresh epoch
+// (epochs restart at sequence 0, WIRE.md §D3), so rounds are independent.
+func BenchmarkJitterBufferRelease(b *testing.B) {
+	const nDgrams = 256
+	const perDgram = 16
+	enc := tuple.NewDatagramEncoder()
+	chunks := make([][]byte, nDgrams)
+	for i := range chunks {
+		chunks[i] = enc.AppendDatagram(nil, mkBatch(i*perDgram, perDgram))
+	}
+	// Deterministic bounded-window shuffle (LCG): each datagram lands at
+	// most 7 positions away from home, a realistic jitter pattern that
+	// keeps the buffer busy without ever declaring loss.
+	order := make([]int, nDgrams)
+	for i := range order {
+		order[i] = i
+	}
+	rng := uint64(2026)
+	for i := range order {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		if j := i + int(rng%8); j < len(order) {
+			order[i], order[j] = order[j], order[i]
+		}
+	}
+
+	released := 0
+	r := bareReceiver(func(batch []tuple.Tuple) { released += len(batch) }, Options{MaxNacks: -1})
+	from := fakeAddr("bench")
+	pkt := make([]byte, 0, 2048)
+	b.ReportAllocs()
+	b.ResetTimer()
+	epoch := uint64(1)
+	for i := 0; i < b.N; i += nDgrams * perDgram {
+		for _, idx := range order {
+			pkt = appendHeader(pkt[:0], TypeData, 1, epoch, uint64(idx))
+			pkt = append(pkt, chunks[idx]...)
+			r.ingest(pkt, from)
+		}
+		epoch++
+	}
+	b.StopTimer()
+	if released == 0 {
+		b.Fatal("no tuples released")
+	}
+	st := r.Stats()
+	if st.Lost != 0 || st.Malformed != 0 {
+		b.Fatalf("windowed shuffle lost data: %+v", st)
+	}
+}

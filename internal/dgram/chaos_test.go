@@ -1,0 +1,252 @@
+package dgram
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/testutil"
+	"repro/internal/tuple"
+)
+
+// chaosValue is the self-checking value scheme: every tuple published by
+// chaosBatch carries Value = Time/10 * 0.5 and a name determined by
+// Time/10 % 3, so the sink can detect any corrupted byte that still
+// decoded (the acceptance criterion: chaos may delay or lose tuples, it
+// may never alter one).
+func chaosBatch(base, n int) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		t := base + i
+		name := "chaos.a"
+		switch t % 3 {
+		case 1:
+			name = "chaos.b"
+		case 2:
+			name = "chaos.c"
+		}
+		out[i] = tuple.Tuple{Time: int64(t) * 10, Value: float64(t) * 0.5, Name: name}
+	}
+	return out
+}
+
+// chaosSink verifies every released tuple against the chaosBatch scheme
+// and tracks per-signal watermarks.
+type chaosSink struct {
+	t  *testing.T
+	mu sync.Mutex
+
+	tuples     int
+	watermarks map[string]int64
+	corrupted  int
+	regressed  int
+}
+
+func newChaosSink(t *testing.T) *chaosSink {
+	return &chaosSink{t: t, watermarks: make(map[string]int64)}
+}
+
+func (s *chaosSink) release(batch []tuple.Tuple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, tt := range batch {
+		s.tuples++
+		k := tt.Time / 10
+		wantName := [3]string{"chaos.a", "chaos.b", "chaos.c"}[k%3]
+		if tt.Time != k*10 || tt.Value != float64(k)*0.5 || tt.Name != wantName {
+			s.corrupted++
+			continue
+		}
+		if last, ok := s.watermarks[tt.Name]; ok && tt.Time < last {
+			s.regressed++
+		}
+		s.watermarks[tt.Name] = tt.Time
+	}
+}
+
+func (s *chaosSink) snapshot() (tuples, corrupted, regressed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tuples, s.corrupted, s.regressed
+}
+
+// runChaos publishes batches datagrams through a LossyConn with cfg and
+// waits for the stream to quiesce: every assigned sequence number either
+// released or accounted lost. It returns the receiver for stats.
+func runChaos(t *testing.T, cfg netsim.LossyConfig, sink *chaosSink, batches, perBatch int) (*Receiver, *Publisher, *netsim.LossyConn) {
+	t.Helper()
+	r, err := Listen("127.0.0.1:0", sink.release, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+
+	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := netsim.NewLossyConn(inner, cfg)
+	raddr, err := net.ResolveUDPAddr("udp", r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPublisher(lossy, raddr)
+	t.Cleanup(func() { p.Close() })
+
+	for i := 0; i < batches; i++ {
+		p.Publish(chaosBatch(i*perBatch, perBatch))
+		// Pace roughly like a real telemetry publisher: fast enough to
+		// stress the jitter buffer, slow enough that the loopback socket
+		// buffer is not the bottleneck and NACK round trips fit inside
+		// the hold window.
+		time.Sleep(time.Millisecond)
+	}
+
+	// Quiesce: conservation is the exit condition — every datagram the
+	// publisher assigned a sequence number is accounted for at the sink.
+	if !testutil.Poll(15*time.Second, func() bool {
+		st := r.Stats()
+		return st.Released+st.Lost == int64(p.Seq())
+	}) {
+		st := r.Stats()
+		t.Fatalf("stream never quiesced: released %d + lost %d != %d sent (stats %+v, link %+v)",
+			st.Released, st.Lost, p.Seq(), st, lossy.Stats())
+	}
+	return r, p, lossy
+}
+
+// TestDgramChaosLossReorderJitter is the tentpole acceptance scenario:
+// 5%% loss, 10%% reorder, jittered delay. Zero corrupted tuples, strictly
+// monotonic per-signal watermarks, explicit gap accounting, and NACK
+// recovery actually firing.
+func TestDgramChaosLossReorderJitter(t *testing.T) {
+	sink := newChaosSink(t)
+	cfg := netsim.LossyConfig{
+		Loss:         0.05,
+		Reorder:      0.10,
+		ReorderDelay: 5 * time.Millisecond,
+		Jitter:       2 * time.Millisecond,
+		Seed:         2026,
+	}
+	r, p, lossy := runChaos(t, cfg, sink, 300, 20)
+
+	st := r.Stats()
+	ls := lossy.Stats()
+	tuples, corrupted, regressed := sink.snapshot()
+	if corrupted != 0 {
+		t.Fatalf("%d corrupted tuples reached the sink", corrupted)
+	}
+	if regressed != 0 {
+		t.Fatalf("%d watermark regressions reached the sink", regressed)
+	}
+	if ls.Dropped == 0 {
+		t.Fatalf("chaos link dropped nothing; the test exercised no loss (link %+v)", ls)
+	}
+	if st.Recovered == 0 {
+		t.Fatalf("no NACK recovery under 5%% loss (stats %+v, link %+v)", st, ls)
+	}
+	// Gap accounting: what the receiver declared lost can only be
+	// datagrams the link actually ate (first sends or their resends) —
+	// injected loss minus what NACKs pulled back.
+	if st.Lost > ls.Dropped {
+		t.Fatalf("receiver declared %d lost, link only dropped %d", st.Lost, ls.Dropped)
+	}
+	if st.Released+st.Lost != int64(p.Seq()) {
+		t.Fatalf("conservation: released %d + lost %d != %d assigned", st.Released, st.Lost, p.Seq())
+	}
+	if pubStats := p.Stats(); pubStats.Resent == 0 {
+		t.Fatalf("publisher never answered a NACK: %+v", pubStats)
+	}
+	t.Logf("sent=%d released=%d lost=%d recovered=%d reordered=%d dup=%d tuples=%d linkDropped=%d resent=%d",
+		p.Seq(), st.Released, st.Lost, st.Recovered, st.Reordered, st.Duplicates, tuples, ls.Dropped, p.Stats().Resent)
+}
+
+// TestDgramChaosReorderDupOnly: with no loss injected, nothing may be
+// declared lost and every tuple must arrive exactly once, in order.
+func TestDgramChaosReorderDupOnly(t *testing.T) {
+	sink := newChaosSink(t)
+	cfg := netsim.LossyConfig{
+		Reorder:      0.20,
+		ReorderDelay: 4 * time.Millisecond,
+		Dup:          0.10,
+		Seed:         7,
+	}
+	r, p, lossy := runChaos(t, cfg, sink, 200, 20)
+
+	st := r.Stats()
+	tuples, corrupted, regressed := sink.snapshot()
+	if corrupted != 0 || regressed != 0 {
+		t.Fatalf("corrupted=%d regressed=%d under lossless chaos", corrupted, regressed)
+	}
+	if st.Lost != 0 {
+		t.Fatalf("lossless link, yet %d declared lost (stats %+v, link %+v)", st.Lost, st, lossy.Stats())
+	}
+	if tuples != 200*20 {
+		t.Fatalf("released %d tuples, want %d — duplicates must not double-release", tuples, 200*20)
+	}
+	if st.Released != int64(p.Seq()) {
+		t.Fatalf("released %d datagrams of %d assigned", st.Released, p.Seq())
+	}
+	if st.Reordered == 0 {
+		t.Fatalf("20%% reorder produced no out-of-order arrivals: %+v", st)
+	}
+}
+
+// TestDgramChaosPartition: a mid-stream partition loses a contiguous
+// window. The stream must resume past it with clean accounting.
+func TestDgramChaosPartition(t *testing.T) {
+	sink := newChaosSink(t)
+	r, err := Listen("127.0.0.1:0", sink.release, Options{Hold: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := netsim.NewLossyConn(inner, netsim.LossyConfig{})
+	raddr, _ := net.ResolveUDPAddr("udp", r.Addr().String())
+	p := NewPublisher(lossy, raddr)
+	defer p.Close()
+
+	for phase, partitioned := range []bool{false, true, false} {
+		lossy.SetPartitioned(partitioned)
+		for i := 0; i < 50; i++ {
+			p.Publish(chaosBatch((phase*50+i)*10, 10))
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !testutil.Poll(15*time.Second, func() bool {
+		st := r.Stats()
+		return st.Released+st.Lost == int64(p.Seq())
+	}) {
+		t.Fatalf("never quiesced after partition: %+v vs %d", r.Stats(), p.Seq())
+	}
+	st := r.Stats()
+	_, corrupted, regressed := sink.snapshot()
+	if corrupted != 0 || regressed != 0 {
+		t.Fatalf("corrupted=%d regressed=%d across a partition", corrupted, regressed)
+	}
+	// The partitioned window (50 datagrams) must be explicitly accounted:
+	// recovered by post-heal NACK resends from the ring, or declared
+	// lost once the hold expired — never silently skipped. (With the
+	// partition shorter than the hold, recovery typically wins outright.)
+	if st.Recovered+st.Lost < 50 {
+		t.Fatalf("partition window unaccounted: recovered %d + lost %d < 50 (stats %+v)",
+			st.Recovered, st.Lost, st)
+	}
+	if st.Lost > lossy.Stats().Dropped {
+		t.Fatalf("lost %d > link dropped %d", st.Lost, lossy.Stats().Dropped)
+	}
+
+	// Full-pipeline teardown must leave no goroutine behind.
+	p.Close()
+	r.Close()
+	lossy.Close()
+	if err := testutil.CheckLeaksWithin(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package dgram is the lossy-transport lane: a sequence-numbered UDP
+// datagram transport for v3 binary tuple chunks, the counterpart of the
+// TCP publisher stream for links that lose and reorder packets (field
+// sensors, flight hardware — the paper's own domain). One stalled TCP
+// connection head-of-line-blocks an entire publisher; a datagram
+// publisher keeps sending and lets the receiver account the holes.
+//
+// The split follows the jitter-buffer / NACK-emitter architecture of
+// real-time media stacks: a [Publisher] encodes each batch as one or
+// more self-contained v3 chunks (tuple.DatagramEncoder — every datagram
+// decodes in isolation, so any datagram can be lost without corrupting
+// another) behind a 3-byte header carrying stream ID, epoch and sequence
+// number, and retains the last [RingSize] datagrams in a ring. A
+// [Receiver] runs a small reorder/jitter buffer per source: in-order
+// datagrams release immediately, gaps are held for a bounded time while
+// NACKs ask the publisher to resend from its ring, and holes that
+// outlive the hold are declared lost — counted, never silently skipped.
+// Releases are strictly in sequence order per source, which preserves
+// per-signal watermark monotonicity end to end.
+//
+// Wire layout, loss semantics and epoch rules are specified normatively
+// in docs/WIRE.md §D; the chaos tests in this package drive the lane
+// through internal/netsim.LossyConn (seeded loss, reorder, duplication,
+// delay, partitions) and assert bounded loss with zero corruption.
+package dgram
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	// Magic opens every datagram. Distinct from tuple.FrameMarker so a
+	// datagram accidentally fed to a stream decoder (or vice versa)
+	// fails fast instead of half-parsing.
+	Magic byte = 0xD6
+	// Version is the datagram header revision (WIRE.md §D1).
+	Version byte = 1
+
+	// TypeData carries one self-contained v3 chunk.
+	TypeData byte = 1
+	// TypeNack asks the publisher to resend the listed sequences.
+	TypeNack byte = 2
+
+	// MaxDatagram bounds an encoded datagram; larger ones are counted
+	// oversized and never sent (WIRE.md §D1). Loopback and most paths
+	// carry 64 KiB UDP payloads; the publisher's packetizer targets
+	// TargetDatagram and only approaches this bound on pathological
+	// single-tuple names.
+	MaxDatagram = 60000
+	// TargetDatagram is the packetizer's soft datagram-size goal,
+	// comfortably under common path MTUs with tunnel headroom.
+	TargetDatagram = 1200
+	// MaxNackSeqs bounds the sequence list one NACK datagram carries.
+	MaxNackSeqs = 64
+	// RingSize is how many recently sent datagrams a publisher retains
+	// for NACK resends. Power of two; the ring is indexed seq&(RingSize-1).
+	RingSize = 512
+)
+
+// errMalformed tags undecodable datagrams. Unlike stream framing errors
+// it is never sticky: datagrams are independent, so a malformed one is
+// counted and dropped while its neighbors decode fine (WIRE.md §D4).
+var errMalformed = errors.New("dgram: malformed datagram")
+
+// header is one parsed datagram header.
+type header struct {
+	typ    byte
+	stream uint64
+	epoch  uint64
+	// seq is the sequence number (DATA) or the NACKed-seq count (NACK).
+	seq uint64
+	// rest is the payload after the header: the v3 chunk (DATA) or the
+	// uvarint sequence list (NACK).
+	rest []byte
+}
+
+// appendHeader appends the common 3-byte prefix and the three uvarints
+// every datagram type shares (WIRE.md §D1).
+//
+//gscope:hotpath
+func appendHeader(dst []byte, typ byte, stream, epoch, n uint64) []byte {
+	dst = append(dst, Magic, Version, typ)
+	dst = binary.AppendUvarint(dst, stream)
+	dst = binary.AppendUvarint(dst, epoch)
+	return binary.AppendUvarint(dst, n)
+}
+
+// parseHeader decodes the common prefix of one datagram. It is the first
+// gate of the receive path: adversarial bytes must fail here (or in the
+// chunk decoder behind it) without panicking or corrupting any state —
+// FuzzDgramDecode drives exactly that.
+//
+//gscope:hotpath
+func parseHeader(p []byte) (header, error) {
+	var h header
+	if len(p) < 4 || p[0] != Magic {
+		return h, errMalformed
+	}
+	if p[1] != Version {
+		return h, errMalformed
+	}
+	h.typ = p[2]
+	p = p[3:]
+	var n int
+	h.stream, n = binary.Uvarint(p)
+	if n <= 0 {
+		return h, errMalformed
+	}
+	p = p[n:]
+	h.epoch, n = binary.Uvarint(p)
+	if n <= 0 {
+		return h, errMalformed
+	}
+	p = p[n:]
+	h.seq, n = binary.Uvarint(p)
+	if n <= 0 {
+		return h, errMalformed
+	}
+	h.rest = p[n:]
+	return h, nil
+}
+
+// appendNack appends one NACK datagram for the given sequences (at most
+// MaxNackSeqs; callers chunk longer lists).
+func appendNack(dst []byte, stream, epoch uint64, seqs []uint64) []byte {
+	dst = appendHeader(dst, TypeNack, stream, epoch, uint64(len(seqs)))
+	for _, s := range seqs {
+		dst = binary.AppendUvarint(dst, s)
+	}
+	return dst
+}
+
+// parseNackSeqs decodes a NACK's sequence list into dst (reused).
+func parseNackSeqs(dst []uint64, h header) ([]uint64, error) {
+	if h.seq > MaxNackSeqs {
+		return dst, fmt.Errorf("%w: nack lists %d seqs (max %d)", errMalformed, h.seq, MaxNackSeqs)
+	}
+	p := h.rest
+	for i := uint64(0); i < h.seq; i++ {
+		s, n := binary.Uvarint(p)
+		if n <= 0 {
+			return dst, fmt.Errorf("%w: truncated nack seq list", errMalformed)
+		}
+		p = p[n:]
+		dst = append(dst, s)
+	}
+	return dst, nil
+}

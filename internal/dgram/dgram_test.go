@@ -1,0 +1,526 @@
+package dgram
+
+import (
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+	"repro/internal/tuple"
+)
+
+// fakeAddr is a minimal net.Addr for driving ingest directly.
+type fakeAddr string
+
+func (a fakeAddr) Network() string { return "fake" }
+func (a fakeAddr) String() string  { return string(a) }
+
+// pipeConn is an in-memory net.PacketConn: WriteTo captures datagrams
+// (optionally filtered), ReadFrom drains an inbox channel. It stands in
+// for the UDP socket in deterministic unit tests.
+type pipeConn struct {
+	mu   sync.Mutex
+	sent [][]byte // captured WriteTo payloads, in order
+	drop func(pkt []byte, n int) bool
+
+	inbox  chan []byte
+	closed chan struct{}
+	once   sync.Once
+}
+
+func newPipeConn() *pipeConn {
+	return &pipeConn{inbox: make(chan []byte, 64), closed: make(chan struct{})}
+}
+
+func (c *pipeConn) WriteTo(p []byte, _ net.Addr) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.drop != nil && c.drop(p, len(c.sent)) {
+		return len(p), nil // dropped on the floor, like UDP
+	}
+	c.sent = append(c.sent, append([]byte(nil), p...))
+	return len(p), nil
+}
+
+func (c *pipeConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	select {
+	case pkt := <-c.inbox:
+		return copy(p, pkt), fakeAddr("peer"), nil
+	case <-c.closed:
+		return 0, nil, net.ErrClosed
+	}
+}
+
+func (c *pipeConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+func (c *pipeConn) LocalAddr() net.Addr              { return fakeAddr("local") }
+func (c *pipeConn) SetDeadline(time.Time) error      { return nil }
+func (c *pipeConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *pipeConn) SetWriteDeadline(time.Time) error { return nil }
+
+func (c *pipeConn) packets() [][]byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]byte, len(c.sent))
+	copy(out, c.sent)
+	return out
+}
+
+// collector gathers released batches.
+type collector struct {
+	mu     sync.Mutex
+	tuples []tuple.Tuple
+}
+
+func (c *collector) release(b []tuple.Tuple) {
+	c.mu.Lock()
+	c.tuples = append(c.tuples, b...)
+	c.mu.Unlock()
+}
+
+func (c *collector) snapshot() []tuple.Tuple {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]tuple.Tuple(nil), c.tuples...)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tuples)
+}
+
+// mkBatch builds n tuples over a couple of signals with a recognizable
+// time/value ramp starting at base.
+func mkBatch(base, n int) []tuple.Tuple {
+	out := make([]tuple.Tuple, n)
+	for i := range out {
+		name := "sig.a"
+		if (base+i)%3 == 0 {
+			name = "sig.b"
+		}
+		out[i] = tuple.Tuple{Time: int64(base+i) * 10, Value: float64(base+i) * 0.5, Name: name}
+	}
+	return out
+}
+
+// capturePublisher returns a publisher writing into a pipeConn.
+func capturePublisher(t *testing.T) (*Publisher, *pipeConn) {
+	t.Helper()
+	conn := newPipeConn()
+	p := NewPublisher(conn, fakeAddr("sink"))
+	t.Cleanup(func() { p.Close() })
+	return p, conn
+}
+
+// quietReceiver returns a receiver on an idle pipeConn for direct-ingest
+// tests, with NACKs disabled unless opts enables them.
+func quietReceiver(t *testing.T, col *collector, opt Options) (*Receiver, *pipeConn) {
+	t.Helper()
+	conn := newPipeConn()
+	r := NewReceiver(conn, col.release, opt)
+	t.Cleanup(func() { r.Close() })
+	return r, conn
+}
+
+func TestPublishReceiveLoopbackUDP(t *testing.T) {
+	col := &collector{}
+	r, err := Listen("127.0.0.1:0", col.release, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	p, err := Dial(r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	var want []tuple.Tuple
+	for i := 0; i < 10; i++ {
+		b := mkBatch(i*100, 50)
+		want = append(want, b...)
+		p.Publish(b)
+	}
+	if !testutil.Poll(5*time.Second, func() bool { return col.count() == len(want) }) {
+		t.Fatalf("released %d tuples, want %d (stats %+v)", col.count(), len(want), r.Stats())
+	}
+	got := col.snapshot()
+	for i := range want {
+		if got[i].Time != want[i].Time || got[i].Name != want[i].Name ||
+			math.Float64bits(got[i].Value) != math.Float64bits(want[i].Value) {
+			t.Fatalf("tuple %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	st := r.Stats()
+	if st.Lost != 0 || st.Late != 0 || st.Malformed != 0 {
+		t.Fatalf("loopback stream counted loss: %+v", st)
+	}
+	if st.Released != int64(p.Stats().Datagrams) {
+		t.Fatalf("released %d datagrams, publisher sent %d", st.Released, p.Stats().Datagrams)
+	}
+}
+
+func TestReceiverReordersOutOfOrderDelivery(t *testing.T) {
+	p, conn := capturePublisher(t)
+	for i := 0; i < 5; i++ {
+		p.Publish(mkBatch(i*100, 10))
+	}
+	pkts := conn.packets()
+	if len(pkts) != 5 {
+		t.Fatalf("got %d datagrams, want 5", len(pkts))
+	}
+
+	col := &collector{}
+	r, _ := quietReceiver(t, col, Options{MaxNacks: -1})
+	from := fakeAddr("pub")
+	for _, i := range []int{1, 0, 4, 2, 3} {
+		r.ingest(pkts[i], from)
+	}
+	if col.count() != 50 {
+		t.Fatalf("released %d tuples, want 50 (stats %+v)", col.count(), r.Stats())
+	}
+	got := col.snapshot()
+	for i := 1; i < len(got); i++ {
+		if got[i].Time < got[i-1].Time {
+			t.Fatalf("release order regressed at %d: %d after %d", i, got[i].Time, got[i-1].Time)
+		}
+	}
+	st := r.Stats()
+	if st.Lost != 0 || st.Reordered == 0 || st.Duplicates != 0 {
+		t.Fatalf("unexpected stats after reorder: %+v", st)
+	}
+}
+
+func TestReceiverCountsDuplicatesAndLate(t *testing.T) {
+	p, conn := capturePublisher(t)
+	for i := 0; i < 3; i++ {
+		p.Publish(mkBatch(i*100, 5))
+	}
+	pkts := conn.packets()
+	col := &collector{}
+	r, _ := quietReceiver(t, col, Options{MaxNacks: -1})
+	from := fakeAddr("pub")
+
+	r.ingest(pkts[0], from) // released immediately
+	r.ingest(pkts[0], from) // behind next: late
+	r.ingest(pkts[2], from) // buffered, gap at seq 1
+	r.ingest(pkts[2], from) // still buffered: duplicate
+	r.ingest(pkts[1], from) // fills the gap
+	st := r.Stats()
+	if st.Late != 1 || st.Duplicates != 1 || st.Released != 3 || st.Lost != 0 {
+		t.Fatalf("stats %+v, want late=1 dup=1 released=3 lost=0", st)
+	}
+	if col.count() != 15 {
+		t.Fatalf("released %d tuples, want 15", col.count())
+	}
+}
+
+func TestReceiverDeclaresLossAfterHold(t *testing.T) {
+	p, conn := capturePublisher(t)
+	for i := 0; i < 3; i++ {
+		p.Publish(mkBatch(i*100, 5))
+	}
+	pkts := conn.packets()
+	col := &collector{}
+	r, _ := quietReceiver(t, col, Options{Hold: 30 * time.Millisecond, MaxNacks: -1})
+	from := fakeAddr("pub")
+
+	r.ingest(pkts[0], from)
+	r.ingest(pkts[2], from) // seq 1 never arrives
+	if !testutil.Poll(5*time.Second, func() bool { return r.Stats().Lost == 1 }) {
+		t.Fatalf("gap never declared lost: %+v", r.Stats())
+	}
+	if col.count() != 10 {
+		t.Fatalf("released %d tuples, want 10 (the two delivered datagrams)", col.count())
+	}
+	// The late arrival of the lost datagram must not regress the stream.
+	r.ingest(pkts[1], from)
+	st := r.Stats()
+	if st.Late != 1 || col.count() != 10 {
+		t.Fatalf("lost datagram re-arrival not dropped as late: %+v", st)
+	}
+}
+
+func TestReceiverEmitsNacksAndCountsRecovery(t *testing.T) {
+	p, conn := capturePublisher(t)
+	for i := 0; i < 3; i++ {
+		p.Publish(mkBatch(i*100, 5))
+	}
+	pkts := conn.packets()
+	col := &collector{}
+	r, rconn := quietReceiver(t, col, Options{
+		Hold:      2 * time.Second,
+		NackDelay: 10 * time.Millisecond,
+	})
+	from := fakeAddr("pub")
+
+	r.ingest(pkts[0], from)
+	r.ingest(pkts[2], from) // opens gap at seq 1
+	if !testutil.Poll(5*time.Second, func() bool { return len(rconn.packets()) > 0 }) {
+		t.Fatal("no NACK emitted for the open gap")
+	}
+	nack := rconn.packets()[0]
+	h, err := parseHeader(nack)
+	if err != nil || h.typ != TypeNack {
+		t.Fatalf("emitted datagram is not a NACK: %v %+v", err, h)
+	}
+	seqs, err := parseNackSeqs(nil, h)
+	if err != nil || len(seqs) != 1 || seqs[0] != 1 {
+		t.Fatalf("NACK seqs %v (err %v), want [1]", seqs, err)
+	}
+	if h.stream != p.StreamID() {
+		t.Fatalf("NACK stream %d, want %d", h.stream, p.StreamID())
+	}
+
+	// Deliver the "resent" datagram: it must count as recovered.
+	r.ingest(pkts[1], from)
+	st := r.Stats()
+	if st.Recovered != 1 || st.Lost != 0 || st.Released != 3 {
+		t.Fatalf("stats %+v, want recovered=1 lost=0 released=3", st)
+	}
+}
+
+func TestPublisherAnswersNacksFromRing(t *testing.T) {
+	p, conn := capturePublisher(t)
+	for i := 0; i < 4; i++ {
+		p.Publish(mkBatch(i*100, 5))
+	}
+	sentBefore := len(conn.packets())
+
+	// NACK seqs 1 and 2: both still in the ring.
+	nack := appendNack(nil, p.StreamID(), 1, []uint64{1, 2})
+	conn.inbox <- nack
+	if !testutil.Poll(5*time.Second, func() bool { return p.Stats().Resent == 2 }) {
+		t.Fatalf("resends never happened: %+v", p.Stats())
+	}
+	pkts := conn.packets()
+	if len(pkts) != sentBefore+2 {
+		t.Fatalf("got %d packets, want %d", len(pkts), sentBefore+2)
+	}
+	for i, want := range []int{1, 2} {
+		if string(pkts[sentBefore+i]) != string(pkts[want]) {
+			t.Fatalf("resent datagram %d differs from original seq %d", i, want)
+		}
+	}
+
+	// A seq far beyond anything sent is a miss, not a crash.
+	conn.inbox <- appendNack(nil, p.StreamID(), 1, []uint64{99999})
+	if !testutil.Poll(5*time.Second, func() bool { return p.Stats().NackMiss == 1 }) {
+		t.Fatalf("ring miss not counted: %+v", p.Stats())
+	}
+
+	// NACKs for a different stream or epoch are ignored.
+	conn.inbox <- appendNack(nil, p.StreamID()+1, 1, []uint64{1})
+	conn.inbox <- appendNack(nil, p.StreamID(), 2, []uint64{1})
+	time.Sleep(20 * time.Millisecond)
+	if got := p.Stats().NackRx; got != 2 {
+		t.Fatalf("NackRx %d, want 2 (foreign NACKs must be ignored)", got)
+	}
+}
+
+func TestReceiverStaleEpochAndRestart(t *testing.T) {
+	colA := &collector{}
+	r, _ := quietReceiver(t, colA, Options{MaxNacks: -1})
+	from := fakeAddr("pub")
+
+	// Epoch 2 stream delivers one datagram...
+	connA := newPipeConn()
+	pa := NewPublisher(connA, fakeAddr("sink"))
+	defer pa.Close()
+	pa.epoch = 2
+	pa.Publish(mkBatch(0, 5))
+	pa.Publish(mkBatch(100, 5))
+	pktsA := connA.packets()
+
+	r.ingest(pktsA[0], from)
+	// ...then a datagram from epoch 1 of the same stream arrives: stale.
+	connB := newPipeConn()
+	pb := NewPublisher(connB, fakeAddr("sink"))
+	defer pb.Close()
+	pb.stream = pa.stream // same stream ID, older epoch
+	pb.Publish(mkBatch(500, 5))
+	r.ingest(connB.packets()[0], from)
+
+	st := r.Stats()
+	if st.StaleEpoch != 1 || st.Released != 1 {
+		t.Fatalf("stats %+v, want staleEpoch=1 released=1", st)
+	}
+
+	// Epoch 3 restart: buffer resets, new epoch's first seq adopts.
+	connC := newPipeConn()
+	pc := NewPublisher(connC, fakeAddr("sink"))
+	defer pc.Close()
+	pc.stream = pa.stream
+	pc.epoch = 3
+	pc.Publish(mkBatch(900, 5))
+	r.ingest(connC.packets()[0], from)
+	st = r.Stats()
+	if st.Released != 2 || st.StaleEpoch != 1 {
+		t.Fatalf("stats after restart %+v, want released=2", st)
+	}
+}
+
+func TestReceiverMalformedDatagrams(t *testing.T) {
+	col := &collector{}
+	r, _ := quietReceiver(t, col, Options{MaxNacks: -1})
+	from := fakeAddr("pub")
+	cases := [][]byte{
+		nil,
+		{},
+		{Magic},
+		{Magic, Version},
+		{Magic, Version, TypeData},
+		{0x00, Version, TypeData, 1, 1, 0},
+		{Magic, 99, TypeData, 1, 1, 0},
+		{Magic, Version, TypeData, 0x80}, // truncated uvarint
+		append([]byte{Magic, Version, TypeData, 1, 1, 0}, 0xF5, 0x02, 5, 0xff, 0xff), // bad chunk
+	}
+	for i, pkt := range cases {
+		r.ingest(pkt, from)
+		if got := r.Stats().Malformed; got != int64(i+1) {
+			t.Fatalf("case %d: malformed=%d, want %d", i, got, i+1)
+		}
+	}
+	if col.count() != 0 {
+		t.Fatalf("malformed datagrams released %d tuples", col.count())
+	}
+	// A valid datagram after garbage still decodes: errors are not sticky.
+	p, conn := capturePublisher(t)
+	p.Publish(mkBatch(0, 5))
+	r.ingest(conn.packets()[0], from)
+	if col.count() != 5 {
+		t.Fatalf("valid datagram after garbage released %d tuples, want 5", col.count())
+	}
+}
+
+func TestReceiverBufferBound(t *testing.T) {
+	p, conn := capturePublisher(t)
+	for i := 0; i < 12; i++ {
+		p.Publish(mkBatch(i*100, 2))
+	}
+	pkts := conn.packets()
+	col := &collector{}
+	r, _ := quietReceiver(t, col, Options{Hold: time.Hour, MaxNacks: -1, MaxBuffered: 4})
+	from := fakeAddr("pub")
+
+	r.ingest(pkts[0], from)
+	// Deliver only even seqs 2..22: every odd seq is a gap, pend grows
+	// past MaxBuffered and must force the oldest gaps closed.
+	for i := 2; i < 12; i += 2 {
+		r.ingest(pkts[i], from)
+	}
+	st := r.Stats()
+	if st.Lost == 0 {
+		t.Fatalf("buffer bound never forced loss: %+v", st)
+	}
+	if got := col.count(); got == 0 {
+		t.Fatal("bounded buffer released nothing")
+	}
+}
+
+func TestPublisherPacketizesLargeBatches(t *testing.T) {
+	p, conn := capturePublisher(t)
+	p.Publish(mkBatch(0, 1000))
+	pkts := conn.packets()
+	if len(pkts) < 2 {
+		t.Fatalf("1000 tuples fit one datagram (%d sent)", len(pkts))
+	}
+	total := 0
+	for i, pkt := range pkts {
+		if len(pkt) > MaxDatagram {
+			t.Fatalf("datagram %d is %d bytes, over MaxDatagram", i, len(pkt))
+		}
+		h, err := parseHeader(pkt)
+		if err != nil || h.typ != TypeData || h.seq != uint64(i) {
+			t.Fatalf("datagram %d: header %+v err %v", i, h, err)
+		}
+		// Each chunk must decode standalone.
+		dec := tuple.NewStreamDecoder()
+		n := 0
+		if err := dec.Feed(h.rest, func(string) {}, func(b []tuple.Tuple) { n += len(b) }); err != nil {
+			t.Fatalf("datagram %d: chunk does not decode standalone: %v", i, err)
+		}
+		total += n
+	}
+	if total != 1000 {
+		t.Fatalf("datagrams carry %d tuples, want 1000", total)
+	}
+	if got := p.Stats(); got.Datagrams != int64(len(pkts)) || got.Tuples != 1000 {
+		t.Fatalf("publisher stats %+v", got)
+	}
+}
+
+func TestPublishZeroAllocSteadyState(t *testing.T) {
+	p, conn := capturePublisher(t)
+	// Discard instead of capturing: the capture copy would be charged to
+	// Publish, and the real socket write allocates nothing either.
+	conn.drop = func([]byte, int) bool { return true }
+	batch := mkBatch(0, 60)
+	// Warm the encoder table, the packet buffer, and — by wrapping the
+	// ring once — every retained ring slot's buffer.
+	for i := 0; i < RingSize+8; i++ {
+		p.Publish(batch)
+	}
+	allocs := testing.AllocsPerRun(200, func() { p.Publish(batch) })
+	if allocs > 0 {
+		t.Fatalf("steady-state Publish allocates %.1f times per call", allocs)
+	}
+}
+
+func TestReceiverAppendStats(t *testing.T) {
+	p, conn := capturePublisher(t)
+	p.Publish(mkBatch(0, 5))
+	col := &collector{}
+	r, _ := quietReceiver(t, col, Options{MaxNacks: -1})
+	r.ingest(conn.packets()[0], fakeAddr("pub"))
+
+	buf := r.AppendStats(nil)
+	if len(buf) == 0 {
+		t.Fatal("empty stats render")
+	}
+	// Steady-state render must not allocate (it repaints every frame).
+	buf = buf[:0]
+	allocs := testing.AllocsPerRun(100, func() { buf = r.AppendStats(buf[:0]) })
+	if allocs > 0 {
+		t.Fatalf("AppendStats allocates %.1f times per render: %q", allocs, buf)
+	}
+	srcs := r.SourceStats()
+	if len(srcs) != 1 || srcs[0].Datagrams != 1 {
+		t.Fatalf("source stats %+v", srcs)
+	}
+}
+
+func TestCloseIsIdempotentAndLeakFree(t *testing.T) {
+	col := &collector{}
+	r, err := Listen("127.0.0.1:0", col.release, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Dial(r.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Publish(mkBatch(0, 10))
+	if err := p.Close(); err != nil {
+		t.Fatalf("publisher close: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("second publisher close: %v", err)
+	}
+	if err := r.Close(); err != nil && !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("receiver close: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second receiver close: %v", err)
+	}
+	if err := testutil.CheckLeaksWithin(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,261 @@
+package dgram
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+
+	"repro/internal/tuple"
+)
+
+// Publisher sends tuple batches as sequence-numbered UDP datagrams and
+// answers NACKs from a bounded ring of recently sent datagrams. Publish
+// is single-producer (the netscope client calls it from its one writer
+// goroutine); the NACK listener runs on its own goroutine and shares
+// only the retained ring, under mu. A steady-state publisher allocates
+// nothing per batch: the encoder, the packet buffer and every ring slot
+// are retained and reused.
+type Publisher struct {
+	conn   net.PacketConn
+	raddr  net.Addr
+	stream uint64
+	epoch  uint64
+	enc    *tuple.DatagramEncoder
+
+	// pkt is the encode buffer for the datagram being built. Owned by
+	// the Publish caller (single producer); never touched by the NACK
+	// listener, which resends from the ring.
+	pkt []byte
+
+	mu sync.Mutex
+	// ring holds the last RingSize sent datagrams, indexed seq&ringMask;
+	// each slot's buffer is retained and overwritten in place.
+	//gscope:guardedby mu
+	ring []ringSlot
+	//gscope:guardedby mu
+	seq uint64
+	//gscope:guardedby mu
+	closed bool
+	//gscope:guardedby mu
+	stats PublisherStats
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// ringSlot is one retained datagram.
+type ringSlot struct {
+	seq  uint64
+	used bool
+	buf  []byte
+}
+
+// PublisherStats are lifetime publisher counters.
+type PublisherStats struct {
+	// Datagrams and Tuples count first transmissions.
+	Datagrams int64
+	Tuples    int64
+	// Resent counts NACK-answered retransmissions; NackRx the NACK
+	// datagrams heard; NackMiss the requested seqs already evicted from
+	// the ring (or never sent).
+	Resent   int64
+	NackRx   int64
+	NackMiss int64
+	// Oversized counts single tuples whose datagram would exceed
+	// MaxDatagram; they are dropped, never sent.
+	Oversized int64
+	// WriteErrs counts failed socket writes (the datagrams still occupy
+	// their sequence numbers, so receivers account them as loss).
+	WriteErrs int64
+}
+
+// nextStreamID hands each publisher a random stream ID so receivers can
+// tell apart publishers that share one source address, and a restarted
+// publisher starts a fresh stream instead of colliding with its former
+// self's sequence space. 32 bits keeps the uvarint header short; the
+// top-level math/rand source is goroutine-safe and auto-seeded.
+func nextStreamID() uint64 {
+	return uint64(rand.Uint32() | 1) //nolint:gosec // identity, not security
+}
+
+// Dial binds a fresh local UDP socket and returns a Publisher sending to
+// addr. The socket is owned by the publisher and closed with it.
+func Dial(addr string) (*Publisher, error) {
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dgram: %w", err)
+	}
+	conn, err := net.ListenPacket("udp", ":0")
+	if err != nil {
+		return nil, fmt.Errorf("dgram: %w", err)
+	}
+	return NewPublisher(conn, raddr), nil
+}
+
+// NewPublisher returns a publisher sending datagrams to raddr over conn
+// (which it takes ownership of: Close closes it). The NACK listener
+// starts immediately.
+func NewPublisher(conn net.PacketConn, raddr net.Addr) *Publisher {
+	p := &Publisher{
+		conn:   conn,
+		raddr:  raddr,
+		stream: nextStreamID(),
+		epoch:  1,
+		enc:    tuple.NewDatagramEncoder(),
+		ring:   make([]ringSlot, RingSize),
+		done:   make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.nackLoop()
+	return p
+}
+
+// StreamID returns the publisher's stream identifier.
+func (p *Publisher) StreamID() uint64 { return p.stream }
+
+// Seq returns the next unassigned sequence number — equivalently, how
+// many DATA datagrams have been assigned so far (sent or write-failed).
+func (p *Publisher) Seq() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.seq
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (p *Publisher) Stats() PublisherStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// maxBatchTuples is the packetizer's initial tuples-per-datagram guess;
+// typical telemetry encodes ~64 tuples well under TargetDatagram.
+const maxBatchTuples = 64
+
+// Publish encodes batch into one or more self-contained datagrams and
+// sends them. It never blocks on the network beyond the UDP sendto and
+// never fails the stream: write errors are counted and the affected
+// sequence numbers appear at receivers as loss, which is the transport's
+// honest failure mode. The batch is encoded immediately; the caller may
+// reuse it. Publish is not safe for concurrent use.
+//
+//gscope:hotpath
+func (p *Publisher) Publish(batch []tuple.Tuple) {
+	for i := 0; i < len(batch); {
+		n := len(batch) - i
+		if n > maxBatchTuples {
+			n = maxBatchTuples
+		}
+		// Shrink until the chunk fits the target (or a single tuple
+		// forces a larger datagram, legal up to MaxDatagram).
+		for {
+			p.pkt = p.encodeOne(p.pkt[:0], batch[i:i+n])
+			if len(p.pkt) <= TargetDatagram || n == 1 {
+				break
+			}
+			n /= 2
+		}
+		if len(p.pkt) > MaxDatagram {
+			// Never sent, and the sequence number is not consumed (only
+			// send advances seq), so receivers see no phantom gap.
+			p.mu.Lock()
+			p.stats.Oversized++
+			p.mu.Unlock()
+			i += n
+			continue
+		}
+		p.send(p.pkt, n)
+		i += n
+	}
+}
+
+// encodeOne builds one DATA datagram for run into dst, consuming the
+// next sequence number.
+//
+//gscope:hotpath
+func (p *Publisher) encodeOne(dst []byte, run []tuple.Tuple) []byte {
+	p.mu.Lock()
+	seq := p.seq
+	p.mu.Unlock()
+	dst = appendHeader(dst, TypeData, p.stream, p.epoch, seq)
+	return p.enc.AppendDatagram(dst, run)
+}
+
+// send retains pkt in the ring and writes it to the socket.
+//
+//gscope:hotpath
+func (p *Publisher) send(pkt []byte, tuples int) {
+	p.mu.Lock()
+	seq := p.seq
+	p.seq++
+	slot := &p.ring[seq&(RingSize-1)]
+	slot.seq = seq
+	slot.used = true
+	slot.buf = append(slot.buf[:0], pkt...)
+	p.stats.Datagrams++
+	p.stats.Tuples += int64(tuples)
+	p.mu.Unlock()
+	if _, err := p.conn.WriteTo(pkt, p.raddr); err != nil { //gscope:allow hotpath PacketConn.WriteTo is the transport itself; one dynamic call per datagram
+		p.mu.Lock()
+		p.stats.WriteErrs++
+		p.mu.Unlock()
+	}
+}
+
+// nackLoop reads NACK datagrams and answers them from the ring.
+func (p *Publisher) nackLoop() {
+	defer p.wg.Done()
+	buf := make([]byte, 2048)
+	var seqs []uint64
+	for {
+		n, _, err := p.conn.ReadFrom(buf)
+		if err != nil {
+			select {
+			case <-p.done:
+				return
+			default:
+			}
+			// Transient read errors on a live socket: keep serving.
+			continue
+		}
+		h, perr := parseHeader(buf[:n])
+		if perr != nil || h.typ != TypeNack || h.stream != p.stream || h.epoch != p.epoch {
+			continue // not ours (stray, stale, or noise): ignore
+		}
+		seqs, perr = parseNackSeqs(seqs[:0], h)
+		if perr != nil {
+			continue
+		}
+		p.mu.Lock()
+		p.stats.NackRx++
+		for _, s := range seqs {
+			slot := &p.ring[s&(RingSize-1)]
+			if !slot.used || slot.seq != s {
+				p.stats.NackMiss++
+				continue
+			}
+			if _, werr := p.conn.WriteTo(slot.buf, p.raddr); werr != nil {
+				p.stats.WriteErrs++
+				continue
+			}
+			p.stats.Resent++
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Close stops the NACK listener and closes the socket.
+func (p *Publisher) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	close(p.done)
+	err := p.conn.Close()
+	p.wg.Wait()
+	return err
+}

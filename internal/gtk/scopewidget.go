@@ -1,7 +1,7 @@
 package gtk
 
 import (
-	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
@@ -124,6 +124,11 @@ type ScopeWidget struct {
 
 	rows    *Box
 	rowsFor int
+
+	// statusPeriod/statusPeriodStr cache the rendered polling period so
+	// AppendStatusLine stays allocation-free across repaints.
+	statusPeriod    time.Duration
+	statusPeriodStr string
 
 	// OnSignalParams is invoked when a signal name is right-clicked; the
 	// application typically opens SignalParamsWindow for the signal.
@@ -292,7 +297,28 @@ func (sw *ScopeWidget) ValueButtonCenter(win *Window, i int) (geom.Pt, bool) {
 
 // StatusLine formats a one-line summary used by terminal demos.
 func (sw *ScopeWidget) StatusLine() string {
+	return string(sw.AppendStatusLine(nil))
+}
+
+// AppendStatusLine appends the StatusLine text to dst and returns the
+// extended slice, allocating nothing beyond dst's growth in steady state —
+// gscoped's -ansi repaint rebuilds it every second into a reused buffer.
+// The period's rendering is cached because time.Duration can only be
+// stringified through an allocation; it re-renders only when the period
+// changes.
+func (sw *ScopeWidget) AppendStatusLine(dst []byte) []byte {
 	st := sw.scope.Stats()
-	return fmt.Sprintf("%s: mode=%s period=%s polls=%d lost=%d",
-		sw.scope.Name(), sw.scope.Mode(), sw.scope.Period(), st.Polls, st.LostTicks)
+	if p := sw.scope.Period(); p != sw.statusPeriod || sw.statusPeriodStr == "" {
+		sw.statusPeriod, sw.statusPeriodStr = p, p.String()
+	}
+	dst = append(dst, sw.scope.Name()...)
+	dst = append(dst, ": mode="...)
+	dst = append(dst, sw.scope.Mode().String()...)
+	dst = append(dst, " period="...)
+	dst = append(dst, sw.statusPeriodStr...)
+	dst = append(dst, " polls="...)
+	dst = strconv.AppendInt(dst, st.Polls, 10)
+	dst = append(dst, " lost="...)
+	dst = strconv.AppendInt(dst, st.LostTicks, 10)
+	return dst
 }

@@ -251,6 +251,17 @@ type FanoutStats struct {
 	Published    int64
 	Dropped      int64
 	Filtered     int64
+
+	// Datagram publisher lane aggregates (zero unless ListenPublishersUDP
+	// is active). UDPLost is gap accounting: datagrams the jitter buffer
+	// gave up on after the hold expired, i.e. injected loss minus what
+	// NACK recovery pulled back (docs/WIRE.md §D4).
+	UDPSources   int64
+	UDPReleased  int64
+	UDPLost      int64
+	UDPReordered int64
+	UDPRecovered int64
+	UDPLate      int64
 }
 
 // SetSnapshotWindow sets how much trailing stream history new subscribers
@@ -1165,6 +1176,15 @@ func (s *Server) FanoutStats() FanoutStats {
 	for _, sub := range s.hub.subs {
 		st.Dropped += sub.ww.Dropped() + sub.pendDrop
 		st.Filtered += sub.filtered
+	}
+	if s.udpRecv != nil {
+		u := s.udpRecv.Stats()
+		st.UDPSources = int64(u.Sources)
+		st.UDPReleased = u.Released
+		st.UDPLost = u.Lost
+		st.UDPReordered = u.Reordered
+		st.UDPRecovered = u.Recovered
+		st.UDPLate = u.Late
 	}
 	return st
 }

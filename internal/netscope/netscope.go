@@ -142,6 +142,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dgram"
 	"repro/internal/glib"
 	"repro/internal/reclog"
 	"repro/internal/tuple"
@@ -176,6 +177,11 @@ type Server struct {
 	intern    *tuple.Interner
 
 	hub hubState
+
+	// udpRecv is the datagram publisher listener, nil until
+	// ListenPublishersUDP; its jitter buffer hands released batches to the
+	// loop goroutine for injection (udp.go).
+	udpRecv *dgram.Receiver
 
 	connects    int64
 	disconnects int64
@@ -404,6 +410,11 @@ func (s *Server) Close() error {
 		conn.Close()
 		delete(s.clients, conn)
 	}
+	if s.udpRecv != nil {
+		if uerr := s.udpRecv.Close(); err == nil {
+			err = uerr
+		}
+	}
 	if herr := s.closeHub(); err == nil {
 		err = herr
 	}
@@ -457,6 +468,11 @@ type Client struct {
 	wire int
 
 	wbuf []byte // writer-goroutine-owned wire-encode buffer, reused per round
+
+	// udp is the datagram lane for clients made with DialUDP, nil for
+	// stream clients. Set before the writer goroutine starts, read-only
+	// afterwards, so it needs no lock.
+	udp *dgram.Publisher
 
 	// reconnect-mode state
 	backoffMin time.Duration
@@ -858,10 +874,12 @@ func (c *Client) Reconnects() int64 {
 }
 
 // Connected reports whether the client currently holds a live connection.
+// Datagram clients count as connected while open: there is no connection
+// to lose, only datagrams to lose.
 func (c *Client) Connected() bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn != nil && !c.closed
+	return (c.conn != nil || c.udp != nil) && !c.closed
 }
 
 // Flush blocks until the queue has drained (or the writer died). For a
@@ -929,6 +947,13 @@ func (c *Client) Close() error {
 		// The flush above was unbounded, so the writer is idle by the
 		// time it observes closed and exits; nothing is in flight.
 		cerr = conn.Close()
+	}
+	if c.udp != nil {
+		// The writer has exited, so no Publish is in flight; this stops
+		// the NACK responder and releases the socket and retained ring.
+		if uerr := c.udp.Close(); cerr == nil {
+			cerr = uerr
+		}
 	}
 	if ferr != nil {
 		return ferr

@@ -1,0 +1,114 @@
+package netscope
+
+import (
+	"testing"
+
+	"repro/internal/glib"
+	"repro/internal/tuple"
+)
+
+// udpRig is rig plus a datagram publisher listener on the same server, so
+// both lanes are live and the UDP stream merges into the same pipeline.
+func udpRig(t *testing.T) (*glib.Loop, *Server, string) {
+	t.Helper()
+	loop, _, srv, _ := rig(t)
+	uaddr, err := srv.ListenPublishersUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loop, srv, uaddr.String()
+}
+
+func TestUDPPublishEndToEnd(t *testing.T) {
+	loop, srv, uaddr := udpRig(t)
+	var hooked []tuple.Tuple
+	srv.OnTuple = func(tu tuple.Tuple) { hooked = append(hooked, tu) }
+
+	c, err := DialUDP(uaddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if !c.Connected() {
+		t.Fatal("datagram client reports disconnected while open")
+	}
+
+	const batches, per = 20, 25
+	for i := 0; i < batches; i++ {
+		batch := make([]tuple.Tuple, per)
+		for j := range batch {
+			k := i*per + j
+			batch[j] = tuple.Tuple{Time: int64(k) * 10, Value: float64(k) * 0.25, Name: "remote"}
+		}
+		if err := c.SendBatch(batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Sent(); got != batches*per {
+		t.Fatalf("client sent %d, want %d", got, batches*per)
+	}
+
+	pump(t, loop, func() bool {
+		_, _, recv, _ := srv.Stats()
+		return recv >= batches*per
+	})
+	if len(hooked) != batches*per {
+		t.Fatalf("OnTuple saw %d tuples, want %d", len(hooked), batches*per)
+	}
+	// Loopback with no chaos: the lane must be lossless and in order, and
+	// every tuple bit-exact after the datagram encode/decode round trip.
+	for k, tu := range hooked {
+		if tu.Time != int64(k)*10 || tu.Value != float64(k)*0.25 || tu.Name != "remote" {
+			t.Fatalf("tuple %d corrupted or reordered: %+v", k, tu)
+		}
+	}
+
+	st := srv.FanoutStats()
+	if st.UDPSources != 1 {
+		t.Fatalf("UDPSources = %d, want 1", st.UDPSources)
+	}
+	if st.UDPReleased == 0 || st.UDPLost != 0 {
+		t.Fatalf("UDP lane counters off on a clean loopback: %+v", st)
+	}
+	if cs, ok := c.UDPStats(); !ok || cs.Datagrams == 0 || cs.Tuples != batches*per {
+		t.Fatalf("publisher stats %+v ok=%v, want %d tuples", cs, ok, batches*per)
+	}
+	if srcs := srv.UDPSourceStats(); len(srcs) != 1 || srcs[0].Released != st.UDPReleased {
+		t.Fatalf("per-source stats inconsistent with aggregate: %+v vs %+v", srcs, st)
+	}
+	if line := srv.AppendUDPStats(nil); len(line) == 0 {
+		t.Fatal("AppendUDPStats rendered nothing with an active listener")
+	}
+}
+
+func TestUDPListenerSingleton(t *testing.T) {
+	_, srv, _ := udpRig(t)
+	if _, err := srv.ListenPublishersUDP("127.0.0.1:0"); err == nil {
+		t.Fatal("second datagram listener accepted")
+	}
+}
+
+func TestUDPAccessorsOnStreamOnlyServer(t *testing.T) {
+	_, _, srv, _ := rig(t)
+	if got := srv.UDPSourceStats(); got != nil {
+		t.Fatalf("UDPSourceStats = %v without a listener", got)
+	}
+	buf := []byte("x")
+	if out := srv.AppendUDPStats(buf); len(out) != 1 || &out[0] != &buf[0] {
+		t.Fatal("AppendUDPStats touched dst without a listener")
+	}
+	if st := srv.FanoutStats(); st.UDPSources != 0 || st.UDPReleased != 0 {
+		t.Fatalf("stream-only server grew UDP counters: %+v", st)
+	}
+}
+
+func TestUDPStatsOnStreamClient(t *testing.T) {
+	c := DialReconnect("127.0.0.1:1") // never connects; udp lane absent
+	defer c.Close()
+	if _, ok := c.UDPStats(); ok {
+		t.Fatal("stream client claims a datagram lane")
+	}
+}

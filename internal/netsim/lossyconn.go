@@ -1,0 +1,188 @@
+package netsim
+
+// LossyConn is the datagram counterpart of ChaosProxy: where the proxy
+// degrades live TCP connections, LossyConn wraps a net.PacketConn and
+// degrades individual datagrams on the way out — seeded, reproducible
+// loss, duplication, reordering and delay, plus whole-link partitions.
+// Wrapping the *sender's* socket keeps the harness transparent to the
+// receiver under test: it sees plain UDP arriving strangely, exactly
+// what the internal/dgram chaos tests need.
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// LossyConfig sets the degradation knobs. The zero value forwards every
+// datagram untouched.
+type LossyConfig struct {
+	// Loss is the probability in [0,1] that a datagram is dropped.
+	Loss float64
+	// Dup is the probability in [0,1] that a datagram is sent twice.
+	Dup float64
+	// Reorder is the probability in [0,1] that a datagram is held for
+	// an extra ReorderDelay, letting later traffic overtake it.
+	Reorder float64
+	// ReorderDelay is how long a reordered datagram is held (default
+	// 2ms, enough for several subsequent datagrams to pass it).
+	ReorderDelay time.Duration
+	// Delay is a base one-way delay added to every datagram; Jitter
+	// adds a uniform random extra in [0, Jitter).
+	Delay  time.Duration
+	Jitter time.Duration
+	// Seed fixes the randomness; 0 selects 1 so runs reproduce.
+	Seed int64
+}
+
+// LossyConn wraps a net.PacketConn, applying LossyConfig to every
+// WriteTo. Reads, addresses and deadlines pass straight through, so a
+// dgram.Publisher on a LossyConn still hears NACKs cleanly — only its
+// outbound data suffers. WriteTo never blocks the caller: delayed or
+// reordered datagrams are re-sent from timer goroutines that Close
+// waits out. It is safe for concurrent use.
+type LossyConn struct {
+	net.PacketConn
+	cfg LossyConfig
+
+	mu sync.Mutex
+	//gscope:guardedby mu
+	rng *rand.Rand
+	//gscope:guardedby mu
+	partitioned bool
+	//gscope:guardedby mu
+	closed bool
+	//gscope:guardedby mu
+	stats LossyStats
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// LossyStats counts what the link did to outbound datagrams.
+type LossyStats struct {
+	Sent       int64 // datagrams actually written to the wrapped conn
+	Dropped    int64 // eaten by Loss or a partition
+	Duplicated int64
+	Reordered  int64
+}
+
+// NewLossyConn wraps conn. Close closes the wrapped conn too.
+func NewLossyConn(conn net.PacketConn, cfg LossyConfig) *LossyConn {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.ReorderDelay <= 0 {
+		cfg.ReorderDelay = 2 * time.Millisecond
+	}
+	return &LossyConn{
+		PacketConn: conn,
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		done:       make(chan struct{}),
+	}
+}
+
+// SetPartitioned stalls (true) or restores (false) the outbound link.
+// Partitioned datagrams are dropped, as a real partition would — UDP
+// has no queue to wait in.
+func (c *LossyConn) SetPartitioned(on bool) {
+	c.mu.Lock()
+	c.partitioned = on
+	c.mu.Unlock()
+}
+
+// Stats snapshots the link counters.
+func (c *LossyConn) Stats() LossyStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// WriteTo applies the configured degradations to one datagram. It
+// always reports success for datagrams the link ate: that is the UDP
+// contract — the sender cannot tell.
+func (c *LossyConn) WriteTo(p []byte, addr net.Addr) (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	if c.partitioned || c.roll(c.cfg.Loss) {
+		c.stats.Dropped++
+		c.mu.Unlock()
+		return len(p), nil
+	}
+	delay := c.cfg.Delay
+	if c.cfg.Jitter > 0 {
+		delay += time.Duration(c.rng.Int63n(int64(c.cfg.Jitter)))
+	}
+	if c.roll(c.cfg.Reorder) {
+		delay += c.cfg.ReorderDelay
+		c.stats.Reordered++
+	}
+	dup := c.roll(c.cfg.Dup)
+	if dup {
+		c.stats.Duplicated++
+	}
+	c.mu.Unlock()
+
+	n := 1
+	if dup {
+		n = 2
+	}
+	if delay <= 0 {
+		for i := 0; i < n; i++ {
+			c.forward(p, addr)
+		}
+		return len(p), nil
+	}
+	// Copy once; the caller reuses its buffer the moment we return.
+	held := append([]byte(nil), p...)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		select {
+		case <-time.After(delay):
+			for i := 0; i < n; i++ {
+				c.forward(held, addr)
+			}
+		case <-c.done:
+			c.mu.Lock()
+			c.stats.Dropped++
+			c.mu.Unlock()
+		}
+	}()
+	return len(p), nil
+}
+
+// roll returns true with probability pr. Caller holds mu.
+//
+//gscope:locked mu
+func (c *LossyConn) roll(pr float64) bool {
+	return pr > 0 && c.rng.Float64() < pr
+}
+
+// forward writes one datagram to the wrapped conn.
+func (c *LossyConn) forward(p []byte, addr net.Addr) {
+	if _, err := c.PacketConn.WriteTo(p, addr); err == nil {
+		c.mu.Lock()
+		c.stats.Sent++
+		c.mu.Unlock()
+	}
+}
+
+// Close drains in-flight delayed datagrams and closes the wrapped conn.
+func (c *LossyConn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.done)
+	c.wg.Wait()
+	return c.PacketConn.Close()
+}

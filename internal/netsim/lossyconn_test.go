@@ -1,0 +1,183 @@
+package netsim
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+)
+
+// udpSink counts datagrams arriving on a loopback socket.
+func udpSink(t *testing.T) (net.Addr, *int64, func()) {
+	t.Helper()
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var count int64
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		buf := make([]byte, 2048)
+		for {
+			if _, _, err := conn.ReadFrom(buf); err != nil {
+				return
+			}
+			atomic.AddInt64(&count, 1)
+		}
+	}()
+	return conn.LocalAddr(), &count, func() { conn.Close(); <-done }
+}
+
+func lossyOut(t *testing.T, cfg LossyConfig) *LossyConn {
+	t.Helper()
+	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewLossyConn(inner, cfg)
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestLossyConnTransparentByDefault(t *testing.T) {
+	addr, count, stop := udpSink(t)
+	defer stop()
+	c := lossyOut(t, LossyConfig{})
+	for i := 0; i < 50; i++ {
+		if _, err := c.WriteTo([]byte("x"), addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !testutil.Poll(5*time.Second, func() bool { return atomic.LoadInt64(count) == 50 }) {
+		t.Fatalf("sink got %d datagrams, want 50", atomic.LoadInt64(count))
+	}
+	st := c.Stats()
+	if st.Sent != 50 || st.Dropped != 0 || st.Duplicated != 0 || st.Reordered != 0 {
+		t.Fatalf("zero-config link touched traffic: %+v", st)
+	}
+}
+
+func TestLossyConnLossAccounting(t *testing.T) {
+	addr, count, stop := udpSink(t)
+	defer stop()
+	c := lossyOut(t, LossyConfig{Loss: 0.3, Seed: 42})
+	const n = 500
+	for i := 0; i < n; i++ {
+		c.WriteTo([]byte("x"), addr)
+		if i%20 == 19 {
+			// Pace the burst so the loopback socket buffer, not our
+			// link, decides nothing extra gets dropped.
+			time.Sleep(time.Millisecond)
+		}
+	}
+	st := c.Stats()
+	if st.Dropped == 0 || st.Dropped == n {
+		t.Fatalf("30%% loss dropped %d of %d", st.Dropped, n)
+	}
+	if st.Sent+st.Dropped != n {
+		t.Fatalf("accounting leak: sent %d + dropped %d != %d", st.Sent, st.Dropped, n)
+	}
+	want := st.Sent
+	if !testutil.Poll(5*time.Second, func() bool { return atomic.LoadInt64(count) == want }) {
+		t.Fatalf("sink got %d datagrams, link says it sent %d", atomic.LoadInt64(count), want)
+	}
+}
+
+func TestLossyConnSeedReproducible(t *testing.T) {
+	addr, _, stop := udpSink(t)
+	defer stop()
+	drops := func(seed int64) int64 {
+		c := lossyOut(t, LossyConfig{Loss: 0.25, Seed: seed})
+		for i := 0; i < 300; i++ {
+			c.WriteTo([]byte("x"), addr)
+		}
+		return c.Stats().Dropped
+	}
+	if a, b := drops(7), drops(7); a != b {
+		t.Fatalf("same seed, different drop pattern: %d vs %d", a, b)
+	}
+	if a, b := drops(7), drops(8); a == b {
+		// Not impossible, but with 300 rolls at 25% it means the seed is
+		// being ignored.
+		t.Fatalf("different seeds produced identical drops (%d)", a)
+	}
+}
+
+func TestLossyConnDuplicates(t *testing.T) {
+	addr, count, stop := udpSink(t)
+	defer stop()
+	c := lossyOut(t, LossyConfig{Dup: 1})
+	for i := 0; i < 20; i++ {
+		c.WriteTo([]byte("x"), addr)
+	}
+	if !testutil.Poll(5*time.Second, func() bool { return atomic.LoadInt64(count) == 40 }) {
+		t.Fatalf("sink got %d datagrams, want 40 (every one duplicated)", atomic.LoadInt64(count))
+	}
+	if st := c.Stats(); st.Duplicated != 20 {
+		t.Fatalf("stats %+v, want 20 duplicated", st)
+	}
+}
+
+func TestLossyConnDelayAndReorder(t *testing.T) {
+	addr, count, stop := udpSink(t)
+	defer stop()
+	c := lossyOut(t, LossyConfig{Reorder: 0.5, ReorderDelay: 5 * time.Millisecond, Jitter: time.Millisecond, Seed: 3})
+	const n = 200
+	for i := 0; i < n; i++ {
+		c.WriteTo([]byte("x"), addr)
+	}
+	// Delayed datagrams are still in flight when WriteTo returns; every
+	// one must eventually land.
+	if !testutil.Poll(5*time.Second, func() bool { return atomic.LoadInt64(count) == n }) {
+		t.Fatalf("sink got %d datagrams, want %d", atomic.LoadInt64(count), n)
+	}
+	if st := c.Stats(); st.Reordered == 0 {
+		t.Fatalf("50%% reorder reordered nothing: %+v", st)
+	}
+}
+
+func TestLossyConnPartition(t *testing.T) {
+	addr, count, stop := udpSink(t)
+	defer stop()
+	c := lossyOut(t, LossyConfig{})
+	c.SetPartitioned(true)
+	for i := 0; i < 10; i++ {
+		c.WriteTo([]byte("x"), addr)
+	}
+	if st := c.Stats(); st.Dropped != 10 || st.Sent != 0 {
+		t.Fatalf("partitioned link leaked: %+v", st)
+	}
+	c.SetPartitioned(false)
+	c.WriteTo([]byte("x"), addr)
+	if !testutil.Poll(5*time.Second, func() bool { return atomic.LoadInt64(count) == 1 }) {
+		t.Fatal("healed link did not forward")
+	}
+}
+
+func TestLossyConnCloseDrainsInFlight(t *testing.T) {
+	addr, _, stop := udpSink(t)
+	inner, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewLossyConn(inner, LossyConfig{Delay: 20 * time.Millisecond})
+	for i := 0; i < 5; i++ {
+		c.WriteTo([]byte("x"), addr)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := c.WriteTo([]byte("x"), addr); err == nil {
+		t.Fatal("write after close succeeded")
+	}
+	stop()
+	if err := testutil.CheckLeaksWithin(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -179,14 +179,14 @@ func (e *BinaryEncoder) AppendDict(dst []byte) []byte {
 	return dst
 }
 
-// appendRun appends one self-contained run to the pending payload:
-// uvarint ID, uvarint count, the timestamp column (first stamp zigzag
-// absolute, then delta-of-delta), then the value column (XOR against the
-// previous value bits, 0 at the run head). WIRE.md §B4–B6.
+// appendRunPayload appends one self-contained run to p: uvarint ID,
+// uvarint count, the timestamp column (first stamp zigzag absolute, then
+// delta-of-delta), then the value column (XOR against the previous value
+// bits, 0 at the run head). WIRE.md §B4–B6. Shared by the stream encoder
+// and the datagram encoder, whose payloads differ only in ID scope.
 //
 //gscope:hotpath
-func (e *BinaryEncoder) appendRun(id uint64, run []Tuple) {
-	p := e.payload
+func appendRunPayload(p []byte, id uint64, run []Tuple) []byte {
 	p = binary.AppendUvarint(p, id)
 	p = binary.AppendUvarint(p, uint64(len(run)))
 	var lastT, lastD int64
@@ -208,7 +208,14 @@ func (e *BinaryEncoder) appendRun(id uint64, run []Tuple) {
 		p = appendXOR(p, b^prev)
 		prev = b
 	}
-	e.payload = p
+	return p
+}
+
+// appendRun appends one run to the pending payload (WIRE.md §B4–B6).
+//
+//gscope:hotpath
+func (e *BinaryEncoder) appendRun(id uint64, run []Tuple) {
+	e.payload = appendRunPayload(e.payload, id, run)
 }
 
 // flush closes the pending payload into one DATA frame appended to dst.
@@ -329,6 +336,21 @@ type StreamDecoder struct {
 // NewStreamDecoder returns a decoder with an empty dictionary.
 func NewStreamDecoder() *StreamDecoder { return &StreamDecoder{} }
 
+// Reset clears the dictionary, any carried partial input, and a sticky
+// error, making the decoder ready for a new self-contained stream. The
+// datagram receive path resets one decoder per datagram (every datagram
+// is its own stream, WIRE.md §D2) instead of allocating a fresh decoder;
+// names already handed out in decoded tuples remain valid — Reset
+// truncates the dictionary slice, it never mutates the strings.
+//
+//gscope:hotpath
+func (d *StreamDecoder) Reset() {
+	d.names = d.names[:0]
+	d.carry = d.carry[:0]
+	d.tup = d.tup[:0]
+	d.err = nil
+}
+
 // Feed consumes the next chunk of the stream. line and batch are invoked
 // synchronously, in stream order; their arguments are valid only for the
 // duration of the call.
@@ -377,6 +399,17 @@ func (d *StreamDecoder) fail(err error) error {
 	d.err = err
 	d.carry = nil
 	return err
+}
+
+// TornFrame reports whether the decoder is holding the start of a binary
+// frame it has not yet received in full. A stream transport just keeps
+// feeding; a datagram transport, whose chunk must be self-contained
+// (WIRE.md §D2), treats a torn frame after the final Feed as a malformed
+// datagram.
+//
+//gscope:hotpath
+func (d *StreamDecoder) TornFrame() bool {
+	return len(d.carry) > 0 && d.carry[0] == FrameMarker
 }
 
 // Tail finishes the stream: an unterminated trailing text line is still a

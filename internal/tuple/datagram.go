@@ -1,0 +1,126 @@
+package tuple
+
+import (
+	"encoding/binary"
+	"strings"
+)
+
+// This file is the datagram flavor of the v3 binary encoding: the same
+// DICT/DATA frame grammar as binary.go, but with every AppendDatagram
+// call producing a fully self-contained chunk — a fresh StreamDecoder
+// (or one Reset) decodes it with no prior context. Stream encoding makes
+// the dictionary the only cross-frame state (WIRE.md §B3); over a lossy
+// transport even that is too much state, because the datagram carrying a
+// binding can be the one the network eats. So the datagram encoder
+// declares, inside each chunk, every name that chunk uses, with IDs
+// dense from 0 in first-use order *within the chunk* (WIRE.md §D2).
+//
+// Naively that is BinaryEncoder.Reset per datagram, which re-clones
+// every name every time. DatagramEncoder instead keeps one persistent
+// name table across calls and stamps table slots with a per-call
+// generation counter to assign chunk-local IDs, so a steady-state
+// publisher re-sending the same signals allocates nothing per datagram.
+
+// DatagramEncoder encodes batches into self-contained v3 chunks for
+// sequence-numbered datagram transports (internal/dgram). It is not safe
+// for concurrent use.
+type DatagramEncoder struct {
+	ids   map[string]uint64 // name → persistent slot, lives across calls
+	names []string          // slot → cleaned canonical name (cloned once)
+
+	// Per-call chunk-local ID assignment: slot s holds chunk-local ID
+	// localID[s] iff localGen[s] == gen. Bumping gen invalidates every
+	// slot in O(1) instead of clearing a map per datagram.
+	gen      uint64
+	localGen []uint64
+	localID  []uint64
+
+	payload []byte // pending DATA payload for the current chunk
+}
+
+// NewDatagramEncoder returns an encoder with an empty name table.
+func NewDatagramEncoder() *DatagramEncoder {
+	return &DatagramEncoder{ids: make(map[string]uint64)}
+}
+
+// Signals returns how many distinct names the persistent table holds.
+func (e *DatagramEncoder) Signals() int { return len(e.names) }
+
+// AppendDatagram appends batch as one self-contained v3 chunk: DICT
+// frames declaring every name the chunk uses (chunk-local IDs dense from
+// 0 in first-use order) interleaved with DATA frames, exactly the mixed
+// grammar of WIRE.md §B — a fresh or Reset StreamDecoder decodes the
+// chunk in isolation. Names past the table cap ride as text lines, the
+// always-legal fallback of §B1. The caller bounds the batch so the chunk
+// fits its transport's datagram budget; the encoder itself only bounds
+// runs (§B4).
+//
+//gscope:hotpath
+func (e *DatagramEncoder) AppendDatagram(dst []byte, batch []Tuple) []byte {
+	e.gen++
+	var nextLocal uint64
+	for i := 0; i < len(batch); {
+		name := batch[i].Name
+		j := i + 1
+		for j < len(batch) && batch[j].Name == name {
+			j++
+		}
+		slot, ok := e.ids[name]
+		if !ok && len(e.names) < maxStreamSignals {
+			clean := strings.Clone(CleanName(name)) //gscope:allow hotpath table growth copies each name once per encoder lifetime
+			slot = uint64(len(e.names))
+			e.ids[strings.Clone(name)] = slot //gscope:allow hotpath table growth copies each name once per encoder lifetime
+			e.names = append(e.names, clean)
+			e.localGen = append(e.localGen, 0)
+			e.localID = append(e.localID, 0)
+			ok = true
+		}
+		if !ok {
+			// Table full: this run rides as text, in order (§B1).
+			dst = e.flush(dst)
+			dst = AppendWireBatch(dst, batch[i:j])
+			i = j
+			continue
+		}
+		if e.localGen[slot] != e.gen {
+			e.localGen[slot] = e.gen
+			e.localID[slot] = nextLocal
+			dst = appendDictFrame(dst, nextLocal, e.names[slot])
+			nextLocal++
+		}
+		lid := e.localID[slot]
+		for k := i; k < j; k += maxRunTuples {
+			end := k + maxRunTuples
+			if end > j {
+				end = j
+			}
+			e.payload = appendRunPayload(e.payload, lid, batch[k:end])
+			if len(e.payload) >= flushPayload {
+				dst = e.flush(dst)
+			}
+		}
+		i = j
+	}
+	return e.flush(dst)
+}
+
+// flush closes the pending payload into one DATA frame appended to dst.
+//
+//gscope:hotpath
+func (e *DatagramEncoder) flush(dst []byte) []byte {
+	if len(e.payload) == 0 {
+		return dst
+	}
+	dst = appendDataFrame(dst, e.payload)
+	e.payload = e.payload[:0]
+	return dst
+}
+
+// appendDataFrame appends one DATA frame header + payload (WIRE.md §B2).
+//
+//gscope:hotpath
+func appendDataFrame(dst, payload []byte) []byte {
+	dst = append(dst, FrameMarker, FrameData)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	return append(dst, payload...)
+}
