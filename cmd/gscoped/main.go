@@ -8,6 +8,12 @@
 // gscoped's -subscribers port, so one instrumented application can feed a
 // tree of viewers.
 //
+// -http attaches the web gateway (internal/webscope): an embedded
+// HTML+canvas dashboard at /, the same live stream over Server-Sent
+// Events and WebSocket, historical envelope queries over /v1/view, and
+// REST access to the control parameters — so a browser is a viewer too.
+// See docs/HTTP.md for the endpoint reference.
+//
 // The flight recorder (-record) appends the merged stream to a segmented
 // on-disk session (internal/reclog): bounded retention, replayable later.
 // -replay streams a recorded session back through the same pipeline —
@@ -25,6 +31,7 @@
 //
 //	gscoped -listen :7420 -signals cps,errps,tput -delay 200ms -png live.png
 //	gscoped -listen :7420 -subscribers :7421              # headless fan-out hub
+//	gscoped -listen :7420 -http :8080                     # browser viewers
 //	gscoped -upstream hub:7421 -subscribers :7422         # chained relay
 //	gscoped -listen :7420 -subscribers :7421 -record ./session   # flight recorder
 //	gscoped -replay ./session -subscribers :7421 -speed 4        # replay at ×4
@@ -52,6 +59,7 @@ import (
 	"repro/internal/netscope"
 	"repro/internal/reclog"
 	"repro/internal/tuple"
+	"repro/internal/webscope"
 )
 
 // config is the parsed command line.
@@ -59,6 +67,7 @@ type config struct {
 	listen      string
 	listenUDP   string
 	subscribers string
+	httpAddr    string
 	upstream    string
 	signals     []string
 	maxRate     float64
@@ -95,6 +104,7 @@ func parseFlags(args []string) (*config, error) {
 	fs.StringVar(&cfg.listen, "listen", "127.0.0.1:7420", "address to ingest publisher tuple streams on")
 	fs.StringVar(&cfg.listenUDP, "publishers-udp", "", "also ingest datagram (UDP) publishers on this address: the lossy lane with reorder buffering and NACK recovery (docs/WIRE.md §D)")
 	fs.StringVar(&cfg.subscribers, "subscribers", "", "address to serve downstream subscribers on (fan-out hub)")
+	fs.StringVar(&cfg.httpAddr, "http", "", "serve the web gateway on this address: embedded dashboard at /, SSE and WebSocket live streams, and the /v1 query API (docs/HTTP.md)")
 	fs.StringVar(&cfg.upstream, "upstream", "", "subscribe to an upstream gscoped hub and relay its stream")
 	fs.StringVar(&signals, "signals", "", "comma-separated signal names/globs: displayed locally, and (with -upstream) the per-signal upstream subscription filter")
 	fs.Float64Var(&cfg.maxRate, "max-rate", 0, "with -upstream: cap the upstream subscription at this many tuples/s per signal (server-side decimation; 0 = unlimited)")
@@ -175,8 +185,8 @@ func parseFlags(args []string) (*config, error) {
 	if cfg.wire == 3 && cfg.upstream == "" && cfg.rec == "" {
 		return fail("-wire 3 selects the binary encoding for -upstream and/or -record; it needs one of them")
 	}
-	if len(cfg.signals) == 0 && cfg.subscribers == "" && cfg.rec == "" {
-		return fail("nothing to do: need -signals (local display), -subscribers (fan-out) and/or -record, e.g. -signals cps,errps")
+	if len(cfg.signals) == 0 && cfg.subscribers == "" && cfg.rec == "" && cfg.httpAddr == "" {
+		return fail("nothing to do: need -signals (local display), -subscribers (fan-out), -http (web viewers) and/or -record, e.g. -signals cps,errps")
 	}
 	if len(cfg.signals) == 0 && (cfg.pngOut != "" || cfg.ansi) {
 		return fail("-png/-ansi need -signals to display")
@@ -220,10 +230,12 @@ type relay struct {
 
 	// PubAddr is the bound publisher-ingest address, UDPAddr the bound
 	// datagram-ingest address (nil without -publishers-udp), SubAddr the
-	// bound subscriber address (nil when fan-out is off).
+	// bound subscriber address (nil when fan-out is off), WebAddr the
+	// bound web-gateway address (nil without -http).
 	PubAddr net.Addr
 	UDPAddr net.Addr
 	SubAddr net.Addr
+	WebAddr net.Addr
 }
 
 // newRelay binds the listeners and assembles the pipeline; run starts it.
@@ -315,6 +327,17 @@ func newRelay(cfg *config) (*relay, error) {
 			return nil, err
 		}
 		r.SubAddr = subAddr
+	}
+	if cfg.httpAddr != "" {
+		// Browser viewers want history: trailing-window stream
+		// subscriptions and /v1/view both read the tiered backfill store.
+		r.srv.SetBackfillRetention(0)
+		webAddr, err := r.srv.ListenWeb(cfg.httpAddr, webscope.New(r.srv, webscope.Options{}))
+		if err != nil {
+			r.cleanup()
+			return nil, err
+		}
+		r.WebAddr = webAddr
 	}
 	if cfg.upstream != "" {
 		if err := r.connectUpstream(true); err != nil {
@@ -452,6 +475,10 @@ func (r *relay) appendStatus(dst []byte) []byte {
 	if r.UDPAddr != nil {
 		dst = append(dst, "  "...)
 		dst = r.srv.AppendUDPStats(dst)
+	}
+	if r.WebAddr != nil {
+		dst = append(dst, "  "...)
+		dst = r.srv.AppendWebStats(dst)
 	}
 	dst = append(dst, '\n')
 	return dst

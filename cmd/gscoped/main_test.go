@@ -1,11 +1,13 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"errors"
 	"flag"
 	"io"
 	"net"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -626,5 +628,121 @@ func TestRelayFilteredUpstream(t *testing.T) {
 		if tu.Name != "cps" {
 			t.Fatalf("junk crossed the filtered relay: %+v", tu)
 		}
+	}
+}
+
+// TestRelayHTTPGateway covers the -http lane end to end: a publisher
+// streams into the daemon, a browser-shaped client reads the dashboard,
+// the query API and a live SSE stream, and the -ansi status line grows
+// its web column.
+func TestRelayHTTPGateway(t *testing.T) {
+	r := startRelay(t, "-listen", "127.0.0.1:0", "-http", "127.0.0.1:0",
+		"-signals", "cps", "-unixtime=false")
+	if r.WebAddr == nil {
+		t.Fatal("-http did not bind")
+	}
+	base := "http://" + r.WebAddr.String()
+	tr := &http.Transport{}
+	client := &http.Client{Transport: tr}
+	t.Cleanup(tr.CloseIdleConnections)
+
+	c, err := netscope.Dial(r.PubAddr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 10; i++ {
+		c.Send(time.Duration(i)*100*time.Millisecond, "cps", float64(i)) //nolint:errcheck
+	}
+	c.Flush() //nolint:errcheck
+
+	// The dashboard is embedded and served at /.
+	resp, err := client.Get(base + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Contains(page, []byte("<canvas")) {
+		t.Fatalf("dashboard: %d (%d bytes)", resp.StatusCode, len(page))
+	}
+
+	// The daemon registered delay-ms; the REST plane can read and set it.
+	resp, err = client.Get(base + "/v1/params/delay-ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !bytes.Contains(body, []byte(`"name":"delay-ms"`)) {
+		t.Fatalf("params: %d %s", resp.StatusCode, body)
+	}
+
+	// /v1/view sees the published history (-http enables the store).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = client.Get(base + "/v1/view?signals=cps")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("view: %d %s", resp.StatusCode, body)
+		}
+		if bytes.Contains(body, []byte(`"name":"cps"`)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("view never saw cps: %s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A live SSE stream delivers a fresh delta.
+	resp, err = client.Get(base + "/v1/stream?signals=cps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("stream: %d", resp.StatusCode)
+	}
+	lines := make(chan string, 64)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	c.Send(5*time.Second, "cps", 42) //nolint:errcheck
+	c.Flush()                        //nolint:errcheck
+	sawBatch := false
+	timeout := time.After(5 * time.Second)
+	for !sawBatch {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("sse stream ended early")
+			}
+			if line == "event: batch" {
+				sawBatch = true
+			}
+		case <-timeout:
+			t.Fatal("no batch event on the live stream")
+		}
+	}
+
+	// The status line gained the web column, allocation-free as ever.
+	status := make(chan []byte, 1)
+	r.loop.Invoke(func() { status <- r.appendStatus(nil) })
+	select {
+	case line := <-status:
+		if !bytes.Contains(line, []byte("web clients=1")) {
+			t.Fatalf("status line = %q", line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("status line never rendered")
 	}
 }

@@ -1,0 +1,126 @@
+// Webdash serves a live software oscilloscope to any browser: a hub
+// ingests a synthetic publisher over the §4.4 TCP lane and exposes the
+// merged stream through the web gateway — the embedded canvas dashboard
+// at /, Server-Sent Events and WebSocket live streams, min/max envelope
+// history at /v1/view (JSON or PNG), and the control-parameter registry
+// over REST. It is the library form of `gscoped -http :8080`:
+//
+//	publisher ──TCP──→ hub ──ListenWeb──→ http://localhost:8080/
+//	                    │                   ├ /            dashboard
+//	                    │                   ├ /v1/stream   SSE + WebSocket
+//	                    └ backfill store ←──┤ /v1/view     history (JSON/PNG)
+//	                                        └ /v1/params   REST control plane
+//
+// Run it, open the printed URL, and drag the "amplitude" parameter on
+// the dashboard (or `curl -X PUT localhost:8080/v1/params/amplitude?value=10`)
+// to watch the waves flatten live in every connected tab. Endpoint
+// reference: docs/HTTP.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"os/signal"
+	"time"
+
+	gscope "repro"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "web gateway listen address")
+	duration := flag.Duration("duration", 0, "exit after this long (0 = run until interrupted)")
+	flag.Parse()
+
+	loop := gscope.NewLoop(nil) // real clock
+
+	// The hub: ingests publishers, keeps history for browser viewers.
+	srv := gscope.NewNetServer(loop)
+	// Browser viewers want history — trailing-window stream backfill and
+	// /v1/view envelopes both read the tiered backfill store.
+	srv.SetBackfillRetention(0) // 0 selects the default retention
+	pubAddr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+
+	// A remote-settable control parameter: the publisher's amplitude,
+	// adjustable from the dashboard or PUT /v1/params/amplitude.
+	var amplitude gscope.FloatVar
+	amplitude.Store(25)
+	params := gscope.NewParams()
+	if err := params.Add(gscope.FloatParam("amplitude", &amplitude, 0, 40)); err != nil {
+		fatal(err)
+	}
+	srv.SetParams(params)
+
+	// The web gateway: dashboard at /, /v1 API, SSE/WS streams.
+	webAddr, err := srv.ListenWeb(*addr, gscope.NewWebGateway(srv, gscope.WebOptions{}))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("webdash: open http://%s/ in a browser (publisher lane on %s)\n", webAddr, pubAddr)
+
+	// The synthetic publisher: a separate party that only shares the
+	// socket, exactly as a remote machine would. Two waves and a counter.
+	pub, err := gscope.DialNet(pubAddr.String())
+	if err != nil {
+		fatal(err)
+	}
+	defer pub.Close()
+	start := time.Now()
+	stopPub := make(chan struct{})
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		tick := time.NewTicker(50 * time.Millisecond)
+		defer tick.Stop()
+		n := 0
+		for {
+			select {
+			case <-stopPub:
+				pub.Flush()
+				return
+			case <-tick.C:
+				n++
+				d := time.Since(start)
+				t := d.Seconds()
+				a := amplitude.Load()
+				pub.Send(d, "wave.sin", a*math.Sin(2*math.Pi*t/3))
+				pub.Send(d, "wave.saw", a*(math.Mod(t, 2)-1))
+				pub.Send(d, "ticks", float64(n%100))
+			}
+		}
+	}()
+
+	// Run until interrupted (or -duration elapses).
+	interrupt := make(chan os.Signal, 1)
+	signal.Notify(interrupt, os.Interrupt)
+	go func() {
+		if *duration > 0 {
+			select {
+			case <-interrupt:
+			case <-time.After(*duration):
+			}
+		} else {
+			<-interrupt
+		}
+		loop.Invoke(loop.Quit)
+	}()
+
+	if err := loop.Run(); err != nil {
+		fatal(err)
+	}
+	close(stopPub)
+	<-pubDone
+	if err := srv.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Println("webdash: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "webdash:", err)
+	os.Exit(1)
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/netscope"
 	"repro/internal/reclog"
 	"repro/internal/tuple"
+	"repro/internal/webscope"
 )
 
 // Re-exported engine types. See the internal/core documentation for
@@ -131,6 +132,12 @@ type (
 	// FanoutStats are the hub's lifetime fan-out counters, including the
 	// v2 plane's filter/decimation accounting.
 	FanoutStats = netscope.FanoutStats
+	// WebGateway is the hub's HTTP face: SSE and WebSocket live streams,
+	// the /v1 historical query API, and the embedded dashboard. Build
+	// with NewWebGateway, mount with NetServer.ListenWeb.
+	WebGateway = webscope.Gateway
+	// WebOptions configures a WebGateway; the zero value is usable.
+	WebOptions = webscope.Options
 	// ParamInfo is a point-in-time snapshot of one control parameter.
 	ParamInfo = core.ParamInfo
 	// ControlFrame is one parsed '#' control line of an embedded protocol
@@ -254,6 +261,14 @@ func FuncWithArgs(fn func(arg1, arg2 any) float64, arg1, arg2 any) FuncSource {
 // NewNetServer creates a streaming server/hub on loop; attach scopes, then
 // call Listen (publisher side) and/or ListenSubscribers (fan-out side).
 func NewNetServer(loop *Loop) *NetServer { return netscope.NewServer(loop) }
+
+// NewWebGateway builds the HTTP gateway over srv: live streams (SSE and
+// WebSocket), the /v1 query API over the backfill store, params and
+// sessions REST, and the embedded dashboard. Mount it with
+// srv.ListenWeb(addr, g) — which also wires teardown into srv.Close — or
+// on any mux of the caller's; it is a plain http.Handler. Endpoint
+// reference: docs/HTTP.md.
+func NewWebGateway(srv *NetServer, opts WebOptions) *WebGateway { return webscope.New(srv, opts) }
 
 // DialNet connects a publisher to a server's Listen address.
 func DialNet(addr string) (*NetClient, error) { return netscope.Dial(addr) }

@@ -262,6 +262,14 @@ type FanoutStats struct {
 	UDPReordered int64
 	UDPRecovered int64
 	UDPLate      int64
+
+	// Web gateway lane aggregates (zero unless ListenWeb is active):
+	// currently connected SSE/WebSocket stream clients, events lost to
+	// their per-client drop-oldest queues, and payload bytes written to
+	// browsers.
+	WebClients int64
+	WebDropped int64
+	WebBytes   int64
 }
 
 // SetSnapshotWindow sets how much trailing stream history new subscribers
@@ -1186,6 +1194,9 @@ func (s *Server) FanoutStats() FanoutStats {
 		st.UDPRecovered = u.Recovered
 		st.UDPLate = u.Late
 	}
+	st.WebClients = s.web.clients.Load()
+	st.WebDropped = s.web.dropped.Load()
+	st.WebBytes = s.web.bytes.Load()
 	return st
 }
 

@@ -137,6 +137,7 @@ package netscope
 import (
 	"fmt"
 	"net"
+	"net/http"
 	"strings"
 	"sync"
 	"time"
@@ -182,6 +183,15 @@ type Server struct {
 	// ListenPublishersUDP; its jitter buffer hands released batches to the
 	// loop goroutine for injection (udp.go).
 	udpRecv *dgram.Receiver
+
+	// The web gateway attachment, nil until ListenWeb (web.go). webDone
+	// closes when the serve goroutine exits; web is the lane's counters,
+	// updated from the gateway's HTTP goroutines.
+	webLn   net.Listener
+	webSrv  *http.Server
+	webH    WebHandler
+	webDone chan struct{}
+	web     WebCounters
 
 	connects    int64
 	disconnects int64
@@ -409,6 +419,12 @@ func (s *Server) Close() error {
 		w.Cancel()
 		conn.Close()
 		delete(s.clients, conn)
+	}
+	// The web gateway goes down before the hub: closeWeb waits for every
+	// in-flight SSE/WebSocket handler to exit, and those handlers hold
+	// piped hub subscriptions that closeHub is about to tear out.
+	if werr := s.closeWeb(); err == nil {
+		err = werr
 	}
 	if s.udpRecv != nil {
 		if uerr := s.udpRecv.Close(); err == nil {

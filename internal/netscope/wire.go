@@ -73,6 +73,13 @@ func (r *SubscriptionRequest) isZero() bool {
 		r.Wire == 0
 }
 
+// Validate rejects requests the wire encoding cannot carry: empty or
+// space/comma-bearing signal patterns, malformed globs, negative rates
+// or resolutions, unknown wire versions. The programmatic entry points
+// (SubscribeWith, the web gateway's query mapping) call it before a
+// request reaches the hub.
+func (r *SubscriptionRequest) Validate() error { return r.validate() }
+
 // validate rejects requests the wire encoding cannot carry.
 func (r *SubscriptionRequest) validate() error {
 	for _, p := range r.Signals {

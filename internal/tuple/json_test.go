@@ -1,0 +1,93 @@
+package tuple
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// decodeTriples round-trips the appended JSON through encoding/json,
+// proving the hand encoder emits valid JSON.
+func decodeTriples(t *testing.T, data []byte) [][3]any {
+	t.Helper()
+	var out [][3]any
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("invalid JSON %q: %v", data, err)
+	}
+	return out
+}
+
+func TestAppendJSONBatch(t *testing.T) {
+	batch := []Tuple{
+		{Time: 100, Value: 1, Name: "cpu.0"},
+		{Time: 150, Value: 0.25, Name: "temp c"},
+		{Time: 200, Value: -3e9, Name: "x"},
+	}
+	got := decodeTriples(t, AppendJSONBatch(nil, batch))
+	if len(got) != 3 {
+		t.Fatalf("got %d triples, want 3", len(got))
+	}
+	if got[0][0].(float64) != 100 || got[0][1].(float64) != 1 || got[0][2].(string) != "cpu.0" {
+		t.Errorf("triple 0 = %v", got[0])
+	}
+	if got[1][1].(float64) != 0.25 || got[1][2].(string) != "temp c" {
+		t.Errorf("triple 1 = %v", got[1])
+	}
+	if got[2][1].(float64) != -3e9 {
+		t.Errorf("triple 2 = %v", got[2])
+	}
+}
+
+func TestAppendJSONBatchEmpty(t *testing.T) {
+	if got := string(AppendJSONBatch(nil, nil)); got != "[]" {
+		t.Fatalf("empty batch = %q, want []", got)
+	}
+}
+
+func TestAppendJSONValueSpecials(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{math.NaN(), "null"},
+		{math.Inf(1), "null"},
+		{math.Inf(-1), "null"},
+		{42, "42"},
+		{-0.5, "-0.5"},
+	}
+	for _, c := range cases {
+		if got := string(AppendJSONValue(nil, c.v)); got != c.want {
+			t.Errorf("AppendJSONValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestAppendJSONStringEscaping(t *testing.T) {
+	// Names with quotes, backslashes, control bytes and invalid UTF-8
+	// must still produce valid JSON that decodes to a sane string.
+	for _, name := range []string{
+		`plain`, `with "quotes"`, `back\slash`, "tab\tsep", "ctl\x01byte",
+		"uni·code", string([]byte{0xff, 0xfe}), "",
+	} {
+		enc := AppendJSONString(nil, name)
+		var got string
+		if err := json.Unmarshal(enc, &got); err != nil {
+			t.Fatalf("AppendJSONString(%q) = %q: invalid JSON: %v", name, enc, err)
+		}
+		// Valid UTF-8 input must round-trip exactly.
+		if gotBack := AppendJSONString(nil, got); name != got && string(gotBack) != string(enc) {
+			t.Errorf("AppendJSONString(%q) decoded to %q and is not a fixpoint", name, got)
+		}
+	}
+}
+
+func TestAppendJSONBatchReusesBuffer(t *testing.T) {
+	batch := []Tuple{{Time: 1, Value: 2, Name: "s"}}
+	buf := make([]byte, 0, 256)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = AppendJSONBatch(buf[:0], batch)
+	})
+	if allocs != 0 {
+		t.Fatalf("AppendJSONBatch into retained buffer allocates %v/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,30 @@
+package webscope
+
+import (
+	_ "embed"
+	"net/http"
+)
+
+// The embedded dashboard: one self-contained HTML+canvas page, no build
+// step, no external assets — `gscoped -http :8080` plus a browser is a
+// working live scope. It subscribes over SSE with a trailing window,
+// draws a strip chart per signal, and mirrors the parameter registry
+// with live sliders.
+
+//go:embed dashboard.html
+var dashboardHTML []byte
+
+// handleDashboard serves the embedded viewer at / (exact path only, so
+// typos 404 instead of silently rendering the dashboard).
+func (g *Gateway) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		httpError(w, http.StatusNotFound, "not found")
+		return
+	}
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "dashboard requires GET")
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(dashboardHTML) //nolint:errcheck // client gone is the only failure
+}

@@ -1,0 +1,123 @@
+package webscope
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// /v1/params: REST over the hub's core.ParamSet — the same registry the
+// v2 "param list/get/set" commands and the GTK sliders manipulate.
+// ParamSet is thread-safe, so these handlers need no loop marshaling;
+// a successful PUT fans out through the registry's observers, which the
+// hub turns into `param` notification frames on every stream lane (TCP
+// subscribers and web streams alike).
+
+// paramJSON is the wire shape of one parameter.
+type paramJSON struct {
+	Name     string  `json:"name"`
+	Value    float64 `json:"value"`
+	Min      float64 `json:"min"`
+	Max      float64 `json:"max"`
+	Step     float64 `json:"step"`
+	ReadOnly bool    `json:"readOnly"`
+}
+
+func paramToJSON(p core.ParamInfo) paramJSON {
+	return paramJSON{Name: p.Name, Value: p.Value, Min: p.Min, Max: p.Max, Step: p.Step, ReadOnly: p.ReadOnly}
+}
+
+// handleParams serves:
+//
+//	GET /v1/params        → {"params":[{...},...]}
+//	GET /v1/params/NAME   → {...}
+//	PUT /v1/params/NAME   → set; body {"value":X} or ?value=X; replies
+//	                        with the stored (clamped/quantized) state
+func (g *Gateway) handleParams(w http.ResponseWriter, r *http.Request) {
+	ps := g.srv.Params()
+	if ps == nil {
+		httpError(w, http.StatusNotFound, "the hub has no parameter registry (Server.SetParams)")
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/v1/params")
+	name = strings.TrimPrefix(name, "/")
+	switch {
+	case r.Method == http.MethodGet && name == "":
+		infos := ps.Infos()
+		out := make([]paramJSON, len(infos))
+		for i, p := range infos {
+			out[i] = paramToJSON(p)
+		}
+		writeJSON(w, map[string]any{"params": out})
+	case r.Method == http.MethodGet:
+		info, err := ps.Info(name)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, paramToJSON(info))
+	case r.Method == http.MethodPut && name != "":
+		v, err := paramValueArg(r)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			httpError(w, http.StatusBadRequest, "value must be finite")
+			return
+		}
+		if err := ps.Set(name, v); err != nil {
+			code := http.StatusNotFound
+			if strings.Contains(err.Error(), "read-only") {
+				code = http.StatusForbidden
+			}
+			httpError(w, code, err.Error())
+			return
+		}
+		info, err := ps.Info(name)
+		if err != nil {
+			httpError(w, http.StatusNotFound, err.Error())
+			return
+		}
+		writeJSON(w, paramToJSON(info))
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "params supports GET and PUT")
+	}
+}
+
+// paramValueArg extracts the value to set: a JSON body {"value":X} (or a
+// bare JSON number), with ?value=X as the query fallback.
+func paramValueArg(r *http.Request) (float64, error) {
+	if s := r.URL.Query().Get("value"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, errors.New("bad value: " + s)
+		}
+		return v, nil
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 4096))
+	if err != nil {
+		return 0, err
+	}
+	text := strings.TrimSpace(string(body))
+	if text == "" {
+		return 0, errors.New("missing value: send {\"value\":X} or ?value=X")
+	}
+	var obj struct {
+		Value *float64 `json:"value"`
+	}
+	if err := json.Unmarshal(body, &obj); err == nil && obj.Value != nil {
+		return *obj.Value, nil
+	}
+	var v float64
+	if err := json.Unmarshal(body, &v); err == nil {
+		return v, nil
+	}
+	return 0, errors.New("body must be {\"value\":X} or a JSON number")
+}

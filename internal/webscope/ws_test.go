@@ -1,0 +1,545 @@
+package webscope
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/testutil"
+	"repro/internal/tuple"
+)
+
+// wsConn is a minimal RFC 6455 client for the tests: it speaks exactly
+// the client side the gateway's server implementation expects (masked
+// frames, handshake key check).
+type wsConn struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+func dialWS(t *testing.T, host, path string) *wsConn {
+	t.Helper()
+	c, err := net.Dial("tcp", host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.SetDeadline(time.Now().Add(30 * time.Second)) //nolint:errcheck
+
+	key := base64.StdEncoding.EncodeToString([]byte("0123456789abcdef"))
+	fmt.Fprintf(c, "GET %s HTTP/1.1\r\nHost: %s\r\n"+
+		"Upgrade: websocket\r\nConnection: keep-alive, Upgrade\r\n"+
+		"Sec-WebSocket-Key: %s\r\nSec-WebSocket-Version: 13\r\n\r\n", path, host, key)
+
+	br := bufio.NewReader(c)
+	status, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "101") {
+		t.Fatalf("handshake status = %q", strings.TrimSpace(status))
+	}
+	accept := ""
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatal(err)
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			break
+		}
+		if v, ok := strings.CutPrefix(line, "Sec-WebSocket-Accept: "); ok {
+			accept = v
+		}
+	}
+	if accept != wsAcceptKey(key) {
+		t.Fatalf("Sec-WebSocket-Accept = %q, want %q", accept, wsAcceptKey(key))
+	}
+	return &wsConn{c: c, br: br}
+}
+
+// writeFrame sends one masked client frame.
+func (w *wsConn) writeFrame(t *testing.T, op byte, payload []byte) {
+	t.Helper()
+	mask := [4]byte{0x12, 0x34, 0x56, 0x78}
+	frame := []byte{0x80 | op}
+	n := len(payload)
+	switch {
+	case n <= 125:
+		frame = append(frame, 0x80|byte(n))
+	case n <= 0xFFFF:
+		frame = append(frame, 0x80|126, byte(n>>8), byte(n))
+	default:
+		t.Fatalf("test frame too large: %d", n)
+	}
+	frame = append(frame, mask[:]...)
+	masked := append([]byte(nil), payload...)
+	maskBytes(masked, mask)
+	frame = append(frame, masked...)
+	if _, err := w.c.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readFrame reads one (unmasked) server frame.
+func (w *wsConn) readFrame(t *testing.T) wsFrame {
+	t.Helper()
+	f, err := readWSFrame(w.br, maxWSMessage, false)
+	if err != nil {
+		t.Fatalf("readWSFrame: %v", err)
+	}
+	return f
+}
+
+// readEvent reads text frames until one parses as {"event":E,"data":D};
+// non-text frames fail the test.
+func (w *wsConn) readEvent(t *testing.T) (string, json.RawMessage) {
+	t.Helper()
+	f := w.readFrame(t)
+	if f.opcode != opText {
+		t.Fatalf("expected a text event frame, got opcode %#x", f.opcode)
+	}
+	var ev struct {
+		Event string          `json:"event"`
+		Data  json.RawMessage `json:"data"`
+	}
+	if err := json.Unmarshal(f.payload, &ev); err != nil {
+		t.Fatalf("event frame %q: %v", f.payload, err)
+	}
+	return ev.Event, ev.Data
+}
+
+// expectEvent skips events until name arrives and returns its data.
+func (w *wsConn) expectEvent(t *testing.T, name string) json.RawMessage {
+	t.Helper()
+	for i := 0; i < 64; i++ {
+		ev, data := w.readEvent(t)
+		if ev == name {
+			return data
+		}
+	}
+	t.Fatalf("no %q event in 64 events", name)
+	panic("unreachable")
+}
+
+// TestWSEndToEnd covers the JSON WebSocket lane: handshake, backfill,
+// live deltas, the inbound command plane, ping/pong and close.
+func TestWSEndToEnd(t *testing.T) {
+	r := newRig(t, Options{}, nil)
+	r.inject(
+		tuple.Tuple{Time: 1000, Value: 1, Name: "sig.a"},
+		tuple.Tuple{Time: 2000, Value: 2, Name: "sig.a"},
+	)
+
+	ws := dialWS(t, r.host, "/v1/ws?signals=sig.a&since=-60000")
+	hello := ws.expectEvent(t, "hello")
+	var h struct {
+		Proto  int    `json:"proto"`
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(hello, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Proto != 2 || h.Format != "json" {
+		t.Fatalf("hello = %+v", h)
+	}
+
+	// Backfill arrives as batch events.
+	batch := ws.expectEvent(t, "batch")
+	tuples := decodeBatch(t, string(batch))
+	if len(tuples) != 2 || tuples[0].Name != "sig.a" {
+		t.Fatalf("backfill = %v", tuples)
+	}
+
+	// Live delta.
+	r.inject(tuple.Tuple{Time: 3000, Value: 3, Name: "sig.a"})
+	live := decodeBatch(t, string(ws.expectEvent(t, "batch")))
+	if len(live) != 1 || live[0].Value != 3 {
+		t.Fatalf("live = %v", live)
+	}
+
+	// Inbound command plane: a v2 command line as a text message; the
+	// reply rides back as a param event ("param-ok" surfaces as param).
+	ws.writeFrame(t, opText, []byte("param set delay-ms 80"))
+	var pd struct {
+		Name  string  `json:"name"`
+		Value float64 `json:"value"`
+	}
+	if err := json.Unmarshal(ws.expectEvent(t, "param"), &pd); err != nil {
+		t.Fatal(err)
+	}
+	if pd.Name != "delay-ms" || pd.Value != 80 {
+		t.Fatalf("param reply = %+v", pd)
+	}
+	if r.delay.Load() != 80 {
+		t.Fatalf("delay var = %v, want 80", r.delay.Load())
+	}
+
+	// An unknown command comes back as an error event, not a dead conn.
+	ws.writeFrame(t, opText, []byte("make me a sandwich"))
+	errEv := ws.expectEvent(t, "error")
+	if !bytes.Contains(errEv, []byte("unknown command")) {
+		t.Fatalf("error event = %s", errEv)
+	}
+
+	// Ping → pong with the same payload, even under traffic.
+	ws.writeFrame(t, opPing, []byte("keepalive"))
+	for i := 0; ; i++ {
+		f := ws.readFrame(t)
+		if f.opcode == opPong {
+			if string(f.payload) != "keepalive" {
+				t.Fatalf("pong payload = %q", f.payload)
+			}
+			break
+		}
+		if f.opcode != opText || i > 64 {
+			t.Fatalf("no pong (last opcode %#x)", f.opcode)
+		}
+	}
+
+	// Close handshake: the server echoes our code and tears down.
+	ws.writeFrame(t, opClose, []byte{closeGoingAway >> 8, closeGoingAway & 0xFF})
+	for i := 0; ; i++ {
+		f := ws.readFrame(t)
+		if f.opcode == opClose {
+			if len(f.payload) < 2 {
+				t.Fatalf("close payload = %v", f.payload)
+			}
+			code := int(f.payload[0])<<8 | int(f.payload[1])
+			if code != closeGoingAway {
+				t.Fatalf("close code = %d, want %d", code, closeGoingAway)
+			}
+			break
+		}
+		if i > 64 {
+			t.Fatal("no close frame")
+		}
+	}
+	testutil.WaitUntil(t, "ws client to release", 10*time.Second, func() bool {
+		return r.srv.Web().Clients() == 0
+	})
+}
+
+// TestWSBinaryLane: format=binary relays the hub's v3 byte stream
+// verbatim; a StreamDecoder over the concatenated binary messages
+// recovers the tuples.
+func TestWSBinaryLane(t *testing.T) {
+	r := newRig(t, Options{}, nil)
+	r.inject(
+		tuple.Tuple{Time: 1000, Value: 1.5, Name: "cps"},
+		tuple.Tuple{Time: 2000, Value: 2.5, Name: "cps"},
+	)
+
+	ws := dialWS(t, r.host, "/v1/ws?signals=cps&since=-60000&format=binary")
+	var h struct {
+		Format string `json:"format"`
+	}
+	if err := json.Unmarshal(ws.expectEvent(t, "hello"), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Format != "binary" {
+		t.Fatalf("hello format = %q", h.Format)
+	}
+
+	r.inject(tuple.Tuple{Time: 3000, Value: 3.5, Name: "cps"})
+
+	dec := tuple.NewStreamDecoder()
+	var got []tuple.Tuple
+	deadline := time.Now().Add(10 * time.Second)
+	for len(got) < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("binary lane delivered %v", got)
+		}
+		f := ws.readFrame(t)
+		if f.opcode != opBinary {
+			continue
+		}
+		err := dec.Feed(f.payload,
+			func(string) {},
+			func(b []tuple.Tuple) { got = append(got, b...) })
+		if err != nil {
+			t.Fatalf("v3 decode: %v", err)
+		}
+	}
+	for i, want := range []float64{1.5, 2.5, 3.5} {
+		if got[i].Value != want || got[i].Name != "cps" {
+			t.Fatalf("binary tuples = %v", got)
+		}
+	}
+}
+
+// TestWSRejectsBadHandshakes: handshake validation failures answer with
+// plain HTTP errors and never leave a stream client behind.
+func TestWSRejectsBadHandshakes(t *testing.T) {
+	r := newRig(t, Options{}, nil)
+
+	// A plain GET (no upgrade headers) is a 400.
+	resp, body := r.get("/v1/ws")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("plain GET /v1/ws = %d %s, want 400", resp.StatusCode, body)
+	}
+
+	// A wrong version is 426 with the supported version advertised.
+	req, _ := http.NewRequest(http.MethodGet, r.base+"/v1/ws", nil)
+	req.Header.Set("Connection", "Upgrade")
+	req.Header.Set("Upgrade", "websocket")
+	req.Header.Set("Sec-WebSocket-Version", "8")
+	req.Header.Set("Sec-WebSocket-Key", "x")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUpgradeRequired {
+		t.Fatalf("v8 handshake = %d, want 426", resp.StatusCode)
+	}
+	if v := resp.Header.Get("Sec-WebSocket-Version"); v != "13" {
+		t.Fatalf("advertised version = %q", v)
+	}
+
+	// Bad query parameters beat the handshake.
+	resp, _ = r.get("/v1/ws?max-rate=-2")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query = %d, want 400", resp.StatusCode)
+	}
+
+	if got := r.srv.Web().Clients(); got != 0 {
+		t.Fatalf("rejected handshakes leaked %d clients", got)
+	}
+}
+
+// TestWSProtocolViolationGetsClose: an unmasked client frame draws a
+// 1002 close frame before the connection drops.
+func TestWSProtocolViolationGetsClose(t *testing.T) {
+	r := newRig(t, Options{}, nil)
+	ws := dialWS(t, r.host, "/v1/ws?stream=0")
+	ws.expectEvent(t, "hello")
+
+	// Unmasked text frame: a protocol error for a client.
+	if _, err := ws.c.Write([]byte{0x81, 0x02, 'h', 'i'}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		f, err := readWSFrame(ws.br, maxWSMessage, false)
+		if err != nil {
+			t.Fatalf("expected a close frame, got %v", err)
+		}
+		if f.opcode == opClose {
+			code := int(f.payload[0])<<8 | int(f.payload[1])
+			if code != closeProtocolError {
+				t.Fatalf("close code = %d, want %d", code, closeProtocolError)
+			}
+			break
+		}
+		if i > 64 {
+			t.Fatal("no close frame")
+		}
+	}
+	testutil.WaitUntil(t, "violating client to release", 10*time.Second, func() bool {
+		return r.srv.Web().Clients() == 0
+	})
+}
+
+// --- Frame codec units -------------------------------------------------------
+
+// clientFrame builds one masked client frame for decoder tests.
+func clientFrame(fin bool, op byte, payload []byte) []byte {
+	b0 := op
+	if fin {
+		b0 |= 0x80
+	}
+	frame := []byte{b0}
+	mask := [4]byte{1, 2, 3, 4}
+	n := len(payload)
+	switch {
+	case n <= 125:
+		frame = append(frame, 0x80|byte(n))
+	case n <= 0xFFFF:
+		frame = append(frame, 0x80|126, byte(n>>8), byte(n))
+	default:
+		frame = append(frame, 0x80|127, 0, 0, 0, 0,
+			byte(n>>24), byte(n>>16), byte(n>>8), byte(n))
+	}
+	frame = append(frame, mask[:]...)
+	masked := append([]byte(nil), payload...)
+	maskBytes(masked, mask)
+	return append(frame, masked...)
+}
+
+func TestReadWSFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{
+		[]byte(""),
+		[]byte("short"),
+		bytes.Repeat([]byte("x"), 126),   // 16-bit length
+		bytes.Repeat([]byte("y"), 70000), // 64-bit length
+	}
+	for _, p := range payloads {
+		br := bufio.NewReader(bytes.NewReader(clientFrame(true, opText, p)))
+		f, err := readWSFrame(br, 1<<20, true)
+		if err != nil {
+			t.Fatalf("len %d: %v", len(p), err)
+		}
+		if !f.fin || f.opcode != opText || !bytes.Equal(f.payload, p) {
+			t.Fatalf("len %d: frame = %+v", len(p), f)
+		}
+	}
+}
+
+func TestReadWSFrameServerFrames(t *testing.T) {
+	// The server-side encoder and the decoder agree (requireMask=false).
+	for _, p := range [][]byte{[]byte("ev"), bytes.Repeat([]byte("z"), 300)} {
+		buf := appendWSFrame(nil, opBinary, p)
+		f, err := readWSFrame(bufio.NewReader(bytes.NewReader(buf)), 1<<20, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(f.payload, p) {
+			t.Fatalf("round trip lost payload (%d bytes)", len(p))
+		}
+	}
+	// appendWSClose carries the code big-endian.
+	buf := appendWSClose(nil, closeTooBig, "too big")
+	f, err := readWSFrame(bufio.NewReader(bytes.NewReader(buf)), 1<<20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.opcode != opClose || int(f.payload[0])<<8|int(f.payload[1]) != closeTooBig {
+		t.Fatalf("close frame = %+v", f)
+	}
+	if string(f.payload[2:]) != "too big" {
+		t.Fatalf("close reason = %q", f.payload[2:])
+	}
+}
+
+func TestReadWSFrameRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"reserved bits", []byte{0xC1, 0x80, 1, 2, 3, 4}},
+		{"unknown opcode", []byte{0x83, 0x80, 1, 2, 3, 4}},
+		{"unmasked client frame", []byte{0x81, 0x02, 'h', 'i'}},
+		{"fragmented control", append([]byte{0x09, 0x80}, 1, 2, 3, 4)},
+		{"oversized control", []byte{0x89, 0x80 | 126, 0x01, 0x00, 1, 2, 3, 4}},
+		{"64-bit length high bit", []byte{0x81, 0x80 | 127,
+			0x80, 0, 0, 0, 0, 0, 0, 1, 1, 2, 3, 4}},
+		{"truncated header", []byte{0x81}},
+		{"truncated payload", []byte{0x81, 0x85, 1, 2, 3, 4, 'h'}},
+	}
+	for _, tc := range cases {
+		br := bufio.NewReader(bytes.NewReader(tc.raw))
+		if _, err := readWSFrame(br, 1<<20, true); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+
+	// A declared length over the cap is rejected before allocation.
+	huge := []byte{0x81, 0x80 | 127, 0x3F, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4}
+	if _, err := readWSFrame(bufio.NewReader(bytes.NewReader(huge)), 1<<20, true); err != errWSTooBig {
+		t.Fatalf("huge frame: err = %v, want errWSTooBig", err)
+	}
+}
+
+func TestReadWSMessageFragmentation(t *testing.T) {
+	// text("hel") + ping + continuation("lo") assembles to "hello" with
+	// the ping dispatched mid-message.
+	var raw []byte
+	raw = append(raw, clientFrame(false, opText, []byte("hel"))...)
+	raw = append(raw, clientFrame(true, opPing, []byte("p"))...)
+	raw = append(raw, clientFrame(true, opContinuation, []byte("lo"))...)
+
+	var pings int
+	op, data, err := readWSMessage(bufio.NewReader(bytes.NewReader(raw)), true,
+		func(op byte, p []byte) error {
+			if op == opPing {
+				pings++
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op != opText || string(data) != "hello" || pings != 1 {
+		t.Fatalf("op=%#x data=%q pings=%d", op, data, pings)
+	}
+
+	// A new data frame inside a fragmented message is a protocol error.
+	raw = append(clientFrame(false, opText, []byte("a")), clientFrame(true, opText, []byte("b"))...)
+	if _, _, err := readWSMessage(bufio.NewReader(bytes.NewReader(raw)), true, nil); err == nil {
+		t.Fatal("interleaved data frame accepted")
+	}
+	// A continuation with no message in progress is a protocol error.
+	raw = clientFrame(true, opContinuation, []byte("x"))
+	if _, _, err := readWSMessage(bufio.NewReader(bytes.NewReader(raw)), true, nil); err == nil {
+		t.Fatal("orphan continuation accepted")
+	}
+}
+
+func TestAppendWSHeaderLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 125, 126, 0xFFFF, 0x10000, 70000} {
+		hdr := appendWSHeader(nil, opBinary, n)
+		br := bufio.NewReader(io.MultiReader(bytes.NewReader(hdr),
+			bytes.NewReader(make([]byte, n))))
+		f, err := readWSFrame(br, 1<<20, false)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(f.payload) != n {
+			t.Fatalf("n=%d decoded as %d", n, len(f.payload))
+		}
+	}
+}
+
+// FuzzWSFrameDecode: adversarial client frames never panic, never
+// over-read past the declared cap, and mid-frame truncation is reported
+// as an error rather than a silent short payload.
+func FuzzWSFrameDecode(f *testing.F) {
+	f.Add(clientFrame(true, opText, []byte("hello")), true)
+	f.Add(clientFrame(true, opPing, []byte("p")), true)
+	f.Add(clientFrame(true, opClose, []byte{0x03, 0xE8}), true)
+	f.Add(clientFrame(true, opBinary, bytes.Repeat([]byte("b"), 200)), true)
+	f.Add(append(clientFrame(false, opText, []byte("fr")),
+		clientFrame(true, opContinuation, []byte("ag"))...), true)
+	f.Add(appendWSFrame(nil, opText, []byte("unmasked server frame")), false)
+	f.Add([]byte{0x81, 0x80 | 127, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, true)
+	f.Add([]byte{0xC1, 0x00}, true)
+
+	f.Fuzz(func(t *testing.T, data []byte, requireMask bool) {
+		const cap = 1 << 16
+		br := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 16; i++ {
+			fr, err := readWSFrame(br, cap, requireMask)
+			if err != nil {
+				break
+			}
+			if len(fr.payload) > cap {
+				t.Fatalf("payload %d exceeds cap %d", len(fr.payload), cap)
+			}
+			if fr.opcode >= opClose && len(fr.payload) > maxWSControlPayload {
+				t.Fatalf("oversized control payload %d accepted", len(fr.payload))
+			}
+		}
+		// The message assembler holds the same line, including across
+		// fragmentation and interleaved control frames.
+		br = bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 4; i++ {
+			_, msg, err := readWSMessage(br, requireMask, func(byte, []byte) error { return nil })
+			if err != nil {
+				break
+			}
+			if len(msg) > maxWSMessage {
+				t.Fatalf("assembled message %d exceeds cap %d", len(msg), maxWSMessage)
+			}
+		}
+	})
+}
